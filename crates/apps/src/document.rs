@@ -1,0 +1,121 @@
+//! A tiny schemaless document model shared by the application layers.
+
+use serde::{Deserialize, Serialize};
+
+use pebblesdb_common::{Error, Result};
+
+/// A named-field document, the unit both application layers store.
+///
+/// YCSB models records as a set of named fields; HyperDex additionally
+/// indexes attributes and MongoDB stores BSON documents. A compact
+/// length-prefixed binary encoding keeps the layers dependency-light while
+/// still paying a realistic serialisation cost per operation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Document {
+    /// The primary key.
+    pub id: Vec<u8>,
+    /// Named fields.
+    pub fields: Vec<(String, Vec<u8>)>,
+}
+
+impl Document {
+    /// Creates a document with a single `value` field (how the YCSB adapter
+    /// maps a key-value pair onto a document).
+    pub fn from_value(id: &[u8], value: &[u8]) -> Document {
+        Document {
+            id: id.to_vec(),
+            fields: vec![("value".to_string(), value.to_vec())],
+        }
+    }
+
+    /// Returns the named field, if present.
+    pub fn field(&self, name: &str) -> Option<&[u8]> {
+        self.fields
+            .iter()
+            .find(|(field, _)| field == name)
+            .map(|(_, value)| value.as_slice())
+    }
+
+    /// Serialises the document.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.id.len());
+        out.extend_from_slice(&(self.id.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.id);
+        out.extend_from_slice(&(self.fields.len() as u32).to_le_bytes());
+        for (name, value) in &self.fields {
+            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+            out.extend_from_slice(value);
+        }
+        out
+    }
+
+    /// Deserialises a document.
+    pub fn decode(data: &[u8]) -> Result<Document> {
+        let mut pos = 0usize;
+        let read_len = |data: &[u8], pos: &mut usize| -> Result<usize> {
+            if *pos + 4 > data.len() {
+                return Err(Error::corruption("truncated document"));
+            }
+            let len = u32::from_le_bytes(data[*pos..*pos + 4].try_into().expect("4 bytes")) as usize;
+            *pos += 4;
+            Ok(len)
+        };
+        let read_bytes = |data: &[u8], pos: &mut usize, len: usize| -> Result<Vec<u8>> {
+            if *pos + len > data.len() {
+                return Err(Error::corruption("truncated document"));
+            }
+            let out = data[*pos..*pos + len].to_vec();
+            *pos += len;
+            Ok(out)
+        };
+
+        let id_len = read_len(data, &mut pos)?;
+        let id = read_bytes(data, &mut pos, id_len)?;
+        let field_count = read_len(data, &mut pos)?;
+        let mut fields = Vec::with_capacity(field_count.min(64));
+        for _ in 0..field_count {
+            let name_len = read_len(data, &mut pos)?;
+            let name = String::from_utf8(read_bytes(data, &mut pos, name_len)?)
+                .map_err(|_| Error::corruption("document field name is not UTF-8"))?;
+            let value_len = read_len(data, &mut pos)?;
+            let value = read_bytes(data, &mut pos, value_len)?;
+            fields.push((name, value));
+        }
+        Ok(Document { id, fields })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_single_field() {
+        let doc = Document::from_value(b"user42", b"payload");
+        let decoded = Document::decode(&doc.encode()).unwrap();
+        assert_eq!(decoded, doc);
+        assert_eq!(decoded.field("value"), Some(b"payload".as_slice()));
+        assert_eq!(decoded.field("missing"), None);
+    }
+
+    #[test]
+    fn roundtrip_many_fields() {
+        let doc = Document {
+            id: b"id".to_vec(),
+            fields: (0..10)
+                .map(|i| (format!("field{i}"), vec![i as u8; 100]))
+                .collect(),
+        };
+        assert_eq!(Document::decode(&doc.encode()).unwrap(), doc);
+    }
+
+    #[test]
+    fn truncated_documents_are_rejected() {
+        let doc = Document::from_value(b"k", b"v");
+        let encoded = doc.encode();
+        assert!(Document::decode(&encoded[..encoded.len() - 1]).is_err());
+        assert!(Document::decode(&[1, 2, 3]).is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! Criterion micro-benchmarks for the substrate components: skiplist,
+//! bloom filter, CRC32C, MurmurHash guard selection, WAL append and sstable
+//! build/read. These complement the per-figure binaries in `src/bin/`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::path::Path;
+use std::sync::Arc;
+
+use pebblesdb_bloom::BloomFilterPolicy;
+use pebblesdb_common::hash::murmur3_32;
+use pebblesdb_common::key::{encode_internal_key, ValueType};
+use pebblesdb_common::{crc32c, ReadOptions, StoreOptions};
+use pebblesdb_env::{Env, MemEnv};
+use pebblesdb_skiplist::MemTable;
+use pebblesdb_sstable::{Table, TableBuilder};
+use pebblesdb_wal::LogWriter;
+
+fn bench_skiplist(c: &mut Criterion) {
+    c.bench_function("skiplist/memtable_insert_1k", |b| {
+        b.iter_batched(
+            MemTable::new,
+            |mut mem| {
+                for i in 0..1000u64 {
+                    mem.add(i, ValueType::Value, format!("key{i:08}").as_bytes(), &[0u8; 100]);
+                }
+                mem
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let mut mem = MemTable::new();
+    for i in 0..10_000u64 {
+        mem.add(i, ValueType::Value, format!("key{i:08}").as_bytes(), &[0u8; 100]);
+    }
+    c.bench_function("skiplist/memtable_get", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 10_000;
+            let key = pebblesdb_common::key::LookupKey::new(
+                format!("key{i:08}").as_bytes(),
+                u64::MAX >> 8,
+            );
+            std::hint::black_box(mem.get(&key))
+        })
+    });
+}
+
+fn bench_hashes_and_filters(c: &mut Criterion) {
+    let keys: Vec<Vec<u8>> = (0..10_000).map(|i| format!("user{i:012}").into_bytes()).collect();
+
+    c.bench_function("hash/murmur3_guard_selection", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            std::hint::black_box(murmur3_32(&keys[i], 0x9747_b28c).trailing_ones())
+        })
+    });
+
+    c.bench_function("hash/crc32c_4k", |b| {
+        let block = vec![0xabu8; 4096];
+        b.iter(|| std::hint::black_box(crc32c::crc32c(&block)))
+    });
+
+    let policy = BloomFilterPolicy::new(10);
+    let filter = policy.create_filter(&keys);
+    c.bench_function("bloom/build_10k_keys", |b| {
+        b.iter(|| std::hint::black_box(policy.create_filter(&keys)))
+    });
+    c.bench_function("bloom/lookup", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            std::hint::black_box(policy.key_may_match(&keys[i], &filter))
+        })
+    });
+}
+
+fn bench_wal(c: &mut Criterion) {
+    c.bench_function("wal/append_1k_records", |b| {
+        b.iter_batched(
+            || {
+                let env = MemEnv::new();
+                let file = env.new_writable_file(Path::new("/wal.log")).unwrap();
+                LogWriter::new(file)
+            },
+            |mut writer| {
+                for i in 0..1000u64 {
+                    writer.add_record(format!("record-{i}").as_bytes()).unwrap();
+                }
+                writer
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_sstable(c: &mut Criterion) {
+    let options = StoreOptions::default();
+    let env = MemEnv::new();
+
+    c.bench_function("sstable/build_5k_entries", |b| {
+        let mut run = 0u64;
+        b.iter(|| {
+            run += 1;
+            let path = format!("/bench-{run}.sst");
+            let file = env.new_writable_file(Path::new(&path)).unwrap();
+            let mut builder = TableBuilder::new(&options, file);
+            for i in 0..5000u64 {
+                let key = encode_internal_key(format!("key{i:010}").as_bytes(), 1, ValueType::Value);
+                builder.add(&key, &[0u8; 100]).unwrap();
+            }
+            std::hint::black_box(builder.finish().unwrap())
+        })
+    });
+
+    // Build one table for read benchmarks.
+    let path = Path::new("/read-bench.sst");
+    let file = env.new_writable_file(path).unwrap();
+    let mut builder = TableBuilder::new(&options, file);
+    for i in 0..10_000u64 {
+        let key = encode_internal_key(format!("key{i:010}").as_bytes(), 1, ValueType::Value);
+        builder.add(&key, &[0u8; 100]).unwrap();
+    }
+    let size = builder.finish().unwrap();
+    let table = Arc::new(
+        Table::open(
+            &options,
+            env.new_random_access_file(path).unwrap(),
+            size,
+            1,
+            None,
+        )
+        .unwrap(),
+    );
+    c.bench_function("sstable/point_get", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 6151) % 10_000;
+            let target =
+                encode_internal_key(format!("key{i:010}").as_bytes(), u64::MAX >> 8, ValueType::Value);
+            std::hint::black_box(table.get(&ReadOptions::default(), &target).unwrap())
+        })
+    });
+}
+
+criterion_group!(
+    name = components;
+    config = Criterion::default().sample_size(20);
+    targets = bench_skiplist, bench_hashes_and_filters, bench_wal, bench_sstable
+);
+criterion_main!(components);

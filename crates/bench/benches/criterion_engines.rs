@@ -1,0 +1,72 @@
+//! Criterion benchmarks comparing end-to-end engine operations: put, get and
+//! short range scans for PebblesDB and the HyperLevelDB-style baseline.
+//!
+//! These are per-operation latency views of the same comparison the
+//! per-figure binaries report as throughput; the expected shape is the
+//! paper's: PebblesDB's puts are cheaper (less compaction stall time behind
+//! them), gets are comparable, and short scans on a compacted store are
+//! somewhat more expensive.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+use pebblesdb_bench::workloads::{bench_key, bench_value};
+use pebblesdb_bench::{open_engine, EngineKind};
+use pebblesdb_common::KvStore;
+use pebblesdb_env::MemEnv;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn prepared_store(kind: EngineKind, keys: u64) -> Arc<dyn KvStore> {
+    let env = Arc::new(MemEnv::new());
+    let dir = std::path::PathBuf::from(format!("/criterion/{}", kind.name()));
+    let store = open_engine(kind, env, &dir, 16).expect("open engine");
+    let mut rng = StdRng::seed_from_u64(11);
+    for i in 0..keys {
+        store
+            .put(&bench_key(i), &bench_value(i, 256, &mut rng))
+            .expect("preload");
+    }
+    store.flush().expect("flush");
+    store
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let preload = 20_000u64;
+    for kind in [EngineKind::PebblesDb, EngineKind::HyperLevelDb] {
+        let store = prepared_store(kind, preload);
+        let mut rng = StdRng::seed_from_u64(77);
+
+        let mut group = c.benchmark_group(format!("engine/{}", kind.name()));
+        group.sample_size(30);
+
+        group.bench_function("put", |b| {
+            let mut i = preload;
+            b.iter(|| {
+                i += 1;
+                store
+                    .put(&bench_key(i % (preload * 2)), &bench_value(i, 256, &mut rng))
+                    .unwrap()
+            })
+        });
+
+        group.bench_function("get_hit", |b| {
+            b.iter(|| {
+                let k = rng.gen_range(0..preload);
+                std::hint::black_box(store.get(&bench_key(k)).unwrap())
+            })
+        });
+
+        group.bench_function("scan_20", |b| {
+            b.iter(|| {
+                let k = rng.gen_range(0..preload);
+                std::hint::black_box(store.scan(&bench_key(k), &[], 20).unwrap())
+            })
+        });
+
+        group.finish();
+    }
+}
+
+criterion_group!(engines, bench_engines);
+criterion_main!(engines);

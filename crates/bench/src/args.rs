@@ -1,0 +1,57 @@
+//! A tiny `--flag [value]` command-line parser for the benchmark binaries.
+
+use std::collections::HashMap;
+
+/// Parsed command-line flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments.
+    pub fn parse() -> Args {
+        Args::parse_from(std::env::args().collect())
+    }
+
+    /// Parses an explicit argument vector (first element is skipped).
+    pub fn parse_from(argv: Vec<String>) -> Args {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut iter = argv.into_iter().skip(1).peekable();
+        while let Some(arg) = iter.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                continue;
+            };
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    values.insert(name.to_string(), iter.next().expect("peeked"));
+                }
+                _ => flags.push(name.to_string()),
+            }
+        }
+        Args { values, flags }
+    }
+
+    /// Returns the integer value of `name`, or `default`.
+    pub fn get_u64(&self, name: &str, default: u64) -> u64 {
+        self.values
+            .get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Returns the string value of `name`, or `default`.
+    pub fn get_str(&self, name: &str, default: &str) -> String {
+        self.values
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Returns `true` if `--name` was passed without a value.
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}

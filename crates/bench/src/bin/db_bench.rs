@@ -1,0 +1,79 @@
+//! A `db_bench`-style driver: run any micro-benchmark against any engine.
+//!
+//! ```text
+//! cargo run --release -p pebblesdb-bench --bin db_bench -- \
+//!     --engine pebblesdb --benchmarks fillrandom,readrandom,seekrandom \
+//!     --keys 100000 --value-size 1024 --threads 1
+//! ```
+
+use std::sync::Arc;
+
+use pebblesdb_bench::report::{format_kops, format_mib, format_ratio};
+use pebblesdb_bench::{open_engine, Args, EngineKind, Report, Workload};
+use pebblesdb_bench::engines::open_bench_env;
+
+fn workload_from_name(name: &str) -> Option<Workload> {
+    match name {
+        "fillseq" => Some(Workload::FillSeq),
+        "fillrandom" => Some(Workload::FillRandom),
+        "overwrite" => Some(Workload::Overwrite),
+        "readrandom" => Some(Workload::ReadRandom),
+        "seekrandom" => Some(Workload::SeekRandom),
+        "rangequery" => Some(Workload::RangeQuery { nexts: 50 }),
+        "deleterandom" => Some(Workload::DeleteRandom),
+        "readwhilewriting" => Some(Workload::ReadWhileWriting),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let keys = args.get_u64("keys", 50_000);
+    let value_size = args.get_u64("value-size", 1024) as usize;
+    let threads = args.get_u64("threads", 1) as usize;
+    let scale = args.get_u64("scale-divisor", 16) as usize;
+    let engine = EngineKind::from_flag(&args.get_str("engine", "pebblesdb"))
+        .expect("unknown --engine (pebblesdb|pebblesdb-1|hyperleveldb|leveldb|rocksdb|btree)");
+    let benchmarks = args.get_str("benchmarks", "fillrandom,readrandom,seekrandom");
+
+    let (env, dir) = open_bench_env(&args.get_str("env", "mem"), engine, &args.get_str("dir", ""));
+    let store: Arc<_> = open_engine(engine, env, &dir, scale).expect("open engine");
+
+    let mut report = Report::new(
+        &format!("db_bench — {} ({keys} keys, {value_size} B values, {threads} threads)", engine.name()),
+        vec![
+            "benchmark".to_string(),
+            "KOps/s".to_string(),
+            "ops".to_string(),
+            "write IO".to_string(),
+            "read IO".to_string(),
+            "write amp".to_string(),
+        ],
+    );
+
+    for name in benchmarks.split(',') {
+        let Some(workload) = workload_from_name(name.trim()) else {
+            eprintln!("skipping unknown benchmark {name:?}");
+            continue;
+        };
+        let ops = match workload {
+            Workload::ReadRandom | Workload::SeekRandom | Workload::RangeQuery { .. } => keys / 2,
+            _ => keys,
+        }
+        .max(1);
+        let result = workload
+            .run(&store, ops, 16, value_size, threads)
+            .expect("run workload");
+        report.add_row(vec![
+            result.name.clone(),
+            format_kops(result.kops_per_second()),
+            result.operations.to_string(),
+            format_mib(result.bytes_written),
+            format_mib(result.bytes_read),
+            format_ratio(result.write_amplification()),
+        ]);
+        store.flush().expect("flush between benchmarks");
+    }
+    report.add_note("Figure 5.1(b) of the paper runs fillseq/fillrandom/readrandom/seekrandom/deleterandom with 16 B keys and 1 KiB values.");
+    report.print();
+}

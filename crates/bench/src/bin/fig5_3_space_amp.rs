@@ -1,0 +1,69 @@
+//! Figure 5.3: space amplification.
+//!
+//! Two runs per store: (1) insert N unique keys; (2) insert N/10 unique keys
+//! and update each of them 10 times. The paper finds all LSM-family stores
+//! within a few percent of each other for unique keys, and a small PebblesDB
+//! overhead (7.9 GB vs 7.1 GB) for the duplicate-heavy run because merging is
+//! delayed.
+
+use pebblesdb_bench::engines::open_bench_env;
+use pebblesdb_bench::report::{format_mib, format_ratio};
+use pebblesdb_bench::workloads::{bench_key, bench_value};
+use pebblesdb_bench::{open_engine, Args, EngineKind, Report};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::parse();
+    let keys = args.get_u64("keys", 100_000);
+    let value_size = args.get_u64("value-size", 128) as usize;
+    let scale = args.get_u64("scale-divisor", 32) as usize;
+
+    let mut report = Report::new(
+        &format!("Figure 5.3: space amplification ({keys} writes, {value_size} B values)"),
+        vec![
+            "store".to_string(),
+            "workload".to_string(),
+            "user data".to_string(),
+            "live on disk".to_string(),
+            "space amp".to_string(),
+        ],
+    );
+
+    for engine in [EngineKind::PebblesDb, EngineKind::HyperLevelDb, EngineKind::LevelDb, EngineKind::RocksDb] {
+        for unique in [true, false] {
+            let (env, dir) = open_bench_env(&args.get_str("env", "mem"), engine, &args.get_str("dir", ""));
+            let store = open_engine(engine, env, &dir, scale).expect("open engine");
+            let mut rng = StdRng::seed_from_u64(42);
+            if unique {
+                for i in 0..keys {
+                    store
+                        .put(&bench_key(i), &bench_value(i, value_size, &mut rng))
+                        .expect("put");
+                }
+            } else {
+                let distinct = (keys / 10).max(1);
+                for round in 0..10u64 {
+                    for i in 0..distinct {
+                        store
+                            .put(&bench_key(i), &bench_value(i + round, value_size, &mut rng))
+                            .expect("put");
+                    }
+                }
+            }
+            store.flush().expect("flush");
+            let stats = store.stats();
+            report.add_row(vec![
+                engine.name().to_string(),
+                if unique { "unique keys" } else { "10x duplicates" }.to_string(),
+                format_mib(stats.user_bytes_written),
+                format_mib(stats.disk_bytes_live),
+                format_ratio(stats.space_amplification()),
+            ]);
+        }
+    }
+
+    report.add_note("Paper: unique-key runs land within 2% of each other (~52 GB); with 10x duplicates PebblesDB uses 7.9 GB vs RocksDB 7.1 GB and LevelDB 7.8 GB.");
+    report.add_note("Expected shape: near-identical space for unique keys; a modest PebblesDB overhead (and well under the 10x user-data volume) for the duplicate run.");
+    report.print();
+}

@@ -1,0 +1,249 @@
+//! `db_bench`-style micro-benchmark workloads.
+//!
+//! These mirror the LevelDB `db_bench` operations the paper uses in Figure
+//! 5.1: sequential and random fills, random reads, random seeks (range-query
+//! starts), deletes, and the mixed read-while-writing workload used for the
+//! multi-threaded experiment.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pebblesdb_common::{KvStore, Result};
+
+/// The micro-benchmark operations of Figure 5.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Insert keys in ascending order.
+    FillSeq,
+    /// Insert keys in random order.
+    FillRandom,
+    /// Overwrite random existing keys.
+    Overwrite,
+    /// Point-read random keys.
+    ReadRandom,
+    /// Position an iterator at random keys (seek only, the paper's worst
+    /// case for PebblesDB).
+    SeekRandom,
+    /// Seek followed by a fixed number of `next()` calls.
+    RangeQuery {
+        /// Number of entries read after the seek.
+        nexts: usize,
+    },
+    /// Delete random keys.
+    DeleteRandom,
+    /// Half the threads read while the other half write.
+    ReadWhileWriting,
+}
+
+/// The outcome of one workload execution.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Workload label.
+    pub name: String,
+    /// Engine label.
+    pub engine: String,
+    /// Operations executed.
+    pub operations: u64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// For read workloads, how many keys were found.
+    pub found: Option<u64>,
+    /// Device bytes written during the workload.
+    pub bytes_written: u64,
+    /// Device bytes read during the workload.
+    pub bytes_read: u64,
+    /// User payload bytes handed to the store during the workload.
+    pub user_bytes: u64,
+}
+
+impl BenchResult {
+    /// Throughput in thousands of operations per second.
+    pub fn kops_per_second(&self) -> f64 {
+        if self.seconds == 0.0 {
+            0.0
+        } else {
+            self.operations as f64 / self.seconds / 1000.0
+        }
+    }
+
+    /// Write amplification over the measured interval.
+    pub fn write_amplification(&self) -> f64 {
+        if self.user_bytes == 0 {
+            0.0
+        } else {
+            self.bytes_written as f64 / self.user_bytes as f64
+        }
+    }
+}
+
+/// Formats benchmark keys exactly like `db_bench` (16-byte zero-padded).
+pub fn bench_key(index: u64) -> Vec<u8> {
+    format!("{index:016}").into_bytes()
+}
+
+/// Builds a pseudo-random value of `len` bytes for `index`.
+pub fn bench_value(index: u64, len: usize, rng: &mut impl Rng) -> Vec<u8> {
+    let mut value = Vec::with_capacity(len);
+    value.extend_from_slice(&index.to_le_bytes());
+    while value.len() < len {
+        value.push(rng.gen());
+    }
+    value.truncate(len);
+    value
+}
+
+impl Workload {
+    /// Display name of the workload.
+    pub fn name(&self) -> String {
+        match self {
+            Workload::FillSeq => "fillseq".to_string(),
+            Workload::FillRandom => "fillrandom".to_string(),
+            Workload::Overwrite => "overwrite".to_string(),
+            Workload::ReadRandom => "readrandom".to_string(),
+            Workload::SeekRandom => "seekrandom".to_string(),
+            Workload::RangeQuery { nexts } => format!("rangequery({nexts})"),
+            Workload::DeleteRandom => "deleterandom".to_string(),
+            Workload::ReadWhileWriting => "readwhilewriting".to_string(),
+        }
+    }
+
+    /// Runs `operations` operations against `store` with `threads` threads.
+    ///
+    /// `key_space` bounds the random key indices so read workloads hit data
+    /// written by an earlier fill; for fills it is the number of keys
+    /// inserted.
+    pub fn run(
+        &self,
+        store: &Arc<dyn KvStore>,
+        operations: u64,
+        _key_size: usize,
+        value_size: usize,
+        threads: usize,
+    ) -> Result<BenchResult> {
+        let threads = threads.max(1);
+        let stats_before = store.stats();
+        let start = Instant::now();
+        let found = AtomicU64::new(0);
+        let executed = AtomicU64::new(0);
+
+        std::thread::scope(|scope| -> Result<()> {
+            let mut handles = Vec::new();
+            for thread_id in 0..threads {
+                let store = Arc::clone(store);
+                let found = &found;
+                let executed = &executed;
+                let workload = *self;
+                handles.push(scope.spawn(move || -> Result<()> {
+                    let per_thread = operations / threads as u64;
+                    let mut rng = StdRng::seed_from_u64(0xbeef_0000 + thread_id as u64);
+                    for i in 0..per_thread {
+                        let global_index = thread_id as u64 * per_thread + i;
+                        workload.run_one(
+                            &store,
+                            global_index,
+                            operations,
+                            value_size,
+                            thread_id,
+                            threads,
+                            &mut rng,
+                            found,
+                        )?;
+                        executed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(())
+                }));
+            }
+            for handle in handles {
+                handle.join().expect("bench thread panicked")?;
+            }
+            Ok(())
+        })?;
+
+        let seconds = start.elapsed().as_secs_f64();
+        let stats_after = store.stats();
+        Ok(BenchResult {
+            name: self.name(),
+            engine: store.engine_name(),
+            operations: executed.load(Ordering::Relaxed),
+            seconds,
+            found: match self {
+                Workload::ReadRandom | Workload::ReadWhileWriting => {
+                    Some(found.load(Ordering::Relaxed))
+                }
+                _ => None,
+            },
+            bytes_written: stats_after
+                .bytes_written
+                .saturating_sub(stats_before.bytes_written),
+            bytes_read: stats_after
+                .bytes_read
+                .saturating_sub(stats_before.bytes_read),
+            user_bytes: stats_after
+                .user_bytes_written
+                .saturating_sub(stats_before.user_bytes_written),
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_one(
+        &self,
+        store: &Arc<dyn KvStore>,
+        index: u64,
+        key_space: u64,
+        value_size: usize,
+        thread_id: usize,
+        threads: usize,
+        rng: &mut StdRng,
+        found: &AtomicU64,
+    ) -> Result<()> {
+        let key_space = key_space.max(1);
+        match self {
+            Workload::FillSeq => {
+                let value = bench_value(index, value_size, rng);
+                store.put(&bench_key(index), &value)?;
+            }
+            Workload::FillRandom | Workload::Overwrite => {
+                let k = rng.gen_range(0..key_space);
+                let value = bench_value(k, value_size, rng);
+                store.put(&bench_key(k), &value)?;
+            }
+            Workload::ReadRandom => {
+                let k = rng.gen_range(0..key_space);
+                if store.get(&bench_key(k))?.is_some() {
+                    found.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Workload::SeekRandom => {
+                let k = rng.gen_range(0..key_space);
+                let _ = store.scan(&bench_key(k), &[], 1)?;
+            }
+            Workload::RangeQuery { nexts } => {
+                let k = rng.gen_range(0..key_space);
+                let _ = store.scan(&bench_key(k), &[], *nexts)?;
+            }
+            Workload::DeleteRandom => {
+                let k = rng.gen_range(0..key_space);
+                store.delete(&bench_key(k))?;
+            }
+            Workload::ReadWhileWriting => {
+                // Even threads read, odd threads write (at least one of each
+                // when threads >= 2).
+                if thread_id % 2 == 0 || threads == 1 {
+                    let k = rng.gen_range(0..key_space);
+                    if store.get(&bench_key(k))?.is_some() {
+                        found.fetch_add(1, Ordering::Relaxed);
+                    }
+                } else {
+                    let k = rng.gen_range(0..key_space);
+                    let value = bench_value(k, value_size, rng);
+                    store.put(&bench_key(k), &value)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}

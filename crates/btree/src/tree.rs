@@ -1,0 +1,387 @@
+//! The B+Tree store: tree operations over the pager, plus the [`KvStore`]
+//! implementation used by the benchmark harness.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use pebblesdb_common::counters::EngineCounters;
+use pebblesdb_common::filename::btree_pages_file_name;
+use pebblesdb_common::{Error, KvStore, Result, StoreOptions, StoreStats, WriteBatch};
+use pebblesdb_common::key::ValueType;
+use pebblesdb_env::Env;
+
+use crate::node::{Node, NO_PAGE};
+use crate::pager::Pager;
+use crate::PAGE_SIZE;
+
+/// Magic number stored in the meta page.
+const META_MAGIC: u64 = 0x6274_7265_655f_7067; // "btree_pg"
+/// Checkpoint after this many dirty operations (models a store that batches
+/// page write-back, like WiredTiger's periodic checkpoints).
+const CHECKPOINT_EVERY: u64 = 256;
+
+struct TreeInner {
+    pager: Pager,
+    root: u32,
+    ops_since_checkpoint: u64,
+}
+
+/// A persistent B+Tree key-value store.
+pub struct BTreeStore {
+    env: Arc<dyn Env>,
+    inner: Mutex<TreeInner>,
+    counters: EngineCounters,
+}
+
+impl BTreeStore {
+    /// Opens (creating if necessary) the store at `path`.
+    pub fn open(env: Arc<dyn Env>, path: &Path, options: StoreOptions) -> Result<BTreeStore> {
+        env.create_dir_all(path)?;
+        let pages_path = btree_pages_file_name(path, 1);
+        let mut pager = Pager::open(env.as_ref(), &pages_path, options.block_cache_capacity)?;
+
+        let root = if pager.num_pages() == 0 {
+            // Fresh store: page 0 is the meta page, page 1 the empty root.
+            let meta = pager.allocate();
+            debug_assert_eq!(meta, 0);
+            let root = pager.allocate();
+            pager.write_page(root, Node::empty_leaf().encode()?)?;
+            let mut tree = TreeInner {
+                pager,
+                root,
+                ops_since_checkpoint: 0,
+            };
+            Self::write_meta(&mut tree)?;
+            tree.pager.checkpoint()?;
+            return Ok(BTreeStore {
+                env,
+                inner: Mutex::new(tree),
+                counters: EngineCounters::new(),
+            });
+        } else {
+            let meta = pager.read_page(0)?;
+            let magic = u64::from_le_bytes(meta[..8].try_into().expect("meta page"));
+            if magic != META_MAGIC {
+                return Err(Error::corruption("bad b+tree meta page"));
+            }
+            u32::from_le_bytes(meta[8..12].try_into().expect("meta page"))
+        };
+
+        Ok(BTreeStore {
+            env,
+            inner: Mutex::new(TreeInner {
+                pager,
+                root,
+                ops_since_checkpoint: 0,
+            }),
+            counters: EngineCounters::new(),
+        })
+    }
+
+    fn write_meta(tree: &mut TreeInner) -> Result<()> {
+        let mut meta = vec![0u8; PAGE_SIZE];
+        meta[..8].copy_from_slice(&META_MAGIC.to_le_bytes());
+        meta[8..12].copy_from_slice(&tree.root.to_le_bytes());
+        tree.pager.write_page(0, meta)
+    }
+
+    /// Number of pages in the underlying file.
+    pub fn num_pages(&self) -> u32 {
+        self.inner.lock().pager.num_pages()
+    }
+
+    fn insert_entry(&self, tree: &mut TreeInner, key: &[u8], value: &[u8]) -> Result<()> {
+        if key.len() + value.len() + 64 > PAGE_SIZE {
+            return Err(Error::invalid_argument(
+                "entry too large for a b+tree page",
+            ));
+        }
+        let root = tree.root;
+        if let Some((split_key, right_page)) = Self::insert_recursive(tree, root, key, value)? {
+            // The root split: grow the tree by one level.
+            let new_root = tree.pager.allocate();
+            let node = Node::Internal {
+                keys: vec![split_key],
+                children: vec![root, right_page],
+            };
+            tree.pager.write_page(new_root, node.encode()?)?;
+            tree.root = new_root;
+            Self::write_meta(tree)?;
+        }
+        Ok(())
+    }
+
+    /// Inserts into the subtree rooted at `page`, returning the promoted key
+    /// and new right sibling if the node split.
+    fn insert_recursive(
+        tree: &mut TreeInner,
+        page: u32,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<Option<(Vec<u8>, u32)>> {
+        let node = Node::decode(&tree.pager.read_page(page)?)?;
+        match node {
+            Node::Leaf {
+                mut entries,
+                next_leaf,
+            } => {
+                match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    Ok(idx) => entries[idx].1 = value.to_vec(),
+                    Err(idx) => entries.insert(idx, (key.to_vec(), value.to_vec())),
+                }
+                let node = Node::Leaf { entries, next_leaf };
+                if !node.overflows() {
+                    tree.pager.write_page(page, node.encode()?)?;
+                    return Ok(None);
+                }
+                // Split the leaf in half; the right half moves to a new page.
+                let Node::Leaf { entries, next_leaf } = node else {
+                    unreachable!()
+                };
+                let mid = entries.len() / 2;
+                let right_entries = entries[mid..].to_vec();
+                let left_entries = entries[..mid].to_vec();
+                let split_key = right_entries[0].0.clone();
+                let right_page = tree.pager.allocate();
+                tree.pager.write_page(
+                    right_page,
+                    Node::Leaf {
+                        entries: right_entries,
+                        next_leaf,
+                    }
+                    .encode()?,
+                )?;
+                tree.pager.write_page(
+                    page,
+                    Node::Leaf {
+                        entries: left_entries,
+                        next_leaf: right_page,
+                    }
+                    .encode()?,
+                )?;
+                Ok(Some((split_key, right_page)))
+            }
+            Node::Internal {
+                mut keys,
+                mut children,
+            } => {
+                let idx = keys.partition_point(|k| k.as_slice() <= key);
+                let child = children[idx];
+                if let Some((split_key, right_page)) =
+                    Self::insert_recursive(tree, child, key, value)?
+                {
+                    keys.insert(idx, split_key);
+                    children.insert(idx + 1, right_page);
+                }
+                let node = Node::Internal { keys, children };
+                if !node.overflows() {
+                    tree.pager.write_page(page, node.encode()?)?;
+                    return Ok(None);
+                }
+                let Node::Internal { keys, children } = node else {
+                    unreachable!()
+                };
+                let mid = keys.len() / 2;
+                let promote = keys[mid].clone();
+                let right_keys = keys[mid + 1..].to_vec();
+                let right_children = children[mid + 1..].to_vec();
+                let left_keys = keys[..mid].to_vec();
+                let left_children = children[..mid + 1].to_vec();
+                let right_page = tree.pager.allocate();
+                tree.pager.write_page(
+                    right_page,
+                    Node::Internal {
+                        keys: right_keys,
+                        children: right_children,
+                    }
+                    .encode()?,
+                )?;
+                tree.pager.write_page(
+                    page,
+                    Node::Internal {
+                        keys: left_keys,
+                        children: left_children,
+                    }
+                    .encode()?,
+                )?;
+                Ok(Some((promote, right_page)))
+            }
+        }
+    }
+
+    /// Finds the leaf page that would contain `key`.
+    fn find_leaf(tree: &mut TreeInner, key: &[u8]) -> Result<u32> {
+        let mut page = tree.root;
+        loop {
+            let node = Node::decode(&tree.pager.read_page(page)?)?;
+            match node {
+                Node::Leaf { .. } => return Ok(page),
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|k| k.as_slice() <= key);
+                    page = children[idx];
+                }
+            }
+        }
+    }
+
+    fn maybe_checkpoint(&self, tree: &mut TreeInner) -> Result<()> {
+        tree.ops_since_checkpoint += 1;
+        if tree.ops_since_checkpoint >= CHECKPOINT_EVERY {
+            tree.ops_since_checkpoint = 0;
+            tree.pager.checkpoint()?;
+        }
+        Ok(())
+    }
+}
+
+impl KvStore for BTreeStore {
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        let mut tree = self.inner.lock();
+        self.insert_entry(&mut tree, key, value)?;
+        self.counters.add_user_bytes((key.len() + value.len()) as u64);
+        self.maybe_checkpoint(&mut tree)
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.counters.record_get();
+        let mut tree = self.inner.lock();
+        let leaf = Self::find_leaf(&mut tree, key)?;
+        let node = Node::decode(&tree.pager.read_page(leaf)?)?;
+        let Node::Leaf { entries, .. } = node else {
+            return Err(Error::corruption("expected leaf page"));
+        };
+        Ok(entries
+            .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+            .ok()
+            .map(|idx| entries[idx].1.clone()))
+    }
+
+    fn delete(&self, key: &[u8]) -> Result<()> {
+        let mut tree = self.inner.lock();
+        let leaf = Self::find_leaf(&mut tree, key)?;
+        let node = Node::decode(&tree.pager.read_page(leaf)?)?;
+        let Node::Leaf {
+            mut entries,
+            next_leaf,
+        } = node
+        else {
+            return Err(Error::corruption("expected leaf page"));
+        };
+        if let Ok(idx) = entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+            entries.remove(idx);
+            tree.pager
+                .write_page(leaf, Node::Leaf { entries, next_leaf }.encode()?)?;
+        }
+        self.counters.add_user_bytes(key.len() as u64);
+        self.maybe_checkpoint(&mut tree)
+    }
+
+    fn write(&self, batch: WriteBatch) -> Result<()> {
+        for record in batch.iter() {
+            let record = record?;
+            match record.value_type {
+                ValueType::Value => self.put(record.key, record.value)?,
+                ValueType::Deletion => self.delete(record.key)?,
+            }
+        }
+        Ok(())
+    }
+
+    fn scan(&self, start: &[u8], end: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.counters.record_seek();
+        let mut tree = self.inner.lock();
+        let mut out = Vec::new();
+        let mut page = Self::find_leaf(&mut tree, start)?;
+        loop {
+            let node = Node::decode(&tree.pager.read_page(page)?)?;
+            let Node::Leaf { entries, next_leaf } = node else {
+                return Err(Error::corruption("expected leaf page"));
+            };
+            for (key, value) in entries {
+                if key.as_slice() < start {
+                    continue;
+                }
+                if !end.is_empty() && key.as_slice() >= end {
+                    return Ok(out);
+                }
+                out.push((key, value));
+                if out.len() >= limit {
+                    return Ok(out);
+                }
+            }
+            if next_leaf == NO_PAGE {
+                return Ok(out);
+            }
+            page = next_leaf;
+        }
+    }
+
+    fn flush(&self) -> Result<()> {
+        let mut tree = self.inner.lock();
+        tree.ops_since_checkpoint = 0;
+        tree.pager.checkpoint()
+    }
+
+    fn stats(&self) -> StoreStats {
+        let io = self.env.io_stats().snapshot();
+        let tree = self.inner.lock();
+        StoreStats {
+            user_bytes_written: EngineCounters::load(&self.counters.user_bytes_written),
+            bytes_written: io.bytes_written,
+            bytes_read: io.bytes_read,
+            disk_bytes_live: u64::from(tree.pager.num_pages()) * PAGE_SIZE as u64,
+            num_files: 1,
+            compactions: 0,
+            compaction_micros: 0,
+            compaction_bytes_read: tree.pager.pages_read() * PAGE_SIZE as u64,
+            compaction_bytes_written: tree.pager.pages_written() * PAGE_SIZE as u64,
+            memory_usage_bytes: tree.pager.memory_usage() as u64,
+            gets: EngineCounters::load(&self.counters.gets),
+            seeks: EngineCounters::load(&self.counters.seeks),
+            write_stalls: 0,
+        }
+    }
+
+    fn engine_name(&self) -> String {
+        "BTree".to_string()
+    }
+
+    fn live_file_sizes(&self) -> Vec<u64> {
+        vec![u64::from(self.num_pages()) * PAGE_SIZE as u64]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebblesdb_env::MemEnv;
+
+    #[test]
+    fn sequential_and_reverse_inserts_balance() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let db = BTreeStore::open(env, Path::new("/bt"), StoreOptions::default()).unwrap();
+        for i in 0..1000u32 {
+            db.put(format!("a{i:06}").as_bytes(), b"1").unwrap();
+        }
+        for i in (0..1000u32).rev() {
+            db.put(format!("z{i:06}").as_bytes(), b"2").unwrap();
+        }
+        assert_eq!(db.get(b"a000500").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(db.get(b"z000500").unwrap(), Some(b"2".to_vec()));
+        assert!(db.num_pages() > 4);
+    }
+
+    #[test]
+    fn batch_writes_apply_in_order() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let db = BTreeStore::open(env, Path::new("/bt"), StoreOptions::default()).unwrap();
+        let mut batch = WriteBatch::new();
+        batch.put(b"k", b"v1");
+        batch.put(b"k", b"v2");
+        batch.delete(b"gone");
+        db.write(batch).unwrap();
+        assert_eq!(db.get(b"k").unwrap(), Some(b"v2".to_vec()));
+    }
+}

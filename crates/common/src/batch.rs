@@ -1,0 +1,287 @@
+//! Write batches: atomically applied groups of puts and deletes.
+//!
+//! The on-disk representation matches the LevelDB family so the write-ahead
+//! log payload is exactly a serialized batch:
+//!
+//! ```text
+//! sequence: fixed64          first sequence number of the batch
+//! count:    fixed32          number of records
+//! records:  record*
+//! record := kTypeValue    varstring(key) varstring(value)
+//!         | kTypeDeletion varstring(key)
+//! ```
+
+use crate::coding::{decode_fixed32, decode_fixed64, put_fixed32, put_fixed64, Decoder};
+use crate::coding::put_length_prefixed_slice;
+use crate::error::{Error, Result};
+use crate::key::{SequenceNumber, ValueType};
+
+/// The fixed-size batch header: 8-byte sequence plus 4-byte count.
+pub const BATCH_HEADER_SIZE: usize = 12;
+
+/// A re-orderable group of updates applied to a store atomically.
+#[derive(Clone, Debug)]
+pub struct WriteBatch {
+    rep: Vec<u8>,
+}
+
+impl Default for WriteBatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WriteBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        let mut rep = Vec::with_capacity(64);
+        put_fixed64(&mut rep, 0);
+        put_fixed32(&mut rep, 0);
+        WriteBatch { rep }
+    }
+
+    /// Reconstructs a batch from its serialized representation.
+    pub fn from_contents(contents: Vec<u8>) -> Result<Self> {
+        if contents.len() < BATCH_HEADER_SIZE {
+            return Err(Error::corruption("write batch too small"));
+        }
+        Ok(WriteBatch { rep: contents })
+    }
+
+    /// Adds a `put` of `key -> value` to the batch.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) {
+        self.set_count(self.count() + 1);
+        self.rep.push(ValueType::Value as u8);
+        put_length_prefixed_slice(&mut self.rep, key);
+        put_length_prefixed_slice(&mut self.rep, value);
+    }
+
+    /// Adds a deletion of `key` to the batch.
+    pub fn delete(&mut self, key: &[u8]) {
+        self.set_count(self.count() + 1);
+        self.rep.push(ValueType::Deletion as u8);
+        put_length_prefixed_slice(&mut self.rep, key);
+    }
+
+    /// Removes every record, returning the batch to its freshly-created state.
+    pub fn clear(&mut self) {
+        self.rep.truncate(0);
+        put_fixed64(&mut self.rep, 0);
+        put_fixed32(&mut self.rep, 0);
+    }
+
+    /// Number of records in the batch.
+    pub fn count(&self) -> u32 {
+        decode_fixed32(&self.rep[8..12])
+    }
+
+    /// Returns `true` if the batch holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// The sequence number assigned to the first record of the batch.
+    pub fn sequence(&self) -> SequenceNumber {
+        decode_fixed64(&self.rep[..8])
+    }
+
+    /// Sets the sequence number of the first record.
+    pub fn set_sequence(&mut self, seq: SequenceNumber) {
+        self.rep[..8].copy_from_slice(&seq.to_le_bytes());
+    }
+
+    /// The serialized representation (also the WAL payload).
+    pub fn contents(&self) -> &[u8] {
+        &self.rep
+    }
+
+    /// Approximate in-memory/on-log size of the batch in bytes.
+    pub fn approximate_size(&self) -> usize {
+        self.rep.len()
+    }
+
+    /// Appends all records of `other` to this batch.
+    pub fn append(&mut self, other: &WriteBatch) {
+        self.set_count(self.count() + other.count());
+        self.rep.extend_from_slice(&other.rep[BATCH_HEADER_SIZE..]);
+    }
+
+    /// Iterates over the records of the batch in insertion order.
+    ///
+    /// Each record is reported with the sequence number it will carry once
+    /// the batch's starting sequence is applied.
+    pub fn iter(&self) -> WriteBatchIter<'_> {
+        WriteBatchIter {
+            decoder: Decoder::new(&self.rep[BATCH_HEADER_SIZE..]),
+            next_sequence: self.sequence(),
+            remaining: self.count(),
+        }
+    }
+
+    /// Verifies the batch decodes cleanly, returning the record count.
+    pub fn verify(&self) -> Result<u32> {
+        let mut n = 0;
+        for record in self.iter() {
+            record?;
+            n += 1;
+        }
+        if n != self.count() {
+            return Err(Error::corruption(format!(
+                "write batch count mismatch: header says {}, found {}",
+                self.count(),
+                n
+            )));
+        }
+        Ok(n)
+    }
+
+    fn set_count(&mut self, count: u32) {
+        self.rep[8..12].copy_from_slice(&count.to_le_bytes());
+    }
+}
+
+/// A single decoded record within a [`WriteBatch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchRecord<'a> {
+    /// The sequence number this record is applied at.
+    pub sequence: SequenceNumber,
+    /// Whether this is a put or a delete.
+    pub value_type: ValueType,
+    /// The user key.
+    pub key: &'a [u8],
+    /// The value (empty for deletions).
+    pub value: &'a [u8],
+}
+
+/// Iterator over the records of a [`WriteBatch`].
+pub struct WriteBatchIter<'a> {
+    decoder: Decoder<'a>,
+    next_sequence: SequenceNumber,
+    remaining: u32,
+}
+
+impl<'a> Iterator for WriteBatchIter<'a> {
+    type Item = Result<BatchRecord<'a>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return if self.decoder.is_empty() {
+                None
+            } else {
+                Some(Err(Error::corruption("trailing bytes in write batch")))
+            };
+        }
+        if self.decoder.is_empty() {
+            self.remaining = 0;
+            return Some(Err(Error::corruption("write batch ended early")));
+        }
+        self.remaining -= 1;
+        let seq = self.next_sequence;
+        self.next_sequence += 1;
+        Some(self.decode_one(seq))
+    }
+}
+
+impl<'a> WriteBatchIter<'a> {
+    fn decode_one(&mut self, sequence: SequenceNumber) -> Result<BatchRecord<'a>> {
+        let tag = self.decoder.read_bytes(1)?[0];
+        let value_type = ValueType::from_u8(tag)
+            .ok_or_else(|| Error::corruption(format!("unknown write batch tag {tag}")))?;
+        let key = self.decoder.read_length_prefixed_slice()?;
+        let value = match value_type {
+            ValueType::Value => self.decoder.read_length_prefixed_slice()?,
+            ValueType::Deletion => &[],
+        };
+        Ok(BatchRecord {
+            sequence,
+            value_type,
+            key,
+            value,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_batch_has_no_records() {
+        let batch = WriteBatch::new();
+        assert_eq!(batch.count(), 0);
+        assert!(batch.is_empty());
+        assert_eq!(batch.iter().count(), 0);
+        assert_eq!(batch.verify().unwrap(), 0);
+    }
+
+    #[test]
+    fn puts_and_deletes_roundtrip() {
+        let mut batch = WriteBatch::new();
+        batch.put(b"alpha", b"1");
+        batch.delete(b"beta");
+        batch.put(b"gamma", b"3");
+        batch.set_sequence(100);
+
+        let records: Vec<_> = batch.iter().map(|r| r.unwrap()).collect();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].key, b"alpha");
+        assert_eq!(records[0].value, b"1");
+        assert_eq!(records[0].sequence, 100);
+        assert_eq!(records[0].value_type, ValueType::Value);
+        assert_eq!(records[1].key, b"beta");
+        assert_eq!(records[1].value_type, ValueType::Deletion);
+        assert_eq!(records[1].sequence, 101);
+        assert_eq!(records[2].sequence, 102);
+    }
+
+    #[test]
+    fn serialization_roundtrips_through_contents() {
+        let mut batch = WriteBatch::new();
+        batch.put(b"k", b"v");
+        batch.set_sequence(9);
+        let restored = WriteBatch::from_contents(batch.contents().to_vec()).unwrap();
+        assert_eq!(restored.count(), 1);
+        assert_eq!(restored.sequence(), 9);
+        let rec = restored.iter().next().unwrap().unwrap();
+        assert_eq!(rec.key, b"k");
+        assert_eq!(rec.value, b"v");
+    }
+
+    #[test]
+    fn append_merges_batches() {
+        let mut a = WriteBatch::new();
+        a.put(b"one", b"1");
+        let mut b = WriteBatch::new();
+        b.put(b"two", b"2");
+        b.delete(b"three");
+        a.append(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.verify().unwrap(), 3);
+    }
+
+    #[test]
+    fn clear_resets_batch() {
+        let mut batch = WriteBatch::new();
+        batch.put(b"k", b"v");
+        batch.set_sequence(55);
+        batch.clear();
+        assert_eq!(batch.count(), 0);
+        assert_eq!(batch.sequence(), 0);
+        assert_eq!(batch.contents().len(), BATCH_HEADER_SIZE);
+    }
+
+    #[test]
+    fn corrupt_count_is_detected() {
+        let mut batch = WriteBatch::new();
+        batch.put(b"k", b"v");
+        let mut contents = batch.contents().to_vec();
+        contents[8..12].copy_from_slice(&5u32.to_le_bytes());
+        let corrupt = WriteBatch::from_contents(contents).unwrap();
+        assert!(corrupt.verify().is_err());
+    }
+
+    #[test]
+    fn too_small_contents_rejected() {
+        assert!(WriteBatch::from_contents(vec![0u8; 4]).is_err());
+    }
+}

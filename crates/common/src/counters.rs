@@ -1,0 +1,96 @@
+//! Atomic operation counters shared by the storage engines.
+//!
+//! Both the baseline LSM engine and the FLSM engine update these counters on
+//! their hot paths; [`StoreStats`](crate::StoreStats) snapshots are assembled
+//! from them plus the environment's IO statistics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative engine-side counters (user bytes, compaction effort, stalls).
+#[derive(Debug, Default)]
+pub struct EngineCounters {
+    /// Bytes of user data (keys + values) accepted by the write path.
+    pub user_bytes_written: AtomicU64,
+    /// Number of get operations.
+    pub gets: AtomicU64,
+    /// Number of seek / range-query operations.
+    pub seeks: AtomicU64,
+    /// Number of write stalls (level-0 slowdown or stop).
+    pub write_stalls: AtomicU64,
+    /// Number of completed compactions (including memtable flushes).
+    pub compactions: AtomicU64,
+    /// Total microseconds spent compacting.
+    pub compaction_micros: AtomicU64,
+    /// Bytes read by compactions.
+    pub compaction_bytes_read: AtomicU64,
+    /// Bytes written by compactions.
+    pub compaction_bytes_written: AtomicU64,
+}
+
+impl EngineCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        EngineCounters::default()
+    }
+
+    /// Adds to the user-byte counter.
+    pub fn add_user_bytes(&self, n: u64) {
+        self.user_bytes_written.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one get.
+    pub fn record_get(&self) {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one seek.
+    pub fn record_seek(&self) {
+        self.seeks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one write stall.
+    pub fn record_stall(&self) {
+        self.write_stalls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a finished compaction.
+    pub fn record_compaction(&self, micros: u64, bytes_read: u64, bytes_written: u64) {
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        self.compaction_micros.fetch_add(micros, Ordering::Relaxed);
+        self.compaction_bytes_read
+            .fetch_add(bytes_read, Ordering::Relaxed);
+        self.compaction_bytes_written
+            .fetch_add(bytes_written, Ordering::Relaxed);
+    }
+
+    /// Loads a counter with relaxed ordering.
+    pub fn load(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_independently() {
+        let counters = EngineCounters::new();
+        counters.add_user_bytes(100);
+        counters.add_user_bytes(20);
+        counters.record_get();
+        counters.record_seek();
+        counters.record_stall();
+        counters.record_compaction(500, 1000, 2000);
+        counters.record_compaction(250, 10, 20);
+
+        assert_eq!(EngineCounters::load(&counters.user_bytes_written), 120);
+        assert_eq!(EngineCounters::load(&counters.gets), 1);
+        assert_eq!(EngineCounters::load(&counters.seeks), 1);
+        assert_eq!(EngineCounters::load(&counters.write_stalls), 1);
+        assert_eq!(EngineCounters::load(&counters.compactions), 2);
+        assert_eq!(EngineCounters::load(&counters.compaction_micros), 750);
+        assert_eq!(EngineCounters::load(&counters.compaction_bytes_read), 1010);
+        assert_eq!(EngineCounters::load(&counters.compaction_bytes_written), 2020);
+    }
+}

@@ -1,0 +1,95 @@
+//! Software CRC32C (Castagnoli) implementation.
+//!
+//! The write-ahead log and sstable block trailers checksum their payloads
+//! with CRC32C, masked the same way LevelDB masks stored checksums so that a
+//! CRC of data that itself embeds CRCs does not degrade.
+
+/// The Castagnoli polynomial in reversed bit order.
+const POLY: u32 = 0x82f6_3b78;
+
+/// Lookup table for byte-at-a-time CRC computation, built at first use.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                if crc & 1 != 0 {
+                    crc = (crc >> 1) ^ POLY;
+                } else {
+                    crc >>= 1;
+                }
+            }
+            *entry = crc;
+        }
+        table
+    })
+}
+
+/// Computes the CRC32C of `data`.
+pub fn crc32c(data: &[u8]) -> u32 {
+    extend(0, data)
+}
+
+/// Extends a CRC computed over some data with additional bytes.
+pub fn extend(crc: u32, data: &[u8]) -> u32 {
+    let table = table();
+    let mut crc = !crc;
+    for &byte in data {
+        crc = table[((crc ^ u32::from(byte)) & 0xff) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+const MASK_DELTA: u32 = 0xa282_ead8;
+
+/// Masks a CRC before storing it on disk.
+///
+/// Storing raw CRCs of data that contains embedded CRCs reduces their
+/// error-detection power; the rotation-plus-constant mask avoids that.
+pub fn mask(crc: u32) -> u32 {
+    crc.rotate_right(15).wrapping_add(MASK_DELTA)
+}
+
+/// Reverses [`mask`].
+pub fn unmask(masked: u32) -> u32 {
+    masked.wrapping_sub(MASK_DELTA).rotate_left(15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC32C test vectors (RFC 3720 appendix B.4).
+        assert_eq!(crc32c(&[0u8; 32]), 0x8a91_36aa);
+        assert_eq!(crc32c(&[0xffu8; 32]), 0x62a8_ab43);
+        let ascending: Vec<u8> = (0u8..32).collect();
+        assert_eq!(crc32c(&ascending), 0x46dd_794e);
+        assert_eq!(crc32c(b"123456789"), 0xe306_9283);
+    }
+
+    #[test]
+    fn extend_matches_full_computation() {
+        let data = b"hello world, this is pebblesdb";
+        let split = 11;
+        let partial = crc32c(&data[..split]);
+        assert_eq!(extend(partial, &data[split..]), crc32c(data));
+    }
+
+    #[test]
+    fn mask_roundtrip_and_differs() {
+        let crc = crc32c(b"foo");
+        assert_ne!(mask(crc), crc);
+        assert_eq!(unmask(mask(crc)), crc);
+    }
+
+    #[test]
+    fn different_inputs_have_different_crcs() {
+        assert_ne!(crc32c(b"a"), crc32c(b"b"));
+        assert_ne!(crc32c(b"foo"), crc32c(b"foo\0"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Error and result types shared by every crate in the workspace.
+
+use std::fmt;
+use std::io;
+use std::sync::Arc;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// The error type returned by every fallible storage operation.
+///
+/// The variants mirror the status codes of LevelDB-family stores: IO errors
+/// bubble up from the [`Env`](https://docs.rs/pebblesdb-env) layer,
+/// `Corruption` indicates on-disk data failed a checksum or format check, and
+/// `InvalidArgument` flags caller mistakes (for example opening a database
+/// directory that does not exist with `create_if_missing = false`).
+#[derive(Debug, Clone)]
+pub enum Error {
+    /// The requested key was not found.
+    NotFound,
+    /// On-disk data is malformed or failed a checksum.
+    Corruption(String),
+    /// The caller passed an argument the store cannot honour.
+    InvalidArgument(String),
+    /// An operation was attempted on a database that is shutting down.
+    ShuttingDown,
+    /// The underlying environment reported an IO error.
+    Io(Arc<io::Error>),
+    /// Any other internal error.
+    Internal(String),
+}
+
+impl Error {
+    /// Creates a corruption error with the given message.
+    pub fn corruption(msg: impl Into<String>) -> Self {
+        Error::Corruption(msg.into())
+    }
+
+    /// Creates an invalid-argument error with the given message.
+    pub fn invalid_argument(msg: impl Into<String>) -> Self {
+        Error::InvalidArgument(msg.into())
+    }
+
+    /// Creates an internal error with the given message.
+    pub fn internal(msg: impl Into<String>) -> Self {
+        Error::Internal(msg.into())
+    }
+
+    /// Returns `true` if this error is [`Error::NotFound`].
+    pub fn is_not_found(&self) -> bool {
+        matches!(self, Error::NotFound)
+    }
+
+    /// Returns `true` if this error indicates corruption.
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, Error::Corruption(_))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NotFound => write!(f, "not found"),
+            Error::Corruption(msg) => write!(f, "corruption: {msg}"),
+            Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            Error::ShuttingDown => write!(f, "shutting down"),
+            Error::Io(err) => write!(f, "io error: {err}"),
+            Error::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(err) => Some(err.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(err: io::Error) -> Self {
+        Error::Io(Arc::new(err))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(Error::NotFound.to_string(), "not found");
+        assert_eq!(
+            Error::corruption("bad block").to_string(),
+            "corruption: bad block"
+        );
+        assert_eq!(
+            Error::invalid_argument("no such db").to_string(),
+            "invalid argument: no such db"
+        );
+        assert_eq!(
+            Error::internal("oops").to_string(),
+            "internal error: oops"
+        );
+    }
+
+    #[test]
+    fn io_errors_convert_and_expose_source() {
+        let err: Error = io::Error::new(io::ErrorKind::Other, "boom").into();
+        assert!(err.to_string().contains("boom"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn predicates_match_variants() {
+        assert!(Error::NotFound.is_not_found());
+        assert!(!Error::NotFound.is_corruption());
+        assert!(Error::corruption("x").is_corruption());
+        assert!(!Error::corruption("x").is_not_found());
+    }
+}

@@ -1,0 +1,141 @@
+//! Hash functions used by bloom filters and FLSM guard selection.
+//!
+//! The paper's PebblesDB implementation selects guards by hashing every
+//! inserted key with MurmurHash and examining trailing bits of the hash
+//! (section 4.4 of the paper); the same scheme is used here.
+
+/// MurmurHash3 x86 32-bit.
+///
+/// This is the algorithm the paper cites for guard selection. It is cheap,
+/// well distributed and deterministic across platforms, which matters because
+/// guard placement is persisted on disk.
+pub fn murmur3_32(data: &[u8], seed: u32) -> u32 {
+    const C1: u32 = 0xcc9e_2d51;
+    const C2: u32 = 0x1b87_3593;
+
+    let mut h1 = seed;
+    let chunks = data.chunks_exact(4);
+    let tail = chunks.remainder();
+
+    for chunk in chunks {
+        let mut k1 = u32::from_le_bytes(chunk.try_into().expect("chunk of 4"));
+        k1 = k1.wrapping_mul(C1);
+        k1 = k1.rotate_left(15);
+        k1 = k1.wrapping_mul(C2);
+        h1 ^= k1;
+        h1 = h1.rotate_left(13);
+        h1 = h1.wrapping_mul(5).wrapping_add(0xe654_6b64);
+    }
+
+    let mut k1: u32 = 0;
+    if !tail.is_empty() {
+        for (i, &byte) in tail.iter().enumerate() {
+            k1 |= u32::from(byte) << (8 * i);
+        }
+        k1 = k1.wrapping_mul(C1);
+        k1 = k1.rotate_left(15);
+        k1 = k1.wrapping_mul(C2);
+        h1 ^= k1;
+    }
+
+    h1 ^= data.len() as u32;
+    h1 ^= h1 >> 16;
+    h1 = h1.wrapping_mul(0x85eb_ca6b);
+    h1 ^= h1 >> 13;
+    h1 = h1.wrapping_mul(0xc2b2_ae35);
+    h1 ^= h1 >> 16;
+    h1
+}
+
+/// The LevelDB-style hash used by the bloom filter policy.
+pub fn bloom_hash(data: &[u8]) -> u32 {
+    hash_seeded(data, 0xbc9f_1d34)
+}
+
+/// A simple multiplicative byte hash with a caller-provided seed.
+pub fn hash_seeded(data: &[u8], seed: u32) -> u32 {
+    const M: u32 = 0xc6a4_a793;
+    const R: u32 = 24;
+    let mut h = seed ^ (data.len() as u32).wrapping_mul(M);
+
+    let chunks = data.chunks_exact(4);
+    let tail = chunks.remainder();
+    for chunk in chunks {
+        let w = u32::from_le_bytes(chunk.try_into().expect("chunk of 4"));
+        h = h.wrapping_add(w);
+        h = h.wrapping_mul(M);
+        h ^= h >> 16;
+    }
+    match tail.len() {
+        3 => {
+            h = h.wrapping_add(u32::from(tail[2]) << 16);
+            h = h.wrapping_add(u32::from(tail[1]) << 8);
+            h = h.wrapping_add(u32::from(tail[0]));
+            h = h.wrapping_mul(M);
+            h ^= h >> R;
+        }
+        2 => {
+            h = h.wrapping_add(u32::from(tail[1]) << 8);
+            h = h.wrapping_add(u32::from(tail[0]));
+            h = h.wrapping_mul(M);
+            h ^= h >> R;
+        }
+        1 => {
+            h = h.wrapping_add(u32::from(tail[0]));
+            h = h.wrapping_mul(M);
+            h ^= h >> R;
+        }
+        _ => {}
+    }
+    h
+}
+
+/// Counts the number of consecutive set bits starting from the least
+/// significant bit of `hash`.
+///
+/// Guard selection asks "does this key's hash end in at least `n` set bits?";
+/// exposing the trailing-ones count lets the engine derive, in one call, the
+/// topmost (smallest-numbered) level at which a key becomes a guard.
+pub fn trailing_ones(hash: u32) -> u32 {
+    hash.trailing_ones()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn murmur3_known_vectors() {
+        // Reference vectors for MurmurHash3 x86 32-bit.
+        assert_eq!(murmur3_32(b"", 0), 0);
+        assert_eq!(murmur3_32(b"", 1), 0x514e_28b7);
+        assert_eq!(murmur3_32(b"abc", 0), 0xb3dd_93fa);
+        assert_eq!(
+            murmur3_32(b"The quick brown fox jumps over the lazy dog", 0x9747b28c),
+            0x2fa8_26cd
+        );
+    }
+
+    #[test]
+    fn murmur3_is_deterministic_and_seed_sensitive() {
+        let a = murmur3_32(b"pebbles", 7);
+        assert_eq!(a, murmur3_32(b"pebbles", 7));
+        assert_ne!(a, murmur3_32(b"pebbles", 8));
+    }
+
+    #[test]
+    fn bloom_hash_spreads_similar_keys() {
+        let h1 = bloom_hash(b"key-000001");
+        let h2 = bloom_hash(b"key-000002");
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn trailing_ones_counts_lsb_runs() {
+        assert_eq!(trailing_ones(0b0), 0);
+        assert_eq!(trailing_ones(0b1), 1);
+        assert_eq!(trailing_ones(0b0111), 3);
+        assert_eq!(trailing_ones(0b1011), 2);
+        assert_eq!(trailing_ones(u32::MAX), 32);
+    }
+}

@@ -1,0 +1,38 @@
+//! Shared plumbing for the PebblesDB workspace.
+//!
+//! This crate contains the pieces that every storage engine in the workspace
+//! (the FLSM-based [`pebblesdb`] engine, the baseline leveled LSM engine and
+//! the B+Tree engine) agrees on:
+//!
+//! * the internal key encoding and its ordering ([`key`]),
+//! * variable-length integer and fixed-width integer coding ([`coding`]),
+//! * CRC32C checksums ([`crc32c`]) and MurmurHash3 ([`hash`]),
+//! * the write batch format ([`batch`]),
+//! * store options and presets ([`options`]),
+//! * the iterator abstraction ([`iterator`]),
+//! * the [`store::KvStore`] trait that the benchmark harness and the
+//!   application layers drive generically, and
+//! * database file naming conventions ([`filename`]).
+//!
+//! [`pebblesdb`]: https://www.cs.utexas.edu/~vijay/papers/sosp17-pebblesdb.pdf
+
+pub mod batch;
+pub mod coding;
+pub mod counters;
+pub mod crc32c;
+pub mod error;
+pub mod filename;
+pub mod hash;
+pub mod iterator;
+pub mod key;
+pub mod options;
+pub mod store;
+
+pub use batch::WriteBatch;
+pub use error::{Error, Result};
+pub use iterator::DbIterator;
+pub use key::{
+    InternalKey, ParsedInternalKey, SequenceNumber, ValueType, MAX_SEQUENCE_NUMBER,
+};
+pub use options::{ReadOptions, StoreOptions, StorePreset, WriteOptions};
+pub use store::{KvStore, StoreStats};

@@ -1,0 +1,318 @@
+//! Store configuration options and the presets used in the evaluation.
+//!
+//! The paper compares PebblesDB against LevelDB, HyperLevelDB and RocksDB,
+//! which differ mainly in memtable size, level-0 back-pressure thresholds and
+//! compaction aggressiveness (section 5.1 of the paper). [`StorePreset`]
+//! captures those configurations so the benchmark harness can request "run
+//! this workload with RocksDB-style parameters" for any engine.
+
+use crate::key::SequenceNumber;
+
+/// Which evaluated key-value store a configuration models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorePreset {
+    /// Google LevelDB defaults: 4 MiB memtable, level-0 slowdown 8 / stop 12.
+    LevelDb,
+    /// HyperLevelDB defaults: LevelDB sizes with more eager compaction.
+    HyperLevelDb,
+    /// RocksDB defaults: 64 MiB memtable, level-0 slowdown 20 / stop 24,
+    /// multi-threaded compaction.
+    RocksDb,
+    /// PebblesDB defaults (FLSM engine with guards).
+    PebblesDb,
+    /// PebblesDB with `max_sstables_per_guard = 1`, which degenerates to
+    /// LSM-like behaviour (the "PebblesDB-1" series in Figure 5.1d).
+    PebblesDb1,
+}
+
+impl StorePreset {
+    /// A short human-readable name used in benchmark tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            StorePreset::LevelDb => "LevelDB",
+            StorePreset::HyperLevelDb => "HyperLevelDB",
+            StorePreset::RocksDb => "RocksDB",
+            StorePreset::PebblesDb => "PebblesDB",
+            StorePreset::PebblesDb1 => "PebblesDB-1",
+        }
+    }
+}
+
+/// Configuration shared by every engine in the workspace.
+///
+/// The FLSM-specific knobs (`max_sstables_per_guard`, guard-selection bits,
+/// parallel seeks, ...) are ignored by the baseline LSM and B+Tree engines.
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Create the database directory if it does not exist.
+    pub create_if_missing: bool,
+    /// Fail `open` if the database already exists.
+    pub error_if_exists: bool,
+    /// Verify checksums and fail loudly on any sign of corruption.
+    pub paranoid_checks: bool,
+
+    /// Size (bytes) a memtable may reach before being flushed to level 0.
+    pub write_buffer_size: usize,
+    /// Target size (bytes) of an sstable data block.
+    pub block_size: usize,
+    /// Number of entries between restart points in a data block.
+    pub block_restart_interval: usize,
+    /// Capacity (bytes) of the block cache shared by all sstables.
+    pub block_cache_capacity: usize,
+    /// Number of open sstable readers kept in the table cache.
+    pub max_open_files: usize,
+    /// Bits per key for the sstable-level bloom filter (0 disables filters).
+    pub bloom_bits_per_key: usize,
+
+    /// Number of on-disk levels (level 0 included).
+    pub max_levels: usize,
+    /// Number of level-0 files that triggers a compaction.
+    pub level0_compaction_trigger: usize,
+    /// Number of level-0 files at which writes are throttled.
+    pub level0_slowdown_writes_trigger: usize,
+    /// Number of level-0 files at which writes stop until compaction catches
+    /// up.
+    pub level0_stop_writes_trigger: usize,
+    /// Target size (bytes) of an individual sstable produced by compaction.
+    pub max_file_size: usize,
+    /// Maximum total bytes for level 1; deeper levels multiply by
+    /// [`StoreOptions::level_size_multiplier`].
+    pub base_level_bytes: u64,
+    /// Growth factor between consecutive level size budgets.
+    pub level_size_multiplier: u64,
+    /// Number of background compaction threads.
+    pub compaction_threads: usize,
+
+    /// FLSM: maximum sstables a guard may hold before it must be compacted.
+    pub max_sstables_per_guard: usize,
+    /// FLSM: number of trailing hash bits that must be set for a key to be a
+    /// guard at level 1 (section 4.4 of the paper, default 27 in the paper
+    /// for 100M+ keys; scaled down here for laptop-scale datasets).
+    pub top_level_bits: u32,
+    /// FLSM: bits of relaxation per level when testing guard membership.
+    pub bit_decrement: u32,
+    /// FLSM: consecutive seeks that trigger seek-based compaction.
+    pub seek_compaction_threshold: usize,
+    /// FLSM: compact level `i` into `i+1` when `size(i) >= ratio *
+    /// size(i+1)`.
+    pub aggressive_compaction_ratio: f64,
+    /// FLSM: threads used for parallel last-level seeks.
+    pub parallel_seek_threads: usize,
+    /// FLSM: rewrite into the second-highest level instead of merging when a
+    /// last-level merge would cost this many times more IO.
+    pub last_level_merge_io_factor: f64,
+    /// FLSM: attach a bloom filter to every sstable (PebblesDB optimization).
+    pub enable_sstable_bloom: bool,
+    /// FLSM: position last-level sstable iterators with a thread pool.
+    pub enable_parallel_seeks: bool,
+    /// FLSM: enable the consecutive-seek compaction trigger.
+    pub enable_seek_compaction: bool,
+    /// FLSM: enable aggressive whole-level compaction when levels are close
+    /// in size.
+    pub enable_aggressive_compaction: bool,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            create_if_missing: true,
+            error_if_exists: false,
+            paranoid_checks: false,
+
+            write_buffer_size: 4 << 20,
+            block_size: 4096,
+            block_restart_interval: 16,
+            block_cache_capacity: 8 << 20,
+            max_open_files: 1000,
+            bloom_bits_per_key: 10,
+
+            max_levels: 7,
+            level0_compaction_trigger: 4,
+            level0_slowdown_writes_trigger: 8,
+            level0_stop_writes_trigger: 12,
+            max_file_size: 2 << 20,
+            base_level_bytes: 10 << 20,
+            level_size_multiplier: 10,
+            compaction_threads: 1,
+
+            max_sstables_per_guard: 8,
+            top_level_bits: 14,
+            bit_decrement: 2,
+            seek_compaction_threshold: 10,
+            aggressive_compaction_ratio: 0.25,
+            parallel_seek_threads: 4,
+            last_level_merge_io_factor: 25.0,
+            enable_sstable_bloom: true,
+            enable_parallel_seeks: true,
+            enable_seek_compaction: true,
+            enable_aggressive_compaction: true,
+        }
+    }
+}
+
+impl StoreOptions {
+    /// Returns the options the paper uses for the given store preset.
+    pub fn with_preset(preset: StorePreset) -> Self {
+        let mut opts = StoreOptions::default();
+        match preset {
+            StorePreset::LevelDb => {
+                opts.write_buffer_size = 4 << 20;
+                opts.level0_slowdown_writes_trigger = 8;
+                opts.level0_stop_writes_trigger = 12;
+                opts.compaction_threads = 1;
+            }
+            StorePreset::HyperLevelDb => {
+                opts.write_buffer_size = 4 << 20;
+                opts.level0_slowdown_writes_trigger = 8;
+                opts.level0_stop_writes_trigger = 12;
+                opts.compaction_threads = 1;
+            }
+            StorePreset::RocksDb => {
+                opts.write_buffer_size = 64 << 20;
+                opts.level0_compaction_trigger = 4;
+                opts.level0_slowdown_writes_trigger = 20;
+                opts.level0_stop_writes_trigger = 24;
+                opts.compaction_threads = 4;
+            }
+            StorePreset::PebblesDb => {}
+            StorePreset::PebblesDb1 => {
+                opts.max_sstables_per_guard = 1;
+            }
+        }
+        opts
+    }
+
+    /// Scales the size-related knobs down by `factor`, keeping their ratios.
+    ///
+    /// The paper runs with datasets several times larger than RAM; the bench
+    /// harness uses this to exercise the same level structure with
+    /// laptop-scale datasets (e.g. `scale_down(16)` turns the 4 MiB memtable
+    /// into 256 KiB so a 100k-key run still produces multi-level trees).
+    pub fn scale_down(mut self, factor: usize) -> Self {
+        let factor = factor.max(1);
+        self.write_buffer_size = (self.write_buffer_size / factor).max(32 << 10);
+        self.max_file_size = (self.max_file_size / factor).max(32 << 10);
+        self.base_level_bytes = (self.base_level_bytes / factor as u64).max(128 << 10);
+        self.block_cache_capacity = (self.block_cache_capacity / factor).max(64 << 10);
+        self
+    }
+
+    /// The maximum total byte budget for a level.
+    ///
+    /// Level 0 is governed by file count rather than bytes; levels 1 and
+    /// deeper grow geometrically.
+    pub fn max_bytes_for_level(&self, level: usize) -> u64 {
+        if level == 0 {
+            return self.base_level_bytes;
+        }
+        let mut size = self.base_level_bytes;
+        for _ in 1..level {
+            size = size.saturating_mul(self.level_size_multiplier);
+        }
+        size
+    }
+
+    /// Number of trailing set bits a key hash needs to become a guard at
+    /// `level` (levels are 1-based for guards; level 0 has no guards).
+    pub fn guard_bits_for_level(&self, level: usize) -> u32 {
+        let relax = self.bit_decrement.saturating_mul(level.saturating_sub(1) as u32);
+        self.top_level_bits.saturating_sub(relax).max(1)
+    }
+}
+
+/// Options applied to individual read operations.
+#[derive(Debug, Clone)]
+pub struct ReadOptions {
+    /// Verify block checksums on every read.
+    pub verify_checksums: bool,
+    /// Insert blocks read by this operation into the block cache.
+    pub fill_cache: bool,
+    /// Read as of this sequence number; `None` reads the latest data.
+    pub snapshot: Option<SequenceNumber>,
+}
+
+impl Default for ReadOptions {
+    fn default() -> Self {
+        ReadOptions {
+            verify_checksums: false,
+            fill_cache: true,
+            snapshot: None,
+        }
+    }
+}
+
+/// Options applied to individual write operations.
+#[derive(Debug, Clone, Default)]
+pub struct WriteOptions {
+    /// Force the write-ahead log to stable storage before acknowledging.
+    pub sync: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_parameters() {
+        let hyper = StoreOptions::with_preset(StorePreset::HyperLevelDb);
+        assert_eq!(hyper.write_buffer_size, 4 << 20);
+        assert_eq!(hyper.level0_slowdown_writes_trigger, 8);
+        assert_eq!(hyper.level0_stop_writes_trigger, 12);
+
+        let rocks = StoreOptions::with_preset(StorePreset::RocksDb);
+        assert_eq!(rocks.write_buffer_size, 64 << 20);
+        assert_eq!(rocks.level0_slowdown_writes_trigger, 20);
+        assert_eq!(rocks.level0_stop_writes_trigger, 24);
+        assert!(rocks.compaction_threads > 1);
+
+        let pebbles1 = StoreOptions::with_preset(StorePreset::PebblesDb1);
+        assert_eq!(pebbles1.max_sstables_per_guard, 1);
+    }
+
+    #[test]
+    fn level_budgets_grow_geometrically() {
+        let opts = StoreOptions::default();
+        assert_eq!(opts.max_bytes_for_level(1), opts.base_level_bytes);
+        assert_eq!(
+            opts.max_bytes_for_level(2),
+            opts.base_level_bytes * opts.level_size_multiplier
+        );
+        assert!(opts.max_bytes_for_level(4) > opts.max_bytes_for_level(3));
+    }
+
+    #[test]
+    fn guard_bits_relax_with_depth() {
+        let opts = StoreOptions::default();
+        let l1 = opts.guard_bits_for_level(1);
+        let l2 = opts.guard_bits_for_level(2);
+        let l3 = opts.guard_bits_for_level(3);
+        assert_eq!(l1, opts.top_level_bits);
+        assert_eq!(l1 - l2, opts.bit_decrement);
+        assert_eq!(l2 - l3, opts.bit_decrement);
+        // Never relaxes to zero bits.
+        assert!(opts.guard_bits_for_level(100) >= 1);
+    }
+
+    #[test]
+    fn scale_down_preserves_floors() {
+        let opts = StoreOptions::default().scale_down(1_000_000);
+        assert!(opts.write_buffer_size >= 32 << 10);
+        assert!(opts.max_file_size >= 32 << 10);
+        assert!(opts.base_level_bytes >= 128 << 10);
+    }
+
+    #[test]
+    fn preset_names_are_unique() {
+        let names = [
+            StorePreset::LevelDb.name(),
+            StorePreset::HyperLevelDb.name(),
+            StorePreset::RocksDb.name(),
+            StorePreset::PebblesDb.name(),
+            StorePreset::PebblesDb1.name(),
+        ];
+        let mut dedup = names.to_vec();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

@@ -1,0 +1,140 @@
+//! The engine-agnostic key-value store interface.
+//!
+//! The benchmark harness, the YCSB runner and the application layers operate
+//! on `dyn KvStore` so the same workload can be pointed at PebblesDB, the
+//! baseline LSM presets or the B+Tree engine — mirroring how the paper runs
+//! identical workloads against different stores.
+
+use crate::batch::WriteBatch;
+use crate::error::Result;
+
+/// Aggregate statistics a store exposes for the evaluation harness.
+///
+/// `write_amplification()` is the paper's headline metric: total bytes the
+/// store wrote to the device divided by the bytes of user data handed to it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StoreStats {
+    /// Bytes of user data (keys + values) accepted through the write path.
+    pub user_bytes_written: u64,
+    /// Total bytes written to storage (WAL + sstables/pages + metadata).
+    pub bytes_written: u64,
+    /// Total bytes read from storage.
+    pub bytes_read: u64,
+    /// Bytes currently live on disk (space amplification numerator).
+    pub disk_bytes_live: u64,
+    /// Number of live data files (sstables or b-tree page files).
+    pub num_files: u64,
+    /// Number of completed compactions (or checkpoints for the B+Tree).
+    pub compactions: u64,
+    /// Total wall-clock time spent in compaction, in microseconds.
+    pub compaction_micros: u64,
+    /// Bytes read by compactions.
+    pub compaction_bytes_read: u64,
+    /// Bytes written by compactions.
+    pub compaction_bytes_written: u64,
+    /// Approximate resident memory the store controls (memtables, bloom
+    /// filters, block cache), in bytes.
+    pub memory_usage_bytes: u64,
+    /// Number of get operations served.
+    pub gets: u64,
+    /// Number of seek operations served.
+    pub seeks: u64,
+    /// Number of write stalls caused by level-0 back-pressure.
+    pub write_stalls: u64,
+}
+
+impl StoreStats {
+    /// Total write IO divided by user data written.
+    ///
+    /// Returns 0.0 when no user data has been written yet.
+    pub fn write_amplification(&self) -> f64 {
+        if self.user_bytes_written == 0 {
+            0.0
+        } else {
+            self.bytes_written as f64 / self.user_bytes_written as f64
+        }
+    }
+
+    /// Live on-disk bytes divided by user data written.
+    pub fn space_amplification(&self) -> f64 {
+        if self.user_bytes_written == 0 {
+            0.0
+        } else {
+            self.disk_bytes_live as f64 / self.user_bytes_written as f64
+        }
+    }
+}
+
+/// A key-value store, as defined in section 2.1 of the paper: `put`, `get`,
+/// deletion, and iterator-style range queries.
+pub trait KvStore: Send + Sync {
+    /// Stores `key -> value`, overwriting any previous value.
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<()>;
+
+    /// Returns the latest value for `key`, or `None` if absent or deleted.
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>>;
+
+    /// Removes `key` from the store.
+    fn delete(&self, key: &[u8]) -> Result<()>;
+
+    /// Applies every operation in `batch` atomically.
+    fn write(&self, batch: WriteBatch) -> Result<()>;
+
+    /// Returns up to `limit` key/value pairs with `start <= key < end`
+    /// (an empty `end` means "no upper bound"), in ascending key order.
+    ///
+    /// This is the paper's `range_query(key1, key2)`, implemented by the
+    /// engines as a seek followed by next calls.
+    fn scan(&self, start: &[u8], end: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>>;
+
+    /// Flushes in-memory writes to storage and waits for any resulting
+    /// urgent compaction to finish. Used between benchmark phases.
+    fn flush(&self) -> Result<()>;
+
+    /// Current statistics snapshot.
+    fn stats(&self) -> StoreStats;
+
+    /// A short engine name used in benchmark output (for example
+    /// `"PebblesDB"` or `"LevelDB"`).
+    fn engine_name(&self) -> String;
+
+    /// Sizes (bytes) of the live data files, for the sstable-size
+    /// distribution experiment (Table 5.1 of the paper).
+    ///
+    /// Engines without a file-per-run layout may return an empty vector.
+    fn live_file_sizes(&self) -> Vec<u64> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_amplification_is_ratio_of_device_to_user_bytes() {
+        let stats = StoreStats {
+            user_bytes_written: 100,
+            bytes_written: 420,
+            ..Default::default()
+        };
+        assert!((stats.write_amplification() - 4.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn amplification_of_empty_store_is_zero() {
+        let stats = StoreStats::default();
+        assert_eq!(stats.write_amplification(), 0.0);
+        assert_eq!(stats.space_amplification(), 0.0);
+    }
+
+    #[test]
+    fn space_amplification_uses_live_bytes() {
+        let stats = StoreStats {
+            user_bytes_written: 200,
+            disk_bytes_live: 300,
+            ..Default::default()
+        };
+        assert!((stats.space_amplification() - 1.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,909 @@
+//! PebblesDB: the FLSM-based key-value store.
+//!
+//! The write path (WAL + memtable + level-0 flush) matches the
+//! HyperLevelDB-style baseline, because PebblesDB was built by modifying
+//! HyperLevelDB (section 4.4 of the paper). Everything below level 0 is
+//! different: levels are organised by guards, compaction fragments data into
+//! child guards instead of rewriting the next level, and reads use
+//! sstable-level bloom filters, parallel seeks and seek-triggered compaction
+//! to claw back the read performance the FLSM structure gives up.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex, MutexGuard};
+
+use pebblesdb_common::counters::EngineCounters;
+use pebblesdb_common::filename::{log_file_name, parse_file_name, table_file_name, FileType};
+use pebblesdb_common::iterator::{DbIterator, MergingIterator, VecIterator};
+use pebblesdb_common::key::{
+    encode_internal_key, parse_internal_key, InternalKey, LookupKey, ValueType,
+    MAX_SEQUENCE_NUMBER, VALUE_TYPE_FOR_SEEK,
+};
+use pebblesdb_common::{
+    Error, KvStore, ReadOptions, Result, StoreOptions, StorePreset, StoreStats, WriteBatch,
+    WriteOptions,
+};
+use pebblesdb_env::Env;
+use pebblesdb_lsm::FileMetaData;
+use pebblesdb_skiplist::memtable::MemTableGet;
+use pebblesdb_skiplist::MemTable;
+use pebblesdb_sstable::{TableBuilder, TableCache};
+use pebblesdb_wal::{LogReader, LogWriter};
+
+use crate::compaction::{build_compaction_job, run_compaction_io};
+use crate::guards::{GuardPicker, UncommittedGuards};
+use crate::version::{CompactionReason, FlsmVersion, FlsmVersionEdit, FlsmVersionSet};
+
+/// A handle to an open PebblesDB database.
+pub struct PebblesDb {
+    inner: Arc<DbInner>,
+    background_thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+struct DbInner {
+    options: StoreOptions,
+    env: Arc<dyn Env>,
+    db_path: PathBuf,
+    table_cache: Arc<TableCache>,
+    guard_picker: GuardPicker,
+    state: Mutex<DbState>,
+    work_available: Condvar,
+    work_done: Condvar,
+    shutting_down: AtomicBool,
+    counters: EngineCounters,
+    /// Consecutive seeks since the last write (seek-triggered compaction).
+    consecutive_seeks: AtomicUsize,
+    engine_label: String,
+}
+
+struct DbState {
+    mem: MemTable,
+    imm: Option<Arc<MemTable>>,
+    versions: FlsmVersionSet,
+    uncommitted_guards: UncommittedGuards,
+    log: Option<LogWriter>,
+    log_file_number: u64,
+    compaction_running: bool,
+    seek_compaction_pending: bool,
+    bg_error: Option<Error>,
+}
+
+impl PebblesDb {
+    /// Opens (creating if necessary) a PebblesDB database at `path`.
+    pub fn open(env: Arc<dyn Env>, path: &Path) -> Result<PebblesDb> {
+        Self::open_with_options(env, path, StoreOptions::with_preset(StorePreset::PebblesDb))
+    }
+
+    /// Opens a database with explicit options.
+    pub fn open_with_options(
+        env: Arc<dyn Env>,
+        path: &Path,
+        options: StoreOptions,
+    ) -> Result<PebblesDb> {
+        let label = if options.max_sstables_per_guard == 1 {
+            StorePreset::PebblesDb1.name().to_string()
+        } else {
+            StorePreset::PebblesDb.name().to_string()
+        };
+        env.create_dir_all(path)?;
+        let table_cache = Arc::new(TableCache::new(
+            Arc::clone(&env),
+            path.to_path_buf(),
+            options.clone(),
+            options.max_open_files,
+        ));
+        let mut versions =
+            FlsmVersionSet::new(Arc::clone(&env), path.to_path_buf(), options.clone());
+
+        let current_exists =
+            env.file_exists(&pebblesdb_common::filename::current_file_name(path));
+        if current_exists {
+            if options.error_if_exists {
+                return Err(Error::invalid_argument("database already exists"));
+            }
+            versions.recover()?;
+        } else {
+            if !options.create_if_missing {
+                return Err(Error::invalid_argument("database does not exist"));
+            }
+            versions.create_new()?;
+        }
+
+        let mut state = DbState {
+            mem: MemTable::new(),
+            imm: None,
+            versions,
+            uncommitted_guards: UncommittedGuards::new(options.max_levels),
+            log: None,
+            log_file_number: 0,
+            compaction_running: false,
+            seek_compaction_pending: false,
+            bg_error: None,
+        };
+
+        recover_wals(env.as_ref(), path, &options, &mut state)?;
+
+        let log_number = state.versions.new_file_number();
+        let log_file = env.new_writable_file(&log_file_name(path, log_number))?;
+        state.log = Some(LogWriter::new(log_file));
+        state.log_file_number = log_number;
+        let edit = FlsmVersionEdit {
+            log_number: Some(log_number),
+            ..Default::default()
+        };
+        state.versions.log_and_apply(edit)?;
+
+        let inner = Arc::new(DbInner {
+            guard_picker: GuardPicker::new(&options),
+            options,
+            env,
+            db_path: path.to_path_buf(),
+            table_cache,
+            state: Mutex::new(state),
+            work_available: Condvar::new(),
+            work_done: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+            counters: EngineCounters::new(),
+            consecutive_seeks: AtomicUsize::new(0),
+            engine_label: label,
+        });
+
+        {
+            let mut state = inner.state.lock();
+            inner.remove_obsolete_files(&mut state);
+        }
+
+        let bg_inner = Arc::clone(&inner);
+        let handle = std::thread::Builder::new()
+            .name("pebblesdb-compaction".to_string())
+            .spawn(move || DbInner::background_main(bg_inner))
+            .map_err(|e| Error::internal(format!("spawn compaction thread: {e}")))?;
+
+        Ok(PebblesDb {
+            inner,
+            background_thread: Mutex::new(Some(handle)),
+        })
+    }
+
+    /// The options this database was opened with.
+    pub fn options(&self) -> &StoreOptions {
+        &self.inner.options
+    }
+
+    /// Per-level summary string (files and guards per level).
+    pub fn level_summary(&self) -> String {
+        let state = self.inner.state.lock();
+        state.versions.current_unpinned().level_summary()
+    }
+
+    /// Number of guards (including the sentinel) at each level.
+    pub fn guards_per_level(&self) -> Vec<usize> {
+        let state = self.inner.state.lock();
+        state.versions.current_unpinned().guards_per_level()
+    }
+
+    /// Number of files at each level.
+    pub fn files_per_level(&self) -> Vec<usize> {
+        let state = self.inner.state.lock();
+        let version = state.versions.current_unpinned();
+        (0..version.num_levels())
+            .map(|l| version.level_files(l))
+            .collect()
+    }
+
+    /// Total number of guards that currently hold no sstables.
+    pub fn empty_guards(&self) -> usize {
+        let state = self.inner.state.lock();
+        state.versions.current_unpinned().empty_guards()
+    }
+
+    /// Flushes the memtable and waits until no compaction work is pending.
+    pub fn compact_all(&self) -> Result<()> {
+        self.flush()
+    }
+}
+
+impl Drop for PebblesDb {
+    fn drop(&mut self) {
+        self.inner.shutting_down.store(true, Ordering::SeqCst);
+        self.inner.work_available.notify_all();
+        if let Some(handle) = self.background_thread.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Replays write-ahead logs newer than the manifest's log number.
+fn recover_wals(
+    env: &dyn Env,
+    db_path: &Path,
+    options: &StoreOptions,
+    state: &mut DbState,
+) -> Result<()> {
+    let min_log = state.versions.log_number;
+    let mut log_numbers: Vec<u64> = env
+        .children(db_path)?
+        .iter()
+        .filter_map(|name| parse_file_name(name))
+        .filter(|(ty, number)| *ty == FileType::WriteAheadLog && *number >= min_log)
+        .map(|(_, number)| number)
+        .collect();
+    log_numbers.sort_unstable();
+
+    for number in log_numbers {
+        state.versions.mark_file_number_used(number);
+        let file = env.new_sequential_file(&log_file_name(db_path, number))?;
+        let mut reader = LogReader::new(file);
+        loop {
+            let record = match reader.read_record() {
+                Ok(Some(record)) => record,
+                Ok(None) | Err(_) => break,
+            };
+            let batch = match WriteBatch::from_contents(record) {
+                Ok(batch) => batch,
+                Err(_) => break,
+            };
+            let base_seq = batch.sequence();
+            let mut applied = 0u64;
+            for item in batch.iter() {
+                let item = match item {
+                    Ok(item) => item,
+                    Err(_) => break,
+                };
+                state
+                    .mem
+                    .add(item.sequence, item.value_type, item.key, item.value);
+                applied += 1;
+            }
+            let last = base_seq + applied.saturating_sub(1);
+            if last > state.versions.last_sequence {
+                state.versions.last_sequence = last;
+            }
+            if state.mem.approximate_memory_usage() > options.write_buffer_size {
+                flush_recovery_memtable(env, db_path, options, state)?;
+            }
+        }
+    }
+    if !state.mem.is_empty() {
+        flush_recovery_memtable(env, db_path, options, state)?;
+    }
+    Ok(())
+}
+
+fn flush_recovery_memtable(
+    env: &dyn Env,
+    db_path: &Path,
+    options: &StoreOptions,
+    state: &mut DbState,
+) -> Result<()> {
+    let number = state.versions.new_file_number();
+    let mem = std::mem::take(&mut state.mem);
+    if let Some(meta) = build_table_from_memtable(env, db_path, options, &mem, number)? {
+        let mut edit = FlsmVersionEdit::default();
+        edit.add_file(0, &meta);
+        state.versions.log_and_apply(edit)?;
+    }
+    Ok(())
+}
+
+/// Writes the contents of a memtable into a new level-0 sstable.
+fn build_table_from_memtable(
+    env: &dyn Env,
+    db_path: &Path,
+    options: &StoreOptions,
+    mem: &MemTable,
+    file_number: u64,
+) -> Result<Option<FileMetaData>> {
+    let mut iter = mem.iter();
+    iter.seek_to_first();
+    if !iter.valid() {
+        return Ok(None);
+    }
+    let file = env.new_writable_file(&table_file_name(db_path, file_number))?;
+    let mut builder = TableBuilder::new(options, file);
+    let mut smallest: Option<Vec<u8>> = None;
+    let mut largest: Vec<u8> = Vec::new();
+    while iter.valid() {
+        if smallest.is_none() {
+            smallest = Some(iter.key().to_vec());
+        }
+        largest = iter.key().to_vec();
+        builder.add(iter.key(), iter.value())?;
+        iter.next();
+    }
+    let file_size = builder.finish()?;
+    Ok(Some(FileMetaData::new(
+        file_number,
+        file_size,
+        InternalKey::from_encoded(smallest.unwrap_or_default()),
+        InternalKey::from_encoded(largest),
+    )))
+}
+
+/// Copies the `[start, end)` range of a memtable into a sorted entry list.
+fn collect_memtable_range(
+    mem: &MemTable,
+    start: &[u8],
+    end: Option<&[u8]>,
+) -> Vec<(Vec<u8>, Vec<u8>)> {
+    let mut out = Vec::new();
+    let mut iter = mem.iter();
+    iter.seek(&encode_internal_key(
+        start,
+        MAX_SEQUENCE_NUMBER,
+        VALUE_TYPE_FOR_SEEK,
+    ));
+    while iter.valid() {
+        if let Some(end) = end {
+            if let Some(parsed) = parse_internal_key(iter.key()) {
+                if parsed.user_key >= end {
+                    break;
+                }
+            }
+        }
+        out.push((iter.key().to_vec(), iter.value().to_vec()));
+        iter.next();
+    }
+    out
+}
+
+impl DbInner {
+    // ---------------------------------------------------------------- write
+
+    fn write(&self, mut batch: WriteBatch, opts: &WriteOptions) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        // Writes reset the consecutive-seek counter (section 4.2: seek-based
+        // compaction targets read-only phases).
+        self.consecutive_seeks.store(0, Ordering::Relaxed);
+
+        let mut user_bytes = 0u64;
+        for record in batch.iter() {
+            let record = record?;
+            user_bytes += (record.key.len() + record.value.len()) as u64;
+        }
+
+        let mut state = self.state.lock();
+        self.make_room_for_write(&mut state, false)?;
+
+        let seq = state.versions.last_sequence + 1;
+        batch.set_sequence(seq);
+        state.versions.last_sequence += u64::from(batch.count());
+
+        if let Some(log) = state.log.as_mut() {
+            log.add_record(batch.contents())?;
+            if opts.sync {
+                log.sync()?;
+            }
+        }
+        for record in batch.iter() {
+            let record = record?;
+            // Guard selection: every inserted key is hashed; selected keys
+            // become uncommitted guards for their level and all deeper ones.
+            if record.value_type == ValueType::Value {
+                if let Some(level) = self.guard_picker.guard_level(record.key) {
+                    state.uncommitted_guards.add(level, record.key);
+                }
+            }
+            state
+                .mem
+                .add(record.sequence, record.value_type, record.key, record.value);
+        }
+        drop(state);
+        self.counters.add_user_bytes(user_bytes);
+        Ok(())
+    }
+
+    fn make_room_for_write(&self, state: &mut MutexGuard<'_, DbState>, force: bool) -> Result<()> {
+        let mut allow_delay = !force;
+        let mut force = force;
+        loop {
+            if let Some(err) = &state.bg_error {
+                return Err(err.clone());
+            }
+            let level0_files = state.versions.current_unpinned().level0.len();
+            if allow_delay && level0_files >= self.options.level0_slowdown_writes_trigger {
+                allow_delay = false;
+                self.counters.record_stall();
+                self.work_available.notify_one();
+                MutexGuard::unlocked(state, || std::thread::sleep(Duration::from_millis(1)));
+                continue;
+            }
+            if !force && state.mem.approximate_memory_usage() <= self.options.write_buffer_size {
+                return Ok(());
+            }
+            if state.imm.is_some() {
+                self.counters.record_stall();
+                self.work_available.notify_one();
+                self.work_done.wait(state);
+                continue;
+            }
+            if level0_files >= self.options.level0_stop_writes_trigger {
+                self.counters.record_stall();
+                self.work_available.notify_one();
+                self.work_done.wait(state);
+                continue;
+            }
+
+            let new_log_number = state.versions.new_file_number();
+            let log_file = self
+                .env
+                .new_writable_file(&log_file_name(&self.db_path, new_log_number))?;
+            if let Some(old_log) = state.log.take() {
+                let _ = old_log.close();
+            }
+            state.log = Some(LogWriter::new(log_file));
+            state.log_file_number = new_log_number;
+            let full_mem = std::mem::take(&mut state.mem);
+            state.imm = Some(Arc::new(full_mem));
+            force = false;
+            self.work_available.notify_one();
+        }
+    }
+
+    // ----------------------------------------------------------------- read
+
+    fn get(&self, user_key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.counters.record_get();
+        let (lookup, imm, version) = {
+            let mut state = self.state.lock();
+            let lookup = LookupKey::new(user_key, state.versions.last_sequence);
+            match state.mem.get(&lookup) {
+                MemTableGet::Found(value) => return Ok(Some(value)),
+                MemTableGet::Deleted => return Ok(None),
+                MemTableGet::NotFound => {}
+            }
+            (lookup, state.imm.clone(), state.versions.current())
+        };
+        if let Some(imm) = imm {
+            match imm.get(&lookup) {
+                MemTableGet::Found(value) => return Ok(Some(value)),
+                MemTableGet::Deleted => return Ok(None),
+                MemTableGet::NotFound => {}
+            }
+        }
+        version.get(&ReadOptions::default(), &lookup, &self.table_cache)
+    }
+
+    fn scan(&self, start: &[u8], end: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.counters.record_seek();
+        self.note_seek();
+        let end_bound: Option<&[u8]> = if end.is_empty() { None } else { Some(end) };
+
+        let (snapshot, mem_entries, imm, version) = {
+            let mut state = self.state.lock();
+            let snapshot = state.versions.last_sequence;
+            let mem_entries = collect_memtable_range(&state.mem, start, end_bound);
+            (
+                snapshot,
+                mem_entries,
+                state.imm.clone(),
+                state.versions.current(),
+            )
+        };
+        let imm_entries = imm
+            .as_ref()
+            .map(|imm| collect_memtable_range(imm, start, end_bound))
+            .unwrap_or_default();
+
+        let seek_key = LookupKey::new(start, snapshot);
+
+        let mut children: Vec<Box<dyn DbIterator>> = Vec::new();
+        children.push(Box::new(VecIterator::new(mem_entries)));
+        children.push(Box::new(VecIterator::new(imm_entries)));
+        self.add_version_iterators(&version, start, end_bound, seek_key.internal_key(), &mut children)?;
+
+        let mut merged = MergingIterator::new(children);
+        merged.seek(seek_key.internal_key());
+
+        let mut out = Vec::new();
+        let mut last_user_key: Option<Vec<u8>> = None;
+        while merged.valid() && out.len() < limit {
+            let parsed = match parse_internal_key(merged.key()) {
+                Some(parsed) => parsed,
+                None => return Err(Error::corruption("malformed key during scan")),
+            };
+            if let Some(end) = end_bound {
+                if parsed.user_key >= end {
+                    break;
+                }
+            }
+            let is_newer_duplicate = last_user_key
+                .as_deref()
+                .map(|last| last == parsed.user_key)
+                .unwrap_or(false);
+            if !is_newer_duplicate && parsed.sequence <= snapshot {
+                last_user_key = Some(parsed.user_key.to_vec());
+                if parsed.value_type == ValueType::Value {
+                    out.push((parsed.user_key.to_vec(), merged.value().to_vec()));
+                }
+            }
+            merged.next();
+        }
+        Ok(out)
+    }
+
+    /// Builds the per-level iterators for a range query.
+    ///
+    /// Level 0 contributes one iterator per overlapping file; each deeper
+    /// level contributes a single lazy [`GuardLevelIterator`] that merges the
+    /// sstables of whichever guard the cursor is in. Before merging, the
+    /// sstables of the guard owning the range start in the deepest non-empty
+    /// level are pre-positioned by a thread pool — the paper's "parallel
+    /// seeks" optimisation — which warms the block cache so the merged seek
+    /// does no serial IO on the coldest level.
+    fn add_version_iterators(
+        &self,
+        version: &FlsmVersion,
+        start: &[u8],
+        end: Option<&[u8]>,
+        seek_target: &[u8],
+        children: &mut Vec<Box<dyn DbIterator>>,
+    ) -> Result<()> {
+        let read_options = ReadOptions::default();
+
+        for file in &version.level0 {
+            if file.overlaps_user_range(Some(start), end) {
+                children.push(Box::new(self.table_cache.iter(
+                    &read_options,
+                    file.number,
+                    file.file_size,
+                )?));
+            }
+        }
+
+        // Parallel seeks on the deepest non-empty level (least likely cached).
+        if self.options.enable_parallel_seeks && self.options.parallel_seek_threads > 1 {
+            if let Some(level) = version
+                .levels
+                .iter()
+                .skip(1)
+                .rev()
+                .find(|l| l.num_files() > 0)
+            {
+                let guard = level.guard_for(start);
+                if guard.files.len() > 1 {
+                    let files: Vec<(u64, u64)> = guard
+                        .files
+                        .iter()
+                        .map(|f| (f.number, f.file_size))
+                        .collect();
+                    let chunk_size = files
+                        .len()
+                        .div_ceil(self.options.parallel_seek_threads)
+                        .max(1);
+                    std::thread::scope(|scope| {
+                        for chunk in files.chunks(chunk_size) {
+                            scope.spawn(move || {
+                                for (number, size) in chunk {
+                                    if let Ok(mut iter) = self.table_cache.iter(
+                                        &ReadOptions::default(),
+                                        *number,
+                                        *size,
+                                    ) {
+                                        iter.seek(seek_target);
+                                    }
+                                }
+                            });
+                        }
+                    });
+                }
+            }
+        }
+
+        for level in version.levels.iter().skip(1) {
+            if level.num_files() == 0 {
+                continue;
+            }
+            children.push(Box::new(crate::iter::GuardLevelIterator::new(
+                Arc::clone(&self.table_cache),
+                read_options.clone(),
+                level.guards.clone(),
+            )));
+        }
+        Ok(())
+    }
+
+    /// Counts a seek and requests a seek-triggered compaction if the
+    /// threshold of consecutive seeks is reached.
+    fn note_seek(&self) {
+        if !self.options.enable_seek_compaction {
+            return;
+        }
+        let seeks = self.consecutive_seeks.fetch_add(1, Ordering::Relaxed) + 1;
+        if seeks >= self.options.seek_compaction_threshold {
+            self.consecutive_seeks.store(0, Ordering::Relaxed);
+            let mut state = self.state.lock();
+            state.seek_compaction_pending = true;
+            self.work_available.notify_one();
+        }
+    }
+
+    // ----------------------------------------------------- background work
+
+    fn background_main(inner: Arc<DbInner>) {
+        let mut state = inner.state.lock();
+        loop {
+            while !inner.shutting_down.load(Ordering::SeqCst)
+                && state.imm.is_none()
+                && !state.versions.needs_compaction()
+                && !state.seek_compaction_pending
+            {
+                inner.work_available.wait(&mut state);
+            }
+            if inner.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            state.compaction_running = true;
+            let result = inner.do_background_work(&mut state);
+            state.compaction_running = false;
+            if let Err(err) = result {
+                state.bg_error = Some(err);
+            }
+            inner.work_done.notify_all();
+        }
+    }
+
+    fn do_background_work(&self, state: &mut MutexGuard<'_, DbState>) -> Result<()> {
+        if state.imm.is_some() {
+            self.compact_memtable(state)?;
+            return Ok(());
+        }
+        let trigger = state.versions.pick_compaction_level().or_else(|| {
+            if state.seek_compaction_pending {
+                self.pick_seek_compaction_level(state)
+                    .map(|level| (level, CompactionReason::SeekTriggered))
+            } else {
+                None
+            }
+        });
+        state.seek_compaction_pending = false;
+        if let Some((level, reason)) = trigger {
+            self.run_level_compaction(state, level, reason)?;
+        }
+        Ok(())
+    }
+
+    /// Picks the level whose guards hold the most overlapping sstables for a
+    /// seek-triggered compaction, if any guard has at least two.
+    fn pick_seek_compaction_level(&self, state: &MutexGuard<'_, DbState>) -> Option<usize> {
+        let version = state.versions.current_unpinned();
+        let mut best: Option<(usize, usize)> = None;
+        if version.level0.len() >= 2 {
+            best = Some((0, version.level0.len()));
+        }
+        for (level_idx, level) in version.levels.iter().enumerate().skip(1) {
+            let fanout = level.max_files_in_guard();
+            if fanout >= 2 && best.map(|(_, b)| fanout > b).unwrap_or(true) {
+                best = Some((level_idx, fanout));
+            }
+        }
+        best.map(|(level, _)| level)
+    }
+
+    fn compact_memtable(&self, state: &mut MutexGuard<'_, DbState>) -> Result<()> {
+        let imm = match state.imm.clone() {
+            Some(imm) => imm,
+            None => return Ok(()),
+        };
+        let number = state.versions.new_file_number();
+        let start = Instant::now();
+        let env = Arc::clone(&self.env);
+        let db_path = self.db_path.clone();
+        let options = self.options.clone();
+        let meta = MutexGuard::unlocked(state, || {
+            build_table_from_memtable(env.as_ref(), &db_path, &options, &imm, number)
+        })?;
+
+        let mut edit = FlsmVersionEdit {
+            log_number: Some(state.log_file_number),
+            ..Default::default()
+        };
+        let mut written = 0;
+        if let Some(meta) = &meta {
+            written = meta.file_size;
+            edit.add_file(0, meta);
+        }
+        state.versions.log_and_apply(edit)?;
+        state.imm = None;
+        self.counters
+            .record_compaction(start.elapsed().as_micros() as u64, 0, written);
+        self.remove_obsolete_files(state);
+        Ok(())
+    }
+
+    fn run_level_compaction(
+        &self,
+        state: &mut MutexGuard<'_, DbState>,
+        level: usize,
+        reason: CompactionReason,
+    ) -> Result<()> {
+        let start = Instant::now();
+        let version = state.versions.current();
+        let output_level = if level + 1 < self.options.max_levels {
+            level + 1
+        } else {
+            level
+        };
+        let pending_guards = state.uncommitted_guards.for_level(output_level).clone();
+
+        let job = {
+            // Allocating output file numbers mutates the version set, so the
+            // closure borrows the locked state.
+            let versions = &mut state.versions;
+            build_compaction_job(
+                &version,
+                &self.options,
+                level,
+                reason,
+                pending_guards.into_iter().collect(),
+                || versions.new_file_number(),
+            )
+        };
+        let Some(job) = job else { return Ok(()) };
+
+        let env = Arc::clone(&self.env);
+        let db_path = self.db_path.clone();
+        let options = self.options.clone();
+        let table_cache = Arc::clone(&self.table_cache);
+        let outputs = MutexGuard::unlocked(state, || {
+            run_compaction_io(env.as_ref(), &db_path, &options, &table_cache, &job)
+        })?;
+
+        let mut edit = FlsmVersionEdit::default();
+        for file in &job.inputs {
+            edit.delete_file(job.level, file.number);
+        }
+        let mut bytes_written = 0;
+        for meta in &outputs {
+            bytes_written += meta.file_size;
+            edit.add_file(job.output_level, meta);
+        }
+        for key in &job.guards_to_commit {
+            edit.new_guards.push((job.output_level, key.clone()));
+        }
+        state.versions.log_and_apply(edit)?;
+        if !job.guards_to_commit.is_empty() {
+            // The pending guards for the output level are now committed.
+            let _ = state.uncommitted_guards.take_level(job.output_level);
+        }
+        self.counters.record_compaction(
+            start.elapsed().as_micros() as u64,
+            job.input_bytes,
+            bytes_written,
+        );
+        self.remove_obsolete_files(state);
+        Ok(())
+    }
+
+    // -------------------------------------------------------------- cleanup
+
+    fn remove_obsolete_files(&self, state: &mut MutexGuard<'_, DbState>) {
+        let live = state.versions.all_live_file_numbers();
+        let log_number = state.versions.log_number;
+        let manifest_number = state.versions.manifest_number();
+        let children = match self.env.children(&self.db_path) {
+            Ok(children) => children,
+            Err(_) => return,
+        };
+        for name in children {
+            let Some((ty, number)) = parse_file_name(&name) else {
+                continue;
+            };
+            let keep = match ty {
+                FileType::Table => live.binary_search(&number).is_ok(),
+                FileType::WriteAheadLog => number >= log_number || number == state.log_file_number,
+                FileType::Descriptor => number >= manifest_number,
+                FileType::Temp => false,
+                FileType::Current | FileType::Lock | FileType::BtreePages => true,
+            };
+            if !keep {
+                if ty == FileType::Table {
+                    self.table_cache.evict(number);
+                }
+                let _ = self.env.remove_file(&self.db_path.join(&name));
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------- flush
+
+    fn flush(&self) -> Result<()> {
+        let mut state = self.state.lock();
+        if !state.mem.is_empty() {
+            self.make_room_for_write(&mut state, true)?;
+        }
+        loop {
+            if let Some(err) = &state.bg_error {
+                return Err(err.clone());
+            }
+            if state.imm.is_some()
+                || state.versions.needs_compaction()
+                || state.compaction_running
+            {
+                self.work_available.notify_one();
+                self.work_done.wait(&mut state);
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn stats(&self) -> StoreStats {
+        let io = self.env.io_stats().snapshot();
+        let state = self.state.lock();
+        let version = state.versions.current_unpinned();
+        let memory = state.mem.approximate_memory_usage()
+            + state
+                .imm
+                .as_ref()
+                .map(|m| m.approximate_memory_usage())
+                .unwrap_or(0)
+            + self.table_cache.memory_usage();
+        StoreStats {
+            user_bytes_written: EngineCounters::load(&self.counters.user_bytes_written),
+            bytes_written: io.bytes_written,
+            bytes_read: io.bytes_read,
+            disk_bytes_live: version.total_bytes(),
+            num_files: version.num_files() as u64,
+            compactions: EngineCounters::load(&self.counters.compactions),
+            compaction_micros: EngineCounters::load(&self.counters.compaction_micros),
+            compaction_bytes_read: EngineCounters::load(&self.counters.compaction_bytes_read),
+            compaction_bytes_written: EngineCounters::load(
+                &self.counters.compaction_bytes_written,
+            ),
+            memory_usage_bytes: memory as u64,
+            gets: EngineCounters::load(&self.counters.gets),
+            seeks: EngineCounters::load(&self.counters.seeks),
+            write_stalls: EngineCounters::load(&self.counters.write_stalls),
+        }
+    }
+}
+
+impl KvStore for PebblesDb {
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        let mut batch = WriteBatch::new();
+        batch.put(key, value);
+        self.inner.write(batch, &WriteOptions::default())
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.inner.get(key)
+    }
+
+    fn delete(&self, key: &[u8]) -> Result<()> {
+        let mut batch = WriteBatch::new();
+        batch.delete(key);
+        self.inner.write(batch, &WriteOptions::default())
+    }
+
+    fn write(&self, batch: WriteBatch) -> Result<()> {
+        self.inner.write(batch, &WriteOptions::default())
+    }
+
+    fn scan(&self, start: &[u8], end: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.inner.scan(start, end, limit)
+    }
+
+    fn flush(&self) -> Result<()> {
+        self.inner.flush()
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.inner.stats()
+    }
+
+    fn engine_name(&self) -> String {
+        self.inner.engine_label.clone()
+    }
+
+    fn live_file_sizes(&self) -> Vec<u64> {
+        let state = self.inner.state.lock();
+        state.versions.current_unpinned().file_sizes()
+    }
+}

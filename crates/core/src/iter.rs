@@ -1,0 +1,418 @@
+//! Range-query iterators over guard-organised levels.
+//!
+//! The paper (section 3.4): "in FLSM, the level iterators are themselves
+//! implemented by merging iterators on the sstables inside the guard of
+//! interest". [`GuardLevelIterator`] does exactly that — it walks a level's
+//! guards in key order, and within the current guard merges its (possibly
+//! overlapping) sstables; sstables are only opened when the cursor reaches
+//! their guard.
+
+use std::sync::Arc;
+
+use pebblesdb_common::iterator::{DbIterator, MergingIterator};
+use pebblesdb_common::key::extract_user_key;
+use pebblesdb_common::{ReadOptions, Result};
+use pebblesdb_sstable::TableCache;
+
+use crate::guards::{guard_index_for_key, GuardMeta};
+
+/// A lazy iterator over one guard-organised FLSM level.
+pub struct GuardLevelIterator {
+    table_cache: Arc<TableCache>,
+    read_options: ReadOptions,
+    /// The level's guards (sentinel first), cloned from the pinned version.
+    guards: Vec<GuardMeta>,
+    /// Guard keys (sentinel excluded), kept for binary search.
+    guard_keys: Vec<Vec<u8>>,
+    /// Index of the guard the cursor is in; `guards.len()` = unpositioned.
+    index: usize,
+    current: Option<MergingIterator>,
+}
+
+impl GuardLevelIterator {
+    /// Creates an iterator over the given guards.
+    pub fn new(
+        table_cache: Arc<TableCache>,
+        read_options: ReadOptions,
+        guards: Vec<GuardMeta>,
+    ) -> Self {
+        let guard_keys = guards
+            .iter()
+            .filter(|g| !g.is_sentinel())
+            .map(|g| g.key.clone())
+            .collect();
+        let index = guards.len();
+        GuardLevelIterator {
+            table_cache,
+            read_options,
+            guards,
+            guard_keys,
+            index,
+            current: None,
+        }
+    }
+
+    /// The guard-key bounds `[lower, upper)` of guard `index`.
+    ///
+    /// Files written before a guard was committed may span several guards
+    /// (they are attached to each guard they overlap); bounding iteration to
+    /// the guard's own key range ensures every entry is emitted exactly once
+    /// and in global key order.
+    fn guard_bounds(&self, index: usize) -> (Option<&[u8]>, Option<&[u8]>) {
+        let lower = if index == 0 {
+            None
+        } else {
+            self.guard_keys.get(index - 1).map(|k| k.as_slice())
+        };
+        let upper = self.guard_keys.get(index).map(|k| k.as_slice());
+        (lower, upper)
+    }
+
+    fn open_guard(&mut self, index: usize) -> Result<()> {
+        self.index = index;
+        if index >= self.guards.len() {
+            self.current = None;
+            return Ok(());
+        }
+        let guard = &self.guards[index];
+        if guard.files.is_empty() {
+            self.current = None;
+            return Ok(());
+        }
+        let mut children: Vec<Box<dyn DbIterator>> = Vec::with_capacity(guard.files.len());
+        for file in &guard.files {
+            children.push(Box::new(self.table_cache.iter(
+                &self.read_options,
+                file.number,
+                file.file_size,
+            )?));
+        }
+        self.current = Some(MergingIterator::new(children));
+        Ok(())
+    }
+
+    /// Returns `true` if the current entry lies inside the current guard's
+    /// key range.
+    fn current_entry_in_bounds(&self) -> bool {
+        let Some(iter) = self.current.as_ref() else {
+            return false;
+        };
+        if !iter.valid() {
+            return false;
+        }
+        let user_key = extract_user_key(iter.key());
+        let (lower, upper) = self.guard_bounds(self.index);
+        if let Some(lower) = lower {
+            if user_key < lower {
+                return false;
+            }
+        }
+        if let Some(upper) = upper {
+            if user_key >= upper {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Skips forward over entries below the guard's lower bound (they belong
+    /// to an earlier guard and were emitted there).
+    fn skip_below_lower_bound(&mut self) {
+        let lower = match self.guard_bounds(self.index).0 {
+            Some(lower) => lower.to_vec(),
+            None => return,
+        };
+        while let Some(iter) = self.current.as_mut() {
+            if !iter.valid() || extract_user_key(iter.key()) >= lower.as_slice() {
+                break;
+            }
+            iter.next();
+        }
+    }
+
+    fn advance_to_valid_forward(&mut self) {
+        loop {
+            if self.current_entry_in_bounds() {
+                return;
+            }
+            // Either the guard is exhausted or the next entry spills past the
+            // guard's upper bound; move on to the following guard.
+            let next = if self.index >= self.guards.len() {
+                return;
+            } else {
+                self.index + 1
+            };
+            if next >= self.guards.len() {
+                self.current = None;
+                self.index = self.guards.len();
+                return;
+            }
+            if self.open_guard(next).is_err() {
+                self.current = None;
+                return;
+            }
+            if let Some(iter) = self.current.as_mut() {
+                iter.seek_to_first();
+            }
+            self.skip_below_lower_bound();
+        }
+    }
+
+    fn retreat_to_valid_backward(&mut self) {
+        loop {
+            if self.current_entry_in_bounds() {
+                return;
+            }
+            // If the current entry is merely above the upper bound, walk
+            // backwards within the same guard first.
+            if let Some(iter) = self.current.as_mut() {
+                if iter.valid() {
+                    let user_key = extract_user_key(iter.key()).to_vec();
+                    if let Some(upper) = self.guard_bounds(self.index).1 {
+                        if user_key.as_slice() >= upper {
+                            self.current.as_mut().expect("checked").prev();
+                            continue;
+                        }
+                    }
+                }
+            }
+            if self.index == 0 {
+                self.current = None;
+                return;
+            }
+            let prev = if self.index >= self.guards.len() {
+                self.guards.len() - 1
+            } else {
+                self.index - 1
+            };
+            if self.open_guard(prev).is_err() {
+                self.current = None;
+                return;
+            }
+            if let Some(iter) = self.current.as_mut() {
+                iter.seek_to_last();
+            }
+        }
+    }
+}
+
+impl DbIterator for GuardLevelIterator {
+    fn valid(&self) -> bool {
+        self.current.as_ref().map(|it| it.valid()).unwrap_or(false)
+    }
+
+    fn seek_to_first(&mut self) {
+        if self.guards.is_empty() {
+            self.current = None;
+            return;
+        }
+        if self.open_guard(0).is_err() {
+            self.current = None;
+            return;
+        }
+        if let Some(iter) = self.current.as_mut() {
+            iter.seek_to_first();
+        }
+        self.advance_to_valid_forward();
+    }
+
+    fn seek_to_last(&mut self) {
+        if self.guards.is_empty() {
+            self.current = None;
+            return;
+        }
+        let last = self.guards.len() - 1;
+        if self.open_guard(last).is_err() {
+            self.current = None;
+            return;
+        }
+        if let Some(iter) = self.current.as_mut() {
+            iter.seek_to_last();
+        }
+        self.index = last;
+        self.retreat_to_valid_backward();
+    }
+
+    fn seek(&mut self, target: &[u8]) {
+        if self.guards.is_empty() {
+            self.current = None;
+            return;
+        }
+        let user_key = extract_user_key(target);
+        let index = guard_index_for_key(&self.guard_keys, user_key);
+        if self.open_guard(index).is_err() {
+            self.current = None;
+            return;
+        }
+        if let Some(iter) = self.current.as_mut() {
+            iter.seek(target);
+        }
+        self.advance_to_valid_forward();
+    }
+
+    fn next(&mut self) {
+        if let Some(iter) = self.current.as_mut() {
+            iter.next();
+        }
+        self.advance_to_valid_forward();
+    }
+
+    fn prev(&mut self) {
+        if let Some(iter) = self.current.as_mut() {
+            iter.prev();
+        }
+        self.retreat_to_valid_backward();
+    }
+
+    fn key(&self) -> &[u8] {
+        self.current.as_ref().expect("iterator not valid").key()
+    }
+
+    fn value(&self) -> &[u8] {
+        self.current.as_ref().expect("iterator not valid").value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebblesdb_common::filename::table_file_name;
+    use pebblesdb_common::key::{encode_internal_key, InternalKey, ValueType};
+    use pebblesdb_common::StoreOptions;
+    use pebblesdb_env::{Env, MemEnv};
+    use pebblesdb_lsm::FileMetaData;
+    use pebblesdb_sstable::TableBuilder;
+    use std::path::{Path, PathBuf};
+
+    fn build_file(
+        env: &Arc<dyn Env>,
+        db: &Path,
+        options: &StoreOptions,
+        number: u64,
+        keys: &[(&str, u64)],
+    ) -> Arc<FileMetaData> {
+        let file = env
+            .new_writable_file(&table_file_name(db, number))
+            .unwrap();
+        let mut builder = TableBuilder::new(options, file);
+        let mut encoded: Vec<Vec<u8>> = keys
+            .iter()
+            .map(|(k, seq)| encode_internal_key(k.as_bytes(), *seq, ValueType::Value))
+            .collect();
+        encoded.sort_by(|a, b| pebblesdb_common::key::compare_internal_keys(a, b));
+        for key in &encoded {
+            builder.add(key, format!("v{number}").as_bytes()).unwrap();
+        }
+        let smallest = builder.first_key().unwrap().to_vec();
+        let largest = builder.last_key().unwrap().to_vec();
+        let size = builder.finish().unwrap();
+        Arc::new(FileMetaData::new(
+            number,
+            size,
+            InternalKey::from_encoded(smallest),
+            InternalKey::from_encoded(largest),
+        ))
+    }
+
+    fn setup() -> (Arc<TableCache>, Vec<GuardMeta>) {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let db = PathBuf::from("/guard-iter");
+        env.create_dir_all(&db).unwrap();
+        let options = StoreOptions::default();
+
+        // Sentinel guard: overlapping files covering a..e.
+        let f1 = build_file(&env, &db, &options, 1, &[("a", 5), ("c", 5)]);
+        let f2 = build_file(&env, &db, &options, 2, &[("b", 6), ("c", 6)]);
+        // Guard "m": one file.
+        let f3 = build_file(&env, &db, &options, 3, &[("m", 2), ("p", 2)]);
+        // Guard "t": empty.
+
+        let mut sentinel = GuardMeta::new(Vec::new());
+        sentinel.files = vec![f2, f1];
+        let mut guard_m = GuardMeta::new(b"m".to_vec());
+        guard_m.files = vec![f3];
+        let guard_t = GuardMeta::new(b"t".to_vec());
+
+        let cache = Arc::new(TableCache::new(Arc::clone(&env), db, options, 16));
+        (cache, vec![sentinel, guard_m, guard_t])
+    }
+
+    fn user_keys_forward(iter: &mut GuardLevelIterator) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut out = Vec::new();
+        iter.seek_to_first();
+        while iter.valid() {
+            out.push((
+                extract_user_key(iter.key()).to_vec(),
+                iter.value().to_vec(),
+            ));
+            iter.next();
+        }
+        out
+    }
+
+    #[test]
+    fn iterates_across_guards_and_merges_within_a_guard() {
+        let (cache, guards) = setup();
+        let mut iter = GuardLevelIterator::new(cache, ReadOptions::default(), guards);
+        let entries = user_keys_forward(&mut iter);
+        let keys: Vec<Vec<u8>> = entries.iter().map(|(k, _)| k.clone()).collect();
+        // "c" appears in both sentinel files (seq 6 newer than seq 5).
+        assert_eq!(
+            keys,
+            vec![
+                b"a".to_vec(),
+                b"b".to_vec(),
+                b"c".to_vec(),
+                b"c".to_vec(),
+                b"m".to_vec(),
+                b"p".to_vec()
+            ]
+        );
+        // The newer "c" (from file 2) comes first.
+        assert_eq!(entries[2].1, b"v2".to_vec());
+        assert_eq!(entries[3].1, b"v1".to_vec());
+    }
+
+    #[test]
+    fn seek_lands_in_the_owning_guard() {
+        let (cache, guards) = setup();
+        let mut iter = GuardLevelIterator::new(cache, ReadOptions::default(), guards);
+        iter.seek(&encode_internal_key(b"n", u64::MAX >> 8, ValueType::Value));
+        assert!(iter.valid());
+        assert_eq!(extract_user_key(iter.key()), b"p");
+
+        // Seeking into the empty trailing guard yields nothing.
+        iter.seek(&encode_internal_key(b"u", u64::MAX >> 8, ValueType::Value));
+        assert!(!iter.valid());
+
+        // Seeking before everything starts at the first key.
+        iter.seek(&encode_internal_key(b"", u64::MAX >> 8, ValueType::Value));
+        assert!(iter.valid());
+        assert_eq!(extract_user_key(iter.key()), b"a");
+    }
+
+    #[test]
+    fn empty_guard_in_the_middle_is_skipped() {
+        let (cache, mut guards) = setup();
+        // Clear guard "m" so the level is sentinel + empty + empty.
+        guards[1].files.clear();
+        let mut iter = GuardLevelIterator::new(cache, ReadOptions::default(), guards);
+        let entries = user_keys_forward(&mut iter);
+        assert_eq!(entries.len(), 4);
+        assert_eq!(entries.last().unwrap().0, b"c".to_vec());
+    }
+
+    #[test]
+    fn reverse_iteration_walks_back_through_guards() {
+        let (cache, guards) = setup();
+        let mut iter = GuardLevelIterator::new(cache, ReadOptions::default(), guards);
+        iter.seek_to_last();
+        assert!(iter.valid());
+        assert_eq!(extract_user_key(iter.key()), b"p");
+        iter.prev();
+        assert_eq!(extract_user_key(iter.key()), b"m");
+        iter.prev();
+        // Crosses back into the sentinel guard.
+        assert_eq!(extract_user_key(iter.key()), b"c");
+    }
+}

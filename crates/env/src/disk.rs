@@ -1,0 +1,327 @@
+//! The on-disk environment backed by `std::fs`.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use pebblesdb_common::{Error, Result};
+
+use crate::stats::IoStats;
+use crate::{Env, RandomAccessFile, RandomWritableFile, SequentialFile, WritableFile};
+
+/// An [`Env`] that stores files on the local filesystem.
+#[derive(Clone, Default)]
+pub struct DiskEnv {
+    stats: Arc<IoStats>,
+}
+
+impl DiskEnv {
+    /// Creates a disk environment with fresh IO counters.
+    pub fn new() -> Self {
+        DiskEnv {
+            stats: Arc::new(IoStats::new()),
+        }
+    }
+}
+
+struct DiskWritableFile {
+    writer: Option<BufWriter<File>>,
+    stats: Arc<IoStats>,
+}
+
+impl WritableFile for DiskWritableFile {
+    fn append(&mut self, data: &[u8]) -> Result<()> {
+        let writer = self
+            .writer
+            .as_mut()
+            .ok_or_else(|| Error::internal("append on closed file"))?;
+        writer.write_all(data)?;
+        self.stats.record_write(data.len() as u64);
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        if let Some(writer) = self.writer.as_mut() {
+            writer.flush()?;
+        }
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        if let Some(writer) = self.writer.as_mut() {
+            writer.flush()?;
+            writer.get_ref().sync_data()?;
+            self.stats.record_sync();
+        }
+        Ok(())
+    }
+
+    fn close(&mut self) -> Result<()> {
+        if let Some(mut writer) = self.writer.take() {
+            writer.flush()?;
+        }
+        Ok(())
+    }
+}
+
+struct DiskRandomAccessFile {
+    file: File,
+    len: u64,
+    stats: Arc<IoStats>,
+}
+
+impl RandomAccessFile for DiskRandomAccessFile {
+    fn read(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        // `read_at` style positional reads keep this method `&self`.
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            let mut buf = vec![0u8; len];
+            let mut total = 0usize;
+            while total < len {
+                let n = self.file.read_at(&mut buf[total..], offset + total as u64)?;
+                if n == 0 {
+                    break;
+                }
+                total += n;
+            }
+            buf.truncate(total);
+            self.stats.record_read(total as u64);
+            Ok(buf)
+        }
+        #[cfg(not(unix))]
+        {
+            let mut file = self.file.try_clone()?;
+            file.seek(SeekFrom::Start(offset))?;
+            let mut buf = vec![0u8; len];
+            let mut total = 0usize;
+            while total < len {
+                let n = file.read(&mut buf[total..])?;
+                if n == 0 {
+                    break;
+                }
+                total += n;
+            }
+            buf.truncate(total);
+            self.stats.record_read(total as u64);
+            Ok(buf)
+        }
+    }
+
+    fn len(&self) -> Result<u64> {
+        Ok(self.len)
+    }
+}
+
+struct DiskSequentialFile {
+    file: File,
+    stats: Arc<IoStats>,
+}
+
+impl SequentialFile for DiskSequentialFile {
+    fn read(&mut self, buf: &mut [u8]) -> Result<usize> {
+        let n = self.file.read(buf)?;
+        self.stats.record_read(n as u64);
+        Ok(n)
+    }
+
+    fn skip(&mut self, n: u64) -> Result<()> {
+        self.file.seek(SeekFrom::Current(n as i64))?;
+        Ok(())
+    }
+}
+
+struct DiskRandomWritableFile {
+    file: File,
+    stats: Arc<IoStats>,
+}
+
+impl RandomWritableFile for DiskRandomWritableFile {
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.write_all_at(data, offset)?;
+        }
+        #[cfg(not(unix))]
+        {
+            let mut file = self.file.try_clone()?;
+            file.seek(SeekFrom::Start(offset))?;
+            file.write_all(data)?;
+        }
+        self.stats.record_write(data.len() as u64);
+        Ok(())
+    }
+
+    fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            let mut buf = vec![0u8; len];
+            let mut total = 0usize;
+            while total < len {
+                let n = self.file.read_at(&mut buf[total..], offset + total as u64)?;
+                if n == 0 {
+                    break;
+                }
+                total += n;
+            }
+            buf.truncate(total);
+            self.stats.record_read(total as u64);
+            Ok(buf)
+        }
+        #[cfg(not(unix))]
+        {
+            let mut file = self.file.try_clone()?;
+            file.seek(SeekFrom::Start(offset))?;
+            let mut buf = vec![0u8; len];
+            let n = file.read(&mut buf)?;
+            buf.truncate(n);
+            self.stats.record_read(n as u64);
+            Ok(buf)
+        }
+    }
+
+    fn len(&self) -> Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.file.sync_data()?;
+        self.stats.record_sync();
+        Ok(())
+    }
+}
+
+impl Env for DiskEnv {
+    fn new_writable_file(&self, path: &Path) -> Result<Box<dyn WritableFile>> {
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        self.stats.record_file_created();
+        Ok(Box::new(DiskWritableFile {
+            writer: Some(BufWriter::with_capacity(64 << 10, file)),
+            stats: Arc::clone(&self.stats),
+        }))
+    }
+
+    fn new_random_access_file(&self, path: &Path) -> Result<Arc<dyn RandomAccessFile>> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        Ok(Arc::new(DiskRandomAccessFile {
+            file,
+            len,
+            stats: Arc::clone(&self.stats),
+        }))
+    }
+
+    fn new_sequential_file(&self, path: &Path) -> Result<Box<dyn SequentialFile>> {
+        let file = File::open(path)?;
+        Ok(Box::new(DiskSequentialFile {
+            file,
+            stats: Arc::clone(&self.stats),
+        }))
+    }
+
+    fn new_random_writable_file(&self, path: &Path) -> Result<Arc<dyn RandomWritableFile>> {
+        let existed = path.exists();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        if !existed {
+            self.stats.record_file_created();
+        }
+        Ok(Arc::new(DiskRandomWritableFile {
+            file,
+            stats: Arc::clone(&self.stats),
+        }))
+    }
+
+    fn file_exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn file_size(&self, path: &Path) -> Result<u64> {
+        Ok(fs::metadata(path)?.len())
+    }
+
+    fn remove_file(&self, path: &Path) -> Result<()> {
+        fs::remove_file(path)?;
+        self.stats.record_file_removed();
+        Ok(())
+    }
+
+    fn rename_file(&self, from: &Path, to: &Path) -> Result<()> {
+        fs::rename(from, to)?;
+        Ok(())
+    }
+
+    fn create_dir_all(&self, path: &Path) -> Result<()> {
+        fs::create_dir_all(path)?;
+        Ok(())
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> Result<()> {
+        if path.exists() {
+            fs::remove_dir_all(path)?;
+        }
+        Ok(())
+    }
+
+    fn children(&self, path: &Path) -> Result<Vec<String>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(path)? {
+            let entry = entry?;
+            if let Some(name) = entry.file_name().to_str() {
+                out.push(name.to_string());
+            }
+        }
+        Ok(out)
+    }
+
+    fn io_stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positional_reads_do_not_disturb_each_other() {
+        let dir = std::env::temp_dir().join(format!("pebbles-disk-pos-{}", std::process::id()));
+        let env = DiskEnv::new();
+        env.create_dir_all(&dir).unwrap();
+        let path = dir.join("data");
+        {
+            let mut f = env.new_writable_file(&path).unwrap();
+            f.append(b"0123456789").unwrap();
+            f.close().unwrap();
+        }
+        let ra = env.new_random_access_file(&path).unwrap();
+        assert_eq!(ra.read(2, 3).unwrap(), b"234");
+        assert_eq!(ra.read(0, 2).unwrap(), b"01");
+        assert_eq!(ra.read(8, 10).unwrap(), b"89");
+        env.remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_after_close_is_an_error() {
+        let dir = std::env::temp_dir().join(format!("pebbles-disk-close-{}", std::process::id()));
+        let env = DiskEnv::new();
+        env.create_dir_all(&dir).unwrap();
+        let path = dir.join("data");
+        let mut f = env.new_writable_file(&path).unwrap();
+        f.append(b"x").unwrap();
+        f.close().unwrap();
+        assert!(f.append(b"y").is_err());
+        env.remove_dir_all(&dir).unwrap();
+    }
+}

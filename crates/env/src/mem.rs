@@ -1,0 +1,345 @@
+//! An in-memory environment used by tests and fully-cached experiments.
+//!
+//! Besides being fast and hermetic, [`MemEnv`] supports *write truncation
+//! fault injection*: tests can ask the environment to drop the tail of files
+//! written after a marker, simulating a crash before data reached stable
+//! storage (used by the crash-recovery tests in the engine crates).
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use pebblesdb_common::{Error, Result};
+
+use crate::stats::IoStats;
+use crate::{Env, RandomAccessFile, RandomWritableFile, SequentialFile, WritableFile};
+
+type FileData = Arc<RwLock<Vec<u8>>>;
+
+#[derive(Default)]
+struct FileSystem {
+    files: HashMap<PathBuf, FileData>,
+    dirs: Vec<PathBuf>,
+}
+
+/// An [`Env`] holding every file in memory.
+#[derive(Clone, Default)]
+pub struct MemEnv {
+    fs: Arc<Mutex<FileSystem>>,
+    stats: Arc<IoStats>,
+}
+
+impl MemEnv {
+    /// Creates an empty in-memory filesystem.
+    pub fn new() -> Self {
+        MemEnv::default()
+    }
+
+    fn normalize(path: &Path) -> PathBuf {
+        PathBuf::from(path)
+    }
+
+    /// Truncates the named file to `len` bytes, simulating a torn write.
+    ///
+    /// Returns the previous length. Used by crash-recovery tests.
+    pub fn truncate_file(&self, path: &Path, len: usize) -> Result<usize> {
+        let fs = self.fs.lock();
+        let data = fs
+            .files
+            .get(&Self::normalize(path))
+            .ok_or_else(|| Error::invalid_argument(format!("no such file: {}", path.display())))?;
+        let mut data = data.write();
+        let old = data.len();
+        data.truncate(len);
+        Ok(old)
+    }
+
+    /// Returns the total bytes stored across all files (for space metrics).
+    pub fn total_file_bytes(&self) -> u64 {
+        let fs = self.fs.lock();
+        fs.files.values().map(|f| f.read().len() as u64).sum()
+    }
+}
+
+struct MemWritableFile {
+    data: FileData,
+    stats: Arc<IoStats>,
+}
+
+impl WritableFile for MemWritableFile {
+    fn append(&mut self, data: &[u8]) -> Result<()> {
+        self.data.write().extend_from_slice(data);
+        self.stats.record_write(data.len() as u64);
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.stats.record_sync();
+        Ok(())
+    }
+
+    fn close(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+struct MemRandomAccessFile {
+    data: FileData,
+    stats: Arc<IoStats>,
+}
+
+impl RandomAccessFile for MemRandomAccessFile {
+    fn read(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let data = self.data.read();
+        let start = (offset as usize).min(data.len());
+        let end = (start + len).min(data.len());
+        let out = data[start..end].to_vec();
+        self.stats.record_read(out.len() as u64);
+        Ok(out)
+    }
+
+    fn len(&self) -> Result<u64> {
+        Ok(self.data.read().len() as u64)
+    }
+}
+
+struct MemSequentialFile {
+    data: FileData,
+    offset: usize,
+    stats: Arc<IoStats>,
+}
+
+impl SequentialFile for MemSequentialFile {
+    fn read(&mut self, buf: &mut [u8]) -> Result<usize> {
+        let data = self.data.read();
+        let remaining = data.len().saturating_sub(self.offset);
+        let n = remaining.min(buf.len());
+        buf[..n].copy_from_slice(&data[self.offset..self.offset + n]);
+        self.offset += n;
+        self.stats.record_read(n as u64);
+        Ok(n)
+    }
+
+    fn skip(&mut self, n: u64) -> Result<()> {
+        self.offset = self.offset.saturating_add(n as usize);
+        Ok(())
+    }
+}
+
+struct MemRandomWritableFile {
+    data: FileData,
+    stats: Arc<IoStats>,
+}
+
+impl RandomWritableFile for MemRandomWritableFile {
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
+        let mut file = self.data.write();
+        let end = offset as usize + data.len();
+        if file.len() < end {
+            file.resize(end, 0);
+        }
+        file[offset as usize..end].copy_from_slice(data);
+        self.stats.record_write(data.len() as u64);
+        Ok(())
+    }
+
+    fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let file = self.data.read();
+        let start = (offset as usize).min(file.len());
+        let end = (start + len).min(file.len());
+        let out = file[start..end].to_vec();
+        self.stats.record_read(out.len() as u64);
+        Ok(out)
+    }
+
+    fn len(&self) -> Result<u64> {
+        Ok(self.data.read().len() as u64)
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.stats.record_sync();
+        Ok(())
+    }
+}
+
+impl Env for MemEnv {
+    fn new_writable_file(&self, path: &Path) -> Result<Box<dyn WritableFile>> {
+        let mut fs = self.fs.lock();
+        let data: FileData = Arc::new(RwLock::new(Vec::new()));
+        fs.files.insert(Self::normalize(path), Arc::clone(&data));
+        self.stats.record_file_created();
+        Ok(Box::new(MemWritableFile {
+            data,
+            stats: Arc::clone(&self.stats),
+        }))
+    }
+
+    fn new_random_access_file(&self, path: &Path) -> Result<Arc<dyn RandomAccessFile>> {
+        let fs = self.fs.lock();
+        let data = fs
+            .files
+            .get(&Self::normalize(path))
+            .ok_or_else(|| Error::invalid_argument(format!("no such file: {}", path.display())))?;
+        Ok(Arc::new(MemRandomAccessFile {
+            data: Arc::clone(data),
+            stats: Arc::clone(&self.stats),
+        }))
+    }
+
+    fn new_sequential_file(&self, path: &Path) -> Result<Box<dyn SequentialFile>> {
+        let fs = self.fs.lock();
+        let data = fs
+            .files
+            .get(&Self::normalize(path))
+            .ok_or_else(|| Error::invalid_argument(format!("no such file: {}", path.display())))?;
+        Ok(Box::new(MemSequentialFile {
+            data: Arc::clone(data),
+            offset: 0,
+            stats: Arc::clone(&self.stats),
+        }))
+    }
+
+    fn new_random_writable_file(&self, path: &Path) -> Result<Arc<dyn RandomWritableFile>> {
+        let mut fs = self.fs.lock();
+        let data = fs
+            .files
+            .entry(Self::normalize(path))
+            .or_insert_with(|| {
+                self.stats.record_file_created();
+                Arc::new(RwLock::new(Vec::new()))
+            });
+        Ok(Arc::new(MemRandomWritableFile {
+            data: Arc::clone(data),
+            stats: Arc::clone(&self.stats),
+        }))
+    }
+
+    fn file_exists(&self, path: &Path) -> bool {
+        self.fs.lock().files.contains_key(&Self::normalize(path))
+    }
+
+    fn file_size(&self, path: &Path) -> Result<u64> {
+        let fs = self.fs.lock();
+        let data = fs
+            .files
+            .get(&Self::normalize(path))
+            .ok_or_else(|| Error::invalid_argument(format!("no such file: {}", path.display())))?;
+        let len = data.read().len() as u64;
+        Ok(len)
+    }
+
+    fn remove_file(&self, path: &Path) -> Result<()> {
+        let mut fs = self.fs.lock();
+        fs.files
+            .remove(&Self::normalize(path))
+            .ok_or_else(|| Error::invalid_argument(format!("no such file: {}", path.display())))?;
+        self.stats.record_file_removed();
+        Ok(())
+    }
+
+    fn rename_file(&self, from: &Path, to: &Path) -> Result<()> {
+        let mut fs = self.fs.lock();
+        let data = fs
+            .files
+            .remove(&Self::normalize(from))
+            .ok_or_else(|| Error::invalid_argument(format!("no such file: {}", from.display())))?;
+        fs.files.insert(Self::normalize(to), data);
+        Ok(())
+    }
+
+    fn create_dir_all(&self, path: &Path) -> Result<()> {
+        let mut fs = self.fs.lock();
+        let path = Self::normalize(path);
+        if !fs.dirs.contains(&path) {
+            fs.dirs.push(path);
+        }
+        Ok(())
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> Result<()> {
+        let mut fs = self.fs.lock();
+        let prefix = Self::normalize(path);
+        fs.files.retain(|p, _| !p.starts_with(&prefix));
+        fs.dirs.retain(|p| !p.starts_with(&prefix));
+        Ok(())
+    }
+
+    fn children(&self, path: &Path) -> Result<Vec<String>> {
+        let fs = self.fs.lock();
+        let prefix = Self::normalize(path);
+        let mut out = Vec::new();
+        for file in fs.files.keys() {
+            if let Ok(rest) = file.strip_prefix(&prefix) {
+                if let Some(name) = rest.to_str() {
+                    if !name.is_empty() && !name.contains('/') {
+                        out.push(name.to_string());
+                    }
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn io_stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncation_simulates_torn_writes() {
+        let env = MemEnv::new();
+        let path = Path::new("/db/000001.log");
+        {
+            let mut f = env.new_writable_file(path).unwrap();
+            f.append(b"0123456789").unwrap();
+            f.close().unwrap();
+        }
+        let old = env.truncate_file(path, 4).unwrap();
+        assert_eq!(old, 10);
+        assert_eq!(env.file_size(path).unwrap(), 4);
+        assert_eq!(env.read_file_to_vec(path).unwrap(), b"0123");
+    }
+
+    #[test]
+    fn children_lists_only_direct_entries() {
+        let env = MemEnv::new();
+        for name in ["/db/a.sst", "/db/b.log", "/db/sub/c.sst", "/other/d.sst"] {
+            let mut f = env.new_writable_file(Path::new(name)).unwrap();
+            f.append(b"x").unwrap();
+        }
+        let children = env.children(Path::new("/db")).unwrap();
+        assert_eq!(children, vec!["a.sst".to_string(), "b.log".to_string()]);
+    }
+
+    #[test]
+    fn remove_dir_all_wipes_subtree() {
+        let env = MemEnv::new();
+        for name in ["/db/a", "/db/b", "/keep/c"] {
+            env.new_writable_file(Path::new(name)).unwrap();
+        }
+        env.remove_dir_all(Path::new("/db")).unwrap();
+        assert!(!env.file_exists(Path::new("/db/a")));
+        assert!(env.file_exists(Path::new("/keep/c")));
+    }
+
+    #[test]
+    fn total_file_bytes_tracks_contents() {
+        let env = MemEnv::new();
+        let mut f = env.new_writable_file(Path::new("/x")).unwrap();
+        f.append(&[0u8; 100]).unwrap();
+        let mut g = env.new_writable_file(Path::new("/y")).unwrap();
+        g.append(&[0u8; 20]).unwrap();
+        assert_eq!(env.total_file_bytes(), 120);
+    }
+}

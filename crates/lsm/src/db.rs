@@ -1,0 +1,961 @@
+//! The baseline leveled-compaction key-value store.
+//!
+//! This engine follows the classic LevelDB design the paper describes in
+//! chapter 2: writes go to a WAL and a memtable, memtables flush to level-0
+//! sstables, and a background thread compacts a level by merging its files
+//! with *every overlapping file in the next level* and rewriting them. That
+//! rewrite is precisely the write-amplification source FLSM removes, so this
+//! engine doubles as the LevelDB/HyperLevelDB/RocksDB comparison point in
+//! the benchmark harness.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex, MutexGuard};
+
+use pebblesdb_common::counters::EngineCounters;
+use pebblesdb_common::filename::{
+    log_file_name, parse_file_name, table_file_name, FileType,
+};
+use pebblesdb_common::iterator::{DbIterator, MergingIterator, VecIterator};
+use pebblesdb_common::key::{
+    compare_internal_keys, parse_internal_key, InternalKey, LookupKey, ValueType,
+    MAX_SEQUENCE_NUMBER, VALUE_TYPE_FOR_SEEK,
+};
+use pebblesdb_common::key::encode_internal_key;
+use pebblesdb_common::{
+    Error, KvStore, ReadOptions, Result, StoreOptions, StorePreset, StoreStats, WriteBatch,
+    WriteOptions,
+};
+use pebblesdb_env::Env;
+use pebblesdb_skiplist::memtable::MemTableGet;
+use pebblesdb_skiplist::MemTable;
+use pebblesdb_sstable::{TableBuilder, TableCache};
+use pebblesdb_wal::{LogReader, LogWriter};
+
+use crate::version::{FileMetaData, Version, VersionEdit, VersionSet};
+
+/// A handle to an open baseline LSM database.
+///
+/// Cloneable via `Arc`; all methods take `&self` and are safe to call from
+/// multiple threads.
+pub struct LsmDb {
+    inner: Arc<DbInner>,
+    background_thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+struct DbInner {
+    options: StoreOptions,
+    preset: StorePreset,
+    env: Arc<dyn Env>,
+    db_path: PathBuf,
+    table_cache: Arc<TableCache>,
+    state: Mutex<DbState>,
+    work_available: Condvar,
+    work_done: Condvar,
+    shutting_down: AtomicBool,
+    counters: EngineCounters,
+}
+
+struct DbState {
+    mem: MemTable,
+    imm: Option<Arc<MemTable>>,
+    versions: VersionSet,
+    log: Option<LogWriter>,
+    log_file_number: u64,
+    compact_pointer: Vec<Vec<u8>>,
+    compaction_running: bool,
+    bg_error: Option<Error>,
+}
+
+/// Work selected for a background compaction pass.
+struct CompactionJob {
+    level: usize,
+    inputs: Vec<Arc<FileMetaData>>,
+    next_level_inputs: Vec<Arc<FileMetaData>>,
+    drop_tombstones: bool,
+    output_numbers: Vec<u64>,
+}
+
+impl LsmDb {
+    /// Opens (creating if necessary) a database at `path` with explicit
+    /// options, labelled with `preset` for benchmark output.
+    pub fn open_with_options(
+        env: Arc<dyn Env>,
+        path: &Path,
+        options: StoreOptions,
+        preset: StorePreset,
+    ) -> Result<LsmDb> {
+        env.create_dir_all(path)?;
+        let table_cache = Arc::new(TableCache::new(
+            Arc::clone(&env),
+            path.to_path_buf(),
+            options.clone(),
+            options.max_open_files,
+        ));
+        let mut versions = VersionSet::new(Arc::clone(&env), path.to_path_buf(), options.clone());
+
+        let current_exists = env.file_exists(&pebblesdb_common::filename::current_file_name(path));
+        if current_exists {
+            versions.recover()?;
+        } else {
+            if !options.create_if_missing {
+                return Err(Error::invalid_argument("database does not exist"));
+            }
+            versions.create_new()?;
+        }
+        if current_exists && options.error_if_exists {
+            return Err(Error::invalid_argument("database already exists"));
+        }
+
+        let mut state = DbState {
+            mem: MemTable::new(),
+            imm: None,
+            versions,
+            log: None,
+            log_file_number: 0,
+            compact_pointer: vec![Vec::new(); options.max_levels],
+            compaction_running: false,
+            bg_error: None,
+        };
+
+        let inner_scaffold = DbInnerScaffold {
+            env: Arc::clone(&env),
+            db_path: path.to_path_buf(),
+            options: options.clone(),
+        };
+        inner_scaffold.recover_wals(&mut state)?;
+
+        // Start a fresh WAL for new writes.
+        let log_number = state.versions.new_file_number();
+        let log_file = env.new_writable_file(&log_file_name(path, log_number))?;
+        state.log = Some(LogWriter::new(log_file));
+        state.log_file_number = log_number;
+        let edit = VersionEdit {
+            log_number: Some(log_number),
+            ..Default::default()
+        };
+        state.versions.log_and_apply(edit)?;
+
+        let inner = Arc::new(DbInner {
+            options,
+            preset,
+            env,
+            db_path: path.to_path_buf(),
+            table_cache,
+            state: Mutex::new(state),
+            work_available: Condvar::new(),
+            work_done: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+            counters: EngineCounters::new(),
+        });
+
+        {
+            let mut state = inner.state.lock();
+            inner.remove_obsolete_files(&mut state);
+        }
+
+        let bg_inner = Arc::clone(&inner);
+        let handle = std::thread::Builder::new()
+            .name("lsm-compaction".to_string())
+            .spawn(move || DbInner::background_main(bg_inner))
+            .map_err(|e| Error::internal(format!("spawn compaction thread: {e}")))?;
+
+        Ok(LsmDb {
+            inner,
+            background_thread: Mutex::new(Some(handle)),
+        })
+    }
+
+    /// Opens a database configured like one of the paper's baseline stores.
+    pub fn open_preset(env: Arc<dyn Env>, path: &Path, preset: StorePreset) -> Result<LsmDb> {
+        LsmDb::open_with_options(env, path, StoreOptions::with_preset(preset), preset)
+    }
+
+    /// Opens a database with default (HyperLevelDB-like) options.
+    pub fn open(env: Arc<dyn Env>, path: &Path) -> Result<LsmDb> {
+        LsmDb::open_preset(env, path, StorePreset::HyperLevelDb)
+    }
+
+    /// The options this database was opened with.
+    pub fn options(&self) -> &StoreOptions {
+        &self.inner.options
+    }
+
+    /// A human-readable per-level file-count summary.
+    pub fn level_summary(&self) -> String {
+        let state = self.inner.state.lock();
+        state.versions.current_unpinned().level_summary()
+    }
+
+    /// Number of files at each level (useful for tests and examples).
+    pub fn files_per_level(&self) -> Vec<usize> {
+        let state = self.inner.state.lock();
+        state
+            .versions
+            .current_unpinned()
+            .files
+            .iter()
+            .map(|f| f.len())
+            .collect()
+    }
+
+    /// Triggers a memtable flush plus any needed compactions, then waits for
+    /// the background thread to go idle.
+    pub fn compact_all(&self) -> Result<()> {
+        self.flush()
+    }
+}
+
+impl Drop for LsmDb {
+    fn drop(&mut self) {
+        self.inner.shutting_down.store(true, Ordering::SeqCst);
+        self.inner.work_available.notify_all();
+        if let Some(handle) = self.background_thread.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Helper owning what WAL recovery needs before `DbInner` exists.
+struct DbInnerScaffold {
+    env: Arc<dyn Env>,
+    db_path: PathBuf,
+    options: StoreOptions,
+}
+
+impl DbInnerScaffold {
+    /// Replays write-ahead logs newer than the manifest's log number.
+    fn recover_wals(&self, state: &mut DbState) -> Result<()> {
+        let min_log = state.versions.log_number;
+        let mut log_numbers: Vec<u64> = self
+            .env
+            .children(&self.db_path)?
+            .iter()
+            .filter_map(|name| parse_file_name(name))
+            .filter(|(ty, number)| *ty == FileType::WriteAheadLog && *number >= min_log)
+            .map(|(_, number)| number)
+            .collect();
+        log_numbers.sort_unstable();
+
+        for number in log_numbers {
+            state.versions.mark_file_number_used(number);
+            let path = log_file_name(&self.db_path, number);
+            let file = self.env.new_sequential_file(&path)?;
+            let mut reader = LogReader::new(file);
+            loop {
+                let record = match reader.read_record() {
+                    Ok(Some(record)) => record,
+                    // A clean end or a torn tail both end replay of this log.
+                    Ok(None) | Err(_) => break,
+                };
+                let batch = match WriteBatch::from_contents(record) {
+                    Ok(batch) => batch,
+                    Err(_) => break,
+                };
+                let base_seq = batch.sequence();
+                let mut applied = 0u64;
+                for item in batch.iter() {
+                    let item = match item {
+                        Ok(item) => item,
+                        Err(_) => break,
+                    };
+                    state
+                        .mem
+                        .add(item.sequence, item.value_type, item.key, item.value);
+                    applied += 1;
+                }
+                let last = base_seq + applied.saturating_sub(1);
+                if last > state.versions.last_sequence {
+                    state.versions.last_sequence = last;
+                }
+                if state.mem.approximate_memory_usage() > self.options.write_buffer_size {
+                    self.flush_recovery_memtable(state)?;
+                }
+            }
+        }
+        if !state.mem.is_empty() {
+            self.flush_recovery_memtable(state)?;
+        }
+        Ok(())
+    }
+
+    fn flush_recovery_memtable(&self, state: &mut DbState) -> Result<()> {
+        let number = state.versions.new_file_number();
+        let mem = std::mem::take(&mut state.mem);
+        let meta = build_table_from_memtable(
+            self.env.as_ref(),
+            &self.db_path,
+            &self.options,
+            &mem,
+            number,
+        )?;
+        if let Some(meta) = meta {
+            let mut edit = VersionEdit::default();
+            edit.add_file(0, &meta);
+            state.versions.log_and_apply(edit)?;
+        }
+        Ok(())
+    }
+}
+
+/// Writes the contents of a memtable into a new level-0 sstable.
+fn build_table_from_memtable(
+    env: &dyn Env,
+    db_path: &Path,
+    options: &StoreOptions,
+    mem: &MemTable,
+    file_number: u64,
+) -> Result<Option<FileMetaData>> {
+    let mut iter = mem.iter();
+    iter.seek_to_first();
+    if !iter.valid() {
+        return Ok(None);
+    }
+    let path = table_file_name(db_path, file_number);
+    let file = env.new_writable_file(&path)?;
+    let mut builder = TableBuilder::new(options, file);
+    let mut smallest: Option<Vec<u8>> = None;
+    let mut largest: Vec<u8> = Vec::new();
+    while iter.valid() {
+        if smallest.is_none() {
+            smallest = Some(iter.key().to_vec());
+        }
+        largest = iter.key().to_vec();
+        builder.add(iter.key(), iter.value())?;
+        iter.next();
+    }
+    let file_size = builder.finish()?;
+    Ok(Some(FileMetaData::new(
+        file_number,
+        file_size,
+        InternalKey::from_encoded(smallest.unwrap_or_default()),
+        InternalKey::from_encoded(largest),
+    )))
+}
+
+impl DbInner {
+    // ---------------------------------------------------------------- write
+
+    fn write(&self, mut batch: WriteBatch, opts: &WriteOptions) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let mut user_bytes = 0u64;
+        for record in batch.iter() {
+            let record = record?;
+            user_bytes += (record.key.len() + record.value.len()) as u64;
+        }
+
+        let mut state = self.state.lock();
+        self.make_room_for_write(&mut state, false)?;
+
+        let seq = state.versions.last_sequence + 1;
+        batch.set_sequence(seq);
+        state.versions.last_sequence += u64::from(batch.count());
+
+        if let Some(log) = state.log.as_mut() {
+            log.add_record(batch.contents())?;
+            if opts.sync {
+                log.sync()?;
+            }
+        }
+        for record in batch.iter() {
+            let record = record?;
+            state
+                .mem
+                .add(record.sequence, record.value_type, record.key, record.value);
+        }
+        drop(state);
+        self.counters.add_user_bytes(user_bytes);
+        Ok(())
+    }
+
+    /// Ensures there is room in the memtable, applying level-0 back-pressure.
+    fn make_room_for_write(&self, state: &mut MutexGuard<'_, DbState>, force: bool) -> Result<()> {
+        let mut allow_delay = !force;
+        let mut force = force;
+        loop {
+            if let Some(err) = &state.bg_error {
+                return Err(err.clone());
+            }
+            let level0_files = state.versions.current_unpinned().files[0].len();
+            if allow_delay && level0_files >= self.options.level0_slowdown_writes_trigger {
+                // Gentle back-pressure: let the compaction thread make
+                // progress without fully blocking this writer.
+                allow_delay = false;
+                self.counters.record_stall();
+                self.work_available.notify_one();
+                MutexGuard::unlocked(state, || std::thread::sleep(Duration::from_millis(1)));
+                continue;
+            }
+            if !force
+                && state.mem.approximate_memory_usage() <= self.options.write_buffer_size
+            {
+                return Ok(());
+            }
+            if state.imm.is_some() {
+                // Previous memtable still flushing.
+                self.counters.record_stall();
+                self.work_available.notify_one();
+                self.work_done.wait(state);
+                continue;
+            }
+            if level0_files >= self.options.level0_stop_writes_trigger {
+                self.counters.record_stall();
+                self.work_available.notify_one();
+                self.work_done.wait(state);
+                continue;
+            }
+
+            // Switch to a fresh memtable and WAL.
+            let new_log_number = state.versions.new_file_number();
+            let log_file = self
+                .env
+                .new_writable_file(&log_file_name(&self.db_path, new_log_number))?;
+            if let Some(old_log) = state.log.take() {
+                let _ = old_log.close();
+            }
+            state.log = Some(LogWriter::new(log_file));
+            state.log_file_number = new_log_number;
+            let full_mem = std::mem::take(&mut state.mem);
+            state.imm = Some(Arc::new(full_mem));
+            force = false;
+            self.work_available.notify_one();
+        }
+    }
+
+    // ----------------------------------------------------------------- read
+
+    fn get(&self, user_key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.counters.record_get();
+        let (lookup, imm, version) = {
+            let mut state = self.state.lock();
+            let lookup = LookupKey::new(user_key, state.versions.last_sequence);
+            match state.mem.get(&lookup) {
+                MemTableGet::Found(value) => return Ok(Some(value)),
+                MemTableGet::Deleted => return Ok(None),
+                MemTableGet::NotFound => {}
+            }
+            (lookup, state.imm.clone(), state.versions.current())
+        };
+        if let Some(imm) = imm {
+            match imm.get(&lookup) {
+                MemTableGet::Found(value) => return Ok(Some(value)),
+                MemTableGet::Deleted => return Ok(None),
+                MemTableGet::NotFound => {}
+            }
+        }
+        version.get(&ReadOptions::default(), &lookup, &self.table_cache)
+    }
+
+    fn scan(&self, start: &[u8], end: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.counters.record_seek();
+        let end_bound: Option<&[u8]> = if end.is_empty() { None } else { Some(end) };
+
+        let (snapshot, mem_entries, imm, version) = {
+            let mut state = self.state.lock();
+            let snapshot = state.versions.last_sequence;
+            let mem_entries = collect_memtable_range(&state.mem, start, end_bound);
+            (snapshot, mem_entries, state.imm.clone(), state.versions.current())
+        };
+        let imm_entries = imm
+            .as_ref()
+            .map(|imm| collect_memtable_range(imm, start, end_bound))
+            .unwrap_or_default();
+
+        let mut children: Vec<Box<dyn DbIterator>> = Vec::new();
+        children.push(Box::new(VecIterator::new(mem_entries)));
+        children.push(Box::new(VecIterator::new(imm_entries)));
+        self.add_version_iterators(&version, start, end_bound, &mut children)?;
+
+        let mut merged = MergingIterator::new(children);
+        let seek_key = LookupKey::new(start, snapshot);
+        merged.seek(seek_key.internal_key());
+
+        let mut out = Vec::new();
+        let mut last_user_key: Option<Vec<u8>> = None;
+        while merged.valid() && out.len() < limit {
+            let parsed = match parse_internal_key(merged.key()) {
+                Some(parsed) => parsed,
+                None => return Err(Error::corruption("malformed key during scan")),
+            };
+            if let Some(end) = end_bound {
+                if parsed.user_key >= end {
+                    break;
+                }
+            }
+            let is_newer_duplicate = last_user_key
+                .as_deref()
+                .map(|last| last == parsed.user_key)
+                .unwrap_or(false);
+            if !is_newer_duplicate && parsed.sequence <= snapshot {
+                last_user_key = Some(parsed.user_key.to_vec());
+                if parsed.value_type == ValueType::Value {
+                    out.push((parsed.user_key.to_vec(), merged.value().to_vec()));
+                }
+            }
+            merged.next();
+        }
+        Ok(out)
+    }
+
+    fn add_version_iterators(
+        &self,
+        version: &Version,
+        start: &[u8],
+        end: Option<&[u8]>,
+        children: &mut Vec<Box<dyn DbIterator>>,
+    ) -> Result<()> {
+        let read_options = ReadOptions::default();
+        for file in &version.files[0] {
+            if file.overlaps_user_range(Some(start), end) {
+                children.push(Box::new(self.table_cache.iter(
+                    &read_options,
+                    file.number,
+                    file.file_size,
+                )?));
+            }
+        }
+        // Deeper levels hold disjoint files: one lazy concatenating iterator
+        // per level opens only the files the cursor actually reaches.
+        for level in 1..version.num_levels() {
+            if version.files[level].is_empty() {
+                continue;
+            }
+            children.push(Box::new(crate::iter::LevelConcatIterator::new(
+                Arc::clone(&self.table_cache),
+                read_options.clone(),
+                version.files[level].clone(),
+            )));
+        }
+        Ok(())
+    }
+
+    // ----------------------------------------------------- background work
+
+    fn background_main(inner: Arc<DbInner>) {
+        let mut state = inner.state.lock();
+        loop {
+            while !inner.shutting_down.load(Ordering::SeqCst)
+                && state.imm.is_none()
+                && !state.versions.needs_compaction()
+            {
+                inner.work_available.wait(&mut state);
+            }
+            if inner.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            state.compaction_running = true;
+            let result = inner.do_background_work(&mut state);
+            state.compaction_running = false;
+            if let Err(err) = result {
+                state.bg_error = Some(err);
+            }
+            inner.work_done.notify_all();
+        }
+    }
+
+    fn do_background_work(&self, state: &mut MutexGuard<'_, DbState>) -> Result<()> {
+        if state.imm.is_some() {
+            self.compact_memtable(state)?;
+            return Ok(());
+        }
+        if let Some(job) = self.pick_compaction(state) {
+            self.run_compaction(state, job)?;
+        }
+        Ok(())
+    }
+
+    fn compact_memtable(&self, state: &mut MutexGuard<'_, DbState>) -> Result<()> {
+        let imm = match state.imm.clone() {
+            Some(imm) => imm,
+            None => return Ok(()),
+        };
+        let number = state.versions.new_file_number();
+        let start = Instant::now();
+        let env = Arc::clone(&self.env);
+        let db_path = self.db_path.clone();
+        let options = self.options.clone();
+        let meta = MutexGuard::unlocked(state, || {
+            build_table_from_memtable(env.as_ref(), &db_path, &options, &imm, number)
+        })?;
+
+        let mut edit = VersionEdit {
+            log_number: Some(state.log_file_number),
+            ..Default::default()
+        };
+        let mut written = 0;
+        if let Some(meta) = &meta {
+            written = meta.file_size;
+            edit.add_file(0, meta);
+        }
+        state.versions.log_and_apply(edit)?;
+        state.imm = None;
+        self.counters
+            .record_compaction(start.elapsed().as_micros() as u64, 0, written);
+        self.remove_obsolete_files(state);
+        Ok(())
+    }
+
+    fn pick_compaction(&self, state: &mut MutexGuard<'_, DbState>) -> Option<CompactionJob> {
+        let (level, _score) = state.versions.pick_compaction_level()?;
+        let version = state.versions.current();
+
+        let inputs: Vec<Arc<FileMetaData>> = if level == 0 {
+            // Compact the whole of level 0 in one go (HyperLevelDB-style
+            // batched level-0 compaction).
+            version.files[0].clone()
+        } else {
+            // Rotate through the level using the compaction pointer.
+            let files = &version.files[level];
+            let pointer = &state.compact_pointer[level];
+            let chosen = files
+                .iter()
+                .find(|f| {
+                    pointer.is_empty()
+                        || compare_internal_keys(f.largest.encoded(), pointer)
+                            == std::cmp::Ordering::Greater
+                })
+                .or_else(|| files.first())?;
+            vec![Arc::clone(chosen)]
+        };
+        if inputs.is_empty() {
+            return None;
+        }
+
+        let smallest_user = inputs
+            .iter()
+            .map(|f| f.smallest.user_key().to_vec())
+            .min()
+            .unwrap_or_default();
+        let largest_user = inputs
+            .iter()
+            .map(|f| f.largest.user_key().to_vec())
+            .max()
+            .unwrap_or_default();
+        let next_level_inputs =
+            version.overlapping_inputs(level + 1, Some(&smallest_user), Some(&largest_user));
+
+        // Tombstones can be dropped when no deeper level holds the key range.
+        let mut drop_tombstones = true;
+        for deeper in (level + 2)..version.num_levels() {
+            if !version
+                .overlapping_inputs(deeper, Some(&smallest_user), Some(&largest_user))
+                .is_empty()
+            {
+                drop_tombstones = false;
+                break;
+            }
+        }
+
+        let total_input_bytes: u64 = inputs
+            .iter()
+            .chain(next_level_inputs.iter())
+            .map(|f| f.file_size)
+            .sum();
+        let estimated_outputs =
+            (total_input_bytes / self.options.max_file_size.max(1) as u64 + 2) as usize;
+        let output_numbers: Vec<u64> = (0..estimated_outputs)
+            .map(|_| state.versions.new_file_number())
+            .collect();
+
+        Some(CompactionJob {
+            level,
+            inputs,
+            next_level_inputs,
+            drop_tombstones,
+            output_numbers,
+        })
+    }
+
+    fn run_compaction(
+        &self,
+        state: &mut MutexGuard<'_, DbState>,
+        job: CompactionJob,
+    ) -> Result<()> {
+        let start = Instant::now();
+
+        // Trivial move: a single input with nothing to merge below just moves.
+        if job.level > 0 && job.inputs.len() == 1 && job.next_level_inputs.is_empty() {
+            let file = &job.inputs[0];
+            let mut edit = VersionEdit::default();
+            edit.delete_file(job.level, file.number);
+            edit.new_files.push((
+                job.level + 1,
+                crate::version::FileMetaDataEdit {
+                    number: file.number,
+                    file_size: file.file_size,
+                    smallest: file.smallest.encoded().to_vec(),
+                    largest: file.largest.encoded().to_vec(),
+                },
+            ));
+            state.compact_pointer[job.level] = file.largest.encoded().to_vec();
+            state.versions.log_and_apply(edit)?;
+            self.counters
+                .record_compaction(start.elapsed().as_micros() as u64, 0, 0);
+            self.remove_obsolete_files(state);
+            return Ok(());
+        }
+
+        let bytes_read: u64 = job
+            .inputs
+            .iter()
+            .chain(job.next_level_inputs.iter())
+            .map(|f| f.file_size)
+            .sum();
+
+        let outputs = MutexGuard::unlocked(state, || self.compaction_io(&job))?;
+
+        let mut edit = VersionEdit::default();
+        for file in &job.inputs {
+            edit.delete_file(job.level, file.number);
+        }
+        for file in &job.next_level_inputs {
+            edit.delete_file(job.level + 1, file.number);
+        }
+        let mut bytes_written = 0;
+        for meta in &outputs {
+            bytes_written += meta.file_size;
+            edit.add_file(job.level + 1, meta);
+        }
+        if let Some(last_input) = job.inputs.last() {
+            state.compact_pointer[job.level] = last_input.largest.encoded().to_vec();
+        }
+        state.versions.log_and_apply(edit)?;
+        self.counters.record_compaction(
+            start.elapsed().as_micros() as u64,
+            bytes_read,
+            bytes_written,
+        );
+        self.remove_obsolete_files(state);
+        Ok(())
+    }
+
+    /// The IO part of a compaction: merge the inputs and write output tables.
+    fn compaction_io(&self, job: &CompactionJob) -> Result<Vec<FileMetaData>> {
+        let read_options = ReadOptions::default();
+        let mut children: Vec<Box<dyn DbIterator>> = Vec::new();
+        for file in job.inputs.iter().chain(job.next_level_inputs.iter()) {
+            children.push(Box::new(self.table_cache.iter(
+                &read_options,
+                file.number,
+                file.file_size,
+            )?));
+        }
+        let mut merged = MergingIterator::new(children);
+        merged.seek_to_first();
+
+        let mut outputs: Vec<FileMetaData> = Vec::new();
+        let mut builder: Option<(u64, TableBuilder)> = None;
+        let mut output_index = 0usize;
+        let mut last_user_key: Option<Vec<u8>> = None;
+
+        while merged.valid() {
+            let key = merged.key().to_vec();
+            let parsed = parse_internal_key(&key)
+                .ok_or_else(|| Error::corruption("malformed key during compaction"))?;
+
+            let is_duplicate = last_user_key
+                .as_deref()
+                .map(|last| last == parsed.user_key)
+                .unwrap_or(false);
+            last_user_key = Some(parsed.user_key.to_vec());
+
+            let drop_entry = is_duplicate
+                || (job.drop_tombstones && parsed.value_type == ValueType::Deletion);
+            if !drop_entry {
+                if builder.is_none() {
+                    let number = *job
+                        .output_numbers
+                        .get(output_index)
+                        .ok_or_else(|| Error::internal("ran out of output file numbers"))?;
+                    output_index += 1;
+                    let path = table_file_name(&self.db_path, number);
+                    let file = self.env.new_writable_file(&path)?;
+                    builder = Some((number, TableBuilder::new(&self.options, file)));
+                }
+                let (_, b) = builder.as_mut().expect("builder exists");
+                b.add(&key, merged.value())?;
+                if b.file_size() >= self.options.max_file_size as u64 {
+                    let (number, b) = builder.take().expect("builder exists");
+                    outputs.push(finish_output(number, b)?);
+                }
+            }
+            merged.next();
+        }
+        if let Some((number, b)) = builder.take() {
+            if b.num_entries() > 0 {
+                outputs.push(finish_output(number, b)?);
+            } else {
+                b.abandon()?;
+            }
+        }
+        Ok(outputs)
+    }
+
+    // -------------------------------------------------------------- cleanup
+
+    fn remove_obsolete_files(&self, state: &mut MutexGuard<'_, DbState>) {
+        let live = state.versions.all_live_file_numbers();
+        let log_number = state.versions.log_number;
+        let manifest_number = state.versions.manifest_number();
+        let children = match self.env.children(&self.db_path) {
+            Ok(children) => children,
+            Err(_) => return,
+        };
+        for name in children {
+            let Some((ty, number)) = parse_file_name(&name) else {
+                continue;
+            };
+            let keep = match ty {
+                FileType::Table => live.binary_search(&number).is_ok(),
+                FileType::WriteAheadLog => number >= log_number || number == state.log_file_number,
+                FileType::Descriptor => number >= manifest_number,
+                FileType::Temp => false,
+                FileType::Current | FileType::Lock | FileType::BtreePages => true,
+            };
+            if !keep {
+                if ty == FileType::Table {
+                    self.table_cache.evict(number);
+                }
+                let _ = self.env.remove_file(&self.db_path.join(&name));
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------- flush
+
+    fn flush(&self) -> Result<()> {
+        let mut state = self.state.lock();
+        if !state.mem.is_empty() {
+            self.make_room_for_write(&mut state, true)?;
+        }
+        loop {
+            if let Some(err) = &state.bg_error {
+                return Err(err.clone());
+            }
+            if state.imm.is_some()
+                || state.versions.needs_compaction()
+                || state.compaction_running
+            {
+                self.work_available.notify_one();
+                self.work_done.wait(&mut state);
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn stats(&self) -> StoreStats {
+        let io = self.env.io_stats().snapshot();
+        let state = self.state.lock();
+        let version = state.versions.current_unpinned();
+        let memory = state.mem.approximate_memory_usage()
+            + state
+                .imm
+                .as_ref()
+                .map(|m| m.approximate_memory_usage())
+                .unwrap_or(0)
+            + self.table_cache.memory_usage();
+        StoreStats {
+            user_bytes_written: EngineCounters::load(&self.counters.user_bytes_written),
+            bytes_written: io.bytes_written,
+            bytes_read: io.bytes_read,
+            disk_bytes_live: version.total_bytes(),
+            num_files: version.num_files() as u64,
+            compactions: EngineCounters::load(&self.counters.compactions),
+            compaction_micros: EngineCounters::load(&self.counters.compaction_micros),
+            compaction_bytes_read: EngineCounters::load(&self.counters.compaction_bytes_read),
+            compaction_bytes_written: EngineCounters::load(&self.counters.compaction_bytes_written),
+            memory_usage_bytes: memory as u64,
+            gets: EngineCounters::load(&self.counters.gets),
+            seeks: EngineCounters::load(&self.counters.seeks),
+            write_stalls: EngineCounters::load(&self.counters.write_stalls),
+        }
+    }
+}
+
+fn finish_output(number: u64, builder: TableBuilder) -> Result<FileMetaData> {
+    let smallest = builder
+        .first_key()
+        .map(|k| k.to_vec())
+        .unwrap_or_default();
+    let largest = builder.last_key().map(|k| k.to_vec()).unwrap_or_default();
+    let size = builder.finish()?;
+    Ok(FileMetaData::new(
+        number,
+        size,
+        InternalKey::from_encoded(smallest),
+        InternalKey::from_encoded(largest),
+    ))
+}
+
+/// Copies the `[start, end)` range of a memtable into a sorted entry list.
+fn collect_memtable_range(
+    mem: &MemTable,
+    start: &[u8],
+    end: Option<&[u8]>,
+) -> Vec<(Vec<u8>, Vec<u8>)> {
+    let mut out = Vec::new();
+    let mut iter = mem.iter();
+    iter.seek(&encode_internal_key(start, MAX_SEQUENCE_NUMBER, VALUE_TYPE_FOR_SEEK));
+    while iter.valid() {
+        if let Some(end) = end {
+            if let Some(parsed) = parse_internal_key(iter.key()) {
+                if parsed.user_key >= end {
+                    break;
+                }
+            }
+        }
+        out.push((iter.key().to_vec(), iter.value().to_vec()));
+        iter.next();
+    }
+    out
+}
+
+impl KvStore for LsmDb {
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        let mut batch = WriteBatch::new();
+        batch.put(key, value);
+        self.inner.write(batch, &WriteOptions::default())
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.inner.get(key)
+    }
+
+    fn delete(&self, key: &[u8]) -> Result<()> {
+        let mut batch = WriteBatch::new();
+        batch.delete(key);
+        self.inner.write(batch, &WriteOptions::default())
+    }
+
+    fn write(&self, batch: WriteBatch) -> Result<()> {
+        self.inner.write(batch, &WriteOptions::default())
+    }
+
+    fn scan(&self, start: &[u8], end: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.inner.scan(start, end, limit)
+    }
+
+    fn flush(&self) -> Result<()> {
+        self.inner.flush()
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.inner.stats()
+    }
+
+    fn engine_name(&self) -> String {
+        self.inner.preset.name().to_string()
+    }
+
+    fn live_file_sizes(&self) -> Vec<u64> {
+        let state = self.inner.state.lock();
+        state.versions.current_unpinned().file_sizes()
+    }
+}

@@ -1,0 +1,821 @@
+//! Versions, version edits and the version set (MANIFEST machinery).
+//!
+//! A [`Version`] is an immutable snapshot of which sstables live at which
+//! level. Mutations (memtable flushes, compactions) are described by
+//! [`VersionEdit`]s which are appended to the MANIFEST log and applied to
+//! produce the next version — the standard LevelDB descriptor scheme that
+//! PebblesDB inherits (and extends with guard metadata in the `pebblesdb`
+//! crate).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicI64, Ordering as AtomicOrdering};
+use std::sync::{Arc, Weak};
+
+use pebblesdb_common::coding::{put_varint32, put_varint64, Decoder};
+use pebblesdb_common::coding::put_length_prefixed_slice;
+use pebblesdb_common::filename::{current_file_name, descriptor_file_name};
+use pebblesdb_common::key::{compare_internal_keys, InternalKey, LookupKey, SequenceNumber};
+use pebblesdb_common::key::{parse_internal_key, ValueType};
+use pebblesdb_common::{Error, ReadOptions, Result, StoreOptions};
+use pebblesdb_env::Env;
+use pebblesdb_sstable::TableCache;
+use pebblesdb_wal::{LogReader, LogWriter};
+
+/// Metadata describing one live sstable.
+#[derive(Debug)]
+pub struct FileMetaData {
+    /// The file number (also the file name).
+    pub number: u64,
+    /// File size in bytes.
+    pub file_size: u64,
+    /// Smallest internal key stored in the file.
+    pub smallest: InternalKey,
+    /// Largest internal key stored in the file.
+    pub largest: InternalKey,
+    /// Seeks allowed before the file becomes a compaction candidate
+    /// (LevelDB-style seek compaction).
+    pub allowed_seeks: AtomicI64,
+}
+
+impl FileMetaData {
+    /// Creates metadata for a new file.
+    pub fn new(number: u64, file_size: u64, smallest: InternalKey, largest: InternalKey) -> Self {
+        // One seek is "worth" roughly 16 KiB of compaction IO (LevelDB
+        // heuristic): larger files tolerate more seeks before compaction.
+        let allowed = ((file_size / 16384).max(100)) as i64;
+        FileMetaData {
+            number,
+            file_size,
+            smallest,
+            largest,
+            allowed_seeks: AtomicI64::new(allowed),
+        }
+    }
+
+    /// Returns `true` if the file's key range overlaps `[begin, end]` in user
+    /// key space. `None` bounds are unbounded.
+    pub fn overlaps_user_range(&self, begin: Option<&[u8]>, end: Option<&[u8]>) -> bool {
+        let file_smallest = self.smallest.user_key();
+        let file_largest = self.largest.user_key();
+        if let Some(begin) = begin {
+            if file_largest < begin {
+                return false;
+            }
+        }
+        if let Some(end) = end {
+            if file_smallest > end {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Decrements the seek allowance, returning `true` when it hits zero.
+    pub fn record_seek(&self) -> bool {
+        self.allowed_seeks.fetch_sub(1, AtomicOrdering::Relaxed) == 1
+    }
+}
+
+/// A record of changes to the file set, persisted in the MANIFEST.
+#[derive(Debug, Default, Clone)]
+pub struct VersionEdit {
+    /// New write-ahead log number (older logs are no longer needed).
+    pub log_number: Option<u64>,
+    /// Next file number to allocate.
+    pub next_file_number: Option<u64>,
+    /// Last sequence number.
+    pub last_sequence: Option<SequenceNumber>,
+    /// Files removed: `(level, file number)`.
+    pub deleted_files: Vec<(usize, u64)>,
+    /// Files added: `(level, metadata)`.
+    pub new_files: Vec<(usize, FileMetaDataEdit)>,
+}
+
+/// The serialisable subset of [`FileMetaData`] carried in an edit.
+#[derive(Debug, Clone)]
+pub struct FileMetaDataEdit {
+    /// File number.
+    pub number: u64,
+    /// File size in bytes.
+    pub file_size: u64,
+    /// Smallest internal key.
+    pub smallest: Vec<u8>,
+    /// Largest internal key.
+    pub largest: Vec<u8>,
+}
+
+const TAG_LOG_NUMBER: u32 = 1;
+const TAG_NEXT_FILE_NUMBER: u32 = 2;
+const TAG_LAST_SEQUENCE: u32 = 3;
+const TAG_DELETED_FILE: u32 = 4;
+const TAG_NEW_FILE: u32 = 5;
+
+impl VersionEdit {
+    /// Serialises the edit for the MANIFEST log.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        if let Some(v) = self.log_number {
+            put_varint32(&mut out, TAG_LOG_NUMBER);
+            put_varint64(&mut out, v);
+        }
+        if let Some(v) = self.next_file_number {
+            put_varint32(&mut out, TAG_NEXT_FILE_NUMBER);
+            put_varint64(&mut out, v);
+        }
+        if let Some(v) = self.last_sequence {
+            put_varint32(&mut out, TAG_LAST_SEQUENCE);
+            put_varint64(&mut out, v);
+        }
+        for (level, number) in &self.deleted_files {
+            put_varint32(&mut out, TAG_DELETED_FILE);
+            put_varint32(&mut out, *level as u32);
+            put_varint64(&mut out, *number);
+        }
+        for (level, file) in &self.new_files {
+            put_varint32(&mut out, TAG_NEW_FILE);
+            put_varint32(&mut out, *level as u32);
+            put_varint64(&mut out, file.number);
+            put_varint64(&mut out, file.file_size);
+            put_length_prefixed_slice(&mut out, &file.smallest);
+            put_length_prefixed_slice(&mut out, &file.largest);
+        }
+        out
+    }
+
+    /// Decodes an edit from a MANIFEST record.
+    pub fn decode(data: &[u8]) -> Result<VersionEdit> {
+        let mut edit = VersionEdit::default();
+        let mut dec = Decoder::new(data);
+        while !dec.is_empty() {
+            let tag = dec.read_varint32()?;
+            match tag {
+                TAG_LOG_NUMBER => edit.log_number = Some(dec.read_varint64()?),
+                TAG_NEXT_FILE_NUMBER => edit.next_file_number = Some(dec.read_varint64()?),
+                TAG_LAST_SEQUENCE => edit.last_sequence = Some(dec.read_varint64()?),
+                TAG_DELETED_FILE => {
+                    let level = dec.read_varint32()? as usize;
+                    let number = dec.read_varint64()?;
+                    edit.deleted_files.push((level, number));
+                }
+                TAG_NEW_FILE => {
+                    let level = dec.read_varint32()? as usize;
+                    let number = dec.read_varint64()?;
+                    let file_size = dec.read_varint64()?;
+                    let smallest = dec.read_length_prefixed_slice()?.to_vec();
+                    let largest = dec.read_length_prefixed_slice()?.to_vec();
+                    edit.new_files.push((
+                        level,
+                        FileMetaDataEdit {
+                            number,
+                            file_size,
+                            smallest,
+                            largest,
+                        },
+                    ));
+                }
+                other => {
+                    return Err(Error::corruption(format!("unknown version edit tag {other}")))
+                }
+            }
+        }
+        Ok(edit)
+    }
+
+    /// Convenience helper to record a new file.
+    pub fn add_file(&mut self, level: usize, file: &FileMetaData) {
+        self.new_files.push((
+            level,
+            FileMetaDataEdit {
+                number: file.number,
+                file_size: file.file_size,
+                smallest: file.smallest.encoded().to_vec(),
+                largest: file.largest.encoded().to_vec(),
+            },
+        ));
+    }
+
+    /// Convenience helper to record a deleted file.
+    pub fn delete_file(&mut self, level: usize, number: u64) {
+        self.deleted_files.push((level, number));
+    }
+}
+
+/// An immutable snapshot of the files at every level.
+#[derive(Debug)]
+pub struct Version {
+    /// `files[level]` is sorted by smallest key for levels >= 1; level 0 is
+    /// ordered newest-file-first (by file number, descending).
+    pub files: Vec<Vec<Arc<FileMetaData>>>,
+}
+
+impl Version {
+    /// Creates an empty version with `levels` levels.
+    pub fn new(levels: usize) -> Self {
+        Version {
+            files: vec![Vec::new(); levels],
+        }
+    }
+
+    /// Number of levels.
+    pub fn num_levels(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Total bytes stored at `level`.
+    pub fn level_bytes(&self, level: usize) -> u64 {
+        self.files[level].iter().map(|f| f.file_size).sum()
+    }
+
+    /// Total number of live files.
+    pub fn num_files(&self) -> usize {
+        self.files.iter().map(|l| l.len()).sum()
+    }
+
+    /// Total bytes across all live files.
+    pub fn total_bytes(&self) -> u64 {
+        self.files.iter().flatten().map(|f| f.file_size).sum()
+    }
+
+    /// Sizes of every live file.
+    pub fn file_sizes(&self) -> Vec<u64> {
+        self.files.iter().flatten().map(|f| f.file_size).collect()
+    }
+
+    /// All file numbers referenced by this version.
+    pub fn live_file_numbers(&self) -> Vec<u64> {
+        self.files.iter().flatten().map(|f| f.number).collect()
+    }
+
+    /// The files at `level` whose user-key range overlaps `[begin, end]`.
+    pub fn overlapping_inputs(
+        &self,
+        level: usize,
+        begin: Option<&[u8]>,
+        end: Option<&[u8]>,
+    ) -> Vec<Arc<FileMetaData>> {
+        let mut inputs = Vec::new();
+        let mut begin = begin.map(|b| b.to_vec());
+        let mut end = end.map(|e| e.to_vec());
+        let mut restart = true;
+        while restart {
+            restart = false;
+            inputs.clear();
+            for file in &self.files[level] {
+                if file.overlaps_user_range(begin.as_deref(), end.as_deref()) {
+                    // Level-0 files overlap each other, so growing the range
+                    // must restart the search to stay transitive.
+                    if level == 0 {
+                        let fs = file.smallest.user_key();
+                        let fl = file.largest.user_key();
+                        if begin.as_deref().map(|b| fs < b).unwrap_or(false) {
+                            begin = Some(fs.to_vec());
+                            restart = true;
+                        }
+                        if end.as_deref().map(|e| fl > e).unwrap_or(false) {
+                            end = Some(fl.to_vec());
+                            restart = true;
+                        }
+                    }
+                    inputs.push(Arc::clone(file));
+                    if restart {
+                        break;
+                    }
+                }
+            }
+        }
+        inputs
+    }
+
+    /// Point lookup: searches level 0 newest-first, then deeper levels.
+    ///
+    /// Returns `Ok(Some(value))`, `Ok(None)` for "definitely deleted or never
+    /// written", and records a seek on the first file probed (for
+    /// seek-triggered compaction, reported through the return).
+    pub fn get(
+        &self,
+        read_options: &ReadOptions,
+        key: &LookupKey,
+        table_cache: &TableCache,
+    ) -> Result<Option<Vec<u8>>> {
+        let user_key = key.user_key();
+        let snapshot = key.sequence();
+
+        // Level 0: every overlapping file, newest first.
+        let mut level0: Vec<&Arc<FileMetaData>> = self.files[0]
+            .iter()
+            .filter(|f| {
+                f.smallest.user_key() <= user_key && user_key <= f.largest.user_key()
+            })
+            .collect();
+        level0.sort_by(|a, b| b.number.cmp(&a.number));
+        for file in level0 {
+            if let Some(result) =
+                Self::get_in_file(read_options, file, user_key, snapshot, table_cache)?
+            {
+                return Ok(result);
+            }
+        }
+
+        // Deeper levels: at most one file can contain the key.
+        for level in 1..self.num_levels() {
+            let files = &self.files[level];
+            if files.is_empty() {
+                continue;
+            }
+            // Binary search for the first file whose largest key >= user key.
+            let idx = files.partition_point(|f| f.largest.user_key() < user_key);
+            if idx >= files.len() {
+                continue;
+            }
+            let file = &files[idx];
+            if file.smallest.user_key() > user_key {
+                continue;
+            }
+            if let Some(result) =
+                Self::get_in_file(read_options, file, user_key, snapshot, table_cache)?
+            {
+                return Ok(result);
+            }
+        }
+        Ok(None)
+    }
+
+    /// Searches a single file. The outer `Option` is "did this file decide
+    /// the outcome"; the inner is the value (None = tombstone).
+    fn get_in_file(
+        read_options: &ReadOptions,
+        file: &Arc<FileMetaData>,
+        user_key: &[u8],
+        snapshot: SequenceNumber,
+        table_cache: &TableCache,
+    ) -> Result<Option<Option<Vec<u8>>>> {
+        let table = table_cache.get_table(file.number, file.file_size)?;
+        if !table.may_contain_user_key(user_key) {
+            return Ok(None);
+        }
+        let target = LookupKey::new(user_key, snapshot);
+        match table.get(read_options, target.internal_key())? {
+            Some((found_key, value)) => match parse_internal_key(&found_key) {
+                Some(parsed) if parsed.user_key == user_key => match parsed.value_type {
+                    ValueType::Value => Ok(Some(Some(value))),
+                    ValueType::Deletion => Ok(Some(None)),
+                },
+                _ => Ok(None),
+            },
+            None => Ok(None),
+        }
+    }
+
+    /// Human-readable summary of files per level (for debugging and the
+    /// `compare_engines` example).
+    pub fn level_summary(&self) -> String {
+        let counts: Vec<String> = self
+            .files
+            .iter()
+            .enumerate()
+            .map(|(level, files)| format!("L{level}:{}", files.len()))
+            .collect();
+        counts.join(" ")
+    }
+}
+
+/// Owns the current [`Version`], the MANIFEST log and file-number allocation.
+pub struct VersionSet {
+    env: Arc<dyn Env>,
+    db_path: PathBuf,
+    options: StoreOptions,
+    current: Arc<Version>,
+    live_versions: Vec<Weak<Version>>,
+    manifest: Option<LogWriter>,
+    manifest_number: u64,
+    next_file_number: u64,
+    /// Sequence number of the most recent write.
+    pub last_sequence: SequenceNumber,
+    /// Write-ahead log number whose contents are reflected in `current`.
+    pub log_number: u64,
+}
+
+impl VersionSet {
+    /// Creates a version set for a database directory.
+    pub fn new(env: Arc<dyn Env>, db_path: PathBuf, options: StoreOptions) -> Self {
+        let levels = options.max_levels;
+        VersionSet {
+            env,
+            db_path,
+            options,
+            current: Arc::new(Version::new(levels)),
+            live_versions: Vec::new(),
+            manifest: None,
+            manifest_number: 1,
+            next_file_number: 2,
+            last_sequence: 0,
+            log_number: 0,
+        }
+    }
+
+    /// The current version.
+    pub fn current(&mut self) -> Arc<Version> {
+        let version = Arc::clone(&self.current);
+        self.live_versions.push(Arc::downgrade(&version));
+        version
+    }
+
+    /// A read-only peek at the current version without registering a pin.
+    pub fn current_unpinned(&self) -> &Arc<Version> {
+        &self.current
+    }
+
+    /// Allocates a new file number.
+    pub fn new_file_number(&mut self) -> u64 {
+        let number = self.next_file_number;
+        self.next_file_number += 1;
+        number
+    }
+
+    /// Marks `number` as used (during recovery).
+    pub fn mark_file_number_used(&mut self, number: u64) {
+        if self.next_file_number <= number {
+            self.next_file_number = number + 1;
+        }
+    }
+
+    /// File numbers referenced by the current version or any version still
+    /// pinned by an in-flight read.
+    pub fn all_live_file_numbers(&mut self) -> Vec<u64> {
+        let mut live: Vec<u64> = self.current.live_file_numbers();
+        self.live_versions.retain(|weak| weak.strong_count() > 0);
+        for weak in &self.live_versions {
+            if let Some(version) = weak.upgrade() {
+                live.extend(version.live_file_numbers());
+            }
+        }
+        live.sort_unstable();
+        live.dedup();
+        live
+    }
+
+    /// Writes a fresh MANIFEST describing an empty database.
+    pub fn create_new(&mut self) -> Result<()> {
+        let manifest_number = self.new_file_number();
+        let path = descriptor_file_name(&self.db_path, manifest_number);
+        let file = self.env.new_writable_file(&path)?;
+        let mut writer = LogWriter::new(file);
+        let edit = VersionEdit {
+            next_file_number: Some(self.next_file_number),
+            last_sequence: Some(self.last_sequence),
+            log_number: Some(self.log_number),
+            ..Default::default()
+        };
+        writer.add_record(&edit.encode())?;
+        writer.sync()?;
+        self.manifest = Some(writer);
+        self.manifest_number = manifest_number;
+        self.env.write_string_to_file_sync(
+            &current_file_name(&self.db_path),
+            format!("MANIFEST-{manifest_number:06}\n").as_bytes(),
+        )?;
+        Ok(())
+    }
+
+    /// Recovers state from the MANIFEST named by `CURRENT`.
+    pub fn recover(&mut self) -> Result<()> {
+        let current = self.env.read_file_to_vec(&current_file_name(&self.db_path))?;
+        let name = String::from_utf8_lossy(&current);
+        let name = name.trim();
+        let manifest_number: u64 = name
+            .strip_prefix("MANIFEST-")
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| Error::corruption("CURRENT does not name a manifest"))?;
+        let path = self.db_path.join(name);
+        let file = self.env.new_sequential_file(&path)?;
+        let mut reader = LogReader::new(file);
+
+        let mut builder = VersionBuilder::new(Version::new(self.options.max_levels));
+        while let Some(record) = reader.read_record()? {
+            let edit = VersionEdit::decode(&record)?;
+            if let Some(v) = edit.log_number {
+                self.log_number = v;
+            }
+            if let Some(v) = edit.next_file_number {
+                self.next_file_number = v;
+            }
+            if let Some(v) = edit.last_sequence {
+                self.last_sequence = v;
+            }
+            builder.apply(&edit);
+        }
+        self.current = Arc::new(builder.finish());
+        self.manifest_number = manifest_number;
+        self.mark_file_number_used(manifest_number);
+
+        // Continue appending to a fresh manifest to keep recovery simple.
+        self.rewrite_manifest()?;
+        Ok(())
+    }
+
+    /// Applies `edit` to the current version, logs it and installs the result.
+    pub fn log_and_apply(&mut self, mut edit: VersionEdit) -> Result<Arc<Version>> {
+        if edit.log_number.is_none() {
+            edit.log_number = Some(self.log_number);
+        }
+        edit.next_file_number = Some(self.next_file_number);
+        edit.last_sequence = Some(self.last_sequence);
+
+        let mut builder = VersionBuilder::from_version(&self.current);
+        builder.apply(&edit);
+        let next = Arc::new(builder.finish());
+
+        if self.manifest.is_none() {
+            self.rewrite_manifest()?;
+        }
+        if let Some(manifest) = self.manifest.as_mut() {
+            manifest.add_record(&edit.encode())?;
+            manifest.sync()?;
+        }
+        if let Some(v) = edit.log_number {
+            self.log_number = v;
+        }
+        self.current = Arc::clone(&next);
+        Ok(next)
+    }
+
+    /// Writes a new MANIFEST containing a full snapshot of the current state.
+    fn rewrite_manifest(&mut self) -> Result<()> {
+        let manifest_number = self.new_file_number();
+        let path = descriptor_file_name(&self.db_path, manifest_number);
+        let file = self.env.new_writable_file(&path)?;
+        let mut writer = LogWriter::new(file);
+
+        let mut snapshot = VersionEdit {
+            next_file_number: Some(self.next_file_number),
+            last_sequence: Some(self.last_sequence),
+            log_number: Some(self.log_number),
+            ..Default::default()
+        };
+        for (level, files) in self.current.files.iter().enumerate() {
+            for file in files {
+                snapshot.add_file(level, file);
+            }
+        }
+        writer.add_record(&snapshot.encode())?;
+        writer.sync()?;
+        self.manifest = Some(writer);
+        self.manifest_number = manifest_number;
+        self.env.write_string_to_file_sync(
+            &current_file_name(&self.db_path),
+            format!("MANIFEST-{manifest_number:06}\n").as_bytes(),
+        )?;
+        Ok(())
+    }
+
+    /// Returns the level with the highest compaction score, if any level is
+    /// over budget. Level 0 is scored by file count, deeper levels by bytes.
+    pub fn pick_compaction_level(&self) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for level in 0..self.current.num_levels() - 1 {
+            let score = if level == 0 {
+                self.current.files[0].len() as f64
+                    / self.options.level0_compaction_trigger as f64
+            } else {
+                self.current.level_bytes(level) as f64
+                    / self.options.max_bytes_for_level(level) as f64
+            };
+            if score >= 1.0 && best.map(|(_, s)| score > s).unwrap_or(true) {
+                best = Some((level, score));
+            }
+        }
+        best
+    }
+
+    /// Returns `true` if any level is over its compaction budget.
+    pub fn needs_compaction(&self) -> bool {
+        self.pick_compaction_level().is_some()
+    }
+
+    /// The file number of the live MANIFEST.
+    pub fn manifest_number(&self) -> u64 {
+        self.manifest_number
+    }
+
+    /// The database options (shared with compaction code).
+    pub fn options(&self) -> &StoreOptions {
+        &self.options
+    }
+}
+
+/// Applies a sequence of edits to a base version.
+pub struct VersionBuilder {
+    files: Vec<Vec<Arc<FileMetaData>>>,
+}
+
+impl VersionBuilder {
+    /// Starts from an empty version.
+    pub fn new(base: Version) -> Self {
+        VersionBuilder { files: base.files }
+    }
+
+    /// Starts from an existing version (files are shared via `Arc`).
+    pub fn from_version(base: &Version) -> Self {
+        VersionBuilder {
+            files: base.files.clone(),
+        }
+    }
+
+    /// Applies one edit.
+    pub fn apply(&mut self, edit: &VersionEdit) {
+        for (level, number) in &edit.deleted_files {
+            if *level < self.files.len() {
+                self.files[*level].retain(|f| f.number != *number);
+            }
+        }
+        for (level, file) in &edit.new_files {
+            if *level < self.files.len() {
+                let meta = Arc::new(FileMetaData::new(
+                    file.number,
+                    file.file_size,
+                    InternalKey::from_encoded(file.smallest.clone()),
+                    InternalKey::from_encoded(file.largest.clone()),
+                ));
+                self.files[*level].push(meta);
+            }
+        }
+    }
+
+    /// Produces the resulting version with per-level ordering restored.
+    pub fn finish(mut self) -> Version {
+        for (level, files) in self.files.iter_mut().enumerate() {
+            if level == 0 {
+                files.sort_by(|a, b| b.number.cmp(&a.number));
+            } else {
+                files.sort_by(|a, b| compare_internal_keys(a.smallest.encoded(), b.smallest.encoded()));
+            }
+        }
+        Version { files: self.files }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebblesdb_common::key::ValueType;
+    use pebblesdb_env::MemEnv;
+
+    fn ikey(user: &str, seq: u64) -> InternalKey {
+        InternalKey::new(user.as_bytes(), seq, ValueType::Value)
+    }
+
+    fn meta(number: u64, smallest: &str, largest: &str) -> FileMetaDataEdit {
+        FileMetaDataEdit {
+            number,
+            file_size: 1000,
+            smallest: ikey(smallest, 5).encoded().to_vec(),
+            largest: ikey(largest, 1).encoded().to_vec(),
+        }
+    }
+
+    #[test]
+    fn version_edit_roundtrip() {
+        let mut edit = VersionEdit {
+            log_number: Some(12),
+            next_file_number: Some(55),
+            last_sequence: Some(9000),
+            ..Default::default()
+        };
+        edit.deleted_files.push((2, 40));
+        edit.new_files.push((1, meta(41, "a", "m")));
+        let decoded = VersionEdit::decode(&edit.encode()).unwrap();
+        assert_eq!(decoded.log_number, Some(12));
+        assert_eq!(decoded.next_file_number, Some(55));
+        assert_eq!(decoded.last_sequence, Some(9000));
+        assert_eq!(decoded.deleted_files, vec![(2, 40)]);
+        assert_eq!(decoded.new_files.len(), 1);
+        assert_eq!(decoded.new_files[0].0, 1);
+        assert_eq!(decoded.new_files[0].1.number, 41);
+    }
+
+    #[test]
+    fn corrupt_edit_is_rejected() {
+        assert!(VersionEdit::decode(&[99, 1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn builder_applies_adds_and_deletes_in_order() {
+        let mut builder = VersionBuilder::new(Version::new(7));
+        let mut edit = VersionEdit::default();
+        edit.new_files.push((1, meta(10, "k", "p")));
+        edit.new_files.push((1, meta(11, "a", "e")));
+        edit.new_files.push((0, meta(12, "c", "z")));
+        builder.apply(&edit);
+        let mut second = VersionEdit::default();
+        second.deleted_files.push((1, 10));
+        second.new_files.push((2, meta(13, "q", "t")));
+        builder.apply(&second);
+        let version = builder.finish();
+        assert_eq!(version.files[0].len(), 1);
+        assert_eq!(version.files[1].len(), 1);
+        assert_eq!(version.files[1][0].number, 11);
+        assert_eq!(version.files[2].len(), 1);
+        assert_eq!(version.num_files(), 3);
+        assert_eq!(version.total_bytes(), 3000);
+        assert_eq!(version.level_summary(), "L0:1 L1:1 L2:1 L3:0 L4:0 L5:0 L6:0");
+    }
+
+    #[test]
+    fn overlapping_inputs_expands_level0_ranges() {
+        let mut builder = VersionBuilder::new(Version::new(7));
+        let mut edit = VersionEdit::default();
+        // Two overlapping level-0 files and one detached one.
+        edit.new_files.push((0, meta(1, "a", "f")));
+        edit.new_files.push((0, meta(2, "e", "k")));
+        edit.new_files.push((0, meta(3, "x", "z")));
+        builder.apply(&edit);
+        let version = builder.finish();
+        let inputs = version.overlapping_inputs(0, Some(b"a"), Some(b"b"));
+        // Picking "a".."b" pulls in file 1; expansion to file 1's range pulls
+        // in file 2 because they overlap at "e"/"f".
+        let numbers: Vec<u64> = inputs.iter().map(|f| f.number).collect();
+        assert!(numbers.contains(&1) && numbers.contains(&2));
+        assert!(!numbers.contains(&3));
+    }
+
+    #[test]
+    fn version_set_persists_and_recovers_state() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let db = PathBuf::from("/db");
+        env.create_dir_all(&db).unwrap();
+        let opts = StoreOptions::default();
+
+        let mut vs = VersionSet::new(Arc::clone(&env), db.clone(), opts.clone());
+        vs.create_new().unwrap();
+        vs.last_sequence = 777;
+        let mut edit = VersionEdit::default();
+        edit.new_files.push((1, meta(9, "a", "z")));
+        vs.log_and_apply(edit).unwrap();
+
+        let mut recovered = VersionSet::new(Arc::clone(&env), db, opts);
+        recovered.recover().unwrap();
+        assert_eq!(recovered.last_sequence, 777);
+        assert_eq!(recovered.current_unpinned().files[1].len(), 1);
+        assert_eq!(recovered.current_unpinned().files[1][0].number, 9);
+        assert!(recovered.next_file_number > 9 || recovered.next_file_number > 2);
+    }
+
+    #[test]
+    fn compaction_scores_trigger_on_level0_count_and_level_bytes() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let db = PathBuf::from("/db2");
+        env.create_dir_all(&db).unwrap();
+        let mut opts = StoreOptions::default();
+        opts.level0_compaction_trigger = 2;
+        opts.base_level_bytes = 1500;
+        let mut vs = VersionSet::new(env, db, opts);
+        vs.create_new().unwrap();
+        assert!(!vs.needs_compaction());
+
+        let mut edit = VersionEdit::default();
+        edit.new_files.push((0, meta(10, "a", "b")));
+        edit.new_files.push((0, meta(11, "c", "d")));
+        vs.log_and_apply(edit).unwrap();
+        let (level, score) = vs.pick_compaction_level().unwrap();
+        assert_eq!(level, 0);
+        assert!(score >= 1.0);
+
+        // Push level 1 over its byte budget (2 files x 1000 bytes > 1500).
+        let mut edit = VersionEdit::default();
+        edit.deleted_files.push((0, 10));
+        edit.deleted_files.push((0, 11));
+        edit.new_files.push((1, meta(12, "a", "b")));
+        edit.new_files.push((1, meta(13, "c", "d")));
+        vs.log_and_apply(edit).unwrap();
+        let (level, _) = vs.pick_compaction_level().unwrap();
+        assert_eq!(level, 1);
+    }
+
+    #[test]
+    fn live_file_numbers_include_pinned_versions() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let db = PathBuf::from("/db3");
+        env.create_dir_all(&db).unwrap();
+        let mut vs = VersionSet::new(env, db, StoreOptions::default());
+        vs.create_new().unwrap();
+
+        let mut edit = VersionEdit::default();
+        edit.new_files.push((1, meta(20, "a", "c")));
+        vs.log_and_apply(edit).unwrap();
+        let pinned = vs.current();
+
+        // Replace file 20 with 21; 20 must stay live while `pinned` exists.
+        let mut edit = VersionEdit::default();
+        edit.deleted_files.push((1, 20));
+        edit.new_files.push((1, meta(21, "a", "c")));
+        vs.log_and_apply(edit).unwrap();
+
+        let live = vs.all_live_file_numbers();
+        assert!(live.contains(&20));
+        assert!(live.contains(&21));
+        drop(pinned);
+        let live = vs.all_live_file_numbers();
+        assert!(!live.contains(&20));
+        assert!(live.contains(&21));
+    }
+}

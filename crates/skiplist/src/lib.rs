@@ -1,0 +1,18 @@
+//! The in-memory write buffer: an arena-backed skiplist and the memtable.
+//!
+//! The paper's `put()` path (section 2.2) appends to an in-memory skip list
+//! called the memtable; when it reaches `write_buffer_size` it is frozen and
+//! flushed to a level-0 sstable. The FLSM guard-selection scheme is *also*
+//! inspired by skip lists, but that logic lives in the engine crate — this
+//! crate only provides the ordered in-memory map.
+//!
+//! The skiplist here stores nodes in a growable arena and links them with
+//! `u32` indices, which keeps the implementation entirely in safe Rust while
+//! preserving the O(log n) insert/search behaviour of a classic tower-based
+//! skip list.
+
+pub mod list;
+pub mod memtable;
+
+pub use list::SkipList;
+pub use memtable::{MemTable, MemTableIterator};

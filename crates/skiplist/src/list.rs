@@ -1,0 +1,336 @@
+//! An arena-backed probabilistic skip list keyed by byte strings.
+
+use std::cmp::Ordering;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Maximum tower height. With a branching factor of 4 this comfortably
+/// supports hundreds of millions of entries.
+const MAX_HEIGHT: usize = 12;
+/// Probability denominator for growing a tower by one level.
+const BRANCHING: u32 = 4;
+
+/// Index of the head sentinel node.
+const HEAD: u32 = 0;
+/// Sentinel meaning "no node".
+const NIL: u32 = u32::MAX;
+
+struct Node {
+    key: Vec<u8>,
+    /// `next[level]` is the index of the following node at that level.
+    next: [u32; MAX_HEIGHT],
+}
+
+/// An append-only ordered map over byte-string keys.
+///
+/// Keys are compared with a caller-provided comparator so the memtable can
+/// order encoded internal keys (user key ascending, sequence descending).
+/// Duplicate keys are not detected — the memtable never inserts the same
+/// internal key twice because sequence numbers are unique.
+pub struct SkipList {
+    nodes: Vec<Node>,
+    max_height: usize,
+    rng: StdRng,
+    cmp: fn(&[u8], &[u8]) -> Ordering,
+    approximate_memory: usize,
+}
+
+impl SkipList {
+    /// Creates an empty skip list ordered by `cmp`.
+    pub fn new(cmp: fn(&[u8], &[u8]) -> Ordering) -> Self {
+        let head = Node {
+            key: Vec::new(),
+            next: [NIL; MAX_HEIGHT],
+        };
+        SkipList {
+            nodes: vec![head],
+            max_height: 1,
+            rng: StdRng::seed_from_u64(0xdeadbeef),
+            cmp,
+            approximate_memory: std::mem::size_of::<Node>(),
+        }
+    }
+
+    /// Number of entries in the list.
+    pub fn len(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Returns `true` if the list holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate bytes of memory used by keys and nodes.
+    pub fn approximate_memory_usage(&self) -> usize {
+        self.approximate_memory
+    }
+
+    fn random_height(&mut self) -> usize {
+        let mut height = 1;
+        while height < MAX_HEIGHT && self.rng.gen_ratio(1, BRANCHING) {
+            height += 1;
+        }
+        height
+    }
+
+    fn key_is_after_node(&self, key: &[u8], node: u32) -> bool {
+        node != NIL
+            && node != HEAD
+            && (self.cmp)(&self.nodes[node as usize].key, key) == Ordering::Less
+    }
+
+    /// Finds, per level, the last node whose key is `< key`.
+    fn find_greater_or_equal(&self, key: &[u8], prev: Option<&mut [u32; MAX_HEIGHT]>) -> u32 {
+        let mut scratch = [HEAD; MAX_HEIGHT];
+        let prev = match prev {
+            Some(p) => p,
+            None => &mut scratch,
+        };
+        let mut node = HEAD;
+        let mut level = self.max_height - 1;
+        loop {
+            let next = self.nodes[node as usize].next[level];
+            if self.key_is_after_node(key, next) {
+                node = next;
+            } else {
+                prev[level] = node;
+                if level == 0 {
+                    return next;
+                }
+                level -= 1;
+            }
+        }
+    }
+
+    fn find_less_than(&self, key: &[u8]) -> u32 {
+        let mut node = HEAD;
+        let mut level = self.max_height - 1;
+        loop {
+            let next = self.nodes[node as usize].next[level];
+            if next != NIL && (self.cmp)(&self.nodes[next as usize].key, key) == Ordering::Less {
+                node = next;
+            } else if level == 0 {
+                return node;
+            } else {
+                level -= 1;
+            }
+        }
+    }
+
+    fn find_last(&self) -> u32 {
+        let mut node = HEAD;
+        let mut level = self.max_height - 1;
+        loop {
+            let next = self.nodes[node as usize].next[level];
+            if next != NIL {
+                node = next;
+            } else if level == 0 {
+                return node;
+            } else {
+                level -= 1;
+            }
+        }
+    }
+
+    /// Inserts `key` into the list.
+    pub fn insert(&mut self, key: Vec<u8>) {
+        let mut prev = [HEAD; MAX_HEIGHT];
+        let _ = self.find_greater_or_equal(&key, Some(&mut prev));
+
+        let height = self.random_height();
+        if height > self.max_height {
+            for slot in prev.iter_mut().take(height).skip(self.max_height) {
+                *slot = HEAD;
+            }
+            self.max_height = height;
+        }
+
+        let new_index = self.nodes.len() as u32;
+        self.approximate_memory += key.len() + std::mem::size_of::<Node>();
+        let mut node = Node {
+            key,
+            next: [NIL; MAX_HEIGHT],
+        };
+        for level in 0..height {
+            node.next[level] = self.nodes[prev[level] as usize].next[level];
+        }
+        self.nodes.push(node);
+        for level in 0..height {
+            self.nodes[prev[level] as usize].next[level] = new_index;
+        }
+    }
+
+    /// Returns `true` if a key equal to `key` (under the comparator) exists.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        let node = self.find_greater_or_equal(key, None);
+        node != NIL && (self.cmp)(&self.nodes[node as usize].key, key) == Ordering::Equal
+    }
+
+    /// Creates a cursor over the list.
+    pub fn iter(&self) -> SkipListIterator<'_> {
+        SkipListIterator {
+            list: self,
+            node: NIL,
+        }
+    }
+}
+
+/// A cursor over a [`SkipList`].
+pub struct SkipListIterator<'a> {
+    list: &'a SkipList,
+    node: u32,
+}
+
+impl<'a> SkipListIterator<'a> {
+    /// Returns `true` when positioned at an entry.
+    pub fn valid(&self) -> bool {
+        self.node != NIL && self.node != HEAD
+    }
+
+    /// The key at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator is not valid.
+    pub fn key(&self) -> &'a [u8] {
+        assert!(self.valid(), "key() on invalid skiplist iterator");
+        &self.list.nodes[self.node as usize].key
+    }
+
+    /// Positions at the first entry `>= key`.
+    pub fn seek(&mut self, key: &[u8]) {
+        self.node = self.list.find_greater_or_equal(key, None);
+    }
+
+    /// Positions at the first entry.
+    pub fn seek_to_first(&mut self) {
+        self.node = self.list.nodes[HEAD as usize].next[0];
+    }
+
+    /// Positions at the last entry.
+    pub fn seek_to_last(&mut self) {
+        let last = self.list.find_last();
+        self.node = if last == HEAD { NIL } else { last };
+    }
+
+    /// Advances to the next entry.
+    pub fn next(&mut self) {
+        assert!(self.valid(), "next() on invalid skiplist iterator");
+        self.node = self.list.nodes[self.node as usize].next[0];
+    }
+
+    /// Moves to the previous entry.
+    pub fn prev(&mut self) {
+        assert!(self.valid(), "prev() on invalid skiplist iterator");
+        let key = &self.list.nodes[self.node as usize].key;
+        let prev = self.list.find_less_than(key);
+        self.node = if prev == HEAD { NIL } else { prev };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bytewise(a: &[u8], b: &[u8]) -> Ordering {
+        a.cmp(b)
+    }
+
+    #[test]
+    fn empty_list_has_no_entries() {
+        let list = SkipList::new(bytewise);
+        assert!(list.is_empty());
+        assert!(!list.contains(b"x"));
+        let mut iter = list.iter();
+        iter.seek_to_first();
+        assert!(!iter.valid());
+        iter.seek_to_last();
+        assert!(!iter.valid());
+    }
+
+    #[test]
+    fn inserted_keys_are_found_and_sorted() {
+        let mut list = SkipList::new(bytewise);
+        let keys = [b"m".to_vec(), b"a".to_vec(), b"z".to_vec(), b"c".to_vec()];
+        for k in &keys {
+            list.insert(k.clone());
+        }
+        assert_eq!(list.len(), 4);
+        for k in &keys {
+            assert!(list.contains(k));
+        }
+        assert!(!list.contains(b"q"));
+
+        let mut iter = list.iter();
+        iter.seek_to_first();
+        let mut seen = Vec::new();
+        while iter.valid() {
+            seen.push(iter.key().to_vec());
+            iter.next();
+        }
+        let mut expected = keys.to_vec();
+        expected.sort();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn seek_positions_at_lower_bound() {
+        let mut list = SkipList::new(bytewise);
+        for k in ["b", "d", "f"] {
+            list.insert(k.as_bytes().to_vec());
+        }
+        let mut iter = list.iter();
+        iter.seek(b"c");
+        assert!(iter.valid());
+        assert_eq!(iter.key(), b"d");
+        iter.seek(b"d");
+        assert_eq!(iter.key(), b"d");
+        iter.seek(b"g");
+        assert!(!iter.valid());
+    }
+
+    #[test]
+    fn prev_walks_backwards() {
+        let mut list = SkipList::new(bytewise);
+        for k in ["a", "b", "c"] {
+            list.insert(k.as_bytes().to_vec());
+        }
+        let mut iter = list.iter();
+        iter.seek_to_last();
+        assert_eq!(iter.key(), b"c");
+        iter.prev();
+        assert_eq!(iter.key(), b"b");
+        iter.prev();
+        assert_eq!(iter.key(), b"a");
+        iter.prev();
+        assert!(!iter.valid());
+    }
+
+    #[test]
+    fn large_random_insertions_stay_sorted() {
+        use rand::seq::SliceRandom;
+        let mut keys: Vec<Vec<u8>> = (0..5000u32).map(|i| format!("{i:08}").into_bytes()).collect();
+        let mut rng = StdRng::seed_from_u64(42);
+        keys.shuffle(&mut rng);
+        let mut list = SkipList::new(bytewise);
+        for k in &keys {
+            list.insert(k.clone());
+        }
+        let mut iter = list.iter();
+        iter.seek_to_first();
+        let mut prev: Option<Vec<u8>> = None;
+        let mut count = 0;
+        while iter.valid() {
+            if let Some(p) = &prev {
+                assert!(p.as_slice() < iter.key());
+            }
+            prev = Some(iter.key().to_vec());
+            count += 1;
+            iter.next();
+        }
+        assert_eq!(count, 5000);
+        assert!(list.approximate_memory_usage() > 5000 * 8);
+    }
+}

@@ -1,0 +1,282 @@
+//! A thread-safe LRU cache with byte-size accounting.
+//!
+//! Used as the block cache (keyed by `(table id, block offset)`) and as the
+//! table cache (keyed by file number). Capacity is expressed in abstract
+//! "charge" units — bytes for blocks, entries for tables.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+struct Entry<K, V> {
+    key: K,
+    value: Arc<V>,
+    charge: usize,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+struct LruInner<K, V> {
+    map: HashMap<K, usize>,
+    slab: Vec<Option<Entry<K, V>>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    usage: usize,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+/// A sharded-free, mutex-protected LRU cache.
+pub struct LruCache<K, V> {
+    inner: Mutex<LruInner<K, V>>,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` units of charge.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            inner: Mutex::new(LruInner {
+                map: HashMap::new(),
+                slab: Vec::new(),
+                free: Vec::new(),
+                head: NIL,
+                tail: NIL,
+                usage: 0,
+                capacity: capacity.max(1),
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// Inserts `key -> value` with the given charge, evicting old entries if
+    /// the capacity is exceeded. Returns the inserted value.
+    pub fn insert(&self, key: K, value: V, charge: usize) -> Arc<V> {
+        let value = Arc::new(value);
+        let mut inner = self.inner.lock();
+        if let Some(&slot) = inner.map.get(&key) {
+            Self::detach(&mut inner, slot);
+            Self::remove_slot(&mut inner, slot);
+        }
+        let entry = Entry {
+            key: key.clone(),
+            value: Arc::clone(&value),
+            charge,
+            prev: NIL,
+            next: NIL,
+        };
+        let slot = match inner.free.pop() {
+            Some(slot) => {
+                inner.slab[slot] = Some(entry);
+                slot
+            }
+            None => {
+                inner.slab.push(Some(entry));
+                inner.slab.len() - 1
+            }
+        };
+        inner.map.insert(key, slot);
+        inner.usage += charge;
+        Self::attach_front(&mut inner, slot);
+        Self::evict_if_needed(&mut inner);
+        value
+    }
+
+    /// Returns the cached value for `key`, marking it most recently used.
+    pub fn get(&self, key: &K) -> Option<Arc<V>> {
+        let mut inner = self.inner.lock();
+        match inner.map.get(key).copied() {
+            Some(slot) => {
+                inner.hits += 1;
+                Self::detach(&mut inner, slot);
+                Self::attach_front(&mut inner, slot);
+                inner.slab[slot].as_ref().map(|e| Arc::clone(&e.value))
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Removes `key` from the cache if present.
+    pub fn erase(&self, key: &K) {
+        let mut inner = self.inner.lock();
+        if let Some(&slot) = inner.map.get(key) {
+            Self::detach(&mut inner, slot);
+            Self::remove_slot(&mut inner, slot);
+        }
+    }
+
+    /// Number of entries currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Returns `true` if the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total charge of the cached entries.
+    pub fn usage(&self) -> usize {
+        self.inner.lock().usage
+    }
+
+    /// Hit and miss counters since creation.
+    pub fn hit_miss(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        (inner.hits, inner.misses)
+    }
+
+    /// Removes every entry.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.slab.clear();
+        inner.free.clear();
+        inner.head = NIL;
+        inner.tail = NIL;
+        inner.usage = 0;
+    }
+
+    fn attach_front(inner: &mut LruInner<K, V>, slot: usize) {
+        let old_head = inner.head;
+        if let Some(entry) = inner.slab[slot].as_mut() {
+            entry.prev = NIL;
+            entry.next = old_head;
+        }
+        if old_head != NIL {
+            if let Some(entry) = inner.slab[old_head].as_mut() {
+                entry.prev = slot;
+            }
+        }
+        inner.head = slot;
+        if inner.tail == NIL {
+            inner.tail = slot;
+        }
+    }
+
+    fn detach(inner: &mut LruInner<K, V>, slot: usize) {
+        let (prev, next) = match inner.slab[slot].as_ref() {
+            Some(entry) => (entry.prev, entry.next),
+            None => return,
+        };
+        if prev != NIL {
+            if let Some(entry) = inner.slab[prev].as_mut() {
+                entry.next = next;
+            }
+        } else {
+            inner.head = next;
+        }
+        if next != NIL {
+            if let Some(entry) = inner.slab[next].as_mut() {
+                entry.prev = prev;
+            }
+        } else {
+            inner.tail = prev;
+        }
+    }
+
+    fn remove_slot(inner: &mut LruInner<K, V>, slot: usize) {
+        if let Some(entry) = inner.slab[slot].take() {
+            inner.usage -= entry.charge;
+            inner.map.remove(&entry.key);
+            inner.free.push(slot);
+        }
+    }
+
+    fn evict_if_needed(inner: &mut LruInner<K, V>) {
+        while inner.usage > inner.capacity && inner.tail != NIL {
+            let victim = inner.tail;
+            Self::detach(inner, victim);
+            Self::remove_slot(inner, victim);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get() {
+        let cache: LruCache<u64, String> = LruCache::new(100);
+        cache.insert(1, "one".to_string(), 10);
+        cache.insert(2, "two".to_string(), 10);
+        assert_eq!(cache.get(&1).unwrap().as_str(), "one");
+        assert_eq!(cache.get(&2).unwrap().as_str(), "two");
+        assert!(cache.get(&3).is_none());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.usage(), 20);
+        let (hits, misses) = cache.hit_miss();
+        assert_eq!(hits, 2);
+        assert_eq!(misses, 1);
+    }
+
+    #[test]
+    fn least_recently_used_entries_are_evicted_first() {
+        let cache: LruCache<u32, u32> = LruCache::new(3);
+        cache.insert(1, 10, 1);
+        cache.insert(2, 20, 1);
+        cache.insert(3, 30, 1);
+        // Touch 1 so 2 becomes the LRU entry.
+        cache.get(&1);
+        cache.insert(4, 40, 1);
+        assert!(cache.get(&2).is_none());
+        assert!(cache.get(&1).is_some());
+        assert!(cache.get(&3).is_some());
+        assert!(cache.get(&4).is_some());
+    }
+
+    #[test]
+    fn oversized_entry_evicts_everything_else() {
+        let cache: LruCache<u32, Vec<u8>> = LruCache::new(10);
+        cache.insert(1, vec![0; 4], 4);
+        cache.insert(2, vec![0; 4], 4);
+        cache.insert(3, vec![0; 20], 20);
+        // The oversized entry itself is evicted too (usage > capacity).
+        assert!(cache.usage() <= 10 || cache.len() == 1);
+        assert!(cache.get(&1).is_none());
+        assert!(cache.get(&2).is_none());
+    }
+
+    #[test]
+    fn reinserting_a_key_replaces_it() {
+        let cache: LruCache<u32, u32> = LruCache::new(10);
+        cache.insert(1, 100, 2);
+        cache.insert(1, 200, 2);
+        assert_eq!(*cache.get(&1).unwrap(), 200);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.usage(), 2);
+    }
+
+    #[test]
+    fn erase_and_clear() {
+        let cache: LruCache<u32, u32> = LruCache::new(10);
+        cache.insert(1, 1, 1);
+        cache.insert(2, 2, 1);
+        cache.erase(&1);
+        assert!(cache.get(&1).is_none());
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.usage(), 0);
+    }
+
+    #[test]
+    fn value_survives_eviction_while_referenced() {
+        let cache: LruCache<u32, String> = LruCache::new(1);
+        let held = cache.insert(1, "held".to_string(), 1);
+        cache.insert(2, "evictor".to_string(), 1);
+        assert!(cache.get(&1).is_none());
+        // The Arc we hold keeps the value alive even though it left the cache.
+        assert_eq!(held.as_str(), "held");
+    }
+}

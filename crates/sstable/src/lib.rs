@@ -1,0 +1,196 @@
+//! Sorted string tables: the immutable on-disk files both engines build.
+//!
+//! An sstable holds a sorted run of internal key/value pairs:
+//!
+//! ```text
+//! +-----------------+
+//! | data block 0    |   prefix-compressed entries + restart array
+//! | data block 1    |
+//! | ...             |
+//! | filter block    |   sstable-level bloom filter over user keys
+//! | index block     |   last-key-of-block -> block handle
+//! | footer          |   handles of filter + index blocks, magic number
+//! +-----------------+
+//! ```
+//!
+//! Every block is followed by a one-byte compression tag (always "none" in
+//! this workspace — the paper turns compression off for all experiments) and
+//! a masked CRC32C.
+//!
+//! The sstable-level bloom filter is the PebblesDB optimisation from section
+//! 4.1 of the paper: a `get()` that must examine every sstable in a guard can
+//! skip, in memory, the tables that cannot contain the key.
+
+pub mod block;
+pub mod cache;
+pub mod footer;
+pub mod table;
+pub mod table_builder;
+pub mod table_cache;
+
+pub use block::{Block, BlockBuilder, BlockIterator};
+pub use cache::LruCache;
+pub use footer::{BlockHandle, Footer, TABLE_MAGIC};
+pub use table::Table;
+pub use table_builder::TableBuilder;
+pub use table_cache::TableCache;
+
+/// Number of trailer bytes appended to every block: 1-byte compression tag
+/// plus a 4-byte masked CRC32C.
+pub const BLOCK_TRAILER_SIZE: usize = 5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebblesdb_common::key::{encode_internal_key, parse_internal_key, ValueType};
+    use pebblesdb_common::{DbIterator, ReadOptions, StoreOptions};
+    use pebblesdb_env::{Env, MemEnv};
+    use std::path::Path;
+    use std::sync::Arc;
+
+    fn build_table(env: &MemEnv, path: &Path, n: u32) -> u64 {
+        let opts = StoreOptions::default();
+        let file = env.new_writable_file(path).unwrap();
+        let mut builder = TableBuilder::new(&opts, file);
+        for i in 0..n {
+            let key = encode_internal_key(format!("key{i:06}").as_bytes(), 1, ValueType::Value);
+            builder.add(&key, format!("value-{i}").as_bytes()).unwrap();
+        }
+        builder.finish().unwrap()
+    }
+
+    #[test]
+    fn build_and_read_back_all_entries() {
+        let env = MemEnv::new();
+        let path = Path::new("/sst/000001.sst");
+        let size = build_table(&env, path, 1000);
+        assert_eq!(size, env.file_size(path).unwrap());
+
+        let file = env.new_random_access_file(path).unwrap();
+        let table = Table::open(&StoreOptions::default(), file, size, 1, None).unwrap();
+        let table = Arc::new(table);
+
+        // Point lookups through the internal-key get path.
+        for i in [0u32, 1, 57, 999] {
+            let target = encode_internal_key(format!("key{i:06}").as_bytes(), u64::MAX >> 8, ValueType::Value);
+            let (found_key, value) = table
+                .get(&ReadOptions::default(), &target)
+                .unwrap()
+                .expect("key should be found");
+            let parsed = parse_internal_key(&found_key).unwrap();
+            assert_eq!(parsed.user_key, format!("key{i:06}").as_bytes());
+            assert_eq!(value, format!("value-{i}").into_bytes());
+        }
+
+        // Full scan through the iterator.
+        let mut iter = table.iter(&ReadOptions::default());
+        iter.seek_to_first();
+        let mut count = 0;
+        let mut last_key: Option<Vec<u8>> = None;
+        while iter.valid() {
+            if let Some(prev) = &last_key {
+                assert!(prev.as_slice() < iter.key());
+            }
+            last_key = Some(iter.key().to_vec());
+            count += 1;
+            iter.next();
+        }
+        assert_eq!(count, 1000);
+    }
+
+    #[test]
+    fn bloom_filter_excludes_absent_user_keys() {
+        let env = MemEnv::new();
+        let path = Path::new("/sst/000002.sst");
+        let size = build_table(&env, path, 500);
+        let file = env.new_random_access_file(path).unwrap();
+        let table = Table::open(&StoreOptions::default(), file, size, 2, None).unwrap();
+
+        assert!(table.may_contain_user_key(b"key000123"));
+        let mut rejected = 0;
+        for i in 0..200 {
+            if !table.may_contain_user_key(format!("absent{i:06}").as_bytes()) {
+                rejected += 1;
+            }
+        }
+        assert!(rejected > 180, "bloom rejected only {rejected}/200");
+    }
+
+    #[test]
+    fn seek_positions_at_lower_bound_and_supports_next() {
+        let env = MemEnv::new();
+        let path = Path::new("/sst/000003.sst");
+        let size = build_table(&env, path, 100);
+        let file = env.new_random_access_file(path).unwrap();
+        let table = Arc::new(Table::open(&StoreOptions::default(), file, size, 3, None).unwrap());
+
+        let mut iter = table.iter(&ReadOptions::default());
+        let target = encode_internal_key(b"key000049x", u64::MAX >> 8, ValueType::Value);
+        iter.seek(&target);
+        assert!(iter.valid());
+        let parsed = parse_internal_key(iter.key()).unwrap();
+        assert_eq!(parsed.user_key, b"key000050");
+        iter.next();
+        let parsed = parse_internal_key(iter.key()).unwrap();
+        assert_eq!(parsed.user_key, b"key000051");
+    }
+
+    #[test]
+    fn corrupted_block_is_detected_with_paranoid_checks() {
+        let env = MemEnv::new();
+        let path = Path::new("/sst/000004.sst");
+        let size = build_table(&env, path, 200);
+
+        // Flip a byte early in the file (inside the first data block).
+        let mut contents = env.read_file_to_vec(path).unwrap();
+        contents[10] ^= 0xff;
+        let mut f = env.new_writable_file(path).unwrap();
+        f.append(&contents).unwrap();
+        f.close().unwrap();
+
+        let file = env.new_random_access_file(path).unwrap();
+        let table = Table::open(&StoreOptions::default(), file, size, 4, None).unwrap();
+        let read_opts = ReadOptions {
+            verify_checksums: true,
+            ..Default::default()
+        };
+        let target = encode_internal_key(b"key000000", u64::MAX >> 8, ValueType::Value);
+        assert!(table.get(&read_opts, &target).is_err());
+    }
+
+    #[test]
+    fn table_cache_reuses_open_tables() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let db = Path::new("/db");
+        env.create_dir_all(db).unwrap();
+        let opts = StoreOptions::default();
+
+        let path = pebblesdb_common::filename::table_file_name(db, 9);
+        let mem = MemEnv::new();
+        // Build via the shared env (not `mem`) so the cache can open it.
+        drop(mem);
+        let file = env.new_writable_file(&path).unwrap();
+        let mut builder = TableBuilder::new(&opts, file);
+        for i in 0..50 {
+            let key = encode_internal_key(format!("k{i:04}").as_bytes(), 1, ValueType::Value);
+            builder.add(&key, b"v").unwrap();
+        }
+        let size = builder.finish().unwrap();
+
+        let cache = TableCache::new(Arc::clone(&env), db.to_path_buf(), opts.clone(), 16);
+        let t1 = cache.get_table(9, size).unwrap();
+        let t2 = cache.get_table(9, size).unwrap();
+        assert!(Arc::ptr_eq(&t1, &t2));
+        assert_eq!(cache.open_tables(), 1);
+
+        let target = encode_internal_key(b"k0007", u64::MAX >> 8, ValueType::Value);
+        let found = cache
+            .get(&ReadOptions::default(), 9, size, &target)
+            .unwrap()
+            .expect("cached table lookup");
+        assert_eq!(found.1, b"v");
+
+        cache.evict(9);
+        assert_eq!(cache.open_tables(), 0);
+    }
+}

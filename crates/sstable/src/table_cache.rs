@@ -1,0 +1,146 @@
+//! A cache of open [`Table`] readers keyed by file number.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use pebblesdb_common::filename::table_file_name;
+use pebblesdb_common::{ReadOptions, Result, StoreOptions};
+use pebblesdb_env::Env;
+
+use crate::cache::LruCache;
+use crate::table::{BlockCache, Table, TableIterator};
+
+/// Keeps up to `max_open_files` sstables open, sharing one block cache.
+pub struct TableCache {
+    env: Arc<dyn Env>,
+    db_path: PathBuf,
+    options: StoreOptions,
+    tables: LruCache<u64, Table>,
+    block_cache: Arc<BlockCache>,
+}
+
+impl TableCache {
+    /// Creates a table cache for the database at `db_path`.
+    pub fn new(
+        env: Arc<dyn Env>,
+        db_path: PathBuf,
+        options: StoreOptions,
+        max_open_files: usize,
+    ) -> Self {
+        let block_cache = Arc::new(LruCache::new(options.block_cache_capacity.max(1)));
+        TableCache {
+            env,
+            db_path,
+            options,
+            tables: LruCache::new(max_open_files.max(1)),
+            block_cache,
+        }
+    }
+
+    /// The shared block cache (exposed for memory accounting).
+    pub fn block_cache(&self) -> &Arc<BlockCache> {
+        &self.block_cache
+    }
+
+    /// Number of tables currently held open.
+    pub fn open_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Approximate memory pinned by open tables and cached blocks.
+    pub fn memory_usage(&self) -> usize {
+        self.block_cache.usage()
+    }
+
+    /// Returns the open table for `file_number`, opening it if necessary.
+    pub fn get_table(&self, file_number: u64, file_size: u64) -> Result<Arc<Table>> {
+        if let Some(table) = self.tables.get(&file_number) {
+            return Ok(table);
+        }
+        let path = table_file_name(&self.db_path, file_number);
+        let file = self.env.new_random_access_file(&path)?;
+        let table = Table::open(
+            &self.options,
+            file,
+            file_size,
+            file_number,
+            Some(Arc::clone(&self.block_cache)),
+        )?;
+        Ok(self.tables.insert(file_number, table, 1))
+    }
+
+    /// Point lookup through the cached table.
+    ///
+    /// Returns the first entry with internal key `>= target` in that file.
+    pub fn get(
+        &self,
+        read_options: &ReadOptions,
+        file_number: u64,
+        file_size: u64,
+        target: &[u8],
+    ) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+        let table = self.get_table(file_number, file_size)?;
+        table.get(read_options, target)
+    }
+
+    /// Creates an iterator over the given file.
+    pub fn iter(
+        &self,
+        read_options: &ReadOptions,
+        file_number: u64,
+        file_size: u64,
+    ) -> Result<TableIterator> {
+        let table = self.get_table(file_number, file_size)?;
+        Ok(table.iter(read_options))
+    }
+
+    /// Drops the cached reader for `file_number` (after the file is deleted).
+    pub fn evict(&self, file_number: u64) {
+        self.tables.erase(&file_number);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table_builder::TableBuilder;
+    use pebblesdb_common::key::{encode_internal_key, ValueType};
+    use pebblesdb_env::MemEnv;
+    use std::path::Path;
+
+    #[test]
+    fn missing_files_surface_errors() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let cache = TableCache::new(
+            Arc::clone(&env),
+            PathBuf::from("/db"),
+            StoreOptions::default(),
+            4,
+        );
+        assert!(cache.get_table(99, 1234).is_err());
+    }
+
+    #[test]
+    fn lru_eviction_limits_open_tables() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let db = Path::new("/db");
+        env.create_dir_all(db).unwrap();
+        let opts = StoreOptions::default();
+
+        let mut sizes = Vec::new();
+        for number in 1..=4u64 {
+            let path = table_file_name(db, number);
+            let file = env.new_writable_file(&path).unwrap();
+            let mut builder = TableBuilder::new(&opts, file);
+            let key = encode_internal_key(format!("key{number}").as_bytes(), 1, ValueType::Value);
+            builder.add(&key, b"v").unwrap();
+            sizes.push(builder.finish().unwrap());
+        }
+
+        let cache = TableCache::new(Arc::clone(&env), db.to_path_buf(), opts, 2);
+        for number in 1..=4u64 {
+            cache.get_table(number, sizes[(number - 1) as usize]).unwrap();
+        }
+        assert!(cache.open_tables() <= 2);
+    }
+}

@@ -1,0 +1,241 @@
+//! A multi-threaded YCSB runner over any [`KvStore`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pebblesdb_common::{KvStore, Result};
+
+use crate::histogram::Histogram;
+use crate::workload::{CoreWorkload, Operation, WorkloadKind};
+
+/// The result of one workload run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Which workload was run.
+    pub workload: &'static str,
+    /// The engine name the store reported.
+    pub engine: String,
+    /// Number of operations executed.
+    pub operations: u64,
+    /// Wall-clock duration of the run in seconds.
+    pub seconds: f64,
+    /// Operation latency histogram (microseconds).
+    pub latency: Histogram,
+    /// Bytes written to the device during the run.
+    pub bytes_written: u64,
+    /// Bytes read from the device during the run.
+    pub bytes_read: u64,
+}
+
+impl RunReport {
+    /// Throughput in thousands of operations per second (the unit the paper
+    /// reports).
+    pub fn kops_per_second(&self) -> f64 {
+        if self.seconds == 0.0 {
+            0.0
+        } else {
+            self.operations as f64 / self.seconds / 1000.0
+        }
+    }
+}
+
+/// Loads `record_count` records and is a no-op if the workload is not a load
+/// phase; exposed separately so benchmarks can time load and run phases
+/// independently.
+pub fn load_phase(
+    store: &Arc<dyn KvStore>,
+    workload: &CoreWorkload,
+    threads: usize,
+) -> Result<()> {
+    let record_count = workload.record_count;
+    let value_size = workload.value_size;
+    let next = AtomicU64::new(0);
+    std::thread::scope(|scope| -> Result<()> {
+        let mut handles = Vec::new();
+        for _ in 0..threads.max(1) {
+            let store = Arc::clone(store);
+            let next = &next;
+            handles.push(scope.spawn(move || -> Result<()> {
+                let mut rng = StdRng::seed_from_u64(0x1234_5678);
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= record_count {
+                        return Ok(());
+                    }
+                    let key = CoreWorkload::key_for(index);
+                    let value = CoreWorkload::make_value(value_size, index, &mut rng);
+                    store.put(&key, &value)?;
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("load thread panicked")?;
+        }
+        Ok(())
+    })
+}
+
+/// Runs `operations` operations of `kind` against `store` using `threads`
+/// worker threads, mirroring the paper's four-thread YCSB runs.
+pub fn run_workload(
+    store: Arc<dyn KvStore>,
+    kind: WorkloadKind,
+    record_count: u64,
+    operations: u64,
+    threads: usize,
+    value_size: usize,
+) -> Result<RunReport> {
+    let threads = threads.max(1);
+    let stats_before = store.stats();
+    let start = Instant::now();
+    let histogram = Mutex::new(Histogram::new());
+    let executed = AtomicU64::new(0);
+
+    std::thread::scope(|scope| -> Result<()> {
+        let mut handles = Vec::new();
+        for thread_id in 0..threads {
+            let store = Arc::clone(&store);
+            let histogram = &histogram;
+            let executed = &executed;
+            handles.push(scope.spawn(move || -> Result<()> {
+                let per_thread = operations / threads as u64
+                    + u64::from(thread_id as u64 % threads as u64 == 0);
+                let mut workload =
+                    CoreWorkload::preset(kind, record_count).with_value_size(value_size);
+                let mut rng = StdRng::seed_from_u64(0xabcd_0000 + thread_id as u64);
+                let mut local = Histogram::new();
+                for _ in 0..per_thread {
+                    let op = workload.next_operation(&mut rng);
+                    let op_start = Instant::now();
+                    execute(&store, op)?;
+                    local.record(op_start.elapsed().as_micros() as u64);
+                    executed.fetch_add(1, Ordering::Relaxed);
+                }
+                histogram.lock().merge(&local);
+                Ok(())
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("worker thread panicked")?;
+        }
+        Ok(())
+    })?;
+
+    let seconds = start.elapsed().as_secs_f64();
+    let stats_after = store.stats();
+    Ok(RunReport {
+        workload: kind.name(),
+        engine: store.engine_name(),
+        operations: executed.load(Ordering::Relaxed),
+        seconds,
+        latency: histogram.into_inner(),
+        bytes_written: stats_after
+            .bytes_written
+            .saturating_sub(stats_before.bytes_written),
+        bytes_read: stats_after.bytes_read.saturating_sub(stats_before.bytes_read),
+    })
+}
+
+fn execute(store: &Arc<dyn KvStore>, op: Operation) -> Result<()> {
+    match op {
+        Operation::Read(key) => {
+            let _ = store.get(&key)?;
+        }
+        Operation::Update(key, value) | Operation::Insert(key, value) => {
+            store.put(&key, &value)?;
+        }
+        Operation::Scan(key, len) => {
+            let _ = store.scan(&key, &[], len)?;
+        }
+        Operation::ReadModifyWrite(key, value) => {
+            let _ = store.get(&key)?;
+            store.put(&key, &value)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebblesdb_common::{Error, StoreStats, WriteBatch};
+    use std::collections::BTreeMap;
+
+    /// A trivial in-memory store used to test the runner itself.
+    #[derive(Default)]
+    struct MapStore {
+        map: Mutex<BTreeMap<Vec<u8>, Vec<u8>>>,
+        writes: AtomicU64,
+    }
+
+    impl KvStore for MapStore {
+        fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+            self.map.lock().insert(key.to_vec(), value.to_vec());
+            self.writes.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
+        fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+            Ok(self.map.lock().get(key).cloned())
+        }
+        fn delete(&self, key: &[u8]) -> Result<()> {
+            self.map.lock().remove(key);
+            Ok(())
+        }
+        fn write(&self, batch: WriteBatch) -> Result<()> {
+            for record in batch.iter() {
+                let record = record.map_err(|_| Error::internal("bad batch"))?;
+                self.put(record.key, record.value)?;
+            }
+            Ok(())
+        }
+        fn scan(&self, start: &[u8], end: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+            let map = self.map.lock();
+            Ok(map
+                .range(start.to_vec()..)
+                .take_while(|(k, _)| end.is_empty() || k.as_slice() < end)
+                .take(limit)
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect())
+        }
+        fn flush(&self) -> Result<()> {
+            Ok(())
+        }
+        fn stats(&self) -> StoreStats {
+            StoreStats::default()
+        }
+        fn engine_name(&self) -> String {
+            "MapStore".to_string()
+        }
+    }
+
+    #[test]
+    fn load_phase_inserts_every_record() {
+        let store: Arc<dyn KvStore> = Arc::new(MapStore::default());
+        let workload = CoreWorkload::preset(WorkloadKind::LoadA, 500).with_value_size(32);
+        load_phase(&store, &workload, 4).unwrap();
+        assert_eq!(store.scan(b"", &[], 10_000).unwrap().len(), 500);
+    }
+
+    #[test]
+    fn run_workload_executes_requested_operations() {
+        let store: Arc<dyn KvStore> = Arc::new(MapStore::default());
+        let workload = CoreWorkload::preset(WorkloadKind::LoadA, 200).with_value_size(32);
+        load_phase(&store, &workload, 2).unwrap();
+
+        let report =
+            run_workload(Arc::clone(&store), WorkloadKind::A, 200, 1000, 4, 32).unwrap();
+        assert!(report.operations >= 1000);
+        assert!(report.kops_per_second() > 0.0);
+        assert_eq!(report.engine, "MapStore");
+        assert!(report.latency.count() >= 1000);
+
+        let report_e =
+            run_workload(Arc::clone(&store), WorkloadKind::E, 200, 500, 2, 32).unwrap();
+        assert!(report_e.operations >= 500);
+    }
+}

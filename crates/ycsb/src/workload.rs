@@ -1,0 +1,309 @@
+//! The YCSB core workloads (Table 5.3 of the paper).
+
+use rand::Rng;
+
+use pebblesdb_common::hash::hash_seeded;
+
+use crate::generators::{
+    Generator, LatestGenerator, ScrambledZipfianGenerator, UniformGenerator,
+};
+
+/// Which of the paper's YCSB workloads to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// 100 % inserts: loads the data set for workloads A–D and F.
+    LoadA,
+    /// 50 % reads, 50 % updates (session store).
+    A,
+    /// 95 % reads, 5 % updates (photo tagging).
+    B,
+    /// 100 % reads (caches).
+    C,
+    /// 95 % reads of latest values, 5 % inserts (news feed).
+    D,
+    /// 100 % inserts: loads the data set for workload E.
+    LoadE,
+    /// 95 % range queries, 5 % inserts (threaded conversations).
+    E,
+    /// 50 % reads, 50 % read-modify-writes (database workload).
+    F,
+}
+
+impl WorkloadKind {
+    /// All workloads in the order the paper reports them.
+    pub fn all() -> Vec<WorkloadKind> {
+        vec![
+            WorkloadKind::LoadA,
+            WorkloadKind::A,
+            WorkloadKind::B,
+            WorkloadKind::C,
+            WorkloadKind::D,
+            WorkloadKind::LoadE,
+            WorkloadKind::E,
+            WorkloadKind::F,
+        ]
+    }
+
+    /// The name used in benchmark tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::LoadA => "Load A",
+            WorkloadKind::A => "A",
+            WorkloadKind::B => "B",
+            WorkloadKind::C => "C",
+            WorkloadKind::D => "D",
+            WorkloadKind::LoadE => "Load E",
+            WorkloadKind::E => "E",
+            WorkloadKind::F => "F",
+        }
+    }
+
+    /// Returns `true` for the two pure-load phases.
+    pub fn is_load(self) -> bool {
+        matches!(self, WorkloadKind::LoadA | WorkloadKind::LoadE)
+    }
+}
+
+/// A single operation produced by the workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operation {
+    /// Read one key.
+    Read(Vec<u8>),
+    /// Overwrite the value of an existing key.
+    Update(Vec<u8>, Vec<u8>),
+    /// Insert a new key.
+    Insert(Vec<u8>, Vec<u8>),
+    /// Range query: start key and number of records.
+    Scan(Vec<u8>, usize),
+    /// Read a key, then write back a modified value.
+    ReadModifyWrite(Vec<u8>, Vec<u8>),
+}
+
+/// Request distribution used for choosing which existing key to touch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestDistribution {
+    /// Every key equally likely.
+    Uniform,
+    /// Zipfian over hashed keys (YCSB default).
+    Zipfian,
+    /// Skewed towards the most recent inserts.
+    Latest,
+}
+
+/// A configured YCSB workload.
+pub struct CoreWorkload {
+    /// Fraction of operations that are reads.
+    pub read_proportion: f64,
+    /// Fraction of operations that are updates.
+    pub update_proportion: f64,
+    /// Fraction of operations that are inserts.
+    pub insert_proportion: f64,
+    /// Fraction of operations that are scans.
+    pub scan_proportion: f64,
+    /// Fraction of operations that are read-modify-writes.
+    pub read_modify_write_proportion: f64,
+    /// The request distribution for choosing existing keys.
+    pub request_distribution: RequestDistribution,
+    /// Value size in bytes (the YCSB default is 10 fields x 100 bytes; the
+    /// paper uses 1 KiB values).
+    pub value_size: usize,
+    /// Maximum scan length (records per scan).
+    pub max_scan_length: usize,
+    /// Number of records loaded before the run.
+    pub record_count: u64,
+
+    insert_sequence: u64,
+    chooser: Box<dyn Generator>,
+}
+
+impl CoreWorkload {
+    /// Creates the paper's configuration of the given workload over
+    /// `record_count` pre-loaded records.
+    pub fn preset(kind: WorkloadKind, record_count: u64) -> CoreWorkload {
+        let mut workload = CoreWorkload {
+            read_proportion: 0.0,
+            update_proportion: 0.0,
+            insert_proportion: 0.0,
+            scan_proportion: 0.0,
+            read_modify_write_proportion: 0.0,
+            request_distribution: RequestDistribution::Zipfian,
+            value_size: 1024,
+            max_scan_length: 100,
+            record_count: record_count.max(1),
+            insert_sequence: record_count.max(1),
+            chooser: Box::new(ScrambledZipfianGenerator::new(record_count.max(1))),
+        };
+        match kind {
+            WorkloadKind::LoadA | WorkloadKind::LoadE => {
+                workload.insert_proportion = 1.0;
+            }
+            WorkloadKind::A => {
+                workload.read_proportion = 0.5;
+                workload.update_proportion = 0.5;
+            }
+            WorkloadKind::B => {
+                workload.read_proportion = 0.95;
+                workload.update_proportion = 0.05;
+            }
+            WorkloadKind::C => {
+                workload.read_proportion = 1.0;
+            }
+            WorkloadKind::D => {
+                workload.read_proportion = 0.95;
+                workload.insert_proportion = 0.05;
+                workload.request_distribution = RequestDistribution::Latest;
+                workload.chooser = Box::new(LatestGenerator::new(record_count.max(1)));
+            }
+            WorkloadKind::E => {
+                workload.scan_proportion = 0.95;
+                workload.insert_proportion = 0.05;
+            }
+            WorkloadKind::F => {
+                workload.read_proportion = 0.5;
+                workload.read_modify_write_proportion = 0.5;
+            }
+        }
+        workload
+    }
+
+    /// Switches the request distribution (used by ablation benchmarks).
+    pub fn with_distribution(mut self, distribution: RequestDistribution) -> Self {
+        self.request_distribution = distribution;
+        self.chooser = match distribution {
+            RequestDistribution::Uniform => Box::new(UniformGenerator::new(self.record_count)),
+            RequestDistribution::Zipfian => {
+                Box::new(ScrambledZipfianGenerator::new(self.record_count))
+            }
+            RequestDistribution::Latest => Box::new(LatestGenerator::new(self.record_count)),
+        };
+        self
+    }
+
+    /// Overrides the value size.
+    pub fn with_value_size(mut self, value_size: usize) -> Self {
+        self.value_size = value_size;
+        self
+    }
+
+    /// The YCSB key for a record index (`user` + hashed, zero-padded id).
+    pub fn key_for(index: u64) -> Vec<u8> {
+        let hashed = u64::from(hash_seeded(&index.to_le_bytes(), 0xadc8_3b19)) << 20 | index;
+        format!("user{hashed:020}").into_bytes()
+    }
+
+    /// A deterministic-but-incompressible value of the configured size.
+    pub fn value_for(&self, index: u64, rng: &mut impl Rng) -> Vec<u8> {
+        Self::make_value(self.value_size, index, rng)
+    }
+
+    /// Builds a value of `value_size` bytes for record `index`.
+    pub fn make_value(value_size: usize, index: u64, rng: &mut impl Rng) -> Vec<u8> {
+        let mut value = Vec::with_capacity(value_size);
+        value.extend_from_slice(&index.to_le_bytes());
+        while value.len() < value_size {
+            value.push(rng.gen());
+        }
+        value.truncate(value_size);
+        value
+    }
+
+    /// Keys for the load phase, in insertion order.
+    pub fn load_keys(&self) -> impl Iterator<Item = Vec<u8>> {
+        (0..self.record_count).map(Self::key_for)
+    }
+
+    /// Draws the next operation of the transaction phase.
+    pub fn next_operation(&mut self, rng: &mut impl Rng) -> Operation {
+        let choice: f64 = rng.gen();
+        let mut acc = self.read_proportion;
+        if choice < acc {
+            return Operation::Read(self.choose_key(rng));
+        }
+        acc += self.update_proportion;
+        if choice < acc {
+            let key = self.choose_key(rng);
+            let value = self.value_for(0, rng);
+            return Operation::Update(key, value);
+        }
+        acc += self.scan_proportion;
+        if choice < acc {
+            let key = self.choose_key(rng);
+            let len = rng.gen_range(1..=self.max_scan_length);
+            return Operation::Scan(key, len);
+        }
+        acc += self.read_modify_write_proportion;
+        if choice < acc {
+            let key = self.choose_key(rng);
+            let value = self.value_for(0, rng);
+            return Operation::ReadModifyWrite(key, value);
+        }
+        // Insert.
+        let index = self.insert_sequence;
+        self.insert_sequence += 1;
+        self.chooser.set_item_count(self.insert_sequence);
+        let value = self.value_for(index, rng);
+        Operation::Insert(Self::key_for(index), value)
+    }
+
+    fn choose_key(&mut self, rng: &mut impl Rng) -> Vec<u8> {
+        let index = self.chooser.next(rng);
+        Self::key_for(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn keys_are_stable_and_distinct() {
+        assert_eq!(CoreWorkload::key_for(5), CoreWorkload::key_for(5));
+        assert_ne!(CoreWorkload::key_for(5), CoreWorkload::key_for(6));
+        assert!(CoreWorkload::key_for(1).starts_with(b"user"));
+    }
+
+    #[test]
+    fn load_phase_produces_record_count_keys() {
+        let workload = CoreWorkload::preset(WorkloadKind::LoadA, 100);
+        assert_eq!(workload.load_keys().count(), 100);
+    }
+
+    #[test]
+    fn inserts_extend_the_key_space() {
+        let mut workload = CoreWorkload::preset(WorkloadKind::LoadE, 10);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut keys = std::collections::HashSet::new();
+        for _ in 0..50 {
+            match workload.next_operation(&mut rng) {
+                Operation::Insert(key, value) => {
+                    assert_eq!(value.len(), workload.value_size);
+                    assert!(keys.insert(key), "insert keys must be unique");
+                }
+                other => panic!("load workload must only insert, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn workload_e_emits_bounded_scans() {
+        let mut workload = CoreWorkload::preset(WorkloadKind::E, 1000);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut scans = 0;
+        for _ in 0..500 {
+            if let Operation::Scan(_, len) = workload.next_operation(&mut rng) {
+                assert!(len >= 1 && len <= workload.max_scan_length);
+                scans += 1;
+            }
+        }
+        assert!(scans > 400);
+    }
+
+    #[test]
+    fn value_size_override_is_respected() {
+        let workload = CoreWorkload::preset(WorkloadKind::A, 10).with_value_size(16 * 1024);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(workload.value_for(3, &mut rng).len(), 16 * 1024);
+    }
+}

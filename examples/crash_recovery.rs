@@ -1,0 +1,69 @@
+//! Crash recovery: write data, simulate a crash (including a torn tail on
+//! the write-ahead log), reopen and verify everything durable is back.
+//!
+//! ```text
+//! cargo run -p pebblesdb-examples --bin crash_recovery
+//! ```
+
+use std::path::Path;
+use std::sync::Arc;
+
+use pebblesdb::PebblesDb;
+use pebblesdb_common::{KvStore, StoreOptions};
+use pebblesdb_env::{Env, MemEnv};
+
+fn main() {
+    let env_concrete = MemEnv::new();
+    let env: Arc<dyn Env> = Arc::new(env_concrete.clone());
+    let dir = Path::new("/crashdb");
+    let options = StoreOptions::default().scale_down(32);
+    let keys = 20_000u32;
+
+    let guards_before;
+    {
+        let db = PebblesDb::open_with_options(Arc::clone(&env), dir, options.clone())
+            .expect("open database");
+        for i in 0..keys {
+            db.put(format!("key{i:08}").as_bytes(), format!("value-{i}").as_bytes())
+                .expect("put");
+        }
+        // No flush: recent writes only exist in the write-ahead log.
+        guards_before = db.guards_per_level();
+        println!("wrote {keys} keys; layout before crash: {}", db.level_summary());
+
+        // Simulate a crash that tears the tail of the live WAL.
+        let wal_name = env
+            .children(dir)
+            .expect("list files")
+            .into_iter()
+            .filter(|name| name.ends_with(".log"))
+            .max()
+            .expect("a live WAL exists");
+        let wal_path = dir.join(&wal_name);
+        let size = env.file_size(&wal_path).expect("wal size") as usize;
+        env_concrete
+            .truncate_file(&wal_path, size.saturating_sub(7))
+            .expect("truncate");
+        println!("simulated crash: dropped the process and tore 7 bytes off {wal_name}");
+        // The database handle is dropped here without any shutdown work.
+    }
+
+    let db = PebblesDb::open_with_options(env, dir, options).expect("recover database");
+    let mut recovered = 0u32;
+    for i in 0..keys {
+        if db
+            .get(format!("key{i:08}").as_bytes())
+            .expect("get")
+            .is_some()
+        {
+            recovered += 1;
+        }
+    }
+    println!(
+        "after recovery: {recovered}/{keys} keys readable (only the torn tail record may be lost)"
+    );
+    println!("guards before crash: {guards_before:?}");
+    println!("guards after crash:  {:?}", db.guards_per_level());
+    assert!(recovered >= keys - 100, "recovery lost too much data");
+    println!("crash recovery OK: data and guard metadata survived.");
+}

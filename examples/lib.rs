@@ -1,0 +1,28 @@
+//! Shared helpers for the runnable examples.
+//!
+//! Each example is a stand-alone binary (`cargo run -p pebblesdb-examples
+//! --bin <name>`); this small library only holds the bits they share, namely
+//! creating a scratch directory and formatting byte counts.
+
+use std::path::PathBuf;
+
+/// Returns a unique scratch directory under the system temp dir.
+pub fn scratch_dir(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pebblesdb-example-{name}-{}", std::process::id()))
+}
+
+/// Formats a byte count as mebibytes.
+pub fn mib(bytes: u64) -> String {
+    format!("{:.2} MiB", bytes as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_dirs_are_distinct_per_name() {
+        assert_ne!(scratch_dir("a"), scratch_dir("b"));
+        assert!(mib(1024 * 1024).starts_with("1.00"));
+    }
+}

@@ -1,0 +1,71 @@
+//! Time-series ingestion: the empty-guard scenario of Figure 5.4.
+//!
+//! Inserts several consecutive key windows, deleting each window before
+//! moving on (as a metrics retention policy would), and shows that read
+//! throughput stays stable even as guards from expired windows become empty.
+//!
+//! ```text
+//! cargo run -p pebblesdb-examples --bin time_series
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pebblesdb::PebblesDb;
+use pebblesdb_common::{KvStore, StoreOptions};
+use pebblesdb_env::MemEnv;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let window = 15_000u64;
+    let iterations = 5u64;
+
+    let env = Arc::new(MemEnv::new());
+    let options = StoreOptions::default().scale_down(16);
+    let db = PebblesDb::open_with_options(env, std::path::Path::new("/timeseries"), options)
+        .expect("open");
+    let mut rng = StdRng::seed_from_u64(1);
+
+    println!("{iterations} windows of {window} keys (insert, read, expire)\n");
+    for iteration in 0..iterations {
+        let base = iteration * window;
+        for i in 0..window {
+            db.put(
+                format!("metric.{:012}", base + i).as_bytes(),
+                &vec![b'm'; 256],
+            )
+            .expect("put");
+        }
+
+        let reads = window / 2;
+        let start = Instant::now();
+        let mut found = 0u64;
+        for _ in 0..reads {
+            let k = base + rng.gen_range(0..window);
+            if db
+                .get(format!("metric.{k:012}").as_bytes())
+                .expect("get")
+                .is_some()
+            {
+                found += 1;
+            }
+        }
+        let kops = reads as f64 / start.elapsed().as_secs_f64() / 1000.0;
+
+        for i in 0..window {
+            db.delete(format!("metric.{:012}", base + i).as_bytes())
+                .expect("delete");
+        }
+        db.flush().expect("flush");
+
+        println!(
+            "window {:>2}: reads {:>7.1} KOps/s ({found}/{reads} hits), empty guards so far: {}",
+            iteration + 1,
+            kops,
+            db.empty_guards()
+        );
+    }
+    println!("\nfinal layout: {}", db.level_summary());
+    println!("Empty guards accumulate but do not slow reads down — the Figure 5.4 result.");
+}

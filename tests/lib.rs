@@ -1,0 +1,4 @@
+//! Cross-crate integration tests for the PebblesDB workspace.
+//!
+//! The actual tests live in `tests/` next to this file; this library only
+//! exists so the package has a build target.

@@ -1,0 +1,174 @@
+//! Cross-engine integration tests: every engine must agree with an in-memory
+//! model and with each other on the same workload.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use pebblesdb::PebblesDb;
+use pebblesdb_btree::BTreeStore;
+use pebblesdb_common::{KvStore, StoreOptions, StorePreset};
+use pebblesdb_env::{Env, MemEnv};
+use pebblesdb_lsm::LsmDb;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn small_options() -> StoreOptions {
+    let mut opts = StoreOptions::default();
+    opts.write_buffer_size = 32 << 10;
+    opts.max_file_size = 16 << 10;
+    opts.base_level_bytes = 64 << 10;
+    opts.level0_compaction_trigger = 2;
+    opts.top_level_bits = 8;
+    opts.bit_decrement = 1;
+    opts
+}
+
+fn all_engines() -> Vec<(&'static str, Arc<dyn KvStore>)> {
+    let opts = small_options();
+    let pebbles_env: Arc<dyn Env> = Arc::new(MemEnv::new());
+    let lsm_env: Arc<dyn Env> = Arc::new(MemEnv::new());
+    let rocks_env: Arc<dyn Env> = Arc::new(MemEnv::new());
+    let btree_env: Arc<dyn Env> = Arc::new(MemEnv::new());
+    vec![
+        (
+            "pebblesdb",
+            Arc::new(PebblesDb::open_with_options(pebbles_env, Path::new("/p"), opts.clone()).unwrap())
+                as Arc<dyn KvStore>,
+        ),
+        (
+            "hyperleveldb",
+            Arc::new(
+                LsmDb::open_with_options(lsm_env, Path::new("/h"), opts.clone(), StorePreset::HyperLevelDb)
+                    .unwrap(),
+            ),
+        ),
+        (
+            "rocksdb",
+            Arc::new(
+                LsmDb::open_with_options(rocks_env, Path::new("/r"), opts.clone(), StorePreset::RocksDb)
+                    .unwrap(),
+            ),
+        ),
+        (
+            "btree",
+            Arc::new(BTreeStore::open(btree_env, Path::new("/b"), opts).unwrap()),
+        ),
+    ]
+}
+
+/// Applies the same randomized workload of puts, deletes and overwrites to
+/// every engine and to a `BTreeMap` model, then checks point reads and range
+/// scans agree with the model.
+#[test]
+fn engines_agree_with_model_on_mixed_workload() {
+    let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    let engines = all_engines();
+    let mut rng = StdRng::seed_from_u64(2024);
+
+    for op in 0..8000u32 {
+        let key = format!("key{:05}", rng.gen_range(0..2000u32)).into_bytes();
+        if rng.gen_bool(0.8) {
+            let value = format!("value-{op}").into_bytes();
+            for (_, engine) in &engines {
+                engine.put(&key, &value).unwrap();
+            }
+            model.insert(key, value);
+        } else {
+            for (_, engine) in &engines {
+                engine.delete(&key).unwrap();
+            }
+            model.remove(&key);
+        }
+    }
+    for (_, engine) in &engines {
+        engine.flush().unwrap();
+    }
+
+    // Point reads.
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..500 {
+        let key = format!("key{:05}", rng.gen_range(0..2100u32)).into_bytes();
+        let expected = model.get(&key).cloned();
+        for (name, engine) in &engines {
+            assert_eq!(engine.get(&key).unwrap(), expected, "{name} get {key:?}");
+        }
+    }
+
+    // Range scans.
+    for start in [0u32, 123, 999, 1990] {
+        let start_key = format!("key{start:05}").into_bytes();
+        let end_key = format!("key{:05}", start + 50).into_bytes();
+        let expected: Vec<(Vec<u8>, Vec<u8>)> = model
+            .range(start_key.clone()..end_key.clone())
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        for (name, engine) in &engines {
+            let got = engine.scan(&start_key, &end_key, 10_000).unwrap();
+            assert_eq!(got, expected, "{name} scan from {start}");
+        }
+    }
+
+    // Bounded scans respect the limit.
+    for (name, engine) in &engines {
+        let got = engine.scan(b"key", &[], 7).unwrap();
+        assert!(got.len() <= 7, "{name} limit");
+    }
+}
+
+/// The FLSM engine must write less to the device than the LSM baseline for
+/// the same random-update workload, while the B+Tree writes the most — the
+/// paper's central claim at integration scale.
+#[test]
+fn write_amplification_ordering_matches_the_paper() {
+    let engines = all_engines();
+    let mut rng = StdRng::seed_from_u64(55);
+    for _ in 0..10_000u32 {
+        let key = format!("key{:05}", rng.gen_range(0..5000u32)).into_bytes();
+        let value = vec![b'v'; 200];
+        for (_, engine) in &engines {
+            engine.put(&key, &value).unwrap();
+        }
+    }
+    for (_, engine) in &engines {
+        engine.flush().unwrap();
+    }
+    let amp: std::collections::HashMap<&str, f64> = engines
+        .iter()
+        .map(|(name, engine)| (*name, engine.stats().write_amplification()))
+        .collect();
+
+    assert!(
+        amp["pebblesdb"] < amp["hyperleveldb"],
+        "PebblesDB {:.2} should beat the LSM baseline {:.2}",
+        amp["pebblesdb"],
+        amp["hyperleveldb"]
+    );
+    assert!(
+        amp["btree"] > amp["hyperleveldb"],
+        "the B+Tree {:.2} should be worse than any LSM {:.2}",
+        amp["btree"],
+        amp["hyperleveldb"]
+    );
+}
+
+/// Engines expose consistent statistics after a workload.
+#[test]
+fn stats_are_consistent_across_engines() {
+    let engines = all_engines();
+    for (_, engine) in &engines {
+        for i in 0..2000u32 {
+            engine
+                .put(format!("k{i:06}").as_bytes(), &vec![b'x'; 128])
+                .unwrap();
+        }
+        engine.flush().unwrap();
+    }
+    for (name, engine) in &engines {
+        let stats = engine.stats();
+        assert!(stats.user_bytes_written >= 2000 * 128, "{name}");
+        assert!(stats.bytes_written >= stats.user_bytes_written, "{name}");
+        assert!(stats.disk_bytes_live > 0, "{name}");
+        assert!(!engine.engine_name().is_empty(), "{name}");
+    }
+}

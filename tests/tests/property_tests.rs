@@ -1,0 +1,168 @@
+//! Property-based tests: random operation sequences applied to the engines
+//! must match a reference `BTreeMap` model, and core encodings must
+//! round-trip for arbitrary inputs.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use pebblesdb::PebblesDb;
+use pebblesdb_common::batch::WriteBatch;
+use pebblesdb_common::coding;
+use pebblesdb_common::key::{compare_internal_keys, encode_internal_key, parse_internal_key, ValueType};
+use pebblesdb_common::{KvStore, StoreOptions, StorePreset};
+use pebblesdb_env::{Env, MemEnv};
+use pebblesdb_lsm::LsmDb;
+
+fn tiny_options() -> StoreOptions {
+    let mut opts = StoreOptions::default();
+    opts.write_buffer_size = 8 << 10;
+    opts.max_file_size = 8 << 10;
+    opts.base_level_bytes = 32 << 10;
+    opts.level0_compaction_trigger = 2;
+    opts.max_sstables_per_guard = 2;
+    opts.top_level_bits = 6;
+    opts.bit_decrement = 1;
+    opts
+}
+
+/// One step of the model-based test.
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u16, Vec<u8>),
+    Delete(u16),
+    Scan(u16, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u16>(), vec(any::<u8>(), 0..64)).prop_map(|(k, v)| Op::Put(k % 512, v)),
+        1 => any::<u16>().prop_map(|k| Op::Delete(k % 512)),
+        1 => (any::<u16>(), any::<u8>()).prop_map(|(k, n)| Op::Scan(k % 512, n)),
+    ]
+}
+
+fn key_of(id: u16) -> Vec<u8> {
+    format!("key{id:05}").into_bytes()
+}
+
+fn check_engine_against_model(store: &dyn KvStore, ops: &[Op]) {
+    let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    for op in ops {
+        match op {
+            Op::Put(id, value) => {
+                store.put(&key_of(*id), value).unwrap();
+                model.insert(key_of(*id), value.clone());
+            }
+            Op::Delete(id) => {
+                store.delete(&key_of(*id)).unwrap();
+                model.remove(&key_of(*id));
+            }
+            Op::Scan(id, limit) => {
+                let limit = (*limit as usize % 20) + 1;
+                let got = store.scan(&key_of(*id), &[], limit).unwrap();
+                let expected: Vec<(Vec<u8>, Vec<u8>)> = model
+                    .range(key_of(*id)..)
+                    .take(limit)
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect();
+                assert_eq!(got, expected, "scan from {id} with limit {limit}");
+            }
+        }
+    }
+    // Final full agreement check, both before and after a flush.
+    for check_after_flush in [false, true] {
+        if check_after_flush {
+            store.flush().unwrap();
+        }
+        for id in 0..512u16 {
+            assert_eq!(
+                store.get(&key_of(id)).unwrap(),
+                model.get(&key_of(id)).cloned(),
+                "key {id} (after_flush={check_after_flush})"
+            );
+        }
+        let got = store.scan(b"key", &[], 10_000).unwrap();
+        let expected: Vec<(Vec<u8>, Vec<u8>)> =
+            model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        assert_eq!(got, expected, "full scan (after_flush={check_after_flush})");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    #[test]
+    fn pebblesdb_matches_model(ops in vec(op_strategy(), 1..400)) {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let store = PebblesDb::open_with_options(env, Path::new("/prop"), tiny_options()).unwrap();
+        check_engine_against_model(&store, &ops);
+    }
+
+    #[test]
+    fn baseline_lsm_matches_model(ops in vec(op_strategy(), 1..400)) {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let store = LsmDb::open_with_options(
+            env,
+            Path::new("/prop"),
+            tiny_options(),
+            StorePreset::HyperLevelDb,
+        )
+        .unwrap();
+        check_engine_against_model(&store, &ops);
+    }
+
+    #[test]
+    fn varint_roundtrips(value in any::<u64>()) {
+        let mut buf = Vec::new();
+        coding::put_varint64(&mut buf, value);
+        let (decoded, used) = coding::decode_varint64(&buf).unwrap();
+        prop_assert_eq!(decoded, value);
+        prop_assert_eq!(used, buf.len());
+        prop_assert_eq!(coding::varint_length(value), buf.len());
+    }
+
+    #[test]
+    fn internal_keys_roundtrip_and_order(
+        user_key in vec(any::<u8>(), 0..40),
+        seq in 0u64..(1 << 56),
+        other_seq in 0u64..(1 << 56),
+    ) {
+        let encoded = encode_internal_key(&user_key, seq, ValueType::Value);
+        let parsed = parse_internal_key(&encoded).unwrap();
+        prop_assert_eq!(parsed.user_key, user_key.as_slice());
+        prop_assert_eq!(parsed.sequence, seq);
+
+        // Same user key: higher sequence numbers sort first.
+        let other = encode_internal_key(&user_key, other_seq, ValueType::Value);
+        let ordering = compare_internal_keys(&encoded, &other);
+        prop_assert_eq!(ordering, other_seq.cmp(&seq));
+    }
+
+    #[test]
+    fn write_batches_roundtrip(entries in vec((vec(any::<u8>(), 1..20), vec(any::<u8>(), 0..50), any::<bool>()), 0..30)) {
+        let mut batch = WriteBatch::new();
+        for (key, value, is_delete) in &entries {
+            if *is_delete {
+                batch.delete(key);
+            } else {
+                batch.put(key, value);
+            }
+        }
+        batch.set_sequence(42);
+        let restored = WriteBatch::from_contents(batch.contents().to_vec()).unwrap();
+        prop_assert_eq!(restored.verify().unwrap() as usize, entries.len());
+        for (record, (key, value, is_delete)) in restored.iter().zip(entries.iter()) {
+            let record = record.unwrap();
+            prop_assert_eq!(record.key, key.as_slice());
+            if *is_delete {
+                prop_assert_eq!(record.value_type, ValueType::Deletion);
+            } else {
+                prop_assert_eq!(record.value, value.as_slice());
+            }
+        }
+    }
+}
