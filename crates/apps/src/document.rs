@@ -1,7 +1,5 @@
 //! A tiny schemaless document model shared by the application layers.
 
-use serde::{Deserialize, Serialize};
-
 use pebblesdb_common::{Error, Result};
 
 /// A named-field document, the unit both application layers store.
@@ -10,7 +8,7 @@ use pebblesdb_common::{Error, Result};
 /// indexes attributes and MongoDB stores BSON documents. A compact
 /// length-prefixed binary encoding keeps the layers dependency-light while
 /// still paying a realistic serialisation cost per operation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Document {
     /// The primary key.
     pub id: Vec<u8>,
@@ -58,7 +56,8 @@ impl Document {
             if *pos + 4 > data.len() {
                 return Err(Error::corruption("truncated document"));
             }
-            let len = u32::from_le_bytes(data[*pos..*pos + 4].try_into().expect("4 bytes")) as usize;
+            let len =
+                u32::from_le_bytes(data[*pos..*pos + 4].try_into().expect("4 bytes")) as usize;
             *pos += 4;
             Ok(len)
         };

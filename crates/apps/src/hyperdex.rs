@@ -3,9 +3,13 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use pebblesdb_common::{KvStore, Result, StoreStats, WriteBatch};
+use pebblesdb_common::snapshot::Snapshot;
+use pebblesdb_common::{
+    DbIterator, KvStore, ReadOptions, Result, StoreStats, WriteBatch, WriteOptions,
+};
 
 use crate::document::Document;
+use crate::iter::DocumentFieldIterator;
 
 /// A searchable-store front end modelled on HyperDex.
 ///
@@ -50,17 +54,17 @@ impl HyperDexLike {
 }
 
 impl KvStore for HyperDexLike {
-    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+    fn put_opts(&self, opts: &WriteOptions, key: &[u8], value: &[u8]) -> Result<()> {
         self.simulate_application_work();
         // Read-before-write: HyperDex verifies existence first.
         let _ = self.engine.get(key)?;
         let doc = Document::from_value(key, value);
-        self.engine.put(key, &doc.encode())
+        self.engine.put_opts(opts, key, &doc.encode())
     }
 
-    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+    fn get_opts(&self, opts: &ReadOptions, key: &[u8]) -> Result<Option<Vec<u8>>> {
         self.simulate_application_work();
-        match self.engine.get(key)? {
+        match self.engine.get_opts(opts, key)? {
             Some(raw) => Ok(Some(
                 Document::decode(&raw)?
                     .field("value")
@@ -71,37 +75,35 @@ impl KvStore for HyperDexLike {
         }
     }
 
-    fn delete(&self, key: &[u8]) -> Result<()> {
+    fn delete_opts(&self, opts: &WriteOptions, key: &[u8]) -> Result<()> {
         self.simulate_application_work();
         let _ = self.engine.get(key)?;
-        self.engine.delete(key)
+        self.engine.delete_opts(opts, key)
     }
 
-    fn write(&self, batch: WriteBatch) -> Result<()> {
+    fn write_opts(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<()> {
         for record in batch.iter() {
             let record = record?;
             match record.value_type {
-                pebblesdb_common::ValueType::Value => self.put(record.key, record.value)?,
-                pebblesdb_common::ValueType::Deletion => self.delete(record.key)?,
+                pebblesdb_common::ValueType::Value => {
+                    self.put_opts(opts, record.key, record.value)?
+                }
+                pebblesdb_common::ValueType::Deletion => self.delete_opts(opts, record.key)?,
             }
         }
         Ok(())
     }
 
-    fn scan(&self, start: &[u8], end: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+    fn iter(&self, opts: &ReadOptions) -> Result<Box<dyn DbIterator>> {
         self.simulate_application_work();
-        let raw = self.engine.scan(start, end, limit)?;
-        raw.into_iter()
-            .map(|(key, value)| {
-                Ok((
-                    key,
-                    Document::decode(&value)?
-                        .field("value")
-                        .unwrap_or_default()
-                        .to_vec(),
-                ))
-            })
-            .collect()
+        Ok(Box::new(DocumentFieldIterator::new(
+            self.engine.iter(opts)?,
+            Vec::new(),
+        )))
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        self.engine.snapshot()
     }
 
     fn flush(&self) -> Result<()> {

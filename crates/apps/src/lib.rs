@@ -21,6 +21,7 @@
 
 pub mod document;
 pub mod hyperdex;
+mod iter;
 pub mod mongo;
 
 pub use document::Document;
@@ -30,8 +31,12 @@ pub use mongo::MongoLike;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pebblesdb_common::{KvStore, Result, StoreStats, WriteBatch};
     use parking_lot::Mutex;
+    use pebblesdb_common::snapshot::{Snapshot, SnapshotList};
+    use pebblesdb_common::user_iter::UserEntriesIterator;
+    use pebblesdb_common::{
+        DbIterator, KvStore, ReadOptions, Result, StoreStats, WriteBatch, WriteOptions,
+    };
     use std::collections::BTreeMap;
     use std::sync::Arc;
 
@@ -41,37 +46,42 @@ mod tests {
         map: Mutex<BTreeMap<Vec<u8>, Vec<u8>>>,
         pub gets: std::sync::atomic::AtomicU64,
         pub puts: std::sync::atomic::AtomicU64,
+        snapshots: Arc<SnapshotList>,
     }
 
     impl KvStore for MapStore {
-        fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        fn put_opts(&self, _opts: &WriteOptions, key: &[u8], value: &[u8]) -> Result<()> {
             self.puts.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             self.map.lock().insert(key.to_vec(), value.to_vec());
             Ok(())
         }
-        fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        fn get_opts(&self, _opts: &ReadOptions, key: &[u8]) -> Result<Option<Vec<u8>>> {
             self.gets.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             Ok(self.map.lock().get(key).cloned())
         }
-        fn delete(&self, key: &[u8]) -> Result<()> {
+        fn delete_opts(&self, _opts: &WriteOptions, key: &[u8]) -> Result<()> {
             self.map.lock().remove(key);
             Ok(())
         }
-        fn write(&self, batch: WriteBatch) -> Result<()> {
+        fn write_opts(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<()> {
             for record in batch.iter() {
                 let record = record.unwrap();
-                self.put(record.key, record.value)?;
+                self.put_opts(opts, record.key, record.value)?;
             }
             Ok(())
         }
-        fn scan(&self, start: &[u8], end: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-            let map = self.map.lock();
-            Ok(map
-                .range(start.to_vec()..)
-                .take_while(|(k, _)| end.is_empty() || k.as_slice() < end)
-                .take(limit)
+        fn iter(&self, _opts: &ReadOptions) -> Result<Box<dyn DbIterator>> {
+            let entries: Vec<(Vec<u8>, Vec<u8>)> = self
+                .map
+                .lock()
+                .iter()
                 .map(|(k, v)| (k.clone(), v.clone()))
-                .collect())
+                .collect();
+            Ok(Box::new(UserEntriesIterator::new(entries)))
+        }
+        fn snapshot(&self) -> Snapshot {
+            self.snapshots
+                .acquire(self.puts.load(std::sync::atomic::Ordering::Relaxed))
         }
         fn flush(&self) -> Result<()> {
             Ok(())
@@ -104,7 +114,10 @@ mod tests {
         let app = MongoLike::new(engine.clone() as Arc<dyn KvStore>, 0);
         app.put(b"user1", b"profile-data").unwrap();
         // The raw engine value is a document envelope, not the bare bytes.
-        let raw = engine.get(&MongoLike::primary_key(b"user1")).unwrap().unwrap();
+        let raw = engine
+            .get(&MongoLike::primary_key(b"user1"))
+            .unwrap()
+            .unwrap();
         assert_ne!(raw, b"profile-data".to_vec());
         // Through the layer the original value round-trips.
         assert_eq!(app.get(b"user1").unwrap(), Some(b"profile-data".to_vec()));

@@ -4,9 +4,13 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use pebblesdb_common::{KvStore, Result, StoreStats, WriteBatch};
+use pebblesdb_common::snapshot::Snapshot;
+use pebblesdb_common::{
+    DbIterator, KvStore, ReadOptions, Result, StoreStats, WriteBatch, WriteOptions,
+};
 
 use crate::document::Document;
+use crate::iter::DocumentFieldIterator;
 
 /// A document-store front end modelled on MongoDB.
 ///
@@ -55,15 +59,16 @@ impl MongoLike {
 }
 
 impl KvStore for MongoLike {
-    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+    fn put_opts(&self, opts: &WriteOptions, key: &[u8], value: &[u8]) -> Result<()> {
         self.simulate_application_work();
         let doc = Document::from_value(key, value);
-        self.engine.put(&Self::primary_key(key), &doc.encode())
+        self.engine
+            .put_opts(opts, &Self::primary_key(key), &doc.encode())
     }
 
-    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+    fn get_opts(&self, opts: &ReadOptions, key: &[u8]) -> Result<Option<Vec<u8>>> {
         self.simulate_application_work();
-        match self.engine.get(&Self::primary_key(key))? {
+        match self.engine.get_opts(opts, &Self::primary_key(key))? {
             Some(raw) => Ok(Some(
                 Document::decode(&raw)?
                     .field("value")
@@ -74,44 +79,38 @@ impl KvStore for MongoLike {
         }
     }
 
-    fn delete(&self, key: &[u8]) -> Result<()> {
+    fn delete_opts(&self, opts: &WriteOptions, key: &[u8]) -> Result<()> {
         self.simulate_application_work();
-        self.engine.delete(&Self::primary_key(key))
+        self.engine.delete_opts(opts, &Self::primary_key(key))
     }
 
-    fn write(&self, batch: WriteBatch) -> Result<()> {
+    fn write_opts(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<()> {
         for record in batch.iter() {
             let record = record?;
             match record.value_type {
-                pebblesdb_common::ValueType::Value => self.put(record.key, record.value)?,
-                pebblesdb_common::ValueType::Deletion => self.delete(record.key)?,
+                pebblesdb_common::ValueType::Value => {
+                    self.put_opts(opts, record.key, record.value)?
+                }
+                pebblesdb_common::ValueType::Deletion => self.delete_opts(opts, record.key)?,
             }
         }
         Ok(())
     }
 
-    fn scan(&self, start: &[u8], end: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+    fn iter(&self, opts: &ReadOptions) -> Result<Box<dyn DbIterator>> {
         self.simulate_application_work();
-        let engine_end = if end.is_empty() {
-            // Stay inside the collection namespace.
-            let mut bound = b"col/default/_id/".to_vec();
-            bound.push(0xff);
-            bound
-        } else {
-            Self::primary_key(end)
-        };
-        let raw = self
-            .engine
-            .scan(&Self::primary_key(start), &engine_end, limit)?;
-        raw.into_iter()
-            .map(|(_, value)| {
-                let doc = Document::decode(&value)?;
-                Ok((
-                    doc.id.clone(),
-                    doc.field("value").unwrap_or_default().to_vec(),
-                ))
-            })
-            .collect()
+        // The namespaced adapter keeps the cursor inside the collection and
+        // surfaces document ids as keys, so the default `scan` sees plain
+        // user keys (and "empty end = unbounded" stays inside the
+        // collection for free).
+        Ok(Box::new(DocumentFieldIterator::new(
+            self.engine.iter(opts)?,
+            Self::primary_key(&[]),
+        )))
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        self.engine.snapshot()
     }
 
     fn flush(&self) -> Result<()> {

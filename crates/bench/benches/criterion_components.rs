@@ -21,7 +21,12 @@ fn bench_skiplist(c: &mut Criterion) {
             MemTable::new,
             |mut mem| {
                 for i in 0..1000u64 {
-                    mem.add(i, ValueType::Value, format!("key{i:08}").as_bytes(), &[0u8; 100]);
+                    mem.add(
+                        i,
+                        ValueType::Value,
+                        format!("key{i:08}").as_bytes(),
+                        &[0u8; 100],
+                    );
                 }
                 mem
             },
@@ -31,7 +36,12 @@ fn bench_skiplist(c: &mut Criterion) {
 
     let mut mem = MemTable::new();
     for i in 0..10_000u64 {
-        mem.add(i, ValueType::Value, format!("key{i:08}").as_bytes(), &[0u8; 100]);
+        mem.add(
+            i,
+            ValueType::Value,
+            format!("key{i:08}").as_bytes(),
+            &[0u8; 100],
+        );
     }
     c.bench_function("skiplist/memtable_get", |b| {
         let mut i = 0u64;
@@ -47,7 +57,9 @@ fn bench_skiplist(c: &mut Criterion) {
 }
 
 fn bench_hashes_and_filters(c: &mut Criterion) {
-    let keys: Vec<Vec<u8>> = (0..10_000).map(|i| format!("user{i:012}").into_bytes()).collect();
+    let keys: Vec<Vec<u8>> = (0..10_000)
+        .map(|i| format!("user{i:012}").into_bytes())
+        .collect();
 
     c.bench_function("hash/murmur3_guard_selection", |b| {
         let mut i = 0usize;
@@ -107,7 +119,8 @@ fn bench_sstable(c: &mut Criterion) {
             let file = env.new_writable_file(Path::new(&path)).unwrap();
             let mut builder = TableBuilder::new(&options, file);
             for i in 0..5000u64 {
-                let key = encode_internal_key(format!("key{i:010}").as_bytes(), 1, ValueType::Value);
+                let key =
+                    encode_internal_key(format!("key{i:010}").as_bytes(), 1, ValueType::Value);
                 builder.add(&key, &[0u8; 100]).unwrap();
             }
             std::hint::black_box(builder.finish().unwrap())
@@ -137,8 +150,11 @@ fn bench_sstable(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i = (i + 6151) % 10_000;
-            let target =
-                encode_internal_key(format!("key{i:010}").as_bytes(), u64::MAX >> 8, ValueType::Value);
+            let target = encode_internal_key(
+                format!("key{i:010}").as_bytes(),
+                u64::MAX >> 8,
+                ValueType::Value,
+            );
             std::hint::black_box(table.get(&ReadOptions::default(), &target).unwrap())
         })
     });

@@ -45,7 +45,10 @@ fn bench_engines(c: &mut Criterion) {
             b.iter(|| {
                 i += 1;
                 store
-                    .put(&bench_key(i % (preload * 2)), &bench_value(i, 256, &mut rng))
+                    .put(
+                        &bench_key(i % (preload * 2)),
+                        &bench_value(i, 256, &mut rng),
+                    )
                     .unwrap()
             })
         });

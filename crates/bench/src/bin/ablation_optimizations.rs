@@ -31,11 +31,41 @@ fn main() {
     let scale = args.get_u64("scale-divisor", 16) as usize;
 
     let variants = [
-        Variant { name: "no optimizations", bloom: false, parallel_seeks: false, seek_compaction: false, aggressive: false },
-        Variant { name: "+ sstable bloom filters", bloom: true, parallel_seeks: false, seek_compaction: false, aggressive: false },
-        Variant { name: "+ parallel seeks", bloom: true, parallel_seeks: true, seek_compaction: false, aggressive: false },
-        Variant { name: "+ seek compaction", bloom: true, parallel_seeks: true, seek_compaction: true, aggressive: false },
-        Variant { name: "full PebblesDB", bloom: true, parallel_seeks: true, seek_compaction: true, aggressive: true },
+        Variant {
+            name: "no optimizations",
+            bloom: false,
+            parallel_seeks: false,
+            seek_compaction: false,
+            aggressive: false,
+        },
+        Variant {
+            name: "+ sstable bloom filters",
+            bloom: true,
+            parallel_seeks: false,
+            seek_compaction: false,
+            aggressive: false,
+        },
+        Variant {
+            name: "+ parallel seeks",
+            bloom: true,
+            parallel_seeks: true,
+            seek_compaction: false,
+            aggressive: false,
+        },
+        Variant {
+            name: "+ seek compaction",
+            bloom: true,
+            parallel_seeks: true,
+            seek_compaction: true,
+            aggressive: false,
+        },
+        Variant {
+            name: "full PebblesDB",
+            bloom: true,
+            parallel_seeks: true,
+            seek_compaction: true,
+            aggressive: true,
+        },
     ];
 
     let mut report = Report::new(
@@ -50,7 +80,11 @@ fn main() {
 
     for variant in &variants {
         let engine = EngineKind::PebblesDb;
-        let (env, dir) = open_bench_env(&args.get_str("env", "mem"), engine, &args.get_str("dir", ""));
+        let (env, dir) = open_bench_env(
+            &args.get_str("env", "mem"),
+            engine,
+            &args.get_str("dir", ""),
+        );
         let mut options = scaled_options(engine, scale);
         options.enable_sstable_bloom = variant.bloom;
         if !variant.bloom {

@@ -8,9 +8,9 @@
 
 use std::sync::Arc;
 
+use pebblesdb_bench::engines::open_bench_env;
 use pebblesdb_bench::report::{format_kops, format_mib, format_ratio};
 use pebblesdb_bench::{open_engine, Args, EngineKind, Report, Workload};
-use pebblesdb_bench::engines::open_bench_env;
 
 fn workload_from_name(name: &str) -> Option<Workload> {
     match name {
@@ -36,11 +36,18 @@ fn main() {
         .expect("unknown --engine (pebblesdb|pebblesdb-1|hyperleveldb|leveldb|rocksdb|btree)");
     let benchmarks = args.get_str("benchmarks", "fillrandom,readrandom,seekrandom");
 
-    let (env, dir) = open_bench_env(&args.get_str("env", "mem"), engine, &args.get_str("dir", ""));
+    let (env, dir) = open_bench_env(
+        &args.get_str("env", "mem"),
+        engine,
+        &args.get_str("dir", ""),
+    );
     let store: Arc<_> = open_engine(engine, env, &dir, scale).expect("open engine");
 
     let mut report = Report::new(
-        &format!("db_bench — {} ({keys} keys, {value_size} B values, {threads} threads)", engine.name()),
+        &format!(
+            "db_bench — {} ({keys} keys, {value_size} B values, {threads} threads)",
+            engine.name()
+        ),
         vec![
             "benchmark".to_string(),
             "KOps/s".to_string(),

@@ -29,7 +29,11 @@ fn main() {
     let mut engines = EngineKind::paper_four();
     engines.push(EngineKind::BTree);
     for engine in engines {
-        let (env, dir) = open_bench_env(&args.get_str("env", "mem"), engine, &args.get_str("dir", ""));
+        let (env, dir) = open_bench_env(
+            &args.get_str("env", "mem"),
+            engine,
+            &args.get_str("dir", ""),
+        );
         let store = open_engine(engine, env, &dir, scale).expect("open engine");
         Workload::FillRandom
             .run(&store, keys, 16, value_size, 1)

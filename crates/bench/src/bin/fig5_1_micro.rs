@@ -31,17 +31,28 @@ fn run_part(args: &Args, part: &PartConfig) {
     let keys = args.get_u64("keys", part.keys);
     let scale = args.get_u64("scale-divisor", 16) as usize;
     let mut report = Report::new(
-        &format!("{} ({keys} keys, {} B values, {} threads)", part.title, part.value_size, part.threads),
+        &format!(
+            "{} ({keys} keys, {} B values, {} threads)",
+            part.title, part.value_size, part.threads
+        ),
         {
             let mut cols = vec!["store".to_string()];
-            cols.extend(part.workloads.iter().map(|w| format!("{} KOps/s", w.name())));
+            cols.extend(
+                part.workloads
+                    .iter()
+                    .map(|w| format!("{} KOps/s", w.name())),
+            );
             cols.push("write IO".to_string());
             cols
         },
     );
 
     for &engine in &part.engines {
-        let (env, dir) = open_bench_env(&args.get_str("env", "mem"), engine, &args.get_str("dir", ""));
+        let (env, dir) = open_bench_env(
+            &args.get_str("env", "mem"),
+            engine,
+            &args.get_str("dir", ""),
+        );
         let store: Arc<dyn KvStore> = open_engine(engine, env, &dir, scale).expect("open engine");
         let mut row = vec![engine.name().to_string()];
         for workload in &part.workloads {

@@ -71,7 +71,9 @@ fn run(args: &Args, part: &str) {
     let lowmem = part == "lowmem";
 
     let mut report = Report::new(
-        &format!("Figure 5.2 ({part}): writes / reads / seeks after environmental stress ({keys} keys)"),
+        &format!(
+            "Figure 5.2 ({part}): writes / reads / seeks after environmental stress ({keys} keys)"
+        ),
         vec![
             "store".to_string(),
             "write KOps/s".to_string(),
@@ -81,7 +83,11 @@ fn run(args: &Args, part: &str) {
     );
 
     for engine in EngineKind::paper_four() {
-        let (env, dir) = open_bench_env(&args.get_str("env", "mem"), engine, &args.get_str("dir", ""));
+        let (env, dir) = open_bench_env(
+            &args.get_str("env", "mem"),
+            engine,
+            &args.get_str("dir", ""),
+        );
         let store = open_with(engine, env, &dir, scale, lowmem);
         if part == "aged" {
             age_store(&store, keys, value_size);

@@ -30,9 +30,18 @@ fn main() {
         ],
     );
 
-    for engine in [EngineKind::PebblesDb, EngineKind::HyperLevelDb, EngineKind::LevelDb, EngineKind::RocksDb] {
+    for engine in [
+        EngineKind::PebblesDb,
+        EngineKind::HyperLevelDb,
+        EngineKind::LevelDb,
+        EngineKind::RocksDb,
+    ] {
         for unique in [true, false] {
-            let (env, dir) = open_bench_env(&args.get_str("env", "mem"), engine, &args.get_str("dir", ""));
+            let (env, dir) = open_bench_env(
+                &args.get_str("env", "mem"),
+                engine,
+                &args.get_str("dir", ""),
+            );
             let store = open_engine(engine, env, &dir, scale).expect("open engine");
             let mut rng = StdRng::seed_from_u64(42);
             if unique {
@@ -55,7 +64,12 @@ fn main() {
             let stats = store.stats();
             report.add_row(vec![
                 engine.name().to_string(),
-                if unique { "unique keys" } else { "10x duplicates" }.to_string(),
+                if unique {
+                    "unique keys"
+                } else {
+                    "10x duplicates"
+                }
+                .to_string(),
                 format_mib(stats.user_bytes_written),
                 format_mib(stats.disk_bytes_live),
                 format_ratio(stats.space_amplification()),

@@ -24,7 +24,11 @@ fn main() {
     let scale = args.get_u64("scale-divisor", 16) as usize;
 
     let engine = EngineKind::PebblesDb;
-    let (env, dir) = open_bench_env(&args.get_str("env", "mem"), engine, &args.get_str("dir", ""));
+    let (env, dir) = open_bench_env(
+        &args.get_str("env", "mem"),
+        engine,
+        &args.get_str("dir", ""),
+    );
     let store =
         PebblesDb::open_with_options(env, &dir, scaled_options(engine, scale)).expect("open");
 

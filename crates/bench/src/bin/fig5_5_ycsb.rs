@@ -40,7 +40,11 @@ fn main() {
 
     let mut stores: Vec<Arc<dyn KvStore>> = Vec::new();
     for engine in engines {
-        let (env, dir) = open_bench_env(&args.get_str("env", "mem"), engine, &args.get_str("dir", ""));
+        let (env, dir) = open_bench_env(
+            &args.get_str("env", "mem"),
+            engine,
+            &args.get_str("dir", ""),
+        );
         stores.push(open_engine(engine, env, &dir, scale).expect("open engine"));
     }
 

@@ -35,7 +35,11 @@ fn run(args: &Args, app: &str) {
     let engines: Vec<EngineKind> = if app == "hyperdex" {
         vec![EngineKind::HyperLevelDb, EngineKind::PebblesDb]
     } else {
-        vec![EngineKind::BTree, EngineKind::RocksDb, EngineKind::PebblesDb]
+        vec![
+            EngineKind::BTree,
+            EngineKind::RocksDb,
+            EngineKind::PebblesDb,
+        ]
     };
 
     let mut report = Report::new(
@@ -51,7 +55,11 @@ fn run(args: &Args, app: &str) {
 
     let mut stacks: Vec<Arc<dyn KvStore>> = Vec::new();
     for &engine in &engines {
-        let (env, dir) = open_bench_env(&args.get_str("env", "mem"), engine, &args.get_str("dir", ""));
+        let (env, dir) = open_bench_env(
+            &args.get_str("env", "mem"),
+            engine,
+            &args.get_str("dir", ""),
+        );
         let store = open_engine(engine, env, &dir, scale).expect("open engine");
         stacks.push(wrap(app, store, latency));
     }

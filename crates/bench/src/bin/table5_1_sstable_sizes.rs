@@ -35,7 +35,11 @@ fn main() {
     );
 
     for engine in [EngineKind::PebblesDb, EngineKind::HyperLevelDb] {
-        let (env, dir) = open_bench_env(&args.get_str("env", "mem"), engine, &args.get_str("dir", ""));
+        let (env, dir) = open_bench_env(
+            &args.get_str("env", "mem"),
+            engine,
+            &args.get_str("dir", ""),
+        );
         let store = open_engine(engine, env, &dir, scale).expect("open engine");
         Workload::FillRandom
             .run(&store, keys, 16, value_size, 1)

@@ -25,7 +25,11 @@ fn main() {
     );
 
     for engine in EngineKind::paper_four() {
-        let (env, dir) = open_bench_env(&args.get_str("env", "mem"), engine, &args.get_str("dir", ""));
+        let (env, dir) = open_bench_env(
+            &args.get_str("env", "mem"),
+            engine,
+            &args.get_str("dir", ""),
+        );
         let store = open_engine(engine, env, &dir, scale).expect("open engine");
 
         let insert = Workload::FillRandom

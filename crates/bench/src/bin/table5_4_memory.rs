@@ -19,7 +19,9 @@ fn main() {
     let scale = args.get_u64("scale-divisor", 16) as usize;
 
     let mut report = Report::new(
-        &format!("Table 5.4 / §5.5: memory and compaction CPU ({keys} writes, then reads and seeks)"),
+        &format!(
+            "Table 5.4 / §5.5: memory and compaction CPU ({keys} writes, then reads and seeks)"
+        ),
         vec![
             "store".to_string(),
             "mem after writes".to_string(),
@@ -29,8 +31,16 @@ fn main() {
         ],
     );
 
-    for engine in [EngineKind::PebblesDb, EngineKind::HyperLevelDb, EngineKind::RocksDb] {
-        let (env, dir) = open_bench_env(&args.get_str("env", "mem"), engine, &args.get_str("dir", ""));
+    for engine in [
+        EngineKind::PebblesDb,
+        EngineKind::HyperLevelDb,
+        EngineKind::RocksDb,
+    ] {
+        let (env, dir) = open_bench_env(
+            &args.get_str("env", "mem"),
+            engine,
+            &args.get_str("dir", ""),
+        );
         let store = open_engine(engine, env, &dir, scale).expect("open engine");
 
         let start = std::time::Instant::now();

@@ -144,7 +144,11 @@ pub fn open_engine(
 /// Disk runs use a per-engine directory under the system temp directory (or
 /// `--dir` if given); memory runs are hermetic and are the default, matching
 /// the fully-cached configuration used for unit-scale runs.
-pub fn open_bench_env(env_kind: &str, engine: EngineKind, dir_flag: &str) -> (Arc<dyn Env>, std::path::PathBuf) {
+pub fn open_bench_env(
+    env_kind: &str,
+    engine: EngineKind,
+    dir_flag: &str,
+) -> (Arc<dyn Env>, std::path::PathBuf) {
     match env_kind {
         "disk" => {
             let base = if dir_flag.is_empty() {

@@ -42,7 +42,12 @@ mod tests {
             let dir = std::path::PathBuf::from(format!("/bench-{}", kind.name()));
             let store = open_engine(kind, env, &dir, 4).unwrap();
             store.put(b"k", b"v").unwrap();
-            assert_eq!(store.get(b"k").unwrap(), Some(b"v".to_vec()), "{}", kind.name());
+            assert_eq!(
+                store.get(b"k").unwrap(),
+                Some(b"v".to_vec()),
+                "{}",
+                kind.name()
+            );
             assert!(!store.engine_name().is_empty());
         }
     }
@@ -50,7 +55,8 @@ mod tests {
     #[test]
     fn fillrandom_then_readrandom_roundtrips() {
         let env = Arc::new(MemEnv::new());
-        let store = open_engine(EngineKind::PebblesDb, env, std::path::Path::new("/b"), 16).unwrap();
+        let store =
+            open_engine(EngineKind::PebblesDb, env, std::path::Path::new("/b"), 16).unwrap();
         let fill = Workload::FillRandom.run(&store, 2000, 16, 100, 1).unwrap();
         assert_eq!(fill.operations, 2000);
         assert!(fill.kops_per_second() > 0.0);
@@ -64,7 +70,13 @@ mod tests {
     #[test]
     fn seek_and_delete_workloads_execute() {
         let env = Arc::new(MemEnv::new());
-        let store = open_engine(EngineKind::HyperLevelDb, env, std::path::Path::new("/b"), 16).unwrap();
+        let store = open_engine(
+            EngineKind::HyperLevelDb,
+            env,
+            std::path::Path::new("/b"),
+            16,
+        )
+        .unwrap();
         Workload::FillSeq.run(&store, 1000, 16, 64, 1).unwrap();
         let seek = Workload::SeekRandom.run(&store, 200, 16, 64, 1).unwrap();
         assert_eq!(seek.operations, 200);
@@ -77,7 +89,9 @@ mod tests {
         let env = Arc::new(MemEnv::new());
         let store = open_engine(EngineKind::RocksDb, env, std::path::Path::new("/b"), 16).unwrap();
         Workload::FillRandom.run(&store, 1000, 16, 64, 2).unwrap();
-        let mixed = Workload::ReadWhileWriting.run(&store, 1000, 16, 64, 4).unwrap();
+        let mixed = Workload::ReadWhileWriting
+            .run(&store, 1000, 16, 64, 4)
+            .unwrap();
         assert!(mixed.operations >= 1000);
     }
 
@@ -100,10 +114,7 @@ mod tests {
 
     #[test]
     fn report_renders_all_rows() {
-        let mut report = Report::new(
-            "Demo",
-            vec!["engine".to_string(), "kops".to_string()],
-        );
+        let mut report = Report::new("Demo", vec!["engine".to_string(), "kops".to_string()]);
         report.add_row(vec!["PebblesDB".to_string(), "12.3".to_string()]);
         report.add_row(vec!["LevelDB".to_string(), "4.5".to_string()]);
         let rendered = report.render();

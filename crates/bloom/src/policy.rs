@@ -152,7 +152,9 @@ mod tests {
     #[test]
     fn keys_not_added_are_usually_rejected() {
         let policy = BloomFilterPolicy::new(12);
-        let keys: Vec<Vec<u8>> = (0..100).map(|i| format!("present-{i}").into_bytes()).collect();
+        let keys: Vec<Vec<u8>> = (0..100)
+            .map(|i| format!("present-{i}").into_bytes())
+            .collect();
         let filter = policy.create_filter(&keys);
         let mut rejected = 0;
         for i in 0..100 {

@@ -87,7 +87,7 @@ mod tests {
         {
             let db = open(Arc::clone(&env), path);
             for i in 0..2000u32 {
-                db.put(&key(i), &vec![b'v'; 100]).unwrap();
+                db.put(&key(i), &[b'v'; 100]).unwrap();
             }
             db.flush().unwrap();
         }
@@ -104,7 +104,7 @@ mod tests {
         let n = 3000u32;
         for i in 0..n {
             let k = (i.wrapping_mul(2654435761)) % n;
-            db.put(&key(k), &vec![b'v'; 128]).unwrap();
+            db.put(&key(k), &[b'v'; 128]).unwrap();
         }
         db.flush().unwrap();
         let stats = db.stats();

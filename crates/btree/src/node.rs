@@ -120,7 +120,8 @@ impl Node {
             if *pos + 4 > page.len() {
                 return Err(Error::corruption("truncated b+tree page"));
             }
-            let v = u32::from_le_bytes([page[*pos], page[*pos + 1], page[*pos + 2], page[*pos + 3]]);
+            let v =
+                u32::from_le_bytes([page[*pos], page[*pos + 1], page[*pos + 2], page[*pos + 3]]);
             *pos += 4;
             Ok(v)
         };
@@ -160,7 +161,9 @@ impl Node {
                 }
                 Ok(Node::Internal { keys, children })
             }
-            other => Err(Error::corruption(format!("unknown b+tree page tag {other}"))),
+            other => Err(Error::corruption(format!(
+                "unknown b+tree page tag {other}"
+            ))),
         }
     }
 }

@@ -92,7 +92,9 @@ impl Pager {
             page.last_used = clock;
             return Ok(page.data.clone());
         }
-        let data = self.file.read_at(u64::from(id) * PAGE_SIZE as u64, PAGE_SIZE)?;
+        let data = self
+            .file
+            .read_at(u64::from(id) * PAGE_SIZE as u64, PAGE_SIZE)?;
         let mut data = data;
         data.resize(PAGE_SIZE, 0);
         self.pages_read += 1;

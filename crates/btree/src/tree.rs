@@ -1,6 +1,18 @@
 //! The B+Tree store: tree operations over the pager, plus the [`KvStore`]
 //! implementation used by the benchmark harness.
+//!
+//! The store is sequence-number versioned like the LSM engines: every write
+//! bumps a sequence counter, [`KvStore::snapshot`] pins one, and while any
+//! snapshot is live the write path keeps a copy-on-write *undo log* — the
+//! value each key held before it was overwritten or deleted, tagged with the
+//! sequence of the superseding write. Snapshot reads resolve a key by
+//! looking for the earliest undo record newer than the snapshot; absent one,
+//! the live tree value was already current at the snapshot. When the last
+//! snapshot drops, the undo log is discarded — the RAII release the shared
+//! store API promises.
 
+use std::collections::BTreeMap;
+use std::ops::Bound;
 use std::path::Path;
 use std::sync::Arc;
 
@@ -8,8 +20,12 @@ use parking_lot::Mutex;
 
 use pebblesdb_common::counters::EngineCounters;
 use pebblesdb_common::filename::btree_pages_file_name;
-use pebblesdb_common::{Error, KvStore, Result, StoreOptions, StoreStats, WriteBatch};
 use pebblesdb_common::key::ValueType;
+use pebblesdb_common::snapshot::{Snapshot, SnapshotList};
+use pebblesdb_common::{
+    DbIterator, Error, KvStore, ReadOptions, Result, StoreOptions, StoreStats, WriteBatch,
+    WriteOptions,
+};
 use pebblesdb_env::Env;
 
 use crate::node::{Node, NO_PAGE};
@@ -22,17 +38,59 @@ const META_MAGIC: u64 = 0x6274_7265_655f_7067; // "btree_pg"
 /// page write-back, like WiredTiger's periodic checkpoints).
 const CHECKPOINT_EVERY: u64 = 256;
 
+/// The pre-image a write displaced: `None` means the key did not exist.
+type UndoVersion = (u64, Option<Vec<u8>>);
+/// Decoded `(key, value)` entries of one leaf page.
+type LeafEntries = Vec<(Vec<u8>, Vec<u8>)>;
+
 struct TreeInner {
     pager: Pager,
     root: u32,
     ops_since_checkpoint: u64,
+    /// Sequence of the most recent write (in-memory; snapshots do not
+    /// survive a reopen).
+    last_sequence: u64,
+    /// Per-key pre-images kept while snapshots are live: `(valid_before,
+    /// old value)` — the key held `old value` for every sequence `<
+    /// valid_before`. Cleared when the last snapshot drops.
+    undo: BTreeMap<Vec<u8>, Vec<UndoVersion>>,
+}
+
+impl TreeInner {
+    /// The value of `key` visible at `snapshot_seq`, given the current live
+    /// value.
+    fn resolve_at(&self, key: &[u8], live: Option<Vec<u8>>, snapshot_seq: u64) -> Option<Vec<u8>> {
+        if let Some(versions) = self.undo.get(key) {
+            // The earliest write *after* the snapshot displaced the value
+            // the snapshot saw.
+            let mut best: Option<&UndoVersion> = None;
+            for version in versions {
+                if version.0 > snapshot_seq && best.map(|b| version.0 < b.0).unwrap_or(true) {
+                    best = Some(version);
+                }
+            }
+            if let Some((_, old_value)) = best {
+                return old_value.clone();
+            }
+        }
+        live
+    }
+
+    /// Records the pre-image of `key` before a write at `new_seq`.
+    fn record_undo(&mut self, key: &[u8], old_value: Option<Vec<u8>>, new_seq: u64) {
+        self.undo
+            .entry(key.to_vec())
+            .or_default()
+            .push((new_seq, old_value));
+    }
 }
 
 /// A persistent B+Tree key-value store.
 pub struct BTreeStore {
     env: Arc<dyn Env>,
-    inner: Mutex<TreeInner>,
+    inner: Arc<Mutex<TreeInner>>,
     counters: EngineCounters,
+    snapshots: Arc<SnapshotList>,
 }
 
 impl BTreeStore {
@@ -52,13 +110,16 @@ impl BTreeStore {
                 pager,
                 root,
                 ops_since_checkpoint: 0,
+                last_sequence: 0,
+                undo: BTreeMap::new(),
             };
             Self::write_meta(&mut tree)?;
             tree.pager.checkpoint()?;
             return Ok(BTreeStore {
                 env,
-                inner: Mutex::new(tree),
+                inner: Arc::new(Mutex::new(tree)),
                 counters: EngineCounters::new(),
+                snapshots: SnapshotList::new(),
             });
         } else {
             let meta = pager.read_page(0)?;
@@ -71,12 +132,15 @@ impl BTreeStore {
 
         Ok(BTreeStore {
             env,
-            inner: Mutex::new(TreeInner {
+            inner: Arc::new(Mutex::new(TreeInner {
                 pager,
                 root,
                 ops_since_checkpoint: 0,
-            }),
+                last_sequence: 0,
+                undo: BTreeMap::new(),
+            })),
             counters: EngineCounters::new(),
+            snapshots: SnapshotList::new(),
         })
     }
 
@@ -94,9 +158,7 @@ impl BTreeStore {
 
     fn insert_entry(&self, tree: &mut TreeInner, key: &[u8], value: &[u8]) -> Result<()> {
         if key.len() + value.len() + 64 > PAGE_SIZE {
-            return Err(Error::invalid_argument(
-                "entry too large for a b+tree page",
-            ));
+            return Err(Error::invalid_argument("entry too large for a b+tree page"));
         }
         let root = tree.root;
         if let Some((split_key, right_page)) = Self::insert_recursive(tree, root, key, value)? {
@@ -226,6 +288,33 @@ impl BTreeStore {
         }
     }
 
+    /// The live value of `key`, straight from the tree.
+    fn live_value(tree: &mut TreeInner, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let leaf = Self::find_leaf(tree, key)?;
+        let node = Node::decode(&tree.pager.read_page(leaf)?)?;
+        let Node::Leaf { entries, .. } = node else {
+            return Err(Error::corruption("expected leaf page"));
+        };
+        Ok(entries
+            .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+            .ok()
+            .map(|idx| entries[idx].1.clone()))
+    }
+
+    /// Bumps the sequence for a write to `key`, saving its pre-image while
+    /// snapshots are live (and discarding the undo log once none are).
+    fn begin_write(&self, tree: &mut TreeInner, key: &[u8]) -> Result<u64> {
+        tree.last_sequence += 1;
+        let seq = tree.last_sequence;
+        if self.snapshots.has_active() {
+            let old = Self::live_value(tree, key)?;
+            tree.record_undo(key, old, seq);
+        } else if !tree.undo.is_empty() {
+            tree.undo = BTreeMap::new();
+        }
+        Ok(seq)
+    }
+
     fn maybe_checkpoint(&self, tree: &mut TreeInner) -> Result<()> {
         tree.ops_since_checkpoint += 1;
         if tree.ops_since_checkpoint >= CHECKPOINT_EVERY {
@@ -237,29 +326,30 @@ impl BTreeStore {
 }
 
 impl KvStore for BTreeStore {
-    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+    fn put_opts(&self, _opts: &WriteOptions, key: &[u8], value: &[u8]) -> Result<()> {
         let mut tree = self.inner.lock();
+        self.begin_write(&mut tree, key)?;
         self.insert_entry(&mut tree, key, value)?;
-        self.counters.add_user_bytes((key.len() + value.len()) as u64);
+        self.counters
+            .add_user_bytes((key.len() + value.len()) as u64);
         self.maybe_checkpoint(&mut tree)
     }
 
-    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+    fn get_opts(&self, opts: &ReadOptions, key: &[u8]) -> Result<Option<Vec<u8>>> {
         self.counters.record_get();
         let mut tree = self.inner.lock();
-        let leaf = Self::find_leaf(&mut tree, key)?;
-        let node = Node::decode(&tree.pager.read_page(leaf)?)?;
-        let Node::Leaf { entries, .. } = node else {
-            return Err(Error::corruption("expected leaf page"));
-        };
-        Ok(entries
-            .binary_search_by(|(k, _)| k.as_slice().cmp(key))
-            .ok()
-            .map(|idx| entries[idx].1.clone()))
+        let live = Self::live_value(&mut tree, key)?;
+        match opts.snapshot {
+            Some(snapshot_seq) if snapshot_seq < tree.last_sequence => {
+                Ok(tree.resolve_at(key, live, snapshot_seq))
+            }
+            _ => Ok(live),
+        }
     }
 
-    fn delete(&self, key: &[u8]) -> Result<()> {
+    fn delete_opts(&self, _opts: &WriteOptions, key: &[u8]) -> Result<()> {
         let mut tree = self.inner.lock();
+        self.begin_write(&mut tree, key)?;
         let leaf = Self::find_leaf(&mut tree, key)?;
         let node = Node::decode(&tree.pager.read_page(leaf)?)?;
         let Node::Leaf {
@@ -278,44 +368,36 @@ impl KvStore for BTreeStore {
         self.maybe_checkpoint(&mut tree)
     }
 
-    fn write(&self, batch: WriteBatch) -> Result<()> {
+    fn write_opts(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<()> {
         for record in batch.iter() {
             let record = record?;
             match record.value_type {
-                ValueType::Value => self.put(record.key, record.value)?,
-                ValueType::Deletion => self.delete(record.key)?,
+                ValueType::Value => self.put_opts(opts, record.key, record.value)?,
+                ValueType::Deletion => self.delete_opts(opts, record.key)?,
             }
         }
         Ok(())
     }
 
-    fn scan(&self, start: &[u8], end: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+    fn iter(&self, opts: &ReadOptions) -> Result<Box<dyn DbIterator>> {
         self.counters.record_seek();
-        let mut tree = self.inner.lock();
-        let mut out = Vec::new();
-        let mut page = Self::find_leaf(&mut tree, start)?;
-        loop {
-            let node = Node::decode(&tree.pager.read_page(page)?)?;
-            let Node::Leaf { entries, next_leaf } = node else {
-                return Err(Error::corruption("expected leaf page"));
-            };
-            for (key, value) in entries {
-                if key.as_slice() < start {
-                    continue;
-                }
-                if !end.is_empty() && key.as_slice() >= end {
-                    return Ok(out);
-                }
-                out.push((key, value));
-                if out.len() >= limit {
-                    return Ok(out);
-                }
-            }
-            if next_leaf == NO_PAGE {
-                return Ok(out);
-            }
-            page = next_leaf;
-        }
+        // The cursor outlives this call, so even a snapshot equal to the
+        // current sequence must keep resolving through the undo overlay —
+        // writes issued after cursor creation would otherwise leak into the
+        // batches it loads lazily.
+        let snapshot = {
+            let tree = self.inner.lock();
+            opts.snapshot.map(|seq| seq.min(tree.last_sequence))
+        };
+        Ok(Box::new(BTreeIterator::new(
+            Arc::clone(&self.inner),
+            snapshot,
+        )))
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        let tree = self.inner.lock();
+        self.snapshots.acquire(tree.last_sequence)
     }
 
     fn flush(&self) -> Result<()> {
@@ -353,6 +435,317 @@ impl KvStore for BTreeStore {
     }
 }
 
+/// A streaming cursor over the B+Tree's leaf pages.
+///
+/// The cursor materialises one leaf-sized batch at a time: it locks the
+/// tree, loads the leaf owning the current position (merging the snapshot
+/// undo overlay when reading as of a snapshot), and releases the lock until
+/// the batch is exhausted. Forward motion follows the next bound (the
+/// following leaf's first key); backward motion re-descends to the leaf
+/// holding the predecessor, so the cursor never needs a previous-leaf chain.
+struct BTreeIterator {
+    tree: Arc<Mutex<TreeInner>>,
+    /// Resolve against the undo overlay as of this sequence; `None` reads
+    /// the live tree.
+    snapshot: Option<u64>,
+    /// The resolved batch, covering `[batch_lower, batch_upper)`.
+    entries: Vec<(Vec<u8>, Vec<u8>)>,
+    idx: usize,
+    /// Lower bound of the batch's coverage; `None` = unbounded below.
+    batch_lower: Option<Vec<u8>>,
+    /// Upper bound of the batch's coverage; `None` = unbounded above.
+    batch_upper: Option<Vec<u8>>,
+    valid: bool,
+    /// First error hit while loading a leaf; ends iteration.
+    error: Option<Error>,
+}
+
+impl BTreeIterator {
+    fn new(tree: Arc<Mutex<TreeInner>>, snapshot: Option<u64>) -> Self {
+        BTreeIterator {
+            tree,
+            snapshot,
+            entries: Vec::new(),
+            idx: 0,
+            batch_lower: None,
+            batch_upper: None,
+            valid: false,
+            error: None,
+        }
+    }
+
+    fn record_load_error(&mut self, result: Result<()>) -> bool {
+        match result {
+            Ok(()) => true,
+            Err(err) => {
+                self.error = Some(err);
+                self.valid = false;
+                false
+            }
+        }
+    }
+
+    /// Resolves the batch covering `[from, upper)` from live entries and the
+    /// undo overlay.
+    fn resolve_batch(
+        tree: &TreeInner,
+        snapshot: Option<u64>,
+        live: Vec<(Vec<u8>, Vec<u8>)>,
+        from: &[u8],
+        upper: Option<&[u8]>,
+    ) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let Some(snapshot_seq) = snapshot else {
+            return live;
+        };
+        // Union of live keys and undo keys in range, in order.
+        let upper_bound = match upper {
+            Some(u) => Bound::Excluded(u.to_vec()),
+            None => Bound::Unbounded,
+        };
+        let undo_keys: Vec<&Vec<u8>> = tree
+            .undo
+            .range((Bound::Included(from.to_vec()), upper_bound))
+            .map(|(k, _)| k)
+            .collect();
+        let mut out = Vec::new();
+        let mut undo_idx = 0;
+        let mut push = |key: &[u8], live_value: Option<Vec<u8>>| {
+            if let Some(value) = tree.resolve_at(key, live_value, snapshot_seq) {
+                out.push((key.to_vec(), value));
+            }
+        };
+        for (key, value) in &live {
+            while undo_idx < undo_keys.len() && undo_keys[undo_idx].as_slice() < key.as_slice() {
+                push(undo_keys[undo_idx], None);
+                undo_idx += 1;
+            }
+            if undo_idx < undo_keys.len() && undo_keys[undo_idx].as_slice() == key.as_slice() {
+                undo_idx += 1;
+            }
+            push(key, Some(value.clone()));
+        }
+        while undo_idx < undo_keys.len() {
+            push(undo_keys[undo_idx], None);
+            undo_idx += 1;
+        }
+        out
+    }
+
+    /// Loads the batch of resolved entries with keys `>= from`.
+    fn load_forward(&mut self, from: &[u8]) -> Result<()> {
+        let mut tree = self.tree.lock();
+        let leaf = BTreeStore::find_leaf(&mut tree, from)?;
+        let node = Node::decode(&tree.pager.read_page(leaf)?)?;
+        let Node::Leaf { entries, next_leaf } = node else {
+            return Err(Error::corruption("expected leaf page"));
+        };
+        // The batch's upper bound is the first key of the next non-empty
+        // leaf (deletes can leave empty leaves in the chain).
+        let mut upper: Option<Vec<u8>> = None;
+        let mut next = next_leaf;
+        while next != NO_PAGE {
+            let node = Node::decode(&tree.pager.read_page(next)?)?;
+            let Node::Leaf {
+                entries: next_entries,
+                next_leaf: after,
+            } = node
+            else {
+                return Err(Error::corruption("expected leaf page"));
+            };
+            if let Some((first, _)) = next_entries.first() {
+                upper = Some(first.clone());
+                break;
+            }
+            next = after;
+        }
+        let live: Vec<(Vec<u8>, Vec<u8>)> = entries
+            .into_iter()
+            .filter(|(k, _)| k.as_slice() >= from)
+            .collect();
+        self.entries = Self::resolve_batch(&tree, self.snapshot, live, from, upper.as_deref());
+        self.batch_lower = Some(from.to_vec());
+        self.batch_upper = upper;
+        Ok(())
+    }
+
+    /// Loads the batch of resolved entries with keys `< before` (every key
+    /// when `before` is `None`), ending at the tree's rightmost live leaf
+    /// below the bound.
+    fn load_backward(&mut self, before: Option<&[u8]>) -> Result<()> {
+        let mut tree = self.tree.lock();
+        let root = tree.root;
+        let leaf_entries = Self::leaf_with_entry_below(&mut tree, root, before)?;
+        match leaf_entries {
+            Some(entries) => {
+                let from = entries[0].0.clone();
+                let live: Vec<(Vec<u8>, Vec<u8>)> = entries
+                    .into_iter()
+                    .filter(|(k, _)| before.is_none_or(|b| k.as_slice() < b))
+                    .collect();
+                self.entries = Self::resolve_batch(&tree, self.snapshot, live, &from, before);
+                self.batch_lower = Some(from);
+                self.batch_upper = before.map(|b| b.to_vec());
+            }
+            None => {
+                // No live key below the bound; snapshot-only keys (deleted
+                // after the snapshot) may still exist in the undo overlay.
+                self.entries = Self::resolve_batch(&tree, self.snapshot, Vec::new(), &[], before);
+                self.batch_lower = None;
+                self.batch_upper = before.map(|b| b.to_vec());
+            }
+        }
+        Ok(())
+    }
+
+    /// Finds the entries of the leaf holding the largest live key `< before`
+    /// (any live key when `before` is `None`).
+    fn leaf_with_entry_below(
+        tree: &mut TreeInner,
+        page: u32,
+        before: Option<&[u8]>,
+    ) -> Result<Option<LeafEntries>> {
+        let node = Node::decode(&tree.pager.read_page(page)?)?;
+        match node {
+            Node::Leaf { entries, .. } => {
+                let has_candidate = entries
+                    .iter()
+                    .any(|(k, _)| before.is_none_or(|b| k.as_slice() < b));
+                Ok(if has_candidate { Some(entries) } else { None })
+            }
+            Node::Internal { keys, children } => {
+                let idx = match before {
+                    Some(b) => keys.partition_point(|k| k.as_slice() < b),
+                    None => keys.len(),
+                };
+                for child_idx in (0..=idx.min(children.len() - 1)).rev() {
+                    if let Some(entries) =
+                        Self::leaf_with_entry_below(tree, children[child_idx], before)?
+                    {
+                        return Ok(Some(entries));
+                    }
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// Advances through forward batches until one is non-empty or the key
+    /// space is exhausted.
+    fn settle_forward(&mut self) {
+        loop {
+            if !self.entries.is_empty() {
+                self.idx = 0;
+                self.valid = true;
+                return;
+            }
+            let Some(upper) = self.batch_upper.take() else {
+                self.valid = false;
+                return;
+            };
+            let result = self.load_forward(&upper);
+            if !self.record_load_error(result) {
+                return;
+            }
+        }
+    }
+
+    /// Retreats through backward batches until one is non-empty or the key
+    /// space is exhausted.
+    fn settle_backward(&mut self) {
+        loop {
+            if !self.entries.is_empty() {
+                self.idx = self.entries.len() - 1;
+                self.valid = true;
+                return;
+            }
+            let Some(lower) = self.batch_lower.take() else {
+                self.valid = false;
+                return;
+            };
+            let result = self.load_backward(Some(&lower));
+            if !self.record_load_error(result) {
+                return;
+            }
+        }
+    }
+}
+
+impl DbIterator for BTreeIterator {
+    fn valid(&self) -> bool {
+        self.valid && self.idx < self.entries.len()
+    }
+
+    fn seek_to_first(&mut self) {
+        self.seek(&[]);
+    }
+
+    fn seek_to_last(&mut self) {
+        let result = self.load_backward(None);
+        if !self.record_load_error(result) {
+            return;
+        }
+        self.settle_backward();
+    }
+
+    fn seek(&mut self, target: &[u8]) {
+        let result = self.load_forward(target);
+        if !self.record_load_error(result) {
+            return;
+        }
+        self.settle_forward();
+    }
+
+    fn next(&mut self) {
+        assert!(self.valid(), "next() on invalid iterator");
+        self.idx += 1;
+        if self.idx >= self.entries.len() {
+            let Some(upper) = self.batch_upper.take() else {
+                self.valid = false;
+                return;
+            };
+            let result = self.load_forward(&upper);
+            if !self.record_load_error(result) {
+                return;
+            }
+            self.settle_forward();
+        }
+    }
+
+    fn prev(&mut self) {
+        assert!(self.valid(), "prev() on invalid iterator");
+        if self.idx > 0 {
+            self.idx -= 1;
+            return;
+        }
+        let Some(lower) = self.batch_lower.take() else {
+            self.valid = false;
+            return;
+        };
+        if self.load_backward(Some(&lower)).is_err() {
+            self.valid = false;
+            return;
+        }
+        self.settle_backward();
+    }
+
+    fn key(&self) -> &[u8] {
+        assert!(self.valid(), "key() on invalid iterator");
+        &self.entries[self.idx].0
+    }
+
+    fn value(&self) -> &[u8] {
+        assert!(self.valid(), "value() on invalid iterator");
+        &self.entries[self.idx].1
+    }
+
+    fn status(&self) -> Result<()> {
+        match &self.error {
+            Some(err) => Err(err.clone()),
+            None => Ok(()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,5 +776,103 @@ mod tests {
         batch.delete(b"gone");
         db.write(batch).unwrap();
         assert_eq!(db.get(b"k").unwrap(), Some(b"v2".to_vec()));
+    }
+
+    #[test]
+    fn cursor_streams_across_leaves_in_both_directions() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let db = BTreeStore::open(env, Path::new("/bt"), StoreOptions::default()).unwrap();
+        for i in 0..500u32 {
+            db.put(format!("k{i:05}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        assert!(db.num_pages() > 3, "spans several leaves");
+
+        let mut iter = db.iter(&ReadOptions::default()).unwrap();
+        iter.seek_to_first();
+        let mut count = 0u32;
+        let mut last: Option<Vec<u8>> = None;
+        while iter.valid() {
+            if let Some(prev) = &last {
+                assert!(prev.as_slice() < iter.key());
+            }
+            last = Some(iter.key().to_vec());
+            count += 1;
+            iter.next();
+        }
+        assert_eq!(count, 500);
+
+        iter.seek_to_last();
+        assert_eq!(iter.key(), b"k00499");
+        let mut back = 0u32;
+        while iter.valid() {
+            back += 1;
+            iter.prev();
+        }
+        assert_eq!(back, 500);
+
+        iter.seek(b"k00123");
+        assert_eq!(iter.key(), b"k00123");
+        iter.prev();
+        assert_eq!(iter.key(), b"k00122");
+    }
+
+    #[test]
+    fn snapshot_reads_see_pre_write_values() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let db = BTreeStore::open(env, Path::new("/bt"), StoreOptions::default()).unwrap();
+        db.put(b"a", b"1").unwrap();
+        db.put(b"b", b"2").unwrap();
+
+        let snap = db.snapshot();
+        db.put(b"a", b"1x").unwrap();
+        db.delete(b"b").unwrap();
+        db.put(b"c", b"3").unwrap();
+
+        let opts = snap.read_options();
+        assert_eq!(db.get_opts(&opts, b"a").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(db.get_opts(&opts, b"b").unwrap(), Some(b"2".to_vec()));
+        assert_eq!(db.get_opts(&opts, b"c").unwrap(), None);
+        // Latest reads are unaffected.
+        assert_eq!(db.get(b"a").unwrap(), Some(b"1x".to_vec()));
+        assert_eq!(db.get(b"b").unwrap(), None);
+        assert_eq!(db.get(b"c").unwrap(), Some(b"3".to_vec()));
+
+        // The snapshot cursor sees the old world, deletions included.
+        let got = db.scan_opts(&opts, b"", &[], 100).unwrap();
+        assert_eq!(
+            got,
+            vec![
+                (b"a".to_vec(), b"1".to_vec()),
+                (b"b".to_vec(), b"2".to_vec())
+            ]
+        );
+
+        // Dropping the snapshot releases the undo log on the next write.
+        drop(snap);
+        db.put(b"d", b"4").unwrap();
+        assert!(db.inner.lock().undo.is_empty());
+    }
+
+    #[test]
+    fn snapshot_cursor_hides_writes_made_after_its_creation() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let db = BTreeStore::open(env, Path::new("/bt"), StoreOptions::default()).unwrap();
+        db.put(b"a", b"1").unwrap();
+
+        // Snapshot at the *current* sequence, cursor created immediately —
+        // the cursor loads its batches lazily, so writes racing it must
+        // still be hidden.
+        let snap = db.snapshot();
+        let mut iter = db.iter(&snap.read_options()).unwrap();
+        db.put(b"b", b"2").unwrap();
+        db.put(b"a", b"1-new").unwrap();
+
+        iter.seek_to_first();
+        assert!(iter.valid());
+        assert_eq!(iter.key(), b"a");
+        assert_eq!(iter.value(), b"1");
+        iter.next();
+        assert!(!iter.valid(), "post-snapshot insert must stay hidden");
     }
 }

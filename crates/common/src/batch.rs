@@ -11,8 +11,8 @@
 //!         | kTypeDeletion varstring(key)
 //! ```
 
-use crate::coding::{decode_fixed32, decode_fixed64, put_fixed32, put_fixed64, Decoder};
 use crate::coding::put_length_prefixed_slice;
+use crate::coding::{decode_fixed32, decode_fixed64, put_fixed32, put_fixed64, Decoder};
 use crate::error::{Error, Result};
 use crate::key::{SequenceNumber, ValueType};
 

@@ -91,6 +91,9 @@ mod tests {
         assert_eq!(EngineCounters::load(&counters.compactions), 2);
         assert_eq!(EngineCounters::load(&counters.compaction_micros), 750);
         assert_eq!(EngineCounters::load(&counters.compaction_bytes_read), 1010);
-        assert_eq!(EngineCounters::load(&counters.compaction_bytes_written), 2020);
+        assert_eq!(
+            EngineCounters::load(&counters.compaction_bytes_written),
+            2020
+        );
     }
 }

@@ -100,15 +100,12 @@ mod tests {
             Error::invalid_argument("no such db").to_string(),
             "invalid argument: no such db"
         );
-        assert_eq!(
-            Error::internal("oops").to_string(),
-            "internal error: oops"
-        );
+        assert_eq!(Error::internal("oops").to_string(), "internal error: oops");
     }
 
     #[test]
     fn io_errors_convert_and_expose_source() {
-        let err: Error = io::Error::new(io::ErrorKind::Other, "boom").into();
+        let err: Error = io::Error::other("boom").into();
         assert!(err.to_string().contains("boom"));
         assert!(std::error::Error::source(&err).is_some());
     }

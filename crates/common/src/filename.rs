@@ -103,15 +103,12 @@ mod tests {
             let name = path.file_name().unwrap().to_str().unwrap();
             assert_eq!(parse_file_name(name), Some((ty, number)));
         }
-        assert_eq!(
-            parse_file_name("CURRENT"),
-            Some((FileType::Current, 0))
-        );
+        assert_eq!(parse_file_name("CURRENT"), Some((FileType::Current, 0)));
         assert_eq!(parse_file_name("LOCK"), Some((FileType::Lock, 0)));
     }
 
     #[test]
-    fn unknown_names_are_rejected(){
+    fn unknown_names_are_rejected() {
         assert_eq!(parse_file_name("random.txt"), None);
         assert_eq!(parse_file_name("notanumber.sst"), None);
         assert_eq!(parse_file_name("MANIFEST-abc"), None);
@@ -121,7 +118,13 @@ mod tests {
     #[test]
     fn numbers_are_zero_padded() {
         let db = Path::new("/db");
-        assert!(table_file_name(db, 5).to_str().unwrap().ends_with("000005.sst"));
-        assert!(log_file_name(db, 123456).to_str().unwrap().ends_with("123456.log"));
+        assert!(table_file_name(db, 5)
+            .to_str()
+            .unwrap()
+            .ends_with("000005.sst"));
+        assert!(log_file_name(db, 123456)
+            .to_str()
+            .unwrap()
+            .ends_with("123456.log"));
     }
 }

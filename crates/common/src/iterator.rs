@@ -6,6 +6,7 @@
 
 use std::cmp::Ordering;
 
+use crate::error::Result;
 use crate::key::compare_internal_keys;
 
 /// A cursor over a sorted sequence of internal key/value pairs.
@@ -46,6 +47,15 @@ pub trait DbIterator {
     ///
     /// May panic if the iterator is not valid.
     fn value(&self) -> &[u8];
+    /// Any IO or corruption error the cursor hit while iterating.
+    ///
+    /// A cursor that encounters an error stops (becomes invalid) rather
+    /// than silently skipping data; callers draining a cursor should check
+    /// `status` once the cursor is exhausted, as the provided
+    /// [`KvStore::scan`](crate::KvStore::scan) does.
+    fn status(&self) -> Result<()> {
+        Ok(())
+    }
 }
 
 /// An iterator over nothing, useful as a placeholder.
@@ -287,6 +297,61 @@ impl DbIterator for MergingIterator {
     fn value(&self) -> &[u8] {
         self.children[self.current.expect("value() on invalid iterator")].value()
     }
+
+    fn status(&self) -> Result<()> {
+        for child in &self.children {
+            child.status()?;
+        }
+        Ok(())
+    }
+}
+
+/// Forwards to an inner iterator while keeping an arbitrary pin alive.
+///
+/// The engines use this to tie the lifetime of a cursor to the version (file
+/// set) it reads: as long as the cursor exists, the pinned `Arc` keeps the
+/// version live and the obsolete-file collector will not delete its
+/// sstables.
+pub struct PinnedIterator<P> {
+    inner: Box<dyn DbIterator>,
+    _pin: P,
+}
+
+impl<P> PinnedIterator<P> {
+    /// Wraps `inner`, holding `pin` until the iterator is dropped.
+    pub fn new(inner: Box<dyn DbIterator>, pin: P) -> Self {
+        PinnedIterator { inner, _pin: pin }
+    }
+}
+
+impl<P> DbIterator for PinnedIterator<P> {
+    fn valid(&self) -> bool {
+        self.inner.valid()
+    }
+    fn seek_to_first(&mut self) {
+        self.inner.seek_to_first();
+    }
+    fn seek_to_last(&mut self) {
+        self.inner.seek_to_last();
+    }
+    fn seek(&mut self, target: &[u8]) {
+        self.inner.seek(target);
+    }
+    fn next(&mut self) {
+        self.inner.next();
+    }
+    fn prev(&mut self) {
+        self.inner.prev();
+    }
+    fn key(&self) -> &[u8] {
+        self.inner.key()
+    }
+    fn value(&self) -> &[u8] {
+        self.inner.value()
+    }
+    fn status(&self) -> Result<()> {
+        self.inner.status()
+    }
 }
 
 #[cfg(test)]
@@ -349,7 +414,10 @@ mod tests {
             .into_iter()
             .map(|(k, _)| crate::key::extract_user_key(&k).to_vec())
             .collect();
-        assert_eq!(keys, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]);
+        assert_eq!(
+            keys,
+            vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]
+        );
     }
 
     #[test]

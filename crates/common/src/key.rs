@@ -62,11 +62,7 @@ pub fn append_internal_key(
 }
 
 /// Builds the encoded internal key for `(user_key, seq, value_type)`.
-pub fn encode_internal_key(
-    user_key: &[u8],
-    seq: SequenceNumber,
-    value_type: ValueType,
-) -> Vec<u8> {
+pub fn encode_internal_key(user_key: &[u8], seq: SequenceNumber, value_type: ValueType) -> Vec<u8> {
     let mut out = Vec::with_capacity(user_key.len() + 8);
     append_internal_key(&mut out, user_key, seq, value_type);
     out

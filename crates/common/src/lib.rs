@@ -26,13 +26,15 @@ pub mod hash;
 pub mod iterator;
 pub mod key;
 pub mod options;
+pub mod snapshot;
 pub mod store;
+pub mod user_iter;
 
 pub use batch::WriteBatch;
 pub use error::{Error, Result};
 pub use iterator::DbIterator;
-pub use key::{
-    InternalKey, ParsedInternalKey, SequenceNumber, ValueType, MAX_SEQUENCE_NUMBER,
-};
+pub use key::{InternalKey, ParsedInternalKey, SequenceNumber, ValueType, MAX_SEQUENCE_NUMBER};
 pub use options::{ReadOptions, StoreOptions, StorePreset, WriteOptions};
+pub use snapshot::{Snapshot, SnapshotList};
 pub use store::{KvStore, StoreStats};
+pub use user_iter::{UserEntriesIterator, UserIterator};

@@ -215,7 +215,9 @@ impl StoreOptions {
     /// Number of trailing set bits a key hash needs to become a guard at
     /// `level` (levels are 1-based for guards; level 0 has no guards).
     pub fn guard_bits_for_level(&self, level: usize) -> u32 {
-        let relax = self.bit_decrement.saturating_mul(level.saturating_sub(1) as u32);
+        let relax = self
+            .bit_decrement
+            .saturating_mul(level.saturating_sub(1) as u32);
         self.top_level_bits.saturating_sub(relax).max(1)
     }
 }
@@ -228,6 +230,14 @@ pub struct ReadOptions {
     /// Insert blocks read by this operation into the block cache.
     pub fill_cache: bool,
     /// Read as of this sequence number; `None` reads the latest data.
+    ///
+    /// The sequence must come from a live
+    /// [`Snapshot`](crate::snapshot::Snapshot) handle (keep the handle alive
+    /// for the duration of the read or cursor). Engines only guarantee
+    /// history for *pinned* sequences: compaction garbage-collects versions
+    /// below the oldest pin, and the B+Tree keeps its undo overlay only
+    /// while snapshots are live — an arbitrary unpinned sequence reads
+    /// whatever versions still happen to exist.
     pub snapshot: Option<SequenceNumber>,
 }
 

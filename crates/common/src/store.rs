@@ -4,9 +4,24 @@
 //! on `dyn KvStore` so the same workload can be pointed at PebblesDB, the
 //! baseline LSM presets or the B+Tree engine — mirroring how the paper runs
 //! identical workloads against different stores.
+//!
+//! The interface is snapshot-aware and cursor-based:
+//!
+//! * [`KvStore::snapshot`] pins a consistent point-in-time view (a sequence
+//!   number, released RAII-style when the handle drops),
+//! * every read and write has an options-taking form ([`KvStore::get_opts`],
+//!   [`KvStore::put_opts`], [`KvStore::write_opts`], ...) with the plain
+//!   methods provided as default-option wrappers, and
+//! * [`KvStore::iter`] returns a streaming [`DbIterator`] cursor over user
+//!   keys, which the provided [`KvStore::scan`] drives — so range-query
+//!   semantics (notably "empty `end` means unbounded") are defined once,
+//!   here, and not re-decided per engine.
 
 use crate::batch::WriteBatch;
 use crate::error::Result;
+use crate::iterator::DbIterator;
+use crate::options::{ReadOptions, WriteOptions};
+use crate::snapshot::Snapshot;
 
 /// Aggregate statistics a store exposes for the evaluation harness.
 ///
@@ -66,26 +81,50 @@ impl StoreStats {
 }
 
 /// A key-value store, as defined in section 2.1 of the paper: `put`, `get`,
-/// deletion, and iterator-style range queries.
+/// deletion, and iterator-style range queries — extended with snapshots and
+/// per-operation options.
+///
+/// # Cursors
+///
+/// [`KvStore::iter`] returns a [`DbIterator`] over **user** keys: `seek`
+/// takes a user key, `key()`/`value()` surface the newest visible version of
+/// each live key, and tombstones are never surfaced. The cursor is a
+/// consistent view as of its creation (or as of
+/// [`ReadOptions::snapshot`] when set); writes issued afterwards are not
+/// observed.
+///
+/// # Snapshots
+///
+/// [`KvStore::snapshot`] pins the store's current sequence number. Reads
+/// issued with that sequence in [`ReadOptions::snapshot`] — most conveniently
+/// via [`Snapshot::read_options`] — see exactly the data that was committed
+/// when the snapshot was taken, regardless of later writes, flushes or
+/// compactions. Dropping the handle releases the pin so compaction can
+/// eventually drop the obsolete versions.
 pub trait KvStore: Send + Sync {
-    /// Stores `key -> value`, overwriting any previous value.
-    fn put(&self, key: &[u8], value: &[u8]) -> Result<()>;
+    /// Stores `key -> value` with explicit write options.
+    fn put_opts(&self, opts: &WriteOptions, key: &[u8], value: &[u8]) -> Result<()>;
 
-    /// Returns the latest value for `key`, or `None` if absent or deleted.
-    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>>;
+    /// Returns the value for `key` visible under `opts` (honouring
+    /// [`ReadOptions::snapshot`]), or `None` if absent or deleted.
+    fn get_opts(&self, opts: &ReadOptions, key: &[u8]) -> Result<Option<Vec<u8>>>;
 
-    /// Removes `key` from the store.
-    fn delete(&self, key: &[u8]) -> Result<()>;
+    /// Removes `key` from the store with explicit write options.
+    fn delete_opts(&self, opts: &WriteOptions, key: &[u8]) -> Result<()>;
 
-    /// Applies every operation in `batch` atomically.
-    fn write(&self, batch: WriteBatch) -> Result<()>;
+    /// Applies every operation in `batch` atomically with explicit write
+    /// options.
+    fn write_opts(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<()>;
 
-    /// Returns up to `limit` key/value pairs with `start <= key < end`
-    /// (an empty `end` means "no upper bound"), in ascending key order.
+    /// Returns a streaming cursor over the store's user keys.
     ///
-    /// This is the paper's `range_query(key1, key2)`, implemented by the
-    /// engines as a seek followed by next calls.
-    fn scan(&self, start: &[u8], end: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>>;
+    /// The cursor observes the state as of its creation, or as of
+    /// [`ReadOptions::snapshot`] when set. Callers drive it lazily with
+    /// `seek` / `next` / `prev` instead of receiving a materialised vector.
+    fn iter(&self, opts: &ReadOptions) -> Result<Box<dyn DbIterator>>;
+
+    /// Pins the current state of the store as a [`Snapshot`].
+    fn snapshot(&self) -> Snapshot;
 
     /// Flushes in-memory writes to storage and waits for any resulting
     /// urgent compaction to finish. Used between benchmark phases.
@@ -97,6 +136,62 @@ pub trait KvStore: Send + Sync {
     /// A short engine name used in benchmark output (for example
     /// `"PebblesDB"` or `"LevelDB"`).
     fn engine_name(&self) -> String;
+
+    /// Stores `key -> value`, overwriting any previous value.
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.put_opts(&WriteOptions::default(), key, value)
+    }
+
+    /// Returns the latest value for `key`, or `None` if absent or deleted.
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.get_opts(&ReadOptions::default(), key)
+    }
+
+    /// Removes `key` from the store.
+    fn delete(&self, key: &[u8]) -> Result<()> {
+        self.delete_opts(&WriteOptions::default(), key)
+    }
+
+    /// Applies every operation in `batch` atomically.
+    fn write(&self, batch: WriteBatch) -> Result<()> {
+        self.write_opts(&WriteOptions::default(), batch)
+    }
+
+    /// Returns up to `limit` key/value pairs with `start <= key < end`, in
+    /// ascending key order. An empty `end` means "no upper bound" — this is
+    /// the one place that convention is defined; engines do not override
+    /// `scan`.
+    ///
+    /// This is the paper's `range_query(key1, key2)`, implemented as a seek
+    /// followed by next calls on the [`KvStore::iter`] cursor.
+    fn scan(&self, start: &[u8], end: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.scan_opts(&ReadOptions::default(), start, end, limit)
+    }
+
+    /// [`KvStore::scan`] with explicit read options (e.g. a snapshot).
+    fn scan_opts(
+        &self,
+        opts: &ReadOptions,
+        start: &[u8],
+        end: &[u8],
+        limit: usize,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut iter = self.iter(opts)?;
+        iter.seek(start);
+        let mut out = Vec::new();
+        while iter.valid() && out.len() < limit {
+            let key = iter.key();
+            if !end.is_empty() && key >= end {
+                break;
+            }
+            out.push((key.to_vec(), iter.value().to_vec()));
+            iter.next();
+        }
+        // A cursor that hit corruption or an IO error stops early; surface
+        // that instead of returning a silently truncated result.
+        iter.status()?;
+        Ok(out)
+    }
 
     /// Sizes (bytes) of the live data files, for the sstable-size
     /// distribution experiment (Table 5.1 of the paper).
@@ -110,6 +205,10 @@ pub trait KvStore: Send + Sync {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::snapshot::SnapshotList;
+    use crate::user_iter::UserEntriesIterator;
+    use std::collections::BTreeMap;
+    use std::sync::{Arc, Mutex};
 
     #[test]
     fn write_amplification_is_ratio_of_device_to_user_bytes() {
@@ -136,5 +235,101 @@ mod tests {
             ..Default::default()
         };
         assert!((stats.space_amplification() - 1.5).abs() < 1e-9);
+    }
+
+    /// A minimal store exercising the provided-method defaults.
+    #[derive(Default)]
+    struct TinyStore {
+        map: Mutex<BTreeMap<Vec<u8>, Vec<u8>>>,
+        snapshots: Arc<SnapshotList>,
+    }
+
+    impl KvStore for TinyStore {
+        fn put_opts(&self, _opts: &WriteOptions, key: &[u8], value: &[u8]) -> Result<()> {
+            self.map
+                .lock()
+                .unwrap()
+                .insert(key.to_vec(), value.to_vec());
+            Ok(())
+        }
+        fn get_opts(&self, _opts: &ReadOptions, key: &[u8]) -> Result<Option<Vec<u8>>> {
+            Ok(self.map.lock().unwrap().get(key).cloned())
+        }
+        fn delete_opts(&self, _opts: &WriteOptions, key: &[u8]) -> Result<()> {
+            self.map.lock().unwrap().remove(key);
+            Ok(())
+        }
+        fn write_opts(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<()> {
+            for record in batch.iter() {
+                let record = record?;
+                match record.value_type {
+                    crate::ValueType::Value => self.put_opts(opts, record.key, record.value)?,
+                    crate::ValueType::Deletion => self.delete_opts(opts, record.key)?,
+                }
+            }
+            Ok(())
+        }
+        fn iter(&self, _opts: &ReadOptions) -> Result<Box<dyn DbIterator>> {
+            let entries: Vec<_> = self
+                .map
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            Ok(Box::new(UserEntriesIterator::new(entries)))
+        }
+        fn snapshot(&self) -> Snapshot {
+            self.snapshots.acquire(0)
+        }
+        fn flush(&self) -> Result<()> {
+            Ok(())
+        }
+        fn stats(&self) -> StoreStats {
+            StoreStats::default()
+        }
+        fn engine_name(&self) -> String {
+            "TinyStore".to_string()
+        }
+    }
+
+    #[test]
+    fn provided_methods_wrap_the_opts_forms() {
+        let store = TinyStore::default();
+        store.put(b"a", b"1").unwrap();
+        store.put(b"b", b"2").unwrap();
+        store.put(b"c", b"3").unwrap();
+        assert_eq!(store.get(b"b").unwrap(), Some(b"2".to_vec()));
+        store.delete(b"b").unwrap();
+        assert_eq!(store.get(b"b").unwrap(), None);
+
+        let mut batch = WriteBatch::new();
+        batch.put(b"d", b"4");
+        batch.delete(b"a");
+        store.write(batch).unwrap();
+        assert_eq!(store.get(b"d").unwrap(), Some(b"4".to_vec()));
+        assert_eq!(store.get(b"a").unwrap(), None);
+    }
+
+    #[test]
+    fn default_scan_enforces_empty_end_is_unbounded() {
+        let store = TinyStore::default();
+        for i in 0..10u8 {
+            store.put(&[b'k', b'0' + i], &[i]).unwrap();
+        }
+        // Bounded scan: [k2, k5).
+        let got = store.scan(b"k2", b"k5", 100).unwrap();
+        assert_eq!(
+            got.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(),
+            vec![b"k2".to_vec(), b"k3".to_vec(), b"k4".to_vec()]
+        );
+        // Empty end: unbounded.
+        let got = store.scan(b"k7", &[], 100).unwrap();
+        assert_eq!(got.len(), 3);
+        // Limit is respected.
+        let got = store.scan(b"", &[], 4).unwrap();
+        assert_eq!(got.len(), 4);
+        // Zero limit yields nothing.
+        assert!(store.scan(b"", &[], 0).unwrap().is_empty());
     }
 }

@@ -13,10 +13,12 @@
 use std::path::Path;
 use std::sync::Arc;
 
-use pebblesdb_common::iterator::{DbIterator, MergingIterator};
-use pebblesdb_common::key::{parse_internal_key, InternalKey, ValueType};
-use pebblesdb_common::{Error, ReadOptions, Result, StoreOptions};
 use pebblesdb_common::filename::table_file_name;
+use pebblesdb_common::iterator::{DbIterator, MergingIterator};
+use pebblesdb_common::key::{
+    parse_internal_key, InternalKey, SequenceNumber, ValueType, MAX_SEQUENCE_NUMBER,
+};
+use pebblesdb_common::{Error, ReadOptions, Result, StoreOptions};
 use pebblesdb_env::Env;
 use pebblesdb_lsm::FileMetaData;
 use pebblesdb_sstable::{TableBuilder, TableCache};
@@ -49,6 +51,9 @@ pub struct FlsmCompactionJob {
     pub output_numbers: Vec<u64>,
     /// Total bytes of input (for stats).
     pub input_bytes: u64,
+    /// Versions superseded at or below this sequence are invisible to every
+    /// live snapshot and may be garbage-collected by the merge.
+    pub smallest_snapshot: SequenceNumber,
 }
 
 impl FlsmCompactionJob {
@@ -75,7 +80,11 @@ pub fn select_guard_inputs(
         .filter(|g| g.files.len() > max_sstables_per_guard)
         .collect();
     let selected: Vec<&crate::guards::GuardMeta> = if over_budget.is_empty() {
-        flsm_level.guards.iter().filter(|g| !g.files.is_empty()).collect()
+        flsm_level
+            .guards
+            .iter()
+            .filter(|g| !g.files.is_empty())
+            .collect()
     } else {
         over_budget
     };
@@ -107,6 +116,7 @@ pub fn build_compaction_job(
     level: usize,
     reason: CompactionReason,
     uncommitted_output_guards: Vec<Vec<u8>>,
+    smallest_snapshot: SequenceNumber,
     mut allocate_number: impl FnMut() -> u64,
 ) -> Option<FlsmCompactionJob> {
     let last_level = version.num_levels() - 1;
@@ -132,7 +142,11 @@ pub fn build_compaction_job(
     let input_bytes: u64 = inputs.iter().map(|f| f.file_size).sum();
 
     // Decide the output level.
-    let mut output_level = if level == last_level { level } else { level + 1 };
+    let mut output_level = if level == last_level {
+        level
+    } else {
+        level + 1
+    };
 
     // The paper's second-highest-level heuristic: if appending to the last
     // level would land in guards that are already full and much larger than
@@ -153,11 +167,10 @@ pub fn build_compaction_job(
         let mut dest_bytes = 0u64;
         let mut dest_full = false;
         for guard in &dest.guards {
-            let overlaps = guard
-                .files
-                .iter()
-                .any(|f| f.smallest.user_key() <= largest.as_slice()
-                    && smallest.as_slice() <= f.largest.user_key());
+            let overlaps = guard.files.iter().any(|f| {
+                f.smallest.user_key() <= largest.as_slice()
+                    && smallest.as_slice() <= f.largest.user_key()
+            });
             if overlaps {
                 dest_bytes += guard.total_bytes();
                 if guard.files.len() >= options.max_sstables_per_guard {
@@ -165,7 +178,8 @@ pub fn build_compaction_job(
                 }
             }
         }
-        if dest_full && dest_bytes > (options.last_level_merge_io_factor * input_bytes as f64) as u64
+        if dest_full
+            && dest_bytes > (options.last_level_merge_io_factor * input_bytes as f64) as u64
         {
             output_level = level;
         }
@@ -189,9 +203,8 @@ pub fn build_compaction_job(
     // data the tombstone still needs to shadow.
     let drop_tombstones = output_level == last_level && level == last_level;
 
-    let estimated_outputs = (input_bytes / options.max_file_size.max(1) as u64) as usize
-        + partition_keys.len()
-        + 2;
+    let estimated_outputs =
+        (input_bytes / options.max_file_size.max(1) as u64) as usize + partition_keys.len() + 2;
     let output_numbers: Vec<u64> = (0..estimated_outputs).map(|_| allocate_number()).collect();
 
     Some(FlsmCompactionJob {
@@ -204,6 +217,7 @@ pub fn build_compaction_job(
         drop_tombstones,
         output_numbers,
         input_bytes,
+        smallest_snapshot,
     })
 }
 
@@ -237,9 +251,10 @@ pub fn run_compaction_io(
     let mut next_output = 0usize;
     let mut current_partition: Option<usize> = None;
     let mut last_user_key: Option<Vec<u8>> = None;
+    let mut last_sequence_for_key = MAX_SEQUENCE_NUMBER;
 
     let finish_current = |builder: &mut Option<(u64, TableBuilder)>,
-                              outputs: &mut Vec<FileMetaData>|
+                          outputs: &mut Vec<FileMetaData>|
      -> Result<()> {
         if let Some((number, b)) = builder.take() {
             if b.num_entries() > 0 {
@@ -264,13 +279,22 @@ pub fn run_compaction_io(
         let parsed = parse_internal_key(&key)
             .ok_or_else(|| Error::corruption("malformed key during FLSM compaction"))?;
 
-        let is_duplicate = last_user_key
+        let is_same_user_key = last_user_key
             .as_deref()
             .map(|last| last == parsed.user_key)
             .unwrap_or(false);
-        last_user_key = Some(parsed.user_key.to_vec());
-        let drop_entry = is_duplicate
-            || (job.drop_tombstones && parsed.value_type == ValueType::Deletion);
+        if !is_same_user_key {
+            last_user_key = Some(parsed.user_key.to_vec());
+            last_sequence_for_key = MAX_SEQUENCE_NUMBER;
+        }
+        // A version may be dropped once a newer version of the same key is
+        // visible to every live snapshot; tombstones additionally need the
+        // output to be the last level.
+        let drop_entry = last_sequence_for_key <= job.smallest_snapshot
+            || (job.drop_tombstones
+                && parsed.value_type == ValueType::Deletion
+                && parsed.sequence <= job.smallest_snapshot);
+        last_sequence_for_key = parsed.sequence;
 
         if !drop_entry {
             let partition = guard_index_for_key(&job.partition_keys, parsed.user_key);
@@ -368,6 +392,7 @@ mod tests {
             0,
             CompactionReason::Level0Files,
             vec![],
+            1_000,
             || {
                 next += 1;
                 next
@@ -379,13 +404,17 @@ mod tests {
         assert_eq!(job.partition_keys, vec![b"h".to_vec(), b"q".to_vec()]);
         assert!(!job.drop_tombstones);
 
-        let outputs =
-            run_compaction_io(env.as_ref(), &db, &options, &table_cache, &job).unwrap();
+        let outputs = run_compaction_io(env.as_ref(), &db, &options, &table_cache, &job).unwrap();
         // Keys a,c | h,m | q,x => three partitions => three output files.
         assert_eq!(outputs.len(), 3);
         let mut spans: Vec<(Vec<u8>, Vec<u8>)> = outputs
             .iter()
-            .map(|f| (f.smallest.user_key().to_vec(), f.largest.user_key().to_vec()))
+            .map(|f| {
+                (
+                    f.smallest.user_key().to_vec(),
+                    f.largest.user_key().to_vec(),
+                )
+            })
             .collect();
         spans.sort();
         assert_eq!(spans[0], (b"a".to_vec(), b"c".to_vec()));
@@ -417,14 +446,14 @@ mod tests {
             0,
             CompactionReason::Level0Files,
             vec![],
+            1_000,
             || {
                 next += 1;
                 next
             },
         )
         .unwrap();
-        let outputs =
-            run_compaction_io(env.as_ref(), &db, &options, &table_cache, &job).unwrap();
+        let outputs = run_compaction_io(env.as_ref(), &db, &options, &table_cache, &job).unwrap();
         assert_eq!(outputs.len(), 1);
         // Only the newest version survives, so the file holds exactly one key.
         assert_eq!(outputs[0].smallest.user_key(), b"k");
@@ -489,6 +518,7 @@ mod tests {
             last,
             CompactionReason::GuardFanout,
             vec![],
+            1_000,
             || {
                 next += 1;
                 next

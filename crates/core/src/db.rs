@@ -18,11 +18,10 @@ use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use pebblesdb_common::counters::EngineCounters;
 use pebblesdb_common::filename::{log_file_name, parse_file_name, table_file_name, FileType};
-use pebblesdb_common::iterator::{DbIterator, MergingIterator, VecIterator};
-use pebblesdb_common::key::{
-    encode_internal_key, parse_internal_key, InternalKey, LookupKey, ValueType,
-    MAX_SEQUENCE_NUMBER, VALUE_TYPE_FOR_SEEK,
-};
+use pebblesdb_common::iterator::{DbIterator, MergingIterator, PinnedIterator};
+use pebblesdb_common::key::{InternalKey, LookupKey, SequenceNumber, ValueType};
+use pebblesdb_common::snapshot::{Snapshot, SnapshotList};
+use pebblesdb_common::user_iter::UserIterator;
 use pebblesdb_common::{
     Error, KvStore, ReadOptions, Result, StoreOptions, StorePreset, StoreStats, WriteBatch,
     WriteOptions,
@@ -36,7 +35,7 @@ use pebblesdb_wal::{LogReader, LogWriter};
 
 use crate::compaction::{build_compaction_job, run_compaction_io};
 use crate::guards::{GuardPicker, UncommittedGuards};
-use crate::version::{CompactionReason, FlsmVersion, FlsmVersionEdit, FlsmVersionSet};
+use crate::version::{CompactionReason, FlsmVersionEdit, FlsmVersionSet};
 
 /// A handle to an open PebblesDB database.
 pub struct PebblesDb {
@@ -58,10 +57,14 @@ struct DbInner {
     /// Consecutive seeks since the last write (seek-triggered compaction).
     consecutive_seeks: AtomicUsize,
     engine_label: String,
+    snapshots: Arc<SnapshotList>,
 }
 
 struct DbState {
-    mem: MemTable,
+    /// The active memtable. Shared so streaming cursors can pin it; the
+    /// write path copies-on-write (`Arc::make_mut`) only while a cursor
+    /// still holds the old copy.
+    mem: Arc<MemTable>,
     imm: Option<Arc<MemTable>>,
     versions: FlsmVersionSet,
     uncommitted_guards: UncommittedGuards,
@@ -99,8 +102,7 @@ impl PebblesDb {
         let mut versions =
             FlsmVersionSet::new(Arc::clone(&env), path.to_path_buf(), options.clone());
 
-        let current_exists =
-            env.file_exists(&pebblesdb_common::filename::current_file_name(path));
+        let current_exists = env.file_exists(&pebblesdb_common::filename::current_file_name(path));
         if current_exists {
             if options.error_if_exists {
                 return Err(Error::invalid_argument("database already exists"));
@@ -114,7 +116,7 @@ impl PebblesDb {
         }
 
         let mut state = DbState {
-            mem: MemTable::new(),
+            mem: Arc::new(MemTable::new()),
             imm: None,
             versions,
             uncommitted_guards: UncommittedGuards::new(options.max_levels),
@@ -150,6 +152,7 @@ impl PebblesDb {
             counters: EngineCounters::new(),
             consecutive_seeks: AtomicUsize::new(0),
             engine_label: label,
+            snapshots: SnapshotList::new(),
         });
 
         {
@@ -238,11 +241,8 @@ fn recover_wals(
         state.versions.mark_file_number_used(number);
         let file = env.new_sequential_file(&log_file_name(db_path, number))?;
         let mut reader = LogReader::new(file);
-        loop {
-            let record = match reader.read_record() {
-                Ok(Some(record)) => record,
-                Ok(None) | Err(_) => break,
-            };
+        // A clean end or a torn tail both end replay of this log.
+        while let Ok(Some(record)) = reader.read_record() {
             let batch = match WriteBatch::from_contents(record) {
                 Ok(batch) => batch,
                 Err(_) => break,
@@ -254,9 +254,12 @@ fn recover_wals(
                     Ok(item) => item,
                     Err(_) => break,
                 };
-                state
-                    .mem
-                    .add(item.sequence, item.value_type, item.key, item.value);
+                Arc::make_mut(&mut state.mem).add(
+                    item.sequence,
+                    item.value_type,
+                    item.key,
+                    item.value,
+                );
                 applied += 1;
             }
             let last = base_seq + applied.saturating_sub(1);
@@ -281,7 +284,7 @@ fn flush_recovery_memtable(
     state: &mut DbState,
 ) -> Result<()> {
     let number = state.versions.new_file_number();
-    let mem = std::mem::take(&mut state.mem);
+    let mem = std::mem::replace(&mut state.mem, Arc::new(MemTable::new()));
     if let Some(meta) = build_table_from_memtable(env, db_path, options, &mem, number)? {
         let mut edit = FlsmVersionEdit::default();
         edit.add_file(0, &meta);
@@ -324,31 +327,12 @@ fn build_table_from_memtable(
     )))
 }
 
-/// Copies the `[start, end)` range of a memtable into a sorted entry list.
-fn collect_memtable_range(
-    mem: &MemTable,
-    start: &[u8],
-    end: Option<&[u8]>,
-) -> Vec<(Vec<u8>, Vec<u8>)> {
-    let mut out = Vec::new();
-    let mut iter = mem.iter();
-    iter.seek(&encode_internal_key(
-        start,
-        MAX_SEQUENCE_NUMBER,
-        VALUE_TYPE_FOR_SEEK,
-    ));
-    while iter.valid() {
-        if let Some(end) = end {
-            if let Some(parsed) = parse_internal_key(iter.key()) {
-                if parsed.user_key >= end {
-                    break;
-                }
-            }
-        }
-        out.push((iter.key().to_vec(), iter.value().to_vec()));
-        iter.next();
-    }
-    out
+/// The sequence number a read issued with `opts` may observe: the requested
+/// snapshot, clamped to the store's current sequence.
+fn visible_sequence(opts: &ReadOptions, last_sequence: SequenceNumber) -> SequenceNumber {
+    opts.snapshot
+        .map(|snap| snap.min(last_sequence))
+        .unwrap_or(last_sequence)
 }
 
 impl DbInner {
@@ -390,9 +374,12 @@ impl DbInner {
                     state.uncommitted_guards.add(level, record.key);
                 }
             }
-            state
-                .mem
-                .add(record.sequence, record.value_type, record.key, record.value);
+            Arc::make_mut(&mut state.mem).add(
+                record.sequence,
+                record.value_type,
+                record.key,
+                record.value,
+            );
         }
         drop(state);
         self.counters.add_user_bytes(user_bytes);
@@ -439,8 +426,8 @@ impl DbInner {
             }
             state.log = Some(LogWriter::new(log_file));
             state.log_file_number = new_log_number;
-            let full_mem = std::mem::take(&mut state.mem);
-            state.imm = Some(Arc::new(full_mem));
+            let full_mem = std::mem::replace(&mut state.mem, Arc::new(MemTable::new()));
+            state.imm = Some(full_mem);
             force = false;
             self.work_available.notify_one();
         }
@@ -448,11 +435,12 @@ impl DbInner {
 
     // ----------------------------------------------------------------- read
 
-    fn get(&self, user_key: &[u8]) -> Result<Option<Vec<u8>>> {
+    fn get(&self, opts: &ReadOptions, user_key: &[u8]) -> Result<Option<Vec<u8>>> {
         self.counters.record_get();
         let (lookup, imm, version) = {
             let mut state = self.state.lock();
-            let lookup = LookupKey::new(user_key, state.versions.last_sequence);
+            let sequence = visible_sequence(opts, state.versions.last_sequence);
+            let lookup = LookupKey::new(user_key, sequence);
             match state.mem.get(&lookup) {
                 MemTableGet::Found(value) => return Ok(Some(value)),
                 MemTableGet::Deleted => return Ok(None),
@@ -467,146 +455,80 @@ impl DbInner {
                 MemTableGet::NotFound => {}
             }
         }
-        version.get(&ReadOptions::default(), &lookup, &self.table_cache)
+        version.get(opts, &lookup, &self.table_cache)
     }
 
-    fn scan(&self, start: &[u8], end: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+    /// Builds the streaming user-key cursor over the whole FLSM.
+    ///
+    /// Level 0 contributes one iterator per file; each deeper level
+    /// contributes a single lazy [`GuardLevelIterator`](crate::iter::GuardLevelIterator)
+    /// that merges the sstables of whichever guard the cursor is in,
+    /// positioning the deepest non-empty level's guard with a thread pool on
+    /// `seek` — the paper's "parallel seeks" optimisation. Creating a cursor
+    /// counts as a seek for the consecutive-seek compaction trigger.
+    fn iter(&self, opts: &ReadOptions) -> Result<Box<dyn DbIterator>> {
         self.counters.record_seek();
         self.note_seek();
-        let end_bound: Option<&[u8]> = if end.is_empty() { None } else { Some(end) };
-
-        let (snapshot, mem_entries, imm, version) = {
+        let (sequence, mem, imm, version) = {
             let mut state = self.state.lock();
-            let snapshot = state.versions.last_sequence;
-            let mem_entries = collect_memtable_range(&state.mem, start, end_bound);
+            let sequence = visible_sequence(opts, state.versions.last_sequence);
             (
-                snapshot,
-                mem_entries,
+                sequence,
+                Arc::clone(&state.mem),
                 state.imm.clone(),
                 state.versions.current(),
             )
         };
-        let imm_entries = imm
-            .as_ref()
-            .map(|imm| collect_memtable_range(imm, start, end_bound))
-            .unwrap_or_default();
-
-        let seek_key = LookupKey::new(start, snapshot);
 
         let mut children: Vec<Box<dyn DbIterator>> = Vec::new();
-        children.push(Box::new(VecIterator::new(mem_entries)));
-        children.push(Box::new(VecIterator::new(imm_entries)));
-        self.add_version_iterators(&version, start, end_bound, seek_key.internal_key(), &mut children)?;
-
-        let mut merged = MergingIterator::new(children);
-        merged.seek(seek_key.internal_key());
-
-        let mut out = Vec::new();
-        let mut last_user_key: Option<Vec<u8>> = None;
-        while merged.valid() && out.len() < limit {
-            let parsed = match parse_internal_key(merged.key()) {
-                Some(parsed) => parsed,
-                None => return Err(Error::corruption("malformed key during scan")),
-            };
-            if let Some(end) = end_bound {
-                if parsed.user_key >= end {
-                    break;
-                }
-            }
-            let is_newer_duplicate = last_user_key
-                .as_deref()
-                .map(|last| last == parsed.user_key)
-                .unwrap_or(false);
-            if !is_newer_duplicate && parsed.sequence <= snapshot {
-                last_user_key = Some(parsed.user_key.to_vec());
-                if parsed.value_type == ValueType::Value {
-                    out.push((parsed.user_key.to_vec(), merged.value().to_vec()));
-                }
-            }
-            merged.next();
+        children.push(Box::new(mem.owned_iter()));
+        if let Some(imm) = imm {
+            children.push(Box::new(imm.owned_iter()));
         }
-        Ok(out)
-    }
-
-    /// Builds the per-level iterators for a range query.
-    ///
-    /// Level 0 contributes one iterator per overlapping file; each deeper
-    /// level contributes a single lazy [`GuardLevelIterator`] that merges the
-    /// sstables of whichever guard the cursor is in. Before merging, the
-    /// sstables of the guard owning the range start in the deepest non-empty
-    /// level are pre-positioned by a thread pool — the paper's "parallel
-    /// seeks" optimisation — which warms the block cache so the merged seek
-    /// does no serial IO on the coldest level.
-    fn add_version_iterators(
-        &self,
-        version: &FlsmVersion,
-        start: &[u8],
-        end: Option<&[u8]>,
-        seek_target: &[u8],
-        children: &mut Vec<Box<dyn DbIterator>>,
-    ) -> Result<()> {
-        let read_options = ReadOptions::default();
 
         for file in &version.level0 {
-            if file.overlaps_user_range(Some(start), end) {
-                children.push(Box::new(self.table_cache.iter(
-                    &read_options,
-                    file.number,
-                    file.file_size,
-                )?));
-            }
+            children.push(Box::new(self.table_cache.iter(
+                opts,
+                file.number,
+                file.file_size,
+            )?));
         }
 
-        // Parallel seeks on the deepest non-empty level (least likely cached).
-        if self.options.enable_parallel_seeks && self.options.parallel_seek_threads > 1 {
-            if let Some(level) = version
-                .levels
-                .iter()
-                .skip(1)
-                .rev()
-                .find(|l| l.num_files() > 0)
-            {
-                let guard = level.guard_for(start);
-                if guard.files.len() > 1 {
-                    let files: Vec<(u64, u64)> = guard
-                        .files
-                        .iter()
-                        .map(|f| (f.number, f.file_size))
-                        .collect();
-                    let chunk_size = files
-                        .len()
-                        .div_ceil(self.options.parallel_seek_threads)
-                        .max(1);
-                    std::thread::scope(|scope| {
-                        for chunk in files.chunks(chunk_size) {
-                            scope.spawn(move || {
-                                for (number, size) in chunk {
-                                    if let Ok(mut iter) = self.table_cache.iter(
-                                        &ReadOptions::default(),
-                                        *number,
-                                        *size,
-                                    ) {
-                                        iter.seek(seek_target);
-                                    }
-                                }
-                            });
-                        }
-                    });
-                }
-            }
-        }
-
-        for level in version.levels.iter().skip(1) {
+        // Parallel guard seeks pay on the deepest non-empty level, whose
+        // sstables are the least likely to be cached.
+        let deepest_nonempty = version
+            .levels
+            .iter()
+            .enumerate()
+            .skip(1)
+            .rev()
+            .find(|(_, l)| l.num_files() > 0)
+            .map(|(idx, _)| idx);
+        for (level_idx, level) in version.levels.iter().enumerate().skip(1) {
             if level.num_files() == 0 {
                 continue;
             }
-            children.push(Box::new(crate::iter::GuardLevelIterator::new(
-                Arc::clone(&self.table_cache),
-                read_options.clone(),
-                level.guards.clone(),
-            )));
+            let parallel_threads =
+                if self.options.enable_parallel_seeks && Some(level_idx) == deepest_nonempty {
+                    self.options.parallel_seek_threads
+                } else {
+                    1
+                };
+            children.push(Box::new(
+                crate::iter::GuardLevelIterator::new(
+                    Arc::clone(&self.table_cache),
+                    opts.clone(),
+                    level.guards.clone(),
+                )
+                .with_parallel_seeks(parallel_threads),
+            ));
         }
-        Ok(())
+
+        let merged = MergingIterator::new(children);
+        let user = UserIterator::new(Box::new(merged), sequence);
+        // Pin the version so obsolete-file GC cannot delete the sstables the
+        // cursor is still reading.
+        Ok(Box::new(PinnedIterator::new(Box::new(user), version)))
     }
 
     /// Counts a seek and requests a seek-triggered compaction if the
@@ -732,6 +654,9 @@ impl DbInner {
         };
         let pending_guards = state.uncommitted_guards.for_level(output_level).clone();
 
+        let smallest_snapshot = self
+            .snapshots
+            .compaction_floor(state.versions.last_sequence);
         let job = {
             // Allocating output file numbers mutates the version set, so the
             // closure borrows the locked state.
@@ -742,6 +667,7 @@ impl DbInner {
                 level,
                 reason,
                 pending_guards.into_iter().collect(),
+                smallest_snapshot,
                 || versions.new_file_number(),
             )
         };
@@ -822,9 +748,7 @@ impl DbInner {
             if let Some(err) = &state.bg_error {
                 return Err(err.clone());
             }
-            if state.imm.is_some()
-                || state.versions.needs_compaction()
-                || state.compaction_running
+            if state.imm.is_some() || state.versions.needs_compaction() || state.compaction_running
             {
                 self.work_available.notify_one();
                 self.work_done.wait(&mut state);
@@ -854,9 +778,7 @@ impl DbInner {
             compactions: EngineCounters::load(&self.counters.compactions),
             compaction_micros: EngineCounters::load(&self.counters.compaction_micros),
             compaction_bytes_read: EngineCounters::load(&self.counters.compaction_bytes_read),
-            compaction_bytes_written: EngineCounters::load(
-                &self.counters.compaction_bytes_written,
-            ),
+            compaction_bytes_written: EngineCounters::load(&self.counters.compaction_bytes_written),
             memory_usage_bytes: memory as u64,
             gets: EngineCounters::load(&self.counters.gets),
             seeks: EngineCounters::load(&self.counters.seeks),
@@ -866,28 +788,33 @@ impl DbInner {
 }
 
 impl KvStore for PebblesDb {
-    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+    fn put_opts(&self, opts: &WriteOptions, key: &[u8], value: &[u8]) -> Result<()> {
         let mut batch = WriteBatch::new();
         batch.put(key, value);
-        self.inner.write(batch, &WriteOptions::default())
+        self.inner.write(batch, opts)
     }
 
-    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        self.inner.get(key)
+    fn get_opts(&self, opts: &ReadOptions, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.inner.get(opts, key)
     }
 
-    fn delete(&self, key: &[u8]) -> Result<()> {
+    fn delete_opts(&self, opts: &WriteOptions, key: &[u8]) -> Result<()> {
         let mut batch = WriteBatch::new();
         batch.delete(key);
-        self.inner.write(batch, &WriteOptions::default())
+        self.inner.write(batch, opts)
     }
 
-    fn write(&self, batch: WriteBatch) -> Result<()> {
-        self.inner.write(batch, &WriteOptions::default())
+    fn write_opts(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<()> {
+        self.inner.write(batch, opts)
     }
 
-    fn scan(&self, start: &[u8], end: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        self.inner.scan(start, end, limit)
+    fn iter(&self, opts: &ReadOptions) -> Result<Box<dyn DbIterator>> {
+        self.inner.iter(opts)
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        let state = self.inner.state.lock();
+        self.inner.snapshots.acquire(state.versions.last_sequence)
     }
 
     fn flush(&self) -> Result<()> {

@@ -27,6 +27,11 @@ pub struct GuardLevelIterator {
     /// Index of the guard the cursor is in; `guards.len()` = unpositioned.
     index: usize,
     current: Option<MergingIterator>,
+    /// First error hit while opening a guard; ends iteration.
+    error: Option<pebblesdb_common::Error>,
+    /// Threads used to pre-position a guard's sstables on `seek` (the
+    /// paper's "parallel seeks"); `<= 1` disables the optimisation.
+    parallel_seek_threads: usize,
 }
 
 impl GuardLevelIterator {
@@ -49,7 +54,65 @@ impl GuardLevelIterator {
             guard_keys,
             index,
             current: None,
+            error: None,
+            parallel_seek_threads: 1,
         }
+    }
+
+    fn record_open_error(&mut self, result: Result<()>) -> bool {
+        match result {
+            Ok(()) => true,
+            Err(err) => {
+                self.error = Some(err);
+                self.current = None;
+                false
+            }
+        }
+    }
+
+    /// Enables parallel positioning of a guard's sstables on `seek`.
+    ///
+    /// Section 4.2 of the paper: a seek into a guard must position an
+    /// iterator in *every* sstable of the guard; doing so with a thread pool
+    /// hides the per-sstable IO latency on the coldest (deepest) level.
+    pub fn with_parallel_seeks(mut self, threads: usize) -> Self {
+        self.parallel_seek_threads = threads.max(1);
+        self
+    }
+
+    /// Warms the guard's sstables for `target` with a thread pool, so the
+    /// serial merged seek that follows hits cache.
+    fn parallel_warm_guard(&self, index: usize, target: &[u8]) {
+        if self.parallel_seek_threads <= 1 {
+            return;
+        }
+        let Some(guard) = self.guards.get(index) else {
+            return;
+        };
+        if guard.files.len() <= 1 {
+            return;
+        }
+        let files: Vec<(u64, u64)> = guard
+            .files
+            .iter()
+            .map(|f| (f.number, f.file_size))
+            .collect();
+        let chunk_size = files.len().div_ceil(self.parallel_seek_threads).max(1);
+        // Capture only the Sync pieces; `self` also holds the (non-Sync)
+        // current merging iterator.
+        let table_cache = &self.table_cache;
+        let read_options = &self.read_options;
+        std::thread::scope(|scope| {
+            for chunk in files.chunks(chunk_size) {
+                scope.spawn(move || {
+                    for (number, size) in chunk {
+                        if let Ok(mut iter) = table_cache.iter(read_options, *number, *size) {
+                            iter.seek(target);
+                        }
+                    }
+                });
+            }
+        });
     }
 
     /// The guard-key bounds `[lower, upper)` of guard `index`.
@@ -147,8 +210,8 @@ impl GuardLevelIterator {
                 self.index = self.guards.len();
                 return;
             }
-            if self.open_guard(next).is_err() {
-                self.current = None;
+            let result = self.open_guard(next);
+            if !self.record_open_error(result) {
                 return;
             }
             if let Some(iter) = self.current.as_mut() {
@@ -185,8 +248,8 @@ impl GuardLevelIterator {
             } else {
                 self.index - 1
             };
-            if self.open_guard(prev).is_err() {
-                self.current = None;
+            let result = self.open_guard(prev);
+            if !self.record_open_error(result) {
                 return;
             }
             if let Some(iter) = self.current.as_mut() {
@@ -206,8 +269,8 @@ impl DbIterator for GuardLevelIterator {
             self.current = None;
             return;
         }
-        if self.open_guard(0).is_err() {
-            self.current = None;
+        let result = self.open_guard(0);
+        if !self.record_open_error(result) {
             return;
         }
         if let Some(iter) = self.current.as_mut() {
@@ -222,8 +285,8 @@ impl DbIterator for GuardLevelIterator {
             return;
         }
         let last = self.guards.len() - 1;
-        if self.open_guard(last).is_err() {
-            self.current = None;
+        let result = self.open_guard(last);
+        if !self.record_open_error(result) {
             return;
         }
         if let Some(iter) = self.current.as_mut() {
@@ -240,8 +303,9 @@ impl DbIterator for GuardLevelIterator {
         }
         let user_key = extract_user_key(target);
         let index = guard_index_for_key(&self.guard_keys, user_key);
-        if self.open_guard(index).is_err() {
-            self.current = None;
+        self.parallel_warm_guard(index, target);
+        let result = self.open_guard(index);
+        if !self.record_open_error(result) {
             return;
         }
         if let Some(iter) = self.current.as_mut() {
@@ -271,6 +335,16 @@ impl DbIterator for GuardLevelIterator {
     fn value(&self) -> &[u8] {
         self.current.as_ref().expect("iterator not valid").value()
     }
+
+    fn status(&self) -> Result<()> {
+        if let Some(err) = &self.error {
+            return Err(err.clone());
+        }
+        match &self.current {
+            Some(iter) => iter.status(),
+            None => Ok(()),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -291,9 +365,7 @@ mod tests {
         number: u64,
         keys: &[(&str, u64)],
     ) -> Arc<FileMetaData> {
-        let file = env
-            .new_writable_file(&table_file_name(db, number))
-            .unwrap();
+        let file = env.new_writable_file(&table_file_name(db, number)).unwrap();
         let mut builder = TableBuilder::new(options, file);
         let mut encoded: Vec<Vec<u8>> = keys
             .iter()
@@ -341,10 +413,7 @@ mod tests {
         let mut out = Vec::new();
         iter.seek_to_first();
         while iter.valid() {
-            out.push((
-                extract_user_key(iter.key()).to_vec(),
-                iter.value().to_vec(),
-            ));
+            out.push((extract_user_key(iter.key()).to_vec(), iter.value().to_vec()));
             iter.next();
         }
         out

@@ -216,7 +216,14 @@ mod tests {
         let keys: Vec<Vec<u8>> = results.iter().map(|(k, _)| k.clone()).collect();
         assert_eq!(
             keys,
-            vec![key(998), key(999), key(1000), key(1002), key(1003), key(1004)]
+            vec![
+                key(998),
+                key(999),
+                key(1000),
+                key(1002),
+                key(1003),
+                key(1004)
+            ]
         );
         let map: std::collections::HashMap<_, _> = results.into_iter().collect();
         assert_eq!(map[&key(1000)], b"fresh".to_vec());
@@ -250,7 +257,10 @@ mod tests {
             assert_eq!(db.get(&key(i)).unwrap(), Some(value(i, 64)), "key {i}");
         }
         let guards_after = db.guards_per_level();
-        assert_eq!(guards_before, guards_after, "guards must be recovered from the MANIFEST");
+        assert_eq!(
+            guards_before, guards_after,
+            "guards must be recovered from the MANIFEST"
+        );
     }
 
     #[test]
@@ -273,7 +283,9 @@ mod tests {
                 .unwrap();
             let wal_path = path.join(&wal);
             let size = env.file_size(&wal_path).unwrap() as usize;
-            mem_env.truncate_file(&wal_path, size.saturating_sub(5)).unwrap();
+            mem_env
+                .truncate_file(&wal_path, size.saturating_sub(5))
+                .unwrap();
         }
         let db = open_small(env, path);
         // All but (at most) the torn tail record must be readable.

@@ -39,11 +39,7 @@ impl FlsmLevel {
 
     /// The guard keys of this level, excluding the sentinel.
     pub fn guard_keys(&self) -> Vec<Vec<u8>> {
-        self.guards
-            .iter()
-            .skip(1)
-            .map(|g| g.key.clone())
-            .collect()
+        self.guards.iter().skip(1).map(|g| g.key.clone()).collect()
     }
 
     /// The guard that owns `user_key`.
@@ -205,7 +201,7 @@ impl FlsmVersion {
             .iter()
             .filter(|f| f.smallest.user_key() <= user_key && user_key <= f.largest.user_key())
             .collect();
-        level0.sort_by(|a, b| b.number.cmp(&a.number));
+        level0.sort_by_key(|f| std::cmp::Reverse(f.number));
         for file in level0 {
             if let Some(decided) = search_file(read_options, file, key, table_cache)? {
                 return Ok(decided);
@@ -221,7 +217,7 @@ impl FlsmVersion {
                 .iter()
                 .filter(|f| f.smallest.user_key() <= user_key && user_key <= f.largest.user_key())
                 .collect();
-            files.sort_by(|a, b| b.number.cmp(&a.number));
+            files.sort_by_key(|f| std::cmp::Reverse(f.number));
             for file in files {
                 if let Some(decided) = search_file(read_options, file, key, table_cache)? {
                     return Ok(decided);
@@ -454,7 +450,7 @@ impl FlsmVersionBuilder {
     pub fn finish(self) -> FlsmVersion {
         let mut version = FlsmVersion::new(self.max_levels);
         let mut level0 = self.files[0].clone();
-        level0.sort_by(|a, b| b.number.cmp(&a.number));
+        level0.sort_by_key(|f| std::cmp::Reverse(f.number));
         version.level0 = level0;
 
         for level_idx in 1..self.max_levels {
@@ -475,7 +471,7 @@ impl FlsmVersionBuilder {
                 }
             }
             for guard in &mut guards {
-                guard.files.sort_by(|a, b| b.number.cmp(&a.number));
+                guard.files.sort_by_key(|f| std::cmp::Reverse(f.number));
             }
             version.levels[level_idx] = FlsmLevel { guards };
         }

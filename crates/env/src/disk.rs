@@ -80,7 +80,9 @@ impl RandomAccessFile for DiskRandomAccessFile {
             let mut buf = vec![0u8; len];
             let mut total = 0usize;
             while total < len {
-                let n = self.file.read_at(&mut buf[total..], offset + total as u64)?;
+                let n = self
+                    .file
+                    .read_at(&mut buf[total..], offset + total as u64)?;
                 if n == 0 {
                     break;
                 }
@@ -161,7 +163,9 @@ impl RandomWritableFile for DiskRandomWritableFile {
             let mut buf = vec![0u8; len];
             let mut total = 0usize;
             while total < len {
-                let n = self.file.read_at(&mut buf[total..], offset + total as u64)?;
+                let n = self
+                    .file
+                    .read_at(&mut buf[total..], offset + total as u64)?;
                 if n == 0 {
                     break;
                 }

@@ -207,13 +207,10 @@ impl Env for MemEnv {
 
     fn new_random_writable_file(&self, path: &Path) -> Result<Arc<dyn RandomWritableFile>> {
         let mut fs = self.fs.lock();
-        let data = fs
-            .files
-            .entry(Self::normalize(path))
-            .or_insert_with(|| {
-                self.stats.record_file_created();
-                Arc::new(RwLock::new(Vec::new()))
-            });
+        let data = fs.files.entry(Self::normalize(path)).or_insert_with(|| {
+            self.stats.record_file_created();
+            Arc::new(RwLock::new(Vec::new()))
+        });
         Ok(Arc::new(MemRandomWritableFile {
             data: Arc::clone(data),
             stats: Arc::clone(&self.stats),

@@ -17,15 +17,14 @@ use std::time::{Duration, Instant};
 use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use pebblesdb_common::counters::EngineCounters;
-use pebblesdb_common::filename::{
-    log_file_name, parse_file_name, table_file_name, FileType,
-};
-use pebblesdb_common::iterator::{DbIterator, MergingIterator, VecIterator};
+use pebblesdb_common::filename::{log_file_name, parse_file_name, table_file_name, FileType};
+use pebblesdb_common::iterator::{DbIterator, MergingIterator, PinnedIterator};
 use pebblesdb_common::key::{
-    compare_internal_keys, parse_internal_key, InternalKey, LookupKey, ValueType,
-    MAX_SEQUENCE_NUMBER, VALUE_TYPE_FOR_SEEK,
+    compare_internal_keys, parse_internal_key, InternalKey, LookupKey, SequenceNumber, ValueType,
+    MAX_SEQUENCE_NUMBER,
 };
-use pebblesdb_common::key::encode_internal_key;
+use pebblesdb_common::snapshot::{Snapshot, SnapshotList};
+use pebblesdb_common::user_iter::UserIterator;
 use pebblesdb_common::{
     Error, KvStore, ReadOptions, Result, StoreOptions, StorePreset, StoreStats, WriteBatch,
     WriteOptions,
@@ -58,10 +57,14 @@ struct DbInner {
     work_done: Condvar,
     shutting_down: AtomicBool,
     counters: EngineCounters,
+    snapshots: Arc<SnapshotList>,
 }
 
 struct DbState {
-    mem: MemTable,
+    /// The active memtable. Shared so streaming cursors can pin it; the
+    /// write path copies-on-write (`Arc::make_mut`) only while a cursor
+    /// still holds the old copy.
+    mem: Arc<MemTable>,
     imm: Option<Arc<MemTable>>,
     versions: VersionSet,
     log: Option<LogWriter>,
@@ -78,6 +81,9 @@ struct CompactionJob {
     next_level_inputs: Vec<Arc<FileMetaData>>,
     drop_tombstones: bool,
     output_numbers: Vec<u64>,
+    /// Versions superseded at or below this sequence are invisible to every
+    /// live snapshot and may be garbage-collected by the merge.
+    smallest_snapshot: SequenceNumber,
 }
 
 impl LsmDb {
@@ -112,7 +118,7 @@ impl LsmDb {
         }
 
         let mut state = DbState {
-            mem: MemTable::new(),
+            mem: Arc::new(MemTable::new()),
             imm: None,
             versions,
             log: None,
@@ -151,6 +157,7 @@ impl LsmDb {
             work_done: Condvar::new(),
             shutting_down: AtomicBool::new(false),
             counters: EngineCounters::new(),
+            snapshots: SnapshotList::new(),
         });
 
         {
@@ -246,12 +253,8 @@ impl DbInnerScaffold {
             let path = log_file_name(&self.db_path, number);
             let file = self.env.new_sequential_file(&path)?;
             let mut reader = LogReader::new(file);
-            loop {
-                let record = match reader.read_record() {
-                    Ok(Some(record)) => record,
-                    // A clean end or a torn tail both end replay of this log.
-                    Ok(None) | Err(_) => break,
-                };
+            // A clean end or a torn tail both end replay of this log.
+            while let Ok(Some(record)) = reader.read_record() {
                 let batch = match WriteBatch::from_contents(record) {
                     Ok(batch) => batch,
                     Err(_) => break,
@@ -263,9 +266,12 @@ impl DbInnerScaffold {
                         Ok(item) => item,
                         Err(_) => break,
                     };
-                    state
-                        .mem
-                        .add(item.sequence, item.value_type, item.key, item.value);
+                    Arc::make_mut(&mut state.mem).add(
+                        item.sequence,
+                        item.value_type,
+                        item.key,
+                        item.value,
+                    );
                     applied += 1;
                 }
                 let last = base_seq + applied.saturating_sub(1);
@@ -285,7 +291,7 @@ impl DbInnerScaffold {
 
     fn flush_recovery_memtable(&self, state: &mut DbState) -> Result<()> {
         let number = state.versions.new_file_number();
-        let mem = std::mem::take(&mut state.mem);
+        let mem = std::mem::replace(&mut state.mem, Arc::new(MemTable::new()));
         let meta = build_table_from_memtable(
             self.env.as_ref(),
             &self.db_path,
@@ -365,9 +371,12 @@ impl DbInner {
         }
         for record in batch.iter() {
             let record = record?;
-            state
-                .mem
-                .add(record.sequence, record.value_type, record.key, record.value);
+            Arc::make_mut(&mut state.mem).add(
+                record.sequence,
+                record.value_type,
+                record.key,
+                record.value,
+            );
         }
         drop(state);
         self.counters.add_user_bytes(user_bytes);
@@ -392,9 +401,7 @@ impl DbInner {
                 MutexGuard::unlocked(state, || std::thread::sleep(Duration::from_millis(1)));
                 continue;
             }
-            if !force
-                && state.mem.approximate_memory_usage() <= self.options.write_buffer_size
-            {
+            if !force && state.mem.approximate_memory_usage() <= self.options.write_buffer_size {
                 return Ok(());
             }
             if state.imm.is_some() {
@@ -421,8 +428,8 @@ impl DbInner {
             }
             state.log = Some(LogWriter::new(log_file));
             state.log_file_number = new_log_number;
-            let full_mem = std::mem::take(&mut state.mem);
-            state.imm = Some(Arc::new(full_mem));
+            let full_mem = std::mem::replace(&mut state.mem, Arc::new(MemTable::new()));
+            state.imm = Some(full_mem);
             force = false;
             self.work_available.notify_one();
         }
@@ -430,11 +437,12 @@ impl DbInner {
 
     // ----------------------------------------------------------------- read
 
-    fn get(&self, user_key: &[u8]) -> Result<Option<Vec<u8>>> {
+    fn get(&self, opts: &ReadOptions, user_key: &[u8]) -> Result<Option<Vec<u8>>> {
         self.counters.record_get();
         let (lookup, imm, version) = {
             let mut state = self.state.lock();
-            let lookup = LookupKey::new(user_key, state.versions.last_sequence);
+            let sequence = visible_sequence(opts, state.versions.last_sequence);
+            let lookup = LookupKey::new(user_key, sequence);
             match state.mem.get(&lookup) {
                 MemTableGet::Found(value) => return Ok(Some(value)),
                 MemTableGet::Deleted => return Ok(None),
@@ -449,76 +457,50 @@ impl DbInner {
                 MemTableGet::NotFound => {}
             }
         }
-        version.get(&ReadOptions::default(), &lookup, &self.table_cache)
+        version.get(opts, &lookup, &self.table_cache)
     }
 
-    fn scan(&self, start: &[u8], end: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+    /// Builds the streaming user-key cursor: memtables plus every on-disk
+    /// level, merged and filtered down to the view at the cursor's sequence.
+    fn iter(&self, opts: &ReadOptions) -> Result<Box<dyn DbIterator>> {
         self.counters.record_seek();
-        let end_bound: Option<&[u8]> = if end.is_empty() { None } else { Some(end) };
-
-        let (snapshot, mem_entries, imm, version) = {
+        let (sequence, mem, imm, version) = {
             let mut state = self.state.lock();
-            let snapshot = state.versions.last_sequence;
-            let mem_entries = collect_memtable_range(&state.mem, start, end_bound);
-            (snapshot, mem_entries, state.imm.clone(), state.versions.current())
+            let sequence = visible_sequence(opts, state.versions.last_sequence);
+            (
+                sequence,
+                Arc::clone(&state.mem),
+                state.imm.clone(),
+                state.versions.current(),
+            )
         };
-        let imm_entries = imm
-            .as_ref()
-            .map(|imm| collect_memtable_range(imm, start, end_bound))
-            .unwrap_or_default();
 
         let mut children: Vec<Box<dyn DbIterator>> = Vec::new();
-        children.push(Box::new(VecIterator::new(mem_entries)));
-        children.push(Box::new(VecIterator::new(imm_entries)));
-        self.add_version_iterators(&version, start, end_bound, &mut children)?;
-
-        let mut merged = MergingIterator::new(children);
-        let seek_key = LookupKey::new(start, snapshot);
-        merged.seek(seek_key.internal_key());
-
-        let mut out = Vec::new();
-        let mut last_user_key: Option<Vec<u8>> = None;
-        while merged.valid() && out.len() < limit {
-            let parsed = match parse_internal_key(merged.key()) {
-                Some(parsed) => parsed,
-                None => return Err(Error::corruption("malformed key during scan")),
-            };
-            if let Some(end) = end_bound {
-                if parsed.user_key >= end {
-                    break;
-                }
-            }
-            let is_newer_duplicate = last_user_key
-                .as_deref()
-                .map(|last| last == parsed.user_key)
-                .unwrap_or(false);
-            if !is_newer_duplicate && parsed.sequence <= snapshot {
-                last_user_key = Some(parsed.user_key.to_vec());
-                if parsed.value_type == ValueType::Value {
-                    out.push((parsed.user_key.to_vec(), merged.value().to_vec()));
-                }
-            }
-            merged.next();
+        children.push(Box::new(mem.owned_iter()));
+        if let Some(imm) = imm {
+            children.push(Box::new(imm.owned_iter()));
         }
-        Ok(out)
+        self.add_version_iterators(opts, &version, &mut children)?;
+
+        let merged = MergingIterator::new(children);
+        let user = UserIterator::new(Box::new(merged), sequence);
+        // Pin the version so obsolete-file GC cannot delete the sstables the
+        // cursor is still reading.
+        Ok(Box::new(PinnedIterator::new(Box::new(user), version)))
     }
 
     fn add_version_iterators(
         &self,
+        opts: &ReadOptions,
         version: &Version,
-        start: &[u8],
-        end: Option<&[u8]>,
         children: &mut Vec<Box<dyn DbIterator>>,
     ) -> Result<()> {
-        let read_options = ReadOptions::default();
         for file in &version.files[0] {
-            if file.overlaps_user_range(Some(start), end) {
-                children.push(Box::new(self.table_cache.iter(
-                    &read_options,
-                    file.number,
-                    file.file_size,
-                )?));
-            }
+            children.push(Box::new(self.table_cache.iter(
+                opts,
+                file.number,
+                file.file_size,
+            )?));
         }
         // Deeper levels hold disjoint files: one lazy concatenating iterator
         // per level opens only the files the cursor actually reaches.
@@ -528,7 +510,7 @@ impl DbInner {
             }
             children.push(Box::new(crate::iter::LevelConcatIterator::new(
                 Arc::clone(&self.table_cache),
-                read_options.clone(),
+                opts.clone(),
                 version.files[level].clone(),
             )));
         }
@@ -669,6 +651,9 @@ impl DbInner {
             next_level_inputs,
             drop_tombstones,
             output_numbers,
+            smallest_snapshot: self
+                .snapshots
+                .compaction_floor(state.versions.last_sequence),
         })
     }
 
@@ -753,20 +738,30 @@ impl DbInner {
         let mut builder: Option<(u64, TableBuilder)> = None;
         let mut output_index = 0usize;
         let mut last_user_key: Option<Vec<u8>> = None;
+        let mut last_sequence_for_key = MAX_SEQUENCE_NUMBER;
 
         while merged.valid() {
             let key = merged.key().to_vec();
             let parsed = parse_internal_key(&key)
                 .ok_or_else(|| Error::corruption("malformed key during compaction"))?;
 
-            let is_duplicate = last_user_key
+            let is_same_user_key = last_user_key
                 .as_deref()
                 .map(|last| last == parsed.user_key)
                 .unwrap_or(false);
-            last_user_key = Some(parsed.user_key.to_vec());
+            if !is_same_user_key {
+                last_user_key = Some(parsed.user_key.to_vec());
+                last_sequence_for_key = MAX_SEQUENCE_NUMBER;
+            }
 
-            let drop_entry = is_duplicate
-                || (job.drop_tombstones && parsed.value_type == ValueType::Deletion);
+            // A version may be dropped once a newer version of the same key
+            // is visible to every live snapshot; tombstones additionally
+            // need no deeper level still holding the key.
+            let drop_entry = last_sequence_for_key <= job.smallest_snapshot
+                || (job.drop_tombstones
+                    && parsed.value_type == ValueType::Deletion
+                    && parsed.sequence <= job.smallest_snapshot);
+            last_sequence_for_key = parsed.sequence;
             if !drop_entry {
                 if builder.is_none() {
                     let number = *job
@@ -838,9 +833,7 @@ impl DbInner {
             if let Some(err) = &state.bg_error {
                 return Err(err.clone());
             }
-            if state.imm.is_some()
-                || state.versions.needs_compaction()
-                || state.compaction_running
+            if state.imm.is_some() || state.versions.needs_compaction() || state.compaction_running
             {
                 self.work_available.notify_one();
                 self.work_done.wait(&mut state);
@@ -880,10 +873,7 @@ impl DbInner {
 }
 
 fn finish_output(number: u64, builder: TableBuilder) -> Result<FileMetaData> {
-    let smallest = builder
-        .first_key()
-        .map(|k| k.to_vec())
-        .unwrap_or_default();
+    let smallest = builder.first_key().map(|k| k.to_vec()).unwrap_or_default();
     let largest = builder.last_key().map(|k| k.to_vec()).unwrap_or_default();
     let size = builder.finish()?;
     Ok(FileMetaData::new(
@@ -894,52 +884,42 @@ fn finish_output(number: u64, builder: TableBuilder) -> Result<FileMetaData> {
     ))
 }
 
-/// Copies the `[start, end)` range of a memtable into a sorted entry list.
-fn collect_memtable_range(
-    mem: &MemTable,
-    start: &[u8],
-    end: Option<&[u8]>,
-) -> Vec<(Vec<u8>, Vec<u8>)> {
-    let mut out = Vec::new();
-    let mut iter = mem.iter();
-    iter.seek(&encode_internal_key(start, MAX_SEQUENCE_NUMBER, VALUE_TYPE_FOR_SEEK));
-    while iter.valid() {
-        if let Some(end) = end {
-            if let Some(parsed) = parse_internal_key(iter.key()) {
-                if parsed.user_key >= end {
-                    break;
-                }
-            }
-        }
-        out.push((iter.key().to_vec(), iter.value().to_vec()));
-        iter.next();
-    }
-    out
+/// The sequence number a read issued with `opts` may observe: the requested
+/// snapshot, clamped to the store's current sequence.
+fn visible_sequence(opts: &ReadOptions, last_sequence: SequenceNumber) -> SequenceNumber {
+    opts.snapshot
+        .map(|snap| snap.min(last_sequence))
+        .unwrap_or(last_sequence)
 }
 
 impl KvStore for LsmDb {
-    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+    fn put_opts(&self, opts: &WriteOptions, key: &[u8], value: &[u8]) -> Result<()> {
         let mut batch = WriteBatch::new();
         batch.put(key, value);
-        self.inner.write(batch, &WriteOptions::default())
+        self.inner.write(batch, opts)
     }
 
-    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        self.inner.get(key)
+    fn get_opts(&self, opts: &ReadOptions, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.inner.get(opts, key)
     }
 
-    fn delete(&self, key: &[u8]) -> Result<()> {
+    fn delete_opts(&self, opts: &WriteOptions, key: &[u8]) -> Result<()> {
         let mut batch = WriteBatch::new();
         batch.delete(key);
-        self.inner.write(batch, &WriteOptions::default())
+        self.inner.write(batch, opts)
     }
 
-    fn write(&self, batch: WriteBatch) -> Result<()> {
-        self.inner.write(batch, &WriteOptions::default())
+    fn write_opts(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<()> {
+        self.inner.write(batch, opts)
     }
 
-    fn scan(&self, start: &[u8], end: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        self.inner.scan(start, end, limit)
+    fn iter(&self, opts: &ReadOptions) -> Result<Box<dyn DbIterator>> {
+        self.inner.iter(opts)
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        let state = self.inner.state.lock();
+        self.inner.snapshots.acquire(state.versions.last_sequence)
     }
 
     fn flush(&self) -> Result<()> {

@@ -23,6 +23,8 @@ pub struct LevelConcatIterator {
     /// Index of the file the cursor is in; `files.len()` means unpositioned.
     index: usize,
     current: Option<TableIterator>,
+    /// First error hit while opening a file; ends iteration.
+    error: Option<pebblesdb_common::Error>,
 }
 
 impl LevelConcatIterator {
@@ -40,6 +42,18 @@ impl LevelConcatIterator {
             files,
             index,
             current: None,
+            error: None,
+        }
+    }
+
+    fn record_open_error(&mut self, result: Result<()>) -> bool {
+        match result {
+            Ok(()) => true,
+            Err(err) => {
+                self.error = Some(err);
+                self.current = None;
+                false
+            }
         }
     }
 
@@ -50,27 +64,23 @@ impl LevelConcatIterator {
             return Ok(());
         }
         let file = &self.files[index];
-        self.current = Some(
-            self.table_cache
-                .iter(&self.read_options, file.number, file.file_size)?,
-        );
+        self.current = Some(self.table_cache.iter(
+            &self.read_options,
+            file.number,
+            file.file_size,
+        )?);
         Ok(())
     }
 
     fn skip_forward_while_invalid(&mut self) {
-        while self
-            .current
-            .as_ref()
-            .map(|it| !it.valid())
-            .unwrap_or(false)
-        {
+        while self.current.as_ref().map(|it| !it.valid()).unwrap_or(false) {
             let next = self.index + 1;
             if next >= self.files.len() {
                 self.current = None;
                 return;
             }
-            if self.open_file(next).is_err() {
-                self.current = None;
+            let result = self.open_file(next);
+            if !self.record_open_error(result) {
                 return;
             }
             if let Some(iter) = self.current.as_mut() {
@@ -80,18 +90,13 @@ impl LevelConcatIterator {
     }
 
     fn skip_backward_while_invalid(&mut self) {
-        while self
-            .current
-            .as_ref()
-            .map(|it| !it.valid())
-            .unwrap_or(false)
-        {
+        while self.current.as_ref().map(|it| !it.valid()).unwrap_or(false) {
             if self.index == 0 {
                 self.current = None;
                 return;
             }
-            if self.open_file(self.index - 1).is_err() {
-                self.current = None;
+            let result = self.open_file(self.index - 1);
+            if !self.record_open_error(result) {
                 return;
             }
             if let Some(iter) = self.current.as_mut() {
@@ -111,8 +116,8 @@ impl DbIterator for LevelConcatIterator {
             self.current = None;
             return;
         }
-        if self.open_file(0).is_err() {
-            self.current = None;
+        let result = self.open_file(0);
+        if !self.record_open_error(result) {
             return;
         }
         if let Some(iter) = self.current.as_mut() {
@@ -127,8 +132,8 @@ impl DbIterator for LevelConcatIterator {
             return;
         }
         let last = self.files.len() - 1;
-        if self.open_file(last).is_err() {
-            self.current = None;
+        let result = self.open_file(last);
+        if !self.record_open_error(result) {
             return;
         }
         if let Some(iter) = self.current.as_mut() {
@@ -147,8 +152,8 @@ impl DbIterator for LevelConcatIterator {
             self.index = self.files.len();
             return;
         }
-        if self.open_file(index).is_err() {
-            self.current = None;
+        let result = self.open_file(index);
+        if !self.record_open_error(result) {
             return;
         }
         if let Some(iter) = self.current.as_mut() {
@@ -178,6 +183,16 @@ impl DbIterator for LevelConcatIterator {
     fn value(&self) -> &[u8] {
         self.current.as_ref().expect("iterator not valid").value()
     }
+
+    fn status(&self) -> Result<()> {
+        if let Some(err) = &self.error {
+            return Err(err.clone());
+        }
+        match &self.current {
+            Some(iter) => iter.status(),
+            None => Ok(()),
+        }
+    }
 }
 
 /// Returns the user key of the iterator's current entry (test helper).
@@ -188,9 +203,9 @@ pub fn current_user_key(iter: &dyn DbIterator) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pebblesdb_common::filename::table_file_name;
     use pebblesdb_common::key::{encode_internal_key, InternalKey, ValueType};
     use pebblesdb_common::StoreOptions;
-    use pebblesdb_common::filename::table_file_name;
     use pebblesdb_env::{Env, MemEnv};
     use pebblesdb_sstable::TableBuilder;
     use std::path::{Path, PathBuf};
@@ -202,9 +217,7 @@ mod tests {
         number: u64,
         keys: &[&str],
     ) -> Arc<FileMetaData> {
-        let file = env
-            .new_writable_file(&table_file_name(db, number))
-            .unwrap();
+        let file = env.new_writable_file(&table_file_name(db, number)).unwrap();
         let mut builder = TableBuilder::new(options, file);
         for k in keys {
             let key = encode_internal_key(k.as_bytes(), 1, ValueType::Value);
@@ -232,14 +245,8 @@ mod tests {
             build_file(&env, &db, &options, 2, &["f", "g"]),
             build_file(&env, &db, &options, 3, &["m", "n"]),
         ];
-        let cache = Arc::new(TableCache::new(
-            Arc::clone(&env),
-            db,
-            options.clone(),
-            16,
-        ));
-        let mut iter =
-            LevelConcatIterator::new(Arc::clone(&cache), ReadOptions::default(), files);
+        let cache = Arc::new(TableCache::new(Arc::clone(&env), db, options.clone(), 16));
+        let mut iter = LevelConcatIterator::new(Arc::clone(&cache), ReadOptions::default(), files);
 
         iter.seek_to_first();
         let mut seen = Vec::new();
@@ -249,7 +256,14 @@ mod tests {
         }
         assert_eq!(
             seen,
-            vec![b"a".to_vec(), b"b".to_vec(), b"f".to_vec(), b"g".to_vec(), b"m".to_vec(), b"n".to_vec()]
+            vec![
+                b"a".to_vec(),
+                b"b".to_vec(),
+                b"f".to_vec(),
+                b"g".to_vec(),
+                b"m".to_vec(),
+                b"n".to_vec()
+            ]
         );
 
         // Seek lands on the right file.
@@ -266,7 +280,11 @@ mod tests {
         assert_eq!(current_user_key(&iter), b"g".to_vec());
 
         // Seeking past the end invalidates the iterator.
-        iter.seek(&encode_internal_key(b"zzz", u64::MAX >> 8, ValueType::Value));
+        iter.seek(&encode_internal_key(
+            b"zzz",
+            u64::MAX >> 8,
+            ValueType::Value,
+        ));
         assert!(!iter.valid());
     }
 

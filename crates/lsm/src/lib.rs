@@ -147,10 +147,7 @@ mod tests {
 
         let results = db.scan(&key(499), &key(505), 100).unwrap();
         let keys: Vec<Vec<u8>> = results.iter().map(|(k, _)| k.clone()).collect();
-        assert_eq!(
-            keys,
-            vec![key(499), key(500), key(502), key(503), key(504)]
-        );
+        assert_eq!(keys, vec![key(499), key(500), key(502), key(503), key(504)]);
         let map: std::collections::HashMap<_, _> = results.into_iter().collect();
         assert_eq!(map[&key(500)], b"fresh".to_vec());
 
@@ -233,7 +230,8 @@ mod tests {
     #[test]
     fn presets_report_their_names() {
         let env: Arc<dyn Env> = Arc::new(MemEnv::new());
-        let db = LsmDb::open_preset(Arc::clone(&env), Path::new("/l"), StorePreset::LevelDb).unwrap();
+        let db =
+            LsmDb::open_preset(Arc::clone(&env), Path::new("/l"), StorePreset::LevelDb).unwrap();
         assert_eq!(db.engine_name(), "LevelDB");
         let db2 = LsmDb::open_preset(env, Path::new("/r"), StorePreset::RocksDb).unwrap();
         assert_eq!(db2.engine_name(), "RocksDB");

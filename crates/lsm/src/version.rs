@@ -11,8 +11,8 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicI64, Ordering as AtomicOrdering};
 use std::sync::{Arc, Weak};
 
-use pebblesdb_common::coding::{put_varint32, put_varint64, Decoder};
 use pebblesdb_common::coding::put_length_prefixed_slice;
+use pebblesdb_common::coding::{put_varint32, put_varint64, Decoder};
 use pebblesdb_common::filename::{current_file_name, descriptor_file_name};
 use pebblesdb_common::key::{compare_internal_keys, InternalKey, LookupKey, SequenceNumber};
 use pebblesdb_common::key::{parse_internal_key, ValueType};
@@ -174,7 +174,9 @@ impl VersionEdit {
                     ));
                 }
                 other => {
-                    return Err(Error::corruption(format!("unknown version edit tag {other}")))
+                    return Err(Error::corruption(format!(
+                        "unknown version edit tag {other}"
+                    )))
                 }
             }
         }
@@ -303,11 +305,9 @@ impl Version {
         // Level 0: every overlapping file, newest first.
         let mut level0: Vec<&Arc<FileMetaData>> = self.files[0]
             .iter()
-            .filter(|f| {
-                f.smallest.user_key() <= user_key && user_key <= f.largest.user_key()
-            })
+            .filter(|f| f.smallest.user_key() <= user_key && user_key <= f.largest.user_key())
             .collect();
-        level0.sort_by(|a, b| b.number.cmp(&a.number));
+        level0.sort_by_key(|f| std::cmp::Reverse(f.number));
         for file in level0 {
             if let Some(result) =
                 Self::get_in_file(read_options, file, user_key, snapshot, table_cache)?
@@ -316,14 +316,21 @@ impl Version {
             }
         }
 
-        // Deeper levels: at most one file can contain the key.
+        // Deeper levels: the files are disjoint by *internal* key, so binary
+        // search with the lookup's internal key (user key + snapshot
+        // sequence). Searching by user key alone is wrong for snapshot
+        // reads: compaction may split one user key's versions across two
+        // adjacent files, and the version visible at the snapshot can sit in
+        // the file *after* the one holding the newest versions.
         for level in 1..self.num_levels() {
             let files = &self.files[level];
             if files.is_empty() {
                 continue;
             }
-            // Binary search for the first file whose largest key >= user key.
-            let idx = files.partition_point(|f| f.largest.user_key() < user_key);
+            let idx = files.partition_point(|f| {
+                compare_internal_keys(f.largest.encoded(), key.internal_key())
+                    == std::cmp::Ordering::Less
+            });
             if idx >= files.len() {
                 continue;
             }
@@ -479,7 +486,9 @@ impl VersionSet {
 
     /// Recovers state from the MANIFEST named by `CURRENT`.
     pub fn recover(&mut self) -> Result<()> {
-        let current = self.env.read_file_to_vec(&current_file_name(&self.db_path))?;
+        let current = self
+            .env
+            .read_file_to_vec(&current_file_name(&self.db_path))?;
         let name = String::from_utf8_lossy(&current);
         let name = name.trim();
         let manifest_number: u64 = name
@@ -574,8 +583,7 @@ impl VersionSet {
         let mut best: Option<(usize, f64)> = None;
         for level in 0..self.current.num_levels() - 1 {
             let score = if level == 0 {
-                self.current.files[0].len() as f64
-                    / self.options.level0_compaction_trigger as f64
+                self.current.files[0].len() as f64 / self.options.level0_compaction_trigger as f64
             } else {
                 self.current.level_bytes(level) as f64
                     / self.options.max_bytes_for_level(level) as f64
@@ -645,9 +653,11 @@ impl VersionBuilder {
     pub fn finish(mut self) -> Version {
         for (level, files) in self.files.iter_mut().enumerate() {
             if level == 0 {
-                files.sort_by(|a, b| b.number.cmp(&a.number));
+                files.sort_by_key(|f| std::cmp::Reverse(f.number));
             } else {
-                files.sort_by(|a, b| compare_internal_keys(a.smallest.encoded(), b.smallest.encoded()));
+                files.sort_by(|a, b| {
+                    compare_internal_keys(a.smallest.encoded(), b.smallest.encoded())
+                });
             }
         }
         Version { files: self.files }
@@ -717,7 +727,10 @@ mod tests {
         assert_eq!(version.files[2].len(), 1);
         assert_eq!(version.num_files(), 3);
         assert_eq!(version.total_bytes(), 3000);
-        assert_eq!(version.level_summary(), "L0:1 L1:1 L2:1 L3:0 L4:0 L5:0 L6:0");
+        assert_eq!(
+            version.level_summary(),
+            "L0:1 L1:1 L2:1 L3:0 L4:0 L5:0 L6:0"
+        );
     }
 
     #[test]

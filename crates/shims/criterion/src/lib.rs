@@ -1,0 +1,205 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset of the criterion API the workspace benches use —
+//! `Criterion::bench_function`, `benchmark_group`, `Bencher::iter` /
+//! `iter_batched`, and the `criterion_group!` / `criterion_main!` macros —
+//! with a simple fixed-iteration timer instead of criterion's statistical
+//! machinery. Good enough to keep the benches compiling and runnable
+//! without network access; swap in the real crate for publishable numbers.
+
+use std::time::{Duration, Instant};
+
+/// How a batched benchmark sizes its batches. Ignored by this stand-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup cost.
+    SmallInput,
+    /// Large per-iteration setup cost.
+    LargeInput,
+    /// One setup per measured batch.
+    PerIteration,
+}
+
+/// Runs closures and measures their wall-clock time.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn new(iterations: u64) -> Self {
+        Bencher {
+            iterations,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with a fresh `setup` input per iteration; only the
+    /// routine is measured.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut measured = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            measured += start.elapsed();
+        }
+        self.elapsed = measured;
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 50 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of iterations for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, name), self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(name: &str, iterations: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher::new(iterations);
+    f(&mut bencher);
+    let per_iter = if bencher.iterations == 0 {
+        Duration::ZERO
+    } else {
+        bencher.elapsed / bencher.iterations as u32
+    };
+    println!("bench {name:<50} {per_iter:>12.3?} / iter ({iterations} iters)");
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut calls = 0u64;
+        let mut c = Criterion::default().sample_size(10);
+        c.bench_function("shim/self_test", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 10);
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_inputs() {
+        let mut c = Criterion::default().sample_size(5);
+        c.bench_function("shim/batched", |b| {
+            b.iter_batched(
+                Vec::<u32>::new,
+                |mut v| {
+                    assert!(v.is_empty());
+                    v.push(1);
+                    v
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    #[test]
+    fn groups_compose() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut calls = 0;
+        group.bench_function("f", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 3);
+    }
+}

@@ -15,4 +15,4 @@ pub mod list;
 pub mod memtable;
 
 pub use list::SkipList;
-pub use memtable::{MemTable, MemTableIterator};
+pub use memtable::{MemTable, MemTableIterator, OwnedMemTableIterator};

@@ -16,6 +16,7 @@ const HEAD: u32 = 0;
 /// Sentinel meaning "no node".
 const NIL: u32 = u32::MAX;
 
+#[derive(Clone)]
 struct Node {
     key: Vec<u8>,
     /// `next[level]` is the index of the following node at that level.
@@ -28,6 +29,10 @@ struct Node {
 /// order encoded internal keys (user key ascending, sequence descending).
 /// Duplicate keys are not detected — the memtable never inserts the same
 /// internal key twice because sequence numbers are unique.
+///
+/// The list is `Clone` so a memtable shared behind an `Arc` can be
+/// copy-on-write snapshotted while iterators hold the old copy.
+#[derive(Clone)]
 pub struct SkipList {
     nodes: Vec<Node>,
     max_height: usize,
@@ -153,12 +158,12 @@ impl SkipList {
             key,
             next: [NIL; MAX_HEIGHT],
         };
-        for level in 0..height {
-            node.next[level] = self.nodes[prev[level] as usize].next[level];
+        for (level, &prev_idx) in prev.iter().enumerate().take(height) {
+            node.next[level] = self.nodes[prev_idx as usize].next[level];
         }
         self.nodes.push(node);
-        for level in 0..height {
-            self.nodes[prev[level] as usize].next[level] = new_index;
+        for (level, &prev_idx) in prev.iter().enumerate().take(height) {
+            self.nodes[prev_idx as usize].next[level] = new_index;
         }
     }
 
@@ -174,6 +179,55 @@ impl SkipList {
             list: self,
             node: NIL,
         }
+    }
+
+    // Index-based cursor primitives, used by the crate's owned iterator
+    // (which stores a node index next to an `Arc` of the list instead of a
+    // borrow). `u32::MAX` means "not positioned".
+
+    /// Index of the first entry, or the invalid index if empty.
+    pub(crate) fn first_index(&self) -> u32 {
+        self.nodes[HEAD as usize].next[0]
+    }
+
+    /// Index of the last entry, or the invalid index if empty.
+    pub(crate) fn last_index(&self) -> u32 {
+        let last = self.find_last();
+        if last == HEAD {
+            NIL
+        } else {
+            last
+        }
+    }
+
+    /// Index of the first entry `>= key`.
+    pub(crate) fn seek_index(&self, key: &[u8]) -> u32 {
+        self.find_greater_or_equal(key, None)
+    }
+
+    /// Index of the entry after `node`.
+    pub(crate) fn next_index(&self, node: u32) -> u32 {
+        self.nodes[node as usize].next[0]
+    }
+
+    /// Index of the entry before `node`, or the invalid index.
+    pub(crate) fn prev_index(&self, node: u32) -> u32 {
+        let prev = self.find_less_than(&self.nodes[node as usize].key);
+        if prev == HEAD {
+            NIL
+        } else {
+            prev
+        }
+    }
+
+    /// Whether `node` addresses a real entry.
+    pub(crate) fn index_valid(&self, node: u32) -> bool {
+        node != NIL && node != HEAD
+    }
+
+    /// The key stored at `node`.
+    pub(crate) fn key_at(&self, node: u32) -> &[u8] {
+        &self.nodes[node as usize].key
     }
 }
 
@@ -311,7 +365,9 @@ mod tests {
     #[test]
     fn large_random_insertions_stay_sorted() {
         use rand::seq::SliceRandom;
-        let mut keys: Vec<Vec<u8>> = (0..5000u32).map(|i| format!("{i:08}").into_bytes()).collect();
+        let mut keys: Vec<Vec<u8>> = (0..5000u32)
+            .map(|i| format!("{i:08}").into_bytes())
+            .collect();
         let mut rng = StdRng::seed_from_u64(42);
         keys.shuffle(&mut rng);
         let mut list = SkipList::new(bytewise);

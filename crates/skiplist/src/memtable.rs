@@ -18,7 +18,12 @@ use crate::list::{SkipList, SkipListIterator};
 /// ```text
 /// varint32(internal_key_len) internal_key varint32(value_len) value
 /// ```
-fn encode_entry(user_key: &[u8], seq: SequenceNumber, value_type: ValueType, value: &[u8]) -> Vec<u8> {
+fn encode_entry(
+    user_key: &[u8],
+    seq: SequenceNumber,
+    value_type: ValueType,
+    value: &[u8],
+) -> Vec<u8> {
     let internal_key_len = user_key.len() + 8;
     let mut buf = Vec::with_capacity(internal_key_len + value.len() + 10);
     put_varint32(&mut buf, internal_key_len as u32);
@@ -61,6 +66,12 @@ pub enum MemTableGet {
 }
 
 /// An in-memory, sorted buffer of `(internal key, value)` entries.
+///
+/// `Clone` supports the engines' copy-on-write snapshotting: the active
+/// memtable lives behind an `Arc`, iterators clone the `Arc`, and the write
+/// path clones the table itself only when an iterator still pins the old
+/// copy (`Arc::make_mut`).
+#[derive(Clone)]
 pub struct MemTable {
     list: SkipList,
     entries: usize,
@@ -128,6 +139,18 @@ impl MemTable {
         }
     }
 
+    /// Creates an owning iterator that keeps the memtable alive.
+    ///
+    /// Used by the engines' streaming cursors: the cursor outlives the
+    /// database lock, so it pins the memtable through the `Arc` instead of a
+    /// borrow.
+    pub fn owned_iter(self: &std::sync::Arc<Self>) -> OwnedMemTableIterator {
+        OwnedMemTableIterator {
+            mem: std::sync::Arc::clone(self),
+            node: u32::MAX,
+        }
+    }
+
     /// Validates the entry encoding of the whole table (used by tests).
     pub fn verify(&self) -> Result<()> {
         let mut iter = self.iter();
@@ -188,6 +211,53 @@ impl DbIterator for MemTableIterator<'_> {
 
     fn value(&self) -> &[u8] {
         decode_entry(self.inner.key()).1
+    }
+}
+
+/// An owning [`DbIterator`] over an `Arc<MemTable>`.
+///
+/// Stores a node index instead of a borrow, so it is `'static` and can be
+/// boxed into an engine's public cursor. The pinned memtable is immutable:
+/// the engines never mutate a memtable that an iterator still references
+/// (copy-on-write via `Arc::make_mut`).
+pub struct OwnedMemTableIterator {
+    mem: std::sync::Arc<MemTable>,
+    node: u32,
+}
+
+impl DbIterator for OwnedMemTableIterator {
+    fn valid(&self) -> bool {
+        self.mem.list.index_valid(self.node)
+    }
+
+    fn seek_to_first(&mut self) {
+        self.node = self.mem.list.first_index();
+    }
+
+    fn seek_to_last(&mut self) {
+        self.node = self.mem.list.last_index();
+    }
+
+    fn seek(&mut self, target: &[u8]) {
+        self.node = self.mem.list.seek_index(&encode_entry_for_seek(target));
+    }
+
+    fn next(&mut self) {
+        assert!(self.valid(), "next() on invalid memtable iterator");
+        self.node = self.mem.list.next_index(self.node);
+    }
+
+    fn prev(&mut self) {
+        assert!(self.valid(), "prev() on invalid memtable iterator");
+        self.node = self.mem.list.prev_index(self.node);
+    }
+
+    fn key(&self) -> &[u8] {
+        decode_entry(self.mem.list.key_at(self.node)).0
+    }
+
+    fn value(&self) -> &[u8] {
+        decode_entry(self.mem.list.key_at(self.node)).1
     }
 }
 
@@ -263,12 +333,9 @@ mod tests {
             mem.add(i as u64 + 1, ValueType::Value, k.as_bytes(), b"x");
         }
         let mut iter = mem.iter();
-        iter.seek(&LookupKey::new(b"b", 100).internal_key().to_vec());
+        iter.seek(LookupKey::new(b"b", 100).internal_key());
         assert!(iter.valid());
-        assert_eq!(
-            parse_internal_key(iter.key()).unwrap().user_key,
-            b"banana"
-        );
+        assert_eq!(parse_internal_key(iter.key()).unwrap().user_key, b"banana");
     }
 
     #[test]
@@ -276,7 +343,12 @@ mod tests {
         let mut mem = MemTable::new();
         let before = mem.approximate_memory_usage();
         for i in 0..100u32 {
-            mem.add(i as u64, ValueType::Value, format!("key{i}").as_bytes(), &[0u8; 100]);
+            mem.add(
+                i as u64,
+                ValueType::Value,
+                format!("key{i}").as_bytes(),
+                &[0u8; 100],
+            );
         }
         assert!(mem.approximate_memory_usage() > before + 100 * 100);
         assert_eq!(mem.len(), 100);

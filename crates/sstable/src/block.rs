@@ -264,7 +264,7 @@ impl DbIterator for BlockIterator {
         let mut left = 0usize;
         let mut right = self.block.num_restarts - 1;
         while left < right {
-            let mid = (left + right + 1) / 2;
+            let mid = (left + right).div_ceil(2);
             self.seek_to_restart_point(mid);
             if !self.parse_next_entry() {
                 right = mid - 1;

@@ -72,7 +72,11 @@ mod tests {
 
         // Point lookups through the internal-key get path.
         for i in [0u32, 1, 57, 999] {
-            let target = encode_internal_key(format!("key{i:06}").as_bytes(), u64::MAX >> 8, ValueType::Value);
+            let target = encode_internal_key(
+                format!("key{i:06}").as_bytes(),
+                u64::MAX >> 8,
+                ValueType::Value,
+            );
             let (found_key, value) = table
                 .get(&ReadOptions::default(), &target)
                 .unwrap()

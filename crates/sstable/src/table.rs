@@ -2,10 +2,10 @@
 
 use std::sync::Arc;
 
+use pebblesdb_bloom::BloomFilterPolicy;
 use pebblesdb_common::coding::decode_fixed32;
 use pebblesdb_common::iterator::DbIterator;
 use pebblesdb_common::{crc32c, Error, ReadOptions, Result, StoreOptions};
-use pebblesdb_bloom::BloomFilterPolicy;
 use pebblesdb_env::RandomAccessFile;
 
 use crate::block::{Block, BlockIterator};
@@ -47,8 +47,7 @@ impl Table {
         let footer_data = file.read(size - FOOTER_SIZE as u64, FOOTER_SIZE)?;
         let footer = Footer::decode(&footer_data)?;
 
-        let index_contents =
-            Self::read_block_contents(file.as_ref(), &footer.index_handle, true)?;
+        let index_contents = Self::read_block_contents(file.as_ref(), &footer.index_handle, true)?;
         let index_block = Arc::new(Block::new(index_contents)?);
 
         let filter = if footer.filter_handle.size > 0 && options.bloom_bits_per_key > 0 {
@@ -114,7 +113,10 @@ impl Table {
         if !block_iter.valid() {
             return Ok(None);
         }
-        Ok(Some((block_iter.key().to_vec(), block_iter.value().to_vec())))
+        Ok(Some((
+            block_iter.key().to_vec(),
+            block_iter.value().to_vec(),
+        )))
     }
 
     /// Creates a two-level iterator over the whole table.
@@ -256,8 +258,15 @@ impl TableIterator {
 }
 
 impl DbIterator for TableIterator {
+    fn status(&self) -> Result<()> {
+        TableIterator::status(self)
+    }
+
     fn valid(&self) -> bool {
-        self.data_iter.as_ref().map(|it| it.valid()).unwrap_or(false)
+        self.data_iter
+            .as_ref()
+            .map(|it| it.valid())
+            .unwrap_or(false)
     }
 
     fn seek_to_first(&mut self) {
@@ -341,9 +350,15 @@ mod tests {
         let table = Arc::new(Table::open(&opts, file, size, 7, Some(Arc::clone(&cache))).unwrap());
 
         let target = encode_internal_key(b"k00100", u64::MAX >> 8, ValueType::Value);
-        table.get(&ReadOptions::default(), &target).unwrap().unwrap();
+        table
+            .get(&ReadOptions::default(), &target)
+            .unwrap()
+            .unwrap();
         let misses_after_first = cache.hit_miss().1;
-        table.get(&ReadOptions::default(), &target).unwrap().unwrap();
+        table
+            .get(&ReadOptions::default(), &target)
+            .unwrap()
+            .unwrap();
         let (hits, misses) = cache.hit_miss();
         assert!(hits >= 1);
         assert_eq!(misses, misses_after_first);
@@ -400,6 +415,9 @@ mod tests {
         // Without a filter, everything "may" be present.
         assert!(table.may_contain_user_key(b"definitely-absent"));
         let target = encode_internal_key(b"k00010", u64::MAX >> 8, ValueType::Value);
-        assert!(table.get(&ReadOptions::default(), &target).unwrap().is_some());
+        assert!(table
+            .get(&ReadOptions::default(), &target)
+            .unwrap()
+            .is_some());
     }
 }

@@ -1,9 +1,9 @@
 //! Builds an sstable file from a sorted stream of entries.
 
+use pebblesdb_bloom::BloomFilterPolicy;
 use pebblesdb_common::coding::put_fixed32;
 use pebblesdb_common::key::extract_user_key;
 use pebblesdb_common::{crc32c, Error, Result, StoreOptions};
-use pebblesdb_bloom::BloomFilterPolicy;
 use pebblesdb_env::WritableFile;
 
 use crate::block::BlockBuilder;

@@ -139,7 +139,9 @@ mod tests {
 
         let cache = TableCache::new(Arc::clone(&env), db.to_path_buf(), opts, 2);
         for number in 1..=4u64 {
-            cache.get_table(number, sizes[(number - 1) as usize]).unwrap();
+            cache
+                .get_table(number, sizes[(number - 1) as usize])
+                .unwrap();
         }
         assert!(cache.open_tables() <= 2);
     }

@@ -89,8 +89,8 @@ mod tests {
         let path = Path::new("/wal/000002.log");
         let records = vec![
             vec![b'a'; 10],
-            vec![b'b'; BLOCK_SIZE],      // Spans two blocks.
-            vec![b'c'; 3 * BLOCK_SIZE],  // Spans four blocks.
+            vec![b'b'; BLOCK_SIZE],     // Spans two blocks.
+            vec![b'c'; 3 * BLOCK_SIZE], // Spans four blocks.
             vec![b'd'; 17],
         ];
         write_records(&env, path, &records);
@@ -152,7 +152,12 @@ mod tests {
 
     #[test]
     fn record_type_tags_roundtrip() {
-        for ty in [RecordType::Full, RecordType::First, RecordType::Middle, RecordType::Last] {
+        for ty in [
+            RecordType::Full,
+            RecordType::First,
+            RecordType::Middle,
+            RecordType::Last,
+        ] {
             assert_eq!(RecordType::from_u8(ty as u8), Some(ty));
         }
         assert_eq!(RecordType::from_u8(0), None);

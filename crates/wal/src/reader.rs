@@ -189,7 +189,7 @@ mod tests {
         {
             let file = env.new_writable_file(path).unwrap();
             let mut writer = LogWriter::new(file);
-            writer.add_record(&vec![b'z'; 100]).unwrap();
+            writer.add_record(&[b'z'; 100]).unwrap();
             writer.sync().unwrap();
         }
         let mut contents = env.read_file_to_vec(path).unwrap();

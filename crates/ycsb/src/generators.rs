@@ -103,8 +103,8 @@ impl Generator for ZipfianGenerator {
         if uz < 1.0 + 0.5f64.powf(self.theta) {
             return 1;
         }
-        let index = (self.item_count as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha))
-            as u64;
+        let index =
+            (self.item_count as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
         index.min(self.item_count - 1)
     }
 

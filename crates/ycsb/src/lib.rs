@@ -17,7 +17,9 @@ pub mod histogram;
 pub mod runner;
 pub mod workload;
 
-pub use generators::{Generator, LatestGenerator, ScrambledZipfianGenerator, UniformGenerator, ZipfianGenerator};
+pub use generators::{
+    Generator, LatestGenerator, ScrambledZipfianGenerator, UniformGenerator, ZipfianGenerator,
+};
 pub use histogram::Histogram;
 pub use runner::{run_workload, RunReport};
 pub use workload::{CoreWorkload, Operation, WorkloadKind};

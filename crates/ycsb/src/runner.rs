@@ -8,7 +8,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use pebblesdb_common::{KvStore, Result};
+use pebblesdb_common::{KvStore, ReadOptions, Result};
 
 use crate::histogram::Histogram;
 use crate::workload::{CoreWorkload, Operation, WorkloadKind};
@@ -47,11 +47,7 @@ impl RunReport {
 /// Loads `record_count` records and is a no-op if the workload is not a load
 /// phase; exposed separately so benchmarks can time load and run phases
 /// independently.
-pub fn load_phase(
-    store: &Arc<dyn KvStore>,
-    workload: &CoreWorkload,
-    threads: usize,
-) -> Result<()> {
+pub fn load_phase(store: &Arc<dyn KvStore>, workload: &CoreWorkload, threads: usize) -> Result<()> {
     let record_count = workload.record_count;
     let value_size = workload.value_size;
     let next = AtomicU64::new(0);
@@ -104,7 +100,7 @@ pub fn run_workload(
             let executed = &executed;
             handles.push(scope.spawn(move || -> Result<()> {
                 let per_thread = operations / threads as u64
-                    + u64::from(thread_id as u64 % threads as u64 == 0);
+                    + u64::from((thread_id as u64).is_multiple_of(threads as u64));
                 let mut workload =
                     CoreWorkload::preset(kind, record_count).with_value_size(value_size);
                 let mut rng = StdRng::seed_from_u64(0xabcd_0000 + thread_id as u64);
@@ -137,7 +133,9 @@ pub fn run_workload(
         bytes_written: stats_after
             .bytes_written
             .saturating_sub(stats_before.bytes_written),
-        bytes_read: stats_after.bytes_read.saturating_sub(stats_before.bytes_read),
+        bytes_read: stats_after
+            .bytes_read
+            .saturating_sub(stats_before.bytes_read),
     })
 }
 
@@ -150,7 +148,16 @@ fn execute(store: &Arc<dyn KvStore>, op: Operation) -> Result<()> {
             store.put(&key, &value)?;
         }
         Operation::Scan(key, len) => {
-            let _ = store.scan(&key, &[], len)?;
+            // YCSB-E drives the engine exactly like the paper: position a
+            // cursor, then stream `len` entries off it.
+            let mut iter = store.iter(&ReadOptions::default())?;
+            iter.seek(&key);
+            let mut read = 0usize;
+            while iter.valid() && read < len {
+                std::hint::black_box((iter.key(), iter.value()));
+                read += 1;
+                iter.next();
+            }
         }
         Operation::ReadModifyWrite(key, value) => {
             let _ = store.get(&key)?;
@@ -163,7 +170,9 @@ fn execute(store: &Arc<dyn KvStore>, op: Operation) -> Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pebblesdb_common::{Error, StoreStats, WriteBatch};
+    use pebblesdb_common::snapshot::{Snapshot, SnapshotList};
+    use pebblesdb_common::user_iter::UserEntriesIterator;
+    use pebblesdb_common::{DbIterator, Error, StoreStats, WriteBatch, WriteOptions};
     use std::collections::BTreeMap;
 
     /// A trivial in-memory store used to test the runner itself.
@@ -171,36 +180,40 @@ mod tests {
     struct MapStore {
         map: Mutex<BTreeMap<Vec<u8>, Vec<u8>>>,
         writes: AtomicU64,
+        snapshots: Arc<SnapshotList>,
     }
 
     impl KvStore for MapStore {
-        fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        fn put_opts(&self, _opts: &WriteOptions, key: &[u8], value: &[u8]) -> Result<()> {
             self.map.lock().insert(key.to_vec(), value.to_vec());
             self.writes.fetch_add(1, Ordering::Relaxed);
             Ok(())
         }
-        fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        fn get_opts(&self, _opts: &ReadOptions, key: &[u8]) -> Result<Option<Vec<u8>>> {
             Ok(self.map.lock().get(key).cloned())
         }
-        fn delete(&self, key: &[u8]) -> Result<()> {
+        fn delete_opts(&self, _opts: &WriteOptions, key: &[u8]) -> Result<()> {
             self.map.lock().remove(key);
             Ok(())
         }
-        fn write(&self, batch: WriteBatch) -> Result<()> {
+        fn write_opts(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<()> {
             for record in batch.iter() {
                 let record = record.map_err(|_| Error::internal("bad batch"))?;
-                self.put(record.key, record.value)?;
+                self.put_opts(opts, record.key, record.value)?;
             }
             Ok(())
         }
-        fn scan(&self, start: &[u8], end: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-            let map = self.map.lock();
-            Ok(map
-                .range(start.to_vec()..)
-                .take_while(|(k, _)| end.is_empty() || k.as_slice() < end)
-                .take(limit)
+        fn iter(&self, _opts: &ReadOptions) -> Result<Box<dyn DbIterator>> {
+            let entries: Vec<(Vec<u8>, Vec<u8>)> = self
+                .map
+                .lock()
+                .iter()
                 .map(|(k, v)| (k.clone(), v.clone()))
-                .collect())
+                .collect();
+            Ok(Box::new(UserEntriesIterator::new(entries)))
+        }
+        fn snapshot(&self) -> Snapshot {
+            self.snapshots.acquire(self.writes.load(Ordering::Relaxed))
         }
         fn flush(&self) -> Result<()> {
             Ok(())
@@ -227,15 +240,13 @@ mod tests {
         let workload = CoreWorkload::preset(WorkloadKind::LoadA, 200).with_value_size(32);
         load_phase(&store, &workload, 2).unwrap();
 
-        let report =
-            run_workload(Arc::clone(&store), WorkloadKind::A, 200, 1000, 4, 32).unwrap();
+        let report = run_workload(Arc::clone(&store), WorkloadKind::A, 200, 1000, 4, 32).unwrap();
         assert!(report.operations >= 1000);
         assert!(report.kops_per_second() > 0.0);
         assert_eq!(report.engine, "MapStore");
         assert!(report.latency.count() >= 1000);
 
-        let report_e =
-            run_workload(Arc::clone(&store), WorkloadKind::E, 200, 500, 2, 32).unwrap();
+        let report_e = run_workload(Arc::clone(&store), WorkloadKind::E, 200, 500, 2, 32).unwrap();
         assert!(report_e.operations >= 500);
     }
 }

@@ -4,9 +4,7 @@ use rand::Rng;
 
 use pebblesdb_common::hash::hash_seeded;
 
-use crate::generators::{
-    Generator, LatestGenerator, ScrambledZipfianGenerator, UniformGenerator,
-};
+use crate::generators::{Generator, LatestGenerator, ScrambledZipfianGenerator, UniformGenerator};
 
 /// Which of the paper's YCSB workloads to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -13,7 +13,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 use pebblesdb::PebblesDb;
-use pebblesdb_common::{KvStore, StoreOptions, StorePreset};
+use pebblesdb_common::{KvStore, ReadOptions, StoreOptions, StorePreset};
 use pebblesdb_env::MemEnv;
 use pebblesdb_lsm::LsmDb;
 
@@ -36,13 +36,25 @@ fn workload(store: &dyn KvStore, keys: u32) {
     store.flush().expect("flush");
 }
 
+/// Streams the whole store through the cursor API, the read pattern the
+/// FLSM pays for and the iterator-level optimisations win back.
+fn full_cursor_walk(store: &dyn KvStore) -> u64 {
+    let mut iter = store.iter(&ReadOptions::default()).expect("cursor");
+    iter.seek_to_first();
+    let mut rows = 0u64;
+    while iter.valid() {
+        rows += 1;
+        iter.next();
+    }
+    rows
+}
+
 fn main() {
     let keys = 30_000u32;
 
     let pebbles_env = Arc::new(MemEnv::new());
-    let pebbles =
-        PebblesDb::open_with_options(pebbles_env, Path::new("/pebbles"), small_options())
-            .expect("open pebblesdb");
+    let pebbles = PebblesDb::open_with_options(pebbles_env, Path::new("/pebbles"), small_options())
+        .expect("open pebblesdb");
     workload(&pebbles, keys);
 
     let lsm_env = Arc::new(MemEnv::new());
@@ -56,6 +68,12 @@ fn main() {
     workload(&lsm, keys);
 
     println!("{keys} random inserts of 256-byte values into both engines\n");
+
+    println!(
+        "full cursor walk: PebblesDB streamed {} rows, baseline {} rows\n",
+        full_cursor_walk(&pebbles),
+        full_cursor_walk(&lsm)
+    );
 
     let p = pebbles.stats();
     println!("PebblesDB (FLSM)");

@@ -24,12 +24,18 @@ fn main() {
         let db = PebblesDb::open_with_options(Arc::clone(&env), dir, options.clone())
             .expect("open database");
         for i in 0..keys {
-            db.put(format!("key{i:08}").as_bytes(), format!("value-{i}").as_bytes())
-                .expect("put");
+            db.put(
+                format!("key{i:08}").as_bytes(),
+                format!("value-{i}").as_bytes(),
+            )
+            .expect("put");
         }
         // No flush: recent writes only exist in the write-ahead log.
         guards_before = db.guards_per_level();
-        println!("wrote {keys} keys; layout before crash: {}", db.level_summary());
+        println!(
+            "wrote {keys} keys; layout before crash: {}",
+            db.level_summary()
+        );
 
         // Simulate a crash that tears the tail of the live WAL.
         let wal_name = env

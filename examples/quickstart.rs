@@ -1,5 +1,5 @@
-//! Quickstart: open a PebblesDB database, write, read, scan and inspect the
-//! FLSM layout.
+//! Quickstart: open a PebblesDB database, write, snapshot, stream a cursor
+//! and inspect the FLSM layout.
 //!
 //! ```text
 //! cargo run -p pebblesdb-examples --bin quickstart
@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use pebblesdb::PebblesDb;
-use pebblesdb_common::{KvStore, WriteBatch};
+use pebblesdb_common::{KvStore, ReadOptions, WriteBatch};
 use pebblesdb_env::DiskEnv;
 
 fn main() {
@@ -31,19 +31,52 @@ fn main() {
     db.write(batch).expect("batch write");
     assert_eq!(db.get(b"language").expect("get"), None);
 
-    // Insert a larger sorted range and run a range query.
+    // Insert a larger sorted range.
     for i in 0..10_000u32 {
-        db.put(format!("key{i:06}").as_bytes(), format!("value-{i}").as_bytes())
-            .expect("bulk put");
+        db.put(
+            format!("key{i:06}").as_bytes(),
+            format!("value-{i}").as_bytes(),
+        )
+        .expect("bulk put");
     }
     db.flush().expect("flush");
+
+    // Pin a snapshot, then keep writing: reads through the snapshot still
+    // see the pre-write state.
+    let snap = db.snapshot();
+    db.put(b"key000100", b"overwritten-later").expect("put");
+    assert_eq!(
+        db.get_opts(&snap.read_options(), b"key000100")
+            .expect("snapshot get"),
+        Some(b"value-100".to_vec())
+    );
+
+    // Stream a range with a cursor instead of materialising a vector: seek
+    // to the start, then drive `next()` lazily.
+    let mut iter = db.iter(&snap.read_options()).expect("iterator");
+    iter.seek(b"key000100");
+    let mut printed = 0;
+    println!("cursor over [key000100, key000110):");
+    while iter.valid() && iter.key() < b"key000110".as_slice() {
+        println!(
+            "  {} -> {}",
+            String::from_utf8_lossy(iter.key()),
+            String::from_utf8_lossy(iter.value())
+        );
+        printed += 1;
+        iter.next();
+    }
+    assert_eq!(printed, 10);
+    drop(iter);
+    drop(snap); // releases the pinned sequence so compaction may GC it
+
+    // The materialising convenience API is still there, built on the cursor.
     let range = db
         .scan(b"key000100", b"key000110", 100)
         .expect("range query");
-    println!("range query returned {} entries:", range.len());
-    for (key, value) in &range {
-        println!("  {} -> {}", String::from_utf8_lossy(key), String::from_utf8_lossy(value));
-    }
+    println!("scan() returned {} entries (newest data)", range.len());
+    assert_eq!(range[0].1, b"overwritten-later".to_vec());
+    let _ = db.iter(&ReadOptions::default()).expect("plain cursor");
 
     // Peek at the FLSM structure and the store statistics.
     println!("\nFLSM layout: {}", db.level_summary());

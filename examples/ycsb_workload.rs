@@ -10,8 +10,8 @@ use std::sync::Arc;
 use pebblesdb::PebblesDb;
 use pebblesdb_common::{KvStore, StoreOptions};
 use pebblesdb_env::MemEnv;
-use pebblesdb_ycsb::{run_workload, CoreWorkload, WorkloadKind};
 use pebblesdb_ycsb::runner::load_phase;
+use pebblesdb_ycsb::{run_workload, CoreWorkload, WorkloadKind};
 
 fn main() {
     let records = 20_000u64;
@@ -29,7 +29,12 @@ fn main() {
     load_phase(&store, &workload, threads).expect("load phase");
     store.flush().expect("flush");
 
-    for kind in [WorkloadKind::A, WorkloadKind::B, WorkloadKind::C, WorkloadKind::E] {
+    for kind in [
+        WorkloadKind::A,
+        WorkloadKind::B,
+        WorkloadKind::C,
+        WorkloadKind::E,
+    ] {
         let report = run_workload(Arc::clone(&store), kind, records, operations, threads, 1024)
             .expect("run workload");
         println!(

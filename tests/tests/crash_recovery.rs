@@ -42,8 +42,7 @@ fn pebblesdb_recovers_after_torn_wal_at_many_points() {
         let dir = Path::new("/crash");
         let written = 3000u32;
         {
-            let db =
-                PebblesDb::open_with_options(Arc::clone(&env), dir, small_options()).unwrap();
+            let db = PebblesDb::open_with_options(Arc::clone(&env), dir, small_options()).unwrap();
             for i in 0..written {
                 db.put(format!("key{i:06}").as_bytes(), format!("v{i}").as_bytes())
                     .unwrap();
@@ -103,7 +102,9 @@ fn baseline_lsm_recovers_after_torn_wal() {
         }
         let wal = live_wal(env.as_ref(), dir);
         let size = env.file_size(&wal).unwrap() as usize;
-        mem_env.truncate_file(&wal, size.saturating_sub(20)).unwrap();
+        mem_env
+            .truncate_file(&wal, size.saturating_sub(20))
+            .unwrap();
     }
     let db = LsmDb::open_with_options(
         Arc::clone(&env),
@@ -130,8 +131,11 @@ fn repeated_reopen_preserves_data_and_guards() {
         let db = PebblesDb::open_with_options(Arc::clone(&env), dir, small_options()).unwrap();
         // Every round adds a new slice of keys and verifies all previous ones.
         for i in (round * 1000)..((round + 1) * 1000) {
-            db.put(format!("key{i:06}").as_bytes(), format!("round{round}").as_bytes())
-                .unwrap();
+            db.put(
+                format!("key{i:06}").as_bytes(),
+                format!("round{round}").as_bytes(),
+            )
+            .unwrap();
         }
         db.flush().unwrap();
         for check_round in 0..=round {

@@ -1,18 +1,24 @@
-//! Property-based tests: random operation sequences applied to the engines
+//! Property-style tests: random operation sequences applied to the engines
 //! must match a reference `BTreeMap` model, and core encodings must
 //! round-trip for arbitrary inputs.
+//!
+//! The cases are generated with a seeded RNG (the workspace builds offline,
+//! so there is no `proptest` dependency); every failure therefore reproduces
+//! deterministically.
 
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::Arc;
 
-use proptest::collection::vec;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use pebblesdb::PebblesDb;
 use pebblesdb_common::batch::WriteBatch;
 use pebblesdb_common::coding;
-use pebblesdb_common::key::{compare_internal_keys, encode_internal_key, parse_internal_key, ValueType};
+use pebblesdb_common::key::{
+    compare_internal_keys, encode_internal_key, parse_internal_key, ValueType,
+};
 use pebblesdb_common::{KvStore, StoreOptions, StorePreset};
 use pebblesdb_env::{Env, MemEnv};
 use pebblesdb_lsm::LsmDb;
@@ -37,12 +43,17 @@ enum Op {
     Scan(u16, u8),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (any::<u16>(), vec(any::<u8>(), 0..64)).prop_map(|(k, v)| Op::Put(k % 512, v)),
-        1 => any::<u16>().prop_map(|k| Op::Delete(k % 512)),
-        1 => (any::<u16>(), any::<u8>()).prop_map(|(k, n)| Op::Scan(k % 512, n)),
-    ]
+fn random_op(rng: &mut StdRng) -> Op {
+    let key = rng.gen_range(0..512u16);
+    match rng.gen_range(0..6u32) {
+        0..=3 => {
+            let len = rng.gen_range(0..64usize);
+            let value: Vec<u8> = (0..len).map(|_| rng.gen::<u8>()).collect();
+            Op::Put(key, value)
+        }
+        4 => Op::Delete(key),
+        _ => Op::Scan(key, rng.gen::<u8>()),
+    }
 }
 
 fn key_of(id: u16) -> Vec<u8> {
@@ -92,18 +103,28 @@ fn check_engine_against_model(store: &dyn KvStore, ops: &[Op]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+fn random_ops(rng: &mut StdRng) -> Vec<Op> {
+    let count = rng.gen_range(1..400usize);
+    (0..count).map(|_| random_op(rng)).collect()
+}
 
-    #[test]
-    fn pebblesdb_matches_model(ops in vec(op_strategy(), 1..400)) {
+#[test]
+fn pebblesdb_matches_model() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0001);
+    for case in 0..8 {
+        let ops = random_ops(&mut rng);
         let env: Arc<dyn Env> = Arc::new(MemEnv::new());
         let store = PebblesDb::open_with_options(env, Path::new("/prop"), tiny_options()).unwrap();
+        eprintln!("case {case}: {} ops", ops.len());
         check_engine_against_model(&store, &ops);
     }
+}
 
-    #[test]
-    fn baseline_lsm_matches_model(ops in vec(op_strategy(), 1..400)) {
+#[test]
+fn baseline_lsm_matches_model() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0002);
+    for case in 0..8 {
+        let ops = random_ops(&mut rng);
         let env: Arc<dyn Env> = Arc::new(MemEnv::new());
         let store = LsmDb::open_with_options(
             env,
@@ -112,38 +133,64 @@ proptest! {
             StorePreset::HyperLevelDb,
         )
         .unwrap();
+        eprintln!("case {case}: {} ops", ops.len());
         check_engine_against_model(&store, &ops);
     }
+}
 
-    #[test]
-    fn varint_roundtrips(value in any::<u64>()) {
+#[test]
+fn varint_roundtrips() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0003);
+    for _ in 0..2000 {
+        // Cover every bit width, not just large values.
+        let value = rng.gen::<u64>() >> rng.gen_range(0..64u32);
         let mut buf = Vec::new();
         coding::put_varint64(&mut buf, value);
         let (decoded, used) = coding::decode_varint64(&buf).unwrap();
-        prop_assert_eq!(decoded, value);
-        prop_assert_eq!(used, buf.len());
-        prop_assert_eq!(coding::varint_length(value), buf.len());
+        assert_eq!(decoded, value);
+        assert_eq!(used, buf.len());
+        assert_eq!(coding::varint_length(value), buf.len());
     }
+}
 
-    #[test]
-    fn internal_keys_roundtrip_and_order(
-        user_key in vec(any::<u8>(), 0..40),
-        seq in 0u64..(1 << 56),
-        other_seq in 0u64..(1 << 56),
-    ) {
+#[test]
+fn internal_keys_roundtrip_and_order() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0004);
+    for _ in 0..2000 {
+        let len = rng.gen_range(0..40usize);
+        let user_key: Vec<u8> = (0..len).map(|_| rng.gen::<u8>()).collect();
+        let seq = rng.gen::<u64>() >> 8;
+        let other_seq = rng.gen::<u64>() >> 8;
+
         let encoded = encode_internal_key(&user_key, seq, ValueType::Value);
         let parsed = parse_internal_key(&encoded).unwrap();
-        prop_assert_eq!(parsed.user_key, user_key.as_slice());
-        prop_assert_eq!(parsed.sequence, seq);
+        assert_eq!(parsed.user_key, user_key.as_slice());
+        assert_eq!(parsed.sequence, seq);
 
         // Same user key: higher sequence numbers sort first.
         let other = encode_internal_key(&user_key, other_seq, ValueType::Value);
         let ordering = compare_internal_keys(&encoded, &other);
-        prop_assert_eq!(ordering, other_seq.cmp(&seq));
+        assert_eq!(ordering, other_seq.cmp(&seq));
     }
+}
 
-    #[test]
-    fn write_batches_roundtrip(entries in vec((vec(any::<u8>(), 1..20), vec(any::<u8>(), 0..50), any::<bool>()), 0..30)) {
+#[test]
+fn write_batches_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0005);
+    for _ in 0..200 {
+        let count = rng.gen_range(0..30usize);
+        let entries: Vec<(Vec<u8>, Vec<u8>, bool)> = (0..count)
+            .map(|_| {
+                let key: Vec<u8> = (0..rng.gen_range(1..20usize))
+                    .map(|_| rng.gen::<u8>())
+                    .collect();
+                let value: Vec<u8> = (0..rng.gen_range(0..50usize))
+                    .map(|_| rng.gen::<u8>())
+                    .collect();
+                (key, value, rng.gen_bool(0.3))
+            })
+            .collect();
+
         let mut batch = WriteBatch::new();
         for (key, value, is_delete) in &entries {
             if *is_delete {
@@ -154,14 +201,14 @@ proptest! {
         }
         batch.set_sequence(42);
         let restored = WriteBatch::from_contents(batch.contents().to_vec()).unwrap();
-        prop_assert_eq!(restored.verify().unwrap() as usize, entries.len());
+        assert_eq!(restored.verify().unwrap() as usize, entries.len());
         for (record, (key, value, is_delete)) in restored.iter().zip(entries.iter()) {
             let record = record.unwrap();
-            prop_assert_eq!(record.key, key.as_slice());
+            assert_eq!(record.key, key.as_slice());
             if *is_delete {
-                prop_assert_eq!(record.value_type, ValueType::Deletion);
+                assert_eq!(record.value_type, ValueType::Deletion);
             } else {
-                prop_assert_eq!(record.value, value.as_slice());
+                assert_eq!(record.value, value.as_slice());
             }
         }
     }

@@ -24,9 +24,8 @@ fn small_options() -> StoreOptions {
 #[test]
 fn ycsb_suite_runs_against_pebblesdb_with_four_threads() {
     let env: Arc<dyn Env> = Arc::new(MemEnv::new());
-    let store: Arc<dyn KvStore> = Arc::new(
-        PebblesDb::open_with_options(env, Path::new("/ycsb"), small_options()).unwrap(),
-    );
+    let store: Arc<dyn KvStore> =
+        Arc::new(PebblesDb::open_with_options(env, Path::new("/ycsb"), small_options()).unwrap());
 
     let records = 2000u64;
     let workload = CoreWorkload::preset(WorkloadKind::LoadA, records).with_value_size(256);
@@ -92,19 +91,18 @@ fn hyperdex_layer_runs_ycsb_over_both_engines() {
 #[test]
 fn mongo_layer_preserves_values_across_engines_and_scans() {
     let env: Arc<dyn Env> = Arc::new(MemEnv::new());
-    let engine: Arc<dyn KvStore> = Arc::new(
-        PebblesDb::open_with_options(env, Path::new("/mongo"), small_options()).unwrap(),
-    );
+    let engine: Arc<dyn KvStore> =
+        Arc::new(PebblesDb::open_with_options(env, Path::new("/mongo"), small_options()).unwrap());
     let app = MongoLike::new(engine, 0);
     for i in 0..500u32 {
-        app.put(format!("doc{i:05}").as_bytes(), format!("body-{i}").as_bytes())
-            .unwrap();
+        app.put(
+            format!("doc{i:05}").as_bytes(),
+            format!("body-{i}").as_bytes(),
+        )
+        .unwrap();
     }
     app.flush().unwrap();
-    assert_eq!(
-        app.get(b"doc00042").unwrap(),
-        Some(b"body-42".to_vec())
-    );
+    assert_eq!(app.get(b"doc00042").unwrap(), Some(b"body-42".to_vec()));
     let scanned = app.scan(b"doc00100", b"doc00110", 100).unwrap();
     assert_eq!(scanned.len(), 10);
     assert_eq!(scanned[0].0, b"doc00100".to_vec());
