@@ -19,7 +19,7 @@ fn bench_skiplist(c: &mut Criterion) {
     c.bench_function("skiplist/memtable_insert_1k", |b| {
         b.iter_batched(
             MemTable::new,
-            |mut mem| {
+            |mem| {
                 for i in 0..1000u64 {
                     mem.add(
                         i,
@@ -34,7 +34,7 @@ fn bench_skiplist(c: &mut Criterion) {
         )
     });
 
-    let mut mem = MemTable::new();
+    let mem = MemTable::new();
     for i in 0..10_000u64 {
         mem.add(
             i,

@@ -22,6 +22,7 @@ fn workload_from_name(name: &str) -> Option<Workload> {
         "rangequery" => Some(Workload::RangeQuery { nexts: 50 }),
         "deleterandom" => Some(Workload::DeleteRandom),
         "readwhilewriting" => Some(Workload::ReadWhileWriting),
+        "mixedscanwrite" | "mixed_scan_write" => Some(Workload::MixedScanWrite { nexts: 50 }),
         _ => None,
     }
 }
@@ -55,6 +56,7 @@ fn main() {
             "write IO".to_string(),
             "read IO".to_string(),
             "write amp".to_string(),
+            "stall ms".to_string(),
         ],
     );
 
@@ -64,7 +66,10 @@ fn main() {
             continue;
         };
         let ops = match workload {
-            Workload::ReadRandom | Workload::SeekRandom | Workload::RangeQuery { .. } => keys / 2,
+            Workload::ReadRandom
+            | Workload::SeekRandom
+            | Workload::RangeQuery { .. }
+            | Workload::MixedScanWrite { .. } => keys / 2,
             _ => keys,
         }
         .max(1);
@@ -78,6 +83,7 @@ fn main() {
             format_mib(result.bytes_written),
             format_mib(result.bytes_read),
             format_ratio(result.write_amplification()),
+            format!("{:.1}", result.stall_micros as f64 / 1000.0),
         ]);
         store.flush().expect("flush between benchmarks");
     }

@@ -38,11 +38,13 @@ fn main() {
             "iteration".to_string(),
             "write KOps/s".to_string(),
             "read KOps/s".to_string(),
+            "stall ms".to_string(),
             "empty guards".to_string(),
         ],
     );
 
     let mut rng = StdRng::seed_from_u64(7);
+    let mut stall_micros_seen = 0u64;
     for iteration in 0..iterations {
         let base = iteration * window;
 
@@ -67,10 +69,15 @@ fn main() {
         }
         store.flush().expect("flush");
 
+        let stall_total = store.stats().write_stall_micros;
+        let stall_this_iteration = stall_total.saturating_sub(stall_micros_seen);
+        stall_micros_seen = stall_total;
+
         report.add_row(vec![
             (iteration + 1).to_string(),
             format_kops(write_kops),
             format_kops(read_kops),
+            format!("{:.1}", stall_this_iteration as f64 / 1000.0),
             store.empty_guards().to_string(),
         ]);
     }

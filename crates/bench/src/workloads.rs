@@ -37,6 +37,13 @@ pub enum Workload {
     DeleteRandom,
     /// Half the threads read while the other half write.
     ReadWhileWriting,
+    /// Half the threads drive range-scan cursors while the other half write
+    /// — the YCSB-E-shaped cursor-vs-writer race that used to trigger a
+    /// memtable deep copy per interleaving before the concurrent memtable.
+    MixedScanWrite {
+        /// Number of entries each scan reads after its seek.
+        nexts: usize,
+    },
 }
 
 /// The outcome of one workload execution.
@@ -58,6 +65,8 @@ pub struct BenchResult {
     pub bytes_read: u64,
     /// User payload bytes handed to the store during the workload.
     pub user_bytes: u64,
+    /// Microseconds writers spent stalled during the workload.
+    pub stall_micros: u64,
 }
 
 impl BenchResult {
@@ -108,6 +117,7 @@ impl Workload {
             Workload::RangeQuery { nexts } => format!("rangequery({nexts})"),
             Workload::DeleteRandom => "deleterandom".to_string(),
             Workload::ReadWhileWriting => "readwhilewriting".to_string(),
+            Workload::MixedScanWrite { nexts } => format!("mixed_scan_write({nexts})"),
         }
     }
 
@@ -185,6 +195,9 @@ impl Workload {
             user_bytes: stats_after
                 .user_bytes_written
                 .saturating_sub(stats_before.user_bytes_written),
+            stall_micros: stats_after
+                .write_stall_micros
+                .saturating_sub(stats_before.write_stall_micros),
         })
     }
 
@@ -247,6 +260,31 @@ impl Workload {
                     let k = rng.gen_range(0..key_space);
                     if store.get(&bench_key(k))?.is_some() {
                         found.fetch_add(1, Ordering::Relaxed);
+                    }
+                } else {
+                    let k = rng.gen_range(0..key_space);
+                    let value = bench_value(k, value_size, rng);
+                    store.put(&bench_key(k), &value)?;
+                }
+            }
+            Workload::MixedScanWrite { nexts } => {
+                // Even threads scan, odd threads write; with a single thread
+                // the two roles alternate per operation so the cursor still
+                // races the write stream.
+                let scan = if threads == 1 {
+                    index.is_multiple_of(2)
+                } else {
+                    thread_id.is_multiple_of(2)
+                };
+                if scan {
+                    let k = rng.gen_range(0..key_space);
+                    let mut iter = store.iter(&ReadOptions::default())?;
+                    iter.seek(&bench_key(k));
+                    let mut read = 0usize;
+                    while iter.valid() && read < *nexts {
+                        std::hint::black_box((iter.key(), iter.value()));
+                        read += 1;
+                        iter.next();
                     }
                 } else {
                     let k = rng.gen_range(0..key_space);

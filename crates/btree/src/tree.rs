@@ -423,6 +423,8 @@ impl KvStore for BTreeStore {
             gets: EngineCounters::load(&self.counters.gets),
             seeks: EngineCounters::load(&self.counters.seeks),
             write_stalls: 0,
+            write_stall_micros: 0,
+            memtable_clones: 0,
         }
     }
 

@@ -1,0 +1,350 @@
+//! The group-commit writer queue shared by the LSM and FLSM engines.
+//!
+//! Concurrent writers enqueue their batches; the writer at the front of the
+//! queue becomes the *leader*, merges the batches queued behind it into one
+//! group, commits the group (WAL append + sync + memtable insert — performed
+//! by the engine, outside its state mutex), and then completes the followers
+//! so they return without ever touching the WAL themselves. This is the
+//! LevelDB/HyperLevelDB write-group protocol: one `fsync` and one log append
+//! amortised over every batch in the group.
+//!
+//! The queue deliberately knows nothing about engines. An engine calls
+//! [`CommitQueue::submit`] + [`CommitQueue::wait_turn`]; when it is handed a
+//! [`Role::Leader`] it performs the durable work and calls
+//! [`CommitQueue::complete`], which reports the shared result to every
+//! follower in the group and wakes the next leader.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::batch::WriteBatch;
+use crate::error::Result;
+
+/// Stop growing a group past this many bytes of batch payload.
+const MAX_GROUP_BYTES: usize = 1 << 20;
+/// When the leader's own batch is small, cap the group lower so small writes
+/// keep low latency (LevelDB's heuristic).
+const SMALL_BATCH_BYTES: usize = 128 << 10;
+
+/// One queued write: the batch, its durability requirement, and the slot the
+/// leader deposits the group's result into.
+struct Waiter {
+    /// `None` requests only a memtable rotation (used by `flush`).
+    batch: Mutex<Option<WriteBatch>>,
+    sync: bool,
+    /// Set (under the queue lock) once a leader has committed this write.
+    done: Mutex<Option<Result<()>>>,
+    cv: Condvar,
+}
+
+impl Waiter {
+    fn new(batch: Option<WriteBatch>, sync: bool) -> Self {
+        Waiter {
+            batch: Mutex::new(batch),
+            sync,
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// A handle for a submitted write, redeemed with [`CommitQueue::wait_turn`].
+pub struct Ticket {
+    waiter: Arc<Waiter>,
+}
+
+/// What [`CommitQueue::wait_turn`] resolved a ticket into.
+pub enum Role {
+    /// A leader already committed this write; here is the group's result.
+    Done(Result<()>),
+    /// This writer is the leader and must commit the group, then call
+    /// [`CommitQueue::complete`].
+    Leader(CommitGroup),
+}
+
+/// The work handed to a leader: the merged batch plus the queue members the
+/// commit covers (leader first).
+pub struct CommitGroup {
+    members: Vec<Arc<Waiter>>,
+    /// Every member batch merged in queue order. Empty when the group is a
+    /// pure rotation request.
+    pub batch: WriteBatch,
+    /// Whether the WAL must be synced before the group is acknowledged.
+    pub sync: bool,
+    /// Whether the leader asked for a memtable rotation instead of a write.
+    pub force_rotate: bool,
+}
+
+/// A FIFO queue of pending writes with leader election and batch merging.
+#[derive(Default)]
+pub struct CommitQueue {
+    queue: Mutex<VecDeque<Arc<Waiter>>>,
+}
+
+impl CommitQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        CommitQueue::default()
+    }
+
+    /// Enqueues a write (or, with `batch == None`, a rotation request).
+    pub fn submit(&self, batch: Option<WriteBatch>, sync: bool) -> Ticket {
+        let waiter = Arc::new(Waiter::new(batch, sync));
+        self.queue.lock().push_back(Arc::clone(&waiter));
+        Ticket { waiter }
+    }
+
+    /// Blocks until the ticket's write either was committed by another
+    /// leader ([`Role::Done`]) or reached the front of the queue, in which
+    /// case the caller becomes the leader of a freshly merged group.
+    pub fn wait_turn(&self, ticket: &Ticket) -> Role {
+        let mut queue = self.queue.lock();
+        loop {
+            if let Some(result) = ticket.waiter.done.lock().take() {
+                return Role::Done(result);
+            }
+            let is_front = queue
+                .front()
+                .is_some_and(|front| Arc::ptr_eq(front, &ticket.waiter));
+            if is_front {
+                return Role::Leader(Self::build_group(&queue));
+            }
+            ticket.waiter.cv.wait(&mut queue);
+        }
+    }
+
+    /// Merges the front of the queue into one group. Called with the queue
+    /// lock held and the leader at the front.
+    fn build_group(queue: &VecDeque<Arc<Waiter>>) -> CommitGroup {
+        let leader = Arc::clone(queue.front().expect("leader is at the front"));
+        let leader_batch = leader.batch.lock().take();
+        let sync = leader.sync;
+        let mut members = vec![leader];
+
+        let Some(mut merged) = leader_batch else {
+            // A rotation request commits alone.
+            return CommitGroup {
+                members,
+                batch: WriteBatch::new(),
+                sync,
+                force_rotate: true,
+            };
+        };
+
+        // Cap the group: 1 MiB normally, leader size + 128 KiB when the
+        // leader batch is small, so a tiny write is never stuck behind the
+        // merge cost of a huge group.
+        let leader_bytes = merged.approximate_size();
+        let max_bytes = if leader_bytes <= SMALL_BATCH_BYTES {
+            leader_bytes + SMALL_BATCH_BYTES
+        } else {
+            MAX_GROUP_BYTES
+        };
+
+        for follower in queue.iter().skip(1) {
+            // A non-sync leader must not absorb a sync write: the follower
+            // would be acknowledged without the sync it asked for.
+            if follower.sync && !sync {
+                break;
+            }
+            let mut follower_batch = follower.batch.lock();
+            // Rotation requests commit alone; stop merging at one.
+            let Some(batch) = follower_batch.as_ref() else {
+                break;
+            };
+            if merged.approximate_size() + batch.approximate_size() > max_bytes {
+                break;
+            }
+            let batch = follower_batch.take().expect("checked above");
+            merged.append(&batch);
+            drop(follower_batch);
+            members.push(Arc::clone(follower));
+        }
+
+        CommitGroup {
+            members,
+            batch: merged,
+            sync,
+            force_rotate: false,
+        }
+    }
+
+    /// Reports the leader's `result` to every follower in the group, removes
+    /// the group from the queue, and wakes the next leader (if any).
+    ///
+    /// The leader's own result is *not* deposited; the leader already has it.
+    pub fn complete(&self, group: CommitGroup, result: &Result<()>) {
+        let mut queue = self.queue.lock();
+        for (position, member) in group.members.iter().enumerate() {
+            let front = queue.pop_front().expect("group members are queued");
+            debug_assert!(Arc::ptr_eq(&front, member), "queue order changed");
+            if position > 0 {
+                *front.done.lock() = Some(result.clone());
+                front.cv.notify_one();
+            }
+        }
+        if let Some(next_leader) = queue.front() {
+            next_leader.cv.notify_one();
+        }
+    }
+
+    /// Number of writes currently queued (for tests and introspection).
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Returns `true` when no writes are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Error;
+
+    fn batch_of(keys: &[&str]) -> WriteBatch {
+        let mut batch = WriteBatch::new();
+        for key in keys {
+            batch.put(key.as_bytes(), b"v");
+        }
+        batch
+    }
+
+    #[test]
+    fn sole_writer_becomes_leader_with_its_own_batch() {
+        let queue = CommitQueue::new();
+        let ticket = queue.submit(Some(batch_of(&["a"])), false);
+        let Role::Leader(group) = queue.wait_turn(&ticket) else {
+            panic!("first writer must lead");
+        };
+        assert_eq!(group.batch.count(), 1);
+        assert!(!group.force_rotate);
+        queue.complete(group, &Ok(()));
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn leader_merges_followers_and_completes_them() {
+        let queue = CommitQueue::new();
+        let leader_ticket = queue.submit(Some(batch_of(&["a"])), false);
+        let follower_ticket = queue.submit(Some(batch_of(&["b", "c"])), false);
+
+        let Role::Leader(group) = queue.wait_turn(&leader_ticket) else {
+            panic!("first writer must lead");
+        };
+        assert_eq!(group.batch.count(), 3, "follower batch merged");
+        assert_eq!(group.members.len(), 2);
+        queue.complete(group, &Ok(()));
+
+        // The follower finds its deposited result without leading.
+        match queue.wait_turn(&follower_ticket) {
+            Role::Done(result) => assert!(result.is_ok()),
+            Role::Leader(_) => panic!("follower was already committed"),
+        }
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn sync_follower_is_not_merged_into_non_sync_group() {
+        let queue = CommitQueue::new();
+        let leader_ticket = queue.submit(Some(batch_of(&["a"])), false);
+        let _sync_ticket = queue.submit(Some(batch_of(&["b"])), true);
+
+        let Role::Leader(group) = queue.wait_turn(&leader_ticket) else {
+            panic!("first writer must lead");
+        };
+        assert_eq!(group.batch.count(), 1, "sync write left for its own group");
+        assert_eq!(group.members.len(), 1);
+        queue.complete(group, &Ok(()));
+        assert_eq!(queue.len(), 1, "sync write still queued");
+    }
+
+    #[test]
+    fn non_sync_follower_joins_sync_group() {
+        let queue = CommitQueue::new();
+        let leader_ticket = queue.submit(Some(batch_of(&["a"])), true);
+        let _follower = queue.submit(Some(batch_of(&["b"])), false);
+
+        let Role::Leader(group) = queue.wait_turn(&leader_ticket) else {
+            panic!("first writer must lead");
+        };
+        assert!(group.sync);
+        assert_eq!(group.batch.count(), 2, "non-sync write rides the sync");
+        queue.complete(group, &Ok(()));
+    }
+
+    #[test]
+    fn rotation_request_commits_alone() {
+        let queue = CommitQueue::new();
+        let rotate_ticket = queue.submit(None, false);
+        let _write = queue.submit(Some(batch_of(&["a"])), false);
+
+        let Role::Leader(group) = queue.wait_turn(&rotate_ticket) else {
+            panic!("first writer must lead");
+        };
+        assert!(group.force_rotate);
+        assert!(group.batch.is_empty());
+        assert_eq!(group.members.len(), 1);
+        queue.complete(group, &Ok(()));
+        assert_eq!(queue.len(), 1);
+    }
+
+    #[test]
+    fn merge_stops_before_a_rotation_request() {
+        let queue = CommitQueue::new();
+        let leader_ticket = queue.submit(Some(batch_of(&["a"])), false);
+        let _rotate = queue.submit(None, false);
+        let _write = queue.submit(Some(batch_of(&["b"])), false);
+
+        let Role::Leader(group) = queue.wait_turn(&leader_ticket) else {
+            panic!("first writer must lead");
+        };
+        assert_eq!(group.batch.count(), 1);
+        queue.complete(group, &Ok(()));
+        assert_eq!(queue.len(), 2);
+    }
+
+    #[test]
+    fn errors_propagate_to_every_follower() {
+        let queue = CommitQueue::new();
+        let leader_ticket = queue.submit(Some(batch_of(&["a"])), false);
+        let follower_ticket = queue.submit(Some(batch_of(&["b"])), false);
+
+        let Role::Leader(group) = queue.wait_turn(&leader_ticket) else {
+            panic!("first writer must lead");
+        };
+        queue.complete(group, &Err(Error::internal("disk on fire")));
+        match queue.wait_turn(&follower_ticket) {
+            Role::Done(result) => assert!(result.is_err()),
+            Role::Leader(_) => panic!("follower shared the leader's failure"),
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_all_complete() {
+        let queue = Arc::new(CommitQueue::new());
+        let committed = Arc::new(Mutex::new(0u64));
+        std::thread::scope(|scope| {
+            for i in 0..16u32 {
+                let queue = Arc::clone(&queue);
+                let committed = Arc::clone(&committed);
+                scope.spawn(move || {
+                    let ticket = queue.submit(Some(batch_of(&[&format!("k{i}")])), false);
+                    match queue.wait_turn(&ticket) {
+                        Role::Done(result) => result.unwrap(),
+                        Role::Leader(group) => {
+                            *committed.lock() += u64::from(group.batch.count());
+                            queue.complete(group, &Ok(()));
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(*committed.lock(), 16, "every batch committed exactly once");
+        assert!(queue.is_empty());
+    }
+}

@@ -17,6 +17,17 @@ pub struct EngineCounters {
     pub seeks: AtomicU64,
     /// Number of write stalls (level-0 slowdown or stop).
     pub write_stalls: AtomicU64,
+    /// Total microseconds writers spent stalled (slowdown sleeps plus waits
+    /// for memtable flushes and level-0 back-pressure).
+    pub write_stall_micros: AtomicU64,
+    /// Memtable deep copies taken to preserve a live cursor's view.
+    ///
+    /// The concurrent arena memtable removed the only code path that cloned
+    /// a memtable (`Arc::make_mut` copy-on-write); this counter exists so
+    /// tests can assert the count stays at zero. Any future code path that
+    /// reintroduces a clone must increment it via
+    /// [`EngineCounters::record_memtable_clone`].
+    pub memtable_clones: AtomicU64,
     /// Number of completed compactions (including memtable flushes).
     pub compactions: AtomicU64,
     /// Total microseconds spent compacting.
@@ -48,9 +59,15 @@ impl EngineCounters {
         self.seeks.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records one write stall.
-    pub fn record_stall(&self) {
+    /// Records one write stall that lasted `micros` microseconds.
+    pub fn record_stall(&self, micros: u64) {
         self.write_stalls.fetch_add(1, Ordering::Relaxed);
+        self.write_stall_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Records one memtable deep copy.
+    pub fn record_memtable_clone(&self) {
+        self.memtable_clones.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a finished compaction.
@@ -80,14 +97,17 @@ mod tests {
         counters.add_user_bytes(20);
         counters.record_get();
         counters.record_seek();
-        counters.record_stall();
+        counters.record_stall(40);
+        counters.record_stall(2);
         counters.record_compaction(500, 1000, 2000);
         counters.record_compaction(250, 10, 20);
 
         assert_eq!(EngineCounters::load(&counters.user_bytes_written), 120);
         assert_eq!(EngineCounters::load(&counters.gets), 1);
         assert_eq!(EngineCounters::load(&counters.seeks), 1);
-        assert_eq!(EngineCounters::load(&counters.write_stalls), 1);
+        assert_eq!(EngineCounters::load(&counters.write_stalls), 2);
+        assert_eq!(EngineCounters::load(&counters.write_stall_micros), 42);
+        assert_eq!(EngineCounters::load(&counters.memtable_clones), 0);
         assert_eq!(EngineCounters::load(&counters.compactions), 2);
         assert_eq!(EngineCounters::load(&counters.compaction_micros), 750);
         assert_eq!(EngineCounters::load(&counters.compaction_bytes_read), 1010);
@@ -95,5 +115,12 @@ mod tests {
             EngineCounters::load(&counters.compaction_bytes_written),
             2020
         );
+    }
+
+    #[test]
+    fn memtable_clone_counter_increments() {
+        let counters = EngineCounters::new();
+        counters.record_memtable_clone();
+        assert_eq!(EngineCounters::load(&counters.memtable_clones), 1);
     }
 }

@@ -11,13 +11,15 @@
 //! * store options and presets ([`options`]),
 //! * the iterator abstraction ([`iterator`]),
 //! * the [`store::KvStore`] trait that the benchmark harness and the
-//!   application layers drive generically, and
+//!   application layers drive generically,
+//! * the group-commit writer queue both LSM engines share ([`commit`]), and
 //! * database file naming conventions ([`filename`]).
 //!
 //! [`pebblesdb`]: https://www.cs.utexas.edu/~vijay/papers/sosp17-pebblesdb.pdf
 
 pub mod batch;
 pub mod coding;
+pub mod commit;
 pub mod counters;
 pub mod crc32c;
 pub mod error;
@@ -31,6 +33,7 @@ pub mod store;
 pub mod user_iter;
 
 pub use batch::WriteBatch;
+pub use commit::{CommitGroup, CommitQueue, Role, Ticket};
 pub use error::{Error, Result};
 pub use iterator::DbIterator;
 pub use key::{InternalKey, ParsedInternalKey, SequenceNumber, ValueType, MAX_SEQUENCE_NUMBER};

@@ -56,6 +56,13 @@ pub struct StoreStats {
     pub seeks: u64,
     /// Number of write stalls caused by level-0 back-pressure.
     pub write_stalls: u64,
+    /// Total microseconds writers spent stalled (the duration companion to
+    /// `write_stalls`; what the group-commit pipeline is meant to shrink).
+    pub write_stall_micros: u64,
+    /// Memtable deep copies taken to preserve a live cursor's view. The
+    /// concurrent arena memtable makes this structurally zero; the field is
+    /// kept so tests can assert the copy-on-write path never returns.
+    pub memtable_clones: u64,
 }
 
 impl StoreStats {

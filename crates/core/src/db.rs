@@ -16,6 +16,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex, MutexGuard};
 
+use pebblesdb_common::commit::{CommitGroup, CommitQueue, Role};
 use pebblesdb_common::counters::EngineCounters;
 use pebblesdb_common::filename::{log_file_name, parse_file_name, table_file_name, FileType};
 use pebblesdb_common::iterator::{DbIterator, MergingIterator, PinnedIterator};
@@ -50,6 +51,9 @@ struct DbInner {
     table_cache: Arc<TableCache>,
     guard_picker: GuardPicker,
     state: Mutex<DbState>,
+    /// Group-commit writer queue: concurrent writers enqueue batches, one
+    /// leader merges the group and performs WAL IO outside `state`.
+    commit_queue: CommitQueue,
     work_available: Condvar,
     work_done: Condvar,
     shutting_down: AtomicBool,
@@ -61,9 +65,9 @@ struct DbInner {
 }
 
 struct DbState {
-    /// The active memtable. Shared so streaming cursors can pin it; the
-    /// write path copies-on-write (`Arc::make_mut`) only while a cursor
-    /// still holds the old copy.
+    /// The active memtable. Concurrent: the group-commit leader inserts via
+    /// `&self` while `get` and streaming cursors read it lock-free, so the
+    /// table is never cloned — when full it is frozen whole into `imm`.
     mem: Arc<MemTable>,
     imm: Option<Arc<MemTable>>,
     versions: FlsmVersionSet,
@@ -146,6 +150,7 @@ impl PebblesDb {
             db_path: path.to_path_buf(),
             table_cache,
             state: Mutex::new(state),
+            commit_queue: CommitQueue::new(),
             work_available: Condvar::new(),
             work_done: Condvar::new(),
             shutting_down: AtomicBool::new(false),
@@ -254,12 +259,9 @@ fn recover_wals(
                     Ok(item) => item,
                     Err(_) => break,
                 };
-                Arc::make_mut(&mut state.mem).add(
-                    item.sequence,
-                    item.value_type,
-                    item.key,
-                    item.value,
-                );
+                state
+                    .mem
+                    .add(item.sequence, item.value_type, item.key, item.value);
                 applied += 1;
             }
             let last = base_seq + applied.saturating_sub(1);
@@ -338,7 +340,7 @@ fn visible_sequence(opts: &ReadOptions, last_sequence: SequenceNumber) -> Sequen
 impl DbInner {
     // ---------------------------------------------------------------- write
 
-    fn write(&self, mut batch: WriteBatch, opts: &WriteOptions) -> Result<()> {
+    fn write(&self, batch: WriteBatch, opts: &WriteOptions) -> Result<()> {
         if batch.is_empty() {
             return Ok(());
         }
@@ -352,38 +354,85 @@ impl DbInner {
             user_bytes += (record.key.len() + record.value.len()) as u64;
         }
 
-        let mut state = self.state.lock();
-        self.make_room_for_write(&mut state, false)?;
-
-        let seq = state.versions.last_sequence + 1;
-        batch.set_sequence(seq);
-        state.versions.last_sequence += u64::from(batch.count());
-
-        if let Some(log) = state.log.as_mut() {
-            log.add_record(batch.contents())?;
-            if opts.sync {
-                log.sync()?;
-            }
+        let ticket = self.commit_queue.submit(Some(batch), opts.sync);
+        let result = match self.commit_queue.wait_turn(&ticket) {
+            Role::Done(result) => result,
+            Role::Leader(group) => self.commit(group),
+        };
+        if result.is_ok() {
+            self.counters.add_user_bytes(user_bytes);
         }
-        for record in batch.iter() {
-            let record = record?;
-            // Guard selection: every inserted key is hashed; selected keys
-            // become uncommitted guards for their level and all deeper ones.
-            if record.value_type == ValueType::Value {
-                if let Some(level) = self.guard_picker.guard_level(record.key) {
-                    state.uncommitted_guards.add(level, record.key);
+        result
+    }
+
+    /// Commits a write group as its leader: make room, reserve a sequence
+    /// range, then append + sync the WAL and apply the merged batch to the
+    /// concurrent memtable **outside** the state mutex, so readers and the
+    /// compaction thread proceed during the IO. Guard selection (a pure hash
+    /// of each key) also runs unlocked; the chosen guards are registered
+    /// under the lock after the apply. The new sequence is only published
+    /// (making the group visible) after the apply succeeds.
+    fn commit(&self, mut group: CommitGroup) -> Result<()> {
+        let mut state = self.state.lock();
+        let force = group.force_rotate && !state.mem.is_empty();
+        let mut result = self.make_room_for_write(&mut state, force);
+
+        if result.is_ok() && !group.batch.is_empty() {
+            let seq = state.versions.last_sequence + 1;
+            group.batch.set_sequence(seq);
+            let count = u64::from(group.batch.count());
+
+            // Only the leader (that's us, until `complete`) touches the log
+            // or inserts into `mem`, so both can leave the mutex.
+            let mut log = state.log.take();
+            let mem = Arc::clone(&state.mem);
+            let batch = &group.batch;
+            let sync = group.sync;
+            let guard_picker = &self.guard_picker;
+            let io_result =
+                MutexGuard::unlocked(&mut state, || -> Result<Vec<(usize, Vec<u8>)>> {
+                    if let Some(log) = log.as_mut() {
+                        log.add_record(batch.contents())?;
+                        if sync {
+                            log.sync()?;
+                        }
+                    }
+                    // Guard selection: every inserted key is hashed; selected
+                    // keys become uncommitted guards for their level and all
+                    // deeper ones.
+                    let mut new_guards = Vec::new();
+                    for record in batch.iter() {
+                        let record = record?;
+                        if record.value_type == ValueType::Value {
+                            if let Some(level) = guard_picker.guard_level(record.key) {
+                                new_guards.push((level, record.key.to_vec()));
+                            }
+                        }
+                        mem.add(record.sequence, record.value_type, record.key, record.value);
+                    }
+                    Ok(new_guards)
+                });
+            state.log = log;
+            match io_result {
+                Ok(new_guards) => {
+                    for (level, key) in new_guards {
+                        state.uncommitted_guards.add(level, &key);
+                    }
+                    state.versions.last_sequence = seq + count - 1;
+                }
+                Err(err) => {
+                    // A failed WAL append/sync may have lost acknowledged
+                    // bytes; poison the store like LevelDB does.
+                    if state.bg_error.is_none() {
+                        state.bg_error = Some(err.clone());
+                    }
+                    result = Err(err);
                 }
             }
-            Arc::make_mut(&mut state.mem).add(
-                record.sequence,
-                record.value_type,
-                record.key,
-                record.value,
-            );
         }
         drop(state);
-        self.counters.add_user_bytes(user_bytes);
-        Ok(())
+        self.commit_queue.complete(group, &result);
+        result
     }
 
     fn make_room_for_write(&self, state: &mut MutexGuard<'_, DbState>, force: bool) -> Result<()> {
@@ -396,36 +445,54 @@ impl DbInner {
             let level0_files = state.versions.current_unpinned().level0.len();
             if allow_delay && level0_files >= self.options.level0_slowdown_writes_trigger {
                 allow_delay = false;
-                self.counters.record_stall();
+                let stall = Instant::now();
                 self.work_available.notify_one();
                 MutexGuard::unlocked(state, || std::thread::sleep(Duration::from_millis(1)));
+                self.counters
+                    .record_stall(stall.elapsed().as_micros() as u64);
                 continue;
             }
             if !force && state.mem.approximate_memory_usage() <= self.options.write_buffer_size {
                 return Ok(());
             }
             if state.imm.is_some() {
-                self.counters.record_stall();
+                let stall = Instant::now();
                 self.work_available.notify_one();
                 self.work_done.wait(state);
+                self.counters
+                    .record_stall(stall.elapsed().as_micros() as u64);
                 continue;
             }
             if level0_files >= self.options.level0_stop_writes_trigger {
-                self.counters.record_stall();
+                let stall = Instant::now();
                 self.work_available.notify_one();
                 self.work_done.wait(state);
+                self.counters
+                    .record_stall(stall.elapsed().as_micros() as u64);
                 continue;
             }
 
+            // Switch to a fresh memtable and WAL. The full memtable is
+            // frozen whole — cursors still pinning it keep reading it in
+            // `imm` (and beyond, through their own `Arc`s) with no copy.
             let new_log_number = state.versions.new_file_number();
             let log_file = self
                 .env
                 .new_writable_file(&log_file_name(&self.db_path, new_log_number))?;
-            if let Some(old_log) = state.log.take() {
-                let _ = old_log.close();
-            }
+            let close_result = match state.log.take() {
+                Some(old_log) => old_log.close(),
+                None => Ok(()),
+            };
             state.log = Some(LogWriter::new(log_file));
             state.log_file_number = new_log_number;
+            if let Err(err) = close_result {
+                // A failed close may have lost a sync on acknowledged
+                // records in the old log; surface it instead of dropping it.
+                if state.bg_error.is_none() {
+                    state.bg_error = Some(err.clone());
+                }
+                return Err(err);
+            }
             let full_mem = std::mem::replace(&mut state.mem, Arc::new(MemTable::new()));
             state.imm = Some(full_mem);
             force = false;
@@ -740,10 +807,17 @@ impl DbInner {
     // ---------------------------------------------------------------- flush
 
     fn flush(&self) -> Result<()> {
-        let mut state = self.state.lock();
-        if !state.mem.is_empty() {
-            self.make_room_for_write(&mut state, true)?;
+        // Rotate the active memtable through the commit queue so the
+        // rotation is serialised with in-flight write groups.
+        let needs_rotate = !self.state.lock().mem.is_empty();
+        if needs_rotate {
+            let ticket = self.commit_queue.submit(None, false);
+            match self.commit_queue.wait_turn(&ticket) {
+                Role::Done(result) => result?,
+                Role::Leader(group) => self.commit(group)?,
+            }
         }
+        let mut state = self.state.lock();
         loop {
             if let Some(err) = &state.bg_error {
                 return Err(err.clone());
@@ -783,6 +857,8 @@ impl DbInner {
             gets: EngineCounters::load(&self.counters.gets),
             seeks: EngineCounters::load(&self.counters.seeks),
             write_stalls: EngineCounters::load(&self.counters.write_stalls),
+            write_stall_micros: EngineCounters::load(&self.counters.write_stall_micros),
+            memtable_clones: EngineCounters::load(&self.counters.memtable_clones),
         }
     }
 }

@@ -6,10 +6,12 @@
 //! inspired by skip lists, but that logic lives in the engine crate — this
 //! crate only provides the ordered in-memory map.
 //!
-//! The skiplist here stores nodes in a growable arena and links them with
-//! `u32` indices, which keeps the implementation entirely in safe Rust while
-//! preserving the O(log n) insert/search behaviour of a classic tower-based
-//! skip list.
+//! The skiplist stores nodes in append-only arena segments and links them
+//! with atomic `u32` indices (LevelDB-style): readers and long-lived cursors
+//! traverse lock-free with acquire loads while the single write-group leader
+//! inserts concurrently, so the engines share one memtable between the
+//! writer, `get`, and cursors with zero copy-on-write. See [`list`] for the
+//! publication protocol and safety argument.
 
 pub mod list;
 pub mod memtable;

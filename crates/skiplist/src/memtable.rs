@@ -67,14 +67,14 @@ pub enum MemTableGet {
 
 /// An in-memory, sorted buffer of `(internal key, value)` entries.
 ///
-/// `Clone` supports the engines' copy-on-write snapshotting: the active
-/// memtable lives behind an `Arc`, iterators clone the `Arc`, and the write
-/// path clones the table itself only when an iterator still pins the old
-/// copy (`Arc::make_mut`).
-#[derive(Clone)]
+/// The memtable is concurrent: [`MemTable::add`] takes `&self`, so the
+/// active table lives behind a plain `Arc` shared by the writer, point
+/// lookups, and long-lived cursors — no copy is ever taken. When the table
+/// fills up the engine *freezes* it by moving the `Arc` into its immutable
+/// slot and starting a fresh table; cursors that still pin the frozen table
+/// keep streaming from it unchanged.
 pub struct MemTable {
     list: SkipList,
-    entries: usize,
 }
 
 impl Default for MemTable {
@@ -88,24 +88,26 @@ impl MemTable {
     pub fn new() -> Self {
         MemTable {
             list: SkipList::new(entry_comparator),
-            entries: 0,
         }
     }
 
     /// Adds a record.
-    pub fn add(&mut self, seq: SequenceNumber, value_type: ValueType, key: &[u8], value: &[u8]) {
-        self.list.insert(encode_entry(key, seq, value_type, value));
-        self.entries += 1;
+    ///
+    /// Safe to call while readers and cursors traverse the table; inserts
+    /// are serialised internally (the engines funnel all writes through one
+    /// group-commit leader anyway).
+    pub fn add(&self, seq: SequenceNumber, value_type: ValueType, key: &[u8], value: &[u8]) {
+        self.list.insert(&encode_entry(key, seq, value_type, value));
     }
 
     /// Number of records (including tombstones and superseded versions).
     pub fn len(&self) -> usize {
-        self.entries
+        self.list.len()
     }
 
     /// Returns `true` if no records have been added.
     pub fn is_empty(&self) -> bool {
-        self.entries == 0
+        self.list.is_empty()
     }
 
     /// Approximate memory used by the memtable.
@@ -143,7 +145,9 @@ impl MemTable {
     ///
     /// Used by the engines' streaming cursors: the cursor outlives the
     /// database lock, so it pins the memtable through the `Arc` instead of a
-    /// borrow.
+    /// borrow. The skip list is append-only, so the cursor stays valid (and
+    /// its snapshot-filtered view stays consistent) even while the writer
+    /// keeps inserting into the same table.
     pub fn owned_iter(self: &std::sync::Arc<Self>) -> OwnedMemTableIterator {
         OwnedMemTableIterator {
             mem: std::sync::Arc::clone(self),
@@ -217,9 +221,9 @@ impl DbIterator for MemTableIterator<'_> {
 /// An owning [`DbIterator`] over an `Arc<MemTable>`.
 ///
 /// Stores a node index instead of a borrow, so it is `'static` and can be
-/// boxed into an engine's public cursor. The pinned memtable is immutable:
-/// the engines never mutate a memtable that an iterator still references
-/// (copy-on-write via `Arc::make_mut`).
+/// boxed into an engine's public cursor. Node indices address an append-only
+/// arena, so concurrent inserts into the pinned memtable never invalidate
+/// the cursor's position.
 pub struct OwnedMemTableIterator {
     mem: std::sync::Arc<MemTable>,
     node: u32,
@@ -267,7 +271,7 @@ mod tests {
 
     #[test]
     fn get_returns_latest_visible_version() {
-        let mut mem = MemTable::new();
+        let mem = MemTable::new();
         mem.add(1, ValueType::Value, b"k", b"v1");
         mem.add(5, ValueType::Value, b"k", b"v2");
         mem.add(9, ValueType::Value, b"k", b"v3");
@@ -288,7 +292,7 @@ mod tests {
 
     #[test]
     fn tombstones_shadow_older_values() {
-        let mut mem = MemTable::new();
+        let mem = MemTable::new();
         mem.add(1, ValueType::Value, b"k", b"v1");
         mem.add(2, ValueType::Deletion, b"k", b"");
         assert_eq!(mem.get(&LookupKey::new(b"k", 10)), MemTableGet::Deleted);
@@ -300,7 +304,7 @@ mod tests {
 
     #[test]
     fn missing_keys_report_not_found() {
-        let mut mem = MemTable::new();
+        let mem = MemTable::new();
         mem.add(1, ValueType::Value, b"aaa", b"1");
         mem.add(2, ValueType::Value, b"ccc", b"2");
         assert_eq!(mem.get(&LookupKey::new(b"bbb", 10)), MemTableGet::NotFound);
@@ -309,7 +313,7 @@ mod tests {
 
     #[test]
     fn iterator_yields_internal_keys_in_order() {
-        let mut mem = MemTable::new();
+        let mem = MemTable::new();
         mem.add(3, ValueType::Value, b"b", b"vb");
         mem.add(1, ValueType::Value, b"a", b"va");
         mem.add(2, ValueType::Value, b"c", b"vc");
@@ -328,7 +332,7 @@ mod tests {
 
     #[test]
     fn iterator_seek_lands_on_user_key() {
-        let mut mem = MemTable::new();
+        let mem = MemTable::new();
         for (i, k) in ["apple", "banana", "cherry"].iter().enumerate() {
             mem.add(i as u64 + 1, ValueType::Value, k.as_bytes(), b"x");
         }
@@ -340,7 +344,7 @@ mod tests {
 
     #[test]
     fn memory_usage_grows_with_inserts() {
-        let mut mem = MemTable::new();
+        let mem = MemTable::new();
         let before = mem.approximate_memory_usage();
         for i in 0..100u32 {
             mem.add(
@@ -356,7 +360,7 @@ mod tests {
 
     #[test]
     fn values_can_be_empty() {
-        let mut mem = MemTable::new();
+        let mem = MemTable::new();
         mem.add(1, ValueType::Value, b"k", b"");
         assert_eq!(
             mem.get(&LookupKey::new(b"k", 10)),
