@@ -112,7 +112,17 @@ pub fn open_engine(
     dir: &Path,
     scale_divisor: usize,
 ) -> Result<Arc<dyn KvStore>> {
-    let options = scaled_options(kind, scale_divisor);
+    open_engine_with_options(kind, env, dir, scaled_options(kind, scale_divisor))
+}
+
+/// Opens the engine `kind` with explicit (already scaled) options — used by
+/// drivers that override individual knobs such as `compaction_threads`.
+pub fn open_engine_with_options(
+    kind: EngineKind,
+    env: Arc<dyn Env>,
+    dir: &Path,
+    options: StoreOptions,
+) -> Result<Arc<dyn KvStore>> {
     Ok(match kind {
         EngineKind::PebblesDb | EngineKind::PebblesDb1 => {
             Arc::new(PebblesDb::open_with_options(env, dir, options)?)
@@ -149,6 +159,18 @@ pub fn open_bench_env(
     engine: EngineKind,
     dir_flag: &str,
 ) -> (Arc<dyn Env>, std::path::PathBuf) {
+    let (env, _, dir) = open_bench_env_full(env_kind, engine, dir_flag);
+    (env, dir)
+}
+
+/// Like [`open_bench_env`] but also hands back the concrete [`MemEnv`] (when
+/// the environment is in-memory) so drivers can use its fault-injection
+/// hooks — e.g. adding per-append sstable latency to emulate a slow device.
+pub fn open_bench_env_full(
+    env_kind: &str,
+    engine: EngineKind,
+    dir_flag: &str,
+) -> (Arc<dyn Env>, Option<MemEnv>, std::path::PathBuf) {
     match env_kind {
         "disk" => {
             let base = if dir_flag.is_empty() {
@@ -159,11 +181,15 @@ pub fn open_bench_env(
             let dir = base.join(format!("{}-{}", engine.name(), std::process::id()));
             let env = DiskEnv::new();
             let _ = env.remove_dir_all(&dir);
-            (Arc::new(env), dir)
+            (Arc::new(env), None, dir)
         }
-        _ => (
-            Arc::new(MemEnv::new()),
-            std::path::PathBuf::from(format!("/bench/{}", engine.name())),
-        ),
+        _ => {
+            let mem = MemEnv::new();
+            (
+                Arc::new(mem.clone()),
+                Some(mem),
+                std::path::PathBuf::from(format!("/bench/{}", engine.name())),
+            )
+        }
     }
 }

@@ -25,7 +25,7 @@ pub mod report;
 pub mod workloads;
 
 pub use args::Args;
-pub use engines::{open_engine, scaled_options, EngineKind};
+pub use engines::{open_engine, open_engine_with_options, scaled_options, EngineKind};
 pub use report::Report;
 pub use workloads::{BenchResult, Workload};
 

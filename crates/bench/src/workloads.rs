@@ -67,6 +67,9 @@ pub struct BenchResult {
     pub user_bytes: u64,
     /// Microseconds writers spent stalled during the workload.
     pub stall_micros: u64,
+    /// Largest number of compaction jobs the store ever ran concurrently
+    /// (a lifetime high-water mark, not an interval delta).
+    pub max_concurrent_compactions: u64,
 }
 
 impl BenchResult {
@@ -198,6 +201,7 @@ impl Workload {
             stall_micros: stats_after
                 .write_stall_micros
                 .saturating_sub(stats_before.write_stall_micros),
+            max_concurrent_compactions: stats_after.max_concurrent_compactions,
         })
     }
 

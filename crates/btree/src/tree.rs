@@ -416,6 +416,8 @@ impl KvStore for BTreeStore {
             disk_bytes_live: u64::from(tree.pager.num_pages()) * PAGE_SIZE as u64,
             num_files: 1,
             compactions: 0,
+            flushes: 0,
+            max_concurrent_compactions: 0,
             compaction_micros: 0,
             compaction_bytes_read: tree.pager.pages_read() * PAGE_SIZE as u64,
             compaction_bytes_written: tree.pager.pages_written() * PAGE_SIZE as u64,

@@ -30,12 +30,20 @@ pub struct EngineCounters {
     pub memtable_clones: AtomicU64,
     /// Number of completed compactions (including memtable flushes).
     pub compactions: AtomicU64,
+    /// Number of completed memtable flushes (imm -> level 0).
+    pub flushes: AtomicU64,
     /// Total microseconds spent compacting.
     pub compaction_micros: AtomicU64,
     /// Bytes read by compactions.
     pub compaction_bytes_read: AtomicU64,
     /// Bytes written by compactions.
     pub compaction_bytes_written: AtomicU64,
+    /// Level-compaction jobs currently running (claimed but not committed).
+    pub active_compactions: AtomicU64,
+    /// High-water mark of `active_compactions`: the largest number of
+    /// compaction jobs ever observed running at the same instant. The
+    /// multi-threaded per-guard compaction pool must drive this above 1.
+    pub max_concurrent_compactions: AtomicU64,
 }
 
 impl EngineCounters {
@@ -68,6 +76,25 @@ impl EngineCounters {
     /// Records one memtable deep copy.
     pub fn record_memtable_clone(&self) {
         self.memtable_clones.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one completed memtable flush.
+    pub fn record_flush(&self) {
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks a compaction job as running and returns how many are now
+    /// in flight, updating the concurrency high-water mark.
+    pub fn record_compaction_start(&self) -> u64 {
+        let now = self.active_compactions.fetch_add(1, Ordering::Relaxed) + 1;
+        self.max_concurrent_compactions
+            .fetch_max(now, Ordering::Relaxed);
+        now
+    }
+
+    /// Marks a compaction job as finished (committed or failed).
+    pub fn record_compaction_end(&self) {
+        self.active_compactions.fetch_sub(1, Ordering::Relaxed);
     }
 
     /// Records a finished compaction.
@@ -110,10 +137,31 @@ mod tests {
         assert_eq!(EngineCounters::load(&counters.memtable_clones), 0);
         assert_eq!(EngineCounters::load(&counters.compactions), 2);
         assert_eq!(EngineCounters::load(&counters.compaction_micros), 750);
+        counters.record_flush();
+        assert_eq!(EngineCounters::load(&counters.flushes), 1);
         assert_eq!(EngineCounters::load(&counters.compaction_bytes_read), 1010);
         assert_eq!(
             EngineCounters::load(&counters.compaction_bytes_written),
             2020
+        );
+    }
+
+    #[test]
+    fn compaction_concurrency_high_water_mark_sticks() {
+        let counters = EngineCounters::new();
+        assert_eq!(counters.record_compaction_start(), 1);
+        assert_eq!(counters.record_compaction_start(), 2);
+        assert_eq!(counters.record_compaction_start(), 3);
+        counters.record_compaction_end();
+        counters.record_compaction_end();
+        // A later lone job does not lower the recorded maximum.
+        assert_eq!(counters.record_compaction_start(), 2);
+        counters.record_compaction_end();
+        counters.record_compaction_end();
+        assert_eq!(EngineCounters::load(&counters.active_compactions), 0);
+        assert_eq!(
+            EngineCounters::load(&counters.max_concurrent_compactions),
+            3
         );
     }
 

@@ -80,7 +80,16 @@ pub struct StoreOptions {
     pub base_level_bytes: u64,
     /// Growth factor between consecutive level size budgets.
     pub level_size_multiplier: u64,
-    /// Number of background compaction threads.
+    /// Size of the background compaction worker pool.
+    ///
+    /// The FLSM engine runs this many workers, each claiming a *disjoint
+    /// guard subset* of a level as an independent compaction job (the
+    /// paper's multi-threaded compaction, section 4). A dedicated flush
+    /// thread exists in addition to the pool, so `imm -> L0` never waits
+    /// behind a compaction regardless of this setting. The baseline LSM
+    /// engine keeps one compaction thread (classic leveled compaction
+    /// cannot be split into disjoint jobs) plus the same dedicated flush
+    /// thread.
     pub compaction_threads: usize,
 
     /// FLSM: maximum sstables a guard may hold before it must be compacted.
@@ -174,9 +183,14 @@ impl StoreOptions {
                 opts.level0_stop_writes_trigger = 24;
                 opts.compaction_threads = 4;
             }
-            StorePreset::PebblesDb => {}
+            StorePreset::PebblesDb => {
+                // Section 4 of the paper: guards make per-range compaction
+                // jobs independent, so PebblesDB compacts with a pool.
+                opts.compaction_threads = 2;
+            }
             StorePreset::PebblesDb1 => {
                 opts.max_sstables_per_guard = 1;
+                opts.compaction_threads = 2;
             }
         }
         opts
@@ -274,6 +288,12 @@ mod tests {
         assert_eq!(rocks.level0_slowdown_writes_trigger, 20);
         assert_eq!(rocks.level0_stop_writes_trigger, 24);
         assert!(rocks.compaction_threads > 1);
+
+        let pebbles = StoreOptions::with_preset(StorePreset::PebblesDb);
+        assert!(
+            pebbles.compaction_threads > 1,
+            "paper: multi-threaded compaction"
+        );
 
         let pebbles1 = StoreOptions::with_preset(StorePreset::PebblesDb1);
         assert_eq!(pebbles1.max_sstables_per_guard, 1);

@@ -41,6 +41,13 @@ pub struct StoreStats {
     pub num_files: u64,
     /// Number of completed compactions (or checkpoints for the B+Tree).
     pub compactions: u64,
+    /// Number of completed memtable flushes (imm -> level 0). Engines
+    /// without a flush path report 0.
+    pub flushes: u64,
+    /// Largest number of compaction jobs ever running at the same instant.
+    /// With the per-guard compaction pool this exceeds 1 whenever two
+    /// disjoint guard subsets were compacted concurrently.
+    pub max_concurrent_compactions: u64,
     /// Total wall-clock time spent in compaction, in microseconds.
     pub compaction_micros: u64,
     /// Bytes read by compactions.

@@ -10,6 +10,7 @@
 //! the second-to-last level may rewrite in place when pushing down would set
 //! up a much more expensive last-level merge.
 
+use std::collections::BTreeSet;
 use std::path::Path;
 use std::sync::Arc;
 
@@ -47,6 +48,14 @@ pub struct FlsmCompactionJob {
     /// Whether tombstones can be dropped (only safe when the output level is
     /// the last level of the tree).
     pub drop_tombstones: bool,
+    /// With `drop_tombstones`, which output partitions every one of whose
+    /// files is part of this job's inputs. A tombstone may only be dropped in
+    /// a *fully covered* partition: a file left behind in the owning guard
+    /// may still hold an older value the tombstone must keep shadowing.
+    /// Component-based selection makes inputs guard-complete, so this is
+    /// defense-in-depth for any future selection strategy that is not.
+    /// Empty when `drop_tombstones` is false.
+    pub full_partitions: Vec<bool>,
     /// Pre-allocated output file numbers.
     pub output_numbers: Vec<u64>,
     /// Total bytes of input (for stats).
@@ -63,52 +72,177 @@ impl FlsmCompactionJob {
     }
 }
 
-/// Selects the input guards for a compaction of `level`.
+/// Groups a level's non-empty guards into connected components linked by
+/// *spanning files* (a file attached to several guards because it predates
+/// one of their commits).
 ///
-/// Guards over the sstable budget are always selected; if none are (the
-/// compaction was triggered by level size or the aggressive heuristic), every
-/// non-empty guard is selected so the compaction always makes progress.
+/// A component — not a single guard — is the minimal unit of compaction.
+/// Compacting a guard without its span-connected neighbours would push a
+/// spanning file's key versions down a level while an unselected neighbour
+/// keeps *older* versions of the same keys at the input level, and
+/// level-ordered lookups would then return the stale value. Each inner
+/// vector holds guard indices; singleton components are the common case
+/// (freshly compacted files land in exactly one guard).
+fn connected_guard_components(guards: &[crate::guards::GuardMeta]) -> Vec<Vec<usize>> {
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    let mut parent: Vec<usize> = (0..guards.len()).collect();
+    let mut first_owner: std::collections::BTreeMap<u64, usize> = std::collections::BTreeMap::new();
+    for (idx, guard) in guards.iter().enumerate() {
+        for file in &guard.files {
+            match first_owner.get(&file.number) {
+                None => {
+                    first_owner.insert(file.number, idx);
+                }
+                Some(&owner) => {
+                    let a = find(&mut parent, idx);
+                    let b = find(&mut parent, owner);
+                    parent[a] = b;
+                }
+            }
+        }
+    }
+    let mut components: std::collections::BTreeMap<usize, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for (idx, guard) in guards.iter().enumerate() {
+        if guard.files.is_empty() {
+            continue;
+        }
+        let root = find(&mut parent, idx);
+        components.entry(root).or_default().push(idx);
+    }
+    components.into_values().collect()
+}
+
+/// The distinct files of a guard component, newest first within each guard.
+fn component_files(
+    guards: &[crate::guards::GuardMeta],
+    component: &[usize],
+) -> Vec<Arc<FileMetaData>> {
+    let mut seen = BTreeSet::new();
+    let mut files = Vec::new();
+    for &idx in component {
+        for file in &guards[idx].files {
+            if seen.insert(file.number) {
+                files.push(Arc::clone(file));
+            }
+        }
+    }
+    files
+}
+
+/// Selects the input guard components for a compaction of `level`, skipping
+/// components whose files are already claimed by an in-flight job and taking
+/// only a `1/split` chunk of the eligible components.
+///
+/// Components containing a guard over the sstable budget are preferred; if
+/// none exist (the compaction was triggered by level size or the aggressive
+/// heuristic), every claimable component is eligible so the compaction
+/// always makes progress. Chunking is what lets `split` workers each claim
+/// a *disjoint component subset* of the same level as independent jobs: the
+/// first claimer takes `ceil(n/split)` components, marks their files
+/// claimed, and the next claimer's selection excludes them.
 pub fn select_guard_inputs(
     version: &FlsmVersion,
     level: usize,
     max_sstables_per_guard: usize,
+    claimed: &BTreeSet<u64>,
+    split: usize,
 ) -> Vec<Arc<FileMetaData>> {
-    let flsm_level = &version.levels[level];
-    let over_budget: Vec<&crate::guards::GuardMeta> = flsm_level
-        .guards
-        .iter()
-        .filter(|g| g.files.len() > max_sstables_per_guard)
-        .collect();
-    let selected: Vec<&crate::guards::GuardMeta> = if over_budget.is_empty() {
-        flsm_level
-            .guards
-            .iter()
-            .filter(|g| !g.files.is_empty())
-            .collect()
-    } else {
-        over_budget
+    let guards = &version.levels[level].guards;
+    let components = connected_guard_components(guards);
+    let claimable = |component: &&Vec<usize>| {
+        component.iter().all(|&idx| {
+            guards[idx]
+                .files
+                .iter()
+                .all(|f| !claimed.contains(&f.number))
+        })
     };
-    // A file spanning several guards is attached to each of them; compact it
-    // once.
-    let mut seen = std::collections::BTreeSet::new();
+    let over_budget = |component: &&Vec<usize>| {
+        component
+            .iter()
+            .any(|&idx| guards[idx].files.len() > max_sstables_per_guard)
+    };
+    let any_over_budget = components.iter().any(|c| over_budget(&c));
+    // When over-budget components exist but are all claimed, the trigger is
+    // already being serviced; returning nothing (instead of compacting
+    // innocent small components) avoids pointless write amplification.
+    let eligible: Vec<&Vec<usize>> = components
+        .iter()
+        .filter(|c| !any_over_budget || over_budget(c))
+        .filter(claimable)
+        .collect();
+    if eligible.is_empty() {
+        return Vec::new();
+    }
+    let take = eligible.len().div_ceil(split.max(1));
+    let mut seen = BTreeSet::new();
     let mut inputs = Vec::new();
-    for guard in selected {
-        for file in &guard.files {
+    for component in eligible.into_iter().take(take) {
+        for file in component_files(guards, component) {
             if seen.insert(file.number) {
-                inputs.push(Arc::clone(file));
+                inputs.push(file);
             }
         }
     }
     inputs
 }
 
-/// Builds a compaction job for the trigger returned by
-/// [`FlsmVersionSet::pick_compaction_level`](crate::version::FlsmVersionSet).
+/// Selects the inputs of a seek-triggered compaction at `level`: the whole
+/// component around the claimable guard with the most overlapping sstables.
+/// Returns nothing when no claimable guard holds at least two files — a
+/// seek compaction of a single file would rewrite data without reducing any
+/// overlap, so the request stays pending instead.
+fn select_seek_inputs(
+    version: &FlsmVersion,
+    level: usize,
+    claimed: &BTreeSet<u64>,
+) -> Vec<Arc<FileMetaData>> {
+    let guards = &version.levels[level].guards;
+    let components = connected_guard_components(guards);
+    let best = components
+        .iter()
+        .filter(|component| {
+            component.iter().all(|&idx| {
+                guards[idx]
+                    .files
+                    .iter()
+                    .all(|f| !claimed.contains(&f.number))
+            })
+        })
+        .map(|component| {
+            let fanout = component
+                .iter()
+                .map(|&idx| guards[idx].files.len())
+                .max()
+                .unwrap_or(0);
+            (fanout, component)
+        })
+        .filter(|(fanout, _)| *fanout >= 2)
+        .max_by_key(|(fanout, _)| *fanout);
+    match best {
+        Some((_, component)) => component_files(guards, component),
+        None => Vec::new(),
+    }
+}
+
+/// Builds a compaction job for one of the triggers returned by
+/// [`FlsmVersionSet::compaction_candidates`](crate::version::FlsmVersionSet).
 ///
 /// `uncommitted_output_guards` are the pending guard keys for the output
 /// level; they become part of the partition key set and are committed by the
-/// job. `allocate_number` hands out output file numbers (called under the
-/// database lock before the IO starts).
+/// job. `claimed` holds the file numbers of every in-flight job's inputs —
+/// the new job's inputs never intersect it, which is what keeps concurrent
+/// workers on disjoint guard subsets. `split` is the worker-pool size used
+/// to chunk a level's eligible guards across jobs. `allocate_number` hands
+/// out output file numbers (called under the database lock before the IO
+/// starts). Returns `None` when every eligible guard is claimed.
 #[allow(clippy::too_many_arguments)]
 pub fn build_compaction_job(
     version: &FlsmVersion,
@@ -117,24 +251,33 @@ pub fn build_compaction_job(
     reason: CompactionReason,
     uncommitted_output_guards: Vec<Vec<u8>>,
     smallest_snapshot: SequenceNumber,
+    claimed: &BTreeSet<u64>,
+    split: usize,
     mut allocate_number: impl FnMut() -> u64,
 ) -> Option<FlsmCompactionJob> {
     let last_level = version.num_levels() - 1;
 
     let inputs: Vec<Arc<FileMetaData>> = if level == 0 {
+        // Level-0 files overlap freely, so a level-0 job takes all of them —
+        // and therefore cannot run while another level-0 job is in flight.
+        if version.level0.iter().any(|f| claimed.contains(&f.number)) {
+            return None;
+        }
         version.level0.clone()
     } else if reason == CompactionReason::SeekTriggered {
-        // Seek-triggered compactions stay small: merge only the guard with
-        // the most overlapping sstables, so read latency improves without
-        // paying for a whole-level rewrite every few range queries.
-        version.levels[level]
-            .guards
-            .iter()
-            .max_by_key(|g| g.files.len())
-            .map(|g| g.files.clone())
-            .unwrap_or_default()
+        // Seek-triggered compactions stay small: merge only the component
+        // around the (unclaimed) guard with the most overlapping sstables,
+        // so read latency improves without paying for a whole-level rewrite
+        // every few range queries.
+        select_seek_inputs(version, level, claimed)
     } else {
-        select_guard_inputs(version, level, options.max_sstables_per_guard)
+        select_guard_inputs(
+            version,
+            level,
+            options.max_sstables_per_guard,
+            claimed,
+            split,
+        )
     };
     if inputs.is_empty() {
         return None;
@@ -200,8 +343,23 @@ pub fn build_compaction_job(
     partition_keys.dedup();
 
     // In-place last-level rewrites may drop tombstones: there is no deeper
-    // data the tombstone still needs to shadow.
+    // data the tombstone still needs to shadow. Per-partition coverage is
+    // computed so tombstones are kept wherever the owning guard has files
+    // outside this job's inputs (those files may hold older values the
+    // tombstone still shadows).
     let drop_tombstones = output_level == last_level && level == last_level;
+    let full_partitions: Vec<bool> = if drop_tombstones {
+        let input_numbers: BTreeSet<u64> = inputs.iter().map(|f| f.number).collect();
+        // In-place jobs commit no new guards, so partition i is exactly
+        // guard i of the level (0 = sentinel).
+        version.levels[output_level]
+            .guards
+            .iter()
+            .map(|g| g.files.iter().all(|f| input_numbers.contains(&f.number)))
+            .collect()
+    } else {
+        Vec::new()
+    };
 
     let estimated_outputs =
         (input_bytes / options.max_file_size.max(1) as u64) as usize + partition_keys.len() + 2;
@@ -215,6 +373,7 @@ pub fn build_compaction_job(
         partition_keys,
         guards_to_commit,
         drop_tombstones,
+        full_partitions,
         output_numbers,
         input_bytes,
         smallest_snapshot,
@@ -287,17 +446,21 @@ pub fn run_compaction_io(
             last_user_key = Some(parsed.user_key.to_vec());
             last_sequence_for_key = MAX_SEQUENCE_NUMBER;
         }
+        let partition = guard_index_for_key(&job.partition_keys, parsed.user_key);
         // A version may be dropped once a newer version of the same key is
         // visible to every live snapshot; tombstones additionally need the
-        // output to be the last level.
+        // output to be the last level *and* the owning guard fully covered by
+        // this job's inputs (a leftover file could hold an older value the
+        // tombstone still shadows).
+        let tombstone_droppable = job.full_partitions.get(partition).copied().unwrap_or(true);
         let drop_entry = last_sequence_for_key <= job.smallest_snapshot
             || (job.drop_tombstones
+                && tombstone_droppable
                 && parsed.value_type == ValueType::Deletion
                 && parsed.sequence <= job.smallest_snapshot);
         last_sequence_for_key = parsed.sequence;
 
         if !drop_entry {
-            let partition = guard_index_for_key(&job.partition_keys, parsed.user_key);
             let rotate = current_partition != Some(partition)
                 || builder
                     .as_ref()
@@ -393,6 +556,8 @@ mod tests {
             CompactionReason::Level0Files,
             vec![],
             1_000,
+            &BTreeSet::new(),
+            1,
             || {
                 next += 1;
                 next
@@ -447,6 +612,8 @@ mod tests {
             CompactionReason::Level0Files,
             vec![],
             1_000,
+            &BTreeSet::new(),
+            1,
             || {
                 next += 1;
                 next
@@ -485,14 +652,20 @@ mod tests {
 
         // The sentinel guard has two files (over the budget of 1); guard "m"
         // has one. Only the sentinel's files are selected.
-        let selected = select_guard_inputs(&version, 1, options.max_sstables_per_guard);
+        let selected = select_guard_inputs(
+            &version,
+            1,
+            options.max_sstables_per_guard,
+            &BTreeSet::new(),
+            1,
+        );
         let numbers: Vec<u64> = selected.iter().map(|f| f.number).collect();
         assert!(numbers.contains(&30) && numbers.contains(&31));
         assert!(!numbers.contains(&32));
 
         // With a higher budget nothing is over budget, so every non-empty
         // guard is selected (progress guarantee for size-triggered runs).
-        let selected = select_guard_inputs(&version, 1, 10);
+        let selected = select_guard_inputs(&version, 1, 10, &BTreeSet::new(), 1);
         assert_eq!(selected.len(), 3);
     }
 
@@ -519,6 +692,8 @@ mod tests {
             CompactionReason::GuardFanout,
             vec![],
             1_000,
+            &BTreeSet::new(),
+            1,
             || {
                 next += 1;
                 next
@@ -528,5 +703,273 @@ mod tests {
         assert!(job.is_in_place());
         assert_eq!(job.output_level, last);
         assert!(job.drop_tombstones);
+        // The whole level is in the inputs, so every partition is coverable.
+        assert!(job.full_partitions.iter().all(|full| *full));
+    }
+
+    #[test]
+    fn concurrent_claims_pick_disjoint_guard_subsets() {
+        let mut options = StoreOptions::default();
+        options.max_sstables_per_guard = 1;
+
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let db = PathBuf::from("/flsm-claim");
+        env.create_dir_all(&db).unwrap();
+        // Two over-budget guards: sentinel {50, 51} and "m" {52, 53}.
+        let f1 = write_table(&env, &db, &options, 50, &[("a", 1)]);
+        let f2 = write_table(&env, &db, &options, 51, &[("b", 2)]);
+        let f3 = write_table(&env, &db, &options, 52, &[("m", 3)]);
+        let f4 = write_table(&env, &db, &options, 53, &[("n", 4)]);
+
+        let mut builder = FlsmVersionBuilder::new(4);
+        let mut edit = FlsmVersionEdit::default();
+        edit.new_guards.push((1, b"m".to_vec()));
+        for f in [f1, f2, f3, f4] {
+            edit.new_files.push((1, f));
+        }
+        builder.apply(&edit);
+        let version = builder.finish();
+
+        let mut next = 400u64;
+        let mut alloc = || {
+            next += 1;
+            next
+        };
+        let mut claimed = BTreeSet::new();
+        // Worker 1 of a 2-worker pool takes one guard...
+        let job1 = build_compaction_job(
+            &version,
+            &options,
+            1,
+            CompactionReason::GuardFanout,
+            vec![],
+            1_000,
+            &claimed,
+            2,
+            &mut alloc,
+        )
+        .unwrap();
+        claimed.extend(job1.inputs.iter().map(|f| f.number));
+        // ... worker 2 takes the other ...
+        let job2 = build_compaction_job(
+            &version,
+            &options,
+            1,
+            CompactionReason::GuardFanout,
+            vec![],
+            1_000,
+            &claimed,
+            2,
+            &mut alloc,
+        )
+        .unwrap();
+        claimed.extend(job2.inputs.iter().map(|f| f.number));
+        let set1: BTreeSet<u64> = job1.inputs.iter().map(|f| f.number).collect();
+        let set2: BTreeSet<u64> = job2.inputs.iter().map(|f| f.number).collect();
+        assert!(set1.is_disjoint(&set2), "{set1:?} overlaps {set2:?}");
+        assert_eq!(set1.len() + set2.len(), 4, "every file is claimed once");
+
+        // ... and worker 3 finds nothing left at this level.
+        let job3 = build_compaction_job(
+            &version,
+            &options,
+            1,
+            CompactionReason::GuardFanout,
+            vec![],
+            1_000,
+            &claimed,
+            2,
+            &mut alloc,
+        );
+        assert!(job3.is_none());
+    }
+
+    #[test]
+    fn level0_job_is_exclusive_while_claimed() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let db = PathBuf::from("/flsm-l0-claim");
+        env.create_dir_all(&db).unwrap();
+        let options = StoreOptions::default();
+        let f1 = write_table(&env, &db, &options, 60, &[("a", 1)]);
+        let f2 = write_table(&env, &db, &options, 61, &[("b", 2)]);
+        let mut builder = FlsmVersionBuilder::new(4);
+        let mut edit = FlsmVersionEdit::default();
+        edit.new_files.push((0, f1));
+        edit.new_files.push((0, f2));
+        builder.apply(&edit);
+        let version = builder.finish();
+
+        let claimed: BTreeSet<u64> = [60u64].into_iter().collect();
+        let mut next = 500u64;
+        let job = build_compaction_job(
+            &version,
+            &options,
+            0,
+            CompactionReason::Level0Files,
+            vec![],
+            1_000,
+            &claimed,
+            4,
+            || {
+                next += 1;
+                next
+            },
+        );
+        assert!(job.is_none(), "level 0 must not be double-compacted");
+    }
+
+    /// Writes the fixture used by the spanning-file tests: last level holds
+    /// sentinel-guard files 70 ("a") and 73 ("c"), a file 71 *spanning* into
+    /// guard "m" with a tombstone for "n", and file 72 with an older value
+    /// of "n" inside guard "m".
+    fn spanning_tombstone_version(
+        env: &Arc<dyn Env>,
+        db: &Path,
+        options: &StoreOptions,
+    ) -> FlsmVersion {
+        let last = options.max_levels - 1;
+        let f_a = write_table(env, db, options, 70, &[("a", 1)]);
+        let f_b = write_table(env, db, options, 73, &[("c", 5)]);
+        let path = table_file_name(db, 71);
+        let file = env.new_writable_file(&path).unwrap();
+        let mut spanning = TableBuilder::new(options, file);
+        let mut keys = vec![
+            encode_internal_key(b"b", 3, ValueType::Value),
+            encode_internal_key(b"n", 9, ValueType::Deletion),
+        ];
+        keys.sort_by(|a, b| pebblesdb_common::key::compare_internal_keys(a, b));
+        for key in &keys {
+            spanning.add(key, b"").unwrap();
+        }
+        let smallest = spanning.first_key().unwrap().to_vec();
+        let largest = spanning.last_key().unwrap().to_vec();
+        let size = spanning.finish().unwrap();
+        let f_span = FileMetaDataEdit {
+            number: 71,
+            file_size: size,
+            smallest,
+            largest,
+        };
+        let f_n_old = write_table(env, db, options, 72, &[("n", 2)]);
+
+        let mut builder = FlsmVersionBuilder::new(options.max_levels);
+        let mut edit = FlsmVersionEdit::default();
+        edit.new_guards.push((1, b"m".to_vec()));
+        edit.new_files.push((last, f_a));
+        edit.new_files.push((last, f_b));
+        edit.new_files.push((last, f_span));
+        edit.new_files.push((last, f_n_old));
+        builder.apply(&edit);
+        builder.finish()
+    }
+
+    /// A file spanning two guards welds them into one compaction component:
+    /// selecting either guard must pull in the other, otherwise the spanning
+    /// file's newer key versions would sink a level while the unselected
+    /// guard keeps older versions of the same keys at the input level —
+    /// and level-ordered lookups would return the stale value.
+    #[test]
+    fn spanning_files_pull_their_whole_component_into_the_job() {
+        let mut options = StoreOptions::default();
+        options.max_sstables_per_guard = 2;
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let db = PathBuf::from("/flsm-component");
+        env.create_dir_all(&db).unwrap();
+        let table_cache = TableCache::new(Arc::clone(&env), db.clone(), options.clone(), 16);
+        let last = options.max_levels - 1;
+        let version = spanning_tombstone_version(&env, &db, &options);
+
+        let mut next = 600u64;
+        let job = build_compaction_job(
+            &version,
+            &options,
+            last,
+            CompactionReason::GuardFanout,
+            vec![],
+            1_000, // every sequence is below the snapshot floor
+            &BTreeSet::new(),
+            1,
+            || {
+                next += 1;
+                next
+            },
+        )
+        .unwrap();
+        // The over-budget sentinel guard drags guard "m" in through the
+        // spanning file 71, so the whole component is the input set and
+        // every partition is fully covered.
+        let input_numbers: BTreeSet<u64> = job.inputs.iter().map(|f| f.number).collect();
+        assert_eq!(input_numbers, [70u64, 71, 72, 73].into_iter().collect());
+        assert!(job.drop_tombstones);
+        assert_eq!(job.full_partitions, vec![true, true]);
+
+        // With the component fully covered, the tombstone for "n" and the
+        // older value it shadows are both dropped for good.
+        let outputs = run_compaction_io(env.as_ref(), &db, &options, &table_cache, &job).unwrap();
+        for meta in &outputs {
+            let mut iter = table_cache
+                .iter(&ReadOptions::default(), meta.number, meta.file_size)
+                .unwrap();
+            iter.seek_to_first();
+            while iter.valid() {
+                let parsed = parse_internal_key(iter.key()).unwrap();
+                assert_ne!(
+                    parsed.user_key, b"n",
+                    "key n should be fully compacted away"
+                );
+                iter.next();
+            }
+        }
+    }
+
+    /// Defense-in-depth for `full_partitions`: if a job's inputs ever cover
+    /// a guard only partially (hand-built here; component selection does not
+    /// produce such jobs), tombstones in the uncovered partition must
+    /// survive the merge — dropping one would resurrect the older value
+    /// still sitting in the file left behind.
+    #[test]
+    fn tombstones_survive_in_partially_covered_partitions() {
+        let mut options = StoreOptions::default();
+        options.max_sstables_per_guard = 2;
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let db = PathBuf::from("/flsm-tomb");
+        env.create_dir_all(&db).unwrap();
+        let table_cache = TableCache::new(Arc::clone(&env), db.clone(), options.clone(), 16);
+        let last = options.max_levels - 1;
+        let version = spanning_tombstone_version(&env, &db, &options);
+
+        // Hand-build a job covering only the sentinel guard's own files plus
+        // the spanning file — guard "m" keeps file 72 (older "n").
+        let guards = &version.levels[last].guards;
+        let inputs: Vec<Arc<FileMetaData>> = guards[0].files.to_vec();
+        let job = FlsmCompactionJob {
+            level: last,
+            reason: CompactionReason::GuardFanout,
+            inputs,
+            output_level: last,
+            partition_keys: vec![b"m".to_vec()],
+            guards_to_commit: vec![],
+            drop_tombstones: true,
+            full_partitions: vec![true, false],
+            output_numbers: vec![900, 901, 902],
+            input_bytes: 0,
+            smallest_snapshot: 1_000,
+        };
+        let outputs = run_compaction_io(env.as_ref(), &db, &options, &table_cache, &job).unwrap();
+        let mut survived_tombstone = false;
+        for meta in &outputs {
+            let mut iter = table_cache
+                .iter(&ReadOptions::default(), meta.number, meta.file_size)
+                .unwrap();
+            iter.seek_to_first();
+            while iter.valid() {
+                let parsed = parse_internal_key(iter.key()).unwrap();
+                if parsed.user_key == b"n" && parsed.value_type == ValueType::Deletion {
+                    survived_tombstone = true;
+                }
+                iter.next();
+            }
+        }
+        assert!(survived_tombstone, "tombstone was dropped unsafely");
     }
 }

@@ -8,6 +8,7 @@
 //! sstable-level bloom filters, parallel seeks and seek-triggered compaction
 //! to claw back the read performance the FLSM structure gives up.
 
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -34,14 +35,14 @@ use pebblesdb_skiplist::MemTable;
 use pebblesdb_sstable::{TableBuilder, TableCache};
 use pebblesdb_wal::{LogReader, LogWriter};
 
-use crate::compaction::{build_compaction_job, run_compaction_io};
+use crate::compaction::{build_compaction_job, run_compaction_io, FlsmCompactionJob};
 use crate::guards::{GuardPicker, UncommittedGuards};
 use crate::version::{CompactionReason, FlsmVersionEdit, FlsmVersionSet};
 
 /// A handle to an open PebblesDB database.
 pub struct PebblesDb {
     inner: Arc<DbInner>,
-    background_thread: Mutex<Option<JoinHandle<()>>>,
+    background_threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
 struct DbInner {
@@ -54,7 +55,12 @@ struct DbInner {
     /// Group-commit writer queue: concurrent writers enqueue batches, one
     /// leader merges the group and performs WAL IO outside `state`.
     commit_queue: CommitQueue,
+    /// Wakes the compaction worker pool.
     work_available: Condvar,
+    /// Wakes the dedicated flush thread (imm -> level 0 never queues behind
+    /// a large level compaction).
+    flush_available: Condvar,
+    /// Wakes writers stalled in `make_room_for_write` and `flush` callers.
     work_done: Condvar,
     shutting_down: AtomicBool,
     counters: EngineCounters,
@@ -74,7 +80,22 @@ struct DbState {
     uncommitted_guards: UncommittedGuards,
     log: Option<LogWriter>,
     log_file_number: u64,
-    compaction_running: bool,
+    /// Input file numbers of every in-flight compaction job. A worker
+    /// claiming new work never selects a guard whose files intersect this
+    /// set, so concurrent jobs always operate on disjoint guard subsets.
+    claimed_inputs: BTreeSet<u64>,
+    /// Output file numbers of uncommitted jobs (flushes and compactions).
+    /// `remove_obsolete_files` must never delete these: they are invisible
+    /// to every version until their job's `log_and_apply` commits.
+    pending_outputs: BTreeSet<u64>,
+    /// Level-compaction jobs currently claimed or running.
+    active_compactions: usize,
+    /// Whether the flush thread is writing `imm` to level 0 right now.
+    flush_running: bool,
+    /// Set when the last GC pass ran while a read or cursor still pinned an
+    /// old version (whose files it therefore kept); `flush` on a quiesced
+    /// store rescans only in that case instead of on every call.
+    gc_rescan_needed: bool,
     seek_compaction_pending: bool,
     bg_error: Option<Error>,
 }
@@ -126,7 +147,11 @@ impl PebblesDb {
             uncommitted_guards: UncommittedGuards::new(options.max_levels),
             log: None,
             log_file_number: 0,
-            compaction_running: false,
+            claimed_inputs: BTreeSet::new(),
+            pending_outputs: BTreeSet::new(),
+            active_compactions: 0,
+            flush_running: false,
+            gc_rescan_needed: false,
             seek_compaction_pending: false,
             bg_error: None,
         };
@@ -152,6 +177,7 @@ impl PebblesDb {
             state: Mutex::new(state),
             commit_queue: CommitQueue::new(),
             work_available: Condvar::new(),
+            flush_available: Condvar::new(),
             work_done: Condvar::new(),
             shutting_down: AtomicBool::new(false),
             counters: EngineCounters::new(),
@@ -165,15 +191,31 @@ impl PebblesDb {
             inner.remove_obsolete_files(&mut state);
         }
 
-        let bg_inner = Arc::clone(&inner);
-        let handle = std::thread::Builder::new()
-            .name("pebblesdb-compaction".to_string())
-            .spawn(move || DbInner::background_main(bg_inner))
-            .map_err(|e| Error::internal(format!("spawn compaction thread: {e}")))?;
+        // The background subsystem: one dedicated flush thread (imm -> L0
+        // never waits behind a large compaction) plus a pool of
+        // `compaction_threads` workers that each claim a disjoint guard
+        // subset of a level as an independent job.
+        let mut handles = Vec::new();
+        let flush_inner = Arc::clone(&inner);
+        handles.push(
+            std::thread::Builder::new()
+                .name("pebblesdb-flush".to_string())
+                .spawn(move || DbInner::flush_main(flush_inner))
+                .map_err(|e| Error::internal(format!("spawn flush thread: {e}")))?,
+        );
+        for worker in 0..inner.options.compaction_threads.max(1) {
+            let bg_inner = Arc::clone(&inner);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("pebblesdb-compact-{worker}"))
+                    .spawn(move || DbInner::compaction_worker_main(bg_inner))
+                    .map_err(|e| Error::internal(format!("spawn compaction thread: {e}")))?,
+            );
+        }
 
         Ok(PebblesDb {
             inner,
-            background_thread: Mutex::new(Some(handle)),
+            background_threads: Mutex::new(handles),
         })
     }
 
@@ -219,7 +261,8 @@ impl Drop for PebblesDb {
     fn drop(&mut self) {
         self.inner.shutting_down.store(true, Ordering::SeqCst);
         self.inner.work_available.notify_all();
-        if let Some(handle) = self.background_thread.lock().take() {
+        self.inner.flush_available.notify_all();
+        for handle in self.background_threads.lock().drain(..) {
             let _ = handle.join();
         }
     }
@@ -446,7 +489,7 @@ impl DbInner {
             if allow_delay && level0_files >= self.options.level0_slowdown_writes_trigger {
                 allow_delay = false;
                 let stall = Instant::now();
-                self.work_available.notify_one();
+                self.work_available.notify_all();
                 MutexGuard::unlocked(state, || std::thread::sleep(Duration::from_millis(1)));
                 self.counters
                     .record_stall(stall.elapsed().as_micros() as u64);
@@ -457,7 +500,7 @@ impl DbInner {
             }
             if state.imm.is_some() {
                 let stall = Instant::now();
-                self.work_available.notify_one();
+                self.flush_available.notify_one();
                 self.work_done.wait(state);
                 self.counters
                     .record_stall(stall.elapsed().as_micros() as u64);
@@ -465,7 +508,7 @@ impl DbInner {
             }
             if level0_files >= self.options.level0_stop_writes_trigger {
                 let stall = Instant::now();
-                self.work_available.notify_one();
+                self.work_available.notify_all();
                 self.work_done.wait(state);
                 self.counters
                     .record_stall(stall.elapsed().as_micros() as u64);
@@ -496,7 +539,7 @@ impl DbInner {
             let full_mem = std::mem::replace(&mut state.mem, Arc::new(MemTable::new()));
             state.imm = Some(full_mem);
             force = false;
-            self.work_available.notify_one();
+            self.flush_available.notify_one();
         }
     }
 
@@ -615,47 +658,197 @@ impl DbInner {
 
     // ----------------------------------------------------- background work
 
-    fn background_main(inner: Arc<DbInner>) {
+    /// The dedicated flush thread: turns `imm` into a level-0 sstable the
+    /// moment one exists, independently of how busy the compaction pool is.
+    fn flush_main(inner: Arc<DbInner>) {
         let mut state = inner.state.lock();
         loop {
             while !inner.shutting_down.load(Ordering::SeqCst)
-                && state.imm.is_none()
-                && !state.versions.needs_compaction()
-                && !state.seek_compaction_pending
+                && (state.imm.is_none() || state.bg_error.is_some())
             {
-                inner.work_available.wait(&mut state);
+                inner.flush_available.wait(&mut state);
             }
             if inner.shutting_down.load(Ordering::SeqCst) {
                 break;
             }
-            state.compaction_running = true;
-            let result = inner.do_background_work(&mut state);
-            state.compaction_running = false;
+            state.flush_running = true;
+            let result = inner.compact_memtable(&mut state);
+            state.flush_running = false;
             if let Err(err) = result {
-                state.bg_error = Some(err);
+                if state.bg_error.is_none() {
+                    state.bg_error = Some(err);
+                }
             }
+            // Writers stalled on the full memtable can proceed, and the new
+            // level-0 file may have armed a compaction trigger.
             inner.work_done.notify_all();
+            inner.work_available.notify_all();
         }
     }
 
-    fn do_background_work(&self, state: &mut MutexGuard<'_, DbState>) -> Result<()> {
-        if state.imm.is_some() {
-            self.compact_memtable(state)?;
-            return Ok(());
-        }
-        let trigger = state.versions.pick_compaction_level().or_else(|| {
-            if state.seek_compaction_pending {
-                self.pick_seek_compaction_level(state)
-                    .map(|level| (level, CompactionReason::SeekTriggered))
-            } else {
-                None
+    /// One worker of the compaction pool: claim a job whose inputs are
+    /// disjoint from every in-flight job, run its IO outside the state
+    /// mutex, and commit the result through the serialized `log_and_apply`.
+    fn compaction_worker_main(inner: Arc<DbInner>) {
+        let mut state = inner.state.lock();
+        loop {
+            if inner.shutting_down.load(Ordering::SeqCst) {
+                break;
             }
-        });
-        state.seek_compaction_pending = false;
-        if let Some((level, reason)) = trigger {
-            self.run_level_compaction(state, level, reason)?;
+            if let Some(job) = inner.claim_compaction_job(&mut state) {
+                inner.run_claimed_job(&mut state, job);
+                inner.work_done.notify_all();
+                // The commit may have armed triggers for other levels (or
+                // freed claimed guards), so give idle workers a chance.
+                inner.work_available.notify_all();
+            } else {
+                inner.work_available.wait(&mut state);
+            }
         }
-        Ok(())
+    }
+
+    /// Claims the highest-priority compaction job whose inputs do not
+    /// intersect any in-flight job's inputs.
+    ///
+    /// On success the job's input files are recorded in `claimed_inputs`
+    /// (keeping other workers off the same guards) and its pre-allocated
+    /// output numbers in `pending_outputs` (keeping the GC off files that
+    /// exist on disk but are not yet committed to any version).
+    ///
+    /// `seek_compaction_pending` is cleared only when a seek-triggered job
+    /// is actually scheduled (or provably never will be): a size-triggered
+    /// job claiming the same wakeup must not swallow the request.
+    fn claim_compaction_job(
+        &self,
+        state: &mut MutexGuard<'_, DbState>,
+    ) -> Option<FlsmCompactionJob> {
+        if state.bg_error.is_some() {
+            return None;
+        }
+        let split = self.options.compaction_threads.max(1);
+        let smallest_snapshot = self
+            .snapshots
+            .compaction_floor(state.versions.last_sequence);
+        let version = state.versions.current();
+
+        let mut candidates = state.versions.compaction_candidates();
+        if state.seek_compaction_pending {
+            match self.pick_seek_compaction_level(state) {
+                // Seek compactions yield to size triggers; the flag stays
+                // set until the seek job itself is claimed.
+                Some(level) => candidates.push((level, CompactionReason::SeekTriggered)),
+                // No guard holds two sstables anywhere: the request can
+                // never be satisfied, so drop it instead of spinning.
+                None => state.seek_compaction_pending = false,
+            }
+        }
+
+        for (level, reason) in candidates {
+            let output_level = if level + 1 < self.options.max_levels {
+                level + 1
+            } else {
+                level
+            };
+            let pending_guards: Vec<Vec<u8>> = state
+                .uncommitted_guards
+                .for_level(output_level)
+                .iter()
+                .cloned()
+                .collect();
+            let job = {
+                // Split the borrow: number allocation mutates the version
+                // set while the claim set is read.
+                let st = &mut **state;
+                let versions = &mut st.versions;
+                build_compaction_job(
+                    &version,
+                    &self.options,
+                    level,
+                    reason,
+                    pending_guards,
+                    smallest_snapshot,
+                    &st.claimed_inputs,
+                    split,
+                    || versions.new_file_number(),
+                )
+            };
+            if let Some(job) = job {
+                if job.reason == CompactionReason::SeekTriggered {
+                    state.seek_compaction_pending = false;
+                }
+                for file in &job.inputs {
+                    state.claimed_inputs.insert(file.number);
+                }
+                state
+                    .pending_outputs
+                    .extend(job.output_numbers.iter().copied());
+                state.active_compactions += 1;
+                self.counters.record_compaction_start();
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Runs a claimed job's IO with the state mutex released, then commits
+    /// (or abandons) it and releases its claims.
+    fn run_claimed_job(&self, state: &mut MutexGuard<'_, DbState>, job: FlsmCompactionJob) {
+        let start = Instant::now();
+        let env = Arc::clone(&self.env);
+        let db_path = self.db_path.clone();
+        let options = self.options.clone();
+        let table_cache = Arc::clone(&self.table_cache);
+        let io_result = MutexGuard::unlocked(state, || {
+            run_compaction_io(env.as_ref(), &db_path, &options, &table_cache, &job)
+        });
+
+        let commit_result = io_result.and_then(|outputs| {
+            let mut edit = FlsmVersionEdit::default();
+            for file in &job.inputs {
+                edit.delete_file(job.level, file.number);
+            }
+            let mut bytes_written = 0;
+            for meta in &outputs {
+                bytes_written += meta.file_size;
+                edit.add_file(job.output_level, meta);
+            }
+            for key in &job.guards_to_commit {
+                edit.new_guards.push((job.output_level, key.clone()));
+            }
+            state.versions.log_and_apply(edit)?;
+            // Only the keys this job actually committed leave the pending
+            // set; guards picked by writers during the IO stay pending for
+            // the next compaction into the level.
+            state
+                .uncommitted_guards
+                .remove_committed(job.output_level, &job.guards_to_commit);
+            self.counters.record_compaction(
+                start.elapsed().as_micros() as u64,
+                job.input_bytes,
+                bytes_written,
+            );
+            Ok(())
+        });
+
+        // Release the claims whether the job committed or failed, so a
+        // poisoned store does not wedge its sibling workers.
+        for file in &job.inputs {
+            state.claimed_inputs.remove(&file.number);
+        }
+        for number in &job.output_numbers {
+            state.pending_outputs.remove(number);
+        }
+        state.active_compactions -= 1;
+        self.counters.record_compaction_end();
+
+        match commit_result {
+            Ok(()) => self.remove_obsolete_files(state),
+            Err(err) => {
+                if state.bg_error.is_none() {
+                    state.bg_error = Some(err);
+                }
+            }
+        }
     }
 
     /// Picks the level whose guards hold the most overlapping sstables for a
@@ -681,13 +874,23 @@ impl DbInner {
             None => return Ok(()),
         };
         let number = state.versions.new_file_number();
+        // Until the edit commits, the new table exists only on disk; keep
+        // the concurrent compaction workers' GC away from it.
+        state.pending_outputs.insert(number);
         let start = Instant::now();
         let env = Arc::clone(&self.env);
         let db_path = self.db_path.clone();
         let options = self.options.clone();
         let meta = MutexGuard::unlocked(state, || {
             build_table_from_memtable(env.as_ref(), &db_path, &options, &imm, number)
-        })?;
+        });
+        let meta = match meta {
+            Ok(meta) => meta,
+            Err(err) => {
+                state.pending_outputs.remove(&number);
+                return Err(err);
+            }
+        };
 
         let mut edit = FlsmVersionEdit {
             log_number: Some(state.log_file_number),
@@ -698,78 +901,13 @@ impl DbInner {
             written = meta.file_size;
             edit.add_file(0, meta);
         }
-        state.versions.log_and_apply(edit)?;
+        let commit = state.versions.log_and_apply(edit);
+        state.pending_outputs.remove(&number);
+        commit?;
         state.imm = None;
+        self.counters.record_flush();
         self.counters
             .record_compaction(start.elapsed().as_micros() as u64, 0, written);
-        self.remove_obsolete_files(state);
-        Ok(())
-    }
-
-    fn run_level_compaction(
-        &self,
-        state: &mut MutexGuard<'_, DbState>,
-        level: usize,
-        reason: CompactionReason,
-    ) -> Result<()> {
-        let start = Instant::now();
-        let version = state.versions.current();
-        let output_level = if level + 1 < self.options.max_levels {
-            level + 1
-        } else {
-            level
-        };
-        let pending_guards = state.uncommitted_guards.for_level(output_level).clone();
-
-        let smallest_snapshot = self
-            .snapshots
-            .compaction_floor(state.versions.last_sequence);
-        let job = {
-            // Allocating output file numbers mutates the version set, so the
-            // closure borrows the locked state.
-            let versions = &mut state.versions;
-            build_compaction_job(
-                &version,
-                &self.options,
-                level,
-                reason,
-                pending_guards.into_iter().collect(),
-                smallest_snapshot,
-                || versions.new_file_number(),
-            )
-        };
-        let Some(job) = job else { return Ok(()) };
-
-        let env = Arc::clone(&self.env);
-        let db_path = self.db_path.clone();
-        let options = self.options.clone();
-        let table_cache = Arc::clone(&self.table_cache);
-        let outputs = MutexGuard::unlocked(state, || {
-            run_compaction_io(env.as_ref(), &db_path, &options, &table_cache, &job)
-        })?;
-
-        let mut edit = FlsmVersionEdit::default();
-        for file in &job.inputs {
-            edit.delete_file(job.level, file.number);
-        }
-        let mut bytes_written = 0;
-        for meta in &outputs {
-            bytes_written += meta.file_size;
-            edit.add_file(job.output_level, meta);
-        }
-        for key in &job.guards_to_commit {
-            edit.new_guards.push((job.output_level, key.clone()));
-        }
-        state.versions.log_and_apply(edit)?;
-        if !job.guards_to_commit.is_empty() {
-            // The pending guards for the output level are now committed.
-            let _ = state.uncommitted_guards.take_level(job.output_level);
-        }
-        self.counters.record_compaction(
-            start.elapsed().as_micros() as u64,
-            job.input_bytes,
-            bytes_written,
-        );
         self.remove_obsolete_files(state);
         Ok(())
     }
@@ -777,7 +915,10 @@ impl DbInner {
     // -------------------------------------------------------------- cleanup
 
     fn remove_obsolete_files(&self, state: &mut MutexGuard<'_, DbState>) {
-        let live = state.versions.all_live_file_numbers();
+        // If a pinned old version kept files alive in this pass, a later
+        // quiesced `flush` must rescan once the pins drop.
+        let (live, pinned) = state.versions.live_files_and_pins();
+        state.gc_rescan_needed = pinned;
         let log_number = state.versions.log_number;
         let manifest_number = state.versions.manifest_number();
         let children = match self.env.children(&self.db_path) {
@@ -789,7 +930,12 @@ impl DbInner {
                 continue;
             };
             let keep = match ty {
-                FileType::Table => live.binary_search(&number).is_ok(),
+                // A table is live if any version references it — or if it is
+                // the not-yet-committed output of an in-flight flush or
+                // compaction job running on another thread.
+                FileType::Table => {
+                    live.binary_search(&number).is_ok() || state.pending_outputs.contains(&number)
+                }
                 FileType::WriteAheadLog => number >= log_number || number == state.log_file_number,
                 FileType::Descriptor => number >= manifest_number,
                 FileType::Temp => false,
@@ -822,11 +968,23 @@ impl DbInner {
             if let Some(err) = &state.bg_error {
                 return Err(err.clone());
             }
-            if state.imm.is_some() || state.versions.needs_compaction() || state.compaction_running
+            if state.imm.is_some()
+                || state.flush_running
+                || state.active_compactions > 0
+                || state.versions.needs_compaction()
             {
-                self.work_available.notify_one();
+                self.flush_available.notify_one();
+                self.work_available.notify_all();
                 self.work_done.wait(&mut state);
             } else {
+                // Quiesced: reclaim files whose deletion a commit-time GC
+                // skipped because a read still pinned their version. Skipped
+                // when the last GC saw no pins — it already ran to
+                // completion, so rescanning the directory would be wasted
+                // work under the state lock.
+                if state.gc_rescan_needed {
+                    self.remove_obsolete_files(&mut state);
+                }
                 return Ok(());
             }
         }
@@ -850,6 +1008,10 @@ impl DbInner {
             disk_bytes_live: version.total_bytes(),
             num_files: version.num_files() as u64,
             compactions: EngineCounters::load(&self.counters.compactions),
+            flushes: EngineCounters::load(&self.counters.flushes),
+            max_concurrent_compactions: EngineCounters::load(
+                &self.counters.max_concurrent_compactions,
+            ),
             compaction_micros: EngineCounters::load(&self.counters.compaction_micros),
             compaction_bytes_read: EngineCounters::load(&self.counters.compaction_bytes_read),
             compaction_bytes_written: EngineCounters::load(&self.counters.compaction_bytes_written),
@@ -908,5 +1070,147 @@ impl KvStore for PebblesDb {
     fn live_file_sizes(&self) -> Vec<u64> {
         let state = self.inner.state.lock();
         state.versions.current_unpinned().file_sizes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebblesdb_common::key::encode_internal_key;
+    use pebblesdb_env::MemEnv;
+    use pebblesdb_lsm::version::FileMetaDataEdit;
+
+    fn file_edit(number: u64, smallest: &str, largest: &str) -> FileMetaDataEdit {
+        FileMetaDataEdit {
+            number,
+            file_size: 1000,
+            smallest: encode_internal_key(smallest.as_bytes(), 9, ValueType::Value),
+            largest: encode_internal_key(largest.as_bytes(), 1, ValueType::Value),
+        }
+    }
+
+    /// Fabricates `files` into the locked store's version so claim logic
+    /// can be exercised without running real IO. The caller must hold the
+    /// state lock across this call *and* its subsequent claim assertions:
+    /// the store's own workers claim eagerly on wakeup, and releasing the
+    /// lock between fabrication and the test's claim would let a worker
+    /// race it to the job.
+    fn fabricate_files(state: &mut MutexGuard<'_, DbState>, files: &[(usize, &str, &str)]) {
+        let mut edit = FlsmVersionEdit::default();
+        for (level, smallest, largest) in files {
+            let number = state.versions.new_file_number();
+            edit.new_files
+                .push((*level, file_edit(number, smallest, largest)));
+        }
+        state.versions.log_and_apply(edit).unwrap();
+    }
+
+    fn open_empty(options: StoreOptions) -> PebblesDb {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        PebblesDb::open_with_options(env, Path::new("/claim-test"), options).unwrap()
+    }
+
+    /// Regression test: a size-triggered compaction that preempts a pending
+    /// seek request must not clear `seek_compaction_pending` — the flag only
+    /// falls when the seek-triggered job itself is scheduled.
+    #[test]
+    fn seek_flag_survives_a_preempting_size_compaction() {
+        let mut options = StoreOptions::default();
+        options.level0_compaction_trigger = 2;
+        let db = open_empty(options);
+        let inner = Arc::clone(&db.inner);
+        let mut state = inner.state.lock();
+        // Two level-0 files arm the size trigger.
+        fabricate_files(&mut state, &[(0, "a", "c"), (0, "b", "d")]);
+        state.seek_compaction_pending = true;
+
+        let job = inner
+            .claim_compaction_job(&mut state)
+            .expect("the level-0 size trigger yields a job");
+        assert_eq!(job.reason, CompactionReason::Level0Files);
+        assert!(
+            state.seek_compaction_pending,
+            "seek request was swallowed by the preempting size-triggered job"
+        );
+        drop(state);
+    }
+
+    /// The flag falls exactly when a seek-triggered job is claimed.
+    #[test]
+    fn seek_flag_clears_when_the_seek_job_is_scheduled() {
+        let mut options = StoreOptions::default();
+        options.level0_compaction_trigger = 100; // no size triggers
+        options.enable_aggressive_compaction = false;
+        let db = open_empty(options);
+        let inner = Arc::clone(&db.inner);
+        let mut state = inner.state.lock();
+        // A level-1 guard with two overlapping sstables: under every size
+        // budget, but exactly what a seek-triggered compaction wants.
+        fabricate_files(&mut state, &[(1, "a", "c"), (1, "b", "d")]);
+        state.seek_compaction_pending = true;
+
+        let job = inner
+            .claim_compaction_job(&mut state)
+            .expect("the seek request yields a job");
+        assert_eq!(job.reason, CompactionReason::SeekTriggered);
+        assert!(!state.seek_compaction_pending);
+        drop(state);
+    }
+
+    /// An unsatisfiable seek request (no guard holds two sstables) is
+    /// dropped instead of waking workers forever.
+    #[test]
+    fn unsatisfiable_seek_flag_is_dropped() {
+        let mut options = StoreOptions::default();
+        options.level0_compaction_trigger = 100;
+        options.enable_aggressive_compaction = false;
+        let db = open_empty(options);
+        let inner = Arc::clone(&db.inner);
+        let mut state = inner.state.lock();
+        fabricate_files(&mut state, &[(1, "a", "c")]);
+        state.seek_compaction_pending = true;
+
+        assert!(inner.claim_compaction_job(&mut state).is_none());
+        assert!(!state.seek_compaction_pending);
+        drop(state);
+    }
+
+    /// Claims at the same level are disjoint, and the counters see the
+    /// overlap.
+    #[test]
+    fn two_workers_claim_disjoint_guard_subsets() {
+        let mut options = StoreOptions::default();
+        options.level0_compaction_trigger = 100;
+        options.enable_aggressive_compaction = false;
+        options.max_sstables_per_guard = 1;
+        options.compaction_threads = 2;
+        let db = open_empty(options);
+        let inner = Arc::clone(&db.inner);
+        let mut state = inner.state.lock();
+        // Two over-budget "guards": the sentinel guard of level 1 would hold
+        // all four files, so use disjoint key ranges at levels 1 and 2 to
+        // model independent work.
+        fabricate_files(
+            &mut state,
+            &[(1, "a", "b"), (1, "c", "d"), (2, "p", "q"), (2, "r", "s")],
+        );
+
+        let job1 = inner.claim_compaction_job(&mut state).expect("first claim");
+        let job2 = inner
+            .claim_compaction_job(&mut state)
+            .expect("second claim");
+        let set1: BTreeSet<u64> = job1.inputs.iter().map(|f| f.number).collect();
+        let set2: BTreeSet<u64> = job2.inputs.iter().map(|f| f.number).collect();
+        assert!(set1.is_disjoint(&set2));
+        assert_eq!(state.active_compactions, 2);
+        assert_eq!(
+            EngineCounters::load(&inner.counters.max_concurrent_compactions),
+            2
+        );
+        // Outputs of both uncommitted jobs are protected from the GC.
+        for number in job1.output_numbers.iter().chain(&job2.output_numbers) {
+            assert!(state.pending_outputs.contains(number));
+        }
+        drop(state);
     }
 }

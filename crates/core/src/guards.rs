@@ -131,6 +131,18 @@ impl UncommittedGuards {
             .collect()
     }
 
+    /// Removes exactly `keys` from `level`'s pending set.
+    ///
+    /// Used when a compaction commits the guard keys it snapshotted at build
+    /// time: guards picked by writers *while the compaction IO ran* must stay
+    /// pending for the next compaction into the level, so a blanket
+    /// [`UncommittedGuards::take_level`] would silently drop them.
+    pub fn remove_committed(&mut self, level: usize, keys: &[Vec<u8>]) {
+        for key in keys {
+            self.per_level[level].remove(key);
+        }
+    }
+
     /// Total number of pending guard keys across all levels.
     pub fn len(&self) -> usize {
         self.per_level.iter().map(|s| s.len()).sum()
@@ -224,6 +236,20 @@ mod tests {
         assert_eq!(taken, vec![b"guard-a".to_vec()]);
         assert!(pending.for_level(4).is_empty());
         assert!(!pending.is_empty());
+    }
+
+    #[test]
+    fn removing_committed_guards_keeps_later_arrivals_pending() {
+        let mut pending = UncommittedGuards::new(4);
+        pending.add(2, b"early");
+        let snapshot: Vec<Vec<u8>> = pending.for_level(2).iter().cloned().collect();
+        // A writer picks another guard while the compaction IO runs.
+        pending.add(2, b"late");
+        pending.remove_committed(2, &snapshot);
+        assert!(!pending.for_level(2).contains(&b"early".to_vec()));
+        assert!(pending.for_level(2).contains(&b"late".to_vec()));
+        // Deeper levels are untouched until their own compaction commits.
+        assert!(pending.for_level(3).contains(&b"early".to_vec()));
     }
 
     #[test]

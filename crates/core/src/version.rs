@@ -203,39 +203,128 @@ impl FlsmVersion {
             .collect();
         level0.sort_by_key(|f| std::cmp::Reverse(f.number));
         for file in level0 {
-            if let Some(decided) = search_file(read_options, file, key, table_cache)? {
+            // Level-0 files are recency-ordered by number: flushes are
+            // serialized by the single flush thread.
+            if let Some((_, decided)) = search_file(read_options, file, key, table_cache)? {
                 return Ok(decided);
             }
         }
 
-        // Levels 1..: exactly one guard per level can own the key; its files
-        // are searched newest first, skipping via sstable bloom filters.
+        // Levels 1..: exactly one guard per level can own the key. The
+        // sstables inside a guard overlap freely and — now that concurrent
+        // compaction jobs at different levels may deliver files into the same
+        // guard out of file-number order — the newest-number-first heuristic
+        // is no longer a total order on recency. Each candidate file is
+        // consulted (bloom filters skip most) and the match with the highest
+        // sequence number wins.
         for level in self.levels.iter().skip(1) {
             let guard = level.guard_for(user_key);
-            let mut files: Vec<&Arc<FileMetaData>> = guard
+            let mut best: Option<(SequenceNumber, Option<Vec<u8>>)> = None;
+            for file in guard
                 .files
                 .iter()
                 .filter(|f| f.smallest.user_key() <= user_key && user_key <= f.largest.user_key())
-                .collect();
-            files.sort_by_key(|f| std::cmp::Reverse(f.number));
-            for file in files {
-                if let Some(decided) = search_file(read_options, file, key, table_cache)? {
-                    return Ok(decided);
+            {
+                if let Some((sequence, value)) = search_file(read_options, file, key, table_cache)?
+                {
+                    if best.as_ref().map(|(s, _)| sequence > *s).unwrap_or(true) {
+                        best = Some((sequence, value));
+                    }
                 }
+            }
+            if let Some((_, decided)) = best {
+                return Ok(decided);
             }
         }
         Ok(None)
     }
+
+    /// Checks the structural invariants concurrent compaction commits must
+    /// preserve. Returns a description of the first violation found.
+    ///
+    /// Invariants:
+    /// * every guard level starts with the sentinel guard and its remaining
+    ///   guard keys are strictly sorted (so guard ranges are disjoint);
+    /// * a guard at level `i` is also a guard at every deeper level;
+    /// * every file attached to a guard overlaps that guard's key range, and
+    ///   every guard a file overlaps holds it (point lookups inspect exactly
+    ///   one guard, so a missing attachment is a lost key).
+    ///
+    /// Called via `debug_assert!` after every version commit; release builds
+    /// pay nothing.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        for (level_idx, level) in self.levels.iter().enumerate().skip(1) {
+            let guards = &level.guards;
+            if guards.is_empty() || !guards[0].is_sentinel() {
+                return Err(format!("L{level_idx}: missing sentinel guard"));
+            }
+            for pair in guards.windows(2) {
+                if pair[1].key.is_empty() {
+                    return Err(format!("L{level_idx}: duplicate sentinel guard"));
+                }
+                if !pair[0].is_sentinel() && pair[0].key >= pair[1].key {
+                    return Err(format!(
+                        "L{level_idx}: guards out of order ({:?} >= {:?})",
+                        pair[0].key, pair[1].key
+                    ));
+                }
+            }
+            // Guards propagate to deeper levels.
+            if level_idx + 1 < self.levels.len() {
+                let deeper = &self.levels[level_idx + 1];
+                for guard in guards.iter().skip(1) {
+                    if !deeper.guards.iter().any(|g| g.key == guard.key) {
+                        return Err(format!(
+                            "L{level_idx}: guard {:?} missing from L{}",
+                            guard.key,
+                            level_idx + 1
+                        ));
+                    }
+                }
+            }
+            let keys: Vec<Vec<u8>> = level.guard_keys();
+            for (guard_idx, guard) in guards.iter().enumerate() {
+                let lower: &[u8] = &guard.key;
+                let upper: Option<&[u8]> = guards.get(guard_idx + 1).map(|g| g.key.as_slice());
+                for file in &guard.files {
+                    let overlaps = file.largest.user_key() >= lower
+                        && upper.is_none_or(|u| file.smallest.user_key() < u);
+                    if !overlaps {
+                        return Err(format!(
+                            "L{level_idx}: file {} does not overlap guard {:?}",
+                            file.number, guard.key
+                        ));
+                    }
+                }
+            }
+            // Every guard a file's range overlaps must hold the file.
+            for file in level.unique_files() {
+                let first = guard_index_for_key(&keys, file.smallest.user_key());
+                let last = guard_index_for_key(&keys, file.largest.user_key());
+                for guard in guards.iter().take(last + 1).skip(first) {
+                    if !guard.files.iter().any(|f| f.number == file.number) {
+                        return Err(format!(
+                            "L{level_idx}: file {} missing from overlapped guard {:?}",
+                            file.number, guard.key
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
-/// Searches one sstable; the outer `Option` says whether this file decided
-/// the lookup, the inner one carries the value (None = tombstone).
+/// Searches one sstable; the outer `Option` says whether this file holds a
+/// version of the key, the payload is that version's sequence and its value
+/// (`None` = tombstone) so callers can pick the newest match across the
+/// overlapping files of a guard.
 fn search_file(
     read_options: &ReadOptions,
     file: &Arc<FileMetaData>,
     key: &LookupKey,
     table_cache: &TableCache,
-) -> Result<Option<Option<Vec<u8>>>> {
+) -> Result<Option<(SequenceNumber, Option<Vec<u8>>)>> {
     let table = table_cache.get_table(file.number, file.file_size)?;
     if !table.may_contain_user_key(key.user_key()) {
         return Ok(None);
@@ -243,8 +332,8 @@ fn search_file(
     match table.get(read_options, key.internal_key())? {
         Some((found_key, value)) => match parse_internal_key(&found_key) {
             Some(parsed) if parsed.user_key == key.user_key() => match parsed.value_type {
-                ValueType::Value => Ok(Some(Some(value))),
-                ValueType::Deletion => Ok(Some(None)),
+                ValueType::Value => Ok(Some((parsed.sequence, Some(value)))),
+                ValueType::Deletion => Ok(Some((parsed.sequence, None))),
             },
             _ => Ok(None),
         },
@@ -568,16 +657,30 @@ impl FlsmVersionSet {
 
     /// File numbers referenced by the current version or any pinned version.
     pub fn all_live_file_numbers(&mut self) -> Vec<u64> {
+        self.live_files_and_pins().0
+    }
+
+    /// File numbers referenced by the current version or any pinned version,
+    /// plus whether a version *other than* `current` contributed (a read or
+    /// cursor still pins it). Both facts come from the same observation of
+    /// the pin list — a GC that keeps a pinned version's files must also
+    /// learn that a later pass may find more garbage, even if the pin drops
+    /// immediately afterwards.
+    pub fn live_files_and_pins(&mut self) -> (Vec<u64>, bool) {
         let mut live = self.current.live_file_numbers();
         self.live_versions.retain(|weak| weak.strong_count() > 0);
+        let mut pinned = false;
         for weak in &self.live_versions {
             if let Some(version) = weak.upgrade() {
-                live.extend(version.live_file_numbers());
+                if !Arc::ptr_eq(&version, &self.current) {
+                    pinned = true;
+                    live.extend(version.live_file_numbers());
+                }
             }
         }
         live.sort_unstable();
         live.dedup();
-        live
+        (live, pinned)
     }
 
     /// Writes a fresh MANIFEST for an empty database.
@@ -631,6 +734,14 @@ impl FlsmVersionSet {
         let mut builder = FlsmVersionBuilder::from_version(&self.current);
         builder.apply(&edit);
         let next = Arc::new(builder.finish());
+        // Guards must stay sorted and disjoint after every commit — with
+        // concurrent compaction jobs merging their edits through this
+        // serialized path, a violation here means two jobs claimed
+        // overlapping work.
+        #[cfg(debug_assertions)]
+        if let Err(violation) = next.validate() {
+            panic!("FLSM version invariant violated after commit: {violation}");
+        }
 
         if self.manifest.is_none() {
             self.rewrite_manifest()?;
@@ -685,23 +796,55 @@ impl FlsmVersionSet {
 
     /// Decides whether (and why) a compaction is needed, and at which level.
     pub fn pick_compaction_level(&self) -> Option<(usize, CompactionReason)> {
+        self.compaction_candidates().into_iter().next()
+    }
+
+    /// Every level that currently wants a compaction, in priority order
+    /// (level 0 pressure, guard fanout, byte budgets, aggressive merging).
+    ///
+    /// The compaction pool walks this list so a worker whose preferred level
+    /// is fully claimed by in-flight jobs can still pick up independent work
+    /// at another level. Each level appears at most once, under its
+    /// highest-priority reason.
+    pub fn compaction_candidates(&self) -> Vec<(usize, CompactionReason)> {
         let version = &self.current;
+        let mut candidates = Vec::new();
+        let mut seen = vec![false; version.num_levels()];
+        let push = |candidates: &mut Vec<(usize, CompactionReason)>,
+                    seen: &mut Vec<bool>,
+                    level: usize,
+                    reason: CompactionReason| {
+            if !seen[level] {
+                seen[level] = true;
+                candidates.push((level, reason));
+            }
+        };
         // Level 0 is governed by file count.
         if version.level0.len() >= self.options.level0_compaction_trigger {
-            return Some((0, CompactionReason::Level0Files));
+            push(&mut candidates, &mut seen, 0, CompactionReason::Level0Files);
         }
         // A guard over its sstable budget forces a compaction of its level.
         // This includes the last level, which rewrites its guards in place
         // (the paper's "exception to the no-rewrite rule").
         for level in 1..version.num_levels() {
             if version.levels[level].max_files_in_guard() > self.options.max_sstables_per_guard {
-                return Some((level, CompactionReason::GuardFanout));
+                push(
+                    &mut candidates,
+                    &mut seen,
+                    level,
+                    CompactionReason::GuardFanout,
+                );
             }
         }
         // Byte budgets.
         for level in 1..version.num_levels() - 1 {
             if version.level_bytes(level) > self.options.max_bytes_for_level(level) {
-                return Some((level, CompactionReason::LevelBytes));
+                push(
+                    &mut candidates,
+                    &mut seen,
+                    level,
+                    CompactionReason::LevelBytes,
+                );
             }
         }
         // Aggressive compaction: level i close in size to level i+1.
@@ -714,11 +857,16 @@ impl FlsmVersionSet {
                     && (this as f64) >= self.options.aggressive_compaction_ratio * (next as f64)
                     && this >= self.options.max_bytes_for_level(level) / 2
                 {
-                    return Some((level, CompactionReason::Aggressive));
+                    push(
+                        &mut candidates,
+                        &mut seen,
+                        level,
+                        CompactionReason::Aggressive,
+                    );
                 }
             }
         }
-        None
+        candidates
     }
 
     /// Returns `true` if background compaction work is pending.
@@ -840,6 +988,82 @@ mod tests {
         assert_eq!(version.levels[1].guards.len(), 2);
         assert_eq!(version.levels[1].guards[1].key, b"guard-key".to_vec());
         assert_eq!(version.levels[1].num_files(), 1);
+    }
+
+    #[test]
+    fn validate_accepts_built_versions_and_rejects_broken_ones() {
+        let mut builder = FlsmVersionBuilder::new(4);
+        let mut edit = FlsmVersionEdit::default();
+        edit.new_guards.push((1, b"m".to_vec()));
+        edit.new_files.push((1, file_edit(10, "a", "d")));
+        edit.new_files.push((1, file_edit(11, "m", "z")));
+        builder.apply(&edit);
+        let version = builder.finish();
+        assert!(version.validate().is_ok());
+
+        // Out-of-order guards are rejected.
+        let mut broken = FlsmVersion::new(4);
+        broken.levels[1].guards = vec![
+            GuardMeta::new(Vec::new()),
+            GuardMeta::new(b"t".to_vec()),
+            GuardMeta::new(b"g".to_vec()),
+        ];
+        assert!(broken.validate().is_err());
+
+        // A file attached to a guard it cannot overlap is rejected.
+        let mut misfiled = FlsmVersion::new(4);
+        misfiled.levels[1].guards = vec![GuardMeta::new(Vec::new()), GuardMeta::new(b"m".to_vec())];
+        misfiled.levels[2].guards = vec![GuardMeta::new(Vec::new()), GuardMeta::new(b"m".to_vec())];
+        misfiled.levels[3].guards = vec![GuardMeta::new(Vec::new()), GuardMeta::new(b"m".to_vec())];
+        let edit = file_edit(20, "x", "z");
+        let file = Arc::new(FileMetaData::new(
+            edit.number,
+            edit.file_size,
+            pebblesdb_common::InternalKey::from_encoded(edit.smallest),
+            pebblesdb_common::InternalKey::from_encoded(edit.largest),
+        ));
+        misfiled.levels[1].guards[0].files.push(file);
+        assert!(misfiled.validate().is_err());
+    }
+
+    #[test]
+    fn compaction_candidates_list_every_triggered_level_once() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let db = PathBuf::from("/flsm-candidates");
+        env.create_dir_all(&db).unwrap();
+        let mut opts = StoreOptions::default();
+        opts.level0_compaction_trigger = 2;
+        opts.max_sstables_per_guard = 2;
+        opts.enable_aggressive_compaction = false;
+        let mut vs = FlsmVersionSet::new(env, db, opts);
+        vs.create_new().unwrap();
+
+        // Trigger level 0 (two files) and guard fanout at levels 1 and 2.
+        let mut edit = FlsmVersionEdit::default();
+        edit.new_files.push((0, file_edit(10, "a", "b")));
+        edit.new_files.push((0, file_edit(11, "c", "d")));
+        for n in 20..23 {
+            edit.new_files.push((1, file_edit(n, "k", "p")));
+        }
+        for n in 30..33 {
+            edit.new_files.push((2, file_edit(n, "k", "p")));
+        }
+        vs.log_and_apply(edit).unwrap();
+
+        let candidates = vs.compaction_candidates();
+        assert_eq!(
+            candidates,
+            vec![
+                (0, CompactionReason::Level0Files),
+                (1, CompactionReason::GuardFanout),
+                (2, CompactionReason::GuardFanout),
+            ]
+        );
+        // The single-level picker returns the highest-priority candidate.
+        assert_eq!(
+            vs.pick_compaction_level(),
+            Some((0, CompactionReason::Level0Files))
+        );
     }
 
     #[test]

@@ -1,9 +1,17 @@
 //! An in-memory environment used by tests and fully-cached experiments.
 //!
-//! Besides being fast and hermetic, [`MemEnv`] supports *write truncation
-//! fault injection*: tests can ask the environment to drop the tail of files
-//! written after a marker, simulating a crash before data reached stable
-//! storage (used by the crash-recovery tests in the engine crates).
+//! Besides being fast and hermetic, [`MemEnv`] supports *fault injection*
+//! for crash testing:
+//!
+//! * [`MemEnv::truncate_file`] drops the tail of a file, simulating a torn
+//!   write at a crash point;
+//! * [`MemEnv::inject_write_error_after`] makes appends/syncs to matching
+//!   files start failing after a budget of successes, simulating a crash
+//!   *between* two writes (for example: compaction outputs fully written,
+//!   MANIFEST commit never happens);
+//! * [`MemEnv::set_write_latency_micros`] slows every append down, widening
+//!   the windows in which concurrent compaction jobs overlap so stress tests
+//!   can assert on parallelism deterministically.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -24,10 +32,60 @@ struct FileSystem {
     dirs: Vec<PathBuf>,
 }
 
+/// Shared write-fault configuration consulted by every writable file.
+#[derive(Default)]
+struct FaultState {
+    /// `(path substring, remaining successful appends)`. Once a pattern's
+    /// budget reaches zero, every later append or sync to a matching file
+    /// fails with an injected IO error.
+    fail_after: Vec<(String, u64)>,
+    /// `(path substring, microseconds)` of artificial latency added to every
+    /// append of a matching file; the empty pattern matches every file.
+    write_latency: Vec<(String, u64)>,
+}
+
+impl FaultState {
+    /// Charges one append against `path`; returns the injected error if a
+    /// matching pattern's success budget is exhausted, otherwise the total
+    /// artificial latency the append must pay.
+    fn check_append(&mut self, path: &Path) -> Result<u64> {
+        let name = path.to_string_lossy();
+        for (pattern, remaining) in &mut self.fail_after {
+            if name.contains(pattern.as_str()) {
+                if *remaining == 0 {
+                    return Err(Error::internal(format!(
+                        "injected write failure for {name}"
+                    )));
+                }
+                *remaining -= 1;
+            }
+        }
+        Ok(self
+            .write_latency
+            .iter()
+            .filter(|(pattern, _)| name.contains(pattern.as_str()))
+            .map(|(_, micros)| micros)
+            .sum())
+    }
+
+    /// Like [`FaultState::check_append`] but without consuming budget (used
+    /// by `sync`, which writes no new bytes).
+    fn check_sync(&self, path: &Path) -> Result<()> {
+        let name = path.to_string_lossy();
+        for (pattern, remaining) in &self.fail_after {
+            if name.contains(pattern.as_str()) && *remaining == 0 {
+                return Err(Error::internal(format!("injected sync failure for {name}")));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// An [`Env`] holding every file in memory.
 #[derive(Clone, Default)]
 pub struct MemEnv {
     fs: Arc<Mutex<FileSystem>>,
+    faults: Arc<Mutex<FaultState>>,
     stats: Arc<IoStats>,
 }
 
@@ -39,6 +97,43 @@ impl MemEnv {
 
     fn normalize(path: &Path) -> PathBuf {
         PathBuf::from(path)
+    }
+
+    /// After `successes` more appends to files whose path contains
+    /// `substring`, every further append or sync to such files fails.
+    ///
+    /// With `successes = 0` the next touch fails immediately — e.g.
+    /// `inject_write_error_after("MANIFEST", 0)` kills the store at the
+    /// moment a compaction tries to commit its version edit, *after* its
+    /// output sstables were fully written.
+    pub fn inject_write_error_after(&self, substring: &str, successes: u64) {
+        self.faults
+            .lock()
+            .fail_after
+            .push((substring.to_string(), successes));
+    }
+
+    /// Removes every injected write-error pattern (simulates the machine
+    /// coming back up healthy after the crash).
+    pub fn clear_fault_injection(&self) {
+        self.faults.lock().fail_after.clear();
+    }
+
+    /// Adds `micros` of artificial latency to every append, so tests can
+    /// widen compaction IO windows. `0` removes previously set delays.
+    pub fn set_write_latency_micros(&self, micros: u64) {
+        self.set_write_latency_micros_for("", micros);
+    }
+
+    /// Adds `micros` of artificial latency to appends of files whose path
+    /// contains `substring` (e.g. `".sst"` to emulate a slow device for
+    /// sstable writes while leaving the WAL fast). `0` removes the pattern.
+    pub fn set_write_latency_micros_for(&self, substring: &str, micros: u64) {
+        let mut faults = self.faults.lock();
+        faults.write_latency.retain(|(p, _)| p != substring);
+        if micros > 0 {
+            faults.write_latency.push((substring.to_string(), micros));
+        }
     }
 
     /// Truncates the named file to `len` bytes, simulating a torn write.
@@ -64,12 +159,18 @@ impl MemEnv {
 }
 
 struct MemWritableFile {
+    path: PathBuf,
     data: FileData,
+    faults: Arc<Mutex<FaultState>>,
     stats: Arc<IoStats>,
 }
 
 impl WritableFile for MemWritableFile {
     fn append(&mut self, data: &[u8]) -> Result<()> {
+        let latency = self.faults.lock().check_append(&self.path)?;
+        if latency > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(latency));
+        }
         self.data.write().extend_from_slice(data);
         self.stats.record_write(data.len() as u64);
         Ok(())
@@ -80,11 +181,13 @@ impl WritableFile for MemWritableFile {
     }
 
     fn sync(&mut self) -> Result<()> {
+        self.faults.lock().check_sync(&self.path)?;
         self.stats.record_sync();
         Ok(())
     }
 
     fn close(&mut self) -> Result<()> {
+        self.faults.lock().check_sync(&self.path)?;
         Ok(())
     }
 }
@@ -175,7 +278,9 @@ impl Env for MemEnv {
         fs.files.insert(Self::normalize(path), Arc::clone(&data));
         self.stats.record_file_created();
         Ok(Box::new(MemWritableFile {
+            path: Self::normalize(path),
             data,
+            faults: Arc::clone(&self.faults),
             stats: Arc::clone(&self.stats),
         }))
     }
@@ -306,6 +411,46 @@ mod tests {
         assert_eq!(old, 10);
         assert_eq!(env.file_size(path).unwrap(), 4);
         assert_eq!(env.read_file_to_vec(path).unwrap(), b"0123");
+    }
+
+    #[test]
+    fn injected_write_errors_fire_after_the_success_budget() {
+        let env = MemEnv::new();
+        env.inject_write_error_after("MANIFEST", 2);
+
+        // Non-matching files are unaffected.
+        let mut log = env.new_writable_file(Path::new("/db/000007.log")).unwrap();
+        log.append(b"fine").unwrap();
+        log.sync().unwrap();
+
+        let mut manifest = env
+            .new_writable_file(Path::new("/db/MANIFEST-000001"))
+            .unwrap();
+        manifest.append(b"one").unwrap();
+        manifest.append(b"two").unwrap();
+        assert!(manifest.append(b"three").is_err(), "budget exhausted");
+        assert!(manifest.sync().is_err(), "sync fails once budget is spent");
+        // Nothing past the budget reached the file.
+        assert_eq!(
+            env.read_file_to_vec(Path::new("/db/MANIFEST-000001"))
+                .unwrap(),
+            b"onetwo"
+        );
+
+        env.clear_fault_injection();
+        manifest.append(b"three").unwrap();
+        manifest.sync().unwrap();
+    }
+
+    #[test]
+    fn write_latency_injection_slows_appends() {
+        let env = MemEnv::new();
+        env.set_write_latency_micros(2_000);
+        let mut f = env.new_writable_file(Path::new("/slow")).unwrap();
+        let start = std::time::Instant::now();
+        f.append(b"x").unwrap();
+        assert!(start.elapsed() >= std::time::Duration::from_micros(2_000));
+        env.set_write_latency_micros(0);
     }
 
     #[test]

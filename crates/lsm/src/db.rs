@@ -8,6 +8,7 @@
 //! engine doubles as the LevelDB/HyperLevelDB/RocksDB comparison point in
 //! the benchmark harness.
 
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -44,7 +45,7 @@ use crate::version::{FileMetaData, Version, VersionEdit, VersionSet};
 /// multiple threads.
 pub struct LsmDb {
     inner: Arc<DbInner>,
-    background_thread: Mutex<Option<JoinHandle<()>>>,
+    background_threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
 struct DbInner {
@@ -58,6 +59,10 @@ struct DbInner {
     /// leader merges the group and performs WAL IO outside `state`.
     commit_queue: CommitQueue,
     work_available: Condvar,
+    /// Wakes the dedicated flush thread (imm -> level 0 never queues behind
+    /// a level compaction, mirroring the FLSM engine so comparisons of the
+    /// two write paths stay fair).
+    flush_available: Condvar,
     work_done: Condvar,
     shutting_down: AtomicBool,
     counters: EngineCounters,
@@ -75,6 +80,15 @@ struct DbState {
     log_file_number: u64,
     compact_pointer: Vec<Vec<u8>>,
     compaction_running: bool,
+    /// Whether the flush thread is writing `imm` to level 0 right now.
+    flush_running: bool,
+    /// Set when the last GC pass ran while a read or cursor still pinned an
+    /// old version (whose files it therefore kept); `flush` on a quiesced
+    /// store rescans only in that case instead of on every call.
+    gc_rescan_needed: bool,
+    /// Output file numbers of the in-flight flush or compaction; the GC
+    /// must not delete them before their version edit commits.
+    pending_outputs: BTreeSet<u64>,
     bg_error: Option<Error>,
 }
 
@@ -129,6 +143,9 @@ impl LsmDb {
             log_file_number: 0,
             compact_pointer: vec![Vec::new(); options.max_levels],
             compaction_running: false,
+            flush_running: false,
+            gc_rescan_needed: false,
+            pending_outputs: BTreeSet::new(),
             bg_error: None,
         };
 
@@ -159,6 +176,7 @@ impl LsmDb {
             state: Mutex::new(state),
             commit_queue: CommitQueue::new(),
             work_available: Condvar::new(),
+            flush_available: Condvar::new(),
             work_done: Condvar::new(),
             shutting_down: AtomicBool::new(false),
             counters: EngineCounters::new(),
@@ -170,15 +188,30 @@ impl LsmDb {
             inner.remove_obsolete_files(&mut state);
         }
 
+        // Flush/compaction split: a dedicated flush thread keeps imm -> L0
+        // latency independent of compaction length, exactly as in the FLSM
+        // engine. Level compactions themselves stay single-threaded here —
+        // classic leveled compaction rewrites overlapping next-level ranges,
+        // so disjoint jobs cannot be carved out the way guards allow.
+        let mut handles = Vec::new();
+        let flush_inner = Arc::clone(&inner);
+        handles.push(
+            std::thread::Builder::new()
+                .name("lsm-flush".to_string())
+                .spawn(move || DbInner::flush_main(flush_inner))
+                .map_err(|e| Error::internal(format!("spawn flush thread: {e}")))?,
+        );
         let bg_inner = Arc::clone(&inner);
-        let handle = std::thread::Builder::new()
-            .name("lsm-compaction".to_string())
-            .spawn(move || DbInner::background_main(bg_inner))
-            .map_err(|e| Error::internal(format!("spawn compaction thread: {e}")))?;
+        handles.push(
+            std::thread::Builder::new()
+                .name("lsm-compaction".to_string())
+                .spawn(move || DbInner::compaction_main(bg_inner))
+                .map_err(|e| Error::internal(format!("spawn compaction thread: {e}")))?,
+        );
 
         Ok(LsmDb {
             inner,
-            background_thread: Mutex::new(Some(handle)),
+            background_threads: Mutex::new(handles),
         })
     }
 
@@ -226,7 +259,8 @@ impl Drop for LsmDb {
     fn drop(&mut self) {
         self.inner.shutting_down.store(true, Ordering::SeqCst);
         self.inner.work_available.notify_all();
-        if let Some(handle) = self.background_thread.lock().take() {
+        self.inner.flush_available.notify_all();
+        for handle in self.background_threads.lock().drain(..) {
             let _ = handle.join();
         }
     }
@@ -447,7 +481,7 @@ impl DbInner {
             if state.imm.is_some() {
                 // Previous memtable still flushing.
                 let stall = Instant::now();
-                self.work_available.notify_one();
+                self.flush_available.notify_one();
                 self.work_done.wait(state);
                 self.counters
                     .record_stall(stall.elapsed().as_micros() as u64);
@@ -486,7 +520,7 @@ impl DbInner {
             let full_mem = std::mem::replace(&mut state.mem, Arc::new(MemTable::new()));
             state.imm = Some(full_mem);
             force = false;
-            self.work_available.notify_one();
+            self.flush_available.notify_one();
         }
     }
 
@@ -574,12 +608,38 @@ impl DbInner {
 
     // ----------------------------------------------------- background work
 
-    fn background_main(inner: Arc<DbInner>) {
+    /// The dedicated flush thread: turns `imm` into a level-0 sstable the
+    /// moment one exists, without queueing behind a level compaction.
+    fn flush_main(inner: Arc<DbInner>) {
         let mut state = inner.state.lock();
         loop {
             while !inner.shutting_down.load(Ordering::SeqCst)
-                && state.imm.is_none()
-                && !state.versions.needs_compaction()
+                && (state.imm.is_none() || state.bg_error.is_some())
+            {
+                inner.flush_available.wait(&mut state);
+            }
+            if inner.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            state.flush_running = true;
+            let result = inner.compact_memtable(&mut state);
+            state.flush_running = false;
+            if let Err(err) = result {
+                if state.bg_error.is_none() {
+                    state.bg_error = Some(err);
+                }
+            }
+            inner.work_done.notify_all();
+            inner.work_available.notify_all();
+        }
+    }
+
+    /// The level-compaction thread.
+    fn compaction_main(inner: Arc<DbInner>) {
+        let mut state = inner.state.lock();
+        loop {
+            while !inner.shutting_down.load(Ordering::SeqCst)
+                && (!state.versions.needs_compaction() || state.bg_error.is_some())
             {
                 inner.work_available.wait(&mut state);
             }
@@ -587,24 +647,23 @@ impl DbInner {
                 break;
             }
             state.compaction_running = true;
-            let result = inner.do_background_work(&mut state);
+            let result = match inner.pick_compaction(&mut state) {
+                Some(job) => {
+                    inner.counters.record_compaction_start();
+                    let result = inner.run_compaction(&mut state, job);
+                    inner.counters.record_compaction_end();
+                    result
+                }
+                None => Ok(()),
+            };
             state.compaction_running = false;
             if let Err(err) = result {
-                state.bg_error = Some(err);
+                if state.bg_error.is_none() {
+                    state.bg_error = Some(err);
+                }
             }
             inner.work_done.notify_all();
         }
-    }
-
-    fn do_background_work(&self, state: &mut MutexGuard<'_, DbState>) -> Result<()> {
-        if state.imm.is_some() {
-            self.compact_memtable(state)?;
-            return Ok(());
-        }
-        if let Some(job) = self.pick_compaction(state) {
-            self.run_compaction(state, job)?;
-        }
-        Ok(())
     }
 
     fn compact_memtable(&self, state: &mut MutexGuard<'_, DbState>) -> Result<()> {
@@ -613,13 +672,23 @@ impl DbInner {
             None => return Ok(()),
         };
         let number = state.versions.new_file_number();
+        // The new table is invisible to every version until the edit
+        // commits; keep the compaction thread's GC away from it meanwhile.
+        state.pending_outputs.insert(number);
         let start = Instant::now();
         let env = Arc::clone(&self.env);
         let db_path = self.db_path.clone();
         let options = self.options.clone();
         let meta = MutexGuard::unlocked(state, || {
             build_table_from_memtable(env.as_ref(), &db_path, &options, &imm, number)
-        })?;
+        });
+        let meta = match meta {
+            Ok(meta) => meta,
+            Err(err) => {
+                state.pending_outputs.remove(&number);
+                return Err(err);
+            }
+        };
 
         let mut edit = VersionEdit {
             log_number: Some(state.log_file_number),
@@ -630,8 +699,11 @@ impl DbInner {
             written = meta.file_size;
             edit.add_file(0, meta);
         }
-        state.versions.log_and_apply(edit)?;
+        let commit = state.versions.log_and_apply(edit);
+        state.pending_outputs.remove(&number);
+        commit?;
         state.imm = None;
+        self.counters.record_flush();
         self.counters
             .record_compaction(start.elapsed().as_micros() as u64, 0, written);
         self.remove_obsolete_files(state);
@@ -699,6 +771,8 @@ impl DbInner {
         let output_numbers: Vec<u64> = (0..estimated_outputs)
             .map(|_| state.versions.new_file_number())
             .collect();
+        // Protect the not-yet-committed outputs from the flush thread's GC.
+        state.pending_outputs.extend(output_numbers.iter().copied());
 
         Some(CompactionJob {
             level,
@@ -734,7 +808,11 @@ impl DbInner {
                 },
             ));
             state.compact_pointer[job.level] = file.largest.encoded().to_vec();
-            state.versions.log_and_apply(edit)?;
+            let commit = state.versions.log_and_apply(edit);
+            for number in &job.output_numbers {
+                state.pending_outputs.remove(number);
+            }
+            commit?;
             self.counters
                 .record_compaction(start.elapsed().as_micros() as u64, 0, 0);
             self.remove_obsolete_files(state);
@@ -748,7 +826,16 @@ impl DbInner {
             .map(|f| f.file_size)
             .sum();
 
-        let outputs = MutexGuard::unlocked(state, || self.compaction_io(&job))?;
+        let outputs = MutexGuard::unlocked(state, || self.compaction_io(&job));
+        let outputs = match outputs {
+            Ok(outputs) => outputs,
+            Err(err) => {
+                for number in &job.output_numbers {
+                    state.pending_outputs.remove(number);
+                }
+                return Err(err);
+            }
+        };
 
         let mut edit = VersionEdit::default();
         for file in &job.inputs {
@@ -765,7 +852,11 @@ impl DbInner {
         if let Some(last_input) = job.inputs.last() {
             state.compact_pointer[job.level] = last_input.largest.encoded().to_vec();
         }
-        state.versions.log_and_apply(edit)?;
+        let commit = state.versions.log_and_apply(edit);
+        for number in &job.output_numbers {
+            state.pending_outputs.remove(number);
+        }
+        commit?;
         self.counters.record_compaction(
             start.elapsed().as_micros() as u64,
             bytes_read,
@@ -850,7 +941,10 @@ impl DbInner {
     // -------------------------------------------------------------- cleanup
 
     fn remove_obsolete_files(&self, state: &mut MutexGuard<'_, DbState>) {
-        let live = state.versions.all_live_file_numbers();
+        // If a pinned old version kept files alive in this pass, a later
+        // quiesced `flush` must rescan once the pins drop.
+        let (live, pinned) = state.versions.live_files_and_pins();
+        state.gc_rescan_needed = pinned;
         let log_number = state.versions.log_number;
         let manifest_number = state.versions.manifest_number();
         let children = match self.env.children(&self.db_path) {
@@ -862,7 +956,9 @@ impl DbInner {
                 continue;
             };
             let keep = match ty {
-                FileType::Table => live.binary_search(&number).is_ok(),
+                FileType::Table => {
+                    live.binary_search(&number).is_ok() || state.pending_outputs.contains(&number)
+                }
                 FileType::WriteAheadLog => number >= log_number || number == state.log_file_number,
                 FileType::Descriptor => number >= manifest_number,
                 FileType::Temp => false,
@@ -895,11 +991,23 @@ impl DbInner {
             if let Some(err) = &state.bg_error {
                 return Err(err.clone());
             }
-            if state.imm.is_some() || state.versions.needs_compaction() || state.compaction_running
+            if state.imm.is_some()
+                || state.flush_running
+                || state.compaction_running
+                || state.versions.needs_compaction()
             {
+                self.flush_available.notify_one();
                 self.work_available.notify_one();
                 self.work_done.wait(&mut state);
             } else {
+                // Quiesced: reclaim files whose deletion a commit-time GC
+                // skipped because a read still pinned their version. Skipped
+                // when the last GC saw no pins — it already ran to
+                // completion, so rescanning the directory would be wasted
+                // work under the state lock.
+                if state.gc_rescan_needed {
+                    self.remove_obsolete_files(&mut state);
+                }
                 return Ok(());
             }
         }
@@ -923,6 +1031,10 @@ impl DbInner {
             disk_bytes_live: version.total_bytes(),
             num_files: version.num_files() as u64,
             compactions: EngineCounters::load(&self.counters.compactions),
+            flushes: EngineCounters::load(&self.counters.flushes),
+            max_concurrent_compactions: EngineCounters::load(
+                &self.counters.max_concurrent_compactions,
+            ),
             compaction_micros: EngineCounters::load(&self.counters.compaction_micros),
             compaction_bytes_read: EngineCounters::load(&self.counters.compaction_bytes_read),
             compaction_bytes_written: EngineCounters::load(&self.counters.compaction_bytes_written),

@@ -449,16 +449,30 @@ impl VersionSet {
     /// File numbers referenced by the current version or any version still
     /// pinned by an in-flight read.
     pub fn all_live_file_numbers(&mut self) -> Vec<u64> {
+        self.live_files_and_pins().0
+    }
+
+    /// File numbers referenced by the current version or any pinned version,
+    /// plus whether a version *other than* `current` contributed (a read or
+    /// cursor still pins it). Both facts come from the same observation of
+    /// the pin list — a GC that keeps a pinned version's files must also
+    /// learn that a later pass may find more garbage, even if the pin drops
+    /// immediately afterwards.
+    pub fn live_files_and_pins(&mut self) -> (Vec<u64>, bool) {
         let mut live: Vec<u64> = self.current.live_file_numbers();
         self.live_versions.retain(|weak| weak.strong_count() > 0);
+        let mut pinned = false;
         for weak in &self.live_versions {
             if let Some(version) = weak.upgrade() {
-                live.extend(version.live_file_numbers());
+                if !Arc::ptr_eq(&version, &self.current) {
+                    pinned = true;
+                    live.extend(version.live_file_numbers());
+                }
             }
         }
         live.sort_unstable();
         live.dedup();
-        live
+        (live, pinned)
     }
 
     /// Writes a fresh MANIFEST describing an empty database.

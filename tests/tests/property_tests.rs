@@ -8,6 +8,7 @@
 
 use std::collections::BTreeMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
@@ -19,6 +20,7 @@ use pebblesdb_common::coding;
 use pebblesdb_common::key::{
     compare_internal_keys, encode_internal_key, parse_internal_key, ValueType,
 };
+use pebblesdb_common::snapshot::Snapshot;
 use pebblesdb_common::{KvStore, StoreOptions, StorePreset};
 use pebblesdb_env::{Env, MemEnv};
 use pebblesdb_lsm::LsmDb;
@@ -135,6 +137,112 @@ fn baseline_lsm_matches_model() {
         .unwrap();
         eprintln!("case {case}: {} ops", ops.len());
         check_engine_against_model(&store, &ops);
+    }
+}
+
+/// Model-based differential test under *concurrent* compaction: one thread
+/// applies random put/delete/scan sequences against the store and a
+/// `BTreeMap` oracle while a churn thread keeps forcing flushes, so the
+/// per-guard compaction pool (4 workers) constantly reorganizes the tree
+/// underneath the reads. Snapshots pinned along the way must keep replaying
+/// the oracle state captured at pin time, no matter how many compactions
+/// have committed since. Debug builds additionally run
+/// `FlsmVersion::validate()` after every concurrent commit (guards sorted
+/// and disjoint), via the `debug_assert!` inside `log_and_apply`.
+#[test]
+fn pebblesdb_concurrent_compactions_match_model_and_snapshots() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0010);
+    for case in 0..3 {
+        let mut opts = tiny_options();
+        opts.compaction_threads = 4;
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let store: Arc<dyn KvStore> =
+            Arc::new(PebblesDb::open_with_options(env, Path::new("/prop-conc"), opts).unwrap());
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let churn = {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            // Forcing memtable rotations makes level-0 fill up fast, keeping
+            // the compaction pool busy for the whole run.
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    store.flush().expect("churn flush must not hit bg_error");
+                    std::thread::yield_now();
+                }
+            })
+        };
+
+        let ops: Vec<Op> = (0..600).map(|_| random_op(&mut rng)).collect();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        type PinnedState = (Snapshot, BTreeMap<Vec<u8>, Vec<u8>>);
+        let mut pinned: Vec<PinnedState> = Vec::new();
+        for (index, op) in ops.iter().enumerate() {
+            match op {
+                Op::Put(id, value) => {
+                    store.put(&key_of(*id), value).unwrap();
+                    model.insert(key_of(*id), value.clone());
+                }
+                Op::Delete(id) => {
+                    store.delete(&key_of(*id)).unwrap();
+                    model.remove(&key_of(*id));
+                }
+                Op::Scan(id, limit) => {
+                    let limit = (*limit as usize % 20) + 1;
+                    let got = store.scan(&key_of(*id), &[], limit).unwrap();
+                    let expected: Vec<(Vec<u8>, Vec<u8>)> = model
+                        .range(key_of(*id)..)
+                        .take(limit)
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect();
+                    assert_eq!(got, expected, "case {case}: scan at op {index}");
+                }
+            }
+            if index % 150 == 0 {
+                pinned.push((store.snapshot(), model.clone()));
+            }
+        }
+        stop.store(true, Ordering::Release);
+        churn.join().unwrap();
+
+        // Every pinned snapshot still replays the oracle state captured at
+        // pin time, even though compactions have rewritten the tree since.
+        for (pin_index, (snapshot, pinned_model)) in pinned.iter().enumerate() {
+            let read_opts = snapshot.read_options();
+            for id in 0..512u16 {
+                assert_eq!(
+                    store.get_opts(&read_opts, &key_of(id)).unwrap(),
+                    pinned_model.get(&key_of(id)).cloned(),
+                    "case {case}: snapshot {pin_index}, key {id}"
+                );
+            }
+            let got = store.scan_opts(&read_opts, b"key", &[], 10_000).unwrap();
+            let expected: Vec<(Vec<u8>, Vec<u8>)> = pinned_model
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            assert_eq!(got, expected, "case {case}: snapshot {pin_index} full scan");
+        }
+        drop(pinned);
+
+        // Final agreement before and after a last full flush.
+        for check_after_flush in [false, true] {
+            if check_after_flush {
+                store.flush().unwrap();
+            }
+            for id in 0..512u16 {
+                assert_eq!(
+                    store.get(&key_of(id)).unwrap(),
+                    model.get(&key_of(id)).cloned(),
+                    "case {case}: key {id} (after_flush={check_after_flush})"
+                );
+            }
+            let got = store.scan(b"key", &[], 10_000).unwrap();
+            let expected: Vec<(Vec<u8>, Vec<u8>)> =
+                model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            assert_eq!(got, expected, "case {case}: full scan");
+        }
+        assert_eq!(store.stats().memtable_clones, 0);
     }
 }
 
