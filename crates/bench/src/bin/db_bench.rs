@@ -80,6 +80,7 @@ fn main() {
             "write amp".to_string(),
             "stall ms".to_string(),
             "max conc".to_string(),
+            "cache hit%".to_string(),
         ],
     );
 
@@ -108,10 +109,15 @@ fn main() {
             format_ratio(result.write_amplification()),
             format!("{:.1}", result.stall_micros as f64 / 1000.0),
             result.max_concurrent_compactions.to_string(),
+            result
+                .block_cache_hit_pct()
+                .map(|pct| format!("{pct:.1}%"))
+                .unwrap_or_else(|| "-".to_string()),
         ]);
         store.flush().expect("flush between benchmarks");
     }
     report.add_note("Figure 5.1(b) of the paper runs fillseq/fillrandom/readrandom/seekrandom/deleterandom with 16 B keys and 1 KiB values.");
     report.add_note("'max conc' is the store-lifetime high-water mark of concurrently running compaction jobs (>1 means per-guard jobs overlapped).");
+    report.add_note("'cache hit%' is the block-cache hit rate over the benchmark interval ('-' when the cache was never consulted, e.g. pure fills).");
     report.print();
 }

@@ -70,6 +70,10 @@ pub struct BenchResult {
     /// Largest number of compaction jobs the store ever ran concurrently
     /// (a lifetime high-water mark, not an interval delta).
     pub max_concurrent_compactions: u64,
+    /// Block-cache hits during the workload.
+    pub block_cache_hits: u64,
+    /// Block-cache misses during the workload.
+    pub block_cache_misses: u64,
 }
 
 impl BenchResult {
@@ -88,6 +92,17 @@ impl BenchResult {
             0.0
         } else {
             self.bytes_written as f64 / self.user_bytes as f64
+        }
+    }
+
+    /// Block-cache hit percentage over the measured interval, or `None`
+    /// when the cache was never consulted (e.g. pure fill workloads).
+    pub fn block_cache_hit_pct(&self) -> Option<f64> {
+        let total = self.block_cache_hits + self.block_cache_misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.block_cache_hits as f64 * 100.0 / total as f64)
         }
     }
 }
@@ -202,6 +217,12 @@ impl Workload {
                 .write_stall_micros
                 .saturating_sub(stats_before.write_stall_micros),
             max_concurrent_compactions: stats_after.max_concurrent_compactions,
+            block_cache_hits: stats_after
+                .block_cache_hits
+                .saturating_sub(stats_before.block_cache_hits),
+            block_cache_misses: stats_after
+                .block_cache_misses
+                .saturating_sub(stats_before.block_cache_misses),
         })
     }
 

@@ -427,6 +427,7 @@ impl KvStore for BTreeStore {
             write_stalls: 0,
             write_stall_micros: 0,
             memtable_clones: 0,
+            ..Default::default()
         }
     }
 

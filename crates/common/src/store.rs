@@ -70,6 +70,16 @@ pub struct StoreStats {
     /// concurrent arena memtable makes this structurally zero; the field is
     /// kept so tests can assert the copy-on-write path never returns.
     pub memtable_clones: u64,
+    /// Block-cache lookups that were served from memory (sstable data
+    /// blocks). Engines without a block cache report 0.
+    pub block_cache_hits: u64,
+    /// Block-cache lookups that had to read the device.
+    pub block_cache_misses: u64,
+    /// Table-cache lookups that found the sstable reader already open.
+    pub table_cache_hits: u64,
+    /// Table-cache lookups that had to open (and parse the footer of) the
+    /// sstable.
+    pub table_cache_misses: u64,
 }
 
 impl StoreStats {

@@ -20,8 +20,8 @@ use pebblesdb_common::key::{
     parse_internal_key, InternalKey, SequenceNumber, ValueType, MAX_SEQUENCE_NUMBER,
 };
 use pebblesdb_common::{Error, ReadOptions, Result, StoreOptions};
+use pebblesdb_engine::FileMetaData;
 use pebblesdb_env::Env;
-use pebblesdb_lsm::FileMetaData;
 use pebblesdb_sstable::{TableBuilder, TableCache};
 
 use crate::guards::guard_index_for_key;
@@ -494,8 +494,8 @@ mod tests {
     use super::*;
     use crate::version::{FlsmVersionBuilder, FlsmVersionEdit};
     use pebblesdb_common::key::encode_internal_key;
+    use pebblesdb_engine::FileMetaDataEdit;
     use pebblesdb_env::MemEnv;
-    use pebblesdb_lsm::version::FileMetaDataEdit;
     use std::path::PathBuf;
 
     fn write_table(

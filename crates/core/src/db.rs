@@ -1,603 +1,150 @@
-//! PebblesDB: the FLSM-based key-value store.
+//! PebblesDB: the FLSM-based key-value store, as a [`ShapePolicy`].
 //!
-//! The write path (WAL + memtable + level-0 flush) matches the
-//! HyperLevelDB-style baseline, because PebblesDB was built by modifying
-//! HyperLevelDB (section 4.4 of the paper). Everything below level 0 is
-//! different: levels are organised by guards, compaction fragments data into
-//! child guards instead of rewriting the next level, and reads use
-//! sstable-level bloom filters, parallel seeks and seek-triggered compaction
-//! to claw back the read performance the FLSM structure gives up.
+//! The write path (WAL + memtable + level-0 flush), recovery, flush thread,
+//! compaction worker pool and garbage collection all live in the shared
+//! engine chassis ([`pebblesdb_engine`]) — they match the HyperLevelDB-style
+//! baseline because PebblesDB was built by modifying HyperLevelDB (section
+//! 4.4 of the paper). Everything below level 0 is what this file supplies:
+//! levels are organised by guards, compaction fragments data into child
+//! guards instead of rewriting the next level, and reads use sstable-level
+//! bloom filters, parallel seeks and seek-triggered compaction to claw back
+//! the read performance the FLSM structure gives up.
 
-use std::collections::BTreeSet;
-use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex, MutexGuard};
-
-use pebblesdb_common::commit::{CommitGroup, CommitQueue, Role};
-use pebblesdb_common::counters::EngineCounters;
-use pebblesdb_common::filename::{log_file_name, parse_file_name, table_file_name, FileType};
-use pebblesdb_common::iterator::{DbIterator, MergingIterator, PinnedIterator};
-use pebblesdb_common::key::{InternalKey, LookupKey, SequenceNumber, ValueType};
-use pebblesdb_common::snapshot::{Snapshot, SnapshotList};
-use pebblesdb_common::user_iter::UserIterator;
+use pebblesdb_common::iterator::DbIterator;
+use pebblesdb_common::key::LookupKey;
+use pebblesdb_common::snapshot::Snapshot;
 use pebblesdb_common::{
-    Error, KvStore, ReadOptions, Result, StoreOptions, StorePreset, StoreStats, WriteBatch,
-    WriteOptions,
+    KvStore, ReadOptions, Result, StoreOptions, StorePreset, StoreStats, WriteBatch, WriteOptions,
 };
+use pebblesdb_engine::{EngineDb, EngineIo, FileMetaData, JobClaim, PolicyCtx, ShapePolicy};
 use pebblesdb_env::Env;
-use pebblesdb_lsm::FileMetaData;
-use pebblesdb_skiplist::memtable::MemTableGet;
-use pebblesdb_skiplist::MemTable;
-use pebblesdb_sstable::{TableBuilder, TableCache};
-use pebblesdb_wal::{LogReader, LogWriter};
 
 use crate::compaction::{build_compaction_job, run_compaction_io, FlsmCompactionJob};
 use crate::guards::{GuardPicker, UncommittedGuards};
-use crate::version::{CompactionReason, FlsmVersionEdit, FlsmVersionSet};
+use crate::version::{CompactionReason, FlsmVersion, FlsmVersionEdit, FlsmVersionSet};
 
-/// A handle to an open PebblesDB database.
-pub struct PebblesDb {
-    inner: Arc<DbInner>,
-    background_threads: Mutex<Vec<JoinHandle<()>>>,
-}
-
-struct DbInner {
+/// The guarded FLSM shape policy.
+pub struct FlsmPolicy {
     options: StoreOptions,
-    env: Arc<dyn Env>,
-    db_path: PathBuf,
-    table_cache: Arc<TableCache>,
     guard_picker: GuardPicker,
-    state: Mutex<DbState>,
-    /// Group-commit writer queue: concurrent writers enqueue batches, one
-    /// leader merges the group and performs WAL IO outside `state`.
-    commit_queue: CommitQueue,
-    /// Wakes the compaction worker pool.
-    work_available: Condvar,
-    /// Wakes the dedicated flush thread (imm -> level 0 never queues behind
-    /// a large level compaction).
-    flush_available: Condvar,
-    /// Wakes writers stalled in `make_room_for_write` and `flush` callers.
-    work_done: Condvar,
-    shutting_down: AtomicBool,
-    counters: EngineCounters,
     /// Consecutive seeks since the last write (seek-triggered compaction).
     consecutive_seeks: AtomicUsize,
-    engine_label: String,
-    snapshots: Arc<SnapshotList>,
+    label: &'static str,
 }
 
-struct DbState {
-    /// The active memtable. Concurrent: the group-commit leader inserts via
-    /// `&self` while `get` and streaming cursors read it lock-free, so the
-    /// table is never cloned — when full it is frozen whole into `imm`.
-    mem: Arc<MemTable>,
-    imm: Option<Arc<MemTable>>,
-    versions: FlsmVersionSet,
-    uncommitted_guards: UncommittedGuards,
-    log: Option<LogWriter>,
-    log_file_number: u64,
-    /// Input file numbers of every in-flight compaction job. A worker
-    /// claiming new work never selects a guard whose files intersect this
-    /// set, so concurrent jobs always operate on disjoint guard subsets.
-    claimed_inputs: BTreeSet<u64>,
-    /// Output file numbers of uncommitted jobs (flushes and compactions).
-    /// `remove_obsolete_files` must never delete these: they are invisible
-    /// to every version until their job's `log_and_apply` commits.
-    pending_outputs: BTreeSet<u64>,
-    /// Level-compaction jobs currently claimed or running.
-    active_compactions: usize,
-    /// Whether the flush thread is writing `imm` to level 0 right now.
-    flush_running: bool,
-    /// Set when the last GC pass ran while a read or cursor still pinned an
-    /// old version (whose files it therefore kept); `flush` on a quiesced
-    /// store rescans only in that case instead of on every call.
-    gc_rescan_needed: bool,
-    seek_compaction_pending: bool,
-    bg_error: Option<Error>,
+/// Mutable policy state kept under the chassis state mutex.
+pub struct FlsmPolicyState {
+    /// Guards chosen by writers but not yet committed by a compaction.
+    pub uncommitted_guards: UncommittedGuards,
+    /// A seek-triggered compaction request is pending.
+    pub seek_compaction_pending: bool,
 }
 
-impl PebblesDb {
-    /// Opens (creating if necessary) a PebblesDB database at `path`.
-    pub fn open(env: Arc<dyn Env>, path: &Path) -> Result<PebblesDb> {
-        Self::open_with_options(env, path, StoreOptions::with_preset(StorePreset::PebblesDb))
-    }
-
-    /// Opens a database with explicit options.
-    pub fn open_with_options(
-        env: Arc<dyn Env>,
-        path: &Path,
-        options: StoreOptions,
-    ) -> Result<PebblesDb> {
+impl FlsmPolicy {
+    fn new(options: &StoreOptions) -> FlsmPolicy {
         let label = if options.max_sstables_per_guard == 1 {
-            StorePreset::PebblesDb1.name().to_string()
+            StorePreset::PebblesDb1.name()
         } else {
-            StorePreset::PebblesDb.name().to_string()
+            StorePreset::PebblesDb.name()
         };
-        env.create_dir_all(path)?;
-        let table_cache = Arc::new(TableCache::new(
-            Arc::clone(&env),
-            path.to_path_buf(),
-            options.clone(),
-            options.max_open_files,
-        ));
-        let mut versions =
-            FlsmVersionSet::new(Arc::clone(&env), path.to_path_buf(), options.clone());
-
-        let current_exists = env.file_exists(&pebblesdb_common::filename::current_file_name(path));
-        if current_exists {
-            if options.error_if_exists {
-                return Err(Error::invalid_argument("database already exists"));
-            }
-            versions.recover()?;
-        } else {
-            if !options.create_if_missing {
-                return Err(Error::invalid_argument("database does not exist"));
-            }
-            versions.create_new()?;
-        }
-
-        let mut state = DbState {
-            mem: Arc::new(MemTable::new()),
-            imm: None,
-            versions,
-            uncommitted_guards: UncommittedGuards::new(options.max_levels),
-            log: None,
-            log_file_number: 0,
-            claimed_inputs: BTreeSet::new(),
-            pending_outputs: BTreeSet::new(),
-            active_compactions: 0,
-            flush_running: false,
-            gc_rescan_needed: false,
-            seek_compaction_pending: false,
-            bg_error: None,
-        };
-
-        recover_wals(env.as_ref(), path, &options, &mut state)?;
-
-        let log_number = state.versions.new_file_number();
-        let log_file = env.new_writable_file(&log_file_name(path, log_number))?;
-        state.log = Some(LogWriter::new(log_file));
-        state.log_file_number = log_number;
-        let edit = FlsmVersionEdit {
-            log_number: Some(log_number),
-            ..Default::default()
-        };
-        state.versions.log_and_apply(edit)?;
-
-        let inner = Arc::new(DbInner {
-            guard_picker: GuardPicker::new(&options),
-            options,
-            env,
-            db_path: path.to_path_buf(),
-            table_cache,
-            state: Mutex::new(state),
-            commit_queue: CommitQueue::new(),
-            work_available: Condvar::new(),
-            flush_available: Condvar::new(),
-            work_done: Condvar::new(),
-            shutting_down: AtomicBool::new(false),
-            counters: EngineCounters::new(),
+        FlsmPolicy {
+            guard_picker: GuardPicker::new(options),
+            options: options.clone(),
             consecutive_seeks: AtomicUsize::new(0),
-            engine_label: label,
-            snapshots: SnapshotList::new(),
-        });
-
-        {
-            let mut state = inner.state.lock();
-            inner.remove_obsolete_files(&mut state);
-        }
-
-        // The background subsystem: one dedicated flush thread (imm -> L0
-        // never waits behind a large compaction) plus a pool of
-        // `compaction_threads` workers that each claim a disjoint guard
-        // subset of a level as an independent job.
-        let mut handles = Vec::new();
-        let flush_inner = Arc::clone(&inner);
-        handles.push(
-            std::thread::Builder::new()
-                .name("pebblesdb-flush".to_string())
-                .spawn(move || DbInner::flush_main(flush_inner))
-                .map_err(|e| Error::internal(format!("spawn flush thread: {e}")))?,
-        );
-        for worker in 0..inner.options.compaction_threads.max(1) {
-            let bg_inner = Arc::clone(&inner);
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("pebblesdb-compact-{worker}"))
-                    .spawn(move || DbInner::compaction_worker_main(bg_inner))
-                    .map_err(|e| Error::internal(format!("spawn compaction thread: {e}")))?,
-            );
-        }
-
-        Ok(PebblesDb {
-            inner,
-            background_threads: Mutex::new(handles),
-        })
-    }
-
-    /// The options this database was opened with.
-    pub fn options(&self) -> &StoreOptions {
-        &self.inner.options
-    }
-
-    /// Per-level summary string (files and guards per level).
-    pub fn level_summary(&self) -> String {
-        let state = self.inner.state.lock();
-        state.versions.current_unpinned().level_summary()
-    }
-
-    /// Number of guards (including the sentinel) at each level.
-    pub fn guards_per_level(&self) -> Vec<usize> {
-        let state = self.inner.state.lock();
-        state.versions.current_unpinned().guards_per_level()
-    }
-
-    /// Number of files at each level.
-    pub fn files_per_level(&self) -> Vec<usize> {
-        let state = self.inner.state.lock();
-        let version = state.versions.current_unpinned();
-        (0..version.num_levels())
-            .map(|l| version.level_files(l))
-            .collect()
-    }
-
-    /// Total number of guards that currently hold no sstables.
-    pub fn empty_guards(&self) -> usize {
-        let state = self.inner.state.lock();
-        state.versions.current_unpinned().empty_guards()
-    }
-
-    /// Flushes the memtable and waits until no compaction work is pending.
-    pub fn compact_all(&self) -> Result<()> {
-        self.flush()
-    }
-}
-
-impl Drop for PebblesDb {
-    fn drop(&mut self) {
-        self.inner.shutting_down.store(true, Ordering::SeqCst);
-        self.inner.work_available.notify_all();
-        self.inner.flush_available.notify_all();
-        for handle in self.background_threads.lock().drain(..) {
-            let _ = handle.join();
+            label,
         }
     }
-}
 
-/// Replays write-ahead logs newer than the manifest's log number.
-fn recover_wals(
-    env: &dyn Env,
-    db_path: &Path,
-    options: &StoreOptions,
-    state: &mut DbState,
-) -> Result<()> {
-    let min_log = state.versions.log_number;
-    let mut log_numbers: Vec<u64> = env
-        .children(db_path)?
-        .iter()
-        .filter_map(|name| parse_file_name(name))
-        .filter(|(ty, number)| *ty == FileType::WriteAheadLog && *number >= min_log)
-        .map(|(_, number)| number)
-        .collect();
-    log_numbers.sort_unstable();
-
-    for number in log_numbers {
-        state.versions.mark_file_number_used(number);
-        let file = env.new_sequential_file(&log_file_name(db_path, number))?;
-        let mut reader = LogReader::new(file);
-        // A clean end or a torn tail both end replay of this log.
-        while let Ok(Some(record)) = reader.read_record() {
-            let batch = match WriteBatch::from_contents(record) {
-                Ok(batch) => batch,
-                Err(_) => break,
-            };
-            let base_seq = batch.sequence();
-            let mut applied = 0u64;
-            for item in batch.iter() {
-                let item = match item {
-                    Ok(item) => item,
-                    Err(_) => break,
-                };
-                state
-                    .mem
-                    .add(item.sequence, item.value_type, item.key, item.value);
-                applied += 1;
-            }
-            let last = base_seq + applied.saturating_sub(1);
-            if last > state.versions.last_sequence {
-                state.versions.last_sequence = last;
-            }
-            if state.mem.approximate_memory_usage() > options.write_buffer_size {
-                flush_recovery_memtable(env, db_path, options, state)?;
+    /// Picks the level whose guards hold the most overlapping sstables for a
+    /// seek-triggered compaction, if any guard has at least two.
+    fn pick_seek_compaction_level(version: &FlsmVersion) -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None;
+        if version.level0.len() >= 2 {
+            best = Some((0, version.level0.len()));
+        }
+        for (level_idx, level) in version.levels.iter().enumerate().skip(1) {
+            let fanout = level.max_files_in_guard();
+            if fanout >= 2 && best.map(|(_, b)| fanout > b).unwrap_or(true) {
+                best = Some((level_idx, fanout));
             }
         }
+        best.map(|(level, _)| level)
     }
-    if !state.mem.is_empty() {
-        flush_recovery_memtable(env, db_path, options, state)?;
-    }
-    Ok(())
 }
 
-fn flush_recovery_memtable(
-    env: &dyn Env,
-    db_path: &Path,
-    options: &StoreOptions,
-    state: &mut DbState,
-) -> Result<()> {
-    let number = state.versions.new_file_number();
-    let mem = std::mem::replace(&mut state.mem, Arc::new(MemTable::new()));
-    if let Some(meta) = build_table_from_memtable(env, db_path, options, &mem, number)? {
-        let mut edit = FlsmVersionEdit::default();
-        edit.add_file(0, &meta);
-        state.versions.log_and_apply(edit)?;
-    }
-    Ok(())
-}
+impl ShapePolicy for FlsmPolicy {
+    type Versions = FlsmVersionSet;
+    type State = FlsmPolicyState;
+    type Job = FlsmCompactionJob;
 
-/// Writes the contents of a memtable into a new level-0 sstable.
-fn build_table_from_memtable(
-    env: &dyn Env,
-    db_path: &Path,
-    options: &StoreOptions,
-    mem: &MemTable,
-    file_number: u64,
-) -> Result<Option<FileMetaData>> {
-    let mut iter = mem.iter();
-    iter.seek_to_first();
-    if !iter.valid() {
-        return Ok(None);
+    fn engine_name(&self) -> String {
+        self.label.to_string()
     }
-    let file = env.new_writable_file(&table_file_name(db_path, file_number))?;
-    let mut builder = TableBuilder::new(options, file);
-    let mut smallest: Option<Vec<u8>> = None;
-    let mut largest: Vec<u8> = Vec::new();
-    while iter.valid() {
-        if smallest.is_none() {
-            smallest = Some(iter.key().to_vec());
+
+    fn new_versions(&self, io: &EngineIo) -> FlsmVersionSet {
+        FlsmVersionSet::new(Arc::clone(&io.env), io.db_path.clone(), io.options.clone())
+    }
+
+    fn new_state(&self) -> FlsmPolicyState {
+        FlsmPolicyState {
+            uncommitted_guards: UncommittedGuards::new(self.options.max_levels),
+            seek_compaction_pending: false,
         }
-        largest = iter.key().to_vec();
-        builder.add(iter.key(), iter.value())?;
-        iter.next();
     }
-    let file_size = builder.finish()?;
-    Ok(Some(FileMetaData::new(
-        file_number,
-        file_size,
-        InternalKey::from_encoded(smallest.unwrap_or_default()),
-        InternalKey::from_encoded(largest),
-    )))
-}
 
-/// The sequence number a read issued with `opts` may observe: the requested
-/// snapshot, clamped to the store's current sequence.
-fn visible_sequence(opts: &ReadOptions, last_sequence: SequenceNumber) -> SequenceNumber {
-    opts.snapshot
-        .map(|snap| snap.min(last_sequence))
-        .unwrap_or(last_sequence)
-}
+    // ------------------------------------------------------------ write path
 
-impl DbInner {
-    // ---------------------------------------------------------------- write
-
-    fn write(&self, batch: WriteBatch, opts: &WriteOptions) -> Result<()> {
-        if batch.is_empty() {
-            return Ok(());
-        }
-        // Writes reset the consecutive-seek counter (section 4.2: seek-based
-        // compaction targets read-only phases).
+    /// Writes reset the consecutive-seek counter (section 4.2: seek-based
+    /// compaction targets read-only phases).
+    fn note_write(&self) {
         self.consecutive_seeks.store(0, Ordering::Relaxed);
-
-        let mut user_bytes = 0u64;
-        for record in batch.iter() {
-            let record = record?;
-            user_bytes += (record.key.len() + record.value.len()) as u64;
-        }
-
-        let ticket = self.commit_queue.submit(Some(batch), opts.sync);
-        let result = match self.commit_queue.wait_turn(&ticket) {
-            Role::Done(result) => result,
-            Role::Leader(group) => self.commit(group),
-        };
-        if result.is_ok() {
-            self.counters.add_user_bytes(user_bytes);
-        }
-        result
     }
 
-    /// Commits a write group as its leader: make room, reserve a sequence
-    /// range, then append + sync the WAL and apply the merged batch to the
-    /// concurrent memtable **outside** the state mutex, so readers and the
-    /// compaction thread proceed during the IO. Guard selection (a pure hash
-    /// of each key) also runs unlocked; the chosen guards are registered
-    /// under the lock after the apply. The new sequence is only published
-    /// (making the group visible) after the apply succeeds.
-    fn commit(&self, mut group: CommitGroup) -> Result<()> {
-        let mut state = self.state.lock();
-        let force = group.force_rotate && !state.mem.is_empty();
-        let mut result = self.make_room_for_write(&mut state, force);
-
-        if result.is_ok() && !group.batch.is_empty() {
-            let seq = state.versions.last_sequence + 1;
-            group.batch.set_sequence(seq);
-            let count = u64::from(group.batch.count());
-
-            // Only the leader (that's us, until `complete`) touches the log
-            // or inserts into `mem`, so both can leave the mutex.
-            let mut log = state.log.take();
-            let mem = Arc::clone(&state.mem);
-            let batch = &group.batch;
-            let sync = group.sync;
-            let guard_picker = &self.guard_picker;
-            let io_result =
-                MutexGuard::unlocked(&mut state, || -> Result<Vec<(usize, Vec<u8>)>> {
-                    if let Some(log) = log.as_mut() {
-                        log.add_record(batch.contents())?;
-                        if sync {
-                            log.sync()?;
-                        }
-                    }
-                    // Guard selection: every inserted key is hashed; selected
-                    // keys become uncommitted guards for their level and all
-                    // deeper ones.
-                    let mut new_guards = Vec::new();
-                    for record in batch.iter() {
-                        let record = record?;
-                        if record.value_type == ValueType::Value {
-                            if let Some(level) = guard_picker.guard_level(record.key) {
-                                new_guards.push((level, record.key.to_vec()));
-                            }
-                        }
-                        mem.add(record.sequence, record.value_type, record.key, record.value);
-                    }
-                    Ok(new_guards)
-                });
-            state.log = log;
-            match io_result {
-                Ok(new_guards) => {
-                    for (level, key) in new_guards {
-                        state.uncommitted_guards.add(level, &key);
-                    }
-                    state.versions.last_sequence = seq + count - 1;
-                }
-                Err(err) => {
-                    // A failed WAL append/sync may have lost acknowledged
-                    // bytes; poison the store like LevelDB does.
-                    if state.bg_error.is_none() {
-                        state.bg_error = Some(err.clone());
-                    }
-                    result = Err(err);
-                }
-            }
-        }
-        drop(state);
-        self.commit_queue.complete(group, &result);
-        result
+    /// Guard selection: a pure hash of the key, safe to run in the unlocked
+    /// group-commit apply. Selected keys become uncommitted guards for their
+    /// level and all deeper ones once absorbed under the lock.
+    fn observe_key(&self, key: &[u8]) -> Option<(usize, Vec<u8>)> {
+        self.guard_picker
+            .guard_level(key)
+            .map(|level| (level, key.to_vec()))
     }
 
-    fn make_room_for_write(&self, state: &mut MutexGuard<'_, DbState>, force: bool) -> Result<()> {
-        let mut allow_delay = !force;
-        let mut force = force;
-        loop {
-            if let Some(err) = &state.bg_error {
-                return Err(err.clone());
-            }
-            let level0_files = state.versions.current_unpinned().level0.len();
-            if allow_delay && level0_files >= self.options.level0_slowdown_writes_trigger {
-                allow_delay = false;
-                let stall = Instant::now();
-                self.work_available.notify_all();
-                MutexGuard::unlocked(state, || std::thread::sleep(Duration::from_millis(1)));
-                self.counters
-                    .record_stall(stall.elapsed().as_micros() as u64);
-                continue;
-            }
-            if !force && state.mem.approximate_memory_usage() <= self.options.write_buffer_size {
-                return Ok(());
-            }
-            if state.imm.is_some() {
-                let stall = Instant::now();
-                self.flush_available.notify_one();
-                self.work_done.wait(state);
-                self.counters
-                    .record_stall(stall.elapsed().as_micros() as u64);
-                continue;
-            }
-            if level0_files >= self.options.level0_stop_writes_trigger {
-                let stall = Instant::now();
-                self.work_available.notify_all();
-                self.work_done.wait(state);
-                self.counters
-                    .record_stall(stall.elapsed().as_micros() as u64);
-                continue;
-            }
-
-            // Switch to a fresh memtable and WAL. The full memtable is
-            // frozen whole — cursors still pinning it keep reading it in
-            // `imm` (and beyond, through their own `Arc`s) with no copy.
-            let new_log_number = state.versions.new_file_number();
-            let log_file = self
-                .env
-                .new_writable_file(&log_file_name(&self.db_path, new_log_number))?;
-            let close_result = match state.log.take() {
-                Some(old_log) => old_log.close(),
-                None => Ok(()),
-            };
-            state.log = Some(LogWriter::new(log_file));
-            state.log_file_number = new_log_number;
-            if let Err(err) = close_result {
-                // A failed close may have lost a sync on acknowledged
-                // records in the old log; surface it instead of dropping it.
-                if state.bg_error.is_none() {
-                    state.bg_error = Some(err.clone());
-                }
-                return Err(err);
-            }
-            let full_mem = std::mem::replace(&mut state.mem, Arc::new(MemTable::new()));
-            state.imm = Some(full_mem);
-            force = false;
-            self.flush_available.notify_one();
+    fn absorb_observations(&self, state: &mut FlsmPolicyState, observed: Vec<(usize, Vec<u8>)>) {
+        for (level, key) in observed {
+            state.uncommitted_guards.add(level, &key);
         }
     }
 
-    // ----------------------------------------------------------------- read
+    // ------------------------------------------------------------- read path
 
-    fn get(&self, opts: &ReadOptions, user_key: &[u8]) -> Result<Option<Vec<u8>>> {
-        self.counters.record_get();
-        let (lookup, imm, version) = {
-            let mut state = self.state.lock();
-            let sequence = visible_sequence(opts, state.versions.last_sequence);
-            let lookup = LookupKey::new(user_key, sequence);
-            match state.mem.get(&lookup) {
-                MemTableGet::Found(value) => return Ok(Some(value)),
-                MemTableGet::Deleted => return Ok(None),
-                MemTableGet::NotFound => {}
-            }
-            (lookup, state.imm.clone(), state.versions.current())
-        };
-        if let Some(imm) = imm {
-            match imm.get(&lookup) {
-                MemTableGet::Found(value) => return Ok(Some(value)),
-                MemTableGet::Deleted => return Ok(None),
-                MemTableGet::NotFound => {}
-            }
-        }
-        version.get(opts, &lookup, &self.table_cache)
+    fn get_in_version(
+        &self,
+        io: &EngineIo,
+        version: &FlsmVersion,
+        opts: &ReadOptions,
+        key: &LookupKey,
+    ) -> Result<Option<Vec<u8>>> {
+        version.get(opts, key, &io.table_cache)
     }
 
-    /// Builds the streaming user-key cursor over the whole FLSM.
-    ///
     /// Level 0 contributes one iterator per file; each deeper level
     /// contributes a single lazy [`GuardLevelIterator`](crate::iter::GuardLevelIterator)
     /// that merges the sstables of whichever guard the cursor is in,
     /// positioning the deepest non-empty level's guard with a thread pool on
-    /// `seek` — the paper's "parallel seeks" optimisation. Creating a cursor
-    /// counts as a seek for the consecutive-seek compaction trigger.
-    fn iter(&self, opts: &ReadOptions) -> Result<Box<dyn DbIterator>> {
-        self.counters.record_seek();
-        self.note_seek();
-        let (sequence, mem, imm, version) = {
-            let mut state = self.state.lock();
-            let sequence = visible_sequence(opts, state.versions.last_sequence);
-            (
-                sequence,
-                Arc::clone(&state.mem),
-                state.imm.clone(),
-                state.versions.current(),
-            )
-        };
-
-        let mut children: Vec<Box<dyn DbIterator>> = Vec::new();
-        children.push(Box::new(mem.owned_iter()));
-        if let Some(imm) = imm {
-            children.push(Box::new(imm.owned_iter()));
-        }
-
+    /// `seek` — the paper's "parallel seeks" optimisation.
+    fn append_version_iterators(
+        &self,
+        io: &EngineIo,
+        version: &FlsmVersion,
+        opts: &ReadOptions,
+        children: &mut Vec<Box<dyn DbIterator>>,
+    ) -> Result<()> {
         for file in &version.level0 {
-            children.push(Box::new(self.table_cache.iter(
+            children.push(Box::new(io.table_cache.iter(
                 opts,
                 file.number,
                 file.file_size,
@@ -626,120 +173,60 @@ impl DbInner {
                 };
             children.push(Box::new(
                 crate::iter::GuardLevelIterator::new(
-                    Arc::clone(&self.table_cache),
+                    Arc::clone(&io.table_cache),
                     opts.clone(),
                     level.guards.clone(),
                 )
                 .with_parallel_seeks(parallel_threads),
             ));
         }
-
-        let merged = MergingIterator::new(children);
-        let user = UserIterator::new(Box::new(merged), sequence);
-        // Pin the version so obsolete-file GC cannot delete the sstables the
-        // cursor is still reading.
-        Ok(Box::new(PinnedIterator::new(Box::new(user), version)))
+        Ok(())
     }
 
-    /// Counts a seek and requests a seek-triggered compaction if the
-    /// threshold of consecutive seeks is reached.
-    fn note_seek(&self) {
+    /// Counts a seek; the threshold of consecutive seeks arms a
+    /// seek-triggered compaction via `arm_requested_compaction`.
+    fn note_seek(&self) -> bool {
         if !self.options.enable_seek_compaction {
-            return;
+            return false;
         }
         let seeks = self.consecutive_seeks.fetch_add(1, Ordering::Relaxed) + 1;
         if seeks >= self.options.seek_compaction_threshold {
             self.consecutive_seeks.store(0, Ordering::Relaxed);
-            let mut state = self.state.lock();
-            state.seek_compaction_pending = true;
-            self.work_available.notify_one();
+            true
+        } else {
+            false
         }
     }
 
-    // ----------------------------------------------------- background work
-
-    /// The dedicated flush thread: turns `imm` into a level-0 sstable the
-    /// moment one exists, independently of how busy the compaction pool is.
-    fn flush_main(inner: Arc<DbInner>) {
-        let mut state = inner.state.lock();
-        loop {
-            while !inner.shutting_down.load(Ordering::SeqCst)
-                && (state.imm.is_none() || state.bg_error.is_some())
-            {
-                inner.flush_available.wait(&mut state);
-            }
-            if inner.shutting_down.load(Ordering::SeqCst) {
-                break;
-            }
-            state.flush_running = true;
-            let result = inner.compact_memtable(&mut state);
-            state.flush_running = false;
-            if let Err(err) = result {
-                if state.bg_error.is_none() {
-                    state.bg_error = Some(err);
-                }
-            }
-            // Writers stalled on the full memtable can proceed, and the new
-            // level-0 file may have armed a compaction trigger.
-            inner.work_done.notify_all();
-            inner.work_available.notify_all();
-        }
+    fn arm_requested_compaction(&self, state: &mut FlsmPolicyState) {
+        state.seek_compaction_pending = true;
     }
 
-    /// One worker of the compaction pool: claim a job whose inputs are
-    /// disjoint from every in-flight job, run its IO outside the state
-    /// mutex, and commit the result through the serialized `log_and_apply`.
-    fn compaction_worker_main(inner: Arc<DbInner>) {
-        let mut state = inner.state.lock();
-        loop {
-            if inner.shutting_down.load(Ordering::SeqCst) {
-                break;
-            }
-            if let Some(job) = inner.claim_compaction_job(&mut state) {
-                inner.run_claimed_job(&mut state, job);
-                inner.work_done.notify_all();
-                // The commit may have armed triggers for other levels (or
-                // freed claimed guards), so give idle workers a chance.
-                inner.work_available.notify_all();
-            } else {
-                inner.work_available.wait(&mut state);
-            }
-        }
-    }
+    // ------------------------------------------------------------ compaction
 
-    /// Claims the highest-priority compaction job whose inputs do not
-    /// intersect any in-flight job's inputs.
-    ///
-    /// On success the job's input files are recorded in `claimed_inputs`
-    /// (keeping other workers off the same guards) and its pre-allocated
-    /// output numbers in `pending_outputs` (keeping the GC off files that
-    /// exist on disk but are not yet committed to any version).
+    /// Claims the highest-priority job whose inputs do not intersect any
+    /// in-flight job's inputs: a disjoint guard-component subset of a level.
     ///
     /// `seek_compaction_pending` is cleared only when a seek-triggered job
     /// is actually scheduled (or provably never will be): a size-triggered
     /// job claiming the same wakeup must not swallow the request.
-    fn claim_compaction_job(
+    fn pick_job(
         &self,
-        state: &mut MutexGuard<'_, DbState>,
-    ) -> Option<FlsmCompactionJob> {
-        if state.bg_error.is_some() {
-            return None;
-        }
+        _io: &EngineIo,
+        ctx: &mut PolicyCtx<'_, Self>,
+    ) -> Option<JobClaim<FlsmCompactionJob>> {
         let split = self.options.compaction_threads.max(1);
-        let smallest_snapshot = self
-            .snapshots
-            .compaction_floor(state.versions.last_sequence);
-        let version = state.versions.current();
+        let version = ctx.versions.current();
 
-        let mut candidates = state.versions.compaction_candidates();
-        if state.seek_compaction_pending {
-            match self.pick_seek_compaction_level(state) {
+        let mut candidates = ctx.versions.compaction_candidates();
+        if ctx.state.seek_compaction_pending {
+            match Self::pick_seek_compaction_level(ctx.versions.current_unpinned()) {
                 // Seek compactions yield to size triggers; the flag stays
                 // set until the seek job itself is claimed.
                 Some(level) => candidates.push((level, CompactionReason::SeekTriggered)),
                 // No guard holds two sstables anywhere: the request can
                 // never be satisfied, so drop it instead of spinning.
-                None => state.seek_compaction_pending = false,
+                None => ctx.state.seek_compaction_pending = false,
             }
         }
 
@@ -749,336 +236,179 @@ impl DbInner {
             } else {
                 level
             };
-            let pending_guards: Vec<Vec<u8>> = state
+            let pending_guards: Vec<Vec<u8>> = ctx
+                .state
                 .uncommitted_guards
                 .for_level(output_level)
                 .iter()
                 .cloned()
                 .collect();
             let job = {
-                // Split the borrow: number allocation mutates the version
-                // set while the claim set is read.
-                let st = &mut **state;
-                let versions = &mut st.versions;
+                let versions = &mut *ctx.versions;
                 build_compaction_job(
                     &version,
                     &self.options,
                     level,
                     reason,
                     pending_guards,
-                    smallest_snapshot,
-                    &st.claimed_inputs,
+                    ctx.smallest_snapshot,
+                    ctx.claimed_inputs,
                     split,
                     || versions.new_file_number(),
                 )
             };
             if let Some(job) = job {
                 if job.reason == CompactionReason::SeekTriggered {
-                    state.seek_compaction_pending = false;
+                    ctx.state.seek_compaction_pending = false;
                 }
-                for file in &job.inputs {
-                    state.claimed_inputs.insert(file.number);
-                }
-                state
-                    .pending_outputs
-                    .extend(job.output_numbers.iter().copied());
-                state.active_compactions += 1;
-                self.counters.record_compaction_start();
-                return Some(job);
+                return Some(JobClaim {
+                    input_numbers: job.inputs.iter().map(|f| f.number).collect(),
+                    output_numbers: job.output_numbers.clone(),
+                    job,
+                });
             }
         }
         None
     }
 
-    /// Runs a claimed job's IO with the state mutex released, then commits
-    /// (or abandons) it and releases its claims.
-    fn run_claimed_job(&self, state: &mut MutexGuard<'_, DbState>, job: FlsmCompactionJob) {
-        let start = Instant::now();
-        let env = Arc::clone(&self.env);
-        let db_path = self.db_path.clone();
-        let options = self.options.clone();
-        let table_cache = Arc::clone(&self.table_cache);
-        let io_result = MutexGuard::unlocked(state, || {
-            run_compaction_io(env.as_ref(), &db_path, &options, &table_cache, &job)
-        });
+    fn run_job_io(&self, io: &EngineIo, job: &FlsmCompactionJob) -> Result<Vec<FileMetaData>> {
+        run_compaction_io(
+            io.env.as_ref(),
+            &io.db_path,
+            &io.options,
+            &io.table_cache,
+            job,
+        )
+    }
 
-        let commit_result = io_result.and_then(|outputs| {
-            let mut edit = FlsmVersionEdit::default();
-            for file in &job.inputs {
-                edit.delete_file(job.level, file.number);
-            }
-            let mut bytes_written = 0;
-            for meta in &outputs {
-                bytes_written += meta.file_size;
-                edit.add_file(job.output_level, meta);
-            }
-            for key in &job.guards_to_commit {
-                edit.new_guards.push((job.output_level, key.clone()));
-            }
-            state.versions.log_and_apply(edit)?;
-            // Only the keys this job actually committed leave the pending
-            // set; guards picked by writers during the IO stay pending for
-            // the next compaction into the level.
-            state
-                .uncommitted_guards
-                .remove_committed(job.output_level, &job.guards_to_commit);
-            self.counters.record_compaction(
-                start.elapsed().as_micros() as u64,
-                job.input_bytes,
-                bytes_written,
-            );
-            Ok(())
-        });
-
-        // Release the claims whether the job committed or failed, so a
-        // poisoned store does not wedge its sibling workers.
+    fn commit_job(
+        &self,
+        ctx: &mut PolicyCtx<'_, Self>,
+        job: &FlsmCompactionJob,
+        outputs: Vec<FileMetaData>,
+    ) -> Result<(u64, u64)> {
+        let mut edit = FlsmVersionEdit::default();
         for file in &job.inputs {
-            state.claimed_inputs.remove(&file.number);
+            edit.delete_file(job.level, file.number);
         }
-        for number in &job.output_numbers {
-            state.pending_outputs.remove(number);
+        let mut bytes_written = 0;
+        for meta in &outputs {
+            bytes_written += meta.file_size;
+            edit.add_file(job.output_level, meta);
         }
-        state.active_compactions -= 1;
-        self.counters.record_compaction_end();
+        for key in &job.guards_to_commit {
+            edit.new_guards.push((job.output_level, key.clone()));
+        }
+        ctx.versions.log_and_apply(edit)?;
+        // Only the keys this job actually committed leave the pending set;
+        // guards picked by writers during the IO stay pending for the next
+        // compaction into the level.
+        ctx.state
+            .uncommitted_guards
+            .remove_committed(job.output_level, &job.guards_to_commit);
+        Ok((job.input_bytes, bytes_written))
+    }
+}
 
-        match commit_result {
-            Ok(()) => self.remove_obsolete_files(state),
-            Err(err) => {
-                if state.bg_error.is_none() {
-                    state.bg_error = Some(err);
-                }
-            }
-        }
+/// A handle to an open PebblesDB database.
+///
+/// Everything but the guarded-FLSM policy runs in the shared engine chassis
+/// ([`EngineDb`]); the LSM baseline shares the same machinery with a
+/// one-implicit-guard-per-level policy.
+pub struct PebblesDb {
+    db: EngineDb<FlsmPolicy>,
+}
+
+impl PebblesDb {
+    /// Opens (creating if necessary) a PebblesDB database at `path`.
+    pub fn open(env: Arc<dyn Env>, path: &Path) -> Result<PebblesDb> {
+        Self::open_with_options(env, path, StoreOptions::with_preset(StorePreset::PebblesDb))
     }
 
-    /// Picks the level whose guards hold the most overlapping sstables for a
-    /// seek-triggered compaction, if any guard has at least two.
-    fn pick_seek_compaction_level(&self, state: &MutexGuard<'_, DbState>) -> Option<usize> {
-        let version = state.versions.current_unpinned();
-        let mut best: Option<(usize, usize)> = None;
-        if version.level0.len() >= 2 {
-            best = Some((0, version.level0.len()));
-        }
-        for (level_idx, level) in version.levels.iter().enumerate().skip(1) {
-            let fanout = level.max_files_in_guard();
-            if fanout >= 2 && best.map(|(_, b)| fanout > b).unwrap_or(true) {
-                best = Some((level_idx, fanout));
-            }
-        }
-        best.map(|(level, _)| level)
+    /// Opens a database with explicit options.
+    pub fn open_with_options(
+        env: Arc<dyn Env>,
+        path: &Path,
+        options: StoreOptions,
+    ) -> Result<PebblesDb> {
+        let policy = FlsmPolicy::new(&options);
+        Ok(PebblesDb {
+            db: EngineDb::open(policy, env, path, options)?,
+        })
     }
 
-    fn compact_memtable(&self, state: &mut MutexGuard<'_, DbState>) -> Result<()> {
-        let imm = match state.imm.clone() {
-            Some(imm) => imm,
-            None => return Ok(()),
-        };
-        let number = state.versions.new_file_number();
-        // Until the edit commits, the new table exists only on disk; keep
-        // the concurrent compaction workers' GC away from it.
-        state.pending_outputs.insert(number);
-        let start = Instant::now();
-        let env = Arc::clone(&self.env);
-        let db_path = self.db_path.clone();
-        let options = self.options.clone();
-        let meta = MutexGuard::unlocked(state, || {
-            build_table_from_memtable(env.as_ref(), &db_path, &options, &imm, number)
-        });
-        let meta = match meta {
-            Ok(meta) => meta,
-            Err(err) => {
-                state.pending_outputs.remove(&number);
-                return Err(err);
-            }
-        };
-
-        let mut edit = FlsmVersionEdit {
-            log_number: Some(state.log_file_number),
-            ..Default::default()
-        };
-        let mut written = 0;
-        if let Some(meta) = &meta {
-            written = meta.file_size;
-            edit.add_file(0, meta);
-        }
-        let commit = state.versions.log_and_apply(edit);
-        state.pending_outputs.remove(&number);
-        commit?;
-        state.imm = None;
-        self.counters.record_flush();
-        self.counters
-            .record_compaction(start.elapsed().as_micros() as u64, 0, written);
-        self.remove_obsolete_files(state);
-        Ok(())
+    /// The options this database was opened with.
+    pub fn options(&self) -> &StoreOptions {
+        self.db.options()
     }
 
-    // -------------------------------------------------------------- cleanup
-
-    fn remove_obsolete_files(&self, state: &mut MutexGuard<'_, DbState>) {
-        // If a pinned old version kept files alive in this pass, a later
-        // quiesced `flush` must rescan once the pins drop.
-        let (live, pinned) = state.versions.live_files_and_pins();
-        state.gc_rescan_needed = pinned;
-        let log_number = state.versions.log_number;
-        let manifest_number = state.versions.manifest_number();
-        let children = match self.env.children(&self.db_path) {
-            Ok(children) => children,
-            Err(_) => return,
-        };
-        for name in children {
-            let Some((ty, number)) = parse_file_name(&name) else {
-                continue;
-            };
-            let keep = match ty {
-                // A table is live if any version references it — or if it is
-                // the not-yet-committed output of an in-flight flush or
-                // compaction job running on another thread.
-                FileType::Table => {
-                    live.binary_search(&number).is_ok() || state.pending_outputs.contains(&number)
-                }
-                FileType::WriteAheadLog => number >= log_number || number == state.log_file_number,
-                FileType::Descriptor => number >= manifest_number,
-                FileType::Temp => false,
-                FileType::Current | FileType::Lock | FileType::BtreePages => true,
-            };
-            if !keep {
-                if ty == FileType::Table {
-                    self.table_cache.evict(number);
-                }
-                let _ = self.env.remove_file(&self.db_path.join(&name));
-            }
-        }
+    /// Per-level summary string (files and guards per level).
+    pub fn level_summary(&self) -> String {
+        self.db.with_current_version(|v| v.level_summary())
     }
 
-    // ---------------------------------------------------------------- flush
-
-    fn flush(&self) -> Result<()> {
-        // Rotate the active memtable through the commit queue so the
-        // rotation is serialised with in-flight write groups.
-        let needs_rotate = !self.state.lock().mem.is_empty();
-        if needs_rotate {
-            let ticket = self.commit_queue.submit(None, false);
-            match self.commit_queue.wait_turn(&ticket) {
-                Role::Done(result) => result?,
-                Role::Leader(group) => self.commit(group)?,
-            }
-        }
-        let mut state = self.state.lock();
-        loop {
-            if let Some(err) = &state.bg_error {
-                return Err(err.clone());
-            }
-            if state.imm.is_some()
-                || state.flush_running
-                || state.active_compactions > 0
-                || state.versions.needs_compaction()
-            {
-                self.flush_available.notify_one();
-                self.work_available.notify_all();
-                self.work_done.wait(&mut state);
-            } else {
-                // Quiesced: reclaim files whose deletion a commit-time GC
-                // skipped because a read still pinned their version. Skipped
-                // when the last GC saw no pins — it already ran to
-                // completion, so rescanning the directory would be wasted
-                // work under the state lock.
-                if state.gc_rescan_needed {
-                    self.remove_obsolete_files(&mut state);
-                }
-                return Ok(());
-            }
-        }
+    /// Number of guards (including the sentinel) at each level.
+    pub fn guards_per_level(&self) -> Vec<usize> {
+        self.db.with_current_version(|v| v.guards_per_level())
     }
 
-    fn stats(&self) -> StoreStats {
-        let io = self.env.io_stats().snapshot();
-        let state = self.state.lock();
-        let version = state.versions.current_unpinned();
-        let memory = state.mem.approximate_memory_usage()
-            + state
-                .imm
-                .as_ref()
-                .map(|m| m.approximate_memory_usage())
-                .unwrap_or(0)
-            + self.table_cache.memory_usage();
-        StoreStats {
-            user_bytes_written: EngineCounters::load(&self.counters.user_bytes_written),
-            bytes_written: io.bytes_written,
-            bytes_read: io.bytes_read,
-            disk_bytes_live: version.total_bytes(),
-            num_files: version.num_files() as u64,
-            compactions: EngineCounters::load(&self.counters.compactions),
-            flushes: EngineCounters::load(&self.counters.flushes),
-            max_concurrent_compactions: EngineCounters::load(
-                &self.counters.max_concurrent_compactions,
-            ),
-            compaction_micros: EngineCounters::load(&self.counters.compaction_micros),
-            compaction_bytes_read: EngineCounters::load(&self.counters.compaction_bytes_read),
-            compaction_bytes_written: EngineCounters::load(&self.counters.compaction_bytes_written),
-            memory_usage_bytes: memory as u64,
-            gets: EngineCounters::load(&self.counters.gets),
-            seeks: EngineCounters::load(&self.counters.seeks),
-            write_stalls: EngineCounters::load(&self.counters.write_stalls),
-            write_stall_micros: EngineCounters::load(&self.counters.write_stall_micros),
-            memtable_clones: EngineCounters::load(&self.counters.memtable_clones),
-        }
+    /// Number of files at each level.
+    pub fn files_per_level(&self) -> Vec<usize> {
+        self.db
+            .with_current_version(|v| (0..v.num_levels()).map(|l| v.level_files(l)).collect())
+    }
+
+    /// Total number of guards that currently hold no sstables.
+    pub fn empty_guards(&self) -> usize {
+        self.db.with_current_version(|v| v.empty_guards())
+    }
+
+    /// Flushes the memtable and waits until no compaction work is pending.
+    pub fn compact_all(&self) -> Result<()> {
+        KvStore::flush(self)
     }
 }
 
 impl KvStore for PebblesDb {
     fn put_opts(&self, opts: &WriteOptions, key: &[u8], value: &[u8]) -> Result<()> {
-        let mut batch = WriteBatch::new();
-        batch.put(key, value);
-        self.inner.write(batch, opts)
+        self.db.put_opts(opts, key, value)
     }
-
     fn get_opts(&self, opts: &ReadOptions, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        self.inner.get(opts, key)
+        self.db.get_opts(opts, key)
     }
-
     fn delete_opts(&self, opts: &WriteOptions, key: &[u8]) -> Result<()> {
-        let mut batch = WriteBatch::new();
-        batch.delete(key);
-        self.inner.write(batch, opts)
+        self.db.delete_opts(opts, key)
     }
-
     fn write_opts(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<()> {
-        self.inner.write(batch, opts)
+        self.db.write_opts(opts, batch)
     }
-
     fn iter(&self, opts: &ReadOptions) -> Result<Box<dyn DbIterator>> {
-        self.inner.iter(opts)
+        self.db.iter(opts)
     }
-
     fn snapshot(&self) -> Snapshot {
-        let state = self.inner.state.lock();
-        self.inner.snapshots.acquire(state.versions.last_sequence)
+        self.db.snapshot()
     }
-
     fn flush(&self) -> Result<()> {
-        self.inner.flush()
+        self.db.flush()
     }
-
     fn stats(&self) -> StoreStats {
-        self.inner.stats()
+        self.db.stats()
     }
-
     fn engine_name(&self) -> String {
-        self.inner.engine_label.clone()
+        self.db.engine_name()
     }
-
     fn live_file_sizes(&self) -> Vec<u64> {
-        let state = self.inner.state.lock();
-        state.versions.current_unpinned().file_sizes()
+        self.db.live_file_sizes()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pebblesdb_common::key::encode_internal_key;
+    use pebblesdb_common::key::{encode_internal_key, ValueType};
+    use pebblesdb_engine::{EngineCore, FileMetaDataEdit};
     use pebblesdb_env::MemEnv;
-    use pebblesdb_lsm::version::FileMetaDataEdit;
+    use std::collections::BTreeSet;
 
     fn file_edit(number: u64, smallest: &str, largest: &str) -> FileMetaDataEdit {
         FileMetaDataEdit {
@@ -1089,13 +419,15 @@ mod tests {
         }
     }
 
+    type FlsmState<'a> = parking_lot::MutexGuard<'a, pebblesdb_engine::EngineState<FlsmPolicy>>;
+
     /// Fabricates `files` into the locked store's version so claim logic
     /// can be exercised without running real IO. The caller must hold the
     /// state lock across this call *and* its subsequent claim assertions:
     /// the store's own workers claim eagerly on wakeup, and releasing the
     /// lock between fabrication and the test's claim would let a worker
     /// race it to the job.
-    fn fabricate_files(state: &mut MutexGuard<'_, DbState>, files: &[(usize, &str, &str)]) {
+    fn fabricate_files(state: &mut FlsmState<'_>, files: &[(usize, &str, &str)]) {
         let mut edit = FlsmVersionEdit::default();
         for (level, smallest, largest) in files {
             let number = state.versions.new_file_number();
@@ -1118,18 +450,18 @@ mod tests {
         let mut options = StoreOptions::default();
         options.level0_compaction_trigger = 2;
         let db = open_empty(options);
-        let inner = Arc::clone(&db.inner);
+        let inner: &Arc<EngineCore<FlsmPolicy>> = db.db.core();
         let mut state = inner.state.lock();
         // Two level-0 files arm the size trigger.
         fabricate_files(&mut state, &[(0, "a", "c"), (0, "b", "d")]);
-        state.seek_compaction_pending = true;
+        state.policy.seek_compaction_pending = true;
 
-        let job = inner
-            .claim_compaction_job(&mut state)
+        let claim = inner
+            .claim_job(&mut state)
             .expect("the level-0 size trigger yields a job");
-        assert_eq!(job.reason, CompactionReason::Level0Files);
+        assert_eq!(claim.job.reason, CompactionReason::Level0Files);
         assert!(
-            state.seek_compaction_pending,
+            state.policy.seek_compaction_pending,
             "seek request was swallowed by the preempting size-triggered job"
         );
         drop(state);
@@ -1142,18 +474,18 @@ mod tests {
         options.level0_compaction_trigger = 100; // no size triggers
         options.enable_aggressive_compaction = false;
         let db = open_empty(options);
-        let inner = Arc::clone(&db.inner);
+        let inner = db.db.core();
         let mut state = inner.state.lock();
         // A level-1 guard with two overlapping sstables: under every size
         // budget, but exactly what a seek-triggered compaction wants.
         fabricate_files(&mut state, &[(1, "a", "c"), (1, "b", "d")]);
-        state.seek_compaction_pending = true;
+        state.policy.seek_compaction_pending = true;
 
-        let job = inner
-            .claim_compaction_job(&mut state)
+        let claim = inner
+            .claim_job(&mut state)
             .expect("the seek request yields a job");
-        assert_eq!(job.reason, CompactionReason::SeekTriggered);
-        assert!(!state.seek_compaction_pending);
+        assert_eq!(claim.job.reason, CompactionReason::SeekTriggered);
+        assert!(!state.policy.seek_compaction_pending);
         drop(state);
     }
 
@@ -1165,13 +497,13 @@ mod tests {
         options.level0_compaction_trigger = 100;
         options.enable_aggressive_compaction = false;
         let db = open_empty(options);
-        let inner = Arc::clone(&db.inner);
+        let inner = db.db.core();
         let mut state = inner.state.lock();
         fabricate_files(&mut state, &[(1, "a", "c")]);
-        state.seek_compaction_pending = true;
+        state.policy.seek_compaction_pending = true;
 
-        assert!(inner.claim_compaction_job(&mut state).is_none());
-        assert!(!state.seek_compaction_pending);
+        assert!(inner.claim_job(&mut state).is_none());
+        assert!(!state.policy.seek_compaction_pending);
         drop(state);
     }
 
@@ -1185,7 +517,7 @@ mod tests {
         options.max_sstables_per_guard = 1;
         options.compaction_threads = 2;
         let db = open_empty(options);
-        let inner = Arc::clone(&db.inner);
+        let inner = db.db.core();
         let mut state = inner.state.lock();
         // Two over-budget "guards": the sentinel guard of level 1 would hold
         // all four files, so use disjoint key ranges at levels 1 and 2 to
@@ -1195,20 +527,20 @@ mod tests {
             &[(1, "a", "b"), (1, "c", "d"), (2, "p", "q"), (2, "r", "s")],
         );
 
-        let job1 = inner.claim_compaction_job(&mut state).expect("first claim");
-        let job2 = inner
-            .claim_compaction_job(&mut state)
-            .expect("second claim");
-        let set1: BTreeSet<u64> = job1.inputs.iter().map(|f| f.number).collect();
-        let set2: BTreeSet<u64> = job2.inputs.iter().map(|f| f.number).collect();
+        let claim1 = inner.claim_job(&mut state).expect("first claim");
+        let claim2 = inner.claim_job(&mut state).expect("second claim");
+        let set1: BTreeSet<u64> = claim1.job.inputs.iter().map(|f| f.number).collect();
+        let set2: BTreeSet<u64> = claim2.job.inputs.iter().map(|f| f.number).collect();
         assert!(set1.is_disjoint(&set2));
         assert_eq!(state.active_compactions, 2);
         assert_eq!(
-            EngineCounters::load(&inner.counters.max_concurrent_compactions),
+            pebblesdb_common::counters::EngineCounters::load(
+                &inner.counters.max_concurrent_compactions
+            ),
             2
         );
         // Outputs of both uncommitted jobs are protected from the GC.
-        for number in job1.output_numbers.iter().chain(&job2.output_numbers) {
+        for number in claim1.output_numbers.iter().chain(&claim2.output_numbers) {
             assert!(state.pending_outputs.contains(number));
         }
         drop(state);

@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 use pebblesdb_common::hash::murmur3_32;
 use pebblesdb_common::StoreOptions;
-use pebblesdb_lsm::FileMetaData;
+use pebblesdb_engine::FileMetaData;
 
 /// Seed used for guard-selection hashing (fixed so guard placement is stable
 /// across restarts).

@@ -353,8 +353,8 @@ mod tests {
     use pebblesdb_common::filename::table_file_name;
     use pebblesdb_common::key::{encode_internal_key, InternalKey, ValueType};
     use pebblesdb_common::StoreOptions;
+    use pebblesdb_engine::FileMetaData;
     use pebblesdb_env::{Env, MemEnv};
-    use pebblesdb_lsm::FileMetaData;
     use pebblesdb_sstable::TableBuilder;
     use std::path::{Path, PathBuf};
 

@@ -1,6 +1,6 @@
 //! FLSM versions: guard-organised file metadata and its MANIFEST encoding.
 //!
-//! The structure mirrors `pebblesdb_lsm::version` but each level (from 1
+//! The structure mirrors the baseline LSM's `version` module but each level (from 1
 //! down) is a list of [`GuardMeta`]s instead of a sorted run of disjoint
 //! files. Version edits additionally carry newly committed guard keys, which
 //! is the only extra metadata PebblesDB persists compared to its
@@ -14,9 +14,9 @@ use pebblesdb_common::coding::{put_length_prefixed_slice, put_varint32, put_vari
 use pebblesdb_common::filename::{current_file_name, descriptor_file_name};
 use pebblesdb_common::key::{parse_internal_key, LookupKey, SequenceNumber, ValueType};
 use pebblesdb_common::{Error, ReadOptions, Result, StoreOptions};
+use pebblesdb_engine::policy::{VersionMeta, VersionSetOps};
+use pebblesdb_engine::{FileMetaData, FileMetaDataEdit};
 use pebblesdb_env::Env;
-use pebblesdb_lsm::version::FileMetaDataEdit;
-use pebblesdb_lsm::FileMetaData;
 use pebblesdb_sstable::TableCache;
 use pebblesdb_wal::{LogReader, LogWriter};
 
@@ -872,6 +872,79 @@ impl FlsmVersionSet {
     /// Returns `true` if background compaction work is pending.
     pub fn needs_compaction(&self) -> bool {
         self.pick_compaction_level().is_some()
+    }
+}
+
+impl VersionMeta for FlsmVersion {
+    fn level0_len(&self) -> usize {
+        self.level0.len()
+    }
+    fn total_bytes(&self) -> u64 {
+        FlsmVersion::total_bytes(self)
+    }
+    fn num_files(&self) -> usize {
+        FlsmVersion::num_files(self)
+    }
+    fn file_sizes(&self) -> Vec<u64> {
+        FlsmVersion::file_sizes(self)
+    }
+    fn level_summary(&self) -> String {
+        FlsmVersion::level_summary(self)
+    }
+}
+
+impl VersionSetOps for FlsmVersionSet {
+    type Version = FlsmVersion;
+
+    fn recover(&mut self) -> Result<()> {
+        FlsmVersionSet::recover(self)
+    }
+    fn create_new(&mut self) -> Result<()> {
+        FlsmVersionSet::create_new(self)
+    }
+    fn log_number(&self) -> u64 {
+        self.log_number
+    }
+    fn last_sequence(&self) -> SequenceNumber {
+        self.last_sequence
+    }
+    fn set_last_sequence(&mut self, seq: SequenceNumber) {
+        self.last_sequence = seq;
+    }
+    fn new_file_number(&mut self) -> u64 {
+        FlsmVersionSet::new_file_number(self)
+    }
+    fn mark_file_number_used(&mut self, number: u64) {
+        FlsmVersionSet::mark_file_number_used(self, number)
+    }
+    fn manifest_number(&self) -> u64 {
+        FlsmVersionSet::manifest_number(self)
+    }
+    fn current(&mut self) -> Arc<FlsmVersion> {
+        FlsmVersionSet::current(self)
+    }
+    fn current_unpinned(&self) -> &Arc<FlsmVersion> {
+        FlsmVersionSet::current_unpinned(self)
+    }
+    fn live_files_and_pins(&mut self) -> (Vec<u64>, bool) {
+        FlsmVersionSet::live_files_and_pins(self)
+    }
+    fn needs_compaction(&self) -> bool {
+        FlsmVersionSet::needs_compaction(self)
+    }
+    fn commit_level0(
+        &mut self,
+        meta: Option<&FileMetaData>,
+        log_number: Option<u64>,
+    ) -> Result<()> {
+        let mut edit = FlsmVersionEdit {
+            log_number,
+            ..Default::default()
+        };
+        if let Some(meta) = meta {
+            edit.add_file(0, meta);
+        }
+        self.log_and_apply(edit).map(|_| ())
     }
 }
 

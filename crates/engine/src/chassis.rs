@@ -1,0 +1,970 @@
+//! The engine chassis: the machinery every LSM-family store shares.
+//!
+//! [`EngineDb`] owns DB open/recovery (CURRENT/MANIFEST/WAL replay), the
+//! group-commit write path, `make_room_for_write` + memtable rotation, a
+//! dedicated flush thread (imm -> level 0 never queues behind a level
+//! compaction), a pool of compaction workers that claim disjoint jobs
+//! through the [`ShapePolicy`], pending-output/live-file garbage collection,
+//! the snapshot list and stats assembly. The policy decides only *what* a
+//! compaction job is and *how* reads route through a version.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex, MutexGuard};
+
+use pebblesdb_common::commit::{CommitGroup, CommitQueue, Role};
+use pebblesdb_common::counters::EngineCounters;
+use pebblesdb_common::filename::{log_file_name, parse_file_name, table_file_name, FileType};
+use pebblesdb_common::iterator::{DbIterator, MergingIterator, PinnedIterator};
+use pebblesdb_common::key::{InternalKey, LookupKey, SequenceNumber, ValueType};
+use pebblesdb_common::snapshot::{Snapshot, SnapshotList};
+use pebblesdb_common::user_iter::UserIterator;
+use pebblesdb_common::{
+    Error, KvStore, ReadOptions, Result, StoreOptions, StoreStats, WriteBatch, WriteOptions,
+};
+use pebblesdb_skiplist::memtable::MemTableGet;
+use pebblesdb_skiplist::MemTable;
+use pebblesdb_sstable::{TableBuilder, TableCache};
+use pebblesdb_wal::{LogReader, LogWriter};
+
+use crate::meta::FileMetaData;
+use crate::policy::{
+    EngineIo, JobClaim, PolicyCtx, ShapePolicy, VersionMeta, VersionOf, VersionSetOps,
+};
+
+/// A handle to an open store built on the chassis.
+///
+/// Cloneable via `Arc`; all methods take `&self` and are safe to call from
+/// multiple threads. Dropping the handle shuts the background threads down.
+pub struct EngineDb<P: ShapePolicy> {
+    inner: Arc<EngineCore<P>>,
+    background_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// The shared core of an engine: IO handles, the policy, the mutexed state
+/// and the background-thread rendezvous points.
+pub struct EngineCore<P: ShapePolicy> {
+    /// Environment, database path, options and table cache.
+    pub io: EngineIo,
+    /// The shape policy (guarded FLSM or degenerate-guard LSM).
+    pub policy: P,
+    /// The mutex-protected engine state.
+    pub state: Mutex<EngineState<P>>,
+    /// Group-commit writer queue: concurrent writers enqueue batches, one
+    /// leader merges the group and performs WAL IO outside `state`.
+    commit_queue: CommitQueue,
+    /// Wakes the compaction worker pool.
+    work_available: Condvar,
+    /// Wakes the dedicated flush thread (imm -> level 0 never queues behind
+    /// a large level compaction).
+    flush_available: Condvar,
+    /// Wakes writers stalled in `make_room_for_write` and `flush` callers.
+    work_done: Condvar,
+    shutting_down: AtomicBool,
+    /// Cumulative operation counters.
+    pub counters: EngineCounters,
+    /// Live snapshot pins.
+    pub snapshots: Arc<SnapshotList>,
+}
+
+/// The mutable engine state, shared by writers and the background threads.
+pub struct EngineState<P: ShapePolicy> {
+    /// The active memtable. Concurrent: the group-commit leader inserts via
+    /// `&self` while `get` and streaming cursors read it lock-free, so the
+    /// table is never cloned — when full it is frozen whole into `imm`.
+    pub mem: Arc<MemTable>,
+    /// The immutable memtable being flushed, if any.
+    pub imm: Option<Arc<MemTable>>,
+    /// The engine's version set (MANIFEST machinery).
+    pub versions: P::Versions,
+    /// The policy's own mutable state (uncommitted guards, compaction
+    /// pointers, pending seek requests, ...).
+    pub policy: P::State,
+    /// The live write-ahead log.
+    pub log: Option<LogWriter>,
+    /// The live WAL's file number.
+    pub log_file_number: u64,
+    /// Input file numbers of every in-flight compaction job. A worker
+    /// claiming new work never selects inputs that intersect this set, so
+    /// concurrent jobs always operate on disjoint file subsets.
+    pub claimed_inputs: BTreeSet<u64>,
+    /// Output file numbers of uncommitted jobs (flushes and compactions).
+    /// `remove_obsolete_files` must never delete these: they are invisible
+    /// to every version until their job's `log_and_apply` commits.
+    pub pending_outputs: BTreeSet<u64>,
+    /// Compaction jobs currently claimed or running.
+    pub active_compactions: usize,
+    /// Whether the flush thread is writing `imm` to level 0 right now.
+    pub flush_running: bool,
+    /// Set when the last GC pass ran while a read or cursor still pinned an
+    /// old version (whose files it therefore kept); `flush` on a quiesced
+    /// store rescans only in that case instead of on every call.
+    pub gc_rescan_needed: bool,
+    /// Set when a memtable rotation created a fresh WAL whose directory
+    /// entry has not been fsynced yet. The next group-commit leader syncs
+    /// the directory in its *unlocked* IO section before acknowledging any
+    /// write against the new log — a directory fsync under the state mutex
+    /// would stall every reader for its duration.
+    pub wal_dir_unsynced: bool,
+    /// First background error; poisons the store.
+    pub bg_error: Option<Error>,
+}
+
+impl<P: ShapePolicy> EngineDb<P> {
+    /// Opens (creating if necessary) a store at `path` shaped by `policy`.
+    pub fn open(
+        policy: P,
+        env: Arc<dyn pebblesdb_env::Env>,
+        path: &Path,
+        options: StoreOptions,
+    ) -> Result<EngineDb<P>> {
+        env.create_dir_all(path)?;
+        let table_cache = Arc::new(TableCache::new(
+            Arc::clone(&env),
+            path.to_path_buf(),
+            options.clone(),
+            options.max_open_files,
+        ));
+        let io = EngineIo {
+            env: Arc::clone(&env),
+            db_path: path.to_path_buf(),
+            options,
+            table_cache,
+        };
+
+        let mut versions = policy.new_versions(&io);
+        let current_exists = env.file_exists(&pebblesdb_common::filename::current_file_name(path));
+        if current_exists {
+            if io.options.error_if_exists {
+                return Err(Error::invalid_argument("database already exists"));
+            }
+            versions.recover()?;
+        } else {
+            if !io.options.create_if_missing {
+                return Err(Error::invalid_argument("database does not exist"));
+            }
+            versions.create_new()?;
+        }
+
+        let mut state: EngineState<P> = EngineState {
+            mem: Arc::new(MemTable::new()),
+            imm: None,
+            versions,
+            policy: policy.new_state(),
+            log: None,
+            log_file_number: 0,
+            claimed_inputs: BTreeSet::new(),
+            pending_outputs: BTreeSet::new(),
+            active_compactions: 0,
+            flush_running: false,
+            gc_rescan_needed: false,
+            wal_dir_unsynced: false,
+            bg_error: None,
+        };
+
+        recover_wals(&io, &mut state)?;
+
+        // Start a fresh WAL for new writes, making its directory entry
+        // durable before any synced write is acknowledged against it.
+        let log_number = state.versions.new_file_number();
+        let log_file = env.new_writable_file(&log_file_name(path, log_number))?;
+        env.sync_dir(path)?;
+        state.log = Some(LogWriter::new(log_file));
+        state.log_file_number = log_number;
+        state.versions.commit_level0(None, Some(log_number))?;
+
+        let label = policy.engine_name().to_ascii_lowercase();
+        let inner = Arc::new(EngineCore {
+            io,
+            policy,
+            state: Mutex::new(state),
+            commit_queue: CommitQueue::new(),
+            work_available: Condvar::new(),
+            flush_available: Condvar::new(),
+            work_done: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+            counters: EngineCounters::new(),
+            snapshots: SnapshotList::new(),
+        });
+
+        {
+            let mut state = inner.state.lock();
+            inner.remove_obsolete_files(&mut state);
+        }
+
+        // The background subsystem: one dedicated flush thread (imm -> L0
+        // never waits behind a large compaction) plus a pool of
+        // `compaction_threads` workers that claim disjoint jobs through the
+        // policy. A policy whose jobs cannot be split (classic leveled
+        // compaction) simply refuses to claim while another job is running.
+        let mut handles = Vec::new();
+        let flush_inner = Arc::clone(&inner);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("{label}-flush"))
+                .spawn(move || EngineCore::flush_main(flush_inner))
+                .map_err(|e| Error::internal(format!("spawn flush thread: {e}")))?,
+        );
+        for worker in 0..inner.io.options.compaction_threads.max(1) {
+            let bg_inner = Arc::clone(&inner);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("{label}-compact-{worker}"))
+                    .spawn(move || EngineCore::compaction_worker_main(bg_inner))
+                    .map_err(|e| Error::internal(format!("spawn compaction thread: {e}")))?,
+            );
+        }
+
+        Ok(EngineDb {
+            inner,
+            background_threads: Mutex::new(handles),
+        })
+    }
+
+    /// The options this store was opened with.
+    pub fn options(&self) -> &StoreOptions {
+        &self.inner.io.options
+    }
+
+    /// The shared core (exposed for policy-specific accessors and tests).
+    pub fn core(&self) -> &Arc<EngineCore<P>> {
+        &self.inner
+    }
+
+    /// Runs `f` against the current version under the state lock.
+    pub fn with_current_version<R>(&self, f: impl FnOnce(&VersionOf<P>) -> R) -> R {
+        let state = self.inner.state.lock();
+        f(state.versions.current_unpinned())
+    }
+}
+
+impl<P: ShapePolicy> Drop for EngineDb<P> {
+    fn drop(&mut self) {
+        self.inner.shutting_down.store(true, Ordering::SeqCst);
+        self.inner.work_available.notify_all();
+        self.inner.flush_available.notify_all();
+        for handle in self.background_threads.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Replays write-ahead logs newer than the manifest's log number.
+fn recover_wals<P: ShapePolicy>(io: &EngineIo, state: &mut EngineState<P>) -> Result<()> {
+    let min_log = state.versions.log_number();
+    let mut log_numbers: Vec<u64> = io
+        .env
+        .children(&io.db_path)?
+        .iter()
+        .filter_map(|name| parse_file_name(name))
+        .filter(|(ty, number)| *ty == FileType::WriteAheadLog && *number >= min_log)
+        .map(|(_, number)| number)
+        .collect();
+    log_numbers.sort_unstable();
+
+    for number in log_numbers {
+        state.versions.mark_file_number_used(number);
+        let file = io
+            .env
+            .new_sequential_file(&log_file_name(&io.db_path, number))?;
+        let mut reader = LogReader::new(file);
+        // A clean end or a torn tail both end replay of this log.
+        while let Ok(Some(record)) = reader.read_record() {
+            let batch = match WriteBatch::from_contents(record) {
+                Ok(batch) => batch,
+                Err(_) => break,
+            };
+            let base_seq = batch.sequence();
+            let mut applied = 0u64;
+            for item in batch.iter() {
+                let item = match item {
+                    Ok(item) => item,
+                    Err(_) => break,
+                };
+                state
+                    .mem
+                    .add(item.sequence, item.value_type, item.key, item.value);
+                applied += 1;
+            }
+            let last = base_seq + applied.saturating_sub(1);
+            if last > state.versions.last_sequence() {
+                state.versions.set_last_sequence(last);
+            }
+            if state.mem.approximate_memory_usage() > io.options.write_buffer_size {
+                flush_recovery_memtable(io, state)?;
+            }
+        }
+    }
+    if !state.mem.is_empty() {
+        flush_recovery_memtable(io, state)?;
+    }
+    Ok(())
+}
+
+fn flush_recovery_memtable<P: ShapePolicy>(
+    io: &EngineIo,
+    state: &mut EngineState<P>,
+) -> Result<()> {
+    let number = state.versions.new_file_number();
+    let mem = std::mem::replace(&mut state.mem, Arc::new(MemTable::new()));
+    if let Some(meta) = build_table_from_memtable(io, &mem, number)? {
+        state.versions.commit_level0(Some(&meta), None)?;
+    }
+    Ok(())
+}
+
+/// Writes the contents of a memtable into a new level-0 sstable, syncing the
+/// directory so the new entry is durable before a MANIFEST references it.
+fn build_table_from_memtable(
+    io: &EngineIo,
+    mem: &MemTable,
+    file_number: u64,
+) -> Result<Option<FileMetaData>> {
+    let mut iter = mem.iter();
+    iter.seek_to_first();
+    if !iter.valid() {
+        return Ok(None);
+    }
+    let file = io
+        .env
+        .new_writable_file(&table_file_name(&io.db_path, file_number))?;
+    let mut builder = TableBuilder::new(&io.options, file);
+    let mut smallest: Option<Vec<u8>> = None;
+    let mut largest: Vec<u8> = Vec::new();
+    while iter.valid() {
+        if smallest.is_none() {
+            smallest = Some(iter.key().to_vec());
+        }
+        largest = iter.key().to_vec();
+        builder.add(iter.key(), iter.value())?;
+        iter.next();
+    }
+    let file_size = builder.finish()?;
+    io.env.sync_dir(&io.db_path)?;
+    Ok(Some(FileMetaData::new(
+        file_number,
+        file_size,
+        InternalKey::from_encoded(smallest.unwrap_or_default()),
+        InternalKey::from_encoded(largest),
+    )))
+}
+
+/// The sequence number a read issued with `opts` may observe: the requested
+/// snapshot, clamped to the store's current sequence.
+fn visible_sequence(opts: &ReadOptions, last_sequence: SequenceNumber) -> SequenceNumber {
+    opts.snapshot
+        .map(|snap| snap.min(last_sequence))
+        .unwrap_or(last_sequence)
+}
+
+impl<P: ShapePolicy> EngineCore<P> {
+    // ---------------------------------------------------------------- write
+
+    fn write(&self, batch: WriteBatch, opts: &WriteOptions) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        // Writes reset read-phase heuristics (FLSM: the consecutive-seek
+        // counter — section 4.2, seek compaction targets read-only phases).
+        self.policy.note_write();
+
+        let mut user_bytes = 0u64;
+        for record in batch.iter() {
+            let record = record?;
+            user_bytes += (record.key.len() + record.value.len()) as u64;
+        }
+
+        let ticket = self.commit_queue.submit(Some(batch), opts.sync);
+        let result = match self.commit_queue.wait_turn(&ticket) {
+            Role::Done(result) => result,
+            Role::Leader(group) => self.commit(group),
+        };
+        if result.is_ok() {
+            self.counters.add_user_bytes(user_bytes);
+        }
+        result
+    }
+
+    /// Commits a write group as its leader: make room, reserve a sequence
+    /// range, then append + sync the WAL and apply the merged batch to the
+    /// concurrent memtable **outside** the state mutex, so readers and the
+    /// compaction workers proceed during the IO. Per-key policy observation
+    /// (FLSM guard selection, a pure hash) also runs unlocked; the results
+    /// are absorbed under the lock after the apply. The new sequence is only
+    /// published (making the group visible) after the apply succeeds.
+    fn commit(&self, mut group: CommitGroup) -> Result<()> {
+        let mut state = self.state.lock();
+        let force = group.force_rotate && !state.mem.is_empty();
+        let mut result = self.make_room_for_write(&mut state, force);
+
+        if result.is_ok() && !group.batch.is_empty() {
+            let seq = state.versions.last_sequence() + 1;
+            group.batch.set_sequence(seq);
+            let count = u64::from(group.batch.count());
+
+            // Only the leader (that's us, until `complete`) touches the log
+            // or inserts into `mem`, so both can leave the mutex.
+            let mut log = state.log.take();
+            let mem = Arc::clone(&state.mem);
+            let batch = &group.batch;
+            let sync = group.sync;
+            let policy = &self.policy;
+            let need_dir_sync = state.wal_dir_unsynced;
+            let io = &self.io;
+            let io_result =
+                MutexGuard::unlocked(&mut state, || -> Result<Vec<(usize, Vec<u8>)>> {
+                    if need_dir_sync {
+                        // A rotation created this WAL; its directory entry
+                        // must be durable before the group is acknowledged.
+                        io.env.sync_dir(&io.db_path)?;
+                    }
+                    if let Some(log) = log.as_mut() {
+                        log.add_record(batch.contents())?;
+                        if sync {
+                            log.sync()?;
+                        }
+                    }
+                    let mut observed = Vec::new();
+                    for record in batch.iter() {
+                        let record = record?;
+                        if record.value_type == ValueType::Value {
+                            if let Some(obs) = policy.observe_key(record.key) {
+                                observed.push(obs);
+                            }
+                        }
+                        mem.add(record.sequence, record.value_type, record.key, record.value);
+                    }
+                    Ok(observed)
+                });
+            state.log = log;
+            match io_result {
+                Ok(observed) => {
+                    let st = &mut *state;
+                    if need_dir_sync {
+                        st.wal_dir_unsynced = false;
+                    }
+                    self.policy.absorb_observations(&mut st.policy, observed);
+                    st.versions.set_last_sequence(seq + count - 1);
+                }
+                Err(err) => {
+                    // A failed WAL append/sync may have lost acknowledged
+                    // bytes; poison the store like LevelDB does.
+                    if state.bg_error.is_none() {
+                        state.bg_error = Some(err.clone());
+                    }
+                    result = Err(err);
+                }
+            }
+        }
+        drop(state);
+        self.commit_queue.complete(group, &result);
+        result
+    }
+
+    /// Ensures there is room in the memtable, applying level-0 back-pressure.
+    fn make_room_for_write(
+        &self,
+        state: &mut MutexGuard<'_, EngineState<P>>,
+        force: bool,
+    ) -> Result<()> {
+        let mut allow_delay = !force;
+        let mut force = force;
+        loop {
+            if let Some(err) = &state.bg_error {
+                return Err(err.clone());
+            }
+            let level0_files = state.versions.current_unpinned().level0_len();
+            if allow_delay && level0_files >= self.io.options.level0_slowdown_writes_trigger {
+                // Gentle back-pressure: let the compaction workers make
+                // progress without fully blocking this writer.
+                allow_delay = false;
+                let stall = Instant::now();
+                self.work_available.notify_all();
+                MutexGuard::unlocked(state, || std::thread::sleep(Duration::from_millis(1)));
+                self.counters
+                    .record_stall(stall.elapsed().as_micros() as u64);
+                continue;
+            }
+            if !force && state.mem.approximate_memory_usage() <= self.io.options.write_buffer_size {
+                return Ok(());
+            }
+            if state.imm.is_some() {
+                // Previous memtable still flushing.
+                let stall = Instant::now();
+                self.flush_available.notify_one();
+                self.work_done.wait(state);
+                self.counters
+                    .record_stall(stall.elapsed().as_micros() as u64);
+                continue;
+            }
+            if level0_files >= self.io.options.level0_stop_writes_trigger {
+                let stall = Instant::now();
+                self.work_available.notify_all();
+                self.work_done.wait(state);
+                self.counters
+                    .record_stall(stall.elapsed().as_micros() as u64);
+                continue;
+            }
+
+            // Switch to a fresh memtable and WAL. The full memtable is
+            // frozen whole — cursors still pinning it keep reading it in
+            // `imm` (and beyond, through their own `Arc`s) with no copy.
+            let new_log_number = state.versions.new_file_number();
+            let log_file = self
+                .io
+                .env
+                .new_writable_file(&log_file_name(&self.io.db_path, new_log_number))?;
+            // The new WAL's directory entry must become durable before any
+            // write is acknowledged against it — but fsyncing the directory
+            // here would hold the state mutex across a disk flush. Defer it
+            // to the leader's unlocked IO section instead: every write into
+            // the new log passes through `commit`, which syncs first.
+            state.wal_dir_unsynced = true;
+            let close_result = match state.log.take() {
+                Some(old_log) => old_log.close(),
+                None => Ok(()),
+            };
+            state.log = Some(LogWriter::new(log_file));
+            state.log_file_number = new_log_number;
+            if let Err(err) = close_result {
+                // A failed close may have lost a sync on acknowledged
+                // records in the old log; surface it instead of dropping it.
+                if state.bg_error.is_none() {
+                    state.bg_error = Some(err.clone());
+                }
+                return Err(err);
+            }
+            let full_mem = std::mem::replace(&mut state.mem, Arc::new(MemTable::new()));
+            state.imm = Some(full_mem);
+            force = false;
+            self.flush_available.notify_one();
+        }
+    }
+
+    // ----------------------------------------------------------------- read
+
+    fn get(&self, opts: &ReadOptions, user_key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.counters.record_get();
+        let (lookup, imm, version) = {
+            let mut state = self.state.lock();
+            let sequence = visible_sequence(opts, state.versions.last_sequence());
+            let lookup = LookupKey::new(user_key, sequence);
+            match state.mem.get(&lookup) {
+                MemTableGet::Found(value) => return Ok(Some(value)),
+                MemTableGet::Deleted => return Ok(None),
+                MemTableGet::NotFound => {}
+            }
+            (lookup, state.imm.clone(), state.versions.current())
+        };
+        if let Some(imm) = imm {
+            match imm.get(&lookup) {
+                MemTableGet::Found(value) => return Ok(Some(value)),
+                MemTableGet::Deleted => return Ok(None),
+                MemTableGet::NotFound => {}
+            }
+        }
+        self.policy
+            .get_in_version(&self.io, &version, opts, &lookup)
+    }
+
+    /// Builds the streaming user-key cursor: memtables plus the policy's
+    /// per-level iterators, merged and filtered down to the view at the
+    /// cursor's sequence. Creating a cursor counts as a seek for the
+    /// policy's read heuristics (FLSM: the seek-compaction trigger).
+    fn iter(&self, opts: &ReadOptions) -> Result<Box<dyn DbIterator>> {
+        self.counters.record_seek();
+        if self.policy.note_seek() {
+            {
+                let mut state = self.state.lock();
+                let st = &mut *state;
+                self.policy.arm_requested_compaction(&mut st.policy);
+            }
+            self.work_available.notify_one();
+        }
+        let (sequence, mem, imm, version) = {
+            let mut state = self.state.lock();
+            let sequence = visible_sequence(opts, state.versions.last_sequence());
+            (
+                sequence,
+                Arc::clone(&state.mem),
+                state.imm.clone(),
+                state.versions.current(),
+            )
+        };
+
+        let mut children: Vec<Box<dyn DbIterator>> = Vec::new();
+        children.push(Box::new(mem.owned_iter()));
+        if let Some(imm) = imm {
+            children.push(Box::new(imm.owned_iter()));
+        }
+        self.policy
+            .append_version_iterators(&self.io, &version, opts, &mut children)?;
+
+        let merged = MergingIterator::new(children);
+        let user = UserIterator::new(Box::new(merged), sequence);
+        // Pin the version so obsolete-file GC cannot delete the sstables the
+        // cursor is still reading.
+        Ok(Box::new(PinnedIterator::new(Box::new(user), version)))
+    }
+
+    // ----------------------------------------------------- background work
+
+    /// The dedicated flush thread: turns `imm` into a level-0 sstable the
+    /// moment one exists, independently of how busy the compaction pool is.
+    fn flush_main(inner: Arc<EngineCore<P>>) {
+        let mut state = inner.state.lock();
+        loop {
+            while !inner.shutting_down.load(Ordering::SeqCst)
+                && (state.imm.is_none() || state.bg_error.is_some())
+            {
+                inner.flush_available.wait(&mut state);
+            }
+            if inner.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            state.flush_running = true;
+            let result = inner.compact_memtable(&mut state);
+            state.flush_running = false;
+            if let Err(err) = result {
+                if state.bg_error.is_none() {
+                    state.bg_error = Some(err);
+                }
+            }
+            // Writers stalled on the full memtable can proceed, and the new
+            // level-0 file may have armed a compaction trigger.
+            inner.work_done.notify_all();
+            inner.work_available.notify_all();
+        }
+    }
+
+    /// One worker of the compaction pool: claim a job whose inputs are
+    /// disjoint from every in-flight job, run its IO outside the state
+    /// mutex, and commit the result through the serialized `log_and_apply`.
+    fn compaction_worker_main(inner: Arc<EngineCore<P>>) {
+        let mut state = inner.state.lock();
+        loop {
+            if inner.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            if let Some(claim) = inner.claim_job(&mut state) {
+                inner.run_claimed_job(&mut state, claim);
+                inner.work_done.notify_all();
+                // The commit may have armed triggers for other levels (or
+                // freed claimed inputs), so give idle workers a chance.
+                inner.work_available.notify_all();
+            } else {
+                inner.work_available.wait(&mut state);
+            }
+        }
+    }
+
+    /// Claims the policy's highest-priority compaction job whose inputs do
+    /// not intersect any in-flight job's inputs.
+    ///
+    /// On success the job's input files are recorded in `claimed_inputs`
+    /// (keeping other workers off the same inputs) and its pre-allocated
+    /// output numbers in `pending_outputs` (keeping the GC off files that
+    /// exist on disk but are not yet committed to any version).
+    pub fn claim_job(
+        &self,
+        state: &mut MutexGuard<'_, EngineState<P>>,
+    ) -> Option<JobClaim<P::Job>> {
+        if state.bg_error.is_some() {
+            return None;
+        }
+        let smallest_snapshot = self
+            .snapshots
+            .compaction_floor(state.versions.last_sequence());
+        let claim = {
+            let st = &mut **state;
+            let mut ctx = PolicyCtx {
+                versions: &mut st.versions,
+                state: &mut st.policy,
+                claimed_inputs: &st.claimed_inputs,
+                smallest_snapshot,
+            };
+            self.policy.pick_job(&self.io, &mut ctx)?
+        };
+        state
+            .claimed_inputs
+            .extend(claim.input_numbers.iter().copied());
+        state
+            .pending_outputs
+            .extend(claim.output_numbers.iter().copied());
+        state.active_compactions += 1;
+        self.counters.record_compaction_start();
+        Some(claim)
+    }
+
+    /// Runs a claimed job's IO with the state mutex released, then commits
+    /// (or abandons) it and releases its claims.
+    pub fn run_claimed_job(
+        &self,
+        state: &mut MutexGuard<'_, EngineState<P>>,
+        claim: JobClaim<P::Job>,
+    ) {
+        let start = Instant::now();
+        let io = &self.io;
+        let policy = &self.policy;
+        let job = claim.job;
+        let io_result = MutexGuard::unlocked(state, || -> Result<Vec<FileMetaData>> {
+            let outputs = policy.run_job_io(io, &job)?;
+            if !outputs.is_empty() {
+                // The new tables' directory entries must be durable before
+                // the MANIFEST commit references them.
+                io.env.sync_dir(&io.db_path)?;
+            }
+            Ok(outputs)
+        });
+
+        let commit_result = io_result.and_then(|outputs| {
+            let smallest_snapshot = self
+                .snapshots
+                .compaction_floor(state.versions.last_sequence());
+            let st = &mut **state;
+            let mut ctx = PolicyCtx {
+                versions: &mut st.versions,
+                state: &mut st.policy,
+                claimed_inputs: &st.claimed_inputs,
+                smallest_snapshot,
+            };
+            let (bytes_read, bytes_written) = policy.commit_job(&mut ctx, &job, outputs)?;
+            self.counters.record_compaction(
+                start.elapsed().as_micros() as u64,
+                bytes_read,
+                bytes_written,
+            );
+            Ok(())
+        });
+
+        // Release the claims whether the job committed or failed, so a
+        // poisoned store does not wedge its sibling workers.
+        for number in &claim.input_numbers {
+            state.claimed_inputs.remove(number);
+        }
+        for number in &claim.output_numbers {
+            state.pending_outputs.remove(number);
+        }
+        state.active_compactions -= 1;
+        self.counters.record_compaction_end();
+
+        match commit_result {
+            Ok(()) => self.remove_obsolete_files(state),
+            Err(err) => {
+                if state.bg_error.is_none() {
+                    state.bg_error = Some(err);
+                }
+            }
+        }
+    }
+
+    fn compact_memtable(&self, state: &mut MutexGuard<'_, EngineState<P>>) -> Result<()> {
+        let imm = match state.imm.clone() {
+            Some(imm) => imm,
+            None => return Ok(()),
+        };
+        let number = state.versions.new_file_number();
+        // Until the edit commits, the new table exists only on disk; keep
+        // the concurrent compaction workers' GC away from it.
+        state.pending_outputs.insert(number);
+        let start = Instant::now();
+        let io = &self.io;
+        let meta = MutexGuard::unlocked(state, || build_table_from_memtable(io, &imm, number));
+        let meta = match meta {
+            Ok(meta) => meta,
+            Err(err) => {
+                state.pending_outputs.remove(&number);
+                return Err(err);
+            }
+        };
+
+        let log_file_number = state.log_file_number;
+        let mut written = 0;
+        if let Some(meta) = &meta {
+            written = meta.file_size;
+        }
+        let commit = state
+            .versions
+            .commit_level0(meta.as_ref(), Some(log_file_number));
+        state.pending_outputs.remove(&number);
+        commit?;
+        state.imm = None;
+        self.counters.record_flush();
+        self.counters
+            .record_compaction(start.elapsed().as_micros() as u64, 0, written);
+        self.remove_obsolete_files(state);
+        Ok(())
+    }
+
+    // -------------------------------------------------------------- cleanup
+
+    /// Deletes files no live version, pinned version or in-flight job needs.
+    pub fn remove_obsolete_files(&self, state: &mut MutexGuard<'_, EngineState<P>>) {
+        // If a pinned old version kept files alive in this pass, a later
+        // quiesced `flush` must rescan once the pins drop.
+        let (live, pinned) = state.versions.live_files_and_pins();
+        state.gc_rescan_needed = pinned;
+        let log_number = state.versions.log_number();
+        let manifest_number = state.versions.manifest_number();
+        let children = match self.io.env.children(&self.io.db_path) {
+            Ok(children) => children,
+            Err(_) => return,
+        };
+        for name in children {
+            let Some((ty, number)) = parse_file_name(&name) else {
+                continue;
+            };
+            let keep = match ty {
+                // A table is live if any version references it — or if it is
+                // the not-yet-committed output of an in-flight flush or
+                // compaction job running on another thread.
+                FileType::Table => {
+                    live.binary_search(&number).is_ok() || state.pending_outputs.contains(&number)
+                }
+                FileType::WriteAheadLog => number >= log_number || number == state.log_file_number,
+                FileType::Descriptor => number >= manifest_number,
+                FileType::Temp => false,
+                FileType::Current | FileType::Lock | FileType::BtreePages => true,
+            };
+            if !keep {
+                if ty == FileType::Table {
+                    self.io.table_cache.evict(number);
+                }
+                let _ = self.io.env.remove_file(&self.io.db_path.join(&name));
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------- flush
+
+    fn flush(&self) -> Result<()> {
+        // Rotate the active memtable through the commit queue so the
+        // rotation is serialised with in-flight write groups.
+        let needs_rotate = !self.state.lock().mem.is_empty();
+        if needs_rotate {
+            let ticket = self.commit_queue.submit(None, false);
+            match self.commit_queue.wait_turn(&ticket) {
+                Role::Done(result) => result?,
+                Role::Leader(group) => self.commit(group)?,
+            }
+        }
+        let mut state = self.state.lock();
+        loop {
+            if let Some(err) = &state.bg_error {
+                return Err(err.clone());
+            }
+            if state.imm.is_some()
+                || state.flush_running
+                || state.active_compactions > 0
+                || state.versions.needs_compaction()
+            {
+                self.flush_available.notify_one();
+                self.work_available.notify_all();
+                self.work_done.wait(&mut state);
+            } else {
+                // Quiesced: reclaim files whose deletion a commit-time GC
+                // skipped because a read still pinned their version. Skipped
+                // when the last GC saw no pins — it already ran to
+                // completion, so rescanning the directory would be wasted
+                // work under the state lock.
+                if state.gc_rescan_needed {
+                    self.remove_obsolete_files(&mut state);
+                }
+                return Ok(());
+            }
+        }
+    }
+
+    fn stats(&self) -> StoreStats {
+        let io = self.io.env.io_stats().snapshot();
+        let (block_cache_hits, block_cache_misses) = self.io.table_cache.block_cache_hit_miss();
+        let (table_cache_hits, table_cache_misses) = self.io.table_cache.table_cache_hit_miss();
+        let state = self.state.lock();
+        let version = state.versions.current_unpinned();
+        let memory = state.mem.approximate_memory_usage()
+            + state
+                .imm
+                .as_ref()
+                .map(|m| m.approximate_memory_usage())
+                .unwrap_or(0)
+            + self.io.table_cache.memory_usage();
+        StoreStats {
+            user_bytes_written: EngineCounters::load(&self.counters.user_bytes_written),
+            bytes_written: io.bytes_written,
+            bytes_read: io.bytes_read,
+            disk_bytes_live: version.total_bytes(),
+            num_files: version.num_files() as u64,
+            compactions: EngineCounters::load(&self.counters.compactions),
+            flushes: EngineCounters::load(&self.counters.flushes),
+            max_concurrent_compactions: EngineCounters::load(
+                &self.counters.max_concurrent_compactions,
+            ),
+            compaction_micros: EngineCounters::load(&self.counters.compaction_micros),
+            compaction_bytes_read: EngineCounters::load(&self.counters.compaction_bytes_read),
+            compaction_bytes_written: EngineCounters::load(&self.counters.compaction_bytes_written),
+            memory_usage_bytes: memory as u64,
+            gets: EngineCounters::load(&self.counters.gets),
+            seeks: EngineCounters::load(&self.counters.seeks),
+            write_stalls: EngineCounters::load(&self.counters.write_stalls),
+            write_stall_micros: EngineCounters::load(&self.counters.write_stall_micros),
+            memtable_clones: EngineCounters::load(&self.counters.memtable_clones),
+            block_cache_hits,
+            block_cache_misses,
+            table_cache_hits,
+            table_cache_misses,
+        }
+    }
+}
+
+impl<P: ShapePolicy> KvStore for EngineDb<P> {
+    fn put_opts(&self, opts: &WriteOptions, key: &[u8], value: &[u8]) -> Result<()> {
+        let mut batch = WriteBatch::new();
+        batch.put(key, value);
+        self.inner.write(batch, opts)
+    }
+
+    fn get_opts(&self, opts: &ReadOptions, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.inner.get(opts, key)
+    }
+
+    fn delete_opts(&self, opts: &WriteOptions, key: &[u8]) -> Result<()> {
+        let mut batch = WriteBatch::new();
+        batch.delete(key);
+        self.inner.write(batch, opts)
+    }
+
+    fn write_opts(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<()> {
+        self.inner.write(batch, opts)
+    }
+
+    fn iter(&self, opts: &ReadOptions) -> Result<Box<dyn DbIterator>> {
+        self.inner.iter(opts)
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        let state = self.inner.state.lock();
+        self.inner.snapshots.acquire(state.versions.last_sequence())
+    }
+
+    fn flush(&self) -> Result<()> {
+        self.inner.flush()
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.inner.stats()
+    }
+
+    fn engine_name(&self) -> String {
+        self.inner.policy.engine_name()
+    }
+
+    fn live_file_sizes(&self) -> Vec<u64> {
+        let state = self.inner.state.lock();
+        state.versions.current_unpinned().file_sizes()
+    }
+}

@@ -1,0 +1,34 @@
+//! The shared engine chassis both LSM-family stores are built on.
+//!
+//! PebblesDB's core claim is that the FLSM *generalizes* the LSM: guards
+//! partition each level, and a classic LSM is the degenerate case where every
+//! level has exactly one implicit guard (section 3 of the paper). This crate
+//! makes that framing structural. Everything the two engines share — DB
+//! open/recovery (CURRENT/MANIFEST/WAL replay), the group-commit write path,
+//! `make_room_for_write` and memtable rotation, the dedicated flush thread,
+//! the compaction worker pool, pending-output/live-file garbage collection,
+//! the snapshot list and stats plumbing — lives here once, in
+//! [`EngineCore`]/[`EngineDb`], parameterized by a [`ShapePolicy`].
+//!
+//! A policy supplies only what actually differs between tree shapes:
+//!
+//! * which version-set (MANIFEST) format organises the levels,
+//! * how point gets and cursors route through a version,
+//! * how compaction jobs are picked, executed and committed, and
+//! * write/read observations (guard selection, seek-triggered compaction).
+//!
+//! The FLSM engine (`pebblesdb` crate) implements the guarded policy; the
+//! baseline LSM (`pebblesdb-lsm`) implements the one-implicit-guard-per-level
+//! policy. Future subsystems (sharding, key-value separation, alternative
+//! tiering) are written once against this chassis instead of twice per
+//! engine.
+
+pub mod chassis;
+pub mod meta;
+pub mod policy;
+
+pub use chassis::{EngineCore, EngineDb, EngineState};
+pub use meta::{FileMetaData, FileMetaDataEdit};
+pub use policy::{
+    EngineIo, JobClaim, PolicyCtx, ShapePolicy, VersionMeta, VersionOf, VersionSetOps,
+};

@@ -266,6 +266,16 @@ impl Env for DiskEnv {
         Ok(())
     }
 
+    fn sync_dir(&self, path: &Path) -> Result<()> {
+        // fsync the directory itself so renames and newly created files in
+        // it survive a crash; without this, `fs::rename` is atomic but the
+        // new directory entry may never reach the device.
+        let dir = File::open(path)?;
+        dir.sync_all()?;
+        self.stats.record_dir_sync();
+        Ok(())
+    }
+
     fn create_dir_all(&self, path: &Path) -> Result<()> {
         fs::create_dir_all(path)?;
         Ok(())

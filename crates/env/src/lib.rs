@@ -95,7 +95,23 @@ pub trait Env: Send + Sync {
     /// Removes a file.
     fn remove_file(&self, path: &Path) -> Result<()>;
     /// Atomically renames `from` to `to`.
+    ///
+    /// The rename itself is atomic but **not durable** until the parent
+    /// directory is synced — call [`Env::sync_dir`] afterwards when the
+    /// rename must survive a crash (the CURRENT/MANIFEST switch).
     fn rename_file(&self, from: &Path, to: &Path) -> Result<()>;
+    /// Forces the directory entries of `path` (a directory) to stable
+    /// storage, making files previously created or renamed into it durable.
+    ///
+    /// Without this, a crash after a rename or a file creation can lose the
+    /// directory entry even though the file's *data* was synced — the
+    /// classic "fsync the file, forget the directory" bug. Engines call it
+    /// after writing sstables (before the MANIFEST references them), after
+    /// creating a fresh WAL, and after the CURRENT rename.
+    fn sync_dir(&self, path: &Path) -> Result<()> {
+        let _ = path;
+        Ok(())
+    }
     /// Creates a directory (and its parents).
     fn create_dir_all(&self, path: &Path) -> Result<()>;
     /// Removes a directory and everything under it.
@@ -105,9 +121,11 @@ pub trait Env: Send + Sync {
     /// The IO statistics shared by all files created by this environment.
     fn io_stats(&self) -> Arc<IoStats>;
 
-    /// Writes `data` to `path` and then atomically renames it into place.
+    /// Writes `data` to `path` and then atomically renames it into place,
+    /// syncing the parent directory so the rename survives a crash.
     ///
-    /// Used for the `CURRENT` file so readers never observe a partial write.
+    /// Used for the `CURRENT` file so readers never observe a partial write
+    /// and a crash immediately after the switch cannot roll it back.
     fn write_string_to_file_sync(&self, path: &Path, data: &[u8]) -> Result<()> {
         let tmp: PathBuf = path.with_extension("tmp_swap");
         {
@@ -116,7 +134,11 @@ pub trait Env: Send + Sync {
             file.sync()?;
             file.close()?;
         }
-        self.rename_file(&tmp, path)
+        self.rename_file(&tmp, path)?;
+        if let Some(parent) = path.parent() {
+            self.sync_dir(parent)?;
+        }
+        Ok(())
     }
 
     /// Reads the entire contents of `path`.

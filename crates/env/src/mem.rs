@@ -26,10 +26,24 @@ use crate::{Env, RandomAccessFile, RandomWritableFile, SequentialFile, WritableF
 
 type FileData = Arc<RwLock<Vec<u8>>>;
 
+/// A rename whose directory entry has not been made durable by a
+/// [`Env::sync_dir`] yet; a simulated crash rolls it back.
+struct UnsyncedRename {
+    from: PathBuf,
+    to: PathBuf,
+    /// The file that `to` pointed at before the rename (restored on crash).
+    replaced: Option<FileData>,
+}
+
 #[derive(Default)]
 struct FileSystem {
     files: HashMap<PathBuf, FileData>,
     dirs: Vec<PathBuf>,
+    /// Files created since the last `sync_dir` of their parent; a simulated
+    /// crash removes them (their directory entry never became durable).
+    unsynced_creates: Vec<PathBuf>,
+    /// Renames since the last `sync_dir` of the target's parent.
+    unsynced_renames: Vec<UnsyncedRename>,
 }
 
 /// Shared write-fault configuration consulted by every writable file.
@@ -156,6 +170,40 @@ impl MemEnv {
         let fs = self.fs.lock();
         fs.files.values().map(|f| f.read().len() as u64).sum()
     }
+
+    /// Simulates the directory-entry loss of a crash: every file created and
+    /// every rename performed since the last [`Env::sync_dir`] of its parent
+    /// directory is rolled back — created files vanish, renames are undone
+    /// (restoring whatever the target previously pointed at).
+    ///
+    /// File *contents* are untouched (torn data is modelled separately with
+    /// [`MemEnv::truncate_file`]); this models exactly the metadata a real
+    /// filesystem may lose when the directory was never fsynced. Crash tests
+    /// call it between "power loss" and "reopen" to assert the engines
+    /// `sync_dir` at every point where a directory entry must be durable.
+    pub fn drop_unsynced_dir_entries(&self) {
+        let mut fs = self.fs.lock();
+        // Undo renames newest-first so chained renames unwind correctly.
+        while let Some(rename) = fs.unsynced_renames.pop() {
+            if let Some(data) = fs.files.remove(&rename.to) {
+                fs.files.insert(rename.from.clone(), data);
+            }
+            if let Some(replaced) = rename.replaced {
+                fs.files.insert(rename.to, replaced);
+            }
+        }
+        let creates = std::mem::take(&mut fs.unsynced_creates);
+        for path in creates {
+            fs.files.remove(&path);
+        }
+    }
+
+    /// Number of directory entries (creates + renames) a crash would lose
+    /// right now. Zero means every entry was covered by a `sync_dir`.
+    pub fn unsynced_dir_entries(&self) -> usize {
+        let fs = self.fs.lock();
+        fs.unsynced_creates.len() + fs.unsynced_renames.len()
+    }
 }
 
 struct MemWritableFile {
@@ -276,6 +324,7 @@ impl Env for MemEnv {
         let mut fs = self.fs.lock();
         let data: FileData = Arc::new(RwLock::new(Vec::new()));
         fs.files.insert(Self::normalize(path), Arc::clone(&data));
+        fs.unsynced_creates.push(Self::normalize(path));
         self.stats.record_file_created();
         Ok(Box::new(MemWritableFile {
             path: Self::normalize(path),
@@ -312,12 +361,18 @@ impl Env for MemEnv {
 
     fn new_random_writable_file(&self, path: &Path) -> Result<Arc<dyn RandomWritableFile>> {
         let mut fs = self.fs.lock();
-        let data = fs.files.entry(Self::normalize(path)).or_insert_with(|| {
+        let path = Self::normalize(path);
+        if !fs.files.contains_key(&path) {
             self.stats.record_file_created();
-            Arc::new(RwLock::new(Vec::new()))
-        });
+            fs.files
+                .insert(path.clone(), Arc::new(RwLock::new(Vec::new())));
+            // Like new_writable_file: the directory entry is not durable
+            // until the parent is synced.
+            fs.unsynced_creates.push(path.clone());
+        }
+        let data = Arc::clone(&fs.files[&path]);
         Ok(Arc::new(MemRandomWritableFile {
-            data: Arc::clone(data),
+            data,
             stats: Arc::clone(&self.stats),
         }))
     }
@@ -338,20 +393,41 @@ impl Env for MemEnv {
 
     fn remove_file(&self, path: &Path) -> Result<()> {
         let mut fs = self.fs.lock();
+        let path = Self::normalize(path);
         fs.files
-            .remove(&Self::normalize(path))
+            .remove(&path)
             .ok_or_else(|| Error::invalid_argument(format!("no such file: {}", path.display())))?;
+        // A deleted file's pending directory entries are moot; dropping them
+        // keeps a later simulated crash from resurrecting it.
+        fs.unsynced_creates.retain(|p| *p != path);
+        fs.unsynced_renames.retain(|r| r.to != path);
         self.stats.record_file_removed();
         Ok(())
     }
 
     fn rename_file(&self, from: &Path, to: &Path) -> Result<()> {
         let mut fs = self.fs.lock();
+        let from = Self::normalize(from);
+        let to = Self::normalize(to);
         let data = fs
             .files
-            .remove(&Self::normalize(from))
+            .remove(&from)
             .ok_or_else(|| Error::invalid_argument(format!("no such file: {}", from.display())))?;
-        fs.files.insert(Self::normalize(to), data);
+        let replaced = fs.files.insert(to.clone(), data);
+        fs.unsynced_renames
+            .push(UnsyncedRename { from, to, replaced });
+        Ok(())
+    }
+
+    fn sync_dir(&self, path: &Path) -> Result<()> {
+        self.faults.lock().check_sync(path)?;
+        let mut fs = self.fs.lock();
+        let dir = Self::normalize(path);
+        fs.unsynced_creates
+            .retain(|p| p.parent() != Some(dir.as_path()));
+        fs.unsynced_renames
+            .retain(|r| r.to.parent() != Some(dir.as_path()));
+        self.stats.record_dir_sync();
         Ok(())
     }
 
@@ -473,6 +549,45 @@ mod tests {
         env.remove_dir_all(Path::new("/db")).unwrap();
         assert!(!env.file_exists(Path::new("/db/a")));
         assert!(env.file_exists(Path::new("/keep/c")));
+    }
+
+    #[test]
+    fn unsynced_dir_entries_are_lost_on_simulated_crash() {
+        let env = MemEnv::new();
+        {
+            let mut f = env.new_writable_file(Path::new("/db/CURRENT")).unwrap();
+            f.append(b"MANIFEST-000001\n").unwrap();
+        }
+        env.sync_dir(Path::new("/db")).unwrap(); // baseline becomes durable
+        {
+            let mut f = env.new_writable_file(Path::new("/db/CURRENT.tmp")).unwrap();
+            f.append(b"MANIFEST-000002\n").unwrap();
+        }
+        env.rename_file(Path::new("/db/CURRENT.tmp"), Path::new("/db/CURRENT"))
+            .unwrap();
+        assert!(env.unsynced_dir_entries() > 0);
+
+        env.drop_unsynced_dir_entries();
+        // The unsynced rename rolled back and the unsynced create vanished.
+        assert_eq!(
+            env.read_file_to_vec(Path::new("/db/CURRENT")).unwrap(),
+            b"MANIFEST-000001\n"
+        );
+        assert!(!env.file_exists(Path::new("/db/CURRENT.tmp")));
+    }
+
+    #[test]
+    fn write_string_to_file_sync_dir_syncs_the_rename() {
+        let env = MemEnv::new();
+        env.write_string_to_file_sync(Path::new("/db/CURRENT"), b"MANIFEST-000007\n")
+            .unwrap();
+        assert_eq!(env.unsynced_dir_entries(), 0);
+        env.drop_unsynced_dir_entries();
+        assert_eq!(
+            env.read_file_to_vec(Path::new("/db/CURRENT")).unwrap(),
+            b"MANIFEST-000007\n"
+        );
+        assert!(env.io_stats().snapshot().dir_syncs >= 1);
     }
 
     #[test]

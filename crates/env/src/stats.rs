@@ -13,6 +13,7 @@ pub struct IoStats {
     writes: AtomicU64,
     reads: AtomicU64,
     syncs: AtomicU64,
+    dir_syncs: AtomicU64,
     files_created: AtomicU64,
     files_removed: AtomicU64,
 }
@@ -30,6 +31,8 @@ pub struct IoStatsSnapshot {
     pub reads: u64,
     /// Number of sync calls.
     pub syncs: u64,
+    /// Number of directory syncs (durability of renames and new files).
+    pub dir_syncs: u64,
     /// Number of files created.
     pub files_created: u64,
     /// Number of files removed.
@@ -57,6 +60,11 @@ impl IoStats {
     /// Records a file sync.
     pub fn record_sync(&self) {
         self.syncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a directory sync.
+    pub fn record_dir_sync(&self) {
+        self.dir_syncs.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a file creation.
@@ -87,6 +95,7 @@ impl IoStats {
             writes: self.writes.load(Ordering::Relaxed),
             reads: self.reads.load(Ordering::Relaxed),
             syncs: self.syncs.load(Ordering::Relaxed),
+            dir_syncs: self.dir_syncs.load(Ordering::Relaxed),
             files_created: self.files_created.load(Ordering::Relaxed),
             files_removed: self.files_removed.load(Ordering::Relaxed),
         }
@@ -99,6 +108,7 @@ impl IoStats {
         self.writes.store(0, Ordering::Relaxed);
         self.reads.store(0, Ordering::Relaxed);
         self.syncs.store(0, Ordering::Relaxed);
+        self.dir_syncs.store(0, Ordering::Relaxed);
         self.files_created.store(0, Ordering::Relaxed);
         self.files_removed.store(0, Ordering::Relaxed);
     }

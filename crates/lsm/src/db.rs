@@ -1,99 +1,53 @@
-//! The baseline leveled-compaction key-value store.
+//! The baseline leveled-compaction key-value store, as a [`ShapePolicy`].
 //!
 //! This engine follows the classic LevelDB design the paper describes in
 //! chapter 2: writes go to a WAL and a memtable, memtables flush to level-0
-//! sstables, and a background thread compacts a level by merging its files
-//! with *every overlapping file in the next level* and rewriting them. That
-//! rewrite is precisely the write-amplification source FLSM removes, so this
-//! engine doubles as the LevelDB/HyperLevelDB/RocksDB comparison point in
-//! the benchmark harness.
+//! sstables, and compaction merges a level's files with *every overlapping
+//! file in the next level* and rewrites them. That rewrite is precisely the
+//! write-amplification source FLSM removes, so this engine doubles as the
+//! LevelDB/HyperLevelDB/RocksDB comparison point in the benchmark harness.
+//!
+//! Structurally, the LSM is the *degenerate* FLSM: every level has exactly
+//! one implicit guard (section 3 of the paper). The shared engine chassis
+//! ([`pebblesdb_engine`]) therefore owns the whole write path, recovery,
+//! flush thread, worker pool and GC; this file contains only the
+//! leveled-compaction policy — how jobs are picked, merged and committed,
+//! and how reads route through the sorted runs.
 
-use std::collections::BTreeSet;
-use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::Path;
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex, MutexGuard};
-
-use pebblesdb_common::commit::{CommitGroup, CommitQueue, Role};
-use pebblesdb_common::counters::EngineCounters;
-use pebblesdb_common::filename::{log_file_name, parse_file_name, table_file_name, FileType};
-use pebblesdb_common::iterator::{DbIterator, MergingIterator, PinnedIterator};
+use pebblesdb_common::iterator::{DbIterator, MergingIterator};
 use pebblesdb_common::key::{
     compare_internal_keys, parse_internal_key, InternalKey, LookupKey, SequenceNumber, ValueType,
     MAX_SEQUENCE_NUMBER,
 };
-use pebblesdb_common::snapshot::{Snapshot, SnapshotList};
-use pebblesdb_common::user_iter::UserIterator;
+use pebblesdb_common::snapshot::Snapshot;
 use pebblesdb_common::{
     Error, KvStore, ReadOptions, Result, StoreOptions, StorePreset, StoreStats, WriteBatch,
     WriteOptions,
 };
+use pebblesdb_engine::{EngineDb, EngineIo, FileMetaData, JobClaim, PolicyCtx, ShapePolicy};
 use pebblesdb_env::Env;
-use pebblesdb_skiplist::memtable::MemTableGet;
-use pebblesdb_skiplist::MemTable;
-use pebblesdb_sstable::{TableBuilder, TableCache};
-use pebblesdb_wal::{LogReader, LogWriter};
+use pebblesdb_sstable::TableBuilder;
 
-use crate::version::{FileMetaData, Version, VersionEdit, VersionSet};
+use crate::version::{FileMetaDataEdit, Version, VersionEdit, VersionSet};
 
-/// A handle to an open baseline LSM database.
-///
-/// Cloneable via `Arc`; all methods take `&self` and are safe to call from
-/// multiple threads.
-pub struct LsmDb {
-    inner: Arc<DbInner>,
-    background_threads: Mutex<Vec<JoinHandle<()>>>,
-}
-
-struct DbInner {
+/// The leveled-compaction shape: one implicit guard per level.
+pub struct LsmPolicy {
     options: StoreOptions,
     preset: StorePreset,
-    env: Arc<dyn Env>,
-    db_path: PathBuf,
-    table_cache: Arc<TableCache>,
-    state: Mutex<DbState>,
-    /// Group-commit writer queue: concurrent writers enqueue batches, one
-    /// leader merges the group and performs WAL IO outside `state`.
-    commit_queue: CommitQueue,
-    work_available: Condvar,
-    /// Wakes the dedicated flush thread (imm -> level 0 never queues behind
-    /// a level compaction, mirroring the FLSM engine so comparisons of the
-    /// two write paths stay fair).
-    flush_available: Condvar,
-    work_done: Condvar,
-    shutting_down: AtomicBool,
-    counters: EngineCounters,
-    snapshots: Arc<SnapshotList>,
 }
 
-struct DbState {
-    /// The active memtable. Concurrent: the group-commit leader inserts via
-    /// `&self` while `get` and streaming cursors read it lock-free, so the
-    /// table is never cloned — when full it is frozen whole into `imm`.
-    mem: Arc<MemTable>,
-    imm: Option<Arc<MemTable>>,
-    versions: VersionSet,
-    log: Option<LogWriter>,
-    log_file_number: u64,
-    compact_pointer: Vec<Vec<u8>>,
-    compaction_running: bool,
-    /// Whether the flush thread is writing `imm` to level 0 right now.
-    flush_running: bool,
-    /// Set when the last GC pass ran while a read or cursor still pinned an
-    /// old version (whose files it therefore kept); `flush` on a quiesced
-    /// store rescans only in that case instead of on every call.
-    gc_rescan_needed: bool,
-    /// Output file numbers of the in-flight flush or compaction; the GC
-    /// must not delete them before their version edit commits.
-    pending_outputs: BTreeSet<u64>,
-    bg_error: Option<Error>,
+/// Mutable policy state: the per-level compaction pointer that rotates
+/// through a level's key space across compactions.
+pub struct LsmPolicyState {
+    /// `compact_pointer[level]` is the largest internal key compacted so far.
+    pub compact_pointer: Vec<Vec<u8>>,
 }
 
 /// Work selected for a background compaction pass.
-struct CompactionJob {
+pub struct LsmCompactionJob {
     level: usize,
     inputs: Vec<Arc<FileMetaData>>,
     next_level_inputs: Vec<Arc<FileMetaData>>,
@@ -104,488 +58,53 @@ struct CompactionJob {
     smallest_snapshot: SequenceNumber,
 }
 
-impl LsmDb {
-    /// Opens (creating if necessary) a database at `path` with explicit
-    /// options, labelled with `preset` for benchmark output.
-    pub fn open_with_options(
-        env: Arc<dyn Env>,
-        path: &Path,
-        options: StoreOptions,
-        preset: StorePreset,
-    ) -> Result<LsmDb> {
-        env.create_dir_all(path)?;
-        let table_cache = Arc::new(TableCache::new(
-            Arc::clone(&env),
-            path.to_path_buf(),
-            options.clone(),
-            options.max_open_files,
-        ));
-        let mut versions = VersionSet::new(Arc::clone(&env), path.to_path_buf(), options.clone());
-
-        let current_exists = env.file_exists(&pebblesdb_common::filename::current_file_name(path));
-        if current_exists {
-            versions.recover()?;
-        } else {
-            if !options.create_if_missing {
-                return Err(Error::invalid_argument("database does not exist"));
-            }
-            versions.create_new()?;
-        }
-        if current_exists && options.error_if_exists {
-            return Err(Error::invalid_argument("database already exists"));
-        }
-
-        let mut state = DbState {
-            mem: Arc::new(MemTable::new()),
-            imm: None,
-            versions,
-            log: None,
-            log_file_number: 0,
-            compact_pointer: vec![Vec::new(); options.max_levels],
-            compaction_running: false,
-            flush_running: false,
-            gc_rescan_needed: false,
-            pending_outputs: BTreeSet::new(),
-            bg_error: None,
-        };
-
-        let inner_scaffold = DbInnerScaffold {
-            env: Arc::clone(&env),
-            db_path: path.to_path_buf(),
-            options: options.clone(),
-        };
-        inner_scaffold.recover_wals(&mut state)?;
-
-        // Start a fresh WAL for new writes.
-        let log_number = state.versions.new_file_number();
-        let log_file = env.new_writable_file(&log_file_name(path, log_number))?;
-        state.log = Some(LogWriter::new(log_file));
-        state.log_file_number = log_number;
-        let edit = VersionEdit {
-            log_number: Some(log_number),
-            ..Default::default()
-        };
-        state.versions.log_and_apply(edit)?;
-
-        let inner = Arc::new(DbInner {
-            options,
-            preset,
-            env,
-            db_path: path.to_path_buf(),
-            table_cache,
-            state: Mutex::new(state),
-            commit_queue: CommitQueue::new(),
-            work_available: Condvar::new(),
-            flush_available: Condvar::new(),
-            work_done: Condvar::new(),
-            shutting_down: AtomicBool::new(false),
-            counters: EngineCounters::new(),
-            snapshots: SnapshotList::new(),
-        });
-
-        {
-            let mut state = inner.state.lock();
-            inner.remove_obsolete_files(&mut state);
-        }
-
-        // Flush/compaction split: a dedicated flush thread keeps imm -> L0
-        // latency independent of compaction length, exactly as in the FLSM
-        // engine. Level compactions themselves stay single-threaded here —
-        // classic leveled compaction rewrites overlapping next-level ranges,
-        // so disjoint jobs cannot be carved out the way guards allow.
-        let mut handles = Vec::new();
-        let flush_inner = Arc::clone(&inner);
-        handles.push(
-            std::thread::Builder::new()
-                .name("lsm-flush".to_string())
-                .spawn(move || DbInner::flush_main(flush_inner))
-                .map_err(|e| Error::internal(format!("spawn flush thread: {e}")))?,
-        );
-        let bg_inner = Arc::clone(&inner);
-        handles.push(
-            std::thread::Builder::new()
-                .name("lsm-compaction".to_string())
-                .spawn(move || DbInner::compaction_main(bg_inner))
-                .map_err(|e| Error::internal(format!("spawn compaction thread: {e}")))?,
-        );
-
-        Ok(LsmDb {
-            inner,
-            background_threads: Mutex::new(handles),
-        })
-    }
-
-    /// Opens a database configured like one of the paper's baseline stores.
-    pub fn open_preset(env: Arc<dyn Env>, path: &Path, preset: StorePreset) -> Result<LsmDb> {
-        LsmDb::open_with_options(env, path, StoreOptions::with_preset(preset), preset)
-    }
-
-    /// Opens a database with default (HyperLevelDB-like) options.
-    pub fn open(env: Arc<dyn Env>, path: &Path) -> Result<LsmDb> {
-        LsmDb::open_preset(env, path, StorePreset::HyperLevelDb)
-    }
-
-    /// The options this database was opened with.
-    pub fn options(&self) -> &StoreOptions {
-        &self.inner.options
-    }
-
-    /// A human-readable per-level file-count summary.
-    pub fn level_summary(&self) -> String {
-        let state = self.inner.state.lock();
-        state.versions.current_unpinned().level_summary()
-    }
-
-    /// Number of files at each level (useful for tests and examples).
-    pub fn files_per_level(&self) -> Vec<usize> {
-        let state = self.inner.state.lock();
-        state
-            .versions
-            .current_unpinned()
-            .files
-            .iter()
-            .map(|f| f.len())
-            .collect()
-    }
-
-    /// Triggers a memtable flush plus any needed compactions, then waits for
-    /// the background thread to go idle.
-    pub fn compact_all(&self) -> Result<()> {
-        self.flush()
+impl LsmCompactionJob {
+    /// A single input with nothing to merge below just moves down a level.
+    fn is_trivial_move(&self) -> bool {
+        self.level > 0 && self.inputs.len() == 1 && self.next_level_inputs.is_empty()
     }
 }
 
-impl Drop for LsmDb {
-    fn drop(&mut self) {
-        self.inner.shutting_down.store(true, Ordering::SeqCst);
-        self.inner.work_available.notify_all();
-        self.inner.flush_available.notify_all();
-        for handle in self.background_threads.lock().drain(..) {
-            let _ = handle.join();
-        }
-    }
-}
+impl ShapePolicy for LsmPolicy {
+    type Versions = VersionSet;
+    type State = LsmPolicyState;
+    type Job = LsmCompactionJob;
 
-/// Helper owning what WAL recovery needs before `DbInner` exists.
-struct DbInnerScaffold {
-    env: Arc<dyn Env>,
-    db_path: PathBuf,
-    options: StoreOptions,
-}
-
-impl DbInnerScaffold {
-    /// Replays write-ahead logs newer than the manifest's log number.
-    fn recover_wals(&self, state: &mut DbState) -> Result<()> {
-        let min_log = state.versions.log_number;
-        let mut log_numbers: Vec<u64> = self
-            .env
-            .children(&self.db_path)?
-            .iter()
-            .filter_map(|name| parse_file_name(name))
-            .filter(|(ty, number)| *ty == FileType::WriteAheadLog && *number >= min_log)
-            .map(|(_, number)| number)
-            .collect();
-        log_numbers.sort_unstable();
-
-        for number in log_numbers {
-            state.versions.mark_file_number_used(number);
-            let path = log_file_name(&self.db_path, number);
-            let file = self.env.new_sequential_file(&path)?;
-            let mut reader = LogReader::new(file);
-            // A clean end or a torn tail both end replay of this log.
-            while let Ok(Some(record)) = reader.read_record() {
-                let batch = match WriteBatch::from_contents(record) {
-                    Ok(batch) => batch,
-                    Err(_) => break,
-                };
-                let base_seq = batch.sequence();
-                let mut applied = 0u64;
-                for item in batch.iter() {
-                    let item = match item {
-                        Ok(item) => item,
-                        Err(_) => break,
-                    };
-                    state
-                        .mem
-                        .add(item.sequence, item.value_type, item.key, item.value);
-                    applied += 1;
-                }
-                let last = base_seq + applied.saturating_sub(1);
-                if last > state.versions.last_sequence {
-                    state.versions.last_sequence = last;
-                }
-                if state.mem.approximate_memory_usage() > self.options.write_buffer_size {
-                    self.flush_recovery_memtable(state)?;
-                }
-            }
-        }
-        if !state.mem.is_empty() {
-            self.flush_recovery_memtable(state)?;
-        }
-        Ok(())
+    fn engine_name(&self) -> String {
+        self.preset.name().to_string()
     }
 
-    fn flush_recovery_memtable(&self, state: &mut DbState) -> Result<()> {
-        let number = state.versions.new_file_number();
-        let mem = std::mem::replace(&mut state.mem, Arc::new(MemTable::new()));
-        let meta = build_table_from_memtable(
-            self.env.as_ref(),
-            &self.db_path,
-            &self.options,
-            &mem,
-            number,
-        )?;
-        if let Some(meta) = meta {
-            let mut edit = VersionEdit::default();
-            edit.add_file(0, &meta);
-            state.versions.log_and_apply(edit)?;
-        }
-        Ok(())
-    }
-}
-
-/// Writes the contents of a memtable into a new level-0 sstable.
-fn build_table_from_memtable(
-    env: &dyn Env,
-    db_path: &Path,
-    options: &StoreOptions,
-    mem: &MemTable,
-    file_number: u64,
-) -> Result<Option<FileMetaData>> {
-    let mut iter = mem.iter();
-    iter.seek_to_first();
-    if !iter.valid() {
-        return Ok(None);
-    }
-    let path = table_file_name(db_path, file_number);
-    let file = env.new_writable_file(&path)?;
-    let mut builder = TableBuilder::new(options, file);
-    let mut smallest: Option<Vec<u8>> = None;
-    let mut largest: Vec<u8> = Vec::new();
-    while iter.valid() {
-        if smallest.is_none() {
-            smallest = Some(iter.key().to_vec());
-        }
-        largest = iter.key().to_vec();
-        builder.add(iter.key(), iter.value())?;
-        iter.next();
-    }
-    let file_size = builder.finish()?;
-    Ok(Some(FileMetaData::new(
-        file_number,
-        file_size,
-        InternalKey::from_encoded(smallest.unwrap_or_default()),
-        InternalKey::from_encoded(largest),
-    )))
-}
-
-impl DbInner {
-    // ---------------------------------------------------------------- write
-
-    fn write(&self, batch: WriteBatch, opts: &WriteOptions) -> Result<()> {
-        if batch.is_empty() {
-            return Ok(());
-        }
-        let mut user_bytes = 0u64;
-        for record in batch.iter() {
-            let record = record?;
-            user_bytes += (record.key.len() + record.value.len()) as u64;
-        }
-
-        let ticket = self.commit_queue.submit(Some(batch), opts.sync);
-        let result = match self.commit_queue.wait_turn(&ticket) {
-            Role::Done(result) => result,
-            Role::Leader(group) => self.commit(group),
-        };
-        if result.is_ok() {
-            self.counters.add_user_bytes(user_bytes);
-        }
-        result
+    fn new_versions(&self, io: &EngineIo) -> VersionSet {
+        VersionSet::new(Arc::clone(&io.env), io.db_path.clone(), io.options.clone())
     }
 
-    /// Commits a write group as its leader: make room, reserve a sequence
-    /// range, then append + sync the WAL and apply the merged batch to the
-    /// concurrent memtable **outside** the state mutex, so readers and the
-    /// compaction thread proceed during the IO. The new sequence is only
-    /// published (making the group visible) after the apply succeeds.
-    fn commit(&self, mut group: CommitGroup) -> Result<()> {
-        let mut state = self.state.lock();
-        let force = group.force_rotate && !state.mem.is_empty();
-        let mut result = self.make_room_for_write(&mut state, force);
-
-        if result.is_ok() && !group.batch.is_empty() {
-            let seq = state.versions.last_sequence + 1;
-            group.batch.set_sequence(seq);
-            let count = u64::from(group.batch.count());
-
-            // Only the leader (that's us, until `complete`) touches the log
-            // or inserts into `mem`, so both can leave the mutex.
-            let mut log = state.log.take();
-            let mem = Arc::clone(&state.mem);
-            let batch = &group.batch;
-            let sync = group.sync;
-            let io_result = MutexGuard::unlocked(&mut state, || -> Result<()> {
-                if let Some(log) = log.as_mut() {
-                    log.add_record(batch.contents())?;
-                    if sync {
-                        log.sync()?;
-                    }
-                }
-                for record in batch.iter() {
-                    let record = record?;
-                    mem.add(record.sequence, record.value_type, record.key, record.value);
-                }
-                Ok(())
-            });
-            state.log = log;
-            match io_result {
-                Ok(()) => state.versions.last_sequence = seq + count - 1,
-                Err(err) => {
-                    // A failed WAL append/sync may have lost acknowledged
-                    // bytes; poison the store like LevelDB does.
-                    if state.bg_error.is_none() {
-                        state.bg_error = Some(err.clone());
-                    }
-                    result = Err(err);
-                }
-            }
-        }
-        drop(state);
-        self.commit_queue.complete(group, &result);
-        result
-    }
-
-    /// Ensures there is room in the memtable, applying level-0 back-pressure.
-    fn make_room_for_write(&self, state: &mut MutexGuard<'_, DbState>, force: bool) -> Result<()> {
-        let mut allow_delay = !force;
-        let mut force = force;
-        loop {
-            if let Some(err) = &state.bg_error {
-                return Err(err.clone());
-            }
-            let level0_files = state.versions.current_unpinned().files[0].len();
-            if allow_delay && level0_files >= self.options.level0_slowdown_writes_trigger {
-                // Gentle back-pressure: let the compaction thread make
-                // progress without fully blocking this writer.
-                allow_delay = false;
-                let stall = Instant::now();
-                self.work_available.notify_one();
-                MutexGuard::unlocked(state, || std::thread::sleep(Duration::from_millis(1)));
-                self.counters
-                    .record_stall(stall.elapsed().as_micros() as u64);
-                continue;
-            }
-            if !force && state.mem.approximate_memory_usage() <= self.options.write_buffer_size {
-                return Ok(());
-            }
-            if state.imm.is_some() {
-                // Previous memtable still flushing.
-                let stall = Instant::now();
-                self.flush_available.notify_one();
-                self.work_done.wait(state);
-                self.counters
-                    .record_stall(stall.elapsed().as_micros() as u64);
-                continue;
-            }
-            if level0_files >= self.options.level0_stop_writes_trigger {
-                let stall = Instant::now();
-                self.work_available.notify_one();
-                self.work_done.wait(state);
-                self.counters
-                    .record_stall(stall.elapsed().as_micros() as u64);
-                continue;
-            }
-
-            // Switch to a fresh memtable and WAL. The full memtable is
-            // frozen whole — cursors still pinning it keep reading it in
-            // `imm` (and beyond, through their own `Arc`s) with no copy.
-            let new_log_number = state.versions.new_file_number();
-            let log_file = self
-                .env
-                .new_writable_file(&log_file_name(&self.db_path, new_log_number))?;
-            let close_result = match state.log.take() {
-                Some(old_log) => old_log.close(),
-                None => Ok(()),
-            };
-            state.log = Some(LogWriter::new(log_file));
-            state.log_file_number = new_log_number;
-            if let Err(err) = close_result {
-                // A failed close may have lost a sync on acknowledged
-                // records in the old log; surface it instead of dropping it.
-                if state.bg_error.is_none() {
-                    state.bg_error = Some(err.clone());
-                }
-                return Err(err);
-            }
-            let full_mem = std::mem::replace(&mut state.mem, Arc::new(MemTable::new()));
-            state.imm = Some(full_mem);
-            force = false;
-            self.flush_available.notify_one();
+    fn new_state(&self) -> LsmPolicyState {
+        LsmPolicyState {
+            compact_pointer: vec![Vec::new(); self.options.max_levels],
         }
     }
 
-    // ----------------------------------------------------------------- read
+    // ------------------------------------------------------------- read path
 
-    fn get(&self, opts: &ReadOptions, user_key: &[u8]) -> Result<Option<Vec<u8>>> {
-        self.counters.record_get();
-        let (lookup, imm, version) = {
-            let mut state = self.state.lock();
-            let sequence = visible_sequence(opts, state.versions.last_sequence);
-            let lookup = LookupKey::new(user_key, sequence);
-            match state.mem.get(&lookup) {
-                MemTableGet::Found(value) => return Ok(Some(value)),
-                MemTableGet::Deleted => return Ok(None),
-                MemTableGet::NotFound => {}
-            }
-            (lookup, state.imm.clone(), state.versions.current())
-        };
-        if let Some(imm) = imm {
-            match imm.get(&lookup) {
-                MemTableGet::Found(value) => return Ok(Some(value)),
-                MemTableGet::Deleted => return Ok(None),
-                MemTableGet::NotFound => {}
-            }
-        }
-        version.get(opts, &lookup, &self.table_cache)
-    }
-
-    /// Builds the streaming user-key cursor: memtables plus every on-disk
-    /// level, merged and filtered down to the view at the cursor's sequence.
-    fn iter(&self, opts: &ReadOptions) -> Result<Box<dyn DbIterator>> {
-        self.counters.record_seek();
-        let (sequence, mem, imm, version) = {
-            let mut state = self.state.lock();
-            let sequence = visible_sequence(opts, state.versions.last_sequence);
-            (
-                sequence,
-                Arc::clone(&state.mem),
-                state.imm.clone(),
-                state.versions.current(),
-            )
-        };
-
-        let mut children: Vec<Box<dyn DbIterator>> = Vec::new();
-        children.push(Box::new(mem.owned_iter()));
-        if let Some(imm) = imm {
-            children.push(Box::new(imm.owned_iter()));
-        }
-        self.add_version_iterators(opts, &version, &mut children)?;
-
-        let merged = MergingIterator::new(children);
-        let user = UserIterator::new(Box::new(merged), sequence);
-        // Pin the version so obsolete-file GC cannot delete the sstables the
-        // cursor is still reading.
-        Ok(Box::new(PinnedIterator::new(Box::new(user), version)))
-    }
-
-    fn add_version_iterators(
+    fn get_in_version(
         &self,
-        opts: &ReadOptions,
+        io: &EngineIo,
         version: &Version,
+        opts: &ReadOptions,
+        key: &LookupKey,
+    ) -> Result<Option<Vec<u8>>> {
+        version.get(opts, key, &io.table_cache)
+    }
+
+    fn append_version_iterators(
+        &self,
+        io: &EngineIo,
+        version: &Version,
+        opts: &ReadOptions,
         children: &mut Vec<Box<dyn DbIterator>>,
     ) -> Result<()> {
         for file in &version.files[0] {
-            children.push(Box::new(self.table_cache.iter(
+            children.push(Box::new(io.table_cache.iter(
                 opts,
                 file.number,
                 file.file_size,
@@ -598,7 +117,7 @@ impl DbInner {
                 continue;
             }
             children.push(Box::new(crate::iter::LevelConcatIterator::new(
-                Arc::clone(&self.table_cache),
+                Arc::clone(&io.table_cache),
                 opts.clone(),
                 version.files[level].clone(),
             )));
@@ -606,113 +125,22 @@ impl DbInner {
         Ok(())
     }
 
-    // ----------------------------------------------------- background work
+    // ------------------------------------------------------------ compaction
 
-    /// The dedicated flush thread: turns `imm` into a level-0 sstable the
-    /// moment one exists, without queueing behind a level compaction.
-    fn flush_main(inner: Arc<DbInner>) {
-        let mut state = inner.state.lock();
-        loop {
-            while !inner.shutting_down.load(Ordering::SeqCst)
-                && (state.imm.is_none() || state.bg_error.is_some())
-            {
-                inner.flush_available.wait(&mut state);
-            }
-            if inner.shutting_down.load(Ordering::SeqCst) {
-                break;
-            }
-            state.flush_running = true;
-            let result = inner.compact_memtable(&mut state);
-            state.flush_running = false;
-            if let Err(err) = result {
-                if state.bg_error.is_none() {
-                    state.bg_error = Some(err);
-                }
-            }
-            inner.work_done.notify_all();
-            inner.work_available.notify_all();
+    /// Classic leveled compaction rewrites every overlapping next-level
+    /// range, so jobs cannot be carved into disjoint units the way guards
+    /// allow: a job is claimable only when no other job is in flight, which
+    /// keeps the engine correct under any chassis worker-pool size.
+    fn pick_job(
+        &self,
+        _io: &EngineIo,
+        ctx: &mut PolicyCtx<'_, Self>,
+    ) -> Option<JobClaim<LsmCompactionJob>> {
+        if !ctx.claimed_inputs.is_empty() {
+            return None;
         }
-    }
-
-    /// The level-compaction thread.
-    fn compaction_main(inner: Arc<DbInner>) {
-        let mut state = inner.state.lock();
-        loop {
-            while !inner.shutting_down.load(Ordering::SeqCst)
-                && (!state.versions.needs_compaction() || state.bg_error.is_some())
-            {
-                inner.work_available.wait(&mut state);
-            }
-            if inner.shutting_down.load(Ordering::SeqCst) {
-                break;
-            }
-            state.compaction_running = true;
-            let result = match inner.pick_compaction(&mut state) {
-                Some(job) => {
-                    inner.counters.record_compaction_start();
-                    let result = inner.run_compaction(&mut state, job);
-                    inner.counters.record_compaction_end();
-                    result
-                }
-                None => Ok(()),
-            };
-            state.compaction_running = false;
-            if let Err(err) = result {
-                if state.bg_error.is_none() {
-                    state.bg_error = Some(err);
-                }
-            }
-            inner.work_done.notify_all();
-        }
-    }
-
-    fn compact_memtable(&self, state: &mut MutexGuard<'_, DbState>) -> Result<()> {
-        let imm = match state.imm.clone() {
-            Some(imm) => imm,
-            None => return Ok(()),
-        };
-        let number = state.versions.new_file_number();
-        // The new table is invisible to every version until the edit
-        // commits; keep the compaction thread's GC away from it meanwhile.
-        state.pending_outputs.insert(number);
-        let start = Instant::now();
-        let env = Arc::clone(&self.env);
-        let db_path = self.db_path.clone();
-        let options = self.options.clone();
-        let meta = MutexGuard::unlocked(state, || {
-            build_table_from_memtable(env.as_ref(), &db_path, &options, &imm, number)
-        });
-        let meta = match meta {
-            Ok(meta) => meta,
-            Err(err) => {
-                state.pending_outputs.remove(&number);
-                return Err(err);
-            }
-        };
-
-        let mut edit = VersionEdit {
-            log_number: Some(state.log_file_number),
-            ..Default::default()
-        };
-        let mut written = 0;
-        if let Some(meta) = &meta {
-            written = meta.file_size;
-            edit.add_file(0, meta);
-        }
-        let commit = state.versions.log_and_apply(edit);
-        state.pending_outputs.remove(&number);
-        commit?;
-        state.imm = None;
-        self.counters.record_flush();
-        self.counters
-            .record_compaction(start.elapsed().as_micros() as u64, 0, written);
-        self.remove_obsolete_files(state);
-        Ok(())
-    }
-
-    fn pick_compaction(&self, state: &mut MutexGuard<'_, DbState>) -> Option<CompactionJob> {
-        let (level, _score) = state.versions.pick_compaction_level()?;
-        let version = state.versions.current();
+        let (level, _score) = ctx.versions.pick_compaction_level()?;
+        let version = ctx.versions.current();
 
         let inputs: Vec<Arc<FileMetaData>> = if level == 0 {
             // Compact the whole of level 0 in one go (HyperLevelDB-style
@@ -721,7 +149,7 @@ impl DbInner {
         } else {
             // Rotate through the level using the compaction pointer.
             let files = &version.files[level];
-            let pointer = &state.compact_pointer[level];
+            let pointer = &ctx.state.compact_pointer[level];
             let chosen = files
                 .iter()
                 .find(|f| {
@@ -769,54 +197,57 @@ impl DbInner {
         let estimated_outputs =
             (total_input_bytes / self.options.max_file_size.max(1) as u64 + 2) as usize;
         let output_numbers: Vec<u64> = (0..estimated_outputs)
-            .map(|_| state.versions.new_file_number())
+            .map(|_| ctx.versions.new_file_number())
             .collect();
-        // Protect the not-yet-committed outputs from the flush thread's GC.
-        state.pending_outputs.extend(output_numbers.iter().copied());
 
-        Some(CompactionJob {
-            level,
-            inputs,
-            next_level_inputs,
-            drop_tombstones,
-            output_numbers,
-            smallest_snapshot: self
-                .snapshots
-                .compaction_floor(state.versions.last_sequence),
+        let input_numbers = inputs
+            .iter()
+            .chain(next_level_inputs.iter())
+            .map(|f| f.number)
+            .collect();
+        Some(JobClaim {
+            input_numbers,
+            output_numbers: output_numbers.clone(),
+            job: LsmCompactionJob {
+                level,
+                inputs,
+                next_level_inputs,
+                drop_tombstones,
+                output_numbers,
+                smallest_snapshot: ctx.smallest_snapshot,
+            },
         })
     }
 
-    fn run_compaction(
-        &self,
-        state: &mut MutexGuard<'_, DbState>,
-        job: CompactionJob,
-    ) -> Result<()> {
-        let start = Instant::now();
+    fn run_job_io(&self, io: &EngineIo, job: &LsmCompactionJob) -> Result<Vec<FileMetaData>> {
+        if job.is_trivial_move() {
+            return Ok(Vec::new());
+        }
+        self.compaction_io(io, job)
+    }
 
-        // Trivial move: a single input with nothing to merge below just moves.
-        if job.level > 0 && job.inputs.len() == 1 && job.next_level_inputs.is_empty() {
+    fn commit_job(
+        &self,
+        ctx: &mut PolicyCtx<'_, Self>,
+        job: &LsmCompactionJob,
+        outputs: Vec<FileMetaData>,
+    ) -> Result<(u64, u64)> {
+        if job.is_trivial_move() {
             let file = &job.inputs[0];
             let mut edit = VersionEdit::default();
             edit.delete_file(job.level, file.number);
             edit.new_files.push((
                 job.level + 1,
-                crate::version::FileMetaDataEdit {
+                FileMetaDataEdit {
                     number: file.number,
                     file_size: file.file_size,
                     smallest: file.smallest.encoded().to_vec(),
                     largest: file.largest.encoded().to_vec(),
                 },
             ));
-            state.compact_pointer[job.level] = file.largest.encoded().to_vec();
-            let commit = state.versions.log_and_apply(edit);
-            for number in &job.output_numbers {
-                state.pending_outputs.remove(number);
-            }
-            commit?;
-            self.counters
-                .record_compaction(start.elapsed().as_micros() as u64, 0, 0);
-            self.remove_obsolete_files(state);
-            return Ok(());
+            ctx.state.compact_pointer[job.level] = file.largest.encoded().to_vec();
+            ctx.versions.log_and_apply(edit)?;
+            return Ok((0, 0));
         }
 
         let bytes_read: u64 = job
@@ -825,18 +256,6 @@ impl DbInner {
             .chain(job.next_level_inputs.iter())
             .map(|f| f.file_size)
             .sum();
-
-        let outputs = MutexGuard::unlocked(state, || self.compaction_io(&job));
-        let outputs = match outputs {
-            Ok(outputs) => outputs,
-            Err(err) => {
-                for number in &job.output_numbers {
-                    state.pending_outputs.remove(number);
-                }
-                return Err(err);
-            }
-        };
-
         let mut edit = VersionEdit::default();
         for file in &job.inputs {
             edit.delete_file(job.level, file.number);
@@ -850,28 +269,20 @@ impl DbInner {
             edit.add_file(job.level + 1, meta);
         }
         if let Some(last_input) = job.inputs.last() {
-            state.compact_pointer[job.level] = last_input.largest.encoded().to_vec();
+            ctx.state.compact_pointer[job.level] = last_input.largest.encoded().to_vec();
         }
-        let commit = state.versions.log_and_apply(edit);
-        for number in &job.output_numbers {
-            state.pending_outputs.remove(number);
-        }
-        commit?;
-        self.counters.record_compaction(
-            start.elapsed().as_micros() as u64,
-            bytes_read,
-            bytes_written,
-        );
-        self.remove_obsolete_files(state);
-        Ok(())
+        ctx.versions.log_and_apply(edit)?;
+        Ok((bytes_read, bytes_written))
     }
+}
 
+impl LsmPolicy {
     /// The IO part of a compaction: merge the inputs and write output tables.
-    fn compaction_io(&self, job: &CompactionJob) -> Result<Vec<FileMetaData>> {
+    fn compaction_io(&self, io: &EngineIo, job: &LsmCompactionJob) -> Result<Vec<FileMetaData>> {
         let read_options = ReadOptions::default();
         let mut children: Vec<Box<dyn DbIterator>> = Vec::new();
         for file in job.inputs.iter().chain(job.next_level_inputs.iter()) {
-            children.push(Box::new(self.table_cache.iter(
+            children.push(Box::new(io.table_cache.iter(
                 &read_options,
                 file.number,
                 file.file_size,
@@ -915,8 +326,8 @@ impl DbInner {
                         .get(output_index)
                         .ok_or_else(|| Error::internal("ran out of output file numbers"))?;
                     output_index += 1;
-                    let path = table_file_name(&self.db_path, number);
-                    let file = self.env.new_writable_file(&path)?;
+                    let path = pebblesdb_common::filename::table_file_name(&io.db_path, number);
+                    let file = io.env.new_writable_file(&path)?;
                     builder = Some((number, TableBuilder::new(&self.options, file)));
                 }
                 let (_, b) = builder.as_mut().expect("builder exists");
@@ -937,115 +348,6 @@ impl DbInner {
         }
         Ok(outputs)
     }
-
-    // -------------------------------------------------------------- cleanup
-
-    fn remove_obsolete_files(&self, state: &mut MutexGuard<'_, DbState>) {
-        // If a pinned old version kept files alive in this pass, a later
-        // quiesced `flush` must rescan once the pins drop.
-        let (live, pinned) = state.versions.live_files_and_pins();
-        state.gc_rescan_needed = pinned;
-        let log_number = state.versions.log_number;
-        let manifest_number = state.versions.manifest_number();
-        let children = match self.env.children(&self.db_path) {
-            Ok(children) => children,
-            Err(_) => return,
-        };
-        for name in children {
-            let Some((ty, number)) = parse_file_name(&name) else {
-                continue;
-            };
-            let keep = match ty {
-                FileType::Table => {
-                    live.binary_search(&number).is_ok() || state.pending_outputs.contains(&number)
-                }
-                FileType::WriteAheadLog => number >= log_number || number == state.log_file_number,
-                FileType::Descriptor => number >= manifest_number,
-                FileType::Temp => false,
-                FileType::Current | FileType::Lock | FileType::BtreePages => true,
-            };
-            if !keep {
-                if ty == FileType::Table {
-                    self.table_cache.evict(number);
-                }
-                let _ = self.env.remove_file(&self.db_path.join(&name));
-            }
-        }
-    }
-
-    // ---------------------------------------------------------------- flush
-
-    fn flush(&self) -> Result<()> {
-        // Rotate the active memtable through the commit queue so the
-        // rotation is serialised with in-flight write groups.
-        let needs_rotate = !self.state.lock().mem.is_empty();
-        if needs_rotate {
-            let ticket = self.commit_queue.submit(None, false);
-            match self.commit_queue.wait_turn(&ticket) {
-                Role::Done(result) => result?,
-                Role::Leader(group) => self.commit(group)?,
-            }
-        }
-        let mut state = self.state.lock();
-        loop {
-            if let Some(err) = &state.bg_error {
-                return Err(err.clone());
-            }
-            if state.imm.is_some()
-                || state.flush_running
-                || state.compaction_running
-                || state.versions.needs_compaction()
-            {
-                self.flush_available.notify_one();
-                self.work_available.notify_one();
-                self.work_done.wait(&mut state);
-            } else {
-                // Quiesced: reclaim files whose deletion a commit-time GC
-                // skipped because a read still pinned their version. Skipped
-                // when the last GC saw no pins — it already ran to
-                // completion, so rescanning the directory would be wasted
-                // work under the state lock.
-                if state.gc_rescan_needed {
-                    self.remove_obsolete_files(&mut state);
-                }
-                return Ok(());
-            }
-        }
-    }
-
-    fn stats(&self) -> StoreStats {
-        let io = self.env.io_stats().snapshot();
-        let state = self.state.lock();
-        let version = state.versions.current_unpinned();
-        let memory = state.mem.approximate_memory_usage()
-            + state
-                .imm
-                .as_ref()
-                .map(|m| m.approximate_memory_usage())
-                .unwrap_or(0)
-            + self.table_cache.memory_usage();
-        StoreStats {
-            user_bytes_written: EngineCounters::load(&self.counters.user_bytes_written),
-            bytes_written: io.bytes_written,
-            bytes_read: io.bytes_read,
-            disk_bytes_live: version.total_bytes(),
-            num_files: version.num_files() as u64,
-            compactions: EngineCounters::load(&self.counters.compactions),
-            flushes: EngineCounters::load(&self.counters.flushes),
-            max_concurrent_compactions: EngineCounters::load(
-                &self.counters.max_concurrent_compactions,
-            ),
-            compaction_micros: EngineCounters::load(&self.counters.compaction_micros),
-            compaction_bytes_read: EngineCounters::load(&self.counters.compaction_bytes_read),
-            compaction_bytes_written: EngineCounters::load(&self.counters.compaction_bytes_written),
-            memory_usage_bytes: memory as u64,
-            gets: EngineCounters::load(&self.counters.gets),
-            seeks: EngineCounters::load(&self.counters.seeks),
-            write_stalls: EngineCounters::load(&self.counters.write_stalls),
-            write_stall_micros: EngineCounters::load(&self.counters.write_stall_micros),
-            memtable_clones: EngineCounters::load(&self.counters.memtable_clones),
-        }
-    }
 }
 
 fn finish_output(number: u64, builder: TableBuilder) -> Result<FileMetaData> {
@@ -1060,58 +362,95 @@ fn finish_output(number: u64, builder: TableBuilder) -> Result<FileMetaData> {
     ))
 }
 
-/// The sequence number a read issued with `opts` may observe: the requested
-/// snapshot, clamped to the store's current sequence.
-fn visible_sequence(opts: &ReadOptions, last_sequence: SequenceNumber) -> SequenceNumber {
-    opts.snapshot
-        .map(|snap| snap.min(last_sequence))
-        .unwrap_or(last_sequence)
+/// A handle to an open baseline LSM database.
+///
+/// Cloneable via `Arc`; all methods take `&self` and are safe to call from
+/// multiple threads. Everything but the leveled-compaction policy runs in
+/// the shared chassis ([`EngineDb`]).
+pub struct LsmDb {
+    db: EngineDb<LsmPolicy>,
+}
+
+impl LsmDb {
+    /// Opens (creating if necessary) a database at `path` with explicit
+    /// options, labelled with `preset` for benchmark output.
+    pub fn open_with_options(
+        env: Arc<dyn Env>,
+        path: &Path,
+        options: StoreOptions,
+        preset: StorePreset,
+    ) -> Result<LsmDb> {
+        let policy = LsmPolicy {
+            options: options.clone(),
+            preset,
+        };
+        Ok(LsmDb {
+            db: EngineDb::open(policy, env, path, options)?,
+        })
+    }
+
+    /// Opens a database configured like one of the paper's baseline stores.
+    pub fn open_preset(env: Arc<dyn Env>, path: &Path, preset: StorePreset) -> Result<LsmDb> {
+        LsmDb::open_with_options(env, path, StoreOptions::with_preset(preset), preset)
+    }
+
+    /// Opens a database with default (HyperLevelDB-like) options.
+    pub fn open(env: Arc<dyn Env>, path: &Path) -> Result<LsmDb> {
+        LsmDb::open_preset(env, path, StorePreset::HyperLevelDb)
+    }
+
+    /// The options this database was opened with.
+    pub fn options(&self) -> &StoreOptions {
+        self.db.options()
+    }
+
+    /// A human-readable per-level file-count summary.
+    pub fn level_summary(&self) -> String {
+        self.db.with_current_version(|v| v.level_summary())
+    }
+
+    /// Number of files at each level (useful for tests and examples).
+    pub fn files_per_level(&self) -> Vec<usize> {
+        self.db
+            .with_current_version(|v| v.files.iter().map(|f| f.len()).collect())
+    }
+
+    /// Triggers a memtable flush plus any needed compactions, then waits for
+    /// the background threads to go idle.
+    pub fn compact_all(&self) -> Result<()> {
+        KvStore::flush(self)
+    }
 }
 
 impl KvStore for LsmDb {
     fn put_opts(&self, opts: &WriteOptions, key: &[u8], value: &[u8]) -> Result<()> {
-        let mut batch = WriteBatch::new();
-        batch.put(key, value);
-        self.inner.write(batch, opts)
+        self.db.put_opts(opts, key, value)
     }
-
     fn get_opts(&self, opts: &ReadOptions, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        self.inner.get(opts, key)
+        self.db.get_opts(opts, key)
     }
-
     fn delete_opts(&self, opts: &WriteOptions, key: &[u8]) -> Result<()> {
-        let mut batch = WriteBatch::new();
-        batch.delete(key);
-        self.inner.write(batch, opts)
+        self.db.delete_opts(opts, key)
     }
-
     fn write_opts(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<()> {
-        self.inner.write(batch, opts)
+        self.db.write_opts(opts, batch)
     }
-
     fn iter(&self, opts: &ReadOptions) -> Result<Box<dyn DbIterator>> {
-        self.inner.iter(opts)
+        self.db.iter(opts)
     }
-
     fn snapshot(&self) -> Snapshot {
-        let state = self.inner.state.lock();
-        self.inner.snapshots.acquire(state.versions.last_sequence)
+        self.db.snapshot()
     }
-
     fn flush(&self) -> Result<()> {
-        self.inner.flush()
+        self.db.flush()
     }
-
     fn stats(&self) -> StoreStats {
-        self.inner.stats()
+        self.db.stats()
     }
-
     fn engine_name(&self) -> String {
-        self.inner.preset.name().to_string()
+        self.db.engine_name()
     }
-
     fn live_file_sizes(&self) -> Vec<u64> {
-        let state = self.inner.state.lock();
-        state.versions.current_unpinned().file_sizes()
+        self.db.live_file_sizes()
     }
 }

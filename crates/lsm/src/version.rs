@@ -8,7 +8,6 @@
 //! crate).
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicI64, Ordering as AtomicOrdering};
 use std::sync::{Arc, Weak};
 
 use pebblesdb_common::coding::put_length_prefixed_slice;
@@ -17,64 +16,12 @@ use pebblesdb_common::filename::{current_file_name, descriptor_file_name};
 use pebblesdb_common::key::{compare_internal_keys, InternalKey, LookupKey, SequenceNumber};
 use pebblesdb_common::key::{parse_internal_key, ValueType};
 use pebblesdb_common::{Error, ReadOptions, Result, StoreOptions};
+use pebblesdb_engine::policy::{VersionMeta, VersionSetOps};
 use pebblesdb_env::Env;
 use pebblesdb_sstable::TableCache;
 use pebblesdb_wal::{LogReader, LogWriter};
 
-/// Metadata describing one live sstable.
-#[derive(Debug)]
-pub struct FileMetaData {
-    /// The file number (also the file name).
-    pub number: u64,
-    /// File size in bytes.
-    pub file_size: u64,
-    /// Smallest internal key stored in the file.
-    pub smallest: InternalKey,
-    /// Largest internal key stored in the file.
-    pub largest: InternalKey,
-    /// Seeks allowed before the file becomes a compaction candidate
-    /// (LevelDB-style seek compaction).
-    pub allowed_seeks: AtomicI64,
-}
-
-impl FileMetaData {
-    /// Creates metadata for a new file.
-    pub fn new(number: u64, file_size: u64, smallest: InternalKey, largest: InternalKey) -> Self {
-        // One seek is "worth" roughly 16 KiB of compaction IO (LevelDB
-        // heuristic): larger files tolerate more seeks before compaction.
-        let allowed = ((file_size / 16384).max(100)) as i64;
-        FileMetaData {
-            number,
-            file_size,
-            smallest,
-            largest,
-            allowed_seeks: AtomicI64::new(allowed),
-        }
-    }
-
-    /// Returns `true` if the file's key range overlaps `[begin, end]` in user
-    /// key space. `None` bounds are unbounded.
-    pub fn overlaps_user_range(&self, begin: Option<&[u8]>, end: Option<&[u8]>) -> bool {
-        let file_smallest = self.smallest.user_key();
-        let file_largest = self.largest.user_key();
-        if let Some(begin) = begin {
-            if file_largest < begin {
-                return false;
-            }
-        }
-        if let Some(end) = end {
-            if file_smallest > end {
-                return false;
-            }
-        }
-        true
-    }
-
-    /// Decrements the seek allowance, returning `true` when it hits zero.
-    pub fn record_seek(&self) -> bool {
-        self.allowed_seeks.fetch_sub(1, AtomicOrdering::Relaxed) == 1
-    }
-}
+pub use pebblesdb_engine::meta::{FileMetaData, FileMetaDataEdit};
 
 /// A record of changes to the file set, persisted in the MANIFEST.
 #[derive(Debug, Default, Clone)]
@@ -89,19 +36,6 @@ pub struct VersionEdit {
     pub deleted_files: Vec<(usize, u64)>,
     /// Files added: `(level, metadata)`.
     pub new_files: Vec<(usize, FileMetaDataEdit)>,
-}
-
-/// The serialisable subset of [`FileMetaData`] carried in an edit.
-#[derive(Debug, Clone)]
-pub struct FileMetaDataEdit {
-    /// File number.
-    pub number: u64,
-    /// File size in bytes.
-    pub file_size: u64,
-    /// Smallest internal key.
-    pub smallest: Vec<u8>,
-    /// Largest internal key.
-    pub largest: Vec<u8>,
 }
 
 const TAG_LOG_NUMBER: u32 = 1;
@@ -622,6 +556,79 @@ impl VersionSet {
     /// The database options (shared with compaction code).
     pub fn options(&self) -> &StoreOptions {
         &self.options
+    }
+}
+
+impl VersionMeta for Version {
+    fn level0_len(&self) -> usize {
+        self.files[0].len()
+    }
+    fn total_bytes(&self) -> u64 {
+        Version::total_bytes(self)
+    }
+    fn num_files(&self) -> usize {
+        Version::num_files(self)
+    }
+    fn file_sizes(&self) -> Vec<u64> {
+        Version::file_sizes(self)
+    }
+    fn level_summary(&self) -> String {
+        Version::level_summary(self)
+    }
+}
+
+impl VersionSetOps for VersionSet {
+    type Version = Version;
+
+    fn recover(&mut self) -> Result<()> {
+        VersionSet::recover(self)
+    }
+    fn create_new(&mut self) -> Result<()> {
+        VersionSet::create_new(self)
+    }
+    fn log_number(&self) -> u64 {
+        self.log_number
+    }
+    fn last_sequence(&self) -> SequenceNumber {
+        self.last_sequence
+    }
+    fn set_last_sequence(&mut self, seq: SequenceNumber) {
+        self.last_sequence = seq;
+    }
+    fn new_file_number(&mut self) -> u64 {
+        VersionSet::new_file_number(self)
+    }
+    fn mark_file_number_used(&mut self, number: u64) {
+        VersionSet::mark_file_number_used(self, number)
+    }
+    fn manifest_number(&self) -> u64 {
+        VersionSet::manifest_number(self)
+    }
+    fn current(&mut self) -> Arc<Version> {
+        VersionSet::current(self)
+    }
+    fn current_unpinned(&self) -> &Arc<Version> {
+        VersionSet::current_unpinned(self)
+    }
+    fn live_files_and_pins(&mut self) -> (Vec<u64>, bool) {
+        VersionSet::live_files_and_pins(self)
+    }
+    fn needs_compaction(&self) -> bool {
+        VersionSet::needs_compaction(self)
+    }
+    fn commit_level0(
+        &mut self,
+        meta: Option<&FileMetaData>,
+        log_number: Option<u64>,
+    ) -> Result<()> {
+        let mut edit = VersionEdit {
+            log_number,
+            ..Default::default()
+        };
+        if let Some(meta) = meta {
+            edit.add_file(0, meta);
+        }
+        self.log_and_apply(edit).map(|_| ())
     }
 }
 

@@ -52,6 +52,17 @@ impl TableCache {
         self.block_cache.usage()
     }
 
+    /// Hit and miss counters of the shared block cache (sstable data
+    /// blocks), surfaced in `StoreStats` and the bench reports.
+    pub fn block_cache_hit_miss(&self) -> (u64, u64) {
+        self.block_cache.hit_miss()
+    }
+
+    /// Hit and miss counters of the table cache (open sstable readers).
+    pub fn table_cache_hit_miss(&self) -> (u64, u64) {
+        self.tables.hit_miss()
+    }
+
     /// Returns the open table for `file_number`, opening it if necessary.
     pub fn get_table(&self, file_number: u64, file_size: u64) -> Result<Arc<Table>> {
         if let Some(table) = self.tables.get(&file_number) {

@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use pebblesdb::PebblesDb;
-use pebblesdb_common::{KvStore, ReadOptions, StoreOptions, StorePreset, WriteBatch};
+use pebblesdb_common::{KvStore, ReadOptions, StoreOptions, StorePreset, StoreStats, WriteBatch};
 use pebblesdb_env::{Env, MemEnv};
 use pebblesdb_lsm::LsmDb;
 
@@ -242,19 +242,62 @@ fn cursor_across_memtable_rotation_takes_no_clone() {
 ///   multi-threaded compaction architecture.
 #[test]
 fn compaction_pool_overlaps_jobs_and_preserves_consistency() {
+    let stats = compaction_storm(|env| {
+        let mut opts = storm_options();
+        opts.max_sstables_per_guard = 2;
+        Arc::new(PebblesDb::open_with_options(env, Path::new("/pool"), opts).unwrap())
+    });
+    assert!(
+        stats.max_concurrent_compactions >= 2,
+        "per-guard jobs never overlapped (max concurrency {})",
+        stats.max_concurrent_compactions
+    );
+}
+
+/// The LSM baseline driven through the *same* chassis worker pool
+/// (`compaction_threads = 4`): its leveled-compaction policy claims jobs
+/// exclusively, so the pool must degrade gracefully to serialized jobs
+/// without losing consistency, wedging a worker or poisoning the store.
+#[test]
+fn lsm_chassis_pool_survives_the_same_storm_with_exclusive_jobs() {
+    let stats = compaction_storm(|env| {
+        Arc::new(
+            LsmDb::open_with_options(
+                env,
+                Path::new("/pool-lsm"),
+                storm_options(),
+                StorePreset::HyperLevelDb,
+            )
+            .unwrap(),
+        )
+    });
+    assert!(
+        stats.max_concurrent_compactions <= 1,
+        "leveled jobs must stay exclusive (max concurrency {})",
+        stats.max_concurrent_compactions
+    );
+}
+
+fn storm_options() -> StoreOptions {
+    let mut opts = small_options();
+    opts.write_buffer_size = 16 << 10;
+    opts.compaction_threads = 4;
+    opts.top_level_bits = 8;
+    opts.bit_decrement = 1;
+    opts
+}
+
+/// Runs the write/read/compaction storm against `open_store` and returns the
+/// final stats after the shared invariants held: no `bg_error`, snapshot
+/// scans self-consistent, the pre-storm cursor intact, zero memtable clones
+/// and a running flush thread.
+fn compaction_storm(open_store: impl Fn(Arc<dyn Env>) -> Arc<dyn KvStore>) -> StoreStats {
     let mem_env = MemEnv::new();
     // Widen every sstable write so concurrent jobs reliably overlap in time
     // even on a fast machine; the WAL stays fast.
     mem_env.set_write_latency_micros_for(".sst", 30);
     let env: Arc<dyn Env> = Arc::new(mem_env.clone());
-    let mut opts = small_options();
-    opts.write_buffer_size = 16 << 10;
-    opts.compaction_threads = 4;
-    opts.max_sstables_per_guard = 2;
-    opts.top_level_bits = 8;
-    opts.bit_decrement = 1;
-    let store: Arc<dyn KvStore> =
-        Arc::new(PebblesDb::open_with_options(env, Path::new("/pool"), opts).unwrap());
+    let store = open_store(env);
 
     // A pre-storm view for the long-lived cursor.
     for i in 0..100u64 {
@@ -332,11 +375,7 @@ fn compaction_pool_overlaps_jobs_and_preserves_consistency() {
     let stats = store.stats();
     assert_eq!(stats.memtable_clones, 0, "copy-on-write path came back");
     assert!(stats.flushes > 0, "the dedicated flush thread never ran");
-    assert!(
-        stats.max_concurrent_compactions >= 2,
-        "per-guard jobs never overlapped (max concurrency {})",
-        stats.max_concurrent_compactions
-    );
+    stats
 }
 
 /// Hammer point gets from many threads while one thread writes; every get

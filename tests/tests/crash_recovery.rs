@@ -269,6 +269,71 @@ fn flsm_crash_during_level_compaction_commit_is_recoverable() {
     );
 }
 
+/// Durability of directory entries: sstables, fresh WALs and the CURRENT
+/// rename are all `sync_dir`ed before anything references them, so a crash
+/// that loses every *unsynced* directory entry (the metadata a real
+/// filesystem may drop when the directory was never fsynced) loses no data
+/// and leaves the store openable.
+///
+/// Before the `sync_dir` step existed, the CURRENT rename could roll back
+/// to a MANIFEST that no longer matches the data files, and a flushed
+/// sstable could vanish while the MANIFEST still referenced it.
+#[test]
+fn dropped_unsynced_dir_entries_lose_no_acknowledged_data() {
+    for engine in ["flsm", "lsm"] {
+        let mem_env = MemEnv::new();
+        let env: Arc<dyn Env> = Arc::new(mem_env.clone());
+        let dir = Path::new("/crash-dirsync");
+        let open = |env: &Arc<dyn Env>| -> Arc<dyn KvStore> {
+            if engine == "flsm" {
+                Arc::new(
+                    PebblesDb::open_with_options(Arc::clone(env), dir, small_options()).unwrap(),
+                )
+            } else {
+                Arc::new(
+                    LsmDb::open_with_options(
+                        Arc::clone(env),
+                        dir,
+                        small_options(),
+                        StorePreset::HyperLevelDb,
+                    )
+                    .unwrap(),
+                )
+            }
+        };
+
+        {
+            let db = open(&env);
+            for i in 0..3000u32 {
+                db.put(format!("key{i:06}").as_bytes(), format!("v{i}").as_bytes())
+                    .unwrap();
+            }
+            db.flush().unwrap();
+            // A WAL-only tail of acknowledged writes.
+            for i in 3000..3500u32 {
+                db.put(format!("key{i:06}").as_bytes(), format!("v{i}").as_bytes())
+                    .unwrap();
+            }
+        } // <- power loss.
+
+        assert!(
+            mem_env.io_stats().snapshot().dir_syncs > 0,
+            "{engine}: the engine never synced its directory"
+        );
+        // The crash drops every directory entry not covered by a sync_dir.
+        mem_env.drop_unsynced_dir_entries();
+
+        let db = open(&env);
+        for i in 0..3500u32 {
+            assert_eq!(
+                db.get(format!("key{i:06}").as_bytes()).unwrap(),
+                Some(format!("v{i}").into_bytes()),
+                "{engine}: key {i} lost to an unsynced directory entry"
+            );
+        }
+    }
+}
+
 #[test]
 fn repeated_reopen_preserves_data_and_guards() {
     let env: Arc<dyn Env> = Arc::new(MemEnv::new());

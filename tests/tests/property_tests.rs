@@ -143,21 +143,19 @@ fn baseline_lsm_matches_model() {
 /// Model-based differential test under *concurrent* compaction: one thread
 /// applies random put/delete/scan sequences against the store and a
 /// `BTreeMap` oracle while a churn thread keeps forcing flushes, so the
-/// per-guard compaction pool (4 workers) constantly reorganizes the tree
-/// underneath the reads. Snapshots pinned along the way must keep replaying
-/// the oracle state captured at pin time, no matter how many compactions
-/// have committed since. Debug builds additionally run
-/// `FlsmVersion::validate()` after every concurrent commit (guards sorted
-/// and disjoint), via the `debug_assert!` inside `log_and_apply`.
-#[test]
-fn pebblesdb_concurrent_compactions_match_model_and_snapshots() {
+/// compaction pool (4 workers) constantly reorganizes the tree underneath
+/// the reads. Snapshots pinned along the way must keep replaying the oracle
+/// state captured at pin time, no matter how many compactions have committed
+/// since. Both engines run through the shared chassis with the same seeds.
+fn concurrent_compactions_match_model_and_snapshots(
+    open_store: impl Fn(Arc<dyn Env>, StoreOptions) -> Arc<dyn KvStore>,
+) {
     let mut rng = StdRng::seed_from_u64(0x5eed_0010);
     for case in 0..3 {
         let mut opts = tiny_options();
         opts.compaction_threads = 4;
         let env: Arc<dyn Env> = Arc::new(MemEnv::new());
-        let store: Arc<dyn KvStore> =
-            Arc::new(PebblesDb::open_with_options(env, Path::new("/prop-conc"), opts).unwrap());
+        let store = open_store(env, opts);
 
         let stop = Arc::new(AtomicBool::new(false));
         let churn = {
@@ -244,6 +242,36 @@ fn pebblesdb_concurrent_compactions_match_model_and_snapshots() {
         }
         assert_eq!(store.stats().memtable_clones, 0);
     }
+}
+
+/// The FLSM engine under the concurrent differential harness. Debug builds
+/// additionally run `FlsmVersion::validate()` after every concurrent commit
+/// (guards sorted and disjoint), via the `debug_assert!` inside
+/// `log_and_apply`.
+#[test]
+fn pebblesdb_concurrent_compactions_match_model_and_snapshots() {
+    concurrent_compactions_match_model_and_snapshots(|env, opts| {
+        Arc::new(PebblesDb::open_with_options(env, Path::new("/prop-conc"), opts).unwrap())
+    });
+}
+
+/// The LSM baseline through the *same* chassis code paths (flush thread,
+/// worker pool, claim bookkeeping, GC) with the same seeds: its exclusive
+/// leveled-compaction policy must behave identically under a 4-worker pool,
+/// and snapshots pinned mid-stream must keep replaying their oracle state.
+#[test]
+fn baseline_lsm_concurrent_compactions_match_model_and_snapshots() {
+    concurrent_compactions_match_model_and_snapshots(|env, opts| {
+        Arc::new(
+            LsmDb::open_with_options(
+                env,
+                Path::new("/prop-conc"),
+                opts,
+                StorePreset::HyperLevelDb,
+            )
+            .unwrap(),
+        )
+    });
 }
 
 #[test]
