@@ -1,15 +1,23 @@
-//! A HyperDex-like layer: read-before-write plus client-side latency.
+//! A HyperDex-like layer: read-before-write, a real secondary-index column
+//! family, and client-side latency.
 
 use std::sync::Arc;
 use std::time::Duration;
 
+use parking_lot::Mutex;
 use pebblesdb_common::snapshot::Snapshot;
 use pebblesdb_common::{
-    DbIterator, KvStore, ReadOptions, Result, StoreStats, WriteBatch, WriteOptions,
+    ColumnFamilyHandle, Db, DbIterator, KvStore, ReadOptions, Result, StoreStats, WriteBatch,
+    WriteOptions,
 };
 
 use crate::document::Document;
 use crate::iter::DocumentFieldIterator;
+
+/// The column family holding the primary objects.
+pub const PRIMARY_CF: &str = "hyperdex.objects";
+/// The column family holding the value -> key secondary index.
+pub const VALUE_INDEX_CF: &str = "hyperdex.index.value";
 
 /// A searchable-store front end modelled on HyperDex.
 ///
@@ -20,20 +28,63 @@ use crate::iter::DocumentFieldIterator;
 /// is only 22 µs). Both effects are reproduced here: `put` issues a `get`
 /// first, and every operation spends `app_latency_micros` of simulated
 /// application work.
+///
+/// HyperDex's defining feature — searchable secondary attributes — is backed
+/// by a **real column family** ([`VALUE_INDEX_CF`]) instead of the
+/// key-prefix munging this layer used to do: every `put` commits the primary
+/// row and its index entry (plus the removal of the stale entry it
+/// supersedes) in one cross-family [`WriteBatch`], atomic across crashes
+/// because both families share the WAL and sequence space.
 pub struct HyperDexLike {
-    engine: Arc<dyn KvStore>,
+    db: Arc<dyn Db>,
+    primary: ColumnFamilyHandle,
+    value_index: ColumnFamilyHandle,
     app_latency: Duration,
+    /// Striped per-key write locks. Index maintenance is a read (the stale
+    /// value) followed by a cross-family batch; without serialising the two
+    /// per key, racing puts to the same key could both read the same stale
+    /// value and leave a dangling index entry forever. HyperDex itself
+    /// orders operations on a key through value-dependent chaining; the
+    /// stripes reproduce that while leaving different keys fully parallel.
+    write_stripes: Vec<Mutex<()>>,
+}
+
+/// Number of write stripes; a power of two well above the harness thread
+/// counts so stripe collisions stay rare.
+const WRITE_STRIPES: usize = 64;
+
+/// Index key: `varint(len(value)) value key`, so entries of one value are a
+/// contiguous, unambiguous range even when values are prefixes of each
+/// other or contain separators.
+fn index_key(value: &[u8], key: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5 + value.len() + key.len());
+    pebblesdb_common::coding::put_varint32(&mut out, value.len() as u32);
+    out.extend_from_slice(value);
+    out.extend_from_slice(key);
+    out
 }
 
 impl HyperDexLike {
-    /// Wraps `engine`, adding `app_latency_micros` of client-side work per
+    /// Wraps `db`, creating (or reopening) the object and index column
+    /// families and adding `app_latency_micros` of client-side work per
     /// operation (the paper's HyperDex adds roughly 130 µs; pass 0 to
     /// measure the pure layering effect).
-    pub fn new(engine: Arc<dyn KvStore>, app_latency_micros: u64) -> Self {
-        HyperDexLike {
-            engine,
+    pub fn new(db: Arc<dyn Db>, app_latency_micros: u64) -> Result<HyperDexLike> {
+        let primary = db.cf_or_create(PRIMARY_CF)?;
+        let value_index = db.cf_or_create(VALUE_INDEX_CF)?;
+        Ok(HyperDexLike {
+            db,
+            primary,
+            value_index,
             app_latency: Duration::from_micros(app_latency_micros),
-        }
+            write_stripes: (0..WRITE_STRIPES).map(|_| Mutex::new(())).collect(),
+        })
+    }
+
+    /// The stripe lock guarding read-index-modify sequences on `key`.
+    fn stripe(&self, key: &[u8]) -> &Mutex<()> {
+        let hash = pebblesdb_common::hash::murmur3_32(key, 0x9d3f_11c7) as usize;
+        &self.write_stripes[hash % WRITE_STRIPES]
     }
 
     fn simulate_application_work(&self) {
@@ -47,24 +98,74 @@ impl HyperDexLike {
         }
     }
 
-    /// The underlying engine (for stats inspection).
-    pub fn engine(&self) -> &Arc<dyn KvStore> {
-        &self.engine
+    /// The underlying store (for stats inspection).
+    pub fn db(&self) -> &Arc<dyn Db> {
+        &self.db
+    }
+
+    /// The keys of every object whose value equals `value`, via the
+    /// secondary-index family (no primary scan).
+    pub fn search_by_value(&self, value: &[u8]) -> Result<Vec<Vec<u8>>> {
+        let start = index_key(value, &[]);
+        // Smallest byte string greater than every key with this prefix; an
+        // all-0xff prefix degenerates to "unbounded", which scan spells as
+        // an empty end.
+        let mut end = start.clone();
+        while let Some(last) = end.last().copied() {
+            if last == 0xff {
+                end.pop();
+            } else {
+                *end.last_mut().expect("non-empty") += 1;
+                break;
+            }
+        }
+        Ok(self
+            .value_index
+            .scan(&start, &end, usize::MAX)?
+            .into_iter()
+            .map(|(entry, _)| entry[start.len()..].to_vec())
+            .collect())
+    }
+
+    /// Reads the stored document's raw `value` field, if the key exists.
+    fn current_value(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        match self.primary.get(key)? {
+            Some(raw) => Ok(Some(
+                Document::decode(&raw)?
+                    .field("value")
+                    .unwrap_or_default()
+                    .to_vec(),
+            )),
+            None => Ok(None),
+        }
     }
 }
 
 impl KvStore for HyperDexLike {
     fn put_opts(&self, opts: &WriteOptions, key: &[u8], value: &[u8]) -> Result<()> {
         self.simulate_application_work();
-        // Read-before-write: HyperDex verifies existence first.
-        let _ = self.engine.get(key)?;
+        // Read-before-write: HyperDex verifies existence first — and the
+        // read also yields the stale index entry this put supersedes. The
+        // stripe lock makes the read + batch commit atomic per key.
+        let _guard = self.stripe(key).lock();
+        let previous = self.current_value(key)?;
         let doc = Document::from_value(key, value);
-        self.engine.put_opts(opts, key, &doc.encode())
+        // Primary row + index maintenance commit atomically across the two
+        // column families: one WAL record, one sequence range.
+        let mut batch = WriteBatch::new();
+        batch.put_cf(self.primary.id(), key, &doc.encode());
+        if let Some(previous) = previous {
+            if previous != value {
+                batch.delete_cf(self.value_index.id(), &index_key(&previous, key));
+            }
+        }
+        batch.put_cf(self.value_index.id(), &index_key(value, key), &[]);
+        self.db.write_opts(opts, batch)
     }
 
     fn get_opts(&self, opts: &ReadOptions, key: &[u8]) -> Result<Option<Vec<u8>>> {
         self.simulate_application_work();
-        match self.engine.get_opts(opts, key)? {
+        match self.primary.get_opts(opts, key)? {
             Some(raw) => Ok(Some(
                 Document::decode(&raw)?
                     .field("value")
@@ -77,8 +178,14 @@ impl KvStore for HyperDexLike {
 
     fn delete_opts(&self, opts: &WriteOptions, key: &[u8]) -> Result<()> {
         self.simulate_application_work();
-        let _ = self.engine.get(key)?;
-        self.engine.delete_opts(opts, key)
+        let _guard = self.stripe(key).lock();
+        let previous = self.current_value(key)?;
+        let mut batch = WriteBatch::new();
+        batch.delete_cf(self.primary.id(), key);
+        if let Some(previous) = previous {
+            batch.delete_cf(self.value_index.id(), &index_key(&previous, key));
+        }
+        self.db.write_opts(opts, batch)
     }
 
     fn write_opts(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<()> {
@@ -97,28 +204,28 @@ impl KvStore for HyperDexLike {
     fn iter(&self, opts: &ReadOptions) -> Result<Box<dyn DbIterator>> {
         self.simulate_application_work();
         Ok(Box::new(DocumentFieldIterator::new(
-            self.engine.iter(opts)?,
+            self.primary.iter(opts)?,
             Vec::new(),
         )))
     }
 
     fn snapshot(&self) -> Snapshot {
-        self.engine.snapshot()
+        self.db.snapshot()
     }
 
     fn flush(&self) -> Result<()> {
-        self.engine.flush()
+        self.db.flush()
     }
 
     fn stats(&self) -> StoreStats {
-        self.engine.stats()
+        self.db.stats()
     }
 
     fn engine_name(&self) -> String {
-        format!("HyperDex({})", self.engine.engine_name())
+        format!("HyperDex({})", self.db.engine_name())
     }
 
     fn live_file_sizes(&self) -> Vec<u64> {
-        self.engine.live_file_sizes()
+        self.db.live_file_sizes()
     }
 }

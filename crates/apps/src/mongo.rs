@@ -1,46 +1,80 @@
-//! A MongoDB-like layer: document encoding, `_id` keyed storage and
-//! client-side latency.
+//! A MongoDB-like layer: document encoding, collections as real column
+//! families and client-side latency.
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use pebblesdb_common::snapshot::Snapshot;
 use pebblesdb_common::{
-    DbIterator, KvStore, ReadOptions, Result, StoreStats, WriteBatch, WriteOptions,
+    ColumnFamilyHandle, Db, DbIterator, KvStore, ReadOptions, Result, StoreStats, WriteBatch,
+    WriteOptions,
 };
 
 use crate::document::Document;
 use crate::iter::DocumentFieldIterator;
+
+/// The default collection every [`MongoLike`] opens.
+pub const DEFAULT_COLLECTION: &str = "default";
+
+/// The column-family name backing a collection.
+fn collection_cf_name(collection: &str) -> String {
+    format!("mongo.collection.{collection}")
+}
 
 /// A document-store front end modelled on MongoDB.
 ///
 /// Section 5.4 of the paper: "MongoDB itself adds a lot of latency to each
 /// write (PebblesDB write constitutes only 28 % of latency of MongoDB write)
 /// and provides requests to PebblesDB at a much lower rate than PebblesDB can
-/// handle." The layer stores every value as an encoded [`Document`] under a
-/// namespaced `_id` key and burns `app_latency_micros` of application time
-/// per operation, so the relative results across storage engines follow the
-/// paper's Figure 5.6(b) shape.
+/// handle." The layer stores every value as an encoded [`Document`] and burns
+/// `app_latency_micros` of application time per operation, so the relative
+/// results across storage engines follow the paper's Figure 5.6(b) shape.
+///
+/// Collections are **real column families** (one per collection) instead of
+/// the `col/<name>/_id/` key prefixes this layer used to fabricate: a
+/// collection's documents live in their own namespace with their own
+/// memtable and tree shape, cursors are confined to it structurally, and
+/// dropping a collection is a metadata operation rather than a range delete.
 pub struct MongoLike {
-    engine: Arc<dyn KvStore>,
+    db: Arc<dyn Db>,
+    collection: ColumnFamilyHandle,
     app_latency: Duration,
 }
 
 impl MongoLike {
-    /// Wraps `engine`, adding `app_latency_micros` of client-side work per
-    /// operation.
-    pub fn new(engine: Arc<dyn KvStore>, app_latency_micros: u64) -> Self {
-        MongoLike {
-            engine,
-            app_latency: Duration::from_micros(app_latency_micros),
-        }
+    /// Wraps `db` over the [`DEFAULT_COLLECTION`], adding
+    /// `app_latency_micros` of client-side work per operation.
+    pub fn new(db: Arc<dyn Db>, app_latency_micros: u64) -> Result<MongoLike> {
+        MongoLike::with_collection(db, DEFAULT_COLLECTION, app_latency_micros)
     }
 
-    /// The engine key for a document `_id` (namespaced collection prefix).
-    pub fn primary_key(id: &[u8]) -> Vec<u8> {
-        let mut key = b"col/default/_id/".to_vec();
-        key.extend_from_slice(id);
-        key
+    /// Wraps `db` over the named collection, creating its column family if
+    /// this is the first open.
+    pub fn with_collection(
+        db: Arc<dyn Db>,
+        collection: &str,
+        app_latency_micros: u64,
+    ) -> Result<MongoLike> {
+        let collection = db.cf_or_create(&collection_cf_name(collection))?;
+        Ok(MongoLike {
+            db,
+            collection,
+            app_latency: Duration::from_micros(app_latency_micros),
+        })
+    }
+
+    /// A sibling handle onto another collection of the same database.
+    pub fn collection(&self, name: &str) -> Result<MongoLike> {
+        MongoLike::with_collection(
+            Arc::clone(&self.db),
+            name,
+            self.app_latency.as_micros() as u64,
+        )
+    }
+
+    /// The column family backing this collection (for tests and stats).
+    pub fn collection_cf(&self) -> &ColumnFamilyHandle {
+        &self.collection
     }
 
     fn simulate_application_work(&self) {
@@ -52,9 +86,9 @@ impl MongoLike {
         }
     }
 
-    /// The underlying engine (for stats inspection).
-    pub fn engine(&self) -> &Arc<dyn KvStore> {
-        &self.engine
+    /// The underlying store (for stats inspection).
+    pub fn db(&self) -> &Arc<dyn Db> {
+        &self.db
     }
 }
 
@@ -62,13 +96,12 @@ impl KvStore for MongoLike {
     fn put_opts(&self, opts: &WriteOptions, key: &[u8], value: &[u8]) -> Result<()> {
         self.simulate_application_work();
         let doc = Document::from_value(key, value);
-        self.engine
-            .put_opts(opts, &Self::primary_key(key), &doc.encode())
+        self.collection.put_opts(opts, key, &doc.encode())
     }
 
     fn get_opts(&self, opts: &ReadOptions, key: &[u8]) -> Result<Option<Vec<u8>>> {
         self.simulate_application_work();
-        match self.engine.get_opts(opts, &Self::primary_key(key))? {
+        match self.collection.get_opts(opts, key)? {
             Some(raw) => Ok(Some(
                 Document::decode(&raw)?
                     .field("value")
@@ -81,7 +114,7 @@ impl KvStore for MongoLike {
 
     fn delete_opts(&self, opts: &WriteOptions, key: &[u8]) -> Result<()> {
         self.simulate_application_work();
-        self.engine.delete_opts(opts, &Self::primary_key(key))
+        self.collection.delete_opts(opts, key)
     }
 
     fn write_opts(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<()> {
@@ -99,33 +132,32 @@ impl KvStore for MongoLike {
 
     fn iter(&self, opts: &ReadOptions) -> Result<Box<dyn DbIterator>> {
         self.simulate_application_work();
-        // The namespaced adapter keeps the cursor inside the collection and
-        // surfaces document ids as keys, so the default `scan` sees plain
-        // user keys (and "empty end = unbounded" stays inside the
-        // collection for free).
+        // The collection *is* a namespace: the cursor is structurally
+        // confined to it, and "empty end = unbounded" stays inside the
+        // collection with no prefix bookkeeping at all.
         Ok(Box::new(DocumentFieldIterator::new(
-            self.engine.iter(opts)?,
-            Self::primary_key(&[]),
+            self.collection.iter(opts)?,
+            Vec::new(),
         )))
     }
 
     fn snapshot(&self) -> Snapshot {
-        self.engine.snapshot()
+        self.db.snapshot()
     }
 
     fn flush(&self) -> Result<()> {
-        self.engine.flush()
+        self.db.flush()
     }
 
     fn stats(&self) -> StoreStats {
-        self.engine.stats()
+        self.db.stats()
     }
 
     fn engine_name(&self) -> String {
-        format!("MongoDB({})", self.engine.engine_name())
+        format!("MongoDB({})", self.db.engine_name())
     }
 
     fn live_file_sizes(&self) -> Vec<u64> {
-        self.engine.live_file_sizes()
+        self.db.live_file_sizes()
     }
 }

@@ -8,11 +8,10 @@
 
 use std::sync::Arc;
 
-use pebblesdb_bench::engines::open_bench_env_full;
+use pebblesdb_bench::engines::{open_bench_env_full, open_db_with_options};
 use pebblesdb_bench::report::{format_kops, format_mib, format_ratio};
-use pebblesdb_bench::{
-    open_engine_with_options, scaled_options, Args, EngineKind, Report, Workload,
-};
+use pebblesdb_bench::{scaled_options, Args, EngineKind, Report, Workload};
+use pebblesdb_common::{Db, KvStore};
 
 fn workload_from_name(name: &str) -> Option<Workload> {
     match name {
@@ -62,12 +61,25 @@ fn main() {
     if compaction_threads > 0 {
         options.compaction_threads = compaction_threads;
     }
-    let store: Arc<_> =
-        open_engine_with_options(engine, env, &dir, options.clone()).expect("open engine");
+    // `--cfs N` round-robins the key stream over N column families of one
+    // database: shard 0 is the default family, shards 1..N are created. With
+    // N = 1 the run is byte-for-byte the single-namespace benchmark.
+    let cfs = args.get_u64("cfs", 1).max(1) as usize;
+    let db: Arc<dyn Db> =
+        open_db_with_options(engine, env, &dir, options.clone()).expect("open engine");
+    let mut shards: Vec<Arc<dyn KvStore>> = vec![Arc::clone(&db) as Arc<dyn KvStore>];
+    for i in 1..cfs {
+        // `cf_or_create` keeps reruns against an existing --dir working:
+        // the families persist in the database's catalog.
+        shards.push(Arc::new(
+            db.cf_or_create(&format!("cf{i}"))
+                .expect("create column family"),
+        ));
+    }
 
     let mut report = Report::new(
         &format!(
-            "db_bench — {} ({keys} keys, {value_size} B values, {threads} threads, {} compaction threads)",
+            "db_bench — {} ({keys} keys, {value_size} B values, {threads} threads, {} compaction threads, {cfs} column families)",
             engine.name(),
             options.compaction_threads
         ),
@@ -98,7 +110,7 @@ fn main() {
         }
         .max(1);
         let result = workload
-            .run(&store, ops, 16, value_size, threads)
+            .run_sharded(&shards, ops, 16, value_size, threads)
             .expect("run workload");
         report.add_row(vec![
             result.name.clone(),
@@ -114,10 +126,35 @@ fn main() {
                 .map(|pct| format!("{pct:.1}%"))
                 .unwrap_or_else(|| "-".to_string()),
         ]);
-        store.flush().expect("flush between benchmarks");
+        db.flush().expect("flush between benchmarks");
     }
     report.add_note("Figure 5.1(b) of the paper runs fillseq/fillrandom/readrandom/seekrandom/deleterandom with 16 B keys and 1 KiB values.");
     report.add_note("'max conc' is the store-lifetime high-water mark of concurrently running compaction jobs (>1 means per-guard jobs overlapped).");
     report.add_note("'cache hit%' is the block-cache hit rate over the benchmark interval ('-' when the cache was never consulted, e.g. pure fills).");
     report.print();
+
+    if cfs > 1 {
+        // Per-family breakdown, so one namespace's compaction debt cannot
+        // hide behind another's in the aggregate table above.
+        let mut cf_report = Report::new(
+            "per column family",
+            vec![
+                "family".to_string(),
+                "files".to_string(),
+                "live bytes".to_string(),
+                "flushes".to_string(),
+                "memtable".to_string(),
+            ],
+        );
+        for cf in db.cf_stats() {
+            cf_report.add_row(vec![
+                cf.name,
+                cf.num_files.to_string(),
+                format_mib(cf.live_bytes),
+                cf.flushes.to_string(),
+                format_mib(cf.memtable_bytes),
+            ]);
+        }
+        cf_report.print();
+    }
 }

@@ -9,16 +9,18 @@
 use std::sync::Arc;
 
 use pebblesdb_apps::{HyperDexLike, MongoLike};
-use pebblesdb_bench::engines::open_bench_env;
+use pebblesdb_bench::engines::{open_bench_env, open_db};
 use pebblesdb_bench::report::{format_kops, format_mib};
-use pebblesdb_bench::{open_engine, Args, EngineKind, Report};
-use pebblesdb_common::KvStore;
+use pebblesdb_bench::{Args, EngineKind, Report};
+use pebblesdb_common::{Db, KvStore};
 use pebblesdb_ycsb::{run_workload, WorkloadKind};
 
-fn wrap(app: &str, engine_store: Arc<dyn KvStore>, latency_micros: u64) -> Arc<dyn KvStore> {
+fn wrap(app: &str, engine_db: Arc<dyn Db>, latency_micros: u64) -> Arc<dyn KvStore> {
     match app {
-        "hyperdex" => Arc::new(HyperDexLike::new(engine_store, latency_micros)),
-        _ => Arc::new(MongoLike::new(engine_store, latency_micros)),
+        "hyperdex" => Arc::new(
+            HyperDexLike::new(engine_db, latency_micros).expect("create hyperdex families"),
+        ),
+        _ => Arc::new(MongoLike::new(engine_db, latency_micros).expect("create mongo collection")),
     }
 }
 
@@ -60,7 +62,7 @@ fn run(args: &Args, app: &str) {
             engine,
             &args.get_str("dir", ""),
         );
-        let store = open_engine(engine, env, &dir, scale).expect("open engine");
+        let store = open_db(engine, env, &dir, scale).expect("open engine");
         stacks.push(wrap(app, store, latency));
     }
 

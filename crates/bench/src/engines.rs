@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use pebblesdb::PebblesDb;
 use pebblesdb_btree::BTreeStore;
-use pebblesdb_common::{KvStore, Result, StoreOptions, StorePreset};
+use pebblesdb_common::{Db, KvStore, PrefixDb, Result, StoreOptions, StorePreset};
 use pebblesdb_env::{DiskEnv, Env, MemEnv};
 use pebblesdb_lsm::LsmDb;
 
@@ -146,6 +146,53 @@ pub fn open_engine_with_options(
             StorePreset::RocksDb,
         )?),
         EngineKind::BTree => Arc::new(BTreeStore::open(env, dir, options)?),
+    })
+}
+
+/// Opens the engine `kind` as a multi-namespace [`Db`]. The LSM-family
+/// engines provide column families natively (chassis feature); the B+Tree
+/// serves them through the shared key-prefix emulation.
+pub fn open_db(
+    kind: EngineKind,
+    env: Arc<dyn Env>,
+    dir: &Path,
+    scale_divisor: usize,
+) -> Result<Arc<dyn Db>> {
+    open_db_with_options(kind, env, dir, scaled_options(kind, scale_divisor))
+}
+
+/// Like [`open_db`] with explicit (already scaled) options.
+pub fn open_db_with_options(
+    kind: EngineKind,
+    env: Arc<dyn Env>,
+    dir: &Path,
+    options: StoreOptions,
+) -> Result<Arc<dyn Db>> {
+    Ok(match kind {
+        EngineKind::PebblesDb | EngineKind::PebblesDb1 => {
+            Arc::new(PebblesDb::open_with_options(env, dir, options)?)
+        }
+        EngineKind::HyperLevelDb => Arc::new(LsmDb::open_with_options(
+            env,
+            dir,
+            options,
+            StorePreset::HyperLevelDb,
+        )?),
+        EngineKind::LevelDb => Arc::new(LsmDb::open_with_options(
+            env,
+            dir,
+            options,
+            StorePreset::LevelDb,
+        )?),
+        EngineKind::RocksDb => Arc::new(LsmDb::open_with_options(
+            env,
+            dir,
+            options,
+            StorePreset::RocksDb,
+        )?),
+        EngineKind::BTree => Arc::new(PrefixDb::new(Arc::new(BTreeStore::open(
+            env, dir, options,
+        )?))),
     })
 }
 

@@ -148,11 +148,37 @@ impl Workload {
         &self,
         store: &Arc<dyn KvStore>,
         operations: u64,
+        key_size: usize,
+        value_size: usize,
+        threads: usize,
+    ) -> Result<BenchResult> {
+        self.run_sharded(
+            std::slice::from_ref(store),
+            operations,
+            key_size,
+            value_size,
+            threads,
+        )
+    }
+
+    /// Like [`Workload::run`], but round-robins keys across `stores` — in
+    /// practice one [`KvStore`] handle per column family, so `--cfs N` runs
+    /// drive N namespaces of one database with the same key stream.
+    ///
+    /// Statistics are read from `stores[0]`; every handle of one database
+    /// reports the same store-wide IO and stall counters, so the deltas
+    /// cover all shards.
+    pub fn run_sharded(
+        &self,
+        stores: &[Arc<dyn KvStore>],
+        operations: u64,
         _key_size: usize,
         value_size: usize,
         threads: usize,
     ) -> Result<BenchResult> {
+        assert!(!stores.is_empty(), "need at least one store");
         let threads = threads.max(1);
+        let store = &stores[0];
         let stats_before = store.stats();
         let start = Instant::now();
         let found = AtomicU64::new(0);
@@ -161,7 +187,6 @@ impl Workload {
         std::thread::scope(|scope| -> Result<()> {
             let mut handles = Vec::new();
             for thread_id in 0..threads {
-                let store = Arc::clone(store);
                 let found = &found;
                 let executed = &executed;
                 let workload = *self;
@@ -171,7 +196,7 @@ impl Workload {
                     for i in 0..per_thread {
                         let global_index = thread_id as u64 * per_thread + i;
                         workload.run_one(
-                            &store,
+                            stores,
                             global_index,
                             operations,
                             value_size,
@@ -229,7 +254,7 @@ impl Workload {
     #[allow(clippy::too_many_arguments)]
     fn run_one(
         &self,
-        store: &Arc<dyn KvStore>,
+        stores: &[Arc<dyn KvStore>],
         index: u64,
         key_space: u64,
         value_size: usize,
@@ -239,19 +264,22 @@ impl Workload {
         found: &AtomicU64,
     ) -> Result<()> {
         let key_space = key_space.max(1);
+        // Round-robin: key `k` always lands in the same shard (column
+        // family), so reads find what fills wrote regardless of shard count.
+        let shard = |k: u64| &stores[(k % stores.len() as u64) as usize];
         match self {
             Workload::FillSeq => {
                 let value = bench_value(index, value_size, rng);
-                store.put(&bench_key(index), &value)?;
+                shard(index).put(&bench_key(index), &value)?;
             }
             Workload::FillRandom | Workload::Overwrite => {
                 let k = rng.gen_range(0..key_space);
                 let value = bench_value(k, value_size, rng);
-                store.put(&bench_key(k), &value)?;
+                shard(k).put(&bench_key(k), &value)?;
             }
             Workload::ReadRandom => {
                 let k = rng.gen_range(0..key_space);
-                if store.get(&bench_key(k))?.is_some() {
+                if shard(k).get(&bench_key(k))?.is_some() {
                     found.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -259,13 +287,13 @@ impl Workload {
                 // Pure cursor positioning — the paper's worst case for
                 // PebblesDB (a seek must consult every sstable in a guard).
                 let k = rng.gen_range(0..key_space);
-                let mut iter = store.iter(&ReadOptions::default())?;
+                let mut iter = shard(k).iter(&ReadOptions::default())?;
                 iter.seek(&bench_key(k));
                 std::hint::black_box(iter.valid());
             }
             Workload::RangeQuery { nexts } => {
                 let k = rng.gen_range(0..key_space);
-                let mut iter = store.iter(&ReadOptions::default())?;
+                let mut iter = shard(k).iter(&ReadOptions::default())?;
                 iter.seek(&bench_key(k));
                 let mut read = 0usize;
                 while iter.valid() && read < *nexts {
@@ -276,20 +304,20 @@ impl Workload {
             }
             Workload::DeleteRandom => {
                 let k = rng.gen_range(0..key_space);
-                store.delete(&bench_key(k))?;
+                shard(k).delete(&bench_key(k))?;
             }
             Workload::ReadWhileWriting => {
                 // Even threads read, odd threads write (at least one of each
                 // when threads >= 2).
                 if thread_id.is_multiple_of(2) || threads == 1 {
                     let k = rng.gen_range(0..key_space);
-                    if store.get(&bench_key(k))?.is_some() {
+                    if shard(k).get(&bench_key(k))?.is_some() {
                         found.fetch_add(1, Ordering::Relaxed);
                     }
                 } else {
                     let k = rng.gen_range(0..key_space);
                     let value = bench_value(k, value_size, rng);
-                    store.put(&bench_key(k), &value)?;
+                    shard(k).put(&bench_key(k), &value)?;
                 }
             }
             Workload::MixedScanWrite { nexts } => {
@@ -303,7 +331,7 @@ impl Workload {
                 };
                 if scan {
                     let k = rng.gen_range(0..key_space);
-                    let mut iter = store.iter(&ReadOptions::default())?;
+                    let mut iter = shard(k).iter(&ReadOptions::default())?;
                     iter.seek(&bench_key(k));
                     let mut read = 0usize;
                     while iter.valid() && read < *nexts {
@@ -314,7 +342,7 @@ impl Workload {
                 } else {
                     let k = rng.gen_range(0..key_space);
                     let value = bench_value(k, value_size, rng);
-                    store.put(&bench_key(k), &value)?;
+                    shard(k).put(&bench_key(k), &value)?;
                 }
             }
         }

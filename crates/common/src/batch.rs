@@ -7,9 +7,18 @@
 //! sequence: fixed64          first sequence number of the batch
 //! count:    fixed32          number of records
 //! records:  record*
-//! record := kTypeValue    varstring(key) varstring(value)
-//!         | kTypeDeletion varstring(key)
+//! record := kTypeValue      varstring(key) varstring(value)
+//!         | kTypeDeletion   varstring(key)
+//!         | kTypeCfValue    varint32(cf) varstring(key) varstring(value)
+//!         | kTypeCfDeletion varint32(cf) varstring(key)
 //! ```
+//!
+//! Records addressed at the default column family (id 0) use the original
+//! two tags, so batches written before column families existed decode
+//! unchanged and single-namespace batches carry zero encoding overhead. The
+//! RocksDB-style `Cf*` tags prefix the record with a varint column-family
+//! id; a single batch may mix records for several families and is still
+//! applied atomically (one WAL record, one sequence range).
 
 use crate::coding::put_length_prefixed_slice;
 use crate::coding::{decode_fixed32, decode_fixed64, put_fixed32, put_fixed64, Decoder};
@@ -18,6 +27,14 @@ use crate::key::{SequenceNumber, ValueType};
 
 /// The fixed-size batch header: 8-byte sequence plus 4-byte count.
 pub const BATCH_HEADER_SIZE: usize = 12;
+
+/// Identifier of a column family within a store; 0 is the default family.
+pub type CfId = u32;
+
+/// Record tag: a put into a non-default column family (varint cf id follows).
+const TAG_CF_VALUE: u8 = 2;
+/// Record tag: a delete in a non-default column family (varint cf id follows).
+const TAG_CF_DELETION: u8 = 3;
 
 /// A re-orderable group of updates applied to a store atomically.
 #[derive(Clone, Debug)]
@@ -50,17 +67,65 @@ impl WriteBatch {
 
     /// Adds a `put` of `key -> value` to the batch.
     pub fn put(&mut self, key: &[u8], value: &[u8]) {
-        self.set_count(self.count() + 1);
-        self.rep.push(ValueType::Value as u8);
-        put_length_prefixed_slice(&mut self.rep, key);
-        put_length_prefixed_slice(&mut self.rep, value);
+        self.put_cf(0, key, value);
     }
 
     /// Adds a deletion of `key` to the batch.
     pub fn delete(&mut self, key: &[u8]) {
+        self.delete_cf(0, key);
+    }
+
+    /// Adds a `put` of `key -> value` addressed at column family `cf`.
+    ///
+    /// Family 0 uses the legacy tag so single-namespace batches are
+    /// byte-identical to the pre-column-family encoding.
+    pub fn put_cf(&mut self, cf: CfId, key: &[u8], value: &[u8]) {
         self.set_count(self.count() + 1);
-        self.rep.push(ValueType::Deletion as u8);
+        if cf == 0 {
+            self.rep.push(ValueType::Value as u8);
+        } else {
+            self.rep.push(TAG_CF_VALUE);
+            crate::coding::put_varint32(&mut self.rep, cf);
+        }
         put_length_prefixed_slice(&mut self.rep, key);
+        put_length_prefixed_slice(&mut self.rep, value);
+    }
+
+    /// Adds a deletion of `key` addressed at column family `cf`.
+    pub fn delete_cf(&mut self, cf: CfId, key: &[u8]) {
+        self.set_count(self.count() + 1);
+        if cf == 0 {
+            self.rep.push(ValueType::Deletion as u8);
+        } else {
+            self.rep.push(TAG_CF_DELETION);
+            crate::coding::put_varint32(&mut self.rep, cf);
+        }
+        put_length_prefixed_slice(&mut self.rep, key);
+    }
+
+    /// Re-addresses every default-family record at `cf`, leaving records
+    /// with an explicit family untouched.
+    ///
+    /// This is how a [`ColumnFamilyHandle`](crate::cf::ColumnFamilyHandle)
+    /// applies a plain batch to its own namespace: code written against the
+    /// single-namespace `KvStore` API keeps building batches with
+    /// [`WriteBatch::put`]/[`WriteBatch::delete`] and the handle retargets
+    /// them on write.
+    pub fn retarget_default_cf(&self, cf: CfId) -> Result<WriteBatch> {
+        if cf == 0 {
+            return Ok(self.clone());
+        }
+        let mut out = WriteBatch::new();
+        out.set_sequence(self.sequence());
+        for record in self.iter() {
+            let record = record?;
+            let target = if record.cf == 0 { cf } else { record.cf };
+            match record.value_type {
+                ValueType::Value => out.put_cf(target, record.key, record.value),
+                ValueType::Deletion => out.delete_cf(target, record.key),
+            }
+        }
+        Ok(out)
     }
 
     /// Removes every record, returning the batch to its freshly-created state.
@@ -145,6 +210,8 @@ impl WriteBatch {
 pub struct BatchRecord<'a> {
     /// The sequence number this record is applied at.
     pub sequence: SequenceNumber,
+    /// The column family this record is addressed at (0 = default).
+    pub cf: CfId,
     /// Whether this is a put or a delete.
     pub value_type: ValueType,
     /// The user key.
@@ -185,8 +252,15 @@ impl<'a> Iterator for WriteBatchIter<'a> {
 impl<'a> WriteBatchIter<'a> {
     fn decode_one(&mut self, sequence: SequenceNumber) -> Result<BatchRecord<'a>> {
         let tag = self.decoder.read_bytes(1)?[0];
-        let value_type = ValueType::from_u8(tag)
-            .ok_or_else(|| Error::corruption(format!("unknown write batch tag {tag}")))?;
+        let (value_type, cf) = match tag {
+            TAG_CF_VALUE => (ValueType::Value, self.decoder.read_varint32()?),
+            TAG_CF_DELETION => (ValueType::Deletion, self.decoder.read_varint32()?),
+            _ => (
+                ValueType::from_u8(tag)
+                    .ok_or_else(|| Error::corruption(format!("unknown write batch tag {tag}")))?,
+                0,
+            ),
+        };
         let key = self.decoder.read_length_prefixed_slice()?;
         let value = match value_type {
             ValueType::Value => self.decoder.read_length_prefixed_slice()?,
@@ -194,6 +268,7 @@ impl<'a> WriteBatchIter<'a> {
         };
         Ok(BatchRecord {
             sequence,
+            cf,
             value_type,
             key,
             value,
@@ -257,6 +332,78 @@ mod tests {
         a.append(&b);
         assert_eq!(a.count(), 3);
         assert_eq!(a.verify().unwrap(), 3);
+    }
+
+    /// `append` bookkeeping: the merged count is the exact sum and the
+    /// merged size is both batches' payloads behind a single header, for
+    /// empty, plain and column-family-tagged operands alike.
+    #[test]
+    fn append_keeps_count_and_size_bookkeeping_exact() {
+        let mut a = WriteBatch::new();
+        a.put(b"one", b"1");
+        a.put_cf(7, b"seven", b"77");
+        let mut b = WriteBatch::new();
+        b.delete_cf(300, b"big-id");
+        b.put(b"plain", b"p");
+        let (a_size, b_size) = (a.approximate_size(), b.approximate_size());
+
+        a.append(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.verify().unwrap(), 4);
+        // One header was dropped in the merge; every payload byte survives.
+        assert_eq!(a.approximate_size(), a_size + b_size - BATCH_HEADER_SIZE);
+        // Records keep their family and order across the merge.
+        let cfs: Vec<u32> = a.iter().map(|r| r.unwrap().cf).collect();
+        assert_eq!(cfs, vec![0, 7, 300, 0]);
+
+        // Appending an empty batch is a no-op for both count and size.
+        let before = (a.count(), a.approximate_size());
+        a.append(&WriteBatch::new());
+        assert_eq!((a.count(), a.approximate_size()), before);
+    }
+
+    #[test]
+    fn cf_records_roundtrip_and_default_cf_encoding_is_legacy() {
+        let mut batch = WriteBatch::new();
+        batch.put(b"k", b"v");
+        // The default family uses the original tag bytes: the encoding is
+        // identical to a pre-column-family batch.
+        let mut legacy = WriteBatch::new();
+        legacy.put(b"k", b"v");
+        assert_eq!(batch.contents(), legacy.contents());
+
+        batch.put_cf(3, b"ck", b"cv");
+        batch.delete_cf(3, b"ck2");
+        batch.delete(b"k2");
+        batch.set_sequence(10);
+        let restored = WriteBatch::from_contents(batch.contents().to_vec()).unwrap();
+        let records: Vec<_> = restored.iter().map(|r| r.unwrap()).collect();
+        assert_eq!(records.len(), 4);
+        assert_eq!((records[0].cf, records[0].key), (0, &b"k"[..]));
+        assert_eq!((records[1].cf, records[1].key), (3, &b"ck"[..]));
+        assert_eq!(records[1].value, b"cv");
+        assert_eq!(records[2].cf, 3);
+        assert_eq!(records[2].value_type, ValueType::Deletion);
+        assert_eq!((records[3].cf, records[3].sequence), (0, 13));
+    }
+
+    #[test]
+    fn retarget_default_cf_moves_only_untagged_records() {
+        let mut batch = WriteBatch::new();
+        batch.put(b"a", b"1");
+        batch.put_cf(5, b"b", b"2");
+        batch.delete(b"c");
+        batch.set_sequence(99);
+        let retargeted = batch.retarget_default_cf(2).unwrap();
+        assert_eq!(retargeted.count(), 3);
+        assert_eq!(retargeted.sequence(), 99);
+        let cfs: Vec<u32> = retargeted.iter().map(|r| r.unwrap().cf).collect();
+        assert_eq!(cfs, vec![2, 5, 2]);
+        // Retargeting at the default family is the identity.
+        assert_eq!(
+            batch.retarget_default_cf(0).unwrap().contents(),
+            batch.contents()
+        );
     }
 
     #[test]

@@ -1,0 +1,752 @@
+//! Column families: multiple logical namespaces over one store.
+//!
+//! Production LSM descendants (RocksDB foremost) multiplex many keyspaces
+//! over a single WAL, sequence space and compaction scheduler; the
+//! application layers in this workspace used to fake the same thing with
+//! key-prefix munging. This module is the public face of the real feature:
+//!
+//! * [`Db`] extends [`KvStore`] with namespace management
+//!   (`create_cf`/`drop_cf`/`list_cfs`) and `*_cf` conveniences,
+//! * [`ColumnFamilyHandle`] names one family and itself implements
+//!   [`KvStore`], so every harness (bench, YCSB, the app layers) runs
+//!   unchanged against either a whole database (the default family) or a
+//!   single namespace,
+//! * [`CfStats`] surfaces per-family counters so one family's compaction
+//!   debt cannot hide behind another's, and
+//! * [`PrefixDb`] emulates the API over any plain [`KvStore`] by key
+//!   prefixing — the exact trick the app layers used to hand-roll, now
+//!   written once — so engines without native families (the B+Tree) still
+//!   serve multi-namespace workloads.
+//!
+//! Batches address families per record ([`WriteBatch::put_cf`]); a mixed
+//! batch commits atomically across families because every family shares the
+//! WAL and sequence space. Snapshots are store-wide: a pinned sequence is
+//! consistent *across* families.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::batch::{CfId, WriteBatch};
+use crate::error::{Error, Result};
+use crate::iterator::DbIterator;
+use crate::key::ValueType;
+use crate::options::{ReadOptions, WriteOptions};
+use crate::snapshot::Snapshot;
+use crate::store::{KvStore, StoreStats};
+
+/// The name of the column family every store starts with (id 0).
+pub const DEFAULT_CF_NAME: &str = "default";
+
+/// Per-column-family statistics, for detecting imbalance between
+/// namespaces (one family's compaction debt hiding behind another's).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CfStats {
+    /// The family's id (0 = default).
+    pub id: CfId,
+    /// The family's name.
+    pub name: String,
+    /// Live data files owned by this family.
+    pub num_files: u64,
+    /// Bytes currently live on disk for this family.
+    pub live_bytes: u64,
+    /// Completed memtable flushes of this family.
+    pub flushes: u64,
+    /// Bytes held by this family's active and immutable memtables.
+    pub memtable_bytes: u64,
+}
+
+/// The raw namespace-scoped operations an engine core exposes.
+///
+/// Object-safe so a [`ColumnFamilyHandle`] can hold its store behind
+/// `Arc<dyn CfOps>` and be a full [`KvStore`] itself. User code should not
+/// call this directly — use [`Db`] and handles.
+pub trait CfOps: Send + Sync {
+    /// Stores `key -> value` in family `cf`.
+    fn cf_put_opts(&self, cf: CfId, opts: &WriteOptions, key: &[u8], value: &[u8]) -> Result<()>;
+    /// Reads `key` from family `cf`.
+    fn cf_get_opts(&self, cf: CfId, opts: &ReadOptions, key: &[u8]) -> Result<Option<Vec<u8>>>;
+    /// Deletes `key` from family `cf`.
+    fn cf_delete_opts(&self, cf: CfId, opts: &WriteOptions, key: &[u8]) -> Result<()>;
+    /// Applies a batch whose records carry per-record family ids, atomically
+    /// across families.
+    fn cf_write_opts(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<()>;
+    /// A streaming user-key cursor over family `cf`.
+    fn cf_iter(&self, cf: CfId, opts: &ReadOptions) -> Result<Box<dyn DbIterator>>;
+    /// Pins the store-wide sequence (consistent across families).
+    fn cf_snapshot(&self) -> Snapshot;
+    /// Flushes the whole store and waits for urgent compactions.
+    fn cf_flush(&self) -> Result<()>;
+    /// Store statistics with file/memory figures scoped to family `cf`.
+    fn cf_kv_stats(&self, cf: CfId) -> StoreStats;
+    /// Live file sizes of family `cf`.
+    fn cf_live_file_sizes(&self, cf: CfId) -> Vec<u64>;
+    /// The engine name (for benchmark labels).
+    fn cf_engine_name(&self) -> String;
+}
+
+/// A named column family of an open store.
+///
+/// Cheap to clone; holds the store alive (background threads included), so a
+/// handle outliving its [`Db`] keeps working. The handle implements
+/// [`KvStore`] scoped to its namespace: plain batches written through it are
+/// retargeted at the family, cursors stay inside it, and `scan`'s
+/// "empty end = unbounded" means "to the end of this family".
+#[derive(Clone)]
+pub struct ColumnFamilyHandle {
+    ops: Arc<dyn CfOps>,
+    id: CfId,
+    name: Arc<str>,
+}
+
+impl ColumnFamilyHandle {
+    /// Creates a handle for family `id` of the store behind `ops`.
+    ///
+    /// Engines call this from `create_cf`/`cf`; user code receives handles
+    /// rather than building them.
+    pub fn new(ops: Arc<dyn CfOps>, id: CfId, name: &str) -> ColumnFamilyHandle {
+        ColumnFamilyHandle {
+            ops,
+            id,
+            name: Arc::from(name),
+        }
+    }
+
+    /// The family's id (0 = default).
+    pub fn id(&self) -> CfId {
+        self.id
+    }
+
+    /// The family's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl std::fmt::Debug for ColumnFamilyHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ColumnFamilyHandle")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl KvStore for ColumnFamilyHandle {
+    fn put_opts(&self, opts: &WriteOptions, key: &[u8], value: &[u8]) -> Result<()> {
+        self.ops.cf_put_opts(self.id, opts, key, value)
+    }
+
+    fn get_opts(&self, opts: &ReadOptions, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.ops.cf_get_opts(self.id, opts, key)
+    }
+
+    fn delete_opts(&self, opts: &WriteOptions, key: &[u8]) -> Result<()> {
+        self.ops.cf_delete_opts(self.id, opts, key)
+    }
+
+    fn write_opts(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<()> {
+        self.ops
+            .cf_write_opts(opts, batch.retarget_default_cf(self.id)?)
+    }
+
+    fn iter(&self, opts: &ReadOptions) -> Result<Box<dyn DbIterator>> {
+        self.ops.cf_iter(self.id, opts)
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        self.ops.cf_snapshot()
+    }
+
+    fn flush(&self) -> Result<()> {
+        self.ops.cf_flush()
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.ops.cf_kv_stats(self.id)
+    }
+
+    fn engine_name(&self) -> String {
+        if self.id == 0 {
+            self.ops.cf_engine_name()
+        } else {
+            format!("{}#{}", self.ops.cf_engine_name(), self.name)
+        }
+    }
+
+    fn live_file_sizes(&self) -> Vec<u64> {
+        self.ops.cf_live_file_sizes(self.id)
+    }
+}
+
+/// A store with column families.
+///
+/// The default family (id 0, [`DEFAULT_CF_NAME`]) always exists, and the
+/// `Db` itself is a [`KvStore`] over it, so single-namespace code keeps
+/// running unchanged. All families share the WAL, the group-commit queue and
+/// the sequence space; a [`WriteBatch`] mixing families via
+/// [`WriteBatch::put_cf`] commits atomically, and a [`Snapshot`] pins a
+/// sequence that is consistent across every family.
+pub trait Db: KvStore {
+    /// Creates a new, empty column family.
+    ///
+    /// Fails if a family named `name` already exists.
+    fn create_cf(&self, name: &str) -> Result<ColumnFamilyHandle>;
+
+    /// Drops a column family, deleting its data. The default family cannot
+    /// be dropped. Outstanding handles and cursors of the dropped family
+    /// become invalid (operations through them fail).
+    fn drop_cf(&self, name: &str) -> Result<()>;
+
+    /// The names of all live column families, default first.
+    fn list_cfs(&self) -> Vec<String>;
+
+    /// A handle for the existing family `name`, or `None`.
+    fn cf(&self, name: &str) -> Option<ColumnFamilyHandle>;
+
+    /// Per-family statistics, in id order.
+    fn cf_stats(&self) -> Vec<CfStats>;
+
+    /// A handle for the always-present default family.
+    fn default_cf(&self) -> ColumnFamilyHandle {
+        self.cf(DEFAULT_CF_NAME).expect("default family exists")
+    }
+
+    /// The existing family `name`, creating it if absent.
+    fn cf_or_create(&self, name: &str) -> Result<ColumnFamilyHandle> {
+        match self.cf(name) {
+            Some(handle) => Ok(handle),
+            None => self.create_cf(name),
+        }
+    }
+
+    /// Stores `key -> value` in the family behind `cf`.
+    fn put_cf(&self, cf: &ColumnFamilyHandle, key: &[u8], value: &[u8]) -> Result<()> {
+        cf.put(key, value)
+    }
+
+    /// Reads `key` from the family behind `cf`.
+    fn get_cf(&self, cf: &ColumnFamilyHandle, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        cf.get(key)
+    }
+
+    /// Deletes `key` from the family behind `cf`.
+    fn delete_cf(&self, cf: &ColumnFamilyHandle, key: &[u8]) -> Result<()> {
+        cf.delete(key)
+    }
+
+    /// A streaming cursor over the family behind `cf`.
+    fn iter_cf(&self, cf: &ColumnFamilyHandle, opts: &ReadOptions) -> Result<Box<dyn DbIterator>> {
+        cf.iter(opts)
+    }
+
+    /// Range query over the family behind `cf` (empty `end` = unbounded
+    /// within the family).
+    fn scan_cf(
+        &self,
+        cf: &ColumnFamilyHandle,
+        start: &[u8],
+        end: &[u8],
+        limit: usize,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        cf.scan(start, end, limit)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prefix emulation for engines without native column families.
+// ---------------------------------------------------------------------------
+
+/// The key prefix of family `cf` in a [`PrefixDb`].
+fn cf_prefix(cf: CfId) -> Vec<u8> {
+    format!("@{cf}/").into_bytes()
+}
+
+/// The smallest key strictly greater than every key with `prefix`.
+fn prefix_successor(prefix: &[u8]) -> Vec<u8> {
+    let mut end = prefix.to_vec();
+    let last = end.last_mut().expect("prefix is never empty");
+    // The prefix ends in '/', so the increment never overflows.
+    *last += 1;
+    end
+}
+
+/// A user-key cursor restricted to one key prefix, with the prefix stripped
+/// from surfaced keys. Drives the per-family cursors of [`PrefixDb`].
+pub struct PrefixIterator {
+    inner: Box<dyn DbIterator>,
+    prefix: Vec<u8>,
+}
+
+impl PrefixIterator {
+    /// Restricts `inner` (a user-key cursor) to keys starting with `prefix`.
+    pub fn new(inner: Box<dyn DbIterator>, prefix: Vec<u8>) -> PrefixIterator {
+        PrefixIterator { inner, prefix }
+    }
+}
+
+impl DbIterator for PrefixIterator {
+    fn valid(&self) -> bool {
+        self.inner.valid() && self.inner.key().starts_with(&self.prefix)
+    }
+
+    fn seek_to_first(&mut self) {
+        self.inner.seek(&self.prefix);
+    }
+
+    fn seek_to_last(&mut self) {
+        // Position just past the prefix range, then step back into it.
+        self.inner.seek(&prefix_successor(&self.prefix));
+        if self.inner.valid() {
+            self.inner.prev();
+        } else {
+            self.inner.seek_to_last();
+        }
+    }
+
+    fn seek(&mut self, target: &[u8]) {
+        let mut full = self.prefix.clone();
+        full.extend_from_slice(target);
+        self.inner.seek(&full);
+    }
+
+    fn next(&mut self) {
+        assert!(self.valid(), "next() on invalid iterator");
+        self.inner.next();
+    }
+
+    fn prev(&mut self) {
+        assert!(self.valid(), "prev() on invalid iterator");
+        self.inner.prev();
+    }
+
+    fn key(&self) -> &[u8] {
+        assert!(self.valid(), "key() on invalid iterator");
+        &self.inner.key()[self.prefix.len()..]
+    }
+
+    fn value(&self) -> &[u8] {
+        assert!(self.valid(), "value() on invalid iterator");
+        self.inner.value()
+    }
+
+    fn status(&self) -> Result<()> {
+        self.inner.status()
+    }
+}
+
+struct PrefixRegistry {
+    /// Live families by name.
+    by_name: BTreeMap<String, CfId>,
+    /// Live family names by id.
+    by_id: BTreeMap<CfId, String>,
+    next_id: CfId,
+}
+
+/// The shared core of a [`PrefixDb`]; handles hold it as their `CfOps`.
+struct PrefixCore {
+    inner: Arc<dyn KvStore>,
+    registry: Mutex<PrefixRegistry>,
+}
+
+impl PrefixCore {
+    fn prefixed(&self, cf: CfId, key: &[u8]) -> Vec<u8> {
+        let mut out = cf_prefix(cf);
+        out.extend_from_slice(key);
+        out
+    }
+}
+
+impl PrefixCore {
+    /// Rejects operations addressed at a family the registry no longer
+    /// lists, matching the native engines' dropped-handle semantics.
+    fn check_live(&self, cf: CfId) -> Result<()> {
+        if self.registry.lock().by_id.contains_key(&cf) {
+            Ok(())
+        } else {
+            Err(Error::invalid_argument(format!(
+                "column family {cf} does not exist (dropped?)"
+            )))
+        }
+    }
+}
+
+impl CfOps for PrefixCore {
+    fn cf_put_opts(&self, cf: CfId, opts: &WriteOptions, key: &[u8], value: &[u8]) -> Result<()> {
+        self.check_live(cf)?;
+        self.inner.put_opts(opts, &self.prefixed(cf, key), value)
+    }
+
+    fn cf_get_opts(&self, cf: CfId, opts: &ReadOptions, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.check_live(cf)?;
+        self.inner.get_opts(opts, &self.prefixed(cf, key))
+    }
+
+    fn cf_delete_opts(&self, cf: CfId, opts: &WriteOptions, key: &[u8]) -> Result<()> {
+        self.check_live(cf)?;
+        self.inner.delete_opts(opts, &self.prefixed(cf, key))
+    }
+
+    fn cf_write_opts(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<()> {
+        // Lower the per-record family ids into key prefixes; atomicity
+        // across families is inherited from the inner store's plain batch.
+        let mut lowered = WriteBatch::new();
+        for record in batch.iter() {
+            let record = record?;
+            self.check_live(record.cf)?;
+            let key = self.prefixed(record.cf, record.key);
+            match record.value_type {
+                ValueType::Value => lowered.put(&key, record.value),
+                ValueType::Deletion => lowered.delete(&key),
+            }
+        }
+        self.inner.write_opts(opts, lowered)
+    }
+
+    fn cf_iter(&self, cf: CfId, opts: &ReadOptions) -> Result<Box<dyn DbIterator>> {
+        self.check_live(cf)?;
+        Ok(Box::new(PrefixIterator::new(
+            self.inner.iter(opts)?,
+            cf_prefix(cf),
+        )))
+    }
+
+    fn cf_snapshot(&self) -> Snapshot {
+        self.inner.snapshot()
+    }
+
+    fn cf_flush(&self) -> Result<()> {
+        self.inner.flush()
+    }
+
+    fn cf_kv_stats(&self, _cf: CfId) -> StoreStats {
+        // The emulation cannot attribute files to one namespace; report the
+        // store-wide figures.
+        let mut stats = self.inner.stats();
+        stats.num_column_families = self.registry.lock().by_id.len() as u64;
+        stats
+    }
+
+    fn cf_live_file_sizes(&self, _cf: CfId) -> Vec<u64> {
+        self.inner.live_file_sizes()
+    }
+
+    fn cf_engine_name(&self) -> String {
+        self.inner.engine_name()
+    }
+}
+
+/// Column families emulated by key prefixing over any plain [`KvStore`].
+///
+/// Every family's keys live in the inner store under an `@<id>/` prefix —
+/// the exact scheme the application layers used to hand-roll per app. The
+/// emulation is API-complete (cursors stay inside their family, mixed
+/// batches are atomic, snapshots are shared) but per-family file statistics
+/// are store-wide, and the family *registry* is in-memory: a reopened store
+/// must re-create its families (their data is still there, because ids are
+/// allocated deterministically in creation order).
+///
+/// Engines with native families ([`Db`] implemented on the store itself)
+/// should be preferred; this adapter exists so the B+Tree engine and test
+/// doubles can serve the same multi-namespace workloads.
+pub struct PrefixDb {
+    core: Arc<PrefixCore>,
+}
+
+impl PrefixDb {
+    /// Wraps `inner`, exposing a [`Db`] over it.
+    pub fn new(inner: Arc<dyn KvStore>) -> PrefixDb {
+        let mut by_name = BTreeMap::new();
+        let mut by_id = BTreeMap::new();
+        by_name.insert(DEFAULT_CF_NAME.to_string(), 0);
+        by_id.insert(0, DEFAULT_CF_NAME.to_string());
+        PrefixDb {
+            core: Arc::new(PrefixCore {
+                inner,
+                registry: Mutex::new(PrefixRegistry {
+                    by_name,
+                    by_id,
+                    next_id: 1,
+                }),
+            }),
+        }
+    }
+
+    fn handle(&self, id: CfId, name: &str) -> ColumnFamilyHandle {
+        ColumnFamilyHandle::new(Arc::clone(&self.core) as Arc<dyn CfOps>, id, name)
+    }
+}
+
+impl KvStore for PrefixDb {
+    fn put_opts(&self, opts: &WriteOptions, key: &[u8], value: &[u8]) -> Result<()> {
+        self.core.cf_put_opts(0, opts, key, value)
+    }
+
+    fn get_opts(&self, opts: &ReadOptions, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.core.cf_get_opts(0, opts, key)
+    }
+
+    fn delete_opts(&self, opts: &WriteOptions, key: &[u8]) -> Result<()> {
+        self.core.cf_delete_opts(0, opts, key)
+    }
+
+    fn write_opts(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<()> {
+        self.core.cf_write_opts(opts, batch)
+    }
+
+    fn iter(&self, opts: &ReadOptions) -> Result<Box<dyn DbIterator>> {
+        self.core.cf_iter(0, opts)
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        self.core.cf_snapshot()
+    }
+
+    fn flush(&self) -> Result<()> {
+        self.core.cf_flush()
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.core.cf_kv_stats(0)
+    }
+
+    fn engine_name(&self) -> String {
+        self.core.cf_engine_name()
+    }
+
+    fn live_file_sizes(&self) -> Vec<u64> {
+        self.core.cf_live_file_sizes(0)
+    }
+}
+
+impl Db for PrefixDb {
+    fn create_cf(&self, name: &str) -> Result<ColumnFamilyHandle> {
+        if name.is_empty() || name.contains('/') {
+            return Err(Error::invalid_argument(format!(
+                "invalid column family name {name:?}"
+            )));
+        }
+        let id = {
+            let mut registry = self.core.registry.lock();
+            if registry.by_name.contains_key(name) {
+                return Err(Error::invalid_argument(format!(
+                    "column family {name:?} already exists"
+                )));
+            }
+            let id = registry.next_id;
+            registry.next_id += 1;
+            registry.by_name.insert(name.to_string(), id);
+            registry.by_id.insert(id, name.to_string());
+            id
+        };
+        Ok(self.handle(id, name))
+    }
+
+    fn drop_cf(&self, name: &str) -> Result<()> {
+        let id = {
+            let mut registry = self.core.registry.lock();
+            if name == DEFAULT_CF_NAME {
+                return Err(Error::invalid_argument(
+                    "the default column family cannot be dropped",
+                ));
+            }
+            let id = registry
+                .by_name
+                .remove(name)
+                .ok_or_else(|| Error::invalid_argument(format!("no column family {name:?}")))?;
+            registry.by_id.remove(&id);
+            id
+        };
+        // Delete the family's key range in bounded chunks.
+        let prefix = cf_prefix(id);
+        let end = prefix_successor(&prefix);
+        loop {
+            let chunk = self.core.inner.scan(&prefix, &end, 1024)?;
+            if chunk.is_empty() {
+                return Ok(());
+            }
+            let mut batch = WriteBatch::new();
+            for (key, _) in &chunk {
+                batch.delete(key);
+            }
+            self.core.inner.write(batch)?;
+        }
+    }
+
+    fn list_cfs(&self) -> Vec<String> {
+        self.core.registry.lock().by_id.values().cloned().collect()
+    }
+
+    fn cf(&self, name: &str) -> Option<ColumnFamilyHandle> {
+        let id = *self.core.registry.lock().by_name.get(name)?;
+        Some(self.handle(id, name))
+    }
+
+    fn cf_stats(&self) -> Vec<CfStats> {
+        let registry = self.core.registry.lock();
+        registry
+            .by_id
+            .iter()
+            .map(|(id, name)| CfStats {
+                id: *id,
+                name: name.clone(),
+                ..CfStats::default()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::SnapshotList;
+    use crate::user_iter::UserEntriesIterator;
+
+    /// A sorted in-memory store with enough behaviour for the emulation.
+    #[derive(Default)]
+    struct MapStore {
+        map: Mutex<BTreeMap<Vec<u8>, Vec<u8>>>,
+        writes: std::sync::atomic::AtomicU64,
+        snapshots: Arc<SnapshotList>,
+    }
+
+    impl KvStore for MapStore {
+        fn put_opts(&self, _opts: &WriteOptions, key: &[u8], value: &[u8]) -> Result<()> {
+            self.writes
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.map.lock().insert(key.to_vec(), value.to_vec());
+            Ok(())
+        }
+        fn get_opts(&self, _opts: &ReadOptions, key: &[u8]) -> Result<Option<Vec<u8>>> {
+            Ok(self.map.lock().get(key).cloned())
+        }
+        fn delete_opts(&self, _opts: &WriteOptions, key: &[u8]) -> Result<()> {
+            self.map.lock().remove(key);
+            Ok(())
+        }
+        fn write_opts(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<()> {
+            for record in batch.iter() {
+                let record = record?;
+                match record.value_type {
+                    ValueType::Value => self.put_opts(opts, record.key, record.value)?,
+                    ValueType::Deletion => self.delete_opts(opts, record.key)?,
+                }
+            }
+            Ok(())
+        }
+        fn iter(&self, _opts: &ReadOptions) -> Result<Box<dyn DbIterator>> {
+            let entries: Vec<_> = self
+                .map
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            Ok(Box::new(UserEntriesIterator::new(entries)))
+        }
+        fn snapshot(&self) -> Snapshot {
+            self.snapshots.acquire(0)
+        }
+        fn flush(&self) -> Result<()> {
+            Ok(())
+        }
+        fn stats(&self) -> StoreStats {
+            StoreStats::default()
+        }
+        fn engine_name(&self) -> String {
+            "MapStore".to_string()
+        }
+    }
+
+    fn prefix_db() -> PrefixDb {
+        PrefixDb::new(Arc::new(MapStore::default()))
+    }
+
+    #[test]
+    fn families_are_isolated_namespaces() {
+        let db = prefix_db();
+        let users = db.create_cf("users").unwrap();
+        let posts = db.create_cf("posts").unwrap();
+        db.put(b"k", b"default").unwrap();
+        users.put(b"k", b"user").unwrap();
+        posts.put(b"k", b"post").unwrap();
+
+        assert_eq!(db.get(b"k").unwrap(), Some(b"default".to_vec()));
+        assert_eq!(users.get(b"k").unwrap(), Some(b"user".to_vec()));
+        assert_eq!(posts.get(b"k").unwrap(), Some(b"post".to_vec()));
+
+        users.delete(b"k").unwrap();
+        assert_eq!(users.get(b"k").unwrap(), None);
+        assert_eq!(posts.get(b"k").unwrap(), Some(b"post".to_vec()));
+        assert_eq!(db.get(b"k").unwrap(), Some(b"default".to_vec()));
+    }
+
+    #[test]
+    fn handle_cursors_stay_inside_their_family() {
+        let db = prefix_db();
+        let users = db.create_cf("users").unwrap();
+        for i in 0..10u8 {
+            users.put(&[b'u', b'0' + i], &[i]).unwrap();
+            db.put(&[b'd', b'0' + i], &[i]).unwrap();
+        }
+        // Unbounded scan stays inside the family and strips the prefix.
+        let got = users.scan(b"", &[], 100).unwrap();
+        assert_eq!(got.len(), 10);
+        assert_eq!(got[0].0, b"u0".to_vec());
+        // Bounded scan and limit behave like any KvStore.
+        assert_eq!(users.scan(b"u3", b"u6", 100).unwrap().len(), 3);
+        assert_eq!(users.scan(b"", &[], 4).unwrap().len(), 4);
+        // Reverse traversal lands on the family's last key.
+        let mut iter = users.iter(&ReadOptions::default()).unwrap();
+        iter.seek_to_last();
+        assert!(iter.valid());
+        assert_eq!(iter.key(), b"u9");
+        iter.prev();
+        assert_eq!(iter.key(), b"u8");
+        // The default family does not see user keys.
+        assert_eq!(db.scan(b"", &[], 100).unwrap().len(), 10);
+        assert!(db.scan(b"", &[], 100).unwrap()[0].0.starts_with(b"d"));
+    }
+
+    #[test]
+    fn mixed_batches_land_in_their_families() {
+        let db = prefix_db();
+        let index = db.create_cf("index").unwrap();
+        let mut batch = WriteBatch::new();
+        batch.put(b"row", b"payload");
+        batch.put_cf(index.id(), b"idx", b"row");
+        db.write(batch).unwrap();
+        assert_eq!(db.get(b"row").unwrap(), Some(b"payload".to_vec()));
+        assert_eq!(index.get(b"idx").unwrap(), Some(b"row".to_vec()));
+        assert_eq!(db.get(b"idx").unwrap(), None);
+
+        // A plain batch written through a handle targets that family.
+        let mut plain = WriteBatch::new();
+        plain.put(b"only-index", b"1");
+        index.write(plain).unwrap();
+        assert_eq!(index.get(b"only-index").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(db.get(b"only-index").unwrap(), None);
+    }
+
+    #[test]
+    fn create_list_drop_lifecycle() {
+        let db = prefix_db();
+        assert_eq!(db.list_cfs(), vec![DEFAULT_CF_NAME.to_string()]);
+        let cf = db.create_cf("temp").unwrap();
+        assert!(db.create_cf("temp").is_err(), "duplicate create must fail");
+        assert_eq!(db.list_cfs().len(), 2);
+        assert_eq!(db.cf("temp").unwrap().id(), cf.id());
+        assert!(db.cf("missing").is_none());
+
+        for i in 0..50u8 {
+            cf.put(&[i], b"x").unwrap();
+        }
+        db.drop_cf("temp").unwrap();
+        assert!(db.cf("temp").is_none());
+        assert!(db.drop_cf(DEFAULT_CF_NAME).is_err());
+        // The dropped family's keys are gone from the inner store.
+        let recreated = db.cf_or_create("temp").unwrap();
+        assert_ne!(recreated.id(), cf.id(), "dropped ids are not reused");
+        assert_eq!(recreated.scan(b"", &[], 100).unwrap().len(), 0);
+    }
+}

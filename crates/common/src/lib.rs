@@ -18,6 +18,7 @@
 //! [`pebblesdb`]: https://www.cs.utexas.edu/~vijay/papers/sosp17-pebblesdb.pdf
 
 pub mod batch;
+pub mod cf;
 pub mod coding;
 pub mod commit;
 pub mod counters;
@@ -32,7 +33,8 @@ pub mod snapshot;
 pub mod store;
 pub mod user_iter;
 
-pub use batch::WriteBatch;
+pub use batch::{CfId, WriteBatch};
+pub use cf::{CfOps, CfStats, ColumnFamilyHandle, Db, PrefixDb, DEFAULT_CF_NAME};
 pub use commit::{CommitGroup, CommitQueue, Role, Ticket};
 pub use error::{Error, Result};
 pub use iterator::DbIterator;

@@ -80,6 +80,10 @@ pub struct StoreStats {
     /// Table-cache lookups that had to open (and parse the footer of) the
     /// sstable.
     pub table_cache_misses: u64,
+    /// Number of live column families (1 for single-namespace stores; see
+    /// [`Db::cf_stats`](crate::cf::Db::cf_stats) for the per-family
+    /// breakdown).
+    pub num_column_families: u64,
 }
 
 impl StoreStats {
@@ -202,13 +206,20 @@ pub trait KvStore: Send + Sync {
     ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
         let mut iter = self.iter(opts)?;
         iter.seek(start);
-        let mut out = Vec::new();
+        let mut out: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        // One key buffer serves each entry: `iter.key()` — a virtual call
+        // through the pin/user/merge iterator stack — is read exactly once
+        // per entry into the buffer, which serves the bound check and is
+        // then *moved* into the result, so the key bytes are copied once
+        // and never re-copied on acceptance.
+        let mut key_buf: Vec<u8> = Vec::new();
         while iter.valid() && out.len() < limit {
-            let key = iter.key();
-            if !end.is_empty() && key >= end {
+            key_buf.clear();
+            key_buf.extend_from_slice(iter.key());
+            if !end.is_empty() && key_buf.as_slice() >= end {
                 break;
             }
-            out.push((key.to_vec(), iter.value().to_vec()));
+            out.push((std::mem::take(&mut key_buf), iter.value().to_vec()));
             iter.next();
         }
         // A cursor that hit corruption or an IO error stops early; surface

@@ -18,7 +18,8 @@ use pebblesdb_common::iterator::DbIterator;
 use pebblesdb_common::key::LookupKey;
 use pebblesdb_common::snapshot::Snapshot;
 use pebblesdb_common::{
-    KvStore, ReadOptions, Result, StoreOptions, StorePreset, StoreStats, WriteBatch, WriteOptions,
+    CfStats, ColumnFamilyHandle, Db, KvStore, ReadOptions, Result, StoreOptions, StorePreset,
+    StoreStats, WriteBatch, WriteOptions,
 };
 use pebblesdb_engine::{EngineDb, EngineIo, FileMetaData, JobClaim, PolicyCtx, ShapePolicy};
 use pebblesdb_env::Env;
@@ -369,6 +370,26 @@ impl PebblesDb {
     }
 }
 
+/// Column families on PebblesDB: implemented once in the chassis; the FLSM
+/// policy provides each family its own guard tree.
+impl Db for PebblesDb {
+    fn create_cf(&self, name: &str) -> Result<ColumnFamilyHandle> {
+        self.db.create_cf(name)
+    }
+    fn drop_cf(&self, name: &str) -> Result<()> {
+        self.db.drop_cf(name)
+    }
+    fn list_cfs(&self) -> Vec<String> {
+        self.db.list_cfs()
+    }
+    fn cf(&self, name: &str) -> Option<ColumnFamilyHandle> {
+        self.db.cf(name)
+    }
+    fn cf_stats(&self) -> Vec<CfStats> {
+        self.db.cf_stats()
+    }
+}
+
 impl KvStore for PebblesDb {
     fn put_opts(&self, opts: &WriteOptions, key: &[u8], value: &[u8]) -> Result<()> {
         self.db.put_opts(opts, key, value)
@@ -428,13 +449,14 @@ mod tests {
     /// lock between fabrication and the test's claim would let a worker
     /// race it to the job.
     fn fabricate_files(state: &mut FlsmState<'_>, files: &[(usize, &str, &str)]) {
+        let cf = state.default_cf_mut();
         let mut edit = FlsmVersionEdit::default();
         for (level, smallest, largest) in files {
-            let number = state.versions.new_file_number();
+            let number = cf.versions.new_file_number();
             edit.new_files
                 .push((*level, file_edit(number, smallest, largest)));
         }
-        state.versions.log_and_apply(edit).unwrap();
+        cf.versions.log_and_apply(edit).unwrap();
     }
 
     fn open_empty(options: StoreOptions) -> PebblesDb {
@@ -454,14 +476,14 @@ mod tests {
         let mut state = inner.state.lock();
         // Two level-0 files arm the size trigger.
         fabricate_files(&mut state, &[(0, "a", "c"), (0, "b", "d")]);
-        state.policy.seek_compaction_pending = true;
+        state.default_cf_mut().policy.seek_compaction_pending = true;
 
-        let claim = inner
+        let claimed = inner
             .claim_job(&mut state)
             .expect("the level-0 size trigger yields a job");
-        assert_eq!(claim.job.reason, CompactionReason::Level0Files);
+        assert_eq!(claimed.claim.job.reason, CompactionReason::Level0Files);
         assert!(
-            state.policy.seek_compaction_pending,
+            state.default_cf().policy.seek_compaction_pending,
             "seek request was swallowed by the preempting size-triggered job"
         );
         drop(state);
@@ -479,13 +501,13 @@ mod tests {
         // A level-1 guard with two overlapping sstables: under every size
         // budget, but exactly what a seek-triggered compaction wants.
         fabricate_files(&mut state, &[(1, "a", "c"), (1, "b", "d")]);
-        state.policy.seek_compaction_pending = true;
+        state.default_cf_mut().policy.seek_compaction_pending = true;
 
-        let claim = inner
+        let claimed = inner
             .claim_job(&mut state)
             .expect("the seek request yields a job");
-        assert_eq!(claim.job.reason, CompactionReason::SeekTriggered);
-        assert!(!state.policy.seek_compaction_pending);
+        assert_eq!(claimed.claim.job.reason, CompactionReason::SeekTriggered);
+        assert!(!state.default_cf().policy.seek_compaction_pending);
         drop(state);
     }
 
@@ -500,10 +522,10 @@ mod tests {
         let inner = db.db.core();
         let mut state = inner.state.lock();
         fabricate_files(&mut state, &[(1, "a", "c")]);
-        state.policy.seek_compaction_pending = true;
+        state.default_cf_mut().policy.seek_compaction_pending = true;
 
         assert!(inner.claim_job(&mut state).is_none());
-        assert!(!state.policy.seek_compaction_pending);
+        assert!(!state.default_cf().policy.seek_compaction_pending);
         drop(state);
     }
 
@@ -529,10 +551,11 @@ mod tests {
 
         let claim1 = inner.claim_job(&mut state).expect("first claim");
         let claim2 = inner.claim_job(&mut state).expect("second claim");
-        let set1: BTreeSet<u64> = claim1.job.inputs.iter().map(|f| f.number).collect();
-        let set2: BTreeSet<u64> = claim2.job.inputs.iter().map(|f| f.number).collect();
+        let set1: BTreeSet<u64> = claim1.claim.job.inputs.iter().map(|f| f.number).collect();
+        let set2: BTreeSet<u64> = claim2.claim.job.inputs.iter().map(|f| f.number).collect();
         assert!(set1.is_disjoint(&set2));
         assert_eq!(state.active_compactions, 2);
+        assert_eq!(state.default_cf().active_jobs, 2);
         assert_eq!(
             pebblesdb_common::counters::EngineCounters::load(
                 &inner.counters.max_concurrent_compactions
@@ -540,8 +563,13 @@ mod tests {
             2
         );
         // Outputs of both uncommitted jobs are protected from the GC.
-        for number in claim1.output_numbers.iter().chain(&claim2.output_numbers) {
-            assert!(state.pending_outputs.contains(number));
+        for number in claim1
+            .claim
+            .output_numbers
+            .iter()
+            .chain(&claim2.claim.output_numbers)
+        {
+            assert!(state.default_cf().pending_outputs.contains(number));
         }
         drop(state);
     }

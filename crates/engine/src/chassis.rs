@@ -7,8 +7,36 @@
 //! through the [`ShapePolicy`], pending-output/live-file garbage collection,
 //! the snapshot list and stats assembly. The policy decides only *what* a
 //! compaction job is and *how* reads route through a version.
+//!
+//! # Column families
+//!
+//! The chassis is natively multi-namespace: one [`EngineDb`] multiplexes any
+//! number of column families over a **shared** WAL, group-commit queue and
+//! sequence space, while each family ([`CfState`]) owns its memtable/imm
+//! pair, its version set (MANIFEST) and its own policy shape state — the
+//! guard tree for the FLSM, the leveled structure for the LSM. Implementing
+//! the feature here means every [`ShapePolicy`] inherits it unchanged.
+//!
+//! * The default family (id 0) lives in the database root, so a
+//!   single-namespace database has exactly the pre-column-family layout;
+//!   family `n` lives in `cf-<n>/` with its own CURRENT/MANIFEST/sstables.
+//! * WAL records carry a per-record family id (see
+//!   [`WriteBatch`](pebblesdb_common::WriteBatch)); recovery replays each
+//!   record into its family, skipping families dropped in the catalog.
+//! * The set of families is committed through the [`crate::catalog`] log;
+//!   create/drop edits are synced before any dependent file operation, and
+//!   reopen reaps the directories of dropped families (ids are never
+//!   reused).
+//! * The flush thread picks the family with the **largest** immutable
+//!   memtable, and compaction workers poll families hottest-first (pending
+//!   compaction, then most level-0 files), so one hot namespace cannot
+//!   starve the rest.
+//! * A WAL segment is reclaimed only once *every* family's flushed state
+//!   covers it (the minimum per-family log number); flushing one family
+//!   also advances the log number of idle families so an inactive namespace
+//!   does not pin logs forever.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -17,6 +45,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex, MutexGuard};
 
+use pebblesdb_common::cf::{CfOps, CfStats, ColumnFamilyHandle, Db};
 use pebblesdb_common::commit::{CommitGroup, CommitQueue, Role};
 use pebblesdb_common::counters::EngineCounters;
 use pebblesdb_common::filename::{log_file_name, parse_file_name, table_file_name, FileType};
@@ -25,13 +54,14 @@ use pebblesdb_common::key::{InternalKey, LookupKey, SequenceNumber, ValueType};
 use pebblesdb_common::snapshot::{Snapshot, SnapshotList};
 use pebblesdb_common::user_iter::UserIterator;
 use pebblesdb_common::{
-    Error, KvStore, ReadOptions, Result, StoreOptions, StoreStats, WriteBatch, WriteOptions,
+    CfId, Error, KvStore, ReadOptions, Result, StoreOptions, StoreStats, WriteBatch, WriteOptions,
 };
 use pebblesdb_skiplist::memtable::MemTableGet;
 use pebblesdb_skiplist::MemTable;
 use pebblesdb_sstable::{TableBuilder, TableCache};
 use pebblesdb_wal::{LogReader, LogWriter};
 
+use crate::catalog::{self, Catalog, CatalogData};
 use crate::meta::FileMetaData;
 use crate::policy::{
     EngineIo, JobClaim, PolicyCtx, ShapePolicy, VersionMeta, VersionOf, VersionSetOps,
@@ -40,16 +70,35 @@ use crate::policy::{
 /// A handle to an open store built on the chassis.
 ///
 /// Cloneable via `Arc`; all methods take `&self` and are safe to call from
-/// multiple threads. Dropping the handle shuts the background threads down.
+/// multiple threads. The store (background threads included) stays alive
+/// while this handle *or any [`ColumnFamilyHandle`] minted from it* exists;
+/// the last one dropped shuts the store down.
 pub struct EngineDb<P: ShapePolicy> {
-    inner: Arc<EngineCore<P>>,
+    shared: Arc<EngineShared<P>>,
+}
+
+/// The keep-alive unit behind [`EngineDb`] and every column-family handle:
+/// the core plus the background threads, joined when the last owner drops.
+pub struct EngineShared<P: ShapePolicy> {
+    core: Arc<EngineCore<P>>,
     background_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl<P: ShapePolicy> Drop for EngineShared<P> {
+    fn drop(&mut self) {
+        self.core.shutting_down.store(true, Ordering::SeqCst);
+        self.core.work_available.notify_all();
+        self.core.flush_available.notify_all();
+        for handle in self.background_threads.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
 }
 
 /// The shared core of an engine: IO handles, the policy, the mutexed state
 /// and the background-thread rendezvous points.
 pub struct EngineCore<P: ShapePolicy> {
-    /// Environment, database path, options and table cache.
+    /// Environment, database root, options and the default family's cache.
     pub io: EngineIo,
     /// The shape policy (guarded FLSM or degenerate-guard LSM).
     pub policy: P,
@@ -63,48 +112,88 @@ pub struct EngineCore<P: ShapePolicy> {
     /// Wakes the dedicated flush thread (imm -> level 0 never queues behind
     /// a large level compaction).
     flush_available: Condvar,
-    /// Wakes writers stalled in `make_room_for_write` and `flush` callers.
+    /// Wakes writers stalled in `make_room_for_write`, `flush` callers and
+    /// `drop_cf` waiting out in-flight jobs.
     work_done: Condvar,
     shutting_down: AtomicBool,
     /// Cumulative operation counters.
     pub counters: EngineCounters,
-    /// Live snapshot pins.
+    /// Live snapshot pins (store-wide: sequences are shared by families).
     pub snapshots: Arc<SnapshotList>,
 }
 
-/// The mutable engine state, shared by writers and the background threads.
-pub struct EngineState<P: ShapePolicy> {
+/// One column family's share of the engine state.
+pub struct CfState<P: ShapePolicy> {
+    /// The family's id (0 = default).
+    pub id: CfId,
+    /// The family's name.
+    pub name: String,
+    /// The family's IO handles (directory + table cache).
+    pub io: EngineIo,
     /// The active memtable. Concurrent: the group-commit leader inserts via
     /// `&self` while `get` and streaming cursors read it lock-free, so the
     /// table is never cloned — when full it is frozen whole into `imm`.
     pub mem: Arc<MemTable>,
     /// The immutable memtable being flushed, if any.
     pub imm: Option<Arc<MemTable>>,
-    /// The engine's version set (MANIFEST machinery).
+    /// The family's version set (MANIFEST machinery).
     pub versions: P::Versions,
     /// The policy's own mutable state (uncommitted guards, compaction
     /// pointers, pending seek requests, ...).
     pub policy: P::State,
-    /// The live write-ahead log.
+    /// Input file numbers of this family's in-flight compaction jobs. A
+    /// worker claiming new work never selects inputs that intersect this
+    /// set, so concurrent jobs always operate on disjoint file subsets.
+    /// File numbers are per-family (each version set allocates its own).
+    pub claimed_inputs: BTreeSet<u64>,
+    /// Output file numbers of this family's uncommitted jobs (flushes and
+    /// compactions). `remove_obsolete_files` must never delete these: they
+    /// are invisible to every version until their job commits.
+    pub pending_outputs: BTreeSet<u64>,
+    /// The WAL that was live when the active memtable was created. Once
+    /// `imm` flushes, every record of this family in older WALs is covered
+    /// by sstables, so this is the log number a flush commit publishes.
+    pub mem_log_number: u64,
+    /// Compaction jobs of this family currently claimed or running.
+    pub active_jobs: usize,
+    /// Whether the flush thread is writing this family's `imm` right now.
+    pub flush_running: bool,
+    /// Completed memtable flushes of this family.
+    pub flushes: u64,
+    /// Set by `drop_cf`: no new flushes, claims or writes; the family is
+    /// removed once its in-flight work drains.
+    pub dropping: bool,
+}
+
+/// The mutable engine state, shared by writers and the background threads.
+pub struct EngineState<P: ShapePolicy> {
+    /// The live column families by id. Id 0 (the default) always exists.
+    pub cfs: BTreeMap<CfId, CfState<P>>,
+    /// Sequence number of the most recent committed write — shared by every
+    /// family, so snapshots are consistent across namespaces. Mirrored into
+    /// each family's version set right before its MANIFEST commits.
+    pub last_sequence: SequenceNumber,
+    /// The next column-family id to allocate; never reused after a drop.
+    pub next_cf_id: CfId,
+    /// The open column-family catalog, if this database has ever had a
+    /// non-default family. `None` means the on-disk layout is exactly the
+    /// single-namespace one.
+    pub catalog: Option<Catalog>,
+    /// The live write-ahead log, shared by every family.
     pub log: Option<LogWriter>,
     /// The live WAL's file number.
     pub log_file_number: u64,
-    /// Input file numbers of every in-flight compaction job. A worker
-    /// claiming new work never selects inputs that intersect this set, so
-    /// concurrent jobs always operate on disjoint file subsets.
-    pub claimed_inputs: BTreeSet<u64>,
-    /// Output file numbers of uncommitted jobs (flushes and compactions).
-    /// `remove_obsolete_files` must never delete these: they are invisible
-    /// to every version until their job's `log_and_apply` commits.
-    pub pending_outputs: BTreeSet<u64>,
-    /// Compaction jobs currently claimed or running.
+    /// Compaction jobs currently claimed or running, across all families.
     pub active_compactions: usize,
-    /// Whether the flush thread is writing `imm` to level 0 right now.
-    pub flush_running: bool,
     /// Set when the last GC pass ran while a read or cursor still pinned an
     /// old version (whose files it therefore kept); `flush` on a quiesced
     /// store rescans only in that case instead of on every call.
     pub gc_rescan_needed: bool,
+    /// WAL files the last GC pass kept, maintained as a cheap backlog
+    /// signal: idle families' recovery floors are advanced (one synced
+    /// MANIFEST edit per family) only when the backlog shows old segments
+    /// actually piling up, not on every flush.
+    pub live_wal_files: usize,
     /// Set when a memtable rotation created a fresh WAL whose directory
     /// entry has not been fsynced yet. The next group-commit leader syncs
     /// the directory in its *unlocked* IO section before acknowledging any
@@ -113,6 +202,75 @@ pub struct EngineState<P: ShapePolicy> {
     pub wal_dir_unsynced: bool,
     /// First background error; poisons the store.
     pub bg_error: Option<Error>,
+}
+
+impl<P: ShapePolicy> EngineState<P> {
+    /// The state of family `id`, if it is live.
+    pub fn cf(&self, id: CfId) -> Option<&CfState<P>> {
+        self.cfs.get(&id)
+    }
+
+    /// Mutable state of family `id`, if it is live.
+    pub fn cf_mut(&mut self, id: CfId) -> Option<&mut CfState<P>> {
+        self.cfs.get_mut(&id)
+    }
+
+    /// The always-present default family.
+    pub fn default_cf(&self) -> &CfState<P> {
+        self.cfs.get(&0).expect("default family always exists")
+    }
+
+    /// The always-present default family, mutably.
+    pub fn default_cf_mut(&mut self) -> &mut CfState<P> {
+        self.cfs.get_mut(&0).expect("default family always exists")
+    }
+
+    /// The WAL number below which every family's data is flushed.
+    fn min_log_number(&self) -> u64 {
+        self.cfs
+            .values()
+            .map(|cf| cf.versions.log_number())
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+/// A compaction job claimed for one column family.
+pub struct ClaimedJob<P: ShapePolicy> {
+    /// The family the job belongs to.
+    pub cf: CfId,
+    /// The policy-level claim (inputs, outputs, job description).
+    pub claim: JobClaim<P::Job>,
+}
+
+/// One key observation made during the unlocked group-commit apply, tagged
+/// with the family it belongs to.
+type CfObservation = (CfId, (usize, Vec<u8>));
+
+/// WAL files tolerated on disk before idle families' recovery floors are
+/// force-advanced (each advance costs one synced MANIFEST edit per family).
+/// Hot families always advance their own floor for free when they flush, so
+/// a single-namespace store never crosses this.
+const WAL_BACKLOG_LIMIT: usize = 8;
+
+fn missing_cf_error(cf: CfId) -> Error {
+    Error::invalid_argument(format!("column family {cf} does not exist (dropped?)"))
+}
+
+/// Builds the IO handles of one family rooted at `dir`.
+fn cf_io(env: &Arc<dyn pebblesdb_env::Env>, dir: &Path, options: &StoreOptions) -> EngineIo {
+    let table_cache = Arc::new(TableCache::new(
+        Arc::clone(env),
+        dir.to_path_buf(),
+        options.clone(),
+        options.max_open_files,
+    ));
+    EngineIo {
+        env: Arc::clone(env),
+        db_path: dir.to_path_buf(),
+        options: options.clone(),
+        table_cache,
+    }
 }
 
 impl<P: ShapePolicy> EngineDb<P> {
@@ -124,59 +282,115 @@ impl<P: ShapePolicy> EngineDb<P> {
         options: StoreOptions,
     ) -> Result<EngineDb<P>> {
         env.create_dir_all(path)?;
-        let table_cache = Arc::new(TableCache::new(
-            Arc::clone(&env),
-            path.to_path_buf(),
-            options.clone(),
-            options.max_open_files,
-        ));
-        let io = EngineIo {
-            env: Arc::clone(&env),
-            db_path: path.to_path_buf(),
-            options,
-            table_cache,
-        };
+        let io = cf_io(&env, path, &options);
 
-        let mut versions = policy.new_versions(&io);
         let current_exists = env.file_exists(&pebblesdb_common::filename::current_file_name(path));
-        if current_exists {
-            if io.options.error_if_exists {
-                return Err(Error::invalid_argument("database already exists"));
-            }
-            versions.recover()?;
-        } else {
-            if !io.options.create_if_missing {
-                return Err(Error::invalid_argument("database does not exist"));
-            }
-            versions.create_new()?;
+        if current_exists && io.options.error_if_exists {
+            return Err(Error::invalid_argument("database already exists"));
+        }
+        if !current_exists && !io.options.create_if_missing {
+            return Err(Error::invalid_argument("database does not exist"));
         }
 
+        // The catalog names the families; a missing catalog file is the
+        // single-namespace (pre-column-family) layout.
+        let catalog_exists = env.file_exists(&catalog::catalog_file_name(path));
+        let catalog_data = catalog::read(env.as_ref(), path)?;
+
         let mut state: EngineState<P> = EngineState {
-            mem: Arc::new(MemTable::new()),
-            imm: None,
-            versions,
-            policy: policy.new_state(),
+            cfs: BTreeMap::new(),
+            last_sequence: 0,
+            next_cf_id: catalog_data.next_cf_id,
+            catalog: None,
             log: None,
             log_file_number: 0,
-            claimed_inputs: BTreeSet::new(),
-            pending_outputs: BTreeSet::new(),
             active_compactions: 0,
-            flush_running: false,
             gc_rescan_needed: false,
+            live_wal_files: 0,
             wal_dir_unsynced: false,
             bg_error: None,
         };
+
+        for (id, name) in &catalog_data.cfs {
+            let dir = catalog::cf_dir(path, *id);
+            env.create_dir_all(&dir)?;
+            let io = if *id == 0 {
+                io.clone()
+            } else {
+                cf_io(&env, &dir, &options)
+            };
+            let mut versions = policy.new_versions(&io);
+            if env.file_exists(&pebblesdb_common::filename::current_file_name(&dir)) {
+                versions.recover()?;
+            } else {
+                // Either a fresh database or a family whose create edit
+                // committed but whose directory was never initialised
+                // (crash between the two); both start empty here.
+                versions.create_new()?;
+            }
+            state.last_sequence = state.last_sequence.max(versions.last_sequence());
+            state.cfs.insert(
+                *id,
+                CfState {
+                    id: *id,
+                    name: name.clone(),
+                    io,
+                    mem: Arc::new(MemTable::new()),
+                    imm: None,
+                    versions,
+                    policy: policy.new_state(),
+                    claimed_inputs: BTreeSet::new(),
+                    pending_outputs: BTreeSet::new(),
+                    mem_log_number: 0,
+                    active_jobs: 0,
+                    flush_running: false,
+                    flushes: 0,
+                    dropping: false,
+                },
+            );
+        }
+
+        // Reap directories of families dropped in the catalog (a crash
+        // between the drop edit and the directory removal leaves them). Ids
+        // are never reused, so any `cf-<id>` with id below the floor and no
+        // catalog entry is provably dead.
+        for id in 1..state.next_cf_id {
+            if !state.cfs.contains_key(&id) {
+                let _ = env.remove_dir_all(&catalog::cf_dir(path, id));
+            }
+        }
 
         recover_wals(&io, &mut state)?;
 
         // Start a fresh WAL for new writes, making its directory entry
         // durable before any synced write is acknowledged against it.
-        let log_number = state.versions.new_file_number();
+        let log_number = state.default_cf_mut().versions.new_file_number();
         let log_file = env.new_writable_file(&log_file_name(path, log_number))?;
         env.sync_dir(path)?;
         state.log = Some(LogWriter::new(log_file));
         state.log_file_number = log_number;
-        state.versions.commit_level0(None, Some(log_number))?;
+        let last_sequence = state.last_sequence;
+        for cf in state.cfs.values_mut() {
+            cf.versions.set_last_sequence(last_sequence);
+            cf.versions.commit_level0(None, Some(log_number))?;
+            cf.mem_log_number = log_number;
+        }
+
+        // Compact the catalog (drops dead edits) and keep it open for
+        // appends. A database that never had a second family keeps having
+        // no catalog file at all.
+        if catalog_exists {
+            state.catalog = Some(Catalog::rewrite(Arc::clone(&env), path, &{
+                CatalogData {
+                    cfs: state
+                        .cfs
+                        .values()
+                        .map(|cf| (cf.id, cf.name.clone()))
+                        .collect(),
+                    next_cf_id: state.next_cf_id,
+                }
+            })?);
+        }
 
         let label = policy.engine_name().to_ascii_lowercase();
         let inner = Arc::new(EngineCore {
@@ -221,42 +435,39 @@ impl<P: ShapePolicy> EngineDb<P> {
         }
 
         Ok(EngineDb {
-            inner,
-            background_threads: Mutex::new(handles),
+            shared: Arc::new(EngineShared {
+                core: inner,
+                background_threads: Mutex::new(handles),
+            }),
         })
     }
 
     /// The options this store was opened with.
     pub fn options(&self) -> &StoreOptions {
-        &self.inner.io.options
+        &self.shared.core.io.options
     }
 
     /// The shared core (exposed for policy-specific accessors and tests).
     pub fn core(&self) -> &Arc<EngineCore<P>> {
-        &self.inner
+        &self.shared.core
     }
 
-    /// Runs `f` against the current version under the state lock.
+    /// Runs `f` against the default family's current version under the
+    /// state lock.
     pub fn with_current_version<R>(&self, f: impl FnOnce(&VersionOf<P>) -> R) -> R {
-        let state = self.inner.state.lock();
-        f(state.versions.current_unpinned())
+        let state = self.shared.core.state.lock();
+        f(state.default_cf().versions.current_unpinned())
+    }
+
+    fn handle(&self, id: CfId, name: &str) -> ColumnFamilyHandle {
+        ColumnFamilyHandle::new(Arc::clone(&self.shared) as Arc<dyn CfOps>, id, name)
     }
 }
 
-impl<P: ShapePolicy> Drop for EngineDb<P> {
-    fn drop(&mut self) {
-        self.inner.shutting_down.store(true, Ordering::SeqCst);
-        self.inner.work_available.notify_all();
-        self.inner.flush_available.notify_all();
-        for handle in self.background_threads.lock().drain(..) {
-            let _ = handle.join();
-        }
-    }
-}
-
-/// Replays write-ahead logs newer than the manifest's log number.
+/// Replays write-ahead logs newer than the oldest per-family log number,
+/// routing each record into its column family's memtable.
 fn recover_wals<P: ShapePolicy>(io: &EngineIo, state: &mut EngineState<P>) -> Result<()> {
-    let min_log = state.versions.log_number();
+    let min_log = state.min_log_number();
     let mut log_numbers: Vec<u64> = io
         .env
         .children(&io.db_path)?
@@ -268,7 +479,10 @@ fn recover_wals<P: ShapePolicy>(io: &EngineIo, state: &mut EngineState<P>) -> Re
     log_numbers.sort_unstable();
 
     for number in log_numbers {
-        state.versions.mark_file_number_used(number);
+        state
+            .default_cf_mut()
+            .versions
+            .mark_file_number_used(number);
         let file = io
             .env
             .new_sequential_file(&log_file_name(&io.db_path, number))?;
@@ -281,39 +495,59 @@ fn recover_wals<P: ShapePolicy>(io: &EngineIo, state: &mut EngineState<P>) -> Re
             };
             let base_seq = batch.sequence();
             let mut applied = 0u64;
+            let mut touched: Vec<CfId> = Vec::new();
             for item in batch.iter() {
                 let item = match item {
                     Ok(item) => item,
                     Err(_) => break,
                 };
-                state
-                    .mem
-                    .add(item.sequence, item.value_type, item.key, item.value);
+                // The record consumes its sequence slot whether or not it
+                // still has a family to land in.
                 applied += 1;
+                let Some(cf) = state.cfs.get_mut(&item.cf) else {
+                    continue; // family dropped in the catalog
+                };
+                if number < cf.versions.log_number() {
+                    continue; // already covered by this family's sstables
+                }
+                cf.mem
+                    .add(item.sequence, item.value_type, item.key, item.value);
+                if !touched.contains(&item.cf) {
+                    touched.push(item.cf);
+                }
             }
             let last = base_seq + applied.saturating_sub(1);
-            if last > state.versions.last_sequence() {
-                state.versions.set_last_sequence(last);
+            if last > state.last_sequence {
+                state.last_sequence = last;
             }
-            if state.mem.approximate_memory_usage() > io.options.write_buffer_size {
-                flush_recovery_memtable(io, state)?;
+            for cf_id in touched {
+                let cf = state.cfs.get_mut(&cf_id).expect("touched family exists");
+                if cf.mem.approximate_memory_usage() > io.options.write_buffer_size {
+                    flush_recovery_memtable(state, cf_id)?;
+                }
             }
         }
     }
-    if !state.mem.is_empty() {
-        flush_recovery_memtable(io, state)?;
+    let nonempty: Vec<CfId> = state
+        .cfs
+        .iter()
+        .filter(|(_, cf)| !cf.mem.is_empty())
+        .map(|(id, _)| *id)
+        .collect();
+    for cf_id in nonempty {
+        flush_recovery_memtable(state, cf_id)?;
     }
     Ok(())
 }
 
-fn flush_recovery_memtable<P: ShapePolicy>(
-    io: &EngineIo,
-    state: &mut EngineState<P>,
-) -> Result<()> {
-    let number = state.versions.new_file_number();
-    let mem = std::mem::replace(&mut state.mem, Arc::new(MemTable::new()));
-    if let Some(meta) = build_table_from_memtable(io, &mem, number)? {
-        state.versions.commit_level0(Some(&meta), None)?;
+fn flush_recovery_memtable<P: ShapePolicy>(state: &mut EngineState<P>, cf_id: CfId) -> Result<()> {
+    let last_sequence = state.last_sequence;
+    let cf = state.cfs.get_mut(&cf_id).expect("recovering family exists");
+    let number = cf.versions.new_file_number();
+    let mem = std::mem::replace(&mut cf.mem, Arc::new(MemTable::new()));
+    if let Some(meta) = build_table_from_memtable(&cf.io, &mem, number)? {
+        cf.versions.set_last_sequence(last_sequence);
+        cf.versions.commit_level0(Some(&meta), None)?;
     }
     Ok(())
 }
@@ -390,57 +624,110 @@ impl<P: ShapePolicy> EngineCore<P> {
         result
     }
 
-    /// Commits a write group as its leader: make room, reserve a sequence
-    /// range, then append + sync the WAL and apply the merged batch to the
-    /// concurrent memtable **outside** the state mutex, so readers and the
-    /// compaction workers proceed during the IO. Per-key policy observation
-    /// (FLSM guard selection, a pure hash) also runs unlocked; the results
-    /// are absorbed under the lock after the apply. The new sequence is only
+    /// Commits a write group as its leader: make room in every touched
+    /// family, reserve a sequence range, then append + sync the WAL and
+    /// apply the merged batch to the families' concurrent memtables
+    /// **outside** the state mutex, so readers and the compaction workers
+    /// proceed during the IO. Per-key policy observation (FLSM guard
+    /// selection, a pure hash) also runs unlocked; the results are absorbed
+    /// per family under the lock after the apply. The new sequence is only
     /// published (making the group visible) after the apply succeeds.
     fn commit(&self, mut group: CommitGroup) -> Result<()> {
         let mut state = self.state.lock();
-        let force = group.force_rotate && !state.mem.is_empty();
-        let mut result = self.make_room_for_write(&mut state, force);
+        let mut result: Result<()> = Ok(());
+
+        // Which families does this group touch? A rotation request touches
+        // every family with a non-empty memtable.
+        let touched: Vec<CfId> = if group.force_rotate {
+            state
+                .cfs
+                .iter()
+                .filter(|(_, cf)| !cf.mem.is_empty())
+                .map(|(id, _)| *id)
+                .collect()
+        } else {
+            let mut ids: Vec<CfId> = Vec::new();
+            for record in group.batch.iter() {
+                match record {
+                    Ok(record) => {
+                        if !ids.contains(&record.cf) {
+                            ids.push(record.cf);
+                        }
+                    }
+                    Err(err) => {
+                        result = Err(err);
+                        break;
+                    }
+                }
+            }
+            ids
+        };
+
+        if result.is_ok() {
+            // A write addressed at a dropped family fails its whole group —
+            // atomic batches cannot partially apply, and group members share
+            // one result by construction.
+            if let Some(missing) = touched
+                .iter()
+                .find(|id| !state.cfs.contains_key(id))
+                .copied()
+            {
+                result = Err(missing_cf_error(missing));
+            }
+        }
+        if result.is_ok() {
+            for cf_id in &touched {
+                result = self.make_room_for_write(&mut state, *cf_id, group.force_rotate);
+                if result.is_err() {
+                    break;
+                }
+            }
+        }
 
         if result.is_ok() && !group.batch.is_empty() {
-            let seq = state.versions.last_sequence() + 1;
+            let seq = state.last_sequence + 1;
             group.batch.set_sequence(seq);
             let count = u64::from(group.batch.count());
 
             // Only the leader (that's us, until `complete`) touches the log
-            // or inserts into `mem`, so both can leave the mutex.
+            // or inserts into the memtables, so both can leave the mutex.
             let mut log = state.log.take();
-            let mem = Arc::clone(&state.mem);
+            let mems: BTreeMap<CfId, Arc<MemTable>> = touched
+                .iter()
+                .filter_map(|id| state.cfs.get(id).map(|cf| (*id, Arc::clone(&cf.mem))))
+                .collect();
             let batch = &group.batch;
             let sync = group.sync;
             let policy = &self.policy;
             let need_dir_sync = state.wal_dir_unsynced;
             let io = &self.io;
-            let io_result =
-                MutexGuard::unlocked(&mut state, || -> Result<Vec<(usize, Vec<u8>)>> {
-                    if need_dir_sync {
-                        // A rotation created this WAL; its directory entry
-                        // must be durable before the group is acknowledged.
-                        io.env.sync_dir(&io.db_path)?;
+            let io_result = MutexGuard::unlocked(&mut state, || -> Result<Vec<CfObservation>> {
+                if need_dir_sync {
+                    // A rotation created this WAL; its directory entry
+                    // must be durable before the group is acknowledged.
+                    io.env.sync_dir(&io.db_path)?;
+                }
+                if let Some(log) = log.as_mut() {
+                    log.add_record(batch.contents())?;
+                    if sync {
+                        log.sync()?;
                     }
-                    if let Some(log) = log.as_mut() {
-                        log.add_record(batch.contents())?;
-                        if sync {
-                            log.sync()?;
+                }
+                let mut observed = Vec::new();
+                for record in batch.iter() {
+                    let record = record?;
+                    let Some(mem) = mems.get(&record.cf) else {
+                        continue;
+                    };
+                    if record.value_type == ValueType::Value {
+                        if let Some(obs) = policy.observe_key(record.key) {
+                            observed.push((record.cf, obs));
                         }
                     }
-                    let mut observed = Vec::new();
-                    for record in batch.iter() {
-                        let record = record?;
-                        if record.value_type == ValueType::Value {
-                            if let Some(obs) = policy.observe_key(record.key) {
-                                observed.push(obs);
-                            }
-                        }
-                        mem.add(record.sequence, record.value_type, record.key, record.value);
-                    }
-                    Ok(observed)
-                });
+                    mem.add(record.sequence, record.value_type, record.key, record.value);
+                }
+                Ok(observed)
+            });
             state.log = log;
             match io_result {
                 Ok(observed) => {
@@ -448,8 +735,16 @@ impl<P: ShapePolicy> EngineCore<P> {
                     if need_dir_sync {
                         st.wal_dir_unsynced = false;
                     }
-                    self.policy.absorb_observations(&mut st.policy, observed);
-                    st.versions.set_last_sequence(seq + count - 1);
+                    let mut per_cf: BTreeMap<CfId, Vec<(usize, Vec<u8>)>> = BTreeMap::new();
+                    for (cf_id, obs) in observed {
+                        per_cf.entry(cf_id).or_default().push(obs);
+                    }
+                    for (cf_id, obs) in per_cf {
+                        if let Some(cf) = st.cfs.get_mut(&cf_id) {
+                            self.policy.absorb_observations(&mut cf.policy, obs);
+                        }
+                    }
+                    st.last_sequence = seq + count - 1;
                 }
                 Err(err) => {
                     // A failed WAL append/sync may have lost acknowledged
@@ -466,10 +761,13 @@ impl<P: ShapePolicy> EngineCore<P> {
         result
     }
 
-    /// Ensures there is room in the memtable, applying level-0 back-pressure.
+    /// Ensures there is room in one family's memtable, applying that
+    /// family's level-0 back-pressure. Rotating a memtable also rotates the
+    /// shared WAL, so the frozen table corresponds to a log prefix.
     fn make_room_for_write(
         &self,
         state: &mut MutexGuard<'_, EngineState<P>>,
+        cf_id: CfId,
         force: bool,
     ) -> Result<()> {
         let mut allow_delay = !force;
@@ -478,7 +776,10 @@ impl<P: ShapePolicy> EngineCore<P> {
             if let Some(err) = &state.bg_error {
                 return Err(err.clone());
             }
-            let level0_files = state.versions.current_unpinned().level0_len();
+            let Some(cf) = state.cfs.get(&cf_id) else {
+                return Err(missing_cf_error(cf_id));
+            };
+            let level0_files = cf.versions.current_unpinned().level0_len();
             if allow_delay && level0_files >= self.io.options.level0_slowdown_writes_trigger {
                 // Gentle back-pressure: let the compaction workers make
                 // progress without fully blocking this writer.
@@ -490,10 +791,10 @@ impl<P: ShapePolicy> EngineCore<P> {
                     .record_stall(stall.elapsed().as_micros() as u64);
                 continue;
             }
-            if !force && state.mem.approximate_memory_usage() <= self.io.options.write_buffer_size {
+            if !force && cf.mem.approximate_memory_usage() <= self.io.options.write_buffer_size {
                 return Ok(());
             }
-            if state.imm.is_some() {
+            if cf.imm.is_some() {
                 // Previous memtable still flushing.
                 let stall = Instant::now();
                 self.flush_available.notify_one();
@@ -511,10 +812,12 @@ impl<P: ShapePolicy> EngineCore<P> {
                 continue;
             }
 
-            // Switch to a fresh memtable and WAL. The full memtable is
-            // frozen whole — cursors still pinning it keep reading it in
-            // `imm` (and beyond, through their own `Arc`s) with no copy.
-            let new_log_number = state.versions.new_file_number();
+            // Switch this family to a fresh memtable and the store to a
+            // fresh WAL. The full memtable is frozen whole — cursors still
+            // pinning it keep reading it in `imm` (and beyond, through
+            // their own `Arc`s) with no copy. WAL numbers come from the
+            // default family's allocator (they live in the root directory).
+            let new_log_number = state.default_cf_mut().versions.new_file_number();
             let log_file = self
                 .io
                 .env
@@ -539,8 +842,10 @@ impl<P: ShapePolicy> EngineCore<P> {
                 }
                 return Err(err);
             }
-            let full_mem = std::mem::replace(&mut state.mem, Arc::new(MemTable::new()));
-            state.imm = Some(full_mem);
+            let cf = state.cfs.get_mut(&cf_id).expect("family checked above");
+            let full_mem = std::mem::replace(&mut cf.mem, Arc::new(MemTable::new()));
+            cf.imm = Some(full_mem);
+            cf.mem_log_number = new_log_number;
             force = false;
             self.flush_available.notify_one();
         }
@@ -548,18 +853,22 @@ impl<P: ShapePolicy> EngineCore<P> {
 
     // ----------------------------------------------------------------- read
 
-    fn get(&self, opts: &ReadOptions, user_key: &[u8]) -> Result<Option<Vec<u8>>> {
+    fn get(&self, cf_id: CfId, opts: &ReadOptions, user_key: &[u8]) -> Result<Option<Vec<u8>>> {
         self.counters.record_get();
-        let (lookup, imm, version) = {
+        let (lookup, imm, version, io) = {
             let mut state = self.state.lock();
-            let sequence = visible_sequence(opts, state.versions.last_sequence());
+            let sequence = visible_sequence(opts, state.last_sequence);
+            let st = &mut *state;
+            let Some(cf) = st.cfs.get_mut(&cf_id) else {
+                return Err(missing_cf_error(cf_id));
+            };
             let lookup = LookupKey::new(user_key, sequence);
-            match state.mem.get(&lookup) {
+            match cf.mem.get(&lookup) {
                 MemTableGet::Found(value) => return Ok(Some(value)),
                 MemTableGet::Deleted => return Ok(None),
                 MemTableGet::NotFound => {}
             }
-            (lookup, state.imm.clone(), state.versions.current())
+            (lookup, cf.imm.clone(), cf.versions.current(), cf.io.clone())
         };
         if let Some(imm) = imm {
             match imm.get(&lookup) {
@@ -568,32 +877,39 @@ impl<P: ShapePolicy> EngineCore<P> {
                 MemTableGet::NotFound => {}
             }
         }
-        self.policy
-            .get_in_version(&self.io, &version, opts, &lookup)
+        self.policy.get_in_version(&io, &version, opts, &lookup)
     }
 
-    /// Builds the streaming user-key cursor: memtables plus the policy's
-    /// per-level iterators, merged and filtered down to the view at the
-    /// cursor's sequence. Creating a cursor counts as a seek for the
-    /// policy's read heuristics (FLSM: the seek-compaction trigger).
-    fn iter(&self, opts: &ReadOptions) -> Result<Box<dyn DbIterator>> {
+    /// Builds the streaming user-key cursor over one family: its memtables
+    /// plus the policy's per-level iterators, merged and filtered down to
+    /// the view at the cursor's sequence. Creating a cursor counts as a seek
+    /// for the policy's read heuristics (FLSM: the seek-compaction trigger),
+    /// armed on the family being read.
+    fn iter(&self, cf_id: CfId, opts: &ReadOptions) -> Result<Box<dyn DbIterator>> {
         self.counters.record_seek();
         if self.policy.note_seek() {
             {
                 let mut state = self.state.lock();
                 let st = &mut *state;
-                self.policy.arm_requested_compaction(&mut st.policy);
+                if let Some(cf) = st.cfs.get_mut(&cf_id) {
+                    self.policy.arm_requested_compaction(&mut cf.policy);
+                }
             }
             self.work_available.notify_one();
         }
-        let (sequence, mem, imm, version) = {
+        let (sequence, mem, imm, version, io) = {
             let mut state = self.state.lock();
-            let sequence = visible_sequence(opts, state.versions.last_sequence());
+            let sequence = visible_sequence(opts, state.last_sequence);
+            let st = &mut *state;
+            let Some(cf) = st.cfs.get_mut(&cf_id) else {
+                return Err(missing_cf_error(cf_id));
+            };
             (
                 sequence,
-                Arc::clone(&state.mem),
-                state.imm.clone(),
-                state.versions.current(),
+                Arc::clone(&cf.mem),
+                cf.imm.clone(),
+                cf.versions.current(),
+                cf.io.clone(),
             )
         };
 
@@ -603,7 +919,7 @@ impl<P: ShapePolicy> EngineCore<P> {
             children.push(Box::new(imm.owned_iter()));
         }
         self.policy
-            .append_version_iterators(&self.io, &version, opts, &mut children)?;
+            .append_version_iterators(&io, &version, opts, &mut children)?;
 
         let merged = MergingIterator::new(children);
         let user = UserIterator::new(Box::new(merged), sequence);
@@ -612,24 +928,54 @@ impl<P: ShapePolicy> EngineCore<P> {
         Ok(Box::new(PinnedIterator::new(Box::new(user), version)))
     }
 
+    fn snapshot(&self) -> Snapshot {
+        let state = self.state.lock();
+        self.snapshots.acquire(state.last_sequence)
+    }
+
     // ----------------------------------------------------- background work
 
-    /// The dedicated flush thread: turns `imm` into a level-0 sstable the
-    /// moment one exists, independently of how busy the compaction pool is.
+    /// Which family the flush thread should serve next: the largest
+    /// immutable memtable wins, so one hot namespace cannot park the others
+    /// behind its queue.
+    fn pick_flush_cf(state: &EngineState<P>) -> Option<CfId> {
+        state
+            .cfs
+            .iter()
+            .filter(|(_, cf)| !cf.dropping && !cf.flush_running)
+            .filter_map(|(id, cf)| {
+                cf.imm
+                    .as_ref()
+                    .map(|imm| (imm.approximate_memory_usage(), *id))
+            })
+            .max()
+            .map(|(_, id)| id)
+    }
+
+    /// The dedicated flush thread: turns the hottest family's `imm` into a
+    /// level-0 sstable the moment one exists, independently of how busy the
+    /// compaction pool is.
     fn flush_main(inner: Arc<EngineCore<P>>) {
         let mut state = inner.state.lock();
         loop {
             while !inner.shutting_down.load(Ordering::SeqCst)
-                && (state.imm.is_none() || state.bg_error.is_some())
+                && (state.bg_error.is_some() || Self::pick_flush_cf(&state).is_none())
             {
                 inner.flush_available.wait(&mut state);
             }
             if inner.shutting_down.load(Ordering::SeqCst) {
                 break;
             }
-            state.flush_running = true;
-            let result = inner.compact_memtable(&mut state);
-            state.flush_running = false;
+            let cf_id = Self::pick_flush_cf(&state).expect("picked above");
+            state
+                .cfs
+                .get_mut(&cf_id)
+                .expect("picked family exists")
+                .flush_running = true;
+            let result = inner.compact_memtable(&mut state, cf_id);
+            if let Some(cf) = state.cfs.get_mut(&cf_id) {
+                cf.flush_running = false;
+            }
             if let Err(err) = result {
                 if state.bg_error.is_none() {
                     state.bg_error = Some(err);
@@ -651,8 +997,8 @@ impl<P: ShapePolicy> EngineCore<P> {
             if inner.shutting_down.load(Ordering::SeqCst) {
                 break;
             }
-            if let Some(claim) = inner.claim_job(&mut state) {
-                inner.run_claimed_job(&mut state, claim);
+            if let Some(claimed) = inner.claim_job(&mut state) {
+                inner.run_claimed_job(&mut state, claimed);
                 inner.work_done.notify_all();
                 // The commit may have armed triggers for other levels (or
                 // freed claimed inputs), so give idle workers a chance.
@@ -663,57 +1009,82 @@ impl<P: ShapePolicy> EngineCore<P> {
         }
     }
 
-    /// Claims the policy's highest-priority compaction job whose inputs do
-    /// not intersect any in-flight job's inputs.
+    /// Claims the highest-priority compaction job across every family.
     ///
-    /// On success the job's input files are recorded in `claimed_inputs`
-    /// (keeping other workers off the same inputs) and its pre-allocated
-    /// output numbers in `pending_outputs` (keeping the GC off files that
-    /// exist on disk but are not yet committed to any version).
-    pub fn claim_job(
-        &self,
-        state: &mut MutexGuard<'_, EngineState<P>>,
-    ) -> Option<JobClaim<P::Job>> {
+    /// Families are polled hottest-first — pending compaction work, then
+    /// most level-0 files — so one namespace's debt cannot hide behind an
+    /// idle sibling. Within a family the policy picks the job; its inputs
+    /// must not intersect that family's in-flight inputs.
+    ///
+    /// On success the job's input files are recorded in the family's
+    /// `claimed_inputs` (keeping other workers off the same inputs) and its
+    /// pre-allocated output numbers in `pending_outputs` (keeping the GC off
+    /// files that exist on disk but are not yet committed to any version).
+    pub fn claim_job(&self, state: &mut MutexGuard<'_, EngineState<P>>) -> Option<ClaimedJob<P>> {
         if state.bg_error.is_some() {
             return None;
         }
-        let smallest_snapshot = self
-            .snapshots
-            .compaction_floor(state.versions.last_sequence());
-        let claim = {
+        let smallest_snapshot = self.snapshots.compaction_floor(state.last_sequence);
+        let mut order: Vec<(bool, usize, CfId)> = state
+            .cfs
+            .iter()
+            .filter(|(_, cf)| !cf.dropping)
+            .map(|(id, cf)| {
+                (
+                    cf.versions.needs_compaction(),
+                    cf.versions.current_unpinned().level0_len(),
+                    *id,
+                )
+            })
+            .collect();
+        order.sort_by_key(|&(needs, level0, _)| std::cmp::Reverse((needs, level0)));
+
+        for (_, _, cf_id) in order {
             let st = &mut **state;
-            let mut ctx = PolicyCtx {
-                versions: &mut st.versions,
-                state: &mut st.policy,
-                claimed_inputs: &st.claimed_inputs,
-                smallest_snapshot,
+            let cf = st.cfs.get_mut(&cf_id).expect("ordered family exists");
+            let claim = {
+                let mut ctx = PolicyCtx {
+                    versions: &mut cf.versions,
+                    state: &mut cf.policy,
+                    claimed_inputs: &cf.claimed_inputs,
+                    smallest_snapshot,
+                };
+                self.policy.pick_job(&cf.io, &mut ctx)
             };
-            self.policy.pick_job(&self.io, &mut ctx)?
-        };
-        state
-            .claimed_inputs
-            .extend(claim.input_numbers.iter().copied());
-        state
-            .pending_outputs
-            .extend(claim.output_numbers.iter().copied());
-        state.active_compactions += 1;
-        self.counters.record_compaction_start();
-        Some(claim)
+            if let Some(claim) = claim {
+                cf.claimed_inputs
+                    .extend(claim.input_numbers.iter().copied());
+                cf.pending_outputs
+                    .extend(claim.output_numbers.iter().copied());
+                cf.active_jobs += 1;
+                st.active_compactions += 1;
+                self.counters.record_compaction_start();
+                return Some(ClaimedJob { cf: cf_id, claim });
+            }
+        }
+        None
     }
 
     /// Runs a claimed job's IO with the state mutex released, then commits
-    /// (or abandons) it and releases its claims.
+    /// (or abandons) it and releases its claims. The claimed family cannot
+    /// be dropped while the job is in flight (`drop_cf` waits it out).
     pub fn run_claimed_job(
         &self,
         state: &mut MutexGuard<'_, EngineState<P>>,
-        claim: JobClaim<P::Job>,
+        claimed: ClaimedJob<P>,
     ) {
         let start = Instant::now();
-        let io = &self.io;
+        let ClaimedJob { cf: cf_id, claim } = claimed;
+        let io = state
+            .cfs
+            .get(&cf_id)
+            .expect("claimed family is pinned by its active job")
+            .io
+            .clone();
         let policy = &self.policy;
         let job = claim.job;
         let io_result = MutexGuard::unlocked(state, || -> Result<Vec<FileMetaData>> {
-            let outputs = policy.run_job_io(io, &job)?;
+            let outputs = policy.run_job_io(&io, &job)?;
             if !outputs.is_empty() {
                 // The new tables' directory entries must be durable before
                 // the MANIFEST commit references them.
@@ -723,14 +1094,18 @@ impl<P: ShapePolicy> EngineCore<P> {
         });
 
         let commit_result = io_result.and_then(|outputs| {
-            let smallest_snapshot = self
-                .snapshots
-                .compaction_floor(state.versions.last_sequence());
+            let smallest_snapshot = self.snapshots.compaction_floor(state.last_sequence);
+            let last_sequence = state.last_sequence;
             let st = &mut **state;
+            let cf = st
+                .cfs
+                .get_mut(&cf_id)
+                .expect("claimed family is pinned by its active job");
+            cf.versions.set_last_sequence(last_sequence);
             let mut ctx = PolicyCtx {
-                versions: &mut st.versions,
-                state: &mut st.policy,
-                claimed_inputs: &st.claimed_inputs,
+                versions: &mut cf.versions,
+                state: &mut cf.policy,
+                claimed_inputs: &cf.claimed_inputs,
                 smallest_snapshot,
             };
             let (bytes_read, bytes_written) = policy.commit_job(&mut ctx, &job, outputs)?;
@@ -744,13 +1119,19 @@ impl<P: ShapePolicy> EngineCore<P> {
 
         // Release the claims whether the job committed or failed, so a
         // poisoned store does not wedge its sibling workers.
-        for number in &claim.input_numbers {
-            state.claimed_inputs.remove(number);
+        {
+            let st = &mut **state;
+            if let Some(cf) = st.cfs.get_mut(&cf_id) {
+                for number in &claim.input_numbers {
+                    cf.claimed_inputs.remove(number);
+                }
+                for number in &claim.output_numbers {
+                    cf.pending_outputs.remove(number);
+                }
+                cf.active_jobs -= 1;
+            }
+            st.active_compactions -= 1;
         }
-        for number in &claim.output_numbers {
-            state.pending_outputs.remove(number);
-        }
-        state.active_compactions -= 1;
         self.counters.record_compaction_end();
 
         match commit_result {
@@ -763,89 +1144,147 @@ impl<P: ShapePolicy> EngineCore<P> {
         }
     }
 
-    fn compact_memtable(&self, state: &mut MutexGuard<'_, EngineState<P>>) -> Result<()> {
-        let imm = match state.imm.clone() {
-            Some(imm) => imm,
-            None => return Ok(()),
+    fn compact_memtable(
+        &self,
+        state: &mut MutexGuard<'_, EngineState<P>>,
+        cf_id: CfId,
+    ) -> Result<()> {
+        let (imm, number, io) = {
+            let cf = state
+                .cfs
+                .get_mut(&cf_id)
+                .expect("flushing family is pinned by flush_running");
+            let imm = match cf.imm.clone() {
+                Some(imm) => imm,
+                None => return Ok(()),
+            };
+            let number = cf.versions.new_file_number();
+            // Until the edit commits, the new table exists only on disk;
+            // keep the concurrent compaction workers' GC away from it.
+            cf.pending_outputs.insert(number);
+            (imm, number, cf.io.clone())
         };
-        let number = state.versions.new_file_number();
-        // Until the edit commits, the new table exists only on disk; keep
-        // the concurrent compaction workers' GC away from it.
-        state.pending_outputs.insert(number);
         let start = Instant::now();
-        let io = &self.io;
-        let meta = MutexGuard::unlocked(state, || build_table_from_memtable(io, &imm, number));
+        let meta = MutexGuard::unlocked(state, || build_table_from_memtable(&io, &imm, number));
+        let last_sequence = state.last_sequence;
+        let current_log = state.log_file_number;
+        let st = &mut **state;
+        let cf = st
+            .cfs
+            .get_mut(&cf_id)
+            .expect("flushing family is pinned by flush_running");
         let meta = match meta {
             Ok(meta) => meta,
             Err(err) => {
-                state.pending_outputs.remove(&number);
+                cf.pending_outputs.remove(&number);
                 return Err(err);
             }
         };
 
-        let log_file_number = state.log_file_number;
         let mut written = 0;
         if let Some(meta) = &meta {
             written = meta.file_size;
         }
-        let commit = state
+        // The frozen table covers every record of this family in WALs older
+        // than the active memtable's birth log; publish that as the
+        // family's recovery floor.
+        let mem_log_number = cf.mem_log_number;
+        cf.versions.set_last_sequence(last_sequence);
+        let commit = cf
             .versions
-            .commit_level0(meta.as_ref(), Some(log_file_number));
-        state.pending_outputs.remove(&number);
+            .commit_level0(meta.as_ref(), Some(mem_log_number));
+        cf.pending_outputs.remove(&number);
         commit?;
-        state.imm = None;
+        cf.imm = None;
+        cf.flushes += 1;
         self.counters.record_flush();
         self.counters
             .record_compaction(start.elapsed().as_micros() as u64, 0, written);
+
+        // Families with nothing buffered can advance their recovery floor
+        // to the live WAL; without this an idle namespace would pin every
+        // log segment forever. Each advance is a synced MANIFEST edit, so
+        // it runs only once old segments are actually piling up (the GC's
+        // backlog count), not on every flush of a hot sibling.
+        if st.live_wal_files > WAL_BACKLOG_LIMIT {
+            for other in st.cfs.values_mut() {
+                if other.id != cf_id
+                    && !other.dropping
+                    && other.mem.is_empty()
+                    && other.imm.is_none()
+                    && other.versions.log_number() < current_log
+                {
+                    other.versions.set_last_sequence(last_sequence);
+                    other.versions.commit_level0(None, Some(current_log))?;
+                }
+            }
+        }
         self.remove_obsolete_files(state);
         Ok(())
     }
 
     // -------------------------------------------------------------- cleanup
 
-    /// Deletes files no live version, pinned version or in-flight job needs.
+    /// Deletes files no live version, pinned version or in-flight job needs,
+    /// in every family's directory. A WAL segment survives until every
+    /// family's flushed state covers it.
     pub fn remove_obsolete_files(&self, state: &mut MutexGuard<'_, EngineState<P>>) {
-        // If a pinned old version kept files alive in this pass, a later
-        // quiesced `flush` must rescan once the pins drop.
-        let (live, pinned) = state.versions.live_files_and_pins();
-        state.gc_rescan_needed = pinned;
-        let log_number = state.versions.log_number();
-        let manifest_number = state.versions.manifest_number();
-        let children = match self.io.env.children(&self.io.db_path) {
-            Ok(children) => children,
-            Err(_) => return,
-        };
-        for name in children {
-            let Some((ty, number)) = parse_file_name(&name) else {
-                continue;
+        let min_log = state.min_log_number();
+        let current_log = state.log_file_number;
+        let mut any_pinned = false;
+        let mut live_wals = 0usize;
+        let st = &mut **state;
+        for cf in st.cfs.values_mut() {
+            // If a pinned old version kept files alive in this pass, a later
+            // quiesced `flush` must rescan once the pins drop.
+            let (live, pinned) = cf.versions.live_files_and_pins();
+            any_pinned |= pinned;
+            let manifest_number = cf.versions.manifest_number();
+            let children = match cf.io.env.children(&cf.io.db_path) {
+                Ok(children) => children,
+                Err(_) => continue,
             };
-            let keep = match ty {
-                // A table is live if any version references it — or if it is
-                // the not-yet-committed output of an in-flight flush or
-                // compaction job running on another thread.
-                FileType::Table => {
-                    live.binary_search(&number).is_ok() || state.pending_outputs.contains(&number)
+            for name in children {
+                let Some((ty, number)) = parse_file_name(&name) else {
+                    // Unknown names (the `CFS` catalog, `cf-<id>` subdirs on
+                    // a real filesystem) are never the GC's to delete.
+                    continue;
+                };
+                let keep = match ty {
+                    // A table is live if any version references it — or if
+                    // it is the not-yet-committed output of an in-flight
+                    // flush or compaction job running on another thread.
+                    FileType::Table => {
+                        live.binary_search(&number).is_ok() || cf.pending_outputs.contains(&number)
+                    }
+                    FileType::WriteAheadLog => number >= min_log || number == current_log,
+                    FileType::Descriptor => number >= manifest_number,
+                    FileType::Temp => false,
+                    FileType::Current | FileType::Lock | FileType::BtreePages => true,
+                };
+                if !keep {
+                    if ty == FileType::Table {
+                        cf.io.table_cache.evict(number);
+                    }
+                    let _ = cf.io.env.remove_file(&cf.io.db_path.join(&name));
+                } else if cf.id == 0 && ty == FileType::WriteAheadLog {
+                    live_wals += 1;
                 }
-                FileType::WriteAheadLog => number >= log_number || number == state.log_file_number,
-                FileType::Descriptor => number >= manifest_number,
-                FileType::Temp => false,
-                FileType::Current | FileType::Lock | FileType::BtreePages => true,
-            };
-            if !keep {
-                if ty == FileType::Table {
-                    self.io.table_cache.evict(number);
-                }
-                let _ = self.io.env.remove_file(&self.io.db_path.join(&name));
             }
         }
+        st.gc_rescan_needed = any_pinned;
+        st.live_wal_files = live_wals;
     }
 
     // ---------------------------------------------------------------- flush
 
     fn flush(&self) -> Result<()> {
-        // Rotate the active memtable through the commit queue so the
+        // Rotate every non-empty memtable through the commit queue so the
         // rotation is serialised with in-flight write groups.
-        let needs_rotate = !self.state.lock().mem.is_empty();
+        let needs_rotate = {
+            let state = self.state.lock();
+            state.cfs.values().any(|cf| !cf.mem.is_empty())
+        };
         if needs_rotate {
             let ticket = self.commit_queue.submit(None, false);
             match self.commit_queue.wait_turn(&ticket) {
@@ -858,11 +1297,11 @@ impl<P: ShapePolicy> EngineCore<P> {
             if let Some(err) = &state.bg_error {
                 return Err(err.clone());
             }
-            if state.imm.is_some()
-                || state.flush_running
-                || state.active_compactions > 0
-                || state.versions.needs_compaction()
-            {
+            let busy = state.active_compactions > 0
+                || state.cfs.values().any(|cf| {
+                    cf.imm.is_some() || cf.flush_running || cf.versions.needs_compaction()
+                });
+            if busy {
                 self.flush_available.notify_one();
                 self.work_available.notify_all();
                 self.work_done.wait(&mut state);
@@ -870,7 +1309,7 @@ impl<P: ShapePolicy> EngineCore<P> {
                 // Quiesced: reclaim files whose deletion a commit-time GC
                 // skipped because a read still pinned their version. Skipped
                 // when the last GC saw no pins — it already ran to
-                // completion, so rescanning the directory would be wasted
+                // completion, so rescanning the directories would be wasted
                 // work under the state lock.
                 if state.gc_rescan_needed {
                     self.remove_obsolete_files(&mut state);
@@ -880,25 +1319,170 @@ impl<P: ShapePolicy> EngineCore<P> {
         }
     }
 
-    fn stats(&self) -> StoreStats {
+    // ------------------------------------------------- column families
+
+    /// Creates a new, empty column family under the state lock. The catalog
+    /// edit is the commit point; the directory and version set follow it
+    /// (reopen re-initialises them if a crash intervenes).
+    fn create_cf_locked(&self, name: &str) -> Result<(CfId, String)> {
+        if name.is_empty() || name.contains('/') {
+            return Err(Error::invalid_argument(format!(
+                "invalid column family name {name:?}"
+            )));
+        }
+        let mut state = self.state.lock();
+        if let Some(err) = &state.bg_error {
+            return Err(err.clone());
+        }
+        if state.cfs.values().any(|cf| cf.name == name) {
+            return Err(Error::invalid_argument(format!(
+                "column family {name:?} already exists"
+            )));
+        }
+        let id = state.next_cf_id;
+        state.next_cf_id += 1;
+
+        // First family ever created: materialise the catalog.
+        if state.catalog.is_none() {
+            let snapshot = CatalogData {
+                cfs: state
+                    .cfs
+                    .values()
+                    .map(|cf| (cf.id, cf.name.clone()))
+                    .collect(),
+                next_cf_id: state.next_cf_id,
+            };
+            state.catalog = Some(Catalog::rewrite(
+                Arc::clone(&self.io.env),
+                &self.io.db_path,
+                &snapshot,
+            )?);
+        }
+        state
+            .catalog
+            .as_mut()
+            .expect("catalog materialised above")
+            .append_create(id, name)?;
+
+        let dir = catalog::cf_dir(&self.io.db_path, id);
+        self.io.env.create_dir_all(&dir)?;
+        let io = cf_io(&self.io.env, &dir, &self.io.options);
+        let mut versions = self.policy.new_versions(&io);
+        versions.create_new()?;
+        versions.set_last_sequence(state.last_sequence);
+        versions.commit_level0(None, Some(state.log_file_number))?;
+        let mem_log_number = state.log_file_number;
+        state.cfs.insert(
+            id,
+            CfState {
+                id,
+                name: name.to_string(),
+                io,
+                mem: Arc::new(MemTable::new()),
+                imm: None,
+                versions,
+                policy: self.policy.new_state(),
+                claimed_inputs: BTreeSet::new(),
+                pending_outputs: BTreeSet::new(),
+                mem_log_number,
+                active_jobs: 0,
+                flush_running: false,
+                flushes: 0,
+                dropping: false,
+            },
+        );
+        Ok((id, name.to_string()))
+    }
+
+    /// Drops a column family: drains its in-flight background work, commits
+    /// the catalog drop edit, removes it from the live set and deletes its
+    /// directory. The default family cannot be dropped.
+    fn drop_cf(&self, name: &str) -> Result<()> {
+        let removed = {
+            let mut state = self.state.lock();
+            let id = state
+                .cfs
+                .values()
+                .find(|cf| cf.name == name)
+                .map(|cf| cf.id)
+                .ok_or_else(|| Error::invalid_argument(format!("no column family {name:?}")))?;
+            if id == 0 {
+                return Err(Error::invalid_argument(
+                    "the default column family cannot be dropped",
+                ));
+            }
+            // Stop new work against the family, discard its unflushed data
+            // and wait out in-flight jobs (their outputs die with the
+            // directory; the job commit still runs against the family's
+            // version set, which is dropped right after).
+            state.cfs.get_mut(&id).expect("found above").dropping = true;
+            loop {
+                let cf = state.cfs.get_mut(&id).expect("dropping family is live");
+                if !cf.flush_running {
+                    cf.imm = None;
+                }
+                if cf.active_jobs == 0 && !cf.flush_running {
+                    break;
+                }
+                self.work_available.notify_all();
+                self.flush_available.notify_one();
+                self.work_done.wait(&mut state);
+            }
+            state
+                .catalog
+                .as_mut()
+                .expect("a non-default family implies a catalog")
+                .append_drop(id)?;
+            state.cfs.remove(&id).expect("dropping family is live")
+        };
+        // Delete the directory outside the lock; reopen reaps it if this
+        // races a crash (the catalog edit above already committed).
+        let _ = self.io.env.remove_dir_all(&removed.io.db_path);
+        self.work_done.notify_all();
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------- stats
+
+    /// Assembles statistics; `scope` restricts file/memory figures to one
+    /// family, `None` aggregates across all of them. Operation counters and
+    /// device IO are store-wide either way.
+    fn stats_scoped(&self, scope: Option<CfId>) -> StoreStats {
         let io = self.io.env.io_stats().snapshot();
-        let (block_cache_hits, block_cache_misses) = self.io.table_cache.block_cache_hit_miss();
-        let (table_cache_hits, table_cache_misses) = self.io.table_cache.table_cache_hit_miss();
         let state = self.state.lock();
-        let version = state.versions.current_unpinned();
-        let memory = state.mem.approximate_memory_usage()
-            + state
-                .imm
-                .as_ref()
-                .map(|m| m.approximate_memory_usage())
-                .unwrap_or(0)
-            + self.io.table_cache.memory_usage();
+        let mut disk_bytes_live = 0u64;
+        let mut num_files = 0u64;
+        let mut memory = 0usize;
+        let mut block_cache_hits = 0u64;
+        let mut block_cache_misses = 0u64;
+        let mut table_cache_hits = 0u64;
+        let mut table_cache_misses = 0u64;
+        for (id, cf) in &state.cfs {
+            if scope.is_some_and(|s| s != *id) {
+                continue;
+            }
+            let version = cf.versions.current_unpinned();
+            disk_bytes_live += version.total_bytes();
+            num_files += version.num_files() as u64;
+            memory += cf.mem.approximate_memory_usage()
+                + cf.imm
+                    .as_ref()
+                    .map(|m| m.approximate_memory_usage())
+                    .unwrap_or(0)
+                + cf.io.table_cache.memory_usage();
+            let (bh, bm) = cf.io.table_cache.block_cache_hit_miss();
+            let (th, tm) = cf.io.table_cache.table_cache_hit_miss();
+            block_cache_hits += bh;
+            block_cache_misses += bm;
+            table_cache_hits += th;
+            table_cache_misses += tm;
+        }
         StoreStats {
             user_bytes_written: EngineCounters::load(&self.counters.user_bytes_written),
             bytes_written: io.bytes_written,
             bytes_read: io.bytes_read,
-            disk_bytes_live: version.total_bytes(),
-            num_files: version.num_files() as u64,
+            disk_bytes_live,
+            num_files,
             compactions: EngineCounters::load(&self.counters.compactions),
             flushes: EngineCounters::load(&self.counters.flushes),
             max_concurrent_compactions: EngineCounters::load(
@@ -917,7 +1501,124 @@ impl<P: ShapePolicy> EngineCore<P> {
             block_cache_misses,
             table_cache_hits,
             table_cache_misses,
+            num_column_families: state.cfs.len() as u64,
         }
+    }
+
+    fn cf_stats(&self) -> Vec<CfStats> {
+        let state = self.state.lock();
+        state
+            .cfs
+            .values()
+            .map(|cf| {
+                let version = cf.versions.current_unpinned();
+                CfStats {
+                    id: cf.id,
+                    name: cf.name.clone(),
+                    num_files: version.num_files() as u64,
+                    live_bytes: version.total_bytes(),
+                    flushes: cf.flushes,
+                    memtable_bytes: (cf.mem.approximate_memory_usage()
+                        + cf.imm
+                            .as_ref()
+                            .map(|m| m.approximate_memory_usage())
+                            .unwrap_or(0)) as u64,
+                }
+            })
+            .collect()
+    }
+
+    fn live_file_sizes_scoped(&self, scope: Option<CfId>) -> Vec<u64> {
+        let state = self.state.lock();
+        let mut sizes = Vec::new();
+        for (id, cf) in &state.cfs {
+            if scope.is_some_and(|s| s != *id) {
+                continue;
+            }
+            sizes.extend(cf.versions.current_unpinned().file_sizes());
+        }
+        sizes
+    }
+}
+
+// The object-safe per-family operations; `ColumnFamilyHandle`s hold the
+// `EngineShared` behind this trait, keeping the store (and its background
+// threads) alive for as long as any handle exists.
+impl<P: ShapePolicy> CfOps for EngineShared<P> {
+    fn cf_put_opts(&self, cf: CfId, opts: &WriteOptions, key: &[u8], value: &[u8]) -> Result<()> {
+        let mut batch = WriteBatch::new();
+        batch.put_cf(cf, key, value);
+        self.core.write(batch, opts)
+    }
+
+    fn cf_get_opts(&self, cf: CfId, opts: &ReadOptions, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.core.get(cf, opts, key)
+    }
+
+    fn cf_delete_opts(&self, cf: CfId, opts: &WriteOptions, key: &[u8]) -> Result<()> {
+        let mut batch = WriteBatch::new();
+        batch.delete_cf(cf, key);
+        self.core.write(batch, opts)
+    }
+
+    fn cf_write_opts(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<()> {
+        self.core.write(batch, opts)
+    }
+
+    fn cf_iter(&self, cf: CfId, opts: &ReadOptions) -> Result<Box<dyn DbIterator>> {
+        self.core.iter(cf, opts)
+    }
+
+    fn cf_snapshot(&self) -> Snapshot {
+        self.core.snapshot()
+    }
+
+    fn cf_flush(&self) -> Result<()> {
+        self.core.flush()
+    }
+
+    fn cf_kv_stats(&self, cf: CfId) -> StoreStats {
+        self.core.stats_scoped(Some(cf))
+    }
+
+    fn cf_live_file_sizes(&self, cf: CfId) -> Vec<u64> {
+        self.core.live_file_sizes_scoped(Some(cf))
+    }
+
+    fn cf_engine_name(&self) -> String {
+        self.core.policy.engine_name()
+    }
+}
+
+impl<P: ShapePolicy> Db for EngineDb<P> {
+    fn create_cf(&self, name: &str) -> Result<ColumnFamilyHandle> {
+        let (id, name) = self.shared.core.create_cf_locked(name)?;
+        Ok(self.handle(id, &name))
+    }
+
+    fn drop_cf(&self, name: &str) -> Result<()> {
+        self.shared.core.drop_cf(name)
+    }
+
+    fn list_cfs(&self) -> Vec<String> {
+        let state = self.shared.core.state.lock();
+        state.cfs.values().map(|cf| cf.name.clone()).collect()
+    }
+
+    fn cf(&self, name: &str) -> Option<ColumnFamilyHandle> {
+        let id = {
+            let state = self.shared.core.state.lock();
+            state
+                .cfs
+                .values()
+                .find(|cf| cf.name == name)
+                .map(|cf| cf.id)
+        }?;
+        Some(self.handle(id, name))
+    }
+
+    fn cf_stats(&self) -> Vec<CfStats> {
+        self.shared.core.cf_stats()
     }
 }
 
@@ -925,46 +1626,44 @@ impl<P: ShapePolicy> KvStore for EngineDb<P> {
     fn put_opts(&self, opts: &WriteOptions, key: &[u8], value: &[u8]) -> Result<()> {
         let mut batch = WriteBatch::new();
         batch.put(key, value);
-        self.inner.write(batch, opts)
+        self.shared.core.write(batch, opts)
     }
 
     fn get_opts(&self, opts: &ReadOptions, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        self.inner.get(opts, key)
+        self.shared.core.get(0, opts, key)
     }
 
     fn delete_opts(&self, opts: &WriteOptions, key: &[u8]) -> Result<()> {
         let mut batch = WriteBatch::new();
         batch.delete(key);
-        self.inner.write(batch, opts)
+        self.shared.core.write(batch, opts)
     }
 
     fn write_opts(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<()> {
-        self.inner.write(batch, opts)
+        self.shared.core.write(batch, opts)
     }
 
     fn iter(&self, opts: &ReadOptions) -> Result<Box<dyn DbIterator>> {
-        self.inner.iter(opts)
+        self.shared.core.iter(0, opts)
     }
 
     fn snapshot(&self) -> Snapshot {
-        let state = self.inner.state.lock();
-        self.inner.snapshots.acquire(state.versions.last_sequence())
+        self.shared.core.snapshot()
     }
 
     fn flush(&self) -> Result<()> {
-        self.inner.flush()
+        self.shared.core.flush()
     }
 
     fn stats(&self) -> StoreStats {
-        self.inner.stats()
+        self.shared.core.stats_scoped(None)
     }
 
     fn engine_name(&self) -> String {
-        self.inner.policy.engine_name()
+        self.shared.core.policy.engine_name()
     }
 
     fn live_file_sizes(&self) -> Vec<u64> {
-        let state = self.inner.state.lock();
-        state.versions.current_unpinned().file_sizes()
+        self.shared.core.live_file_sizes_scoped(None)
     }
 }

@@ -23,11 +23,12 @@
 //! tiering) are written once against this chassis instead of twice per
 //! engine.
 
+pub mod catalog;
 pub mod chassis;
 pub mod meta;
 pub mod policy;
 
-pub use chassis::{EngineCore, EngineDb, EngineState};
+pub use chassis::{CfState, ClaimedJob, EngineCore, EngineDb, EngineShared, EngineState};
 pub use meta::{FileMetaData, FileMetaDataEdit};
 pub use policy::{
     EngineIo, JobClaim, PolicyCtx, ShapePolicy, VersionMeta, VersionOf, VersionSetOps,

@@ -17,9 +17,13 @@ use pebblesdb_sstable::TableCache;
 
 use crate::meta::FileMetaData;
 
-/// The IO handles a store runs against, shared by the chassis and its
-/// policy: the environment, the database directory, the open options and
-/// the table cache. Built once at open time.
+/// The IO handles one column family runs against, shared by the chassis and
+/// its policy: the environment, the family's directory, the open options and
+/// the family's table cache. Built once per family at open/create time; the
+/// default family's directory is the database root. Cloning is cheap (two
+/// `Arc`s, a path and the options) and is how background jobs carry their
+/// IO handles outside the state mutex.
+#[derive(Clone)]
 pub struct EngineIo {
     /// The filesystem abstraction.
     pub env: Arc<dyn Env>,

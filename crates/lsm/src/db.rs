@@ -24,8 +24,8 @@ use pebblesdb_common::key::{
 };
 use pebblesdb_common::snapshot::Snapshot;
 use pebblesdb_common::{
-    Error, KvStore, ReadOptions, Result, StoreOptions, StorePreset, StoreStats, WriteBatch,
-    WriteOptions,
+    CfStats, ColumnFamilyHandle, Db, Error, KvStore, ReadOptions, Result, StoreOptions,
+    StorePreset, StoreStats, WriteBatch, WriteOptions,
 };
 use pebblesdb_engine::{EngineDb, EngineIo, FileMetaData, JobClaim, PolicyCtx, ShapePolicy};
 use pebblesdb_env::Env;
@@ -419,6 +419,26 @@ impl LsmDb {
     /// the background threads to go idle.
     pub fn compact_all(&self) -> Result<()> {
         KvStore::flush(self)
+    }
+}
+
+/// Column families on the baseline LSM: the exact same chassis feature, one
+/// leveled structure per family.
+impl Db for LsmDb {
+    fn create_cf(&self, name: &str) -> Result<ColumnFamilyHandle> {
+        self.db.create_cf(name)
+    }
+    fn drop_cf(&self, name: &str) -> Result<()> {
+        self.db.drop_cf(name)
+    }
+    fn list_cfs(&self) -> Vec<String> {
+        self.db.list_cfs()
+    }
+    fn cf(&self, name: &str) -> Option<ColumnFamilyHandle> {
+        self.db.cf(name)
+    }
+    fn cf_stats(&self) -> Vec<CfStats> {
+        self.db.cf_stats()
     }
 }
 

@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use pebblesdb::PebblesDb;
-use pebblesdb_common::{KvStore, ReadOptions, WriteBatch};
+use pebblesdb_common::{Db, KvStore, ReadOptions, WriteBatch};
 use pebblesdb_env::DiskEnv;
 
 fn main() {
@@ -77,6 +77,41 @@ fn main() {
     println!("scan() returned {} entries (newest data)", range.len());
     assert_eq!(range[0].1, b"overwritten-later".to_vec());
     let _ = db.iter(&ReadOptions::default()).expect("plain cursor");
+
+    // Column families: a secondary index in its own namespace, maintained
+    // atomically with the primary rows. Every family shares the WAL and
+    // sequence space, so one cross-family batch is one atomic commit.
+    let by_value = db.create_cf("by-value").expect("create column family");
+    let indexed_put = |key: &[u8], value: &[u8]| {
+        let mut batch = WriteBatch::new();
+        batch.put(key, value); // default family: the primary row
+        batch.put_cf(by_value.id(), &[value, b"/", key].concat(), &[]); // index entry
+        db.write(batch).expect("atomic cross-family batch");
+    };
+    indexed_put(b"user:1", b"alice");
+    indexed_put(b"user:2", b"bob");
+    indexed_put(b"user:3", b"alice");
+    // Look keys up by value with a scan over the index family only; the
+    // family is a real namespace, so the cursor never sees primary rows.
+    let alices = by_value
+        .scan(b"alice/", b"alice0", 100)
+        .expect("index scan");
+    println!(
+        "\nindex family finds {} keys for value \"alice\": {:?}",
+        alices.len(),
+        alices
+            .iter()
+            .map(|(k, _)| String::from_utf8_lossy(&k[b"alice/".len()..]).into_owned())
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(alices.len(), 2);
+    println!("column families: {:?}", db.list_cfs());
+    for cf in db.cf_stats() {
+        println!(
+            "  {}: {} files, {} live bytes, {} flushes",
+            cf.name, cf.num_files, cf.live_bytes, cf.flushes
+        );
+    }
 
     // Peek at the FLSM structure and the store statistics.
     println!("\nFLSM layout: {}", db.level_summary());

@@ -8,7 +8,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pebblesdb::PebblesDb;
-use pebblesdb_common::{KvStore, ReadOptions, StoreOptions, StorePreset};
+use pebblesdb_common::{Db, KvStore, ReadOptions, StoreOptions, StorePreset, WriteBatch};
 use pebblesdb_env::{Env, MemEnv};
 use pebblesdb_lsm::LsmDb;
 
@@ -330,6 +330,201 @@ fn dropped_unsynced_dir_entries_lose_no_acknowledged_data() {
                 Some(format!("v{i}").into_bytes()),
                 "{engine}: key {i} lost to an unsynced directory entry"
             );
+        }
+    }
+}
+
+/// Opens either LSM-family engine as a multi-namespace `Db`.
+fn open_db_engine(engine: &str, env: &Arc<dyn Env>, dir: &Path) -> Arc<dyn Db> {
+    if engine == "flsm" {
+        Arc::new(PebblesDb::open_with_options(Arc::clone(env), dir, small_options()).unwrap())
+    } else {
+        Arc::new(
+            LsmDb::open_with_options(
+                Arc::clone(env),
+                dir,
+                small_options(),
+                StorePreset::HyperLevelDb,
+            )
+            .unwrap(),
+        )
+    }
+}
+
+/// Column-family lifecycle, crash window 1: records written to several
+/// families after a create live only in the shared WAL when the crash hits;
+/// replay must route every record into its own family. A second create whose
+/// catalog edit committed but whose directory initialisation crashed must
+/// come back as an empty, usable family.
+#[test]
+fn cf_wal_replay_routes_records_into_their_families() {
+    for engine in ["flsm", "lsm"] {
+        let mem_env = MemEnv::new();
+        let env: Arc<dyn Env> = Arc::new(mem_env.clone());
+        let dir = Path::new("/crash-cf-route");
+        {
+            let db = open_db_engine(engine, &env, dir);
+            let users = db.create_cf("users").unwrap();
+            for i in 0..500u32 {
+                db.put(format!("d{i:04}").as_bytes(), b"default").unwrap();
+                users.put(format!("u{i:04}").as_bytes(), b"users").unwrap();
+            }
+            // The create edit for "broken" commits to the catalog, then the
+            // family's own MANIFEST initialisation dies — the crash window
+            // between the catalog commit and the directory setup.
+            mem_env.inject_write_error_after(&format!("{}/cf-", dir.display()), 0);
+            assert!(db.create_cf("broken").is_err());
+        } // <- crash: everything above lives in the WAL only.
+
+        mem_env.clear_fault_injection();
+        let db = open_db_engine(engine, &env, dir);
+        let mut names = db.list_cfs();
+        names.sort();
+        assert_eq!(
+            names,
+            vec![
+                "broken".to_string(),
+                "default".to_string(),
+                "users".to_string()
+            ],
+            "{engine}: catalog entries survive the crash"
+        );
+        let users = db.cf("users").unwrap();
+        for i in (0..500u32).step_by(17) {
+            assert_eq!(
+                db.get(format!("d{i:04}").as_bytes()).unwrap(),
+                Some(b"default".to_vec()),
+                "{engine}: default-family record lost or misrouted"
+            );
+            assert_eq!(
+                users.get(format!("u{i:04}").as_bytes()).unwrap(),
+                Some(b"users".to_vec()),
+                "{engine}: users-family record lost or misrouted"
+            );
+            // No bleed-through between namespaces.
+            assert_eq!(db.get(format!("u{i:04}").as_bytes()).unwrap(), None);
+            assert_eq!(users.get(format!("d{i:04}").as_bytes()).unwrap(), None);
+        }
+        // The half-created family recovered as an empty, usable namespace.
+        let broken = db.cf("broken").unwrap();
+        assert!(broken.scan(b"", &[], 10).unwrap().is_empty());
+        broken.put(b"now", b"works").unwrap();
+        assert_eq!(broken.get(b"now").unwrap(), Some(b"works".to_vec()));
+    }
+}
+
+/// Column-family lifecycle, crash window 2: the drop edit committed to the
+/// catalog but the crash struck before the family's directory was deleted.
+/// Reopen must reap the orphaned directory (sstables included), drop the
+/// family's WAL records instead of resurrecting them, and leave the
+/// surviving families intact.
+#[test]
+fn cf_drop_commit_without_dir_removal_reaps_orphans() {
+    for engine in ["flsm", "lsm"] {
+        let mem_env = MemEnv::new();
+        let env: Arc<dyn Env> = Arc::new(mem_env.clone());
+        let dir = Path::new("/crash-cf-drop");
+        let temp_id;
+        {
+            let db = open_db_engine(engine, &env, dir);
+            let keep = db.create_cf("keep").unwrap();
+            let temp = db.create_cf("temp").unwrap();
+            temp_id = temp.id();
+            for i in 0..2000u32 {
+                keep.put(format!("k{i:05}").as_bytes(), b"keep").unwrap();
+                temp.put(format!("t{i:05}").as_bytes(), b"temp").unwrap();
+            }
+            db.flush().unwrap(); // both families own sstables now
+                                 // More WAL-only records for the doomed family.
+            for i in 2000..2500u32 {
+                temp.put(format!("t{i:05}").as_bytes(), b"temp").unwrap();
+            }
+        } // <- clean close; now fabricate the torn drop.
+
+        let temp_dir = dir.join(format!("cf-{temp_id}"));
+        assert!(
+            !env.children(&temp_dir).unwrap().is_empty(),
+            "{engine}: setup must leave sstables in the family directory"
+        );
+        // Commit the drop edit exactly as `drop_cf` does — and "crash"
+        // before the directory removal that would normally follow.
+        let data = pebblesdb_engine::catalog::read(env.as_ref(), dir).unwrap();
+        let mut catalog =
+            pebblesdb_engine::catalog::Catalog::rewrite(Arc::clone(&env), dir, &data).unwrap();
+        catalog.append_drop(temp_id).unwrap();
+        drop(catalog);
+
+        let db = open_db_engine(engine, &env, dir);
+        assert!(db.cf("temp").is_none(), "{engine}: dropped family is gone");
+        assert!(
+            env.children(&temp_dir).unwrap().is_empty(),
+            "{engine}: orphaned family sstables must be reaped on reopen"
+        );
+        let keep = db.cf("keep").unwrap();
+        for i in (0..2000u32).step_by(97) {
+            assert_eq!(
+                keep.get(format!("k{i:05}").as_bytes()).unwrap(),
+                Some(b"keep".to_vec()),
+                "{engine}: surviving family lost data"
+            );
+        }
+        // A recreated family with the same name is a fresh id and empty —
+        // the dead family's WAL records must not resurface in it.
+        let recreated = db.create_cf("temp").unwrap();
+        assert!(recreated.id() > temp_id, "{engine}: ids are never reused");
+        assert!(recreated.scan(b"", &[], 10).unwrap().is_empty());
+    }
+}
+
+/// Cross-family atomic batches: a batch spanning the default family and an
+/// index family either fully survives a torn-WAL crash or fully vanishes —
+/// never a row without its index entry or vice versa.
+#[test]
+fn cross_cf_batches_are_atomic_across_torn_wal() {
+    for engine in ["flsm", "lsm"] {
+        for truncate_by in [1usize, 37, 500, 4000] {
+            let mem_env = MemEnv::new();
+            let env: Arc<dyn Env> = Arc::new(mem_env.clone());
+            let dir = Path::new("/crash-cf-atomic");
+            let written = 800u32;
+            {
+                let db = open_db_engine(engine, &env, dir);
+                let index = db.create_cf("index").unwrap();
+                for i in 0..written {
+                    let mut batch = WriteBatch::new();
+                    batch.put(format!("row{i:05}").as_bytes(), b"payload");
+                    batch.put_cf(index.id(), format!("idx{i:05}").as_bytes(), b"entry");
+                    db.write(batch).unwrap();
+                }
+                let wal = live_wal(env.as_ref(), dir);
+                let size = env.file_size(&wal).unwrap() as usize;
+                mem_env
+                    .truncate_file(&wal, size.saturating_sub(truncate_by))
+                    .unwrap();
+            } // <- crash with a torn WAL tail.
+
+            let db = open_db_engine(engine, &env, dir);
+            let index = db.cf("index").unwrap();
+            let mut survivors = 0u32;
+            for i in 0..written {
+                let row = db.get(format!("row{i:05}").as_bytes()).unwrap().is_some();
+                let idx = index
+                    .get(format!("idx{i:05}").as_bytes())
+                    .unwrap()
+                    .is_some();
+                assert_eq!(
+                    row, idx,
+                    "{engine}/truncate {truncate_by}: batch {i} applied to only one family"
+                );
+                if row {
+                    survivors += 1;
+                }
+            }
+            assert!(
+                survivors >= written - 100,
+                "{engine}/truncate {truncate_by}: only {survivors}/{written} batches survived"
+            );
+            env.remove_dir_all(dir).unwrap();
         }
     }
 }

@@ -8,7 +8,7 @@ use std::sync::Arc;
 
 use pebblesdb::PebblesDb;
 use pebblesdb_btree::BTreeStore;
-use pebblesdb_common::{KvStore, ReadOptions, StoreOptions, StorePreset};
+use pebblesdb_common::{Db, KvStore, ReadOptions, StoreOptions, StorePreset};
 use pebblesdb_env::{Env, MemEnv};
 use pebblesdb_lsm::LsmDb;
 use rand::rngs::StdRng;
@@ -31,6 +31,24 @@ fn all_engines() -> Vec<(&'static str, Arc<dyn KvStore>)> {
     let lsm_env: Arc<dyn Env> = Arc::new(MemEnv::new());
     let rocks_env: Arc<dyn Env> = Arc::new(MemEnv::new());
     let btree_env: Arc<dyn Env> = Arc::new(MemEnv::new());
+    // Column-family handles are full `KvStore`s: one non-default family per
+    // LSM engine runs the *same* suites as the whole stores, unmodified.
+    // The handles keep their stores (and background threads) alive.
+    let pebbles_cf_env: Arc<dyn Env> = Arc::new(MemEnv::new());
+    let pebbles_cf = PebblesDb::open_with_options(pebbles_cf_env, Path::new("/pcf"), opts.clone())
+        .unwrap()
+        .create_cf("shard")
+        .unwrap();
+    let lsm_cf_env: Arc<dyn Env> = Arc::new(MemEnv::new());
+    let lsm_cf = LsmDb::open_with_options(
+        lsm_cf_env,
+        Path::new("/hcf"),
+        opts.clone(),
+        StorePreset::HyperLevelDb,
+    )
+    .unwrap()
+    .create_cf("shard")
+    .unwrap();
     vec![
         (
             "pebblesdb",
@@ -66,6 +84,8 @@ fn all_engines() -> Vec<(&'static str, Arc<dyn KvStore>)> {
             "btree",
             Arc::new(BTreeStore::open(btree_env, Path::new("/b"), opts).unwrap()),
         ),
+        ("pebblesdb-cf", Arc::new(pebbles_cf)),
+        ("hyperleveldb-cf", Arc::new(lsm_cf)),
     ]
 }
 

@@ -21,7 +21,7 @@ use pebblesdb_common::key::{
     compare_internal_keys, encode_internal_key, parse_internal_key, ValueType,
 };
 use pebblesdb_common::snapshot::Snapshot;
-use pebblesdb_common::{KvStore, StoreOptions, StorePreset};
+use pebblesdb_common::{ColumnFamilyHandle, Db, KvStore, StoreOptions, StorePreset};
 use pebblesdb_env::{Env, MemEnv};
 use pebblesdb_lsm::LsmDb;
 
@@ -270,6 +270,169 @@ fn baseline_lsm_concurrent_compactions_match_model_and_snapshots() {
                 StorePreset::HyperLevelDb,
             )
             .unwrap(),
+        )
+    });
+}
+
+/// The concurrent differential harness over **three column families**: one
+/// `BTreeMap` oracle per family, random ops routed across them (including
+/// cross-family atomic twin-puts), a churn thread forcing flushes so the
+/// compaction pool keeps reorganising every family's tree, and snapshots
+/// pinned mid-stream. Because all families share one sequence space, a
+/// pinned snapshot must replay the oracle state of *every* family as
+/// captured at the same instant — cross-family consistency, not just
+/// per-family.
+fn concurrent_compactions_match_model_across_families(
+    open_store: impl Fn(Arc<dyn Env>, StoreOptions) -> Arc<dyn Db>,
+) {
+    #[derive(Debug, Clone)]
+    enum CfOp {
+        Put(usize, u16, Vec<u8>),
+        Delete(usize, u16),
+        Scan(usize, u16, u8),
+        /// One atomic batch writing the key into families 0 and 1.
+        TwinPut(u16, Vec<u8>),
+    }
+
+    let mut rng = StdRng::seed_from_u64(0x5eed_0c0f);
+    for case in 0..2 {
+        let mut opts = tiny_options();
+        opts.compaction_threads = 4;
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let store = open_store(env, opts);
+        let families: Vec<ColumnFamilyHandle> = vec![
+            store.default_cf(),
+            store.create_cf("alpha").unwrap(),
+            store.create_cf("beta").unwrap(),
+        ];
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let churn = {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    store.flush().expect("churn flush must not hit bg_error");
+                    std::thread::yield_now();
+                }
+            })
+        };
+
+        let ops: Vec<CfOp> = (0..600)
+            .map(|_| {
+                let family = rng.gen_range(0..3usize);
+                let key = rng.gen_range(0..256u16);
+                match rng.gen_range(0..7u32) {
+                    0..=2 => {
+                        let len = rng.gen_range(0..48usize);
+                        CfOp::Put(family, key, (0..len).map(|_| rng.gen::<u8>()).collect())
+                    }
+                    3 => CfOp::Delete(family, key),
+                    4 => CfOp::TwinPut(key, vec![rng.gen::<u8>(); 24]),
+                    _ => CfOp::Scan(family, key, rng.gen::<u8>()),
+                }
+            })
+            .collect();
+
+        let mut models: Vec<BTreeMap<Vec<u8>, Vec<u8>>> = vec![BTreeMap::new(); 3];
+        type PinnedState = (Snapshot, Vec<BTreeMap<Vec<u8>, Vec<u8>>>);
+        let mut pinned: Vec<PinnedState> = Vec::new();
+        for (index, op) in ops.iter().enumerate() {
+            match op {
+                CfOp::Put(family, id, value) => {
+                    families[*family].put(&key_of(*id), value).unwrap();
+                    models[*family].insert(key_of(*id), value.clone());
+                }
+                CfOp::Delete(family, id) => {
+                    families[*family].delete(&key_of(*id)).unwrap();
+                    models[*family].remove(&key_of(*id));
+                }
+                CfOp::TwinPut(id, value) => {
+                    let mut batch = WriteBatch::new();
+                    batch.put(&key_of(*id), value);
+                    batch.put_cf(families[1].id(), &key_of(*id), value);
+                    store.write(batch).unwrap();
+                    models[0].insert(key_of(*id), value.clone());
+                    models[1].insert(key_of(*id), value.clone());
+                }
+                CfOp::Scan(family, id, limit) => {
+                    let limit = (*limit as usize % 20) + 1;
+                    let got = families[*family].scan(&key_of(*id), &[], limit).unwrap();
+                    let expected: Vec<(Vec<u8>, Vec<u8>)> = models[*family]
+                        .range(key_of(*id)..)
+                        .take(limit)
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect();
+                    assert_eq!(got, expected, "case {case}: scan at op {index}");
+                }
+            }
+            if index % 120 == 0 {
+                pinned.push((store.snapshot(), models.clone()));
+            }
+        }
+        stop.store(true, Ordering::Release);
+        churn.join().unwrap();
+
+        // Each pinned snapshot replays *all three* families' oracle states
+        // captured at pin time — one shared sequence, three namespaces.
+        for (pin_index, (snapshot, pinned_models)) in pinned.iter().enumerate() {
+            let read_opts = snapshot.read_options();
+            for (family, model) in pinned_models.iter().enumerate() {
+                for id in (0..256u16).step_by(3) {
+                    assert_eq!(
+                        families[family].get_opts(&read_opts, &key_of(id)).unwrap(),
+                        model.get(&key_of(id)).cloned(),
+                        "case {case}: snapshot {pin_index}, family {family}, key {id}"
+                    );
+                }
+                let got = families[family]
+                    .scan_opts(&read_opts, b"key", &[], 10_000)
+                    .unwrap();
+                let expected: Vec<(Vec<u8>, Vec<u8>)> =
+                    model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+                assert_eq!(
+                    got, expected,
+                    "case {case}: snapshot {pin_index}, family {family} full scan"
+                );
+            }
+        }
+        drop(pinned);
+
+        // Final agreement for every family, before and after a full flush.
+        for check_after_flush in [false, true] {
+            if check_after_flush {
+                store.flush().unwrap();
+            }
+            for (family, model) in models.iter().enumerate() {
+                let got = families[family].scan(b"key", &[], 10_000).unwrap();
+                let expected: Vec<(Vec<u8>, Vec<u8>)> =
+                    model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+                assert_eq!(
+                    got, expected,
+                    "case {case}: family {family} (after_flush={check_after_flush})"
+                );
+            }
+        }
+        assert_eq!(store.stats().memtable_clones, 0);
+        assert_eq!(store.stats().num_column_families, 3);
+    }
+}
+
+/// The FLSM engine under the three-family concurrent differential harness.
+#[test]
+fn pebblesdb_three_family_differential_with_shared_snapshots() {
+    concurrent_compactions_match_model_across_families(|env, opts| {
+        Arc::new(PebblesDb::open_with_options(env, Path::new("/prop-cf"), opts).unwrap())
+    });
+}
+
+/// The LSM baseline through the same chassis code paths and seeds.
+#[test]
+fn baseline_lsm_three_family_differential_with_shared_snapshots() {
+    concurrent_compactions_match_model_across_families(|env, opts| {
+        Arc::new(
+            LsmDb::open_with_options(env, Path::new("/prop-cf"), opts, StorePreset::HyperLevelDb)
+                .unwrap(),
         )
     });
 }

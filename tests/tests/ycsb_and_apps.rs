@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use pebblesdb::PebblesDb;
 use pebblesdb_apps::{HyperDexLike, MongoLike};
-use pebblesdb_common::{KvStore, StoreOptions, StorePreset};
+use pebblesdb_common::{Db, KvStore, StoreOptions, StorePreset};
 use pebblesdb_env::{Env, MemEnv};
 use pebblesdb_lsm::LsmDb;
 use pebblesdb_ycsb::runner::load_phase;
@@ -60,7 +60,9 @@ fn ycsb_suite_runs_against_pebblesdb_with_four_threads() {
 fn hyperdex_layer_runs_ycsb_over_both_engines() {
     for use_pebbles in [true, false] {
         let env: Arc<dyn Env> = Arc::new(MemEnv::new());
-        let engine: Arc<dyn KvStore> = if use_pebbles {
+        // The app layers take a multi-namespace `Db`: their secondary
+        // indexes and collections are real column families now.
+        let engine: Arc<dyn Db> = if use_pebbles {
             Arc::new(PebblesDb::open_with_options(env, Path::new("/hx"), small_options()).unwrap())
         } else {
             Arc::new(
@@ -73,27 +75,35 @@ fn hyperdex_layer_runs_ycsb_over_both_engines() {
                 .unwrap(),
             )
         };
-        let app: Arc<dyn KvStore> = Arc::new(HyperDexLike::new(engine, 0));
+        let app: Arc<HyperDexLike> = Arc::new(HyperDexLike::new(engine, 0).unwrap());
 
         let records = 1000u64;
         let workload = CoreWorkload::preset(WorkloadKind::LoadA, records).with_value_size(128);
-        load_phase(&app, &workload, 2).unwrap();
-        let report = run_workload(Arc::clone(&app), WorkloadKind::A, records, 500, 2, 128).unwrap();
+        let store: Arc<dyn KvStore> = Arc::clone(&app) as Arc<dyn KvStore>;
+        load_phase(&store, &workload, 2).unwrap();
+        let report =
+            run_workload(Arc::clone(&store), WorkloadKind::A, records, 500, 2, 128).unwrap();
         assert!(report.operations >= 500);
         assert!(report.engine.starts_with("HyperDex("));
 
         // Values written through the app layer read back through it.
         let key = CoreWorkload::key_for(3);
-        assert!(app.get(&key).unwrap().is_some());
+        let value = app.get(&key).unwrap().expect("loaded key exists");
+        // ... and the secondary-index family finds the key by its value.
+        assert!(app
+            .search_by_value(&value)
+            .unwrap()
+            .iter()
+            .any(|k| k == &key));
     }
 }
 
 #[test]
 fn mongo_layer_preserves_values_across_engines_and_scans() {
     let env: Arc<dyn Env> = Arc::new(MemEnv::new());
-    let engine: Arc<dyn KvStore> =
+    let engine: Arc<dyn Db> =
         Arc::new(PebblesDb::open_with_options(env, Path::new("/mongo"), small_options()).unwrap());
-    let app = MongoLike::new(engine, 0);
+    let app = MongoLike::new(engine, 0).unwrap();
     for i in 0..500u32 {
         app.put(
             format!("doc{i:05}").as_bytes(),
