@@ -135,25 +135,27 @@ fn main() {
 
     if cfs > 1 {
         // Per-family breakdown, so one namespace's compaction debt cannot
-        // hide behind another's in the aggregate table above.
-        let mut cf_report = Report::new(
-            "per column family",
-            vec![
-                "family".to_string(),
-                "files".to_string(),
-                "live bytes".to_string(),
-                "flushes".to_string(),
-                "memtable".to_string(),
-            ],
-        );
-        for cf in db.cf_stats() {
-            cf_report.add_row(vec![
-                cf.name,
-                cf.num_files.to_string(),
-                format_mib(cf.live_bytes),
-                cf.flushes.to_string(),
-                format_mib(cf.memtable_bytes),
-            ]);
+        // hide behind another's in the aggregate table above. The columns
+        // come from the shared field list, so this table, the server's INFO
+        // command and the Prometheus endpoint always show the same fields.
+        let cf_stats = db.cf_stats();
+        let mut header = vec!["family".to_string()];
+        if let Some(first) = cf_stats.first() {
+            header.extend(
+                pebblesdb_common::stats_text::cf_stat_fields(first)
+                    .iter()
+                    .map(|f| f.name.to_string()),
+            );
+        }
+        let mut cf_report = Report::new("per column family", header);
+        for cf in cf_stats {
+            let mut row = vec![cf.name.clone()];
+            row.extend(
+                pebblesdb_common::stats_text::cf_stat_fields(&cf)
+                    .iter()
+                    .map(|f| f.human_value()),
+            );
+            cf_report.add_row(row);
         }
         cf_report.print();
     }

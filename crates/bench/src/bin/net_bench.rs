@@ -1,0 +1,220 @@
+//! `net_bench` — the networked companion to `db_bench`.
+//!
+//! Drives N concurrent RESP connections through fill / read / mixed
+//! workloads and reports throughput plus client-observed latency
+//! percentiles (p50/p99/p999). Keys and values come from
+//! [`pebblesdb_bench::keygen`], the same generators the local workloads
+//! use, so a store filled over the network is readable by `db_bench` and
+//! vice versa.
+//!
+//! ```text
+//! net_bench --spawn --clients 8 --ops 20000            # in-process server
+//! net_bench --addr 127.0.0.1:6380 --workload mixed     # external server
+//! net_bench --spawn --rate-limit 500 --burst 50        # observe BUSY backpressure
+//! ```
+//!
+//! `BUSY` replies from the server's rate limiter are counted (and retried
+//! up to a bound) rather than treated as failures: they are backpressure,
+//! and the `busy` column shows how much of it the run absorbed.
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pebblesdb_bench::keygen::{bench_key, bench_value};
+use pebblesdb_bench::report::{format_kops, Report};
+use pebblesdb_bench::Args;
+use pebblesdb_common::resp::RespValue;
+use pebblesdb_env::{Env, MemEnv};
+use pebblesdb_server::{RateLimit, RespClient, Server, ServerConfig};
+use pebblesdb_ycsb::Histogram;
+
+const USAGE: &str = "net_bench [options]
+  --addr HOST:PORT       benchmark an already-running server
+  --spawn                spawn an in-process in-memory server (default)
+  --clients N            concurrent connections (default 8)
+  --ops N                operations per workload phase (default 10000)
+  --value-size BYTES     value payload size (default 100)
+  --workload NAME        fill | read | mixed | all (default all)
+  --rate-limit OPS       with --spawn: per-connection rate limit
+  --burst OPS            with --spawn: rate-limit burst (default rate/10)
+  --write-latency-us US  with --spawn: inject latency per sstable write
+  --sync                 with --spawn: fsync acknowledged writes
+  --help                 print this help";
+
+/// Per-phase aggregate over all clients.
+struct PhaseResult {
+    name: &'static str,
+    operations: u64,
+    seconds: f64,
+    latencies_us: Histogram,
+    busy: u64,
+}
+
+fn main() {
+    let args = Args::parse();
+    if args.has_flag("help") {
+        println!("{USAGE}");
+        return;
+    }
+    let clients = args.get_u64("clients", 8).max(1) as usize;
+    let ops = args.get_u64("ops", 10_000).max(1);
+    let value_size = args.get_u64("value-size", 100) as usize;
+    let workload = args.get_str("workload", "all");
+
+    // Either connect out, or spawn an in-process server on an ephemeral
+    // port (which is what the CI smoke job uses: no port plumbing).
+    let addr_flag = args.get_str("addr", "");
+    let (server, addr) = if addr_flag.is_empty() {
+        let mem = Arc::new(MemEnv::new());
+        let write_latency_us = args.get_u64("write-latency-us", 0);
+        if write_latency_us > 0 {
+            mem.set_write_latency_micros_for(".sst", write_latency_us);
+        }
+        let env: Arc<dyn Env> = mem;
+        let db =
+            Arc::new(pebblesdb::PebblesDb::open(env, Path::new("/net-bench")).expect("open store"));
+        let mut config = ServerConfig::default();
+        config.session.sync_writes = args.has_flag("sync");
+        let rate = args.get_u64("rate-limit", 0);
+        if rate > 0 {
+            config.rate_limit = Some(RateLimit {
+                ops_per_sec: rate as f64,
+                burst: args.get_u64("burst", (rate / 10).max(1)) as f64,
+            });
+        }
+        let server = Server::start(db, config).expect("start in-process server");
+        let addr = server.local_addr();
+        (Some(server), addr)
+    } else {
+        let addr = addr_flag.parse().expect("--addr must be HOST:PORT");
+        (None, addr)
+    };
+
+    let phases: Vec<&str> = match workload.as_str() {
+        "all" => vec!["fill", "read", "mixed"],
+        one @ ("fill" | "read" | "mixed") => vec![one],
+        other => {
+            eprintln!("error: unknown workload {other:?}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut report = Report::new(
+        &format!("net_bench — {addr} ({clients} clients, {ops} ops/phase, {value_size} B values)"),
+        [
+            "workload", "ops", "kops/s", "p50 us", "p99 us", "p999 us", "max us", "busy",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+    );
+    for phase in phases {
+        let result = run_phase(phase, addr, clients, ops, value_size);
+        report.add_row(vec![
+            result.name.to_string(),
+            result.operations.to_string(),
+            format_kops(result.operations as f64 / result.seconds / 1000.0),
+            result.latencies_us.percentile(50.0).to_string(),
+            result.latencies_us.percentile(99.0).to_string(),
+            result.latencies_us.percentile(99.9).to_string(),
+            result.latencies_us.max().to_string(),
+            result.busy.to_string(),
+        ]);
+    }
+    report.add_note("latencies are client-observed round trips; BUSY replies are retried (bounded) and counted, not failed.");
+    report.print();
+
+    if let Some(server) = server {
+        server.shutdown();
+    }
+}
+
+fn run_phase(
+    name: &str,
+    addr: std::net::SocketAddr,
+    clients: usize,
+    ops: u64,
+    value_size: usize,
+) -> PhaseResult {
+    let ops_per_client = ops.div_ceil(clients as u64);
+    let total_keys = ops_per_client * clients as u64;
+    let started = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|client| {
+            let name = name.to_string();
+            std::thread::spawn(move || {
+                let mut conn = RespClient::connect(addr).expect("connect");
+                conn.set_timeout(Some(Duration::from_secs(30))).unwrap();
+                let mut rng = StdRng::seed_from_u64(0xbeef_0000 + client as u64);
+                let mut latencies = Histogram::new();
+                let mut busy = 0u64;
+                let base = client as u64 * ops_per_client;
+                for i in 0..ops_per_client {
+                    // fill covers a private slice of the key space; read and
+                    // mixed sample the whole (filled) space.
+                    let write_key = base + i;
+                    let read_key = rng.gen_range(0..total_keys);
+                    let value = bench_value(write_key, value_size, &mut rng);
+                    let op_started = Instant::now();
+                    let write = match name.as_str() {
+                        "fill" => true,
+                        "read" => false,
+                        _ => rng.gen_bool(0.5),
+                    };
+                    let (key, index) = if write {
+                        (bench_key(write_key), write_key)
+                    } else {
+                        (bench_key(read_key), read_key)
+                    };
+                    // A BUSY reply is backpressure: back off briefly and
+                    // retry the same op a bounded number of times.
+                    let mut attempts = 0;
+                    loop {
+                        let reply = if write {
+                            conn.command(&[b"SET", &key, &value]).expect("SET")
+                        } else {
+                            conn.command(&[b"GET", &key]).expect("GET")
+                        };
+                        match reply {
+                            RespValue::Error(msg) if msg.starts_with("BUSY") => {
+                                busy += 1;
+                                attempts += 1;
+                                if attempts >= 50 {
+                                    break;
+                                }
+                                std::thread::sleep(Duration::from_millis(2));
+                            }
+                            RespValue::Error(msg) => panic!("op {index} failed: {msg}"),
+                            _ => break,
+                        }
+                    }
+                    latencies.record(op_started.elapsed().as_micros() as u64);
+                }
+                (latencies, busy)
+            })
+        })
+        .collect();
+
+    let mut latencies_us = Histogram::new();
+    let mut busy = 0;
+    for worker in workers {
+        let (worker_latencies, worker_busy) = worker.join().expect("bench client panicked");
+        latencies_us.merge(&worker_latencies);
+        busy += worker_busy;
+    }
+    PhaseResult {
+        name: match name {
+            "fill" => "fill",
+            "read" => "read",
+            _ => "mixed",
+        },
+        operations: total_keys,
+        seconds: started.elapsed().as_secs_f64().max(1e-9),
+        latencies_us,
+        busy,
+    }
+}

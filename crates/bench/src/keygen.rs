@@ -1,0 +1,53 @@
+//! Benchmark key and value generation.
+//!
+//! One module defines the key space for every harness: the local
+//! `db_bench`-style workloads in [`crate::workloads`] and the networked
+//! `net_bench` client both draw from here, so a store filled by one can be
+//! read by the other (and results are comparable across the two paths).
+
+use rand::Rng;
+
+/// Formats benchmark keys exactly like `db_bench` (16-byte zero-padded).
+pub fn bench_key(index: u64) -> Vec<u8> {
+    format!("{index:016}").into_bytes()
+}
+
+/// Builds a pseudo-random value of `len` bytes for `index`.
+///
+/// The first eight bytes are the little-endian index, so a read can verify
+/// it got the value written for that key.
+pub fn bench_value(index: u64, len: usize, rng: &mut impl Rng) -> Vec<u8> {
+    let mut value = Vec::with_capacity(len);
+    value.extend_from_slice(&index.to_le_bytes());
+    while value.len() < len {
+        value.push(rng.gen());
+    }
+    value.truncate(len);
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn keys_are_fixed_width_and_ordered() {
+        assert_eq!(bench_key(0), b"0000000000000000".to_vec());
+        assert_eq!(bench_key(42).len(), 16);
+        let keys: Vec<_> = (0..1000).map(bench_key).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn values_embed_the_index_and_honour_length() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for len in [0, 4, 8, 100] {
+            let value = bench_value(99, len, &mut rng);
+            assert_eq!(value.len(), len);
+        }
+        let value = bench_value(99, 64, &mut rng);
+        assert_eq!(u64::from_le_bytes(value[..8].try_into().unwrap()), 99);
+    }
+}

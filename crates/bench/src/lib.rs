@@ -12,20 +12,27 @@
 //!   fillrandom, readrandom, seekrandom, deleterandom, ...).
 //! * [`report`] — fixed-width result tables plus the paper's reported numbers
 //!   for side-by-side comparison.
-//! * [`args`] — a tiny `--flag value` parser so the binaries need no external
-//!   dependencies.
+//! * [`keygen`] — the key/value generators every workload (and the network
+//!   bench client) draws from, so local and networked runs hit the same key
+//!   space.
+//!
+//! The `--flag value` parser the binaries share lives in
+//! [`pebblesdb_common::args`] (re-exported here), because the server binary
+//! uses it too.
 //!
 //! All experiments run at laptop scale by default (`--keys`, `--value-size`
 //! and `--threads` flags change that); `EXPERIMENTS.md` records the shapes
 //! measured this way against the paper's numbers.
 
-pub mod args;
 pub mod engines;
+pub mod keygen;
 pub mod report;
 pub mod workloads;
 
-pub use args::Args;
+pub use pebblesdb_common::args::{self, Args};
+
 pub use engines::{open_engine, open_engine_with_options, scaled_options, EngineKind};
+pub use keygen::{bench_key, bench_value};
 pub use report::Report;
 pub use workloads::{BenchResult, Workload};
 

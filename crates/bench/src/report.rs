@@ -75,10 +75,10 @@ impl Report {
     }
 }
 
-/// Formats a byte count as mebibytes with two decimals.
-pub fn format_mib(bytes: u64) -> String {
-    format!("{:.2} MiB", bytes as f64 / (1024.0 * 1024.0))
-}
+// One byte formatter for every stats surface: the server's INFO command and
+// Prometheus endpoint render the same fields, so the rendering lives in
+// `pebblesdb_common::stats_text` and this is just the historical name.
+pub use pebblesdb_common::stats_text::format_mib;
 
 /// Formats a ratio with two decimals.
 pub fn format_ratio(value: f64) -> String {

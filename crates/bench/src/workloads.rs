@@ -107,21 +107,10 @@ impl BenchResult {
     }
 }
 
-/// Formats benchmark keys exactly like `db_bench` (16-byte zero-padded).
-pub fn bench_key(index: u64) -> Vec<u8> {
-    format!("{index:016}").into_bytes()
-}
-
-/// Builds a pseudo-random value of `len` bytes for `index`.
-pub fn bench_value(index: u64, len: usize, rng: &mut impl Rng) -> Vec<u8> {
-    let mut value = Vec::with_capacity(len);
-    value.extend_from_slice(&index.to_le_bytes());
-    while value.len() < len {
-        value.push(rng.gen());
-    }
-    value.truncate(len);
-    value
-}
+// Key/value generation lives in [`crate::keygen`] so the network bench
+// client hits the exact same key space; re-exported here because every
+// workload call site historically imported them from this module.
+pub use crate::keygen::{bench_key, bench_value};
 
 impl Workload {
     /// Display name of the workload.

@@ -1,4 +1,6 @@
-//! A tiny `--flag [value]` command-line parser for the benchmark binaries.
+//! A tiny `--flag [value]` command-line parser for the workspace binaries
+//! (the benchmark drivers and `pebblesdb-server`), so none of them needs an
+//! external CLI dependency.
 
 use std::collections::HashMap;
 

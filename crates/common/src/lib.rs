@@ -12,11 +12,16 @@
 //! * the iterator abstraction ([`iterator`]),
 //! * the [`store::KvStore`] trait that the benchmark harness and the
 //!   application layers drive generically,
-//! * the group-commit writer queue both LSM engines share ([`commit`]), and
-//! * database file naming conventions ([`filename`]).
+//! * the group-commit writer queue both LSM engines share ([`commit`]),
+//! * database file naming conventions ([`filename`]),
+//! * RESP2 wire framing for the network server and its clients ([`resp`]),
+//! * the shared statistics field list every reporting surface renders from
+//!   ([`stats_text`]), and
+//! * the tiny `--flag value` parser the workspace binaries share ([`args`]).
 //!
 //! [`pebblesdb`]: https://www.cs.utexas.edu/~vijay/papers/sosp17-pebblesdb.pdf
 
+pub mod args;
 pub mod batch;
 pub mod cf;
 pub mod coding;
@@ -29,10 +34,13 @@ pub mod hash;
 pub mod iterator;
 pub mod key;
 pub mod options;
+pub mod resp;
 pub mod snapshot;
+pub mod stats_text;
 pub mod store;
 pub mod user_iter;
 
+pub use args::Args;
 pub use batch::{CfId, WriteBatch};
 pub use cf::{CfOps, CfStats, ColumnFamilyHandle, Db, PrefixDb, DEFAULT_CF_NAME};
 pub use commit::{CommitGroup, CommitQueue, Role, Ticket};
@@ -40,6 +48,8 @@ pub use error::{Error, Result};
 pub use iterator::DbIterator;
 pub use key::{InternalKey, ParsedInternalKey, SequenceNumber, ValueType, MAX_SEQUENCE_NUMBER};
 pub use options::{ReadOptions, StoreOptions, StorePreset, WriteOptions};
+pub use resp::{RespCodec, RespLimits, RespValue};
 pub use snapshot::{Snapshot, SnapshotList};
+pub use stats_text::{cf_stat_fields, render_info, store_stat_fields, StatField, StatUnit};
 pub use store::{KvStore, StoreStats};
 pub use user_iter::{UserEntriesIterator, UserIterator};

@@ -1,0 +1,569 @@
+//! RESP2 wire framing, shared by the network server and its clients.
+//!
+//! The workspace is offline, so the codec is written in-tree like the other
+//! protocol-level pieces (WAL records, sstable blocks). RESP2 was chosen
+//! because it is trivially debuggable (`redis-cli`-compatible framing), has a
+//! self-describing type system that maps cleanly onto key-value replies, and
+//! supports pipelining for free — frames are self-delimiting, so a client may
+//! write N commands before reading N replies.
+//!
+//! The decoder is **incremental**: [`decode`] parses at most one complete
+//! frame from a byte slice and reports how many bytes it consumed, returning
+//! `Ok(None)` when the frame is torn (more bytes are needed). Malformed or
+//! oversized frames return an error — the connection layer replies with a
+//! protocol error and closes, but the process never panics on untrusted
+//! input. [`RespCodec`] wraps the buffer bookkeeping so both the server's
+//! connection loop and the bench client share one resumption path.
+
+use crate::error::{Error, Result};
+
+/// One RESP2 value (a frame, or an element of an array frame).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RespValue {
+    /// `+OK\r\n` — a short non-binary status string.
+    Simple(String),
+    /// `-ERR message\r\n` — an error reply.
+    Error(String),
+    /// `:42\r\n` — a signed 64-bit integer.
+    Integer(i64),
+    /// `$5\r\nhello\r\n` — a binary-safe string.
+    Bulk(Vec<u8>),
+    /// `$-1\r\n` — the null bulk string ("no value").
+    NullBulk,
+    /// `*2\r\n...` — an array of values (commands are arrays of bulks).
+    Array(Vec<RespValue>),
+    /// `*-1\r\n` — the null array.
+    NullArray,
+}
+
+impl RespValue {
+    /// The canonical `+OK` reply.
+    pub fn ok() -> RespValue {
+        RespValue::Simple("OK".to_string())
+    }
+
+    /// An error reply with the given message.
+    pub fn error(msg: impl Into<String>) -> RespValue {
+        RespValue::Error(msg.into())
+    }
+
+    /// A bulk string holding `bytes`.
+    pub fn bulk(bytes: impl Into<Vec<u8>>) -> RespValue {
+        RespValue::Bulk(bytes.into())
+    }
+
+    /// Encodes a client command (an array of bulk strings).
+    pub fn command(args: &[&[u8]]) -> RespValue {
+        RespValue::Array(args.iter().map(|a| RespValue::bulk(a.to_vec())).collect())
+    }
+
+    /// Serialises the value into `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            RespValue::Simple(s) => {
+                out.push(b'+');
+                out.extend_from_slice(s.as_bytes());
+                out.extend_from_slice(b"\r\n");
+            }
+            RespValue::Error(s) => {
+                out.push(b'-');
+                out.extend_from_slice(s.as_bytes());
+                out.extend_from_slice(b"\r\n");
+            }
+            RespValue::Integer(i) => {
+                out.push(b':');
+                out.extend_from_slice(i.to_string().as_bytes());
+                out.extend_from_slice(b"\r\n");
+            }
+            RespValue::Bulk(b) => {
+                out.push(b'$');
+                out.extend_from_slice(b.len().to_string().as_bytes());
+                out.extend_from_slice(b"\r\n");
+                out.extend_from_slice(b);
+                out.extend_from_slice(b"\r\n");
+            }
+            RespValue::NullBulk => out.extend_from_slice(b"$-1\r\n"),
+            RespValue::Array(items) => {
+                out.push(b'*');
+                out.extend_from_slice(items.len().to_string().as_bytes());
+                out.extend_from_slice(b"\r\n");
+                for item in items {
+                    item.encode_into(out);
+                }
+            }
+            RespValue::NullArray => out.extend_from_slice(b"*-1\r\n"),
+        }
+    }
+
+    /// Serialises the value into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Interprets this frame as a command: an array of binary-safe strings.
+    ///
+    /// This is the server-side entry point, so it is strict: anything other
+    /// than a non-empty array of bulk (or simple) strings is a protocol
+    /// error.
+    pub fn into_command(self) -> Result<Vec<Vec<u8>>> {
+        let items = match self {
+            RespValue::Array(items) => items,
+            other => {
+                return Err(protocol_error(format!(
+                    "expected a command array, got {}",
+                    other.type_name()
+                )))
+            }
+        };
+        if items.is_empty() {
+            return Err(protocol_error("empty command array"));
+        }
+        let mut args = Vec::with_capacity(items.len());
+        for item in items {
+            match item {
+                RespValue::Bulk(bytes) => args.push(bytes),
+                RespValue::Simple(s) => args.push(s.into_bytes()),
+                other => {
+                    return Err(protocol_error(format!(
+                        "command arguments must be bulk strings, got {}",
+                        other.type_name()
+                    )))
+                }
+            }
+        }
+        Ok(args)
+    }
+
+    /// A short human-readable name of the value's wire type.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            RespValue::Simple(_) => "simple string",
+            RespValue::Error(_) => "error",
+            RespValue::Integer(_) => "integer",
+            RespValue::Bulk(_) => "bulk string",
+            RespValue::NullBulk => "null bulk string",
+            RespValue::Array(_) => "array",
+            RespValue::NullArray => "null array",
+        }
+    }
+}
+
+/// Creates the error used for every framing violation. The connection layer
+/// matches on the `protocol error` prefix to decide the connection must
+/// close (command-level errors keep it open).
+pub fn protocol_error(msg: impl std::fmt::Display) -> Error {
+    Error::invalid_argument(format!("protocol error: {msg}"))
+}
+
+/// Returns `true` if `err` is a framing violation produced by this module.
+pub fn is_protocol_error(err: &Error) -> bool {
+    matches!(err, Error::InvalidArgument(msg) if msg.starts_with("protocol error:"))
+}
+
+/// Hard bounds on accepted frames, so an untrusted peer cannot make the
+/// server allocate unbounded memory from a tiny header.
+#[derive(Debug, Clone)]
+pub struct RespLimits {
+    /// Largest accepted bulk-string payload, in bytes.
+    pub max_bulk_len: usize,
+    /// Largest accepted array element count.
+    pub max_array_len: usize,
+    /// Deepest accepted array nesting.
+    pub max_depth: usize,
+    /// Longest accepted `\r\n`-terminated header line.
+    pub max_line_len: usize,
+}
+
+impl Default for RespLimits {
+    fn default() -> RespLimits {
+        RespLimits {
+            max_bulk_len: 8 << 20,
+            max_array_len: 1 << 16,
+            max_depth: 8,
+            max_line_len: 128,
+        }
+    }
+}
+
+/// Attempts to parse one complete frame from the front of `buf`.
+///
+/// Returns `Ok(Some((value, consumed)))` on success, `Ok(None)` when `buf`
+/// holds only a prefix of a frame (feed more bytes and retry — torn frames
+/// always resume), and an error when the bytes can never become a valid
+/// frame under `limits`.
+pub fn decode(buf: &[u8], limits: &RespLimits) -> Result<Option<(RespValue, usize)>> {
+    let mut pos = 0usize;
+    match decode_at(buf, &mut pos, limits, 0)? {
+        Some(value) => Ok(Some((value, pos))),
+        None => Ok(None),
+    }
+}
+
+/// Reads one `\r\n`-terminated line starting at `*pos`, advancing past it.
+fn decode_line<'a>(
+    buf: &'a [u8],
+    pos: &mut usize,
+    limits: &RespLimits,
+) -> Result<Option<&'a [u8]>> {
+    let rest = &buf[*pos..];
+    match rest.windows(2).position(|w| w == b"\r\n") {
+        Some(end) => {
+            if end > limits.max_line_len {
+                return Err(protocol_error("header line too long"));
+            }
+            let line = &rest[..end];
+            if line.contains(&b'\r') || line.contains(&b'\n') {
+                return Err(protocol_error("bare CR or LF inside header line"));
+            }
+            *pos += end + 2;
+            Ok(Some(line))
+        }
+        None => {
+            // No terminator yet; if the partial line already exceeds the
+            // bound it can never become valid.
+            if rest.len() > limits.max_line_len + 1 {
+                return Err(protocol_error("header line too long"));
+            }
+            Ok(None)
+        }
+    }
+}
+
+/// Parses the decimal integer of a header line (`:`, `$`, `*` payloads).
+fn parse_int(line: &[u8], what: &str) -> Result<i64> {
+    let text = std::str::from_utf8(line)
+        .map_err(|_| protocol_error(format!("non-ASCII {what} header")))?;
+    text.parse::<i64>()
+        .map_err(|_| protocol_error(format!("malformed {what} header {text:?}")))
+}
+
+fn decode_at(
+    buf: &[u8],
+    pos: &mut usize,
+    limits: &RespLimits,
+    depth: usize,
+) -> Result<Option<RespValue>> {
+    if depth > limits.max_depth {
+        return Err(protocol_error("array nesting too deep"));
+    }
+    let Some(&type_byte) = buf.get(*pos) else {
+        return Ok(None);
+    };
+    *pos += 1;
+    match type_byte {
+        b'+' => Ok(decode_line(buf, pos, limits)?
+            .map(|line| RespValue::Simple(String::from_utf8_lossy(line).into_owned()))),
+        b'-' => Ok(decode_line(buf, pos, limits)?
+            .map(|line| RespValue::Error(String::from_utf8_lossy(line).into_owned()))),
+        b':' => match decode_line(buf, pos, limits)? {
+            Some(line) => Ok(Some(RespValue::Integer(parse_int(line, "integer")?))),
+            None => Ok(None),
+        },
+        b'$' => {
+            let Some(line) = decode_line(buf, pos, limits)? else {
+                return Ok(None);
+            };
+            let len = parse_int(line, "bulk length")?;
+            if len == -1 {
+                return Ok(Some(RespValue::NullBulk));
+            }
+            if len < 0 {
+                return Err(protocol_error(format!("negative bulk length {len}")));
+            }
+            let len = len as usize;
+            // Oversize is rejected from the header alone, before the payload
+            // arrives — a 4 GiB announcement never allocates 4 GiB.
+            if len > limits.max_bulk_len {
+                return Err(protocol_error(format!(
+                    "bulk length {len} exceeds limit {}",
+                    limits.max_bulk_len
+                )));
+            }
+            if buf.len() < *pos + len + 2 {
+                return Ok(None);
+            }
+            let payload = buf[*pos..*pos + len].to_vec();
+            if &buf[*pos + len..*pos + len + 2] != b"\r\n" {
+                return Err(protocol_error("bulk payload not CRLF-terminated"));
+            }
+            *pos += len + 2;
+            Ok(Some(RespValue::Bulk(payload)))
+        }
+        b'*' => {
+            let Some(line) = decode_line(buf, pos, limits)? else {
+                return Ok(None);
+            };
+            let len = parse_int(line, "array length")?;
+            if len == -1 {
+                return Ok(Some(RespValue::NullArray));
+            }
+            if len < 0 {
+                return Err(protocol_error(format!("negative array length {len}")));
+            }
+            let len = len as usize;
+            if len > limits.max_array_len {
+                return Err(protocol_error(format!(
+                    "array length {len} exceeds limit {}",
+                    limits.max_array_len
+                )));
+            }
+            let mut items = Vec::with_capacity(len.min(64));
+            for _ in 0..len {
+                match decode_at(buf, pos, limits, depth + 1)? {
+                    Some(item) => items.push(item),
+                    None => return Ok(None),
+                }
+            }
+            Ok(Some(RespValue::Array(items)))
+        }
+        other => Err(protocol_error(format!(
+            "unknown frame type byte 0x{other:02x}"
+        ))),
+    }
+}
+
+/// A resumable frame buffer: feed raw bytes in, take complete frames out.
+///
+/// Consumed bytes are compacted away lazily so pipelined bursts do not
+/// memmove on every frame.
+#[derive(Debug, Default)]
+pub struct RespCodec {
+    limits: RespLimits,
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl RespCodec {
+    /// Creates a codec enforcing `limits`.
+    pub fn new(limits: RespLimits) -> RespCodec {
+        RespCodec {
+            limits,
+            buf: Vec::new(),
+            start: 0,
+        }
+    }
+
+    /// Appends raw bytes received from the peer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact before growing once the dead prefix dominates.
+        if self.start > 0 && self.start >= self.buf.len() / 2 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Takes the next complete frame, or `None` if the buffer holds only a
+    /// torn prefix. Errors are sticky protocol violations: the connection
+    /// must be closed.
+    pub fn next_frame(&mut self) -> Result<Option<RespValue>> {
+        match decode(&self.buf[self.start..], &self.limits)? {
+            Some((value, consumed)) => {
+                self.start += consumed;
+                if self.start == self.buf.len() {
+                    self.buf.clear();
+                    self.start = 0;
+                }
+                Ok(Some(value))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Bytes currently buffered but not yet parsed into frames.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn roundtrip(value: &RespValue) {
+        let encoded = value.encode();
+        let (decoded, consumed) = decode(&encoded, &RespLimits::default())
+            .unwrap()
+            .expect("complete frame");
+        assert_eq!(&decoded, value);
+        assert_eq!(consumed, encoded.len());
+    }
+
+    #[test]
+    fn scalar_frames_roundtrip() {
+        roundtrip(&RespValue::ok());
+        roundtrip(&RespValue::error("ERR boom"));
+        roundtrip(&RespValue::Integer(0));
+        roundtrip(&RespValue::Integer(-42));
+        roundtrip(&RespValue::Integer(i64::MAX));
+        roundtrip(&RespValue::bulk(b"".to_vec()));
+        roundtrip(&RespValue::bulk(b"binary\x00\xff\r\nsafe".to_vec()));
+        roundtrip(&RespValue::NullBulk);
+        roundtrip(&RespValue::NullArray);
+        roundtrip(&RespValue::Array(vec![]));
+    }
+
+    #[test]
+    fn command_frames_roundtrip_and_parse() {
+        let cmd = RespValue::command(&[b"SET", b"key", b"value"]);
+        roundtrip(&cmd);
+        let args = cmd.into_command().unwrap();
+        assert_eq!(
+            args,
+            vec![b"SET".to_vec(), b"key".to_vec(), b"value".to_vec()]
+        );
+        assert!(RespValue::Integer(1).into_command().is_err());
+        assert!(RespValue::Array(vec![]).into_command().is_err());
+        assert!(RespValue::Array(vec![RespValue::Integer(1)])
+            .into_command()
+            .is_err());
+    }
+
+    /// Builds a random RESP value tree (bounded depth/size).
+    fn arbitrary_value(rng: &mut StdRng, depth: usize) -> RespValue {
+        let pick = if depth == 0 {
+            rng.gen_range(0..5)
+        } else {
+            rng.gen_range(0..7)
+        };
+        match pick {
+            0 => RespValue::Simple(
+                (0..rng.gen_range(0..20))
+                    .map(|_| rng.gen_range(b'a'..=b'z') as char)
+                    .collect(),
+            ),
+            1 => RespValue::Error(format!("ERR code {}", rng.gen_range(0..1000))),
+            2 => RespValue::Integer(rng.gen::<i64>()),
+            3 => {
+                let len = rng.gen_range(0..200);
+                RespValue::Bulk((0..len).map(|_| rng.gen::<u8>()).collect())
+            }
+            4 => {
+                if rng.gen_bool(0.5) {
+                    RespValue::NullBulk
+                } else {
+                    RespValue::NullArray
+                }
+            }
+            _ => {
+                let len = rng.gen_range(0..6);
+                RespValue::Array((0..len).map(|_| arbitrary_value(rng, depth - 1)).collect())
+            }
+        }
+    }
+
+    #[test]
+    fn property_arbitrary_batches_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(0x5e59);
+        for _ in 0..200 {
+            // Encode a pipelined batch of frames back to back, then decode
+            // them all out of one buffer.
+            let batch: Vec<RespValue> = (0..rng.gen_range(1..8))
+                .map(|_| arbitrary_value(&mut rng, 3))
+                .collect();
+            let mut wire = Vec::new();
+            for value in &batch {
+                value.encode_into(&mut wire);
+            }
+            let limits = RespLimits::default();
+            let mut offset = 0usize;
+            let mut decoded = Vec::new();
+            while offset < wire.len() {
+                let (value, consumed) = decode(&wire[offset..], &limits)
+                    .unwrap()
+                    .expect("complete frame");
+                decoded.push(value);
+                offset += consumed;
+            }
+            assert_eq!(decoded, batch);
+        }
+    }
+
+    #[test]
+    fn property_torn_frames_resume_at_any_split() {
+        let mut rng = StdRng::seed_from_u64(0x7041);
+        for _ in 0..100 {
+            let batch: Vec<RespValue> = (0..rng.gen_range(1..5))
+                .map(|_| arbitrary_value(&mut rng, 2))
+                .collect();
+            let mut wire = Vec::new();
+            for value in &batch {
+                value.encode_into(&mut wire);
+            }
+            // Feed the wire bytes in random-sized chunks; every prefix must
+            // either yield frames or report "incomplete", never error.
+            let mut codec = RespCodec::new(RespLimits::default());
+            let mut decoded = Vec::new();
+            let mut offset = 0usize;
+            while offset < wire.len() {
+                let chunk = rng.gen_range(1..=(wire.len() - offset).min(7));
+                codec.feed(&wire[offset..offset + chunk]);
+                offset += chunk;
+                while let Some(value) = codec.next_frame().expect("no protocol error") {
+                    decoded.push(value);
+                }
+            }
+            assert_eq!(decoded, batch);
+            assert_eq!(codec.pending_bytes(), 0);
+        }
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_from_the_header() {
+        let limits = RespLimits {
+            max_bulk_len: 16,
+            max_array_len: 4,
+            max_depth: 2,
+            max_line_len: 32,
+        };
+        // The bulk header alone must trigger the error — no payload arrives.
+        assert!(decode(b"$17\r\n", &limits).is_err());
+        assert!(decode(b"$999999999999\r\n", &limits).is_err());
+        assert!(decode(b"*5\r\n", &limits).is_err());
+        // Nesting deeper than the limit.
+        assert!(decode(b"*1\r\n*1\r\n*1\r\n*1\r\n:1\r\n", &limits).is_err());
+        // A header line that never terminates but already exceeds the bound.
+        let long = vec![b'x'; 64];
+        let mut frame = vec![b'+'];
+        frame.extend_from_slice(&long);
+        assert!(decode(&frame, &limits).is_err());
+        // At the limit everything still works.
+        assert!(decode(b"$16\r\n0123456789abcdef\r\n", &limits)
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn malformed_frames_error_instead_of_panicking() {
+        let limits = RespLimits::default();
+        for bad in [
+            b"?1\r\n".as_slice(),
+            b":abc\r\n",
+            b"$-2\r\n",
+            b"*-2\r\n",
+            b"$3\r\nabcd\r\n", // payload longer than announced
+            b":1\n\r\n",
+        ] {
+            assert!(decode(bad, &limits).is_err(), "{bad:?} must error");
+        }
+        // A protocol error is recognisable as such.
+        let err = decode(b"?", &limits).unwrap_err();
+        assert!(is_protocol_error(&err));
+    }
+
+    #[test]
+    fn codec_compacts_consumed_prefixes() {
+        let mut codec = RespCodec::new(RespLimits::default());
+        for i in 0..100 {
+            codec.feed(&RespValue::Integer(i).encode());
+            assert_eq!(codec.next_frame().unwrap(), Some(RespValue::Integer(i)));
+        }
+        assert_eq!(codec.pending_bytes(), 0);
+        // Interior buffer must not have grown with the traffic.
+        assert!(codec.buf.len() < 64, "buffer retained {}", codec.buf.len());
+    }
+}

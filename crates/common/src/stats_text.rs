@@ -1,0 +1,192 @@
+//! One shared rendering of [`StoreStats`]/[`CfStats`] counters.
+//!
+//! Three surfaces show the same counters: the `db_bench` report tables, the
+//! network server's `INFO` command, and its Prometheus metrics endpoint.
+//! Each used to be free to hand-pick and hand-name fields, which is how
+//! counter lists drift apart. This module is the single source of truth:
+//! every surface iterates [`store_stat_fields`] / [`cf_stat_fields`] and
+//! only decides *presentation* (table cell, `name:value` line, or
+//! `pebblesdb_store_name` gauge) — never *which* counters exist.
+
+use crate::cf::CfStats;
+use crate::store::StoreStats;
+
+/// What a counter measures, so surfaces can format it appropriately
+/// (e.g. bytes as MiB in human output, raw in Prometheus output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatUnit {
+    /// A plain count (operations, files, ...).
+    Count,
+    /// A byte quantity.
+    Bytes,
+    /// A duration in microseconds.
+    Micros,
+}
+
+/// One named counter with its unit.
+#[derive(Debug, Clone)]
+pub struct StatField {
+    /// Snake-case field name, stable across surfaces.
+    pub name: &'static str,
+    /// Current value.
+    pub value: u64,
+    /// What the value measures.
+    pub unit: StatUnit,
+}
+
+impl StatField {
+    fn new(name: &'static str, value: u64, unit: StatUnit) -> StatField {
+        StatField { name, value, unit }
+    }
+
+    /// Renders the value for human output: bytes as MiB, durations as
+    /// milliseconds, counts as-is.
+    pub fn human_value(&self) -> String {
+        match self.unit {
+            StatUnit::Count => self.value.to_string(),
+            StatUnit::Bytes => format_mib(self.value),
+            StatUnit::Micros => format!("{:.1} ms", self.value as f64 / 1000.0),
+        }
+    }
+}
+
+/// Every counter of a [`StoreStats`], in declaration order.
+pub fn store_stat_fields(stats: &StoreStats) -> Vec<StatField> {
+    use StatUnit::*;
+    vec![
+        StatField::new("user_bytes_written", stats.user_bytes_written, Bytes),
+        StatField::new("bytes_written", stats.bytes_written, Bytes),
+        StatField::new("bytes_read", stats.bytes_read, Bytes),
+        StatField::new("disk_bytes_live", stats.disk_bytes_live, Bytes),
+        StatField::new("num_files", stats.num_files, Count),
+        StatField::new("compactions", stats.compactions, Count),
+        StatField::new("flushes", stats.flushes, Count),
+        StatField::new(
+            "max_concurrent_compactions",
+            stats.max_concurrent_compactions,
+            Count,
+        ),
+        StatField::new("compaction_micros", stats.compaction_micros, Micros),
+        StatField::new("compaction_bytes_read", stats.compaction_bytes_read, Bytes),
+        StatField::new(
+            "compaction_bytes_written",
+            stats.compaction_bytes_written,
+            Bytes,
+        ),
+        StatField::new("memory_usage_bytes", stats.memory_usage_bytes, Bytes),
+        StatField::new("gets", stats.gets, Count),
+        StatField::new("seeks", stats.seeks, Count),
+        StatField::new("write_stalls", stats.write_stalls, Count),
+        StatField::new("write_stall_micros", stats.write_stall_micros, Micros),
+        StatField::new("memtable_clones", stats.memtable_clones, Count),
+        StatField::new("block_cache_hits", stats.block_cache_hits, Count),
+        StatField::new("block_cache_misses", stats.block_cache_misses, Count),
+        StatField::new("table_cache_hits", stats.table_cache_hits, Count),
+        StatField::new("table_cache_misses", stats.table_cache_misses, Count),
+        StatField::new("num_column_families", stats.num_column_families, Count),
+    ]
+}
+
+/// Every per-family counter of a [`CfStats`] (id and name are rendered by
+/// the surface, as a label or a section header).
+pub fn cf_stat_fields(stats: &CfStats) -> Vec<StatField> {
+    use StatUnit::*;
+    vec![
+        StatField::new("num_files", stats.num_files, Count),
+        StatField::new("live_bytes", stats.live_bytes, Bytes),
+        StatField::new("flushes", stats.flushes, Count),
+        StatField::new("memtable_bytes", stats.memtable_bytes, Bytes),
+    ]
+}
+
+/// Renders `INFO`-style sections: `# <section>` headers followed by
+/// `name:value` lines (raw values, machine-parseable).
+pub fn render_info(sections: &[(&str, &[StatField])]) -> String {
+    let mut out = String::new();
+    for (title, fields) in sections {
+        out.push_str(&format!("# {title}\r\n"));
+        for field in *fields {
+            out.push_str(&format!("{}:{}\r\n", field.name, field.value));
+        }
+        out.push_str("\r\n");
+    }
+    out
+}
+
+/// Formats a byte count as mebibytes with two decimals.
+pub fn format_mib(bytes: u64) -> String {
+    format!("{:.2} MiB", bytes as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_fields_cover_every_stats_member() {
+        // Guard against drift: a new StoreStats field must be added to
+        // store_stat_fields (this count is the complete member count).
+        let stats = StoreStats {
+            user_bytes_written: 1,
+            bytes_written: 2,
+            bytes_read: 3,
+            disk_bytes_live: 4,
+            num_files: 5,
+            compactions: 6,
+            flushes: 7,
+            max_concurrent_compactions: 8,
+            compaction_micros: 9,
+            compaction_bytes_read: 10,
+            compaction_bytes_written: 11,
+            memory_usage_bytes: 12,
+            gets: 13,
+            seeks: 14,
+            write_stalls: 15,
+            write_stall_micros: 16,
+            memtable_clones: 17,
+            block_cache_hits: 18,
+            block_cache_misses: 19,
+            table_cache_hits: 20,
+            table_cache_misses: 21,
+            num_column_families: 22,
+        };
+        let fields = store_stat_fields(&stats);
+        assert_eq!(fields.len(), 22);
+        // Every distinct value appears exactly once — no field forgotten or
+        // double-mapped.
+        let mut values: Vec<u64> = fields.iter().map(|f| f.value).collect();
+        values.sort_unstable();
+        assert_eq!(values, (1..=22).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn cf_fields_and_info_render() {
+        let cf = CfStats {
+            id: 1,
+            name: "users".to_string(),
+            num_files: 3,
+            live_bytes: 1024,
+            flushes: 2,
+            memtable_bytes: 512,
+        };
+        let fields = cf_stat_fields(&cf);
+        assert_eq!(fields.len(), 4);
+        let info = render_info(&[("cf:users", &fields)]);
+        assert!(info.contains("# cf:users\r\n"));
+        assert!(info.contains("num_files:3\r\n"));
+        assert!(info.contains("live_bytes:1024\r\n"));
+    }
+
+    #[test]
+    fn human_values_follow_units() {
+        assert_eq!(
+            StatField::new("x", 3 << 20, StatUnit::Bytes).human_value(),
+            "3.00 MiB"
+        );
+        assert_eq!(
+            StatField::new("x", 2500, StatUnit::Micros).human_value(),
+            "2.5 ms"
+        );
+        assert_eq!(StatField::new("x", 7, StatUnit::Count).human_value(), "7");
+    }
+}

@@ -1,0 +1,58 @@
+//! Pluggable authentication for the network front-end.
+//!
+//! The server itself only knows the *hook*: when a [`AuthProvider`] is
+//! configured, every connection starts unauthenticated and all commands
+//! except `AUTH`, `PING` and `QUIT` are denied until a credential is
+//! accepted — deny-by-default. With no provider configured the server is
+//! open (the embedded-store trust model, for local benchmarking).
+
+/// Validates client credentials presented via the `AUTH` command.
+pub trait AuthProvider: Send + Sync {
+    /// Returns `true` if `credential` grants access.
+    fn authenticate(&self, credential: &[u8]) -> bool;
+}
+
+/// The simplest provider: one shared static token (a `requirepass`-style
+/// deployment secret).
+pub struct StaticTokenAuth {
+    token: Vec<u8>,
+}
+
+impl StaticTokenAuth {
+    /// Creates a provider accepting exactly `token`.
+    pub fn new(token: impl Into<Vec<u8>>) -> StaticTokenAuth {
+        StaticTokenAuth {
+            token: token.into(),
+        }
+    }
+}
+
+impl AuthProvider for StaticTokenAuth {
+    fn authenticate(&self, credential: &[u8]) -> bool {
+        // Constant-time comparison: always fold over the full stored token
+        // so rejection latency does not leak the matching prefix length.
+        if credential.len() != self.token.len() {
+            return false;
+        }
+        credential
+            .iter()
+            .zip(self.token.iter())
+            .fold(0u8, |acc, (a, b)| acc | (a ^ b))
+            == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_token_matches_exactly() {
+        let auth = StaticTokenAuth::new("sesame");
+        assert!(auth.authenticate(b"sesame"));
+        assert!(!auth.authenticate(b"sesam"));
+        assert!(!auth.authenticate(b"sesame "));
+        assert!(!auth.authenticate(b""));
+        assert!(!auth.authenticate(b"SESAME"));
+    }
+}

@@ -1,0 +1,77 @@
+//! A small blocking RESP client.
+//!
+//! Shares the codec with the server, so the bench client and the
+//! integration tests exercise the same framing code the server trusts.
+//! Supports both request/reply ([`RespClient::command`]) and explicit
+//! pipelining ([`RespClient::send`] + [`RespClient::read_reply`]).
+
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use pebblesdb_common::resp::{RespCodec, RespLimits, RespValue};
+
+/// One blocking connection to a `pebblesdb-server`.
+pub struct RespClient {
+    stream: TcpStream,
+    codec: RespCodec,
+    read_buf: Vec<u8>,
+}
+
+impl RespClient {
+    /// Connects and prepares a codec with default limits.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<RespClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(RespClient {
+            stream,
+            codec: RespCodec::new(RespLimits::default()),
+            read_buf: vec![0u8; 16 * 1024],
+        })
+    }
+
+    /// Sets a read timeout for replies (`None` blocks forever).
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Sends one command without waiting for the reply (pipelining).
+    pub fn send(&mut self, args: &[&[u8]]) -> io::Result<()> {
+        let frame = RespValue::command(args).encode();
+        self.stream.write_all(&frame)
+    }
+
+    /// Reads the next reply frame.
+    pub fn read_reply(&mut self) -> io::Result<RespValue> {
+        loop {
+            match self.codec.next_frame() {
+                Ok(Some(frame)) => return Ok(frame),
+                Ok(None) => {}
+                Err(err) => return Err(io::Error::new(ErrorKind::InvalidData, err.to_string())),
+            }
+            let n = self.stream.read(&mut self.read_buf)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            self.codec.feed(&self.read_buf[..n]);
+        }
+    }
+
+    /// Sends one command and waits for its reply.
+    pub fn command(&mut self, args: &[&[u8]]) -> io::Result<RespValue> {
+        self.send(args)?;
+        self.read_reply()
+    }
+
+    /// [`RespClient::command`], but any error *reply* becomes an `Err` too —
+    /// for call sites that treat `-ERR`/`-BUSY` as failures.
+    pub fn command_ok(&mut self, args: &[&[u8]]) -> io::Result<RespValue> {
+        match self.command(args)? {
+            RespValue::Error(msg) => Err(io::Error::other(msg)),
+            reply => Ok(reply),
+        }
+    }
+}
