@@ -8,7 +8,9 @@
 
 use std::sync::Arc;
 
-use pebblesdb_bench::engines::{open_bench_env_full, open_db_with_options};
+use pebblesdb_bench::engines::{
+    open_bench_env_full, open_db_with_options, open_sharded_db_with_options,
+};
 use pebblesdb_bench::report::{format_kops, format_mib, format_ratio};
 use pebblesdb_bench::{scaled_options, Args, EngineKind, Report, Workload};
 use pebblesdb_common::{Db, KvStore};
@@ -65,8 +67,23 @@ fn main() {
     // database: shard 0 is the default family, shards 1..N are created. With
     // N = 1 the run is byte-for-byte the single-namespace benchmark.
     let cfs = args.get_u64("cfs", 1).max(1) as usize;
-    let db: Arc<dyn Db> =
-        open_db_with_options(engine, env, &dir, options.clone()).expect("open engine");
+    // `--shards N` opens the engine as a ShardedDb of N instances. 0 (the
+    // default) opens the plain engine; `--shards 1` goes through the
+    // sharded facade with one shard, so 1-vs-N comparisons isolate the
+    // scaling win from the coordinator's fixed overhead.
+    let shard_count = args.get_u64("shards", 0) as usize;
+    let partitioner = pebblesdb_shard::PartitionerKind::parse(&args.get_str("partitioner", "hash"))
+        .expect("unknown --partitioner (hash|range)");
+    let db: Arc<dyn Db> = if shard_count > 0 {
+        let config = pebblesdb_shard::ShardConfig {
+            shards: shard_count,
+            partitioner,
+        };
+        open_sharded_db_with_options(engine, env, &dir, options.clone(), config)
+            .expect("open sharded engine")
+    } else {
+        open_db_with_options(engine, env, &dir, options.clone()).expect("open engine")
+    };
     let mut shards: Vec<Arc<dyn KvStore>> = vec![Arc::clone(&db) as Arc<dyn KvStore>];
     for i in 1..cfs {
         // `cf_or_create` keeps reruns against an existing --dir working:
@@ -77,9 +94,14 @@ fn main() {
         ));
     }
 
+    let sharding = if shard_count > 0 {
+        format!(", {shard_count} {} shards", partitioner.name())
+    } else {
+        String::new()
+    };
     let mut report = Report::new(
         &format!(
-            "db_bench — {} ({keys} keys, {value_size} B values, {threads} threads, {} compaction threads, {cfs} column families)",
+            "db_bench — {} ({keys} keys, {value_size} B values, {threads} threads, {} compaction threads, {cfs} column families{sharding})",
             engine.name(),
             options.compaction_threads
         ),
@@ -158,5 +180,30 @@ fn main() {
             cf_report.add_row(row);
         }
         cf_report.print();
+    }
+
+    // Per-shard breakdown (transposed: one column per shard) so a skewed
+    // partitioner or a straggling shard is visible next to the aggregate.
+    // Field names and order come from the same shared list as INFO and the
+    // Prometheus endpoint.
+    let shard_stats = db.shard_stats();
+    if !shard_stats.is_empty() {
+        let mut header = vec!["stat".to_string()];
+        header.extend((0..shard_stats.len()).map(|i| format!("shard {i}")));
+        let mut shard_report = Report::new("per shard", header);
+        let per_shard_fields: Vec<Vec<pebblesdb_common::stats_text::StatField>> = shard_stats
+            .iter()
+            .map(pebblesdb_common::stats_text::store_stat_fields)
+            .collect();
+        for (row_idx, field) in per_shard_fields[0].iter().enumerate() {
+            let mut row = vec![field.name.to_string()];
+            row.extend(
+                per_shard_fields
+                    .iter()
+                    .map(|fields| fields[row_idx].human_value()),
+            );
+            shard_report.add_row(row);
+        }
+        shard_report.print();
     }
 }

@@ -41,6 +41,7 @@ const USAGE: &str = "net_bench [options]
   --workload NAME        fill | read | mixed | all (default all)
   --rate-limit OPS       with --spawn: per-connection rate limit
   --burst OPS            with --spawn: rate-limit burst (default rate/10)
+  --shards N             with --spawn: serve a ShardedDb of N shards (default 0 = unsharded)
   --write-latency-us US  with --spawn: inject latency per sstable write
   --sync                 with --spawn: fsync acknowledged writes
   --help                 print this help";
@@ -75,8 +76,26 @@ fn main() {
             mem.set_write_latency_micros_for(".sst", write_latency_us);
         }
         let env: Arc<dyn Env> = mem;
-        let db =
-            Arc::new(pebblesdb::PebblesDb::open(env, Path::new("/net-bench")).expect("open store"));
+        // `--shards N` serves a hash-sharded store through the same RESP
+        // front-end — the server code is unchanged, only the Db behind it.
+        let shards = args.get_u64("shards", 0) as usize;
+        let db: Arc<dyn pebblesdb_common::Db> = if shards > 0 {
+            let config = pebblesdb_shard::ShardConfig {
+                shards,
+                ..Default::default()
+            };
+            Arc::new(
+                pebblesdb::PebblesDb::open_sharded(
+                    env,
+                    Path::new("/net-bench"),
+                    pebblesdb_common::StoreOptions::default(),
+                    config,
+                )
+                .expect("open sharded store"),
+            )
+        } else {
+            Arc::new(pebblesdb::PebblesDb::open(env, Path::new("/net-bench")).expect("open store"))
+        };
         let mut config = ServerConfig::default();
         config.session.sync_writes = args.has_flag("sync");
         let rate = args.get_u64("rate-limit", 0);

@@ -196,6 +196,38 @@ pub fn open_db_with_options(
     })
 }
 
+/// Opens the engine `kind` as a [`ShardedDb`](pebblesdb_shard::ShardedDb)
+/// facade over `config.shards` independent instances (each with its own
+/// WAL, flush thread and compaction pool) in `shard-<i>/` subdirectories of
+/// `dir`. Only the LSM-family engines shard — the B+Tree has no shape
+/// policy to replicate.
+pub fn open_sharded_db_with_options(
+    kind: EngineKind,
+    env: Arc<dyn Env>,
+    dir: &Path,
+    options: StoreOptions,
+    config: pebblesdb_shard::ShardConfig,
+) -> Result<Arc<dyn Db>> {
+    let preset = match kind {
+        EngineKind::PebblesDb | EngineKind::PebblesDb1 => {
+            return Ok(Arc::new(PebblesDb::open_sharded(
+                env, dir, options, config,
+            )?));
+        }
+        EngineKind::HyperLevelDb => StorePreset::HyperLevelDb,
+        EngineKind::LevelDb => StorePreset::LevelDb,
+        EngineKind::RocksDb => StorePreset::RocksDb,
+        EngineKind::BTree => {
+            return Err(pebblesdb_common::Error::invalid_argument(
+                "--shards requires an LSM-family engine",
+            ));
+        }
+    };
+    Ok(Arc::new(LsmDb::open_sharded(
+        env, dir, options, preset, config,
+    )?))
+}
+
 /// Creates the environment requested by `--env` (`mem` or `disk`).
 ///
 /// Disk runs use a per-engine directory under the system temp directory (or

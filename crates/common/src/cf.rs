@@ -208,6 +208,13 @@ pub trait Db: KvStore {
     /// Per-family statistics, in id order.
     fn cf_stats(&self) -> Vec<CfStats>;
 
+    /// Per-shard statistics, in shard order. Empty for unsharded stores;
+    /// a sharded store returns one [`StoreStats`] per shard so surfaces can
+    /// render a per-shard breakdown next to the aggregate [`KvStore::stats`].
+    fn shard_stats(&self) -> Vec<StoreStats> {
+        Vec::new()
+    }
+
     /// A handle for the always-present default family.
     fn default_cf(&self) -> ColumnFamilyHandle {
         self.cf(DEFAULT_CF_NAME).expect("default family exists")

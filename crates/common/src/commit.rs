@@ -34,16 +34,21 @@ struct Waiter {
     /// `None` requests only a memtable rotation (used by `flush`).
     batch: Mutex<Option<WriteBatch>>,
     sync: bool,
+    /// The batch already carries its sequence numbers (assigned by an
+    /// external allocator, e.g. a sharded coordinator) and must not be
+    /// renumbered or merged into another batch.
+    pre: bool,
     /// Set (under the queue lock) once a leader has committed this write.
     done: Mutex<Option<Result<()>>>,
     cv: Condvar,
 }
 
 impl Waiter {
-    fn new(batch: Option<WriteBatch>, sync: bool) -> Self {
+    fn new(batch: Option<WriteBatch>, sync: bool, pre: bool) -> Self {
         Waiter {
             batch: Mutex::new(batch),
             sync,
+            pre,
             done: Mutex::new(None),
             cv: Condvar::new(),
         }
@@ -69,8 +74,12 @@ pub enum Role {
 pub struct CommitGroup {
     members: Vec<Arc<Waiter>>,
     /// Every member batch merged in queue order. Empty when the group is a
-    /// pure rotation request.
+    /// pure rotation request or a pre-sequenced group.
     pub batch: WriteBatch,
+    /// Pre-sequenced member batches, kept separate (never merged) because
+    /// each already carries its own externally assigned base sequence. A
+    /// group holds either `batch` or `pre_batches`, never both.
+    pub pre_batches: Vec<WriteBatch>,
     /// Whether the WAL must be synced before the group is acknowledged.
     pub sync: bool,
     /// Whether the leader asked for a memtable rotation instead of a write.
@@ -91,7 +100,18 @@ impl CommitQueue {
 
     /// Enqueues a write (or, with `batch == None`, a rotation request).
     pub fn submit(&self, batch: Option<WriteBatch>, sync: bool) -> Ticket {
-        let waiter = Arc::new(Waiter::new(batch, sync));
+        let waiter = Arc::new(Waiter::new(batch, sync, false));
+        self.queue.lock().push_back(Arc::clone(&waiter));
+        Ticket { waiter }
+    }
+
+    /// Enqueues a batch whose sequence numbers were already assigned by an
+    /// external allocator. The batch still rides the group-commit pipeline
+    /// (shared WAL sync with other pre-sequenced writes) but is never merged
+    /// into — or renumbered by — a normal group; it surfaces to the leader in
+    /// [`CommitGroup::pre_batches`].
+    pub fn submit_presequenced(&self, batch: WriteBatch, sync: bool) -> Ticket {
+        let waiter = Arc::new(Waiter::new(Some(batch), sync, true));
         self.queue.lock().push_back(Arc::clone(&waiter));
         Ticket { waiter }
     }
@@ -121,13 +141,15 @@ impl CommitQueue {
         let leader = Arc::clone(queue.front().expect("leader is at the front"));
         let leader_batch = leader.batch.lock().take();
         let sync = leader.sync;
+        let leader_pre = leader.pre;
         let mut members = vec![leader];
 
-        let Some(mut merged) = leader_batch else {
+        let Some(leader_batch) = leader_batch else {
             // A rotation request commits alone.
             return CommitGroup {
                 members,
                 batch: WriteBatch::new(),
+                pre_batches: Vec::new(),
                 sync,
                 force_rotate: true,
             };
@@ -136,17 +158,52 @@ impl CommitQueue {
         // Cap the group: 1 MiB normally, leader size + 128 KiB when the
         // leader batch is small, so a tiny write is never stuck behind the
         // merge cost of a huge group.
-        let leader_bytes = merged.approximate_size();
+        let leader_bytes = leader_batch.approximate_size();
         let max_bytes = if leader_bytes <= SMALL_BATCH_BYTES {
             leader_bytes + SMALL_BATCH_BYTES
         } else {
             MAX_GROUP_BYTES
         };
 
+        if leader_pre {
+            // A pre-sequenced leader absorbs only other pre-sequenced
+            // writes, each kept as its own batch: merging would destroy
+            // their externally assigned base sequences, and a normal
+            // follower cannot join because the engine would have to invent
+            // sequences that interleave with the external allocator's.
+            let mut pre_batches = vec![leader_batch];
+            let mut total = leader_bytes;
+            for follower in queue.iter().skip(1) {
+                if (follower.sync && !sync) || !follower.pre {
+                    break;
+                }
+                let mut follower_batch = follower.batch.lock();
+                let Some(batch) = follower_batch.as_ref() else {
+                    break;
+                };
+                if total + batch.approximate_size() > max_bytes {
+                    break;
+                }
+                total += batch.approximate_size();
+                pre_batches.push(follower_batch.take().expect("checked above"));
+                drop(follower_batch);
+                members.push(Arc::clone(follower));
+            }
+            return CommitGroup {
+                members,
+                batch: WriteBatch::new(),
+                pre_batches,
+                sync,
+                force_rotate: false,
+            };
+        }
+
+        let mut merged = leader_batch;
         for follower in queue.iter().skip(1) {
             // A non-sync leader must not absorb a sync write: the follower
-            // would be acknowledged without the sync it asked for.
-            if follower.sync && !sync {
+            // would be acknowledged without the sync it asked for. A
+            // pre-sequenced write never joins a normal group (see above).
+            if (follower.sync && !sync) || follower.pre {
                 break;
             }
             let mut follower_batch = follower.batch.lock();
@@ -166,6 +223,7 @@ impl CommitQueue {
         CommitGroup {
             members,
             batch: merged,
+            pre_batches: Vec::new(),
             sync,
             force_rotate: false,
         }
@@ -322,6 +380,52 @@ mod tests {
             Role::Done(result) => assert!(result.is_err()),
             Role::Leader(_) => panic!("follower shared the leader's failure"),
         }
+    }
+
+    #[test]
+    fn presequenced_batches_group_together_but_never_merge() {
+        let queue = CommitQueue::new();
+        let mut first = batch_of(&["a"]);
+        first.set_sequence(100);
+        let mut second = batch_of(&["b", "c"]);
+        second.set_sequence(200);
+        let leader_ticket = queue.submit_presequenced(first, false);
+        let follower_ticket = queue.submit_presequenced(second, false);
+
+        let Role::Leader(group) = queue.wait_turn(&leader_ticket) else {
+            panic!("first writer must lead");
+        };
+        assert!(group.batch.is_empty(), "pre group carries no merged batch");
+        assert_eq!(group.pre_batches.len(), 2, "both batches in one group");
+        assert_eq!(group.pre_batches[0].sequence(), 100);
+        assert_eq!(group.pre_batches[1].sequence(), 200, "sequences intact");
+        queue.complete(group, &Ok(()));
+        match queue.wait_turn(&follower_ticket) {
+            Role::Done(result) => assert!(result.is_ok()),
+            Role::Leader(_) => panic!("pre follower was already committed"),
+        }
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn normal_and_presequenced_groups_never_mix() {
+        let queue = CommitQueue::new();
+        let normal_ticket = queue.submit(Some(batch_of(&["a"])), false);
+        let mut pre = batch_of(&["b"]);
+        pre.set_sequence(500);
+        let _pre_ticket = queue.submit_presequenced(pre, false);
+        let _normal2 = queue.submit(Some(batch_of(&["c"])), false);
+
+        // A normal leader stops merging at the pre-sequenced follower.
+        let Role::Leader(group) = queue.wait_turn(&normal_ticket) else {
+            panic!("first writer must lead");
+        };
+        assert_eq!(group.batch.count(), 1);
+        assert!(group.pre_batches.is_empty());
+        queue.complete(group, &Ok(()));
+
+        // The pre-sequenced write now leads and stops at the normal one.
+        assert_eq!(queue.len(), 2);
     }
 
     #[test]

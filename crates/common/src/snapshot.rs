@@ -40,6 +40,7 @@ impl SnapshotList {
         Snapshot {
             sequence,
             list: Arc::clone(self),
+            children: Vec::new(),
         }
     }
 
@@ -101,12 +102,25 @@ impl SnapshotList {
 pub struct Snapshot {
     sequence: SequenceNumber,
     list: Arc<SnapshotList>,
+    /// Pins this handle keeps alive alongside its own (a sharded store pins
+    /// the same global sequence in every shard's list). Released when this
+    /// handle drops, like any other snapshot.
+    children: Vec<Snapshot>,
 }
 
 impl Snapshot {
     /// The pinned sequence number.
     pub fn sequence(&self) -> SequenceNumber {
         self.sequence
+    }
+
+    /// Attaches `children` whose pins live exactly as long as this handle.
+    ///
+    /// Used by stores composed of several engines: the composite snapshot is
+    /// one pin per engine, surfaced as a single RAII handle.
+    pub fn with_children(mut self, children: Vec<Snapshot>) -> Snapshot {
+        self.children = children;
+        self
     }
 
     /// Read options that read as of this snapshot.
@@ -148,6 +162,22 @@ mod tests {
         drop(s10);
         assert_eq!(list.oldest(), None);
         assert!(list.is_empty());
+    }
+
+    #[test]
+    fn children_pins_live_and_die_with_the_parent() {
+        let parents = SnapshotList::new();
+        let shard_a = SnapshotList::new();
+        let shard_b = SnapshotList::new();
+        let composite = parents
+            .acquire(9)
+            .with_children(vec![shard_a.acquire(9), shard_b.acquire(9)]);
+        assert_eq!(shard_a.oldest(), Some(9));
+        assert_eq!(shard_b.oldest(), Some(9));
+        drop(composite);
+        assert!(parents.is_empty());
+        assert!(shard_a.is_empty());
+        assert!(shard_b.is_empty());
     }
 
     #[test]

@@ -84,6 +84,7 @@ pub fn store_stat_fields(stats: &StoreStats) -> Vec<StatField> {
         StatField::new("table_cache_hits", stats.table_cache_hits, Count),
         StatField::new("table_cache_misses", stats.table_cache_misses, Count),
         StatField::new("num_column_families", stats.num_column_families, Count),
+        StatField::new("num_shards", stats.num_shards, Count),
     ]
 }
 
@@ -149,14 +150,15 @@ mod tests {
             table_cache_hits: 20,
             table_cache_misses: 21,
             num_column_families: 22,
+            num_shards: 23,
         };
         let fields = store_stat_fields(&stats);
-        assert_eq!(fields.len(), 22);
+        assert_eq!(fields.len(), 23);
         // Every distinct value appears exactly once — no field forgotten or
         // double-mapped.
         let mut values: Vec<u64> = fields.iter().map(|f| f.value).collect();
         values.sort_unstable();
-        assert_eq!(values, (1..=22).collect::<Vec<u64>>());
+        assert_eq!(values, (1..=23).collect::<Vec<u64>>());
     }
 
     #[test]

@@ -84,6 +84,10 @@ pub struct StoreStats {
     /// [`Db::cf_stats`](crate::cf::Db::cf_stats) for the per-family
     /// breakdown).
     pub num_column_families: u64,
+    /// Number of independent shards serving this store (1 for plain
+    /// engines; see [`Db::shard_stats`](crate::cf::Db::shard_stats) for the
+    /// per-shard breakdown).
+    pub num_shards: u64,
 }
 
 impl StoreStats {

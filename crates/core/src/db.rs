@@ -338,6 +338,19 @@ impl PebblesDb {
         })
     }
 
+    /// Opens (creating if necessary) a sharded store of FLSM engines at
+    /// `path`: `config.shards` independent [`PebblesDb`]-shaped instances in
+    /// `shard-<i>/` subdirectories behind one [`Db`] facade. See
+    /// [`pebblesdb_shard`] for the routing and commit protocol.
+    pub fn open_sharded(
+        env: Arc<dyn Env>,
+        path: &Path,
+        options: StoreOptions,
+        config: pebblesdb_shard::ShardConfig,
+    ) -> Result<pebblesdb_shard::ShardedDb<FlsmPolicy>> {
+        pebblesdb_shard::ShardedDb::open_with(FlsmPolicy::new, env, path, options, config)
+    }
+
     /// The options this database was opened with.
     pub fn options(&self) -> &StoreOptions {
         self.db.options()

@@ -459,6 +459,24 @@ impl<P: ShapePolicy> EngineDb<P> {
         f(state.default_cf().versions.current_unpinned())
     }
 
+    /// Writes a batch whose sequence numbers were already assigned by an
+    /// external allocator (see [`CommitQueue::submit_presequenced`]). Used
+    /// by the sharded coordinator, which owns the global sequence space.
+    pub fn write_presequenced(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<()> {
+        self.shared.core.write_presequenced(opts, batch)
+    }
+
+    /// The sequence number of the most recent committed write.
+    pub fn last_sequence(&self) -> SequenceNumber {
+        self.shared.core.state.lock().last_sequence
+    }
+
+    /// The store's namespace-scoped operations as a shareable trait object,
+    /// for composite stores that route per-family operations here.
+    pub fn cf_ops(&self) -> Arc<dyn CfOps> {
+        Arc::clone(&self.shared) as Arc<dyn CfOps>
+    }
+
     fn handle(&self, id: CfId, name: &str) -> ColumnFamilyHandle {
         ColumnFamilyHandle::new(Arc::clone(&self.shared) as Arc<dyn CfOps>, id, name)
     }
@@ -624,6 +642,34 @@ impl<P: ShapePolicy> EngineCore<P> {
         result
     }
 
+    /// Writes a batch whose sequence numbers were assigned by an external
+    /// allocator (a sharded coordinator). The batch rides the group-commit
+    /// pipeline — sharing WAL appends and one fsync with other pre-sequenced
+    /// writes — but is never merged or renumbered, and `last_sequence`
+    /// advances to the batch's own (possibly out-of-order) end.
+    fn write_presequenced(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        self.policy.note_write();
+
+        let mut user_bytes = 0u64;
+        for record in batch.iter() {
+            let record = record?;
+            user_bytes += (record.key.len() + record.value.len()) as u64;
+        }
+
+        let ticket = self.commit_queue.submit_presequenced(batch, opts.sync);
+        let result = match self.commit_queue.wait_turn(&ticket) {
+            Role::Done(result) => result,
+            Role::Leader(group) => self.commit(group),
+        };
+        if result.is_ok() {
+            self.counters.add_user_bytes(user_bytes);
+        }
+        result
+    }
+
     /// Commits a write group as its leader: make room in every touched
     /// family, reserve a sequence range, then append + sync the WAL and
     /// apply the merged batch to the families' concurrent memtables
@@ -647,7 +693,11 @@ impl<P: ShapePolicy> EngineCore<P> {
                 .collect()
         } else {
             let mut ids: Vec<CfId> = Vec::new();
-            for record in group.batch.iter() {
+            let records = group
+                .batch
+                .iter()
+                .chain(group.pre_batches.iter().flat_map(|b| b.iter()));
+            for record in records {
                 match record {
                     Ok(record) => {
                         if !ids.contains(&record.cf) {
@@ -684,10 +734,25 @@ impl<P: ShapePolicy> EngineCore<P> {
             }
         }
 
-        if result.is_ok() && !group.batch.is_empty() {
-            let seq = state.last_sequence + 1;
-            group.batch.set_sequence(seq);
-            let count = u64::from(group.batch.count());
+        if result.is_ok() && !(group.batch.is_empty() && group.pre_batches.is_empty()) {
+            // A group carries either one merged engine-sequenced batch or a
+            // set of pre-sequenced ones (the queue never mixes them). The
+            // engine numbers the former here; the latter keep the sequences
+            // their external allocator assigned, and `last_sequence` only
+            // advances to the group's maximum end — a pre-sequenced batch
+            // may land out of order within this engine, which is safe
+            // because the allocator routes each key to exactly one engine
+            // (per-key sequence order is preserved) and recovery already
+            // takes the max over replayed records.
+            let mut end_seq = state.last_sequence;
+            if !group.batch.is_empty() {
+                let seq = state.last_sequence + 1;
+                group.batch.set_sequence(seq);
+                end_seq = seq + u64::from(group.batch.count()) - 1;
+            }
+            for pre in &group.pre_batches {
+                end_seq = end_seq.max(pre.sequence() + u64::from(pre.count()).saturating_sub(1));
+            }
 
             // Only the leader (that's us, until `complete`) touches the log
             // or inserts into the memtables, so both can leave the mutex.
@@ -697,6 +762,7 @@ impl<P: ShapePolicy> EngineCore<P> {
                 .filter_map(|id| state.cfs.get(id).map(|cf| (*id, Arc::clone(&cf.mem))))
                 .collect();
             let batch = &group.batch;
+            let pre_batches = &group.pre_batches;
             let sync = group.sync;
             let policy = &self.policy;
             let need_dir_sync = state.wal_dir_unsynced;
@@ -708,13 +774,24 @@ impl<P: ShapePolicy> EngineCore<P> {
                     io.env.sync_dir(&io.db_path)?;
                 }
                 if let Some(log) = log.as_mut() {
-                    log.add_record(batch.contents())?;
+                    if !batch.is_empty() {
+                        log.add_record(batch.contents())?;
+                    }
+                    // Each pre-sequenced batch is its own WAL record (its
+                    // header carries its own base sequence); the whole
+                    // group still shares one fsync.
+                    for pre in pre_batches {
+                        log.add_record(pre.contents())?;
+                    }
                     if sync {
                         log.sync()?;
                     }
                 }
                 let mut observed = Vec::new();
-                for record in batch.iter() {
+                let records = batch
+                    .iter()
+                    .chain(pre_batches.iter().flat_map(|b| b.iter()));
+                for record in records {
                     let record = record?;
                     let Some(mem) = mems.get(&record.cf) else {
                         continue;
@@ -744,7 +821,7 @@ impl<P: ShapePolicy> EngineCore<P> {
                             self.policy.absorb_observations(&mut cf.policy, obs);
                         }
                     }
-                    st.last_sequence = seq + count - 1;
+                    st.last_sequence = end_seq;
                 }
                 Err(err) => {
                     // A failed WAL append/sync may have lost acknowledged
@@ -1502,6 +1579,7 @@ impl<P: ShapePolicy> EngineCore<P> {
             table_cache_hits,
             table_cache_misses,
             num_column_families: state.cfs.len() as u64,
+            num_shards: 1,
         }
     }
 

@@ -399,6 +399,28 @@ impl LsmDb {
         LsmDb::open_preset(env, path, StorePreset::HyperLevelDb)
     }
 
+    /// Opens (creating if necessary) a sharded store of baseline-LSM engines
+    /// at `path`, labelled with `preset`; see [`pebblesdb_shard`] for the
+    /// routing and commit protocol.
+    pub fn open_sharded(
+        env: Arc<dyn Env>,
+        path: &Path,
+        options: StoreOptions,
+        preset: StorePreset,
+        config: pebblesdb_shard::ShardConfig,
+    ) -> Result<pebblesdb_shard::ShardedDb<LsmPolicy>> {
+        pebblesdb_shard::ShardedDb::open_with(
+            |o| LsmPolicy {
+                options: o.clone(),
+                preset,
+            },
+            env,
+            path,
+            options,
+            config,
+        )
+    }
+
     /// The options this database was opened with.
     pub fn options(&self) -> &StoreOptions {
         self.db.options()

@@ -78,6 +78,10 @@ pub struct Session {
     authenticated: bool,
     txn: Option<Txn>,
     close_requested: bool,
+    /// Scratch for SCAN resume keys, reused across pages so a client
+    /// paging through a large range does not reallocate the cursor buffer
+    /// on every page.
+    scan_cursor: Vec<u8>,
 }
 
 impl Session {
@@ -102,6 +106,7 @@ impl Session {
             authenticated,
             txn: None,
             close_requested: false,
+            scan_cursor: Vec::new(),
         }
     }
 
@@ -318,18 +323,18 @@ impl Session {
 
     /// `SCAN cursor [END end] [COUNT n]` — one bounded page of the selected
     /// family, resumable via the returned cursor.
-    fn cmd_scan(&self, args: &[Vec<u8>]) -> RespValue {
+    fn cmd_scan(&mut self, args: &[Vec<u8>]) -> RespValue {
         if args.len() < 2 {
             return wrong_arity("SCAN");
         }
-        let start = args[1].clone();
-        let mut end: Vec<u8> = Vec::new();
+        let start: &[u8] = &args[1];
+        let mut end: &[u8] = &[];
         let mut count = self.options.default_scan_page;
         let mut rest = args[2..].iter();
         while let Some(word) = rest.next() {
             match word.to_ascii_uppercase().as_slice() {
                 b"END" => match rest.next() {
-                    Some(value) => end = value.clone(),
+                    Some(value) => end = value,
                     None => return RespValue::error("ERR SCAN END requires a key"),
                 },
                 b"COUNT" => match rest.next().and_then(|v| {
@@ -351,16 +356,19 @@ impl Session {
         let count = count.min(self.options.max_scan_page);
         // The iterator lives only for this call: the page is consistent
         // (one cursor), but nothing is pinned once the reply is written.
-        let entries = match self.cf.scan(&start, &end, count) {
+        let entries = match self.cf.scan(start, end, count) {
             Ok(entries) => entries,
             Err(err) => return store_error(&err),
         };
         // A full page may have more data behind it: resume just after the
-        // last returned key (its smallest strict successor).
+        // last returned key (its smallest strict successor). Built in the
+        // session scratch so paging keeps one buffer at page-key capacity.
         let next_cursor = if entries.len() == count {
-            let mut cursor = entries.last().expect("non-empty full page").0.clone();
-            cursor.push(0);
-            cursor
+            self.scan_cursor.clear();
+            self.scan_cursor
+                .extend_from_slice(&entries.last().expect("non-empty full page").0);
+            self.scan_cursor.push(0);
+            self.scan_cursor.clone()
         } else {
             Vec::new()
         };
@@ -420,11 +428,23 @@ impl Session {
             .iter()
             .map(|cf| (format!("cf:{}", cf.name), cf_stat_fields(cf)))
             .collect();
+        // Sharded stores get one section per shard (same field list as the
+        // aggregate `store` section); unsharded stores render none.
+        let shard_sections: Vec<(String, Vec<_>)> = self
+            .db
+            .shard_stats()
+            .iter()
+            .enumerate()
+            .map(|(index, stats)| (format!("shard:{index}"), store_stat_fields(stats)))
+            .collect();
         let mut sections: Vec<(&str, &[_])> = vec![
             ("server", server_fields.as_slice()),
             ("store", store_fields.as_slice()),
         ];
         for (title, fields) in &cf_sections {
+            sections.push((title.as_str(), fields.as_slice()));
+        }
+        for (title, fields) in &shard_sections {
             sections.push((title.as_str(), fields.as_slice()));
         }
         let mut body = format!(
@@ -470,6 +490,43 @@ mod tests {
 
     fn run(session: &mut Session, args: &[&[u8]]) -> RespValue {
         session.execute(args.iter().map(|a| a.to_vec()).collect())
+    }
+
+    #[test]
+    fn info_breaks_out_shards_of_a_sharded_store() {
+        let env = Arc::new(MemEnv::new());
+        let db: Arc<dyn Db> = Arc::new(
+            PebblesDb::open_sharded(
+                env,
+                Path::new("/dispatch-sharded"),
+                pebblesdb_common::StoreOptions::default(),
+                pebblesdb_shard::ShardConfig {
+                    shards: 2,
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        );
+        let mut s = Session::new(
+            db,
+            Arc::new(ServerCounters::default()),
+            None,
+            None,
+            SessionOptions::default(),
+        );
+        assert_eq!(run(&mut s, &[b"SET", b"k", b"v"]), RespValue::ok());
+        let RespValue::Bulk(body) = run(&mut s, &[b"INFO"]) else {
+            panic!("INFO must return a bulk string");
+        };
+        let body = String::from_utf8(body).unwrap();
+        assert!(body.contains("# shard:0\r\n"), "{body}");
+        assert!(body.contains("# shard:1\r\n"), "{body}");
+        assert!(!body.contains("# shard:2\r\n"), "{body}");
+        // Unsharded stores keep rendering no shard sections.
+        let RespValue::Bulk(plain) = run(&mut session(), &[b"INFO"]) else {
+            panic!("INFO must return a bulk string");
+        };
+        assert!(!String::from_utf8(plain).unwrap().contains("# shard:"));
     }
 
     #[test]

@@ -115,6 +115,17 @@ pub fn render_prometheus(counters: &ServerCounters, db: &dyn Db) -> String {
             );
         }
     }
+    // Per-shard breakdown of a sharded store, same field list as the
+    // aggregate `pebblesdb_store_*` gauges; empty for unsharded stores.
+    for (index, stats) in db.shard_stats().iter().enumerate() {
+        for field in store_stat_fields(stats) {
+            gauge(
+                &format!("pebblesdb_shard_{}", field.name),
+                &format!("{{shard=\"{index}\"}}"),
+                field.value,
+            );
+        }
+    }
     out
 }
 
@@ -188,11 +199,36 @@ mod tests {
         assert!(text.contains("pebblesdb_server_connections_open 2\n"));
         assert!(text.contains("pebblesdb_store_user_bytes_written "));
         assert!(text.contains("pebblesdb_cf_num_files{cf=\"default\"} "));
+        // An unsharded store renders no per-shard gauges.
+        assert!(!text.contains("pebblesdb_shard_"));
         // Exposition-format sanity: every non-comment line is `name[labels] value`.
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let mut parts = line.rsplitn(2, ' ');
             let value = parts.next().unwrap();
             assert!(value.parse::<u64>().is_ok(), "bad line: {line}");
         }
+    }
+
+    #[test]
+    fn prometheus_rendering_breaks_out_shards() {
+        let counters = ServerCounters::default();
+        let env = std::sync::Arc::new(pebblesdb_env::MemEnv::new());
+        let store = pebblesdb::PebblesDb::open_sharded(
+            env,
+            std::path::Path::new("/metrics-shard-test"),
+            pebblesdb_common::StoreOptions::default(),
+            pebblesdb_shard::ShardConfig {
+                shards: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        store.put(b"k", b"v").unwrap();
+
+        let text = render_prometheus(&counters, &store);
+        assert!(text.contains("pebblesdb_store_num_shards 2\n"));
+        assert!(text.contains("pebblesdb_shard_user_bytes_written{shard=\"0\"} "));
+        assert!(text.contains("pebblesdb_shard_user_bytes_written{shard=\"1\"} "));
+        assert!(!text.contains("{shard=\"2\"}"));
     }
 }

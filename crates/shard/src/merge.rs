@@ -1,0 +1,259 @@
+//! A k-way merged cursor over per-shard user-key cursors.
+//!
+//! Each child is a full [`DbIterator`] over one shard's user keys, already
+//! pinned at the same global sequence, so merging them by user key yields a
+//! consistent whole-store cursor. The merge cannot reuse the engine's
+//! internal-key `MergingIterator`: these children surface *user* keys (no
+//! sequence suffix), and because the partitioner assigns every key to
+//! exactly one shard the children's key sets are disjoint — no tie-breaking
+//! is ever needed.
+//!
+//! Direction switching follows the LevelDB pattern: when a forward cursor is
+//! asked to step backwards, every non-current child is repositioned to just
+//! before the current key first (and vice versa), so `next`/`prev` stay
+//! O(shards) comparisons without a heap — shard counts are small.
+
+use pebblesdb_common::iterator::DbIterator;
+use pebblesdb_common::Result;
+
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum Direction {
+    Forward,
+    Reverse,
+}
+
+/// The merged user-key cursor over all shards of a sharded store.
+pub struct ShardMergeIterator {
+    children: Vec<Box<dyn DbIterator>>,
+    current: Option<usize>,
+    direction: Direction,
+}
+
+impl ShardMergeIterator {
+    /// Merges `children` (one cursor per shard, all pinned at one sequence).
+    pub fn new(children: Vec<Box<dyn DbIterator>>) -> ShardMergeIterator {
+        ShardMergeIterator {
+            children,
+            current: None,
+            direction: Direction::Forward,
+        }
+    }
+
+    fn find_smallest(&mut self) {
+        self.current = self
+            .children
+            .iter()
+            .enumerate()
+            .filter(|(_, child)| child.valid())
+            .min_by(|(_, a), (_, b)| a.key().cmp(b.key()))
+            .map(|(index, _)| index);
+    }
+
+    fn find_largest(&mut self) {
+        self.current = self
+            .children
+            .iter()
+            .enumerate()
+            .filter(|(_, child)| child.valid())
+            .max_by(|(_, a), (_, b)| a.key().cmp(b.key()))
+            .map(|(index, _)| index);
+    }
+}
+
+impl DbIterator for ShardMergeIterator {
+    fn valid(&self) -> bool {
+        self.current
+            .is_some_and(|index| self.children[index].valid())
+    }
+
+    fn seek_to_first(&mut self) {
+        for child in &mut self.children {
+            child.seek_to_first();
+        }
+        self.direction = Direction::Forward;
+        self.find_smallest();
+    }
+
+    fn seek_to_last(&mut self) {
+        for child in &mut self.children {
+            child.seek_to_last();
+        }
+        self.direction = Direction::Reverse;
+        self.find_largest();
+    }
+
+    fn seek(&mut self, target: &[u8]) {
+        for child in &mut self.children {
+            child.seek(target);
+        }
+        self.direction = Direction::Forward;
+        self.find_smallest();
+    }
+
+    fn next(&mut self) {
+        assert!(self.valid(), "next() on invalid iterator");
+        let current = self.current.expect("valid implies a current child");
+        if self.direction == Direction::Reverse {
+            // The non-current children sit at or before the current key;
+            // bring each to the first key after it. Key sets are disjoint,
+            // so a seek lands strictly past the key already (the equality
+            // step guards a child that somehow shares it).
+            let key = self.children[current].key().to_vec();
+            for (index, child) in self.children.iter_mut().enumerate() {
+                if index == current {
+                    continue;
+                }
+                child.seek(&key);
+                if child.valid() && child.key() == key.as_slice() {
+                    child.next();
+                }
+            }
+            self.direction = Direction::Forward;
+        }
+        self.children[current].next();
+        self.find_smallest();
+    }
+
+    fn prev(&mut self) {
+        assert!(self.valid(), "prev() on invalid iterator");
+        let current = self.current.expect("valid implies a current child");
+        if self.direction == Direction::Forward {
+            // Bring every non-current child to the last key before the
+            // current one.
+            let key = self.children[current].key().to_vec();
+            for (index, child) in self.children.iter_mut().enumerate() {
+                if index == current {
+                    continue;
+                }
+                child.seek(&key);
+                if child.valid() {
+                    child.prev();
+                } else {
+                    child.seek_to_last();
+                }
+            }
+            self.direction = Direction::Reverse;
+        }
+        self.children[current].prev();
+        self.find_largest();
+    }
+
+    fn key(&self) -> &[u8] {
+        assert!(self.valid(), "key() on invalid iterator");
+        self.children[self.current.expect("valid")].key()
+    }
+
+    fn value(&self) -> &[u8] {
+        assert!(self.valid(), "value() on invalid iterator");
+        self.children[self.current.expect("valid")].value()
+    }
+
+    fn status(&self) -> Result<()> {
+        for child in &self.children {
+            child.status()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebblesdb_common::user_iter::UserEntriesIterator;
+
+    fn entries(keys: &[&str]) -> Box<dyn DbIterator> {
+        Box::new(UserEntriesIterator::new(
+            keys.iter()
+                .map(|k| (k.as_bytes().to_vec(), format!("v-{k}").into_bytes()))
+                .collect(),
+        ))
+    }
+
+    fn merged() -> ShardMergeIterator {
+        // Disjoint key sets, interleaved in order — like hash shards.
+        ShardMergeIterator::new(vec![
+            entries(&["a", "d", "g"]),
+            entries(&["b", "e"]),
+            entries(&["c", "f", "h"]),
+        ])
+    }
+
+    #[test]
+    fn forward_scan_is_globally_sorted() {
+        let mut iter = merged();
+        iter.seek_to_first();
+        let mut got = Vec::new();
+        while iter.valid() {
+            got.push(String::from_utf8(iter.key().to_vec()).unwrap());
+            assert_eq!(
+                iter.value(),
+                format!("v-{}", got.last().unwrap()).as_bytes()
+            );
+            iter.next();
+        }
+        assert_eq!(got, ["a", "b", "c", "d", "e", "f", "g", "h"]);
+    }
+
+    #[test]
+    fn reverse_scan_is_globally_sorted() {
+        let mut iter = merged();
+        iter.seek_to_last();
+        let mut got = Vec::new();
+        while iter.valid() {
+            got.push(String::from_utf8(iter.key().to_vec()).unwrap());
+            iter.prev();
+        }
+        assert_eq!(got, ["h", "g", "f", "e", "d", "c", "b", "a"]);
+    }
+
+    #[test]
+    fn seek_lands_on_the_global_successor() {
+        let mut iter = merged();
+        iter.seek(b"d");
+        assert_eq!(iter.key(), b"d");
+        iter.seek(b"dd");
+        assert_eq!(iter.key(), b"e");
+        iter.seek(b"z");
+        assert!(!iter.valid());
+    }
+
+    #[test]
+    fn direction_switches_mid_stream() {
+        let mut iter = merged();
+        iter.seek(b"e");
+        assert_eq!(iter.key(), b"e");
+        iter.prev();
+        assert_eq!(iter.key(), b"d", "forward -> reverse at e");
+        iter.prev();
+        assert_eq!(iter.key(), b"c");
+        iter.next();
+        assert_eq!(iter.key(), b"d", "reverse -> forward at c");
+        iter.next();
+        assert_eq!(iter.key(), b"e");
+        // Flip repeatedly on the same key pair.
+        iter.prev();
+        iter.next();
+        iter.prev();
+        assert_eq!(iter.key(), b"d");
+    }
+
+    #[test]
+    fn prev_from_first_key_invalidates() {
+        let mut iter = merged();
+        iter.seek_to_first();
+        assert_eq!(iter.key(), b"a");
+        iter.prev();
+        assert!(!iter.valid());
+    }
+
+    #[test]
+    fn empty_children_are_harmless() {
+        let mut iter = ShardMergeIterator::new(vec![entries(&[]), entries(&["k"]), entries(&[])]);
+        iter.seek_to_first();
+        assert_eq!(iter.key(), b"k");
+        iter.next();
+        assert!(!iter.valid());
+        iter.seek_to_last();
+        assert_eq!(iter.key(), b"k");
+    }
+}

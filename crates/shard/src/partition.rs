@@ -1,0 +1,168 @@
+//! Key-to-shard routing.
+//!
+//! A [`Partitioner`] maps every user key to exactly one shard — the single
+//! invariant the whole sharded store leans on: point operations touch one
+//! engine, and a key's versions never straddle two sequence histories. The
+//! choice is persisted in `shards.meta`, so a database can only ever be
+//! reopened with the partitioner (and shard count) it was created with.
+
+use pebblesdb_common::hash::murmur3_32;
+use pebblesdb_common::{Error, Result};
+
+/// Seed for the hash partitioner; fixed so routing is stable across opens.
+///
+/// This MUST differ from the FLSM's guard-selection seed (`0x9747_b28c` in
+/// the core crate). Guards are keys whose murmur hash has enough trailing
+/// one-bits; routing by the same hash modulo the shard count makes a shard's
+/// keyspace correlated with guard eligibility — with 2 shards, shard 0 would
+/// hold exactly the even-hash keys, none of which can ever become a guard,
+/// degenerating that shard to a single sentinel guard and livelocking its
+/// compaction picker. An independent seed keeps the two hashes uncorrelated.
+const PARTITION_SEED: u32 = 0x1b87_3593;
+
+/// Maps a user key to the index of its owning shard.
+pub trait Partitioner: Send + Sync {
+    /// The shard (in `0..shards`) that owns `key`. Must be deterministic:
+    /// the same key always routes to the same shard for a given count.
+    fn shard_of(&self, key: &[u8], shards: usize) -> usize;
+}
+
+/// Uniform routing by key hash — the default. Spreads any workload evenly
+/// but gives up range locality: a scan touches every shard.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct HashPartitioner;
+
+impl Partitioner for HashPartitioner {
+    fn shard_of(&self, key: &[u8], shards: usize) -> usize {
+        murmur3_32(key, PARTITION_SEED) as usize % shards
+    }
+}
+
+/// Routing by the key's leading byte, scaled over the shard count. Keeps
+/// contiguous key ranges on one shard (scans mostly hit one engine) at the
+/// cost of skew when the keyspace is not uniform in its first byte.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RangePartitioner;
+
+impl Partitioner for RangePartitioner {
+    fn shard_of(&self, key: &[u8], shards: usize) -> usize {
+        let first = key.first().copied().unwrap_or(0) as usize;
+        first * shards / 256
+    }
+}
+
+/// The partitioner choices a [`crate::ShardConfig`] can name; persisted by
+/// name in `shards.meta`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionerKind {
+    /// [`HashPartitioner`].
+    Hash,
+    /// [`RangePartitioner`].
+    Range,
+}
+
+impl PartitionerKind {
+    /// The stable on-disk name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PartitionerKind::Hash => "hash",
+            PartitionerKind::Range => "range",
+        }
+    }
+
+    /// Parses a name written by [`PartitionerKind::name`].
+    pub fn parse(name: &str) -> Result<PartitionerKind> {
+        match name {
+            "hash" => Ok(PartitionerKind::Hash),
+            "range" => Ok(PartitionerKind::Range),
+            other => Err(Error::invalid_argument(format!(
+                "unknown partitioner {other:?}"
+            ))),
+        }
+    }
+
+    /// Instantiates the partitioner.
+    pub fn build(&self) -> Box<dyn Partitioner> {
+        match self {
+            PartitionerKind::Hash => Box::new(HashPartitioner),
+            PartitionerKind::Range => Box::new(RangePartitioner),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_routing_is_stable_and_in_range() {
+        let part = HashPartitioner;
+        for i in 0..1000u32 {
+            let key = format!("key{i:05}");
+            let shard = part.shard_of(key.as_bytes(), 4);
+            assert!(shard < 4);
+            assert_eq!(shard, part.shard_of(key.as_bytes(), 4), "deterministic");
+        }
+    }
+
+    #[test]
+    fn hash_routing_spreads_keys() {
+        let part = HashPartitioner;
+        let mut counts = [0usize; 4];
+        for i in 0..4000u32 {
+            counts[part.shard_of(format!("key{i:05}").as_bytes(), 4)] += 1;
+        }
+        for count in counts {
+            assert!(count > 500, "no shard starves: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn hash_routing_is_uncorrelated_with_guard_selection() {
+        // The FLSM picks guards from keys whose murmur hash under the guard
+        // seed has enough trailing one-bits. Every shard must keep receiving
+        // guard-eligible keys, or its compaction shape degenerates into one
+        // sentinel guard (see the PARTITION_SEED docs).
+        const GUARD_HASH_SEED: u32 = 0x9747_b28c;
+        for shards in [2usize, 3, 4, 8] {
+            let mut guardable = vec![0usize; shards];
+            for i in 0..16_000u32 {
+                let key = format!("key{i:07}");
+                let shard = HashPartitioner.shard_of(key.as_bytes(), shards);
+                if murmur3_32(key.as_bytes(), GUARD_HASH_SEED).trailing_ones() >= 4 {
+                    guardable[shard] += 1;
+                }
+            }
+            for (shard, count) in guardable.iter().enumerate() {
+                assert!(
+                    *count > 0,
+                    "shard {shard} of {shards} never sees a guard-eligible key"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn range_routing_is_monotone_in_the_leading_byte() {
+        let part = RangePartitioner;
+        assert_eq!(part.shard_of(b"", 4), 0);
+        assert_eq!(part.shard_of(&[0x00], 4), 0);
+        assert_eq!(part.shard_of(&[0x40], 4), 1);
+        assert_eq!(part.shard_of(&[0x80], 4), 2);
+        assert_eq!(part.shard_of(&[0xff], 4), 3);
+        let mut last = 0;
+        for byte in 0..=255u8 {
+            let shard = part.shard_of(&[byte], 7);
+            assert!(shard >= last && shard < 7);
+            last = shard;
+        }
+    }
+
+    #[test]
+    fn kind_roundtrips_through_its_name() {
+        for kind in [PartitionerKind::Hash, PartitionerKind::Range] {
+            assert_eq!(PartitionerKind::parse(kind.name()).unwrap(), kind);
+        }
+        assert!(PartitionerKind::parse("modulo").is_err());
+    }
+}
