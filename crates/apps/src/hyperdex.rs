@@ -196,6 +196,12 @@ impl KvStore for HyperDexLike {
                     self.put_opts(opts, record.key, record.value)?
                 }
                 pebblesdb_common::ValueType::Deletion => self.delete_opts(opts, record.key)?,
+                // Engine-internal representation; never valid in a user batch.
+                pebblesdb_common::ValueType::ValuePointer => {
+                    return Err(pebblesdb_common::Error::invalid_argument(
+                        "value pointers cannot be written directly",
+                    ));
+                }
             }
         }
         Ok(())

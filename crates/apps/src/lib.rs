@@ -78,6 +78,9 @@ mod tests {
                         self.put_opts(opts, record.key, record.value)?
                     }
                     pebblesdb_common::ValueType::Deletion => self.delete_opts(opts, record.key)?,
+                    pebblesdb_common::ValueType::ValuePointer => {
+                        unreachable!("test batches never carry value pointers")
+                    }
                 }
             }
             Ok(())

@@ -9,7 +9,8 @@
 use std::sync::Arc;
 
 use pebblesdb_bench::engines::{
-    open_bench_env_full, open_db_with_options, open_sharded_db_with_options,
+    open_bench_env_full, open_db_with_options, open_engine_with_options,
+    open_sharded_db_with_options,
 };
 use pebblesdb_bench::report::{format_kops, format_mib, format_ratio};
 use pebblesdb_bench::{scaled_options, Args, EngineKind, Report, Workload};
@@ -30,8 +31,93 @@ fn workload_from_name(name: &str) -> Option<Workload> {
     }
 }
 
+/// `--value-sweep`: fillrandom across value sizes 64 B → 64 KiB, key-value
+/// separation off vs on, a fresh store per cell. The logical volume per cell
+/// is held roughly constant (`--sweep-mib`, default 8 MiB) so the write-amp
+/// columns compare apples to apples: with separation on, compaction rewrites
+/// 20-byte pointers instead of the values, so "on write amp" should fall well
+/// below "off write amp" once values clear the threshold, while the sub-
+/// threshold sizes stay within noise of each other.
+fn run_value_sweep(args: &Args) {
+    let engine = EngineKind::from_flag(&args.get_str("engine", "pebblesdb"))
+        .expect("unknown --engine (pebblesdb|pebblesdb-1|hyperleveldb|leveldb|rocksdb|btree)");
+    let threads = args.get_u64("threads", 1) as usize;
+    let scale = args.get_u64("scale-divisor", 16) as usize;
+    let threshold = args.get_u64("sweep-threshold", 512) as usize;
+    let target_bytes = args.get_u64("sweep-mib", 8) << 20;
+    let write_latency_us = args.get_u64("write-latency-us", 0);
+
+    let mut report = Report::new(
+        &format!(
+            "value-size sweep — {} (fillrandom, ~{} MiB logical per cell, separation threshold {threshold} B)",
+            engine.name(),
+            target_bytes >> 20
+        ),
+        vec![
+            "value size".to_string(),
+            "ops".to_string(),
+            "off KOps/s".to_string(),
+            "off write amp".to_string(),
+            "on KOps/s".to_string(),
+            "on write amp".to_string(),
+            "amp off/on".to_string(),
+        ],
+    );
+
+    for value_size in [64usize, 256, 1024, 4096, 16384, 65536] {
+        // 16-byte keys, constant logical volume → more ops at small sizes.
+        let ops = (target_bytes / (16 + value_size as u64)).max(64);
+        let mut cells = Vec::new();
+        for separate in [false, true] {
+            let (env, mem_env, dir) = open_bench_env_full(
+                &args.get_str("env", "mem"),
+                engine,
+                &args.get_str("dir", ""),
+            );
+            if write_latency_us > 0 {
+                if let Some(mem) = &mem_env {
+                    mem.set_write_latency_micros_for(".sst", write_latency_us);
+                }
+            }
+            let mut options = scaled_options(engine, scale);
+            if separate {
+                options.value_separation_threshold = threshold;
+            }
+            let store = open_engine_with_options(engine, env, &dir, options).expect("open engine");
+            let result = Workload::FillRandom
+                .run(&store, ops, 16, value_size, threads)
+                .expect("run fillrandom");
+            cells.push((result.kops_per_second(), result.write_amplification()));
+        }
+        let (off_kops, off_amp) = cells[0];
+        let (on_kops, on_amp) = cells[1];
+        report.add_row(vec![
+            format!("{value_size} B"),
+            ops.to_string(),
+            format_kops(off_kops),
+            format_ratio(off_amp),
+            format_kops(on_kops),
+            format_ratio(on_amp),
+            if on_amp > 0.0 {
+                format!("{:.2}x", off_amp / on_amp)
+            } else {
+                "-".to_string()
+            },
+        ]);
+    }
+    report.add_note("'write amp' is store bytes written per logical byte (WAL + vlog + sstables over key+value bytes).");
+    report.add_note(&format!(
+        "Separation only applies to values >= {threshold} B; smaller rows are the no-regression control."
+    ));
+    report.print();
+}
+
 fn main() {
     let args = Args::parse();
+    if args.has_flag("value-sweep") {
+        run_value_sweep(&args);
+        return;
+    }
     let keys = args.get_u64("keys", 50_000);
     let value_size = args.get_u64("value-size", 1024) as usize;
     let threads = args.get_u64("threads", 1) as usize;
@@ -63,6 +149,9 @@ fn main() {
     if compaction_threads > 0 {
         options.compaction_threads = compaction_threads;
     }
+    // 0 (the default) keeps key-value separation off; any other value is the
+    // minimum value size, in bytes, that goes to the per-family value log.
+    options.value_separation_threshold = args.get_u64("value-separation-threshold", 0) as usize;
     // `--cfs N` round-robins the key stream over N column families of one
     // database: shard 0 is the default family, shards 1..N are created. With
     // N = 1 the run is byte-for-byte the single-namespace benchmark.

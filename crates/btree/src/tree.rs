@@ -374,6 +374,13 @@ impl KvStore for BTreeStore {
             match record.value_type {
                 ValueType::Value => self.put_opts(opts, record.key, record.value)?,
                 ValueType::Deletion => self.delete_opts(opts, record.key)?,
+                // Pointers are LSM-engine-internal; the B-tree baseline
+                // stores every value inline.
+                ValueType::ValuePointer => {
+                    return Err(Error::invalid_argument(
+                        "value pointers cannot be written directly",
+                    ));
+                }
             }
         }
         Ok(())

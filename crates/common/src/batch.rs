@@ -35,6 +35,12 @@ pub type CfId = u32;
 const TAG_CF_VALUE: u8 = 2;
 /// Record tag: a delete in a non-default column family (varint cf id follows).
 const TAG_CF_DELETION: u8 = 3;
+/// Record tag: a value-pointer put in the default column family. The raw
+/// [`ValueType::ValuePointer`] tag (2) cannot be used on the wire because it
+/// collides with [`TAG_CF_VALUE`], so pointer records get their own tags.
+const TAG_VALUE_POINTER: u8 = 4;
+/// Record tag: a value-pointer put in a non-default column family.
+const TAG_CF_VALUE_POINTER: u8 = 5;
 
 /// A re-orderable group of updates applied to a store atomically.
 #[derive(Clone, Debug)]
@@ -91,6 +97,25 @@ impl WriteBatch {
         put_length_prefixed_slice(&mut self.rep, value);
     }
 
+    /// Adds a value-pointer record: `key` maps to `encoded_pointer`, the
+    /// fixed-size [`crate::vlog::ValuePointer`] encoding of a value that the
+    /// engine's key-value separation path appended to a value-log file.
+    ///
+    /// Only the engines build these (during commit-time separation and vlog
+    /// garbage collection); user-facing batches never contain them.
+    pub fn put_pointer_cf(&mut self, cf: CfId, key: &[u8], encoded_pointer: &[u8]) {
+        debug_assert_eq!(encoded_pointer.len(), crate::vlog::VALUE_POINTER_LEN);
+        self.set_count(self.count() + 1);
+        if cf == 0 {
+            self.rep.push(TAG_VALUE_POINTER);
+        } else {
+            self.rep.push(TAG_CF_VALUE_POINTER);
+            crate::coding::put_varint32(&mut self.rep, cf);
+        }
+        put_length_prefixed_slice(&mut self.rep, key);
+        put_length_prefixed_slice(&mut self.rep, encoded_pointer);
+    }
+
     /// Adds a deletion of `key` addressed at column family `cf`.
     pub fn delete_cf(&mut self, cf: CfId, key: &[u8]) {
         self.set_count(self.count() + 1);
@@ -123,6 +148,7 @@ impl WriteBatch {
             match record.value_type {
                 ValueType::Value => out.put_cf(target, record.key, record.value),
                 ValueType::Deletion => out.delete_cf(target, record.key),
+                ValueType::ValuePointer => out.put_pointer_cf(target, record.key, record.value),
             }
         }
         Ok(out)
@@ -255,15 +281,22 @@ impl<'a> WriteBatchIter<'a> {
         let (value_type, cf) = match tag {
             TAG_CF_VALUE => (ValueType::Value, self.decoder.read_varint32()?),
             TAG_CF_DELETION => (ValueType::Deletion, self.decoder.read_varint32()?),
+            TAG_VALUE_POINTER => (ValueType::ValuePointer, 0),
+            TAG_CF_VALUE_POINTER => (ValueType::ValuePointer, self.decoder.read_varint32()?),
+            // The raw `ValueType` tags 0 and 1 (legacy default-family put and
+            // delete). Tag 2 never reaches this arm: it is TAG_CF_VALUE above.
             _ => (
                 ValueType::from_u8(tag)
+                    .filter(|vt| *vt != ValueType::ValuePointer)
                     .ok_or_else(|| Error::corruption(format!("unknown write batch tag {tag}")))?,
                 0,
             ),
         };
         let key = self.decoder.read_length_prefixed_slice()?;
         let value = match value_type {
-            ValueType::Value => self.decoder.read_length_prefixed_slice()?,
+            ValueType::Value | ValueType::ValuePointer => {
+                self.decoder.read_length_prefixed_slice()?
+            }
             ValueType::Deletion => &[],
         };
         Ok(BatchRecord {
@@ -404,6 +437,44 @@ mod tests {
             batch.retarget_default_cf(0).unwrap().contents(),
             batch.contents()
         );
+    }
+
+    #[test]
+    fn pointer_records_roundtrip_in_both_families() {
+        let pointer = crate::vlog::ValuePointer {
+            file_number: 12,
+            offset: 4096,
+            len: 1044,
+        }
+        .encode();
+        let mut batch = WriteBatch::new();
+        batch.put_pointer_cf(0, b"big0", &pointer);
+        batch.put_pointer_cf(9, b"big9", &pointer);
+        batch.put(b"small", b"inline");
+        batch.set_sequence(40);
+
+        let restored = WriteBatch::from_contents(batch.contents().to_vec()).unwrap();
+        let records: Vec<_> = restored.iter().map(|r| r.unwrap()).collect();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].value_type, ValueType::ValuePointer);
+        assert_eq!((records[0].cf, records[0].key), (0, &b"big0"[..]));
+        assert_eq!(records[0].value, pointer.as_slice());
+        assert_eq!(records[1].value_type, ValueType::ValuePointer);
+        assert_eq!(records[1].cf, 9);
+        assert_eq!(records[2].value_type, ValueType::Value);
+
+        // Retargeting preserves pointer records.
+        let retargeted = batch.retarget_default_cf(5).unwrap();
+        let recs: Vec<_> = retargeted.iter().map(|r| r.unwrap()).collect();
+        assert_eq!(recs[0].cf, 5);
+        assert_eq!(recs[0].value_type, ValueType::ValuePointer);
+        assert_eq!(recs[0].value, pointer.as_slice());
+
+        // Merging via append keeps pointer records byte-identical.
+        let mut merged = WriteBatch::new();
+        merged.put(b"x", b"y");
+        merged.append(&batch);
+        assert_eq!(merged.verify().unwrap(), 4);
     }
 
     #[test]

@@ -406,6 +406,11 @@ impl CfOps for PrefixCore {
             match record.value_type {
                 ValueType::Value => lowered.put(&key, record.value),
                 ValueType::Deletion => lowered.delete(&key),
+                ValueType::ValuePointer => {
+                    return Err(Error::invalid_argument(
+                        "value-pointer records are engine-internal",
+                    ))
+                }
             }
         }
         self.inner.write_opts(opts, lowered)
@@ -638,6 +643,7 @@ mod tests {
                 match record.value_type {
                     ValueType::Value => self.put_opts(opts, record.key, record.value)?,
                     ValueType::Deletion => self.delete_opts(opts, record.key)?,
+                    ValueType::ValuePointer => unreachable!("tests never build pointer records"),
                 }
             }
             Ok(())

@@ -15,6 +15,7 @@
 //! follower in the group and wakes the next leader.
 
 use std::collections::VecDeque;
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
@@ -38,6 +39,11 @@ struct Waiter {
     /// external allocator, e.g. a sharded coordinator) and must not be
     /// renumbered or merged into another batch.
     pre: bool,
+    /// When set, the write is a *sequence reservation*: it carries no
+    /// records, commits alone, and the engine deposits the freshly claimed
+    /// sequence number into the cell. Like a rotation request, it is never
+    /// completed by another leader, so the submitter always leads it.
+    reserve: Option<Arc<AtomicU64>>,
     /// Set (under the queue lock) once a leader has committed this write.
     done: Mutex<Option<Result<()>>>,
     cv: Condvar,
@@ -49,6 +55,7 @@ impl Waiter {
             batch: Mutex::new(batch),
             sync,
             pre,
+            reserve: None,
             done: Mutex::new(None),
             cv: Condvar::new(),
         }
@@ -84,6 +91,9 @@ pub struct CommitGroup {
     pub sync: bool,
     /// Whether the leader asked for a memtable rotation instead of a write.
     pub force_rotate: bool,
+    /// When set, the group is a sequence reservation: the engine claims one
+    /// fresh sequence slot and stores it here instead of writing anything.
+    pub reserve: Option<Arc<AtomicU64>>,
 }
 
 /// A FIFO queue of pending writes with leader election and batch merging.
@@ -116,6 +126,19 @@ impl CommitQueue {
         Ticket { waiter }
     }
 
+    /// Enqueues a sequence-slot reservation. The request rides the queue
+    /// like a rotation (it commits alone and no other leader ever completes
+    /// it, so the submitter always becomes its leader); committing it makes
+    /// the engine claim one fresh sequence number — which no concurrent or
+    /// future write group can be assigned — and deposit it into `slot`.
+    pub fn submit_reserve(&self, slot: Arc<AtomicU64>) -> Ticket {
+        let mut waiter = Waiter::new(None, false, false);
+        waiter.reserve = Some(slot);
+        let waiter = Arc::new(waiter);
+        self.queue.lock().push_back(Arc::clone(&waiter));
+        Ticket { waiter }
+    }
+
     /// Blocks until the ticket's write either was committed by another
     /// leader ([`Role::Done`]) or reached the front of the queue, in which
     /// case the caller becomes the leader of a freshly merged group.
@@ -142,16 +165,18 @@ impl CommitQueue {
         let leader_batch = leader.batch.lock().take();
         let sync = leader.sync;
         let leader_pre = leader.pre;
+        let leader_reserve = leader.reserve.clone();
         let mut members = vec![leader];
 
         let Some(leader_batch) = leader_batch else {
-            // A rotation request commits alone.
+            // A rotation or reservation request commits alone.
             return CommitGroup {
                 members,
                 batch: WriteBatch::new(),
                 pre_batches: Vec::new(),
                 sync,
-                force_rotate: true,
+                force_rotate: leader_reserve.is_none(),
+                reserve: leader_reserve,
             };
         };
 
@@ -195,6 +220,7 @@ impl CommitQueue {
                 pre_batches,
                 sync,
                 force_rotate: false,
+                reserve: None,
             };
         }
 
@@ -226,6 +252,7 @@ impl CommitQueue {
             pre_batches: Vec::new(),
             sync,
             force_rotate: false,
+            reserve: None,
         }
     }
 
@@ -362,6 +389,41 @@ mod tests {
             panic!("first writer must lead");
         };
         assert_eq!(group.batch.count(), 1);
+        queue.complete(group, &Ok(()));
+        assert_eq!(queue.len(), 2);
+    }
+
+    #[test]
+    fn reservation_request_commits_alone_and_always_leads() {
+        use std::sync::atomic::Ordering;
+        let queue = CommitQueue::new();
+        let slot = Arc::new(AtomicU64::new(0));
+        let reserve_ticket = queue.submit_reserve(Arc::clone(&slot));
+        let _write = queue.submit(Some(batch_of(&["a"])), false);
+
+        let Role::Leader(group) = queue.wait_turn(&reserve_ticket) else {
+            panic!("reservation submitter must lead");
+        };
+        assert!(!group.force_rotate, "a reservation is not a rotation");
+        assert!(group.batch.is_empty() && group.pre_batches.is_empty());
+        let cell = group.reserve.clone().expect("reservation carries its slot");
+        cell.store(41, Ordering::Relaxed); // as the engine's commit would
+        queue.complete(group, &Ok(()));
+        assert_eq!(slot.load(Ordering::Relaxed), 41);
+        assert_eq!(queue.len(), 1, "the write is left for its own group");
+    }
+
+    #[test]
+    fn merge_stops_before_a_reservation_request() {
+        let queue = CommitQueue::new();
+        let leader_ticket = queue.submit(Some(batch_of(&["a"])), false);
+        let _reserve = queue.submit_reserve(Arc::new(AtomicU64::new(0)));
+        let _write = queue.submit(Some(batch_of(&["b"])), false);
+
+        let Role::Leader(group) = queue.wait_turn(&leader_ticket) else {
+            panic!("first writer must lead");
+        };
+        assert_eq!(group.batch.count(), 1, "merge must stop at the reservation");
         queue.complete(group, &Ok(()));
         assert_eq!(queue.len(), 2);
     }

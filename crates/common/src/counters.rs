@@ -44,6 +44,18 @@ pub struct EngineCounters {
     /// compaction jobs ever observed running at the same instant. The
     /// multi-threaded per-guard compaction pool must drive this above 1.
     pub max_concurrent_compactions: AtomicU64,
+    /// Bytes appended to value-log files by key-value separation.
+    pub vlog_bytes_written: AtomicU64,
+    /// Value-pointer resolutions served by a cached vlog reader.
+    pub vlog_cache_hits: AtomicU64,
+    /// Value-pointer resolutions that had to open a vlog reader.
+    pub vlog_cache_misses: AtomicU64,
+    /// Live values relocated by value-log garbage collection.
+    pub vlog_gc_relocations: AtomicU64,
+    /// Background cleanup operations (obsolete-file deletes, dropped-family
+    /// directory removal) that failed; the work is deferred, not lost, so
+    /// this counter is how the failures stay observable.
+    pub cleanup_failures: AtomicU64,
 }
 
 impl EngineCounters {
@@ -95,6 +107,30 @@ impl EngineCounters {
     /// Marks a compaction job as finished (committed or failed).
     pub fn record_compaction_end(&self) {
         self.active_compactions.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records bytes appended to a value-log file.
+    pub fn add_vlog_bytes(&self, n: u64) {
+        self.vlog_bytes_written.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one value-pointer resolution (`hit` = reader already open).
+    pub fn record_vlog_resolution(&self, hit: bool) {
+        if hit {
+            self.vlog_cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.vlog_cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one live value relocated by vlog garbage collection.
+    pub fn record_vlog_relocation(&self) {
+        self.vlog_gc_relocations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one failed (deferred) background cleanup operation.
+    pub fn record_cleanup_failure(&self) {
+        self.cleanup_failures.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a finished compaction.

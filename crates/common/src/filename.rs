@@ -23,6 +23,8 @@ pub enum FileType {
     Temp,
     /// B+Tree page file (`NNNNNN.btp`).
     BtreePages,
+    /// Value-log file holding separated large values (`NNNNNN.vlog`).
+    ValueLog,
 }
 
 /// Returns the path of write-ahead log number `number` inside `db`.
@@ -60,6 +62,11 @@ pub fn btree_pages_file_name(db: &Path, number: u64) -> PathBuf {
     db.join(format!("{number:06}.btp"))
 }
 
+/// Returns the path of value-log file number `number` inside `db`.
+pub fn vlog_file_name(db: &Path, number: u64) -> PathBuf {
+    db.join(format!("{number:06}.vlog"))
+}
+
 /// Parses a directory entry name into its type and number.
 ///
 /// Returns `None` for files that do not belong to a database directory.
@@ -81,6 +88,7 @@ pub fn parse_file_name(name: &str) -> Option<(FileType, u64)> {
         "sst" => Some((FileType::Table, number)),
         "dbtmp" => Some((FileType::Temp, number)),
         "btp" => Some((FileType::BtreePages, number)),
+        "vlog" => Some((FileType::ValueLog, number)),
         _ => None,
     }
 }
@@ -98,6 +106,7 @@ mod tests {
             (descriptor_file_name(db, 3), FileType::Descriptor, 3),
             (temp_file_name(db, 9), FileType::Temp, 9),
             (btree_pages_file_name(db, 1), FileType::BtreePages, 1),
+            (vlog_file_name(db, 18), FileType::ValueLog, 18),
         ];
         for (path, ty, number) in cases {
             let name = path.file_name().unwrap().to_str().unwrap();

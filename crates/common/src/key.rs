@@ -24,6 +24,11 @@ pub enum ValueType {
     Deletion = 0,
     /// A regular value.
     Value = 1,
+    /// An indirect value: the record's payload is an encoded
+    /// [`ValuePointer`](crate::vlog::ValuePointer) into a value-log file,
+    /// not the user's bytes. Written by the engines' key-value separation
+    /// path; never constructed by user batches.
+    ValuePointer = 2,
 }
 
 impl ValueType {
@@ -32,6 +37,7 @@ impl ValueType {
         match tag {
             0 => Some(ValueType::Deletion),
             1 => Some(ValueType::Value),
+            2 => Some(ValueType::ValuePointer),
             _ => None,
         }
     }
@@ -42,7 +48,7 @@ impl ValueType {
 /// Because sequence numbers sort in decreasing order inside the trailer, the
 /// highest-tag value type is used so a lookup key positions *before* any
 /// entry with the same user key and sequence number.
-pub const VALUE_TYPE_FOR_SEEK: ValueType = ValueType::Value;
+pub const VALUE_TYPE_FOR_SEEK: ValueType = ValueType::ValuePointer;
 
 /// Packs a sequence number and a value type into the 8-byte trailer.
 pub fn pack_sequence_and_type(seq: SequenceNumber, value_type: ValueType) -> u64 {
@@ -312,5 +318,33 @@ mod tests {
         let probe = InternalKey::min_possible_for_user_key(b"k");
         let record = InternalKey::new(b"k", 500, ValueType::Value);
         assert!(probe < record);
+    }
+
+    #[test]
+    fn seek_type_is_the_highest_tag() {
+        // A lookup key at sequence `s` must position at-or-before every
+        // record with sequence <= s, including pointer records; that only
+        // holds if the seek type is the numerically largest tag.
+        let lookup = LookupKey::new(b"k", 5);
+        for value_type in [
+            ValueType::Deletion,
+            ValueType::Value,
+            ValueType::ValuePointer,
+        ] {
+            let record = encode_internal_key(b"k", 5, value_type);
+            assert_ne!(
+                compare_internal_keys(lookup.internal_key(), &record),
+                Ordering::Greater,
+                "lookup must not sort after a same-sequence {value_type:?} record"
+            );
+        }
+    }
+
+    #[test]
+    fn pointer_records_roundtrip() {
+        let key = encode_internal_key(b"big", 42, ValueType::ValuePointer);
+        let parsed = parse_internal_key(&key).unwrap();
+        assert_eq!(parsed.value_type, ValueType::ValuePointer);
+        assert_eq!(ValueType::from_u8(2), Some(ValueType::ValuePointer));
     }
 }

@@ -39,6 +39,7 @@ pub mod snapshot;
 pub mod stats_text;
 pub mod store;
 pub mod user_iter;
+pub mod vlog;
 
 pub use args::Args;
 pub use batch::{CfId, WriteBatch};
@@ -53,3 +54,4 @@ pub use snapshot::{Snapshot, SnapshotList};
 pub use stats_text::{cf_stat_fields, render_info, store_stat_fields, StatField, StatUnit};
 pub use store::{KvStore, StoreStats};
 pub use user_iter::{UserEntriesIterator, UserIterator};
+pub use vlog::{LookupValue, ValuePointer, ValueResolver};

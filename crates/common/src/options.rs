@@ -92,6 +92,20 @@ pub struct StoreOptions {
     /// thread.
     pub compaction_threads: usize,
 
+    /// Key-value separation (WiscKey/BVLSM line): values of at least this
+    /// many bytes are appended to a per-column-family value-log file at
+    /// commit time, and the tree stores a fixed-size pointer instead. `0`
+    /// (the default) disables separation entirely — every value stays
+    /// inline and no `.vlog` files are created.
+    ///
+    /// Only the LSM engines built on the `crates/engine` chassis honour
+    /// this; the B+Tree engine ignores it.
+    pub value_separation_threshold: usize,
+    /// Size (bytes) at which the active value-log file is sealed and a new
+    /// one started. Sealed files are the unit of value-log garbage
+    /// collection.
+    pub vlog_file_size: usize,
+
     /// FLSM: maximum sstables a guard may hold before it must be compacted.
     pub max_sstables_per_guard: usize,
     /// FLSM: number of trailing hash bits that must be set for a key to be a
@@ -143,6 +157,9 @@ impl Default for StoreOptions {
             base_level_bytes: 10 << 20,
             level_size_multiplier: 10,
             compaction_threads: 1,
+
+            value_separation_threshold: 0,
+            vlog_file_size: 64 << 20,
 
             max_sstables_per_guard: 8,
             top_level_bits: 14,
@@ -208,6 +225,7 @@ impl StoreOptions {
         self.max_file_size = (self.max_file_size / factor).max(32 << 10);
         self.base_level_bytes = (self.base_level_bytes / factor as u64).max(128 << 10);
         self.block_cache_capacity = (self.block_cache_capacity / factor).max(64 << 10);
+        self.vlog_file_size = (self.vlog_file_size / factor).max(256 << 10);
         self
     }
 

@@ -85,6 +85,11 @@ pub fn store_stat_fields(stats: &StoreStats) -> Vec<StatField> {
         StatField::new("table_cache_misses", stats.table_cache_misses, Count),
         StatField::new("num_column_families", stats.num_column_families, Count),
         StatField::new("num_shards", stats.num_shards, Count),
+        StatField::new("vlog_bytes_written", stats.vlog_bytes_written, Bytes),
+        StatField::new("vlog_cache_hits", stats.vlog_cache_hits, Count),
+        StatField::new("vlog_cache_misses", stats.vlog_cache_misses, Count),
+        StatField::new("vlog_gc_relocations", stats.vlog_gc_relocations, Count),
+        StatField::new("cleanup_failures", stats.cleanup_failures, Count),
     ]
 }
 
@@ -151,14 +156,19 @@ mod tests {
             table_cache_misses: 21,
             num_column_families: 22,
             num_shards: 23,
+            vlog_bytes_written: 24,
+            vlog_cache_hits: 25,
+            vlog_cache_misses: 26,
+            vlog_gc_relocations: 27,
+            cleanup_failures: 28,
         };
         let fields = store_stat_fields(&stats);
-        assert_eq!(fields.len(), 23);
+        assert_eq!(fields.len(), 28);
         // Every distinct value appears exactly once — no field forgotten or
         // double-mapped.
         let mut values: Vec<u64> = fields.iter().map(|f| f.value).collect();
         values.sort_unstable();
-        assert_eq!(values, (1..=23).collect::<Vec<u64>>());
+        assert_eq!(values, (1..=28).collect::<Vec<u64>>());
     }
 
     #[test]

@@ -88,6 +88,20 @@ pub struct StoreStats {
     /// engines; see [`Db::shard_stats`](crate::cf::Db::shard_stats) for the
     /// per-shard breakdown).
     pub num_shards: u64,
+    /// Bytes appended to value-log files by key-value separation (0 when
+    /// [`StoreOptions::value_separation_threshold`](crate::options::StoreOptions)
+    /// is 0 or the engine has no value log).
+    pub vlog_bytes_written: u64,
+    /// Value-pointer resolutions served by an already-open vlog reader.
+    pub vlog_cache_hits: u64,
+    /// Value-pointer resolutions that had to open a vlog reader.
+    pub vlog_cache_misses: u64,
+    /// Live values relocated out of retiring vlog files by garbage
+    /// collection.
+    pub vlog_gc_relocations: u64,
+    /// Background cleanup operations (obsolete-file deletes, dropped-family
+    /// directory removal) that failed and were deferred to a later GC pass.
+    pub cleanup_failures: u64,
 }
 
 impl StoreStats {
@@ -304,6 +318,11 @@ mod tests {
                 match record.value_type {
                     crate::ValueType::Value => self.put_opts(opts, record.key, record.value)?,
                     crate::ValueType::Deletion => self.delete_opts(opts, record.key)?,
+                    crate::ValueType::ValuePointer => {
+                        return Err(crate::Error::invalid_argument(
+                            "value-pointer records are engine-internal",
+                        ))
+                    }
                 }
             }
             Ok(())

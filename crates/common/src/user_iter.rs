@@ -9,11 +9,14 @@
 //! versions, and only the newest visible version of each key is surfaced —
 //! in both directions.
 
+use std::sync::Arc;
+
 use crate::error::{Error, Result};
 use crate::iterator::DbIterator;
 use crate::key::{
     encode_internal_key, parse_internal_key, SequenceNumber, ValueType, VALUE_TYPE_FOR_SEEK,
 };
+use crate::vlog::{ValuePointer, ValueResolver};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Direction {
@@ -37,8 +40,17 @@ pub struct UserIterator {
     valid: bool,
     saved_key: Vec<u8>,
     saved_value: Vec<u8>,
-    /// First malformed internal key seen; the cursor stops rather than
-    /// silently skipping data.
+    /// Resolves value-pointer entries into their vlog bytes. Entries tagged
+    /// [`ValueType::ValuePointer`] are resolved *eagerly* when the cursor
+    /// lands on them (the `value()` contract returns a borrow, so resolution
+    /// cannot be deferred to the accessor).
+    resolver: Option<Arc<dyn ValueResolver>>,
+    /// Holds the resolved bytes when the current Forward entry is a pointer.
+    resolved_value: Vec<u8>,
+    /// Whether `value()` must read `resolved_value` in Forward direction.
+    forward_resolved: bool,
+    /// First malformed internal key or failed pointer resolution seen; the
+    /// cursor stops rather than silently skipping data.
     corruption: Option<Error>,
 }
 
@@ -52,17 +64,43 @@ impl UserIterator {
             valid: false,
             saved_key: Vec::new(),
             saved_value: Vec::new(),
+            resolver: None,
+            resolved_value: Vec::new(),
+            forward_resolved: false,
             corruption: None,
         }
     }
 
+    /// Attaches a resolver for value-pointer entries. Without one, landing
+    /// on a pointer entry is reported as corruption (pointers in the tree
+    /// are unreadable without their value log).
+    pub fn with_resolver(mut self, resolver: Arc<dyn ValueResolver>) -> Self {
+        self.resolver = Some(resolver);
+        self
+    }
+
     fn record_corruption(&mut self) {
+        self.record_error(Error::corruption("malformed internal key during iteration"));
+    }
+
+    fn record_error(&mut self, err: Error) {
         if self.corruption.is_none() {
-            self.corruption = Some(Error::corruption("malformed internal key during iteration"));
+            self.corruption = Some(err);
         }
         self.valid = false;
         self.saved_key.clear();
         self.saved_value.clear();
+    }
+
+    /// Resolves an encoded pointer through the attached resolver.
+    fn resolve(&self, encoded_pointer: &[u8]) -> Result<Vec<u8>> {
+        let pointer = ValuePointer::decode(encoded_pointer)?;
+        match &self.resolver {
+            Some(resolver) => resolver.resolve(&pointer),
+            None => Err(Error::corruption(
+                "value-pointer entry but no value-log resolver attached",
+            )),
+        }
     }
 
     /// Scans forward to the newest visible, live entry of the next user key.
@@ -83,8 +121,24 @@ impl UserIterator {
                         self.saved_key.extend_from_slice(parsed.user_key);
                         skipping = true;
                     }
-                    ValueType::Value => {
+                    ValueType::Value | ValueType::ValuePointer => {
                         if !(skipping && parsed.user_key <= self.saved_key.as_slice()) {
+                            let is_pointer = parsed.value_type == ValueType::ValuePointer;
+                            if is_pointer {
+                                let encoded = self.inner.value().to_vec();
+                                match self.resolve(&encoded) {
+                                    Ok(value) => {
+                                        self.resolved_value = value;
+                                        self.forward_resolved = true;
+                                    }
+                                    Err(err) => {
+                                        self.record_error(err);
+                                        return;
+                                    }
+                                }
+                            } else {
+                                self.forward_resolved = false;
+                            }
                             self.valid = true;
                             self.direction = Direction::Forward;
                             self.saved_key.clear();
@@ -126,6 +180,16 @@ impl UserIterator {
                         self.saved_key.extend_from_slice(parsed.user_key);
                         self.saved_value.clear();
                         self.saved_value.extend_from_slice(self.inner.value());
+                    }
+                    if value_type == ValueType::ValuePointer {
+                        let encoded = std::mem::take(&mut self.saved_value);
+                        match self.resolve(&encoded) {
+                            Ok(value) => self.saved_value = value,
+                            Err(err) => {
+                                self.record_error(err);
+                                return;
+                            }
+                        }
                     }
                 }
                 self.inner.prev();
@@ -253,6 +317,7 @@ impl DbIterator for UserIterator {
     fn value(&self) -> &[u8] {
         assert!(self.valid, "value() on invalid iterator");
         match self.direction {
+            Direction::Forward if self.forward_resolved => &self.resolved_value,
             Direction::Forward => self.inner.value(),
             Direction::Reverse => &self.saved_value,
         }
@@ -527,6 +592,85 @@ mod tests {
         iter.next();
         assert!(!iter.valid(), "cursor stops at the corrupt entry");
         assert!(iter.status().is_err(), "status reports the corruption");
+    }
+
+    /// A resolver backed by a map from (file, offset) to bytes.
+    struct MapResolver(std::collections::HashMap<(u64, u64), Vec<u8>>);
+
+    impl ValueResolver for MapResolver {
+        fn resolve(&self, pointer: &ValuePointer) -> Result<Vec<u8>> {
+            self.0
+                .get(&(pointer.file_number, pointer.offset))
+                .cloned()
+                .ok_or_else(|| Error::corruption("dangling value pointer"))
+        }
+    }
+
+    fn pointer_entry(key: &str, seq: u64, file: u64, offset: u64) -> (Vec<u8>, Vec<u8>) {
+        let pointer = ValuePointer {
+            file_number: file,
+            offset,
+            len: 64,
+        };
+        (
+            encode_internal_key(key.as_bytes(), seq, ValueType::ValuePointer),
+            pointer.encode(),
+        )
+    }
+
+    #[test]
+    fn pointer_entries_resolve_in_both_directions() {
+        let resolver = Arc::new(MapResolver(
+            [((7, 0), b"big-a".to_vec()), ((7, 100), b"big-c".to_vec())]
+                .into_iter()
+                .collect(),
+        ));
+        let entries = vec![
+            pointer_entry("a", 1, 7, 0),
+            entry("b", 2, ValueType::Value, "inline-b"),
+            pointer_entry("c", 3, 7, 100),
+        ];
+        let mut iter = UserIterator::new(Box::new(VecIterator::new(sorted(entries))), 10)
+            .with_resolver(resolver);
+        assert_eq!(
+            collect_forward(&mut iter),
+            vec![
+                ("a".to_string(), "big-a".to_string()),
+                ("b".to_string(), "inline-b".to_string()),
+                ("c".to_string(), "big-c".to_string()),
+            ]
+        );
+        // Reverse direction resolves through saved_value.
+        iter.seek_to_last();
+        assert_eq!(iter.value(), b"big-c");
+        iter.prev();
+        assert_eq!(iter.value(), b"inline-b");
+        iter.prev();
+        assert_eq!(iter.value(), b"big-a");
+        assert!(iter.status().is_ok());
+    }
+
+    #[test]
+    fn failed_pointer_resolution_surfaces_in_status() {
+        let resolver = Arc::new(MapResolver(Default::default()));
+        let entries = vec![
+            entry("a", 1, ValueType::Value, "fine"),
+            pointer_entry("b", 2, 9, 0),
+        ];
+        let mut iter = UserIterator::new(Box::new(VecIterator::new(sorted(entries))), 10)
+            .with_resolver(resolver);
+        iter.seek_to_first();
+        assert!(iter.valid());
+        iter.next();
+        assert!(!iter.valid(), "cursor stops at the unresolvable entry");
+        assert!(iter.status().is_err());
+
+        // Without a resolver the pointer entry itself is the error.
+        let entries = vec![pointer_entry("a", 1, 9, 0)];
+        let mut iter = UserIterator::new(Box::new(VecIterator::new(sorted(entries))), 10);
+        iter.seek_to_first();
+        assert!(!iter.valid());
+        assert!(iter.status().is_err());
     }
 
     #[test]

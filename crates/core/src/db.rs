@@ -17,6 +17,7 @@ use std::sync::Arc;
 use pebblesdb_common::iterator::DbIterator;
 use pebblesdb_common::key::LookupKey;
 use pebblesdb_common::snapshot::Snapshot;
+use pebblesdb_common::vlog::LookupValue;
 use pebblesdb_common::{
     CfStats, ColumnFamilyHandle, Db, KvStore, ReadOptions, Result, StoreOptions, StorePreset,
     StoreStats, WriteBatch, WriteOptions,
@@ -128,7 +129,7 @@ impl ShapePolicy for FlsmPolicy {
         version: &FlsmVersion,
         opts: &ReadOptions,
         key: &LookupKey,
-    ) -> Result<Option<Vec<u8>>> {
+    ) -> Result<Option<LookupValue>> {
         version.get(opts, key, &io.table_cache)
     }
 
@@ -380,6 +381,13 @@ impl PebblesDb {
     /// Flushes the memtable and waits until no compaction work is pending.
     pub fn compact_all(&self) -> Result<()> {
         KvStore::flush(self)
+    }
+
+    /// Runs one value-log garbage-collection pass: relocates live values out
+    /// of the coldest sealed vlog file of each family and deletes retired
+    /// files no pinned snapshot can still reach.
+    pub fn vlog_gc(&self) -> Result<pebblesdb_engine::VlogGcReport> {
+        self.db.vlog_gc()
     }
 }
 

@@ -13,6 +13,7 @@ use std::sync::{Arc, Weak};
 use pebblesdb_common::coding::{put_length_prefixed_slice, put_varint32, put_varint64, Decoder};
 use pebblesdb_common::filename::{current_file_name, descriptor_file_name};
 use pebblesdb_common::key::{parse_internal_key, LookupKey, SequenceNumber, ValueType};
+use pebblesdb_common::vlog::{LookupValue, ValuePointer};
 use pebblesdb_common::{Error, ReadOptions, Result, StoreOptions};
 use pebblesdb_engine::policy::{VersionMeta, VersionSetOps};
 use pebblesdb_engine::{FileMetaData, FileMetaDataEdit};
@@ -192,7 +193,7 @@ impl FlsmVersion {
         read_options: &ReadOptions,
         key: &LookupKey,
         table_cache: &TableCache,
-    ) -> Result<Option<Vec<u8>>> {
+    ) -> Result<Option<LookupValue>> {
         let user_key = key.user_key();
 
         // Level 0: all overlapping files, newest first.
@@ -219,7 +220,7 @@ impl FlsmVersion {
         // sequence number wins.
         for level in self.levels.iter().skip(1) {
             let guard = level.guard_for(user_key);
-            let mut best: Option<(SequenceNumber, Option<Vec<u8>>)> = None;
+            let mut best: Option<(SequenceNumber, Option<LookupValue>)> = None;
             for file in guard
                 .files
                 .iter()
@@ -324,7 +325,7 @@ fn search_file(
     file: &Arc<FileMetaData>,
     key: &LookupKey,
     table_cache: &TableCache,
-) -> Result<Option<(SequenceNumber, Option<Vec<u8>>)>> {
+) -> Result<Option<(SequenceNumber, Option<LookupValue>)>> {
     let table = table_cache.get_table(file.number, file.file_size)?;
     if !table.may_contain_user_key(key.user_key()) {
         return Ok(None);
@@ -332,7 +333,11 @@ fn search_file(
     match table.get(read_options, key.internal_key())? {
         Some((found_key, value)) => match parse_internal_key(&found_key) {
             Some(parsed) if parsed.user_key == key.user_key() => match parsed.value_type {
-                ValueType::Value => Ok(Some((parsed.sequence, Some(value)))),
+                ValueType::Value => Ok(Some((parsed.sequence, Some(LookupValue::Inline(value))))),
+                ValueType::ValuePointer => Ok(Some((
+                    parsed.sequence,
+                    Some(LookupValue::Pointer(ValuePointer::decode(&value)?)),
+                ))),
                 ValueType::Deletion => Ok(Some((parsed.sequence, None))),
             },
             _ => Ok(None),

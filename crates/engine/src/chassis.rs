@@ -38,7 +38,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -48,11 +48,14 @@ use parking_lot::{Condvar, Mutex, MutexGuard};
 use pebblesdb_common::cf::{CfOps, CfStats, ColumnFamilyHandle, Db};
 use pebblesdb_common::commit::{CommitGroup, CommitQueue, Role};
 use pebblesdb_common::counters::EngineCounters;
-use pebblesdb_common::filename::{log_file_name, parse_file_name, table_file_name, FileType};
+use pebblesdb_common::filename::{
+    log_file_name, parse_file_name, table_file_name, vlog_file_name, FileType,
+};
 use pebblesdb_common::iterator::{DbIterator, MergingIterator, PinnedIterator};
 use pebblesdb_common::key::{InternalKey, LookupKey, SequenceNumber, ValueType};
 use pebblesdb_common::snapshot::{Snapshot, SnapshotList};
 use pebblesdb_common::user_iter::UserIterator;
+use pebblesdb_common::vlog::{iter_vlog_records, LookupValue, ValuePointer, ValueResolver};
 use pebblesdb_common::{
     CfId, Error, KvStore, ReadOptions, Result, StoreOptions, StoreStats, WriteBatch, WriteOptions,
 };
@@ -66,6 +69,7 @@ use crate::meta::FileMetaData;
 use crate::policy::{
     EngineIo, JobClaim, PolicyCtx, ShapePolicy, VersionMeta, VersionOf, VersionSetOps,
 };
+use crate::vlog::{CfVlog, TakenVlog, VlogGcReport, VlogReaderCache};
 
 /// A handle to an open store built on the chassis.
 ///
@@ -90,6 +94,9 @@ impl<P: ShapePolicy> Drop for EngineShared<P> {
         self.core.work_available.notify_all();
         self.core.flush_available.notify_all();
         for handle in self.background_threads.lock().drain(..) {
+            // `join` only errs if the thread panicked, and the panic has
+            // already printed; re-raising it from a destructor would abort
+            // the process mid-unwind, so swallowing it here is deliberate.
             let _ = handle.join();
         }
     }
@@ -116,10 +123,21 @@ pub struct EngineCore<P: ShapePolicy> {
     /// `drop_cf` waiting out in-flight jobs.
     work_done: Condvar,
     shutting_down: AtomicBool,
-    /// Cumulative operation counters.
-    pub counters: EngineCounters,
+    /// Cumulative operation counters (shared with the vlog reader caches,
+    /// which record their hit/miss traffic outside the state mutex).
+    pub counters: Arc<EngineCounters>,
     /// Live snapshot pins (store-wide: sequences are shared by families).
     pub snapshots: Arc<SnapshotList>,
+    /// Live cursor pins. Tracked apart from `snapshots` on purpose: a cursor
+    /// pins its version, so compaction's version dedup owes it nothing and
+    /// must not be held back by one (a long-lived cursor would otherwise
+    /// stall compaction convergence store-wide). Only value-log reclamation
+    /// consults this list — a cursor resolves pointers as it streams, so the
+    /// files its view can reach must outlive it.
+    cursor_pins: Arc<SnapshotList>,
+    /// Serialises value-log GC passes: two concurrent passes over the same
+    /// file would relocate the same records into the same sequence slot.
+    vlog_gc_lock: Mutex<()>,
 }
 
 /// One column family's share of the engine state.
@@ -163,6 +181,8 @@ pub struct CfState<P: ShapePolicy> {
     /// Set by `drop_cf`: no new flushes, claims or writes; the family is
     /// removed once its in-flight work drains.
     pub dropping: bool,
+    /// The family's value-log registry (key-value separation).
+    pub vlog: CfVlog,
 }
 
 /// The mutable engine state, shared by writers and the background threads.
@@ -202,6 +222,9 @@ pub struct EngineState<P: ShapePolicy> {
     pub wal_dir_unsynced: bool,
     /// First background error; poisons the store.
     pub bg_error: Option<Error>,
+    /// First non-fatal background warning (a failed cleanup whose work is
+    /// deferred, not lost). Never poisons the store; kept for inspection.
+    pub bg_warning: Option<Error>,
 }
 
 impl<P: ShapePolicy> EngineState<P> {
@@ -297,6 +320,10 @@ impl<P: ShapePolicy> EngineDb<P> {
         let catalog_exists = env.file_exists(&catalog::catalog_file_name(path));
         let catalog_data = catalog::read(env.as_ref(), path)?;
 
+        // Created before the families so their vlog reader caches can share
+        // the store-wide counters.
+        let counters = Arc::new(EngineCounters::new());
+
         let mut state: EngineState<P> = EngineState {
             cfs: BTreeMap::new(),
             last_sequence: 0,
@@ -309,6 +336,7 @@ impl<P: ShapePolicy> EngineDb<P> {
             live_wal_files: 0,
             wal_dir_unsynced: false,
             bg_error: None,
+            bg_warning: None,
         };
 
         for (id, name) in &catalog_data.cfs {
@@ -329,6 +357,13 @@ impl<P: ShapePolicy> EngineDb<P> {
                 versions.create_new()?;
             }
             state.last_sequence = state.last_sequence.max(versions.last_sequence());
+            // Vlog files are registered by directory listing, not in the
+            // MANIFEST; their numbers must be re-marked used so a new file
+            // never collides with a recovered one.
+            let (vlog, vlog_numbers) = CfVlog::recover(&env, &dir, &counters)?;
+            for number in vlog_numbers {
+                versions.mark_file_number_used(number);
+            }
             state.cfs.insert(
                 *id,
                 CfState {
@@ -346,6 +381,7 @@ impl<P: ShapePolicy> EngineDb<P> {
                     flush_running: false,
                     flushes: 0,
                     dropping: false,
+                    vlog,
                 },
             );
         }
@@ -355,8 +391,14 @@ impl<P: ShapePolicy> EngineDb<P> {
         // are never reused, so any `cf-<id>` with id below the floor and no
         // catalog entry is provably dead.
         for id in 1..state.next_cf_id {
-            if !state.cfs.contains_key(&id) {
-                let _ = env.remove_dir_all(&catalog::cf_dir(path, id));
+            if !state.cfs.contains_key(&id)
+                && env.remove_dir_all(&catalog::cf_dir(path, id)).is_err()
+            {
+                // The orphan holds no live data (its drop edit is
+                // committed), so a failed reap costs only disk space;
+                // count it so the leak stays observable, and leave the
+                // directory for the next open to retry.
+                counters.record_cleanup_failure();
             }
         }
 
@@ -402,8 +444,10 @@ impl<P: ShapePolicy> EngineDb<P> {
             flush_available: Condvar::new(),
             work_done: Condvar::new(),
             shutting_down: AtomicBool::new(false),
-            counters: EngineCounters::new(),
+            counters,
             snapshots: SnapshotList::new(),
+            cursor_pins: SnapshotList::new(),
+            vlog_gc_lock: Mutex::new(()),
         });
 
         {
@@ -469,6 +513,12 @@ impl<P: ShapePolicy> EngineDb<P> {
     /// The sequence number of the most recent committed write.
     pub fn last_sequence(&self) -> SequenceNumber {
         self.shared.core.state.lock().last_sequence
+    }
+
+    /// Runs one value-log garbage-collection pass (see
+    /// [`EngineCore::vlog_gc`]) and reports what it did.
+    pub fn vlog_gc(&self) -> Result<VlogGcReport> {
+        self.shared.core.vlog_gc()
     }
 
     /// The store's namespace-scoped operations as a shareable trait object,
@@ -614,6 +664,57 @@ fn visible_sequence(opts: &ReadOptions, last_sequence: SequenceNumber) -> Sequen
         .unwrap_or(last_sequence)
 }
 
+/// Rewrites one batch for key-value separation: every `Value` record at or
+/// past `threshold` is appended to its family's vlog and replaced by a
+/// pointer record. Returns `None` when nothing in the batch separates, so
+/// the common all-small case never copies the batch. The rewrite preserves
+/// the batch's sequence and record order (and therefore its count), which is
+/// what keeps pre-sequenced batches valid.
+fn separate_batch(
+    batch: &WriteBatch,
+    threshold: usize,
+    vlogs: &mut BTreeMap<CfId, TakenVlog>,
+    counters: &EngineCounters,
+) -> Result<Option<WriteBatch>> {
+    let mut needs = false;
+    for record in batch.iter() {
+        let record = record?;
+        if record.value_type == ValueType::Value
+            && record.value.len() >= threshold
+            && vlogs.contains_key(&record.cf)
+        {
+            needs = true;
+            break;
+        }
+    }
+    if !needs {
+        return Ok(None);
+    }
+    let mut out = WriteBatch::new();
+    out.set_sequence(batch.sequence());
+    for record in batch.iter() {
+        let record = record?;
+        match record.value_type {
+            ValueType::Value if record.value.len() >= threshold => {
+                match vlogs.get_mut(&record.cf) {
+                    Some(vlog) => {
+                        let pointer = vlog.append(record.key, record.value, counters)?;
+                        out.put_pointer_cf(record.cf, record.key, &pointer.encode());
+                    }
+                    None => out.put_cf(record.cf, record.key, record.value),
+                }
+            }
+            ValueType::Value => out.put_cf(record.cf, record.key, record.value),
+            ValueType::Deletion => out.delete_cf(record.cf, record.key),
+            // Pointer records only enter a batch through this function, but
+            // a group may merge an already-rewritten batch in the future;
+            // carry them through unchanged.
+            ValueType::ValuePointer => out.put_pointer_cf(record.cf, record.key, record.value),
+        }
+    }
+    Ok(Some(out))
+}
+
 impl<P: ShapePolicy> EngineCore<P> {
     // ---------------------------------------------------------------- write
 
@@ -682,6 +783,18 @@ impl<P: ShapePolicy> EngineCore<P> {
         let mut state = self.state.lock();
         let mut result: Result<()> = Ok(());
 
+        // A sequence reservation claims one fresh slot and publishes it for
+        // the submitter (the vlog GC's collision-free horizon). Because the
+        // commit queue serialises groups, no in-flight or future write can
+        // be numbered into the claimed slot. The group carries no records,
+        // so the rest of the commit is a no-op for it. The slot is not
+        // logged: if nothing is ever written at it, recovery replaying a
+        // smaller maximum sequence is harmless — no durable state names it.
+        if let Some(slot) = &group.reserve {
+            state.last_sequence += 1;
+            slot.store(state.last_sequence, Ordering::Release);
+        }
+
         // Which families does this group touch? A rotation request touches
         // every family with a non-empty memtable.
         let touched: Vec<CfId> = if group.force_rotate {
@@ -712,6 +825,26 @@ impl<P: ShapePolicy> EngineCore<P> {
             }
             ids
         };
+
+        // Which families need their value log this group? (Key-value
+        // separation: values at or past the threshold go to the vlog, the
+        // tree gets a fixed-size pointer.)
+        let threshold = self.io.options.value_separation_threshold;
+        let mut vlog_cfs: Vec<CfId> = Vec::new();
+        if threshold > 0 && result.is_ok() {
+            let records = group
+                .batch
+                .iter()
+                .chain(group.pre_batches.iter().flat_map(|b| b.iter()));
+            for record in records.flatten() {
+                if record.value_type == ValueType::Value
+                    && record.value.len() >= threshold
+                    && !vlog_cfs.contains(&record.cf)
+                {
+                    vlog_cfs.push(record.cf);
+                }
+            }
+        }
 
         if result.is_ok() {
             // A write addressed at a dropped family fails its whole group —
@@ -754,9 +887,39 @@ impl<P: ShapePolicy> EngineCore<P> {
                 end_seq = end_seq.max(pre.sequence() + u64::from(pre.count()).saturating_sub(1));
             }
 
-            // Only the leader (that's us, until `complete`) touches the log
-            // or inserts into the memtables, so both can leave the mutex.
+            // Only the leader (that's us, until `complete`) touches the log,
+            // the vlog appenders or the memtables, so all of it can leave
+            // the mutex.
             let mut log = state.log.take();
+            let mut taken_vlogs: BTreeMap<CfId, TakenVlog> = BTreeMap::new();
+            for cf_id in &vlog_cfs {
+                let st = &mut *state;
+                let Some(cf) = st.cfs.get_mut(cf_id) else {
+                    continue; // unreachable: `touched` was validated above
+                };
+                let max_size = self.io.options.vlog_file_size.max(1) as u64;
+                let active = cf.vlog.active.take();
+                // Rotation is decided here (the number allocation needs the
+                // lock) but performed in the unlocked section. A single
+                // over-large group may overshoot `vlog_file_size`; the next
+                // group rotates, so files stay within one group of the cap.
+                let open_number = match &active {
+                    Some(a) if a.offset < max_size => None,
+                    _ => Some(cf.versions.new_file_number()),
+                };
+                taken_vlogs.insert(
+                    *cf_id,
+                    TakenVlog {
+                        cf: *cf_id,
+                        env: Arc::clone(&cf.io.env),
+                        dir: cf.io.db_path.clone(),
+                        active,
+                        open_number,
+                        sealed: Vec::new(),
+                        dirty: false,
+                    },
+                );
+            }
             let mems: BTreeMap<CfId, Arc<MemTable>> = touched
                 .iter()
                 .filter_map(|id| state.cfs.get(id).map(|cf| (*id, Arc::clone(&cf.mem))))
@@ -767,20 +930,51 @@ impl<P: ShapePolicy> EngineCore<P> {
             let policy = &self.policy;
             let need_dir_sync = state.wal_dir_unsynced;
             let io = &self.io;
+            let counters = &self.counters;
+            let vlogs = &mut taken_vlogs;
             let io_result = MutexGuard::unlocked(&mut state, || -> Result<Vec<CfObservation>> {
                 if need_dir_sync {
                     // A rotation created this WAL; its directory entry
                     // must be durable before the group is acknowledged.
                     io.env.sync_dir(&io.db_path)?;
                 }
+                // Key-value separation happens before any WAL byte is
+                // written: large values are appended to their family's
+                // vlog and the batches are rewritten around fixed-size
+                // pointers, so the WAL (and the memtables below) only ever
+                // see what the tree will actually store. The vlog is
+                // flushed/synced first as well — a pointer must never be
+                // durable while the record it names is not.
+                let mut rewritten: Option<WriteBatch> = None;
+                let mut rewritten_pre: Vec<Option<WriteBatch>> = Vec::new();
+                if !vlogs.is_empty() {
+                    rewritten = separate_batch(batch, threshold, vlogs, counters)?;
+                    for pre in pre_batches.iter() {
+                        rewritten_pre.push(separate_batch(pre, threshold, vlogs, counters)?);
+                    }
+                    for taken in vlogs.values_mut() {
+                        taken.finish_group(sync)?;
+                    }
+                }
+                let wal_batch: &WriteBatch = rewritten.as_ref().unwrap_or(batch);
+                let wal_pres: Vec<&WriteBatch> = pre_batches
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, pre)| {
+                        rewritten_pre
+                            .get(idx)
+                            .and_then(|r| r.as_ref())
+                            .unwrap_or(pre)
+                    })
+                    .collect();
                 if let Some(log) = log.as_mut() {
-                    if !batch.is_empty() {
-                        log.add_record(batch.contents())?;
+                    if !wal_batch.is_empty() {
+                        log.add_record(wal_batch.contents())?;
                     }
                     // Each pre-sequenced batch is its own WAL record (its
                     // header carries its own base sequence); the whole
                     // group still shares one fsync.
-                    for pre in pre_batches {
+                    for pre in &wal_pres {
                         log.add_record(pre.contents())?;
                     }
                     if sync {
@@ -788,15 +982,21 @@ impl<P: ShapePolicy> EngineCore<P> {
                     }
                 }
                 let mut observed = Vec::new();
-                let records = batch
+                let records = wal_batch
                     .iter()
-                    .chain(pre_batches.iter().flat_map(|b| b.iter()));
+                    .chain(wal_pres.iter().flat_map(|b| b.iter()));
                 for record in records {
                     let record = record?;
                     let Some(mem) = mems.get(&record.cf) else {
                         continue;
                     };
-                    if record.value_type == ValueType::Value {
+                    // Pointer records are puts of real user keys; they feed
+                    // the policy's observations (FLSM guard selection) the
+                    // same way inline values do.
+                    if matches!(
+                        record.value_type,
+                        ValueType::Value | ValueType::ValuePointer
+                    ) {
                         if let Some(obs) = policy.observe_key(record.key) {
                             observed.push((record.cf, obs));
                         }
@@ -806,6 +1006,18 @@ impl<P: ShapePolicy> EngineCore<P> {
                 Ok(observed)
             });
             state.log = log;
+            // Reinstall the vlog appenders whether or not the IO succeeded
+            // (a failure poisons the store below, but the registry must
+            // stay coherent for shutdown). A family dropped mid-IO keeps
+            // nothing: its files die with its directory.
+            for (cf_id, taken) in taken_vlogs {
+                if let Some(cf) = state.cfs.get_mut(&cf_id) {
+                    for (number, size) in taken.sealed {
+                        cf.vlog.sealed.insert(number, size);
+                    }
+                    cf.vlog.active = taken.active;
+                }
+            }
             match io_result {
                 Ok(observed) => {
                     let st = &mut *state;
@@ -932,7 +1144,38 @@ impl<P: ShapePolicy> EngineCore<P> {
 
     fn get(&self, cf_id: CfId, opts: &ReadOptions, user_key: &[u8]) -> Result<Option<Vec<u8>>> {
         self.counters.record_get();
-        let (lookup, imm, version, io) = {
+        let mut retried = false;
+        loop {
+            let (found, resolver) = match self.lookup_value(cf_id, opts, user_key)? {
+                Some(found) => found,
+                None => return Ok(None),
+            };
+            match found {
+                LookupValue::Inline(value) => return Ok(Some(value)),
+                LookupValue::Pointer(pointer) => match resolver.resolve(&pointer) {
+                    Ok(value) => return Ok(Some(value)),
+                    // A GC pass may have deleted the vlog file between the
+                    // tree lookup and this read; the relocated pointer is
+                    // already in place, so one fresh lookup settles it.
+                    Err(_) if !retried => retried = true,
+                    Err(err) => return Err(err),
+                },
+            }
+        }
+    }
+
+    /// The tree lookup underneath [`EngineCore::get`]: consults the
+    /// memtables and the version but does **not** resolve value pointers —
+    /// resolution does IO and runs outside the state lock. `Ok(None)` means
+    /// "deleted or never written"; the GC's liveness check uses the raw
+    /// pointer this returns.
+    fn lookup_value(
+        &self,
+        cf_id: CfId,
+        opts: &ReadOptions,
+        user_key: &[u8],
+    ) -> Result<Option<(LookupValue, Arc<VlogReaderCache>)>> {
+        let (lookup, imm, version, io, resolver) = {
             let mut state = self.state.lock();
             let sequence = visible_sequence(opts, state.last_sequence);
             let st = &mut *state;
@@ -940,21 +1183,47 @@ impl<P: ShapePolicy> EngineCore<P> {
                 return Err(missing_cf_error(cf_id));
             };
             let lookup = LookupKey::new(user_key, sequence);
+            let resolver = Arc::clone(&cf.vlog.readers);
             match cf.mem.get(&lookup) {
-                MemTableGet::Found(value) => return Ok(Some(value)),
+                MemTableGet::Found(value) => {
+                    return Ok(Some((LookupValue::Inline(value), resolver)))
+                }
+                MemTableGet::FoundPointer(encoded) => {
+                    return Ok(Some((
+                        LookupValue::Pointer(ValuePointer::decode(&encoded)?),
+                        resolver,
+                    )))
+                }
                 MemTableGet::Deleted => return Ok(None),
                 MemTableGet::NotFound => {}
             }
-            (lookup, cf.imm.clone(), cf.versions.current(), cf.io.clone())
+            (
+                lookup,
+                cf.imm.clone(),
+                cf.versions.current(),
+                cf.io.clone(),
+                resolver,
+            )
         };
         if let Some(imm) = imm {
             match imm.get(&lookup) {
-                MemTableGet::Found(value) => return Ok(Some(value)),
+                MemTableGet::Found(value) => {
+                    return Ok(Some((LookupValue::Inline(value), resolver)))
+                }
+                MemTableGet::FoundPointer(encoded) => {
+                    return Ok(Some((
+                        LookupValue::Pointer(ValuePointer::decode(&encoded)?),
+                        resolver,
+                    )))
+                }
                 MemTableGet::Deleted => return Ok(None),
                 MemTableGet::NotFound => {}
             }
         }
-        self.policy.get_in_version(&io, &version, opts, &lookup)
+        Ok(self
+            .policy
+            .get_in_version(&io, &version, opts, &lookup)?
+            .map(|found| (found, resolver)))
     }
 
     /// Builds the streaming user-key cursor over one family: its memtables
@@ -974,9 +1243,17 @@ impl<P: ShapePolicy> EngineCore<P> {
             }
             self.work_available.notify_one();
         }
-        let (sequence, mem, imm, version, io) = {
+        let (sequence, mem, imm, version, io, resolver, snapshot) = {
             let mut state = self.state.lock();
             let sequence = visible_sequence(opts, state.last_sequence);
+            // The cursor resolves value pointers as it streams; pinning its
+            // sequence in the cursor-pin list keeps vlog GC from deleting a
+            // file whose records the cursor's view can still reach. The pin
+            // deliberately does NOT go into `snapshots`: the cursor's
+            // version pin already protects its sstables, and adding it to
+            // the compaction floor would let any long-lived cursor stall
+            // version dedup (and flush-quiesce) indefinitely.
+            let snapshot = self.cursor_pins.acquire(sequence);
             let st = &mut *state;
             let Some(cf) = st.cfs.get_mut(&cf_id) else {
                 return Err(missing_cf_error(cf_id));
@@ -987,6 +1264,8 @@ impl<P: ShapePolicy> EngineCore<P> {
                 cf.imm.clone(),
                 cf.versions.current(),
                 cf.io.clone(),
+                Arc::clone(&cf.vlog.readers),
+                snapshot,
             )
         };
 
@@ -999,10 +1278,15 @@ impl<P: ShapePolicy> EngineCore<P> {
             .append_version_iterators(&io, &version, opts, &mut children)?;
 
         let merged = MergingIterator::new(children);
-        let user = UserIterator::new(Box::new(merged), sequence);
+        let user = UserIterator::new(Box::new(merged), sequence)
+            .with_resolver(resolver as Arc<dyn ValueResolver>);
         // Pin the version so obsolete-file GC cannot delete the sstables the
-        // cursor is still reading.
-        Ok(Box::new(PinnedIterator::new(Box::new(user), version)))
+        // cursor is still reading, and the snapshot so vlog GC cannot
+        // reclaim a value the cursor can still observe.
+        Ok(Box::new(PinnedIterator::new(
+            Box::new(user),
+            (version, snapshot),
+        )))
     }
 
     fn snapshot(&self) -> Snapshot {
@@ -1337,13 +1621,23 @@ impl<P: ShapePolicy> EngineCore<P> {
                     FileType::WriteAheadLog => number >= min_log || number == current_log,
                     FileType::Descriptor => number >= manifest_number,
                     FileType::Temp => false,
+                    // Value-log lifecycle is owned by `vlog_gc`: a vlog file
+                    // is live until a GC pass empties it and the snapshot
+                    // floor passes its retire point, neither of which this
+                    // version-based scan can see.
+                    FileType::ValueLog => true,
                     FileType::Current | FileType::Lock | FileType::BtreePages => true,
                 };
                 if !keep {
                     if ty == FileType::Table {
                         cf.io.table_cache.evict(number);
                     }
-                    let _ = cf.io.env.remove_file(&cf.io.db_path.join(&name));
+                    if cf.io.env.remove_file(&cf.io.db_path.join(&name)).is_err() {
+                        // The file is obsolete in every version, so a failed
+                        // delete leaks space, not correctness; the next GC
+                        // pass retries it. Count it so the leak is visible.
+                        self.counters.record_cleanup_failure();
+                    }
                 } else if cf.id == 0 && ty == FileType::WriteAheadLog {
                     live_wals += 1;
                 }
@@ -1351,6 +1645,209 @@ impl<P: ShapePolicy> EngineCore<P> {
         }
         st.gc_rescan_needed = any_pinned;
         st.live_wal_files = live_wals;
+    }
+
+    // --------------------------------------------------------- value-log GC
+
+    /// One garbage-collection pass over every family's value log.
+    ///
+    /// Per family: scan the **coldest** sealed file (lowest number — vlog
+    /// numbers grow with time), relocate every record that is still the
+    /// live version's backing store by re-writing its `(key, value)` through
+    /// the normal commit path, then retire the file. Retired files are
+    /// deleted only once the snapshot floor passes their retire sequence,
+    /// so no pinned snapshot (and no cursor, which pins its sequence) can
+    /// ever observe a pointer into a missing file.
+    pub fn vlog_gc(&self) -> Result<VlogGcReport> {
+        // Two concurrent passes would relocate the same records into the
+        // same sequence slot; one at a time, always.
+        let _serial = self.vlog_gc_lock.lock();
+        let mut report = VlogGcReport::default();
+        let cf_ids: Vec<CfId> = self.state.lock().cfs.keys().copied().collect();
+        for cf_id in cf_ids {
+            self.vlog_gc_cf(cf_id, &mut report)?;
+        }
+        self.vlog_reclaim(&mut report);
+        Ok(report)
+    }
+
+    fn vlog_gc_cf(&self, cf_id: CfId, report: &mut VlogGcReport) -> Result<()> {
+        // Pick the coldest sealed file first: reserving a horizon for a
+        // family with nothing to scan would burn sequence slots for no work.
+        let (file_number, readers) = {
+            let state = self.state.lock();
+            if let Some(err) = &state.bg_error {
+                return Err(err.clone());
+            }
+            let Some(cf) = state.cf(cf_id) else {
+                return Ok(());
+            };
+            let Some((&number, _)) = cf.vlog.sealed.iter().next() else {
+                return Ok(());
+            };
+            (number, Arc::clone(&cf.vlog.readers))
+        };
+
+        // Capture the GC horizon — the sequence every relocation will be
+        // pinned at — as a slot *reserved* through the commit queue. The
+        // reservation guarantees no write, past or future, is numbered into
+        // the slot, so a relocation at the horizon can never collide with a
+        // user version of the same key in the same sequence slot. It also
+        // makes GC self-sufficient on a quiescent store: the horizon always
+        // moves past the newest user write, so the pass can relocate records
+        // written in the very last slot instead of waiting for traffic that
+        // may never come.
+        let slot = Arc::new(AtomicU64::new(0));
+        let ticket = self.commit_queue.submit_reserve(Arc::clone(&slot));
+        match self.commit_queue.wait_turn(&ticket) {
+            Role::Done(result) => result?,
+            Role::Leader(group) => self.commit(group)?,
+        }
+        let s_check = slot.load(Ordering::Acquire);
+        if s_check == 0 {
+            return Ok(());
+        }
+        let data = readers.read_file(file_number)?;
+        report.scanned_files += 1;
+
+        // Collect the records still live at the horizon. A record is live
+        // iff the version visible at `s_check` is a pointer to exactly this
+        // (file, offset); a torn tail ends the scan silently (those bytes
+        // were never acknowledged), mid-file corruption aborts the pass.
+        let at = ReadOptions {
+            snapshot: Some(s_check),
+            ..ReadOptions::default()
+        };
+        let before = ReadOptions {
+            snapshot: Some(s_check.saturating_sub(1)),
+            ..ReadOptions::default()
+        };
+        let mut live: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        let mut retire_ok = true;
+        for record in iter_vlog_records(&data) {
+            let (offset, key, value, _len) = record?;
+            if !self.pointer_is_current(cf_id, &at, key, file_number, offset)? {
+                continue;
+            }
+            // Relocations are written at `s_check` itself, so a version
+            // born in that exact sequence slot could not be shadowed
+            // without a duplicate internal key. The reservation makes
+            // this unreachable for engine-numbered writes, but a sharded
+            // coordinator assigns sequences externally and could, in
+            // principle, land a version in the reserved slot. Detectable
+            // without sequence plumbing — a slot-`s_check` version is
+            // invisible one sequence earlier — and safe to leave for the
+            // next pass, whose horizon is reserved past it.
+            if !self.pointer_is_current(cf_id, &before, key, file_number, offset)? {
+                report.skipped += 1;
+                retire_ok = false;
+                continue;
+            }
+            live.push((key.to_vec(), value.to_vec()));
+        }
+
+        // Relocate through the commit path as single-record pre-sequenced
+        // batches pinned at the horizon: a concurrent user write carries a
+        // later sequence and shadows the relocation, never the reverse.
+        // The final relocation syncs, so by the time the file can be
+        // deleted no pointer into it lives only in volatile buffers.
+        let total = live.len();
+        for (idx, (key, value)) in live.into_iter().enumerate() {
+            self.policy.note_write();
+            let mut batch = WriteBatch::new();
+            batch.put_cf(cf_id, &key, &value);
+            batch.set_sequence(s_check);
+            let sync = idx + 1 == total;
+            let ticket = self.commit_queue.submit_presequenced(batch, sync);
+            match self.commit_queue.wait_turn(&ticket) {
+                Role::Done(result) => result?,
+                Role::Leader(group) => self.commit(group)?,
+            }
+            self.counters.record_vlog_relocation();
+            report.relocated += 1;
+            report.relocated_bytes += value.len() as u64;
+        }
+
+        if retire_ok {
+            let mut state = self.state.lock();
+            if let Some(cf) = state.cf_mut(cf_id) {
+                cf.vlog.sealed.remove(&file_number);
+                cf.vlog.retired.insert(file_number, s_check);
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the version of `key` visible under `opts` is a pointer to
+    /// exactly `(file_number, offset)` — the GC's liveness probe.
+    fn pointer_is_current(
+        &self,
+        cf_id: CfId,
+        opts: &ReadOptions,
+        key: &[u8],
+        file_number: u64,
+        offset: u64,
+    ) -> Result<bool> {
+        Ok(match self.lookup_value(cf_id, opts, key)? {
+            Some((LookupValue::Pointer(p), _)) => {
+                p.file_number == file_number && p.offset == offset
+            }
+            _ => false,
+        })
+    }
+
+    /// Deletes retired vlog files once both the snapshot floor and the
+    /// cursor-pin floor pass their retire sequence. In-flight point gets
+    /// that raced the deletion retry their lookup and land on the relocated
+    /// pointer.
+    fn vlog_reclaim(&self, report: &mut VlogGcReport) {
+        let mut candidates: Vec<(CfId, u64, std::path::PathBuf, Arc<VlogReaderCache>)> = Vec::new();
+        {
+            let state = self.state.lock();
+            let floor = self
+                .snapshots
+                .compaction_floor(state.last_sequence)
+                .min(self.cursor_pins.compaction_floor(state.last_sequence));
+            for cf in state.cfs.values() {
+                for (&number, &retire_seq) in &cf.vlog.retired {
+                    if floor >= retire_seq {
+                        candidates.push((
+                            cf.id,
+                            number,
+                            vlog_file_name(&cf.io.db_path, number),
+                            Arc::clone(&cf.vlog.readers),
+                        ));
+                    }
+                }
+            }
+        }
+        for (cf_id, number, path, readers) in candidates {
+            let io_result = {
+                let cf_env = {
+                    let state = self.state.lock();
+                    state.cf(cf_id).map(|cf| Arc::clone(&cf.io.env))
+                };
+                match cf_env {
+                    Some(env) => env.remove_file(&path),
+                    None => continue, // family dropped; its files died with it
+                }
+            };
+            match io_result {
+                Ok(()) => {
+                    readers.evict(number);
+                    report.reclaimed_files += 1;
+                    let mut state = self.state.lock();
+                    if let Some(cf) = state.cf_mut(cf_id) {
+                        cf.vlog.retired.remove(&number);
+                    }
+                }
+                Err(_) => {
+                    // Deferred, not lost: the file stays in `retired` and
+                    // the next pass retries the delete.
+                    self.counters.record_cleanup_failure();
+                }
+            }
+        }
     }
 
     // ---------------------------------------------------------------- flush
@@ -1449,6 +1946,7 @@ impl<P: ShapePolicy> EngineCore<P> {
         versions.set_last_sequence(state.last_sequence);
         versions.commit_level0(None, Some(state.log_file_number))?;
         let mem_log_number = state.log_file_number;
+        let vlog = CfVlog::new(&self.io.env, &dir, &self.counters);
         state.cfs.insert(
             id,
             CfState {
@@ -1466,6 +1964,7 @@ impl<P: ShapePolicy> EngineCore<P> {
                 flush_running: false,
                 flushes: 0,
                 dropping: false,
+                vlog,
             },
         );
         Ok((id, name.to_string()))
@@ -1513,8 +2012,18 @@ impl<P: ShapePolicy> EngineCore<P> {
             state.cfs.remove(&id).expect("dropping family is live")
         };
         // Delete the directory outside the lock; reopen reaps it if this
-        // races a crash (the catalog edit above already committed).
-        let _ = self.io.env.remove_dir_all(&removed.io.db_path);
+        // races a crash (the catalog edit above already committed). The drop
+        // itself already succeeded — the catalog edit is the commit point —
+        // so a failed removal is a disk-space leak, not an error the caller
+        // can act on: count it, note it as a background warning, and let the
+        // next open retry the reap.
+        if let Err(err) = self.io.env.remove_dir_all(&removed.io.db_path) {
+            self.counters.record_cleanup_failure();
+            let mut state = self.state.lock();
+            if state.bg_warning.is_none() {
+                state.bg_warning = Some(err);
+            }
+        }
         self.work_done.notify_all();
         Ok(())
     }
@@ -1580,6 +2089,11 @@ impl<P: ShapePolicy> EngineCore<P> {
             table_cache_misses,
             num_column_families: state.cfs.len() as u64,
             num_shards: 1,
+            vlog_bytes_written: EngineCounters::load(&self.counters.vlog_bytes_written),
+            vlog_cache_hits: EngineCounters::load(&self.counters.vlog_cache_hits),
+            vlog_cache_misses: EngineCounters::load(&self.counters.vlog_cache_misses),
+            vlog_gc_relocations: EngineCounters::load(&self.counters.vlog_gc_relocations),
+            cleanup_failures: EngineCounters::load(&self.counters.cleanup_failures),
         }
     }
 

@@ -27,9 +27,11 @@ pub mod catalog;
 pub mod chassis;
 pub mod meta;
 pub mod policy;
+pub mod vlog;
 
 pub use chassis::{CfState, ClaimedJob, EngineCore, EngineDb, EngineShared, EngineState};
 pub use meta::{FileMetaData, FileMetaDataEdit};
 pub use policy::{
     EngineIo, JobClaim, PolicyCtx, ShapePolicy, VersionMeta, VersionOf, VersionSetOps,
 };
+pub use vlog::VlogGcReport;

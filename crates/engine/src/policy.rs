@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use pebblesdb_common::iterator::DbIterator;
 use pebblesdb_common::key::{LookupKey, SequenceNumber};
+use pebblesdb_common::vlog::LookupValue;
 use pebblesdb_common::{ReadOptions, Result, StoreOptions};
 use pebblesdb_env::Env;
 use pebblesdb_sstable::TableCache;
@@ -164,14 +165,16 @@ pub trait ShapePolicy: Send + Sync + Sized + 'static {
     // ------------------------------------------------------------- read path
 
     /// Point lookup in the on-disk structure (memtables were already
-    /// consulted by the chassis).
+    /// consulted by the chassis). Returns the stored form of the newest
+    /// visible version — an inline value or an unresolved vlog pointer; the
+    /// chassis resolves pointers outside the state lock.
     fn get_in_version(
         &self,
         io: &EngineIo,
         version: &VersionOf<Self>,
         opts: &ReadOptions,
         key: &LookupKey,
-    ) -> Result<Option<Vec<u8>>>;
+    ) -> Result<Option<LookupValue>>;
 
     /// Appends the version's level iterators (level-0 files plus one lazy
     /// iterator per deeper level) to a cursor's child list.

@@ -56,6 +56,10 @@ struct FaultState {
     /// `(path substring, microseconds)` of artificial latency added to every
     /// append of a matching file; the empty pattern matches every file.
     write_latency: Vec<(String, u64)>,
+    /// Path substrings whose `remove_file`/`remove_dir_all` calls fail with
+    /// an injected IO error (an undeletable file: EBUSY, permissions, a
+    /// flaky device) until cleared.
+    fail_removes: Vec<String>,
 }
 
 impl FaultState {
@@ -80,6 +84,20 @@ impl FaultState {
             .filter(|(pattern, _)| name.contains(pattern.as_str()))
             .map(|(_, micros)| micros)
             .sum())
+    }
+
+    /// Returns the injected error if removals of `path` are configured to
+    /// fail.
+    fn check_remove(&self, path: &Path) -> Result<()> {
+        let name = path.to_string_lossy();
+        for pattern in &self.fail_removes {
+            if name.contains(pattern.as_str()) {
+                return Err(Error::internal(format!(
+                    "injected remove failure for {name}"
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Like [`FaultState::check_append`] but without consuming budget (used
@@ -130,7 +148,16 @@ impl MemEnv {
     /// Removes every injected write-error pattern (simulates the machine
     /// coming back up healthy after the crash).
     pub fn clear_fault_injection(&self) {
-        self.faults.lock().fail_after.clear();
+        let mut faults = self.faults.lock();
+        faults.fail_after.clear();
+        faults.fail_removes.clear();
+    }
+
+    /// Makes `remove_file` and `remove_dir_all` fail for any path containing
+    /// `substring`, without touching the files — an undeletable directory.
+    /// Cleared by [`MemEnv::clear_fault_injection`].
+    pub fn inject_remove_error(&self, substring: &str) {
+        self.faults.lock().fail_removes.push(substring.to_string());
     }
 
     /// Adds `micros` of artificial latency to every append, so tests can
@@ -392,6 +419,7 @@ impl Env for MemEnv {
     }
 
     fn remove_file(&self, path: &Path) -> Result<()> {
+        self.faults.lock().check_remove(path)?;
         let mut fs = self.fs.lock();
         let path = Self::normalize(path);
         fs.files
@@ -441,6 +469,7 @@ impl Env for MemEnv {
     }
 
     fn remove_dir_all(&self, path: &Path) -> Result<()> {
+        self.faults.lock().check_remove(path)?;
         let mut fs = self.fs.lock();
         let prefix = Self::normalize(path);
         fs.files.retain(|p, _| !p.starts_with(&prefix));

@@ -23,6 +23,7 @@ use pebblesdb_common::key::{
     MAX_SEQUENCE_NUMBER,
 };
 use pebblesdb_common::snapshot::Snapshot;
+use pebblesdb_common::vlog::LookupValue;
 use pebblesdb_common::{
     CfStats, ColumnFamilyHandle, Db, Error, KvStore, ReadOptions, Result, StoreOptions,
     StorePreset, StoreStats, WriteBatch, WriteOptions,
@@ -92,7 +93,7 @@ impl ShapePolicy for LsmPolicy {
         version: &Version,
         opts: &ReadOptions,
         key: &LookupKey,
-    ) -> Result<Option<Vec<u8>>> {
+    ) -> Result<Option<LookupValue>> {
         version.get(opts, key, &io.table_cache)
     }
 
@@ -441,6 +442,13 @@ impl LsmDb {
     /// the background threads to go idle.
     pub fn compact_all(&self) -> Result<()> {
         KvStore::flush(self)
+    }
+
+    /// Runs one value-log garbage-collection pass: relocates live values out
+    /// of the coldest sealed vlog file of each family and deletes retired
+    /// files no pinned snapshot can still reach.
+    pub fn vlog_gc(&self) -> Result<pebblesdb_engine::VlogGcReport> {
+        self.db.vlog_gc()
     }
 }
 

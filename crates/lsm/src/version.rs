@@ -15,6 +15,7 @@ use pebblesdb_common::coding::{put_varint32, put_varint64, Decoder};
 use pebblesdb_common::filename::{current_file_name, descriptor_file_name};
 use pebblesdb_common::key::{compare_internal_keys, InternalKey, LookupKey, SequenceNumber};
 use pebblesdb_common::key::{parse_internal_key, ValueType};
+use pebblesdb_common::vlog::{LookupValue, ValuePointer};
 use pebblesdb_common::{Error, ReadOptions, Result, StoreOptions};
 use pebblesdb_engine::policy::{VersionMeta, VersionSetOps};
 use pebblesdb_env::Env;
@@ -232,7 +233,7 @@ impl Version {
         read_options: &ReadOptions,
         key: &LookupKey,
         table_cache: &TableCache,
-    ) -> Result<Option<Vec<u8>>> {
+    ) -> Result<Option<LookupValue>> {
         let user_key = key.user_key();
         let snapshot = key.sequence();
 
@@ -289,7 +290,7 @@ impl Version {
         user_key: &[u8],
         snapshot: SequenceNumber,
         table_cache: &TableCache,
-    ) -> Result<Option<Option<Vec<u8>>>> {
+    ) -> Result<Option<Option<LookupValue>>> {
         let table = table_cache.get_table(file.number, file.file_size)?;
         if !table.may_contain_user_key(user_key) {
             return Ok(None);
@@ -298,7 +299,10 @@ impl Version {
         match table.get(read_options, target.internal_key())? {
             Some((found_key, value)) => match parse_internal_key(&found_key) {
                 Some(parsed) if parsed.user_key == user_key => match parsed.value_type {
-                    ValueType::Value => Ok(Some(Some(value))),
+                    ValueType::Value => Ok(Some(Some(LookupValue::Inline(value)))),
+                    ValueType::ValuePointer => Ok(Some(Some(LookupValue::Pointer(
+                        ValuePointer::decode(&value)?,
+                    )))),
                     ValueType::Deletion => Ok(Some(None)),
                 },
                 _ => Ok(None),

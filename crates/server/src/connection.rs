@@ -177,10 +177,30 @@ fn drain_and_close(
             Err(_) => break,
         }
     }
-    let _ = answer_ready_frames(stream, codec, session, shared);
-    let mut farewell = Vec::new();
-    RespValue::error("ERR server shutting down").encode_into(&mut farewell);
-    write_reply(stream, &farewell, shared);
+    match answer_ready_frames(stream, codec, session, shared) {
+        Flow::Continue => {
+            let mut farewell = Vec::new();
+            RespValue::error("ERR server shutting down").encode_into(&mut farewell);
+            if !write_reply(stream, &farewell, shared) {
+                shared
+                    .counters
+                    .shutdown_drain_failures
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // The client asked to close (`QUIT`) while we drained: its reply was
+        // delivered and the close is clean, not a failed drain.
+        Flow::Close if session.close_requested() => {}
+        // The socket died (or framing broke) mid-drain: in-flight replies
+        // were lost and a farewell would go into a dead pipe. Skip it and
+        // record the failed drain instead of pretending it completed.
+        Flow::Close => {
+            shared
+                .counters
+                .shutdown_drain_failures
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Writes a buffered reply batch; `false` means the connection is gone.

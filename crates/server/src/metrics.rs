@@ -33,6 +33,9 @@ pub struct ServerCounters {
     pub auth_failures: AtomicU64,
     /// Connections closed because of a RESP framing violation.
     pub protocol_errors: AtomicU64,
+    /// Graceful-shutdown drains that could not deliver their in-flight
+    /// replies or farewell because the peer was already gone.
+    pub shutdown_drain_failures: AtomicU64,
     /// Raw bytes received from clients.
     pub bytes_in: AtomicU64,
     /// Raw bytes sent to clients.
@@ -77,6 +80,11 @@ impl ServerCounters {
             field(
                 "protocol_errors",
                 self.protocol_errors.load(Ordering::Relaxed),
+                StatUnit::Count,
+            ),
+            field(
+                "shutdown_drain_failures",
+                self.shutdown_drain_failures.load(Ordering::Relaxed),
                 StatUnit::Count,
             ),
             field(

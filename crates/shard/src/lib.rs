@@ -306,6 +306,12 @@ fn replay_journals<P: ShapePolicy>(
                     match value_type {
                         ValueType::Value => sub.put_cf(*cf, key, value),
                         ValueType::Deletion => sub.delete_cf(*cf, key),
+                        // The coordinator journal holds user batches as
+                        // submitted; value separation happens inside each
+                        // engine's commit, after this replay hand-off.
+                        ValueType::ValuePointer => {
+                            return Err(Error::corruption("value pointer in coordinator journal"));
+                        }
                     }
                 }
                 if let Some((seq, mut sub)) = run.take() {
@@ -435,6 +441,13 @@ impl<P: ShapePolicy> ShardedCore<P> {
                 match record.value_type {
                     ValueType::Value => subs[shard].put_cf(record.cf, record.key, record.value),
                     ValueType::Deletion => subs[shard].delete_cf(record.cf, record.key),
+                    // Pointers are an engine-internal representation; a user
+                    // batch never carries one.
+                    ValueType::ValuePointer => {
+                        return Err(Error::invalid_argument(
+                            "value pointers cannot be written directly",
+                        ));
+                    }
                 }
             }
         }

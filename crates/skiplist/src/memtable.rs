@@ -59,6 +59,10 @@ fn entry_comparator(a: &[u8], b: &[u8]) -> Ordering {
 pub enum MemTableGet {
     /// The key has a live value.
     Found(Vec<u8>),
+    /// The key's value lives in a value-log file; the payload is the encoded
+    /// [`ValuePointer`](pebblesdb_common::vlog::ValuePointer). The engine
+    /// resolves it outside the state lock.
+    FoundPointer(Vec<u8>),
     /// The key was deleted (tombstone); deeper levels must not be consulted.
     Deleted,
     /// The memtable holds no record of the key.
@@ -128,6 +132,7 @@ impl MemTable {
         match parse_internal_key(internal_key) {
             Some(parsed) if parsed.user_key == key.user_key() => match parsed.value_type {
                 ValueType::Value => MemTableGet::Found(value.to_vec()),
+                ValueType::ValuePointer => MemTableGet::FoundPointer(value.to_vec()),
                 ValueType::Deletion => MemTableGet::Deleted,
             },
             _ => MemTableGet::NotFound,

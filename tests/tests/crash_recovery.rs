@@ -587,3 +587,55 @@ fn deleting_everything_then_reopening_yields_empty_reads() {
     }
     assert!(db.scan(b"key", &[], 10).unwrap().is_empty());
 }
+
+/// Column-family lifecycle, silent-failure window: the drop edit commits but
+/// the directory removal itself fails (an undeletable directory — EBUSY, a
+/// flaky device). The failure must be recorded in the store's counters, not
+/// silently discarded, and the next reopen must reap the orphan.
+#[test]
+fn cf_drop_with_failed_dir_removal_is_recorded_and_reaped_on_reopen() {
+    for engine in ["flsm", "lsm"] {
+        let mem_env = MemEnv::new();
+        let env: Arc<dyn Env> = Arc::new(mem_env.clone());
+        let dir = Path::new("/drop-remove-fail");
+        let temp_id;
+        {
+            let db = open_db_engine(engine, &env, dir);
+            let temp = db.create_cf("temp").unwrap();
+            temp_id = temp.id();
+            for i in 0..500u32 {
+                temp.put(format!("t{i:04}").as_bytes(), b"temp").unwrap();
+            }
+            db.flush().unwrap(); // the family owns sstables now
+            let before = db.stats().cleanup_failures;
+            mem_env.inject_remove_error(&format!("{}/cf-{temp_id}", dir.display()));
+
+            // The drop itself succeeds — the family is gone from the catalog
+            // and unreachable — but its directory could not be deleted.
+            db.drop_cf("temp").unwrap();
+            assert!(db.cf("temp").is_none(), "{engine}: family must be gone");
+            assert!(
+                db.stats().cleanup_failures > before,
+                "{engine}: failed directory removal was silently discarded"
+            );
+            let temp_dir = dir.join(format!("cf-{temp_id}"));
+            assert!(
+                !env.children(&temp_dir).unwrap().is_empty(),
+                "{engine}: setup must leave the orphan directory behind"
+            );
+        }
+
+        // The machine comes back healthy: reopen reaps the orphan.
+        mem_env.clear_fault_injection();
+        let db = open_db_engine(engine, &env, dir);
+        assert!(
+            db.cf("temp").is_none(),
+            "{engine}: dropped family stays gone"
+        );
+        let temp_dir = dir.join(format!("cf-{temp_id}"));
+        assert!(
+            env.children(&temp_dir).unwrap().is_empty(),
+            "{engine}: orphaned directory must be reaped on reopen"
+        );
+    }
+}

@@ -371,3 +371,57 @@ fn info_and_prometheus_metrics_render_over_the_wire() {
     assert!(response.contains("pebblesdb_cf_num_files{cf=\"default\"}"));
     server.shutdown();
 }
+
+#[test]
+fn shutdown_drain_on_a_dead_connection_is_counted_not_hidden() {
+    // Slow the store's appends so the connection thread is still answering
+    // the first burst when the client dies and the shutdown lands: the
+    // second burst is then answered by the shutdown drain itself, against a
+    // connection that is already gone.
+    let mem_env = MemEnv::new();
+    let env: Arc<dyn Env> = Arc::new(mem_env.clone());
+    let db: Arc<dyn Db> =
+        Arc::new(PebblesDb::open(Arc::clone(&env), Path::new("/server-drain")).unwrap());
+    let server = Server::start(Arc::clone(&db), ServerConfig::default()).unwrap();
+    let counters = server.counters();
+
+    const BURST: u32 = 40;
+    let mut conn = RespClient::connect(server.local_addr()).unwrap();
+    mem_env.set_write_latency_micros(20_000);
+    for i in 0..BURST {
+        conn.send(&[b"SET", format!("a{i:03}").as_bytes(), b"v"])
+            .unwrap();
+    }
+    // Let the thread pull burst A off the socket, then queue burst B behind
+    // it and vanish without reading a single reply.
+    std::thread::sleep(Duration::from_millis(200));
+    for i in 0..BURST {
+        conn.send(&[b"SET", format!("b{i:03}").as_bytes(), b"v"])
+            .unwrap();
+    }
+    drop(conn);
+
+    // Shutdown flags the connection thread mid-burst-A; once it finishes,
+    // it enters the drain with burst B still buffered and the peer dead.
+    server.shutdown();
+    mem_env.set_write_latency_micros(0);
+
+    // Burst A was accepted before the drain and must have been applied.
+    for i in 0..BURST {
+        let key = format!("a{i:03}");
+        assert_eq!(
+            db.get(key.as_bytes()).unwrap(),
+            Some(b"v".to_vec()),
+            "{key} was accepted but lost in shutdown"
+        );
+    }
+    // The drain could not deliver its replies (or farewell) to the dead
+    // socket; before the fix this was silently discarded.
+    assert!(
+        counters
+            .shutdown_drain_failures
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1,
+        "failed drain was not surfaced in the counters"
+    );
+}
