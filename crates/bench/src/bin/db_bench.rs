@@ -14,7 +14,7 @@ use pebblesdb_bench::engines::{
 };
 use pebblesdb_bench::report::{format_kops, format_mib, format_ratio};
 use pebblesdb_bench::{scaled_options, Args, EngineKind, Report, Workload};
-use pebblesdb_common::{Db, KvStore};
+use pebblesdb_common::{CompressionType, Db, KvStore};
 
 fn workload_from_name(name: &str) -> Option<Workload> {
     match name {
@@ -112,10 +112,122 @@ fn run_value_sweep(args: &Args) {
     report.print();
 }
 
+/// `--compression-sweep`: fillrandom + readrandom at compressibility 0.25
+/// and 1.0, block/vlog compression off vs on, a fresh store per cell. The
+/// interesting numbers are the "bytes ratio" column — device bytes written
+/// with compression off over on, which should clear ~1.8x for the
+/// 0.25-compressible cell and sit at ~1.0x for the incompressible one — and
+/// the read KOps columns, where decompression should hold at or above
+/// parity because the block cache only holds uncompressed bytes.
+fn run_compression_sweep(args: &Args) {
+    let engine = EngineKind::from_flag(&args.get_str("engine", "pebblesdb"))
+        .expect("unknown --engine (pebblesdb|pebblesdb-1|hyperleveldb|leveldb|rocksdb|btree)");
+    let threads = args.get_u64("threads", 1) as usize;
+    let scale = args.get_u64("scale-divisor", 16) as usize;
+    let keys = args.get_u64("keys", 20_000);
+    let value_size = args.get_u64("value-size", 1024) as usize;
+    let write_latency_us = args.get_u64("write-latency-us", 0);
+
+    let mut report = Report::new(
+        &format!(
+            "compression sweep — {} (fillrandom + readrandom, {keys} keys, {value_size} B values)",
+            engine.name()
+        ),
+        vec![
+            "compressibility".to_string(),
+            "off fill KOps/s".to_string(),
+            "off write IO".to_string(),
+            "on fill KOps/s".to_string(),
+            "on write IO".to_string(),
+            "bytes ratio".to_string(),
+            "off read KOps/s".to_string(),
+            "on read KOps/s".to_string(),
+        ],
+    );
+
+    for compressibility in [0.25f64, 1.0] {
+        let mut cells = Vec::new();
+        for compression in [CompressionType::None, CompressionType::Lz] {
+            let (env, mem_env, dir) = open_bench_env_full(
+                &args.get_str("env", "mem"),
+                engine,
+                &args.get_str("dir", ""),
+            );
+            if write_latency_us > 0 {
+                if let Some(mem) = &mem_env {
+                    mem.set_write_latency_micros_for(".sst", write_latency_us);
+                }
+            }
+            let mut options = scaled_options(engine, scale);
+            options.compression = compression;
+            // Size the block cache for the working set: the cache holds
+            // uncompressed bytes by design, so once warm, reads cost the
+            // same with compression on or off — that is the property the
+            // read columns measure (the cold-miss decompression cost shows
+            // up separately in the decompress_micros stat).
+            options.block_cache_capacity = ((keys as usize * (16 + value_size)) * 2).max(8 << 20);
+            let store = open_engine_with_options(engine, env, &dir, options).expect("open engine");
+            let shards = std::slice::from_ref(&store);
+            let fill = Workload::FillRandom
+                .run_sharded_compressible(shards, keys, 16, value_size, threads, compressibility)
+                .expect("run fillrandom");
+            store.flush().expect("flush after fill");
+            // Warm the cache with one full scan so readrandom measures
+            // steady-state reads, not first-touch block loads.
+            let mut iter = store
+                .iter(&pebblesdb_common::ReadOptions::default())
+                .expect("open warming iterator");
+            iter.seek_to_first();
+            while iter.valid() {
+                std::hint::black_box((iter.key(), iter.value()));
+                iter.next();
+            }
+            drop(iter);
+            let read = Workload::ReadRandom
+                .run_sharded_compressible(
+                    shards,
+                    (keys / 2).max(1),
+                    16,
+                    value_size,
+                    threads,
+                    compressibility,
+                )
+                .expect("run readrandom");
+            cells.push((fill, read));
+        }
+        let (off_fill, off_read) = &cells[0];
+        let (on_fill, on_read) = &cells[1];
+        report.add_row(vec![
+            format!("{compressibility}"),
+            format_kops(off_fill.kops_per_second()),
+            format_mib(off_fill.bytes_written),
+            format_kops(on_fill.kops_per_second()),
+            format_mib(on_fill.bytes_written),
+            if on_fill.bytes_written > 0 {
+                format!(
+                    "{:.2}x",
+                    off_fill.bytes_written as f64 / on_fill.bytes_written as f64
+                )
+            } else {
+                "-".to_string()
+            },
+            format_kops(off_read.kops_per_second()),
+            format_kops(on_read.kops_per_second()),
+        ]);
+    }
+    report.add_note("'bytes ratio' is device bytes written with compression off over on: >1 means the codec saved real IO.");
+    report.add_note("Compressibility is the fraction an ideal codec shrinks each value to; 1.0 is fully random (the no-regression control).");
+    report.print();
+}
+
 fn main() {
     let args = Args::parse();
     if args.has_flag("value-sweep") {
         run_value_sweep(&args);
+        return;
+    }
+    if args.has_flag("compression-sweep") {
+        run_compression_sweep(&args);
         return;
     }
     let keys = args.get_u64("keys", 50_000);
@@ -152,6 +264,12 @@ fn main() {
     // 0 (the default) keeps key-value separation off; any other value is the
     // minimum value size, in bytes, that goes to the per-family value log.
     options.value_separation_threshold = args.get_u64("value-separation-threshold", 0) as usize;
+    // `--compression on|off` (also accepts lz/none) toggles block + vlog
+    // compression; `--compressibility R` makes generated values shrink to
+    // ~R of their size under an ideal codec (1.0 = fully random).
+    options.compression = CompressionType::parse(&args.get_str("compression", "off"))
+        .expect("unknown --compression (on|off|lz|none)");
+    let compressibility = args.get_f64("compressibility", 1.0);
     // `--cfs N` round-robins the key stream over N column families of one
     // database: shard 0 is the default family, shards 1..N are created. With
     // N = 1 the run is byte-for-byte the single-namespace benchmark.
@@ -221,7 +339,7 @@ fn main() {
         }
         .max(1);
         let result = workload
-            .run_sharded(&shards, ops, 16, value_size, threads)
+            .run_sharded_compressible(&shards, ops, 16, value_size, threads, compressibility)
             .expect("run workload");
         report.add_row(vec![
             result.name.clone(),

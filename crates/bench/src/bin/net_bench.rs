@@ -24,7 +24,7 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use pebblesdb_bench::keygen::{bench_key, bench_value};
+use pebblesdb_bench::keygen::{bench_key, bench_value_compressible};
 use pebblesdb_bench::report::{format_kops, Report};
 use pebblesdb_bench::Args;
 use pebblesdb_common::resp::RespValue;
@@ -42,6 +42,8 @@ const USAGE: &str = "net_bench [options]
   --rate-limit OPS       with --spawn: per-connection rate limit
   --burst OPS            with --spawn: rate-limit burst (default rate/10)
   --shards N             with --spawn: serve a ShardedDb of N shards (default 0 = unsharded)
+  --compression on|off   with --spawn: block + vlog compression (default off)
+  --compressibility R    generated values shrink to ~R of their size under an ideal codec (default 1.0)
   --write-latency-us US  with --spawn: inject latency per sstable write
   --sync                 with --spawn: fsync acknowledged writes
   --help                 print this help";
@@ -64,6 +66,7 @@ fn main() {
     let clients = args.get_u64("clients", 8).max(1) as usize;
     let ops = args.get_u64("ops", 10_000).max(1);
     let value_size = args.get_u64("value-size", 100) as usize;
+    let compressibility = args.get_f64("compressibility", 1.0);
     let workload = args.get_str("workload", "all");
 
     // Either connect out, or spawn an in-process server on an ephemeral
@@ -79,22 +82,24 @@ fn main() {
         // `--shards N` serves a hash-sharded store through the same RESP
         // front-end — the server code is unchanged, only the Db behind it.
         let shards = args.get_u64("shards", 0) as usize;
+        let mut options = pebblesdb_common::StoreOptions::default();
+        options.compression =
+            pebblesdb_common::CompressionType::parse(&args.get_str("compression", "off"))
+                .expect("unknown --compression (on|off|lz|none)");
         let db: Arc<dyn pebblesdb_common::Db> = if shards > 0 {
             let config = pebblesdb_shard::ShardConfig {
                 shards,
                 ..Default::default()
             };
             Arc::new(
-                pebblesdb::PebblesDb::open_sharded(
-                    env,
-                    Path::new("/net-bench"),
-                    pebblesdb_common::StoreOptions::default(),
-                    config,
-                )
-                .expect("open sharded store"),
+                pebblesdb::PebblesDb::open_sharded(env, Path::new("/net-bench"), options, config)
+                    .expect("open sharded store"),
             )
         } else {
-            Arc::new(pebblesdb::PebblesDb::open(env, Path::new("/net-bench")).expect("open store"))
+            Arc::new(
+                pebblesdb::PebblesDb::open_with_options(env, Path::new("/net-bench"), options)
+                    .expect("open store"),
+            )
         };
         let mut config = ServerConfig::default();
         config.session.sync_writes = args.has_flag("sync");
@@ -132,7 +137,7 @@ fn main() {
         .collect(),
     );
     for phase in phases {
-        let result = run_phase(phase, addr, clients, ops, value_size);
+        let result = run_phase(phase, addr, clients, ops, value_size, compressibility);
         report.add_row(vec![
             result.name.to_string(),
             result.operations.to_string(),
@@ -158,6 +163,7 @@ fn run_phase(
     clients: usize,
     ops: u64,
     value_size: usize,
+    compressibility: f64,
 ) -> PhaseResult {
     let ops_per_client = ops.div_ceil(clients as u64);
     let total_keys = ops_per_client * clients as u64;
@@ -177,7 +183,8 @@ fn run_phase(
                     // mixed sample the whole (filled) space.
                     let write_key = base + i;
                     let read_key = rng.gen_range(0..total_keys);
-                    let value = bench_value(write_key, value_size, &mut rng);
+                    let value =
+                        bench_value_compressible(write_key, value_size, compressibility, &mut rng);
                     let op_started = Instant::now();
                     let write = match name.as_str() {
                         "fill" => true,

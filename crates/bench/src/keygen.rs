@@ -26,6 +26,28 @@ pub fn bench_value(index: u64, len: usize, rng: &mut impl Rng) -> Vec<u8> {
     value
 }
 
+/// [`bench_value`] with a target compression ratio, LevelDB-bench style:
+/// a random fragment of `len * ratio` bytes is repeated to fill the value,
+/// so an ideal codec shrinks it to roughly `ratio` of its size. `ratio >= 1`
+/// yields fully random (incompressible) bytes, identical to [`bench_value`].
+///
+/// The 8-byte little-endian index prefix is preserved in all cases so read
+/// verification keeps working regardless of compressibility.
+pub fn bench_value_compressible(index: u64, len: usize, ratio: f64, rng: &mut impl Rng) -> Vec<u8> {
+    if ratio >= 1.0 || len <= 8 {
+        return bench_value(index, len, rng);
+    }
+    let fragment_len = ((len as f64 * ratio) as usize).max(1);
+    let fragment: Vec<u8> = (0..fragment_len).map(|_| rng.gen()).collect();
+    let mut value = Vec::with_capacity(len);
+    value.extend_from_slice(&index.to_le_bytes());
+    while value.len() < len {
+        let take = fragment.len().min(len - value.len());
+        value.extend_from_slice(&fragment[..take]);
+    }
+    value
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -49,5 +71,24 @@ mod tests {
         }
         let value = bench_value(99, 64, &mut rng);
         assert_eq!(u64::from_le_bytes(value[..8].try_into().unwrap()), 99);
+    }
+
+    #[test]
+    fn compressible_values_keep_the_prefix_and_actually_compress() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let value = bench_value_compressible(42, 4096, 0.25, &mut rng);
+        assert_eq!(value.len(), 4096);
+        assert_eq!(u64::from_le_bytes(value[..8].try_into().unwrap()), 42);
+        let compressed = pebblesdb_compress::compress(&value);
+        assert!(
+            compressed.len() < value.len() / 2,
+            "0.25-compressible value only shrank to {}/{}",
+            compressed.len(),
+            value.len()
+        );
+
+        // Ratio 1.0 behaves exactly like the incompressible generator.
+        let incompressible = bench_value_compressible(42, 4096, 1.0, &mut rng);
+        assert!(pebblesdb_compress::compress_if_worthwhile(&incompressible).is_none());
     }
 }

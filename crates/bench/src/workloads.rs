@@ -110,7 +110,7 @@ impl BenchResult {
 // Key/value generation lives in [`crate::keygen`] so the network bench
 // client hits the exact same key space; re-exported here because every
 // workload call site historically imported them from this module.
-pub use crate::keygen::{bench_key, bench_value};
+pub use crate::keygen::{bench_key, bench_value, bench_value_compressible};
 
 impl Workload {
     /// Display name of the workload.
@@ -161,9 +161,24 @@ impl Workload {
         &self,
         stores: &[Arc<dyn KvStore>],
         operations: u64,
+        key_size: usize,
+        value_size: usize,
+        threads: usize,
+    ) -> Result<BenchResult> {
+        self.run_sharded_compressible(stores, operations, key_size, value_size, threads, 1.0)
+    }
+
+    /// Like [`Workload::run_sharded`], with a target value compressibility:
+    /// `compressibility` is the ratio an ideal codec would shrink each value
+    /// to (see [`bench_value_compressible`]); `1.0` means fully random.
+    pub fn run_sharded_compressible(
+        &self,
+        stores: &[Arc<dyn KvStore>],
+        operations: u64,
         _key_size: usize,
         value_size: usize,
         threads: usize,
+        compressibility: f64,
     ) -> Result<BenchResult> {
         assert!(!stores.is_empty(), "need at least one store");
         let threads = threads.max(1);
@@ -189,6 +204,7 @@ impl Workload {
                             global_index,
                             operations,
                             value_size,
+                            compressibility,
                             thread_id,
                             threads,
                             &mut rng,
@@ -247,6 +263,7 @@ impl Workload {
         index: u64,
         key_space: u64,
         value_size: usize,
+        compressibility: f64,
         thread_id: usize,
         threads: usize,
         rng: &mut StdRng,
@@ -256,14 +273,17 @@ impl Workload {
         // Round-robin: key `k` always lands in the same shard (column
         // family), so reads find what fills wrote regardless of shard count.
         let shard = |k: u64| &stores[(k % stores.len() as u64) as usize];
+        let value_for = |k: u64, rng: &mut StdRng| {
+            bench_value_compressible(k, value_size, compressibility, rng)
+        };
         match self {
             Workload::FillSeq => {
-                let value = bench_value(index, value_size, rng);
+                let value = value_for(index, rng);
                 shard(index).put(&bench_key(index), &value)?;
             }
             Workload::FillRandom | Workload::Overwrite => {
                 let k = rng.gen_range(0..key_space);
-                let value = bench_value(k, value_size, rng);
+                let value = value_for(k, rng);
                 shard(k).put(&bench_key(k), &value)?;
             }
             Workload::ReadRandom => {
@@ -305,7 +325,7 @@ impl Workload {
                     }
                 } else {
                     let k = rng.gen_range(0..key_space);
-                    let value = bench_value(k, value_size, rng);
+                    let value = value_for(k, rng);
                     shard(k).put(&bench_key(k), &value)?;
                 }
             }
@@ -330,7 +350,7 @@ impl Workload {
                     }
                 } else {
                     let k = rng.gen_range(0..key_space);
-                    let value = bench_value(k, value_size, rng);
+                    let value = value_for(k, rng);
                     shard(k).put(&bench_key(k), &value)?;
                 }
             }

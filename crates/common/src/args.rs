@@ -44,6 +44,14 @@ impl Args {
             .unwrap_or(default)
     }
 
+    /// Returns the floating-point value of `name`, or `default`.
+    pub fn get_f64(&self, name: &str, default: f64) -> f64 {
+        self.values
+            .get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
     /// Returns the string value of `name`, or `default`.
     pub fn get_str(&self, name: &str, default: &str) -> String {
         self.values

@@ -58,6 +58,43 @@ pub struct EngineCounters {
     pub cleanup_failures: AtomicU64,
 }
 
+/// Block/value compression counters, shared through
+/// [`StoreOptions::compression_stats`](crate::StoreOptions) by every
+/// component that compresses or decompresses on behalf of one store (table
+/// builders, block readers, vlog appenders and resolvers).
+#[derive(Debug, Default)]
+pub struct CompressionStats {
+    /// Bytes handed to the compressor that ended up stored compressed
+    /// (blocks kept raw for insufficient savings are not counted here).
+    pub input_bytes: AtomicU64,
+    /// Compressed bytes actually stored for those inputs.
+    pub output_bytes: AtomicU64,
+    /// Blocks / values attempted but stored raw because compression saved
+    /// less than the ~12.5% threshold.
+    pub skipped_blocks: AtomicU64,
+    /// Total microseconds spent decompressing on read paths.
+    pub decompress_micros: AtomicU64,
+}
+
+impl CompressionStats {
+    /// Records one block stored compressed: `input` bytes in, `output`
+    /// bytes stored.
+    pub fn record_compressed(&self, input: u64, output: u64) {
+        self.input_bytes.fetch_add(input, Ordering::Relaxed);
+        self.output_bytes.fetch_add(output, Ordering::Relaxed);
+    }
+
+    /// Records one block attempted but stored raw.
+    pub fn record_skipped(&self) {
+        self.skipped_blocks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records time spent decompressing on a read path.
+    pub fn add_decompress_micros(&self, micros: u64) {
+        self.decompress_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+}
+
 impl EngineCounters {
     /// Creates zeroed counters.
     pub fn new() -> Self {

@@ -45,10 +45,11 @@ pub use args::Args;
 pub use batch::{CfId, WriteBatch};
 pub use cf::{CfOps, CfStats, ColumnFamilyHandle, Db, PrefixDb, DEFAULT_CF_NAME};
 pub use commit::{CommitGroup, CommitQueue, Role, Ticket};
+pub use counters::CompressionStats;
 pub use error::{Error, Result};
 pub use iterator::DbIterator;
 pub use key::{InternalKey, ParsedInternalKey, SequenceNumber, ValueType, MAX_SEQUENCE_NUMBER};
-pub use options::{ReadOptions, StoreOptions, StorePreset, WriteOptions};
+pub use options::{CompressionType, ReadOptions, StoreOptions, StorePreset, WriteOptions};
 pub use resp::{RespCodec, RespLimits, RespValue};
 pub use snapshot::{Snapshot, SnapshotList};
 pub use stats_text::{cf_stat_fields, render_info, store_stat_fields, StatField, StatUnit};

@@ -6,7 +6,52 @@
 //! captures those configurations so the benchmark harness can request "run
 //! this workload with RocksDB-style parameters" for any engine.
 
+use std::sync::Arc;
+
+use crate::counters::CompressionStats;
 use crate::key::SequenceNumber;
+
+/// Which codec a block (or separated value) is stored with.
+///
+/// The numeric value of each variant is the on-disk compression tag written
+/// in every sstable block trailer, so the enum doubles as the tag registry:
+/// files written before compression existed carry tag `0` everywhere and
+/// remain readable forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CompressionType {
+    /// Store bytes verbatim (tag 0 — the only tag older files contain).
+    #[default]
+    None,
+    /// The in-tree LZ77-style codec from `pebblesdb-compress` (tag 1).
+    Lz,
+}
+
+impl CompressionType {
+    /// The on-disk block-trailer tag for this codec.
+    pub fn tag(self) -> u8 {
+        match self {
+            CompressionType::None => 0,
+            CompressionType::Lz => 1,
+        }
+    }
+
+    /// Short name used by flags and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CompressionType::None => "off",
+            CompressionType::Lz => "lz",
+        }
+    }
+
+    /// Parses the `--compression` flag values.
+    pub fn parse(flag: &str) -> Option<CompressionType> {
+        match flag {
+            "off" | "none" | "raw" | "0" => Some(CompressionType::None),
+            "on" | "lz" | "1" => Some(CompressionType::Lz),
+            _ => None,
+        }
+    }
+}
 
 /// Which evaluated key-value store a configuration models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -106,6 +151,28 @@ pub struct StoreOptions {
     /// collection.
     pub vlog_file_size: usize,
 
+    /// Codec for sstable data/index blocks and separated vlog values.
+    ///
+    /// Applies uniformly to every level unless
+    /// [`StoreOptions::compression_per_level`] overrides it. Whatever the
+    /// setting, blocks whose compressed form saves less than ~12.5% are
+    /// stored raw (tag 0), and readers always dispatch on the per-block tag
+    /// — so mixing settings across restarts of one store is safe.
+    pub compression: CompressionType,
+    /// RocksDB-style per-level override of [`StoreOptions::compression`]:
+    /// entry `i` is the codec for sstables written to level `i`. Empty (the
+    /// default) means `compression` applies everywhere; levels at or beyond
+    /// the last entry use the last entry (so `[None, None, Lz]` keeps the
+    /// young, hot levels raw for flush latency and compresses level 2 and
+    /// deeper). Vlog values always follow `compression` — they have no
+    /// level.
+    pub compression_per_level: Vec<CompressionType>,
+    /// Compression counters shared by every component this options value is
+    /// cloned into (table builders, block readers, vlog appenders), surfaced
+    /// through `StoreStats`. Cloning options shares the `Arc`, so one store
+    /// aggregates across all its column families.
+    pub compression_stats: Arc<CompressionStats>,
+
     /// FLSM: maximum sstables a guard may hold before it must be compacted.
     pub max_sstables_per_guard: usize,
     /// FLSM: number of trailing hash bits that must be set for a key to be a
@@ -160,6 +227,10 @@ impl Default for StoreOptions {
 
             value_separation_threshold: 0,
             vlog_file_size: 64 << 20,
+
+            compression: CompressionType::None,
+            compression_per_level: Vec::new(),
+            compression_stats: Arc::new(CompressionStats::default()),
 
             max_sstables_per_guard: 8,
             top_level_bits: 14,
@@ -242,6 +313,17 @@ impl StoreOptions {
             size = size.saturating_mul(self.level_size_multiplier);
         }
         size
+    }
+
+    /// The codec for sstables written to `level`: the matching
+    /// [`StoreOptions::compression_per_level`] entry when one is set (levels
+    /// past the end use the last entry), otherwise
+    /// [`StoreOptions::compression`].
+    pub fn compression_for_level(&self, level: usize) -> CompressionType {
+        match self.compression_per_level.as_slice() {
+            [] => self.compression,
+            tiers => tiers[level.min(tiers.len() - 1)],
+        }
     }
 
     /// Number of trailing set bits a key hash needs to become a guard at
@@ -347,6 +429,37 @@ mod tests {
         assert!(opts.write_buffer_size >= 32 << 10);
         assert!(opts.max_file_size >= 32 << 10);
         assert!(opts.base_level_bytes >= 128 << 10);
+    }
+
+    #[test]
+    fn per_level_compression_tiers_resolve_with_last_entry_extension() {
+        let mut opts = StoreOptions::default();
+        assert_eq!(opts.compression_for_level(0), CompressionType::None);
+
+        opts.compression = CompressionType::Lz;
+        assert_eq!(opts.compression_for_level(0), CompressionType::Lz);
+        assert_eq!(opts.compression_for_level(6), CompressionType::Lz);
+
+        // Young levels raw, level 2 and deeper compressed.
+        opts.compression_per_level = vec![
+            CompressionType::None,
+            CompressionType::None,
+            CompressionType::Lz,
+        ];
+        assert_eq!(opts.compression_for_level(0), CompressionType::None);
+        assert_eq!(opts.compression_for_level(1), CompressionType::None);
+        assert_eq!(opts.compression_for_level(2), CompressionType::Lz);
+        assert_eq!(opts.compression_for_level(6), CompressionType::Lz);
+    }
+
+    #[test]
+    fn compression_flag_parsing_and_tags() {
+        assert_eq!(CompressionType::parse("on"), Some(CompressionType::Lz));
+        assert_eq!(CompressionType::parse("off"), Some(CompressionType::None));
+        assert_eq!(CompressionType::parse("lz"), Some(CompressionType::Lz));
+        assert_eq!(CompressionType::parse("zstd"), None);
+        assert_eq!(CompressionType::None.tag(), 0);
+        assert_eq!(CompressionType::Lz.tag(), 1);
     }
 
     #[test]

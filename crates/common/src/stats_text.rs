@@ -90,6 +90,14 @@ pub fn store_stat_fields(stats: &StoreStats) -> Vec<StatField> {
         StatField::new("vlog_cache_misses", stats.vlog_cache_misses, Count),
         StatField::new("vlog_gc_relocations", stats.vlog_gc_relocations, Count),
         StatField::new("cleanup_failures", stats.cleanup_failures, Count),
+        StatField::new("compress_input_bytes", stats.compress_input_bytes, Bytes),
+        StatField::new("compress_output_bytes", stats.compress_output_bytes, Bytes),
+        StatField::new(
+            "compress_skipped_blocks",
+            stats.compress_skipped_blocks,
+            Count,
+        ),
+        StatField::new("decompress_micros", stats.decompress_micros, Micros),
     ]
 }
 
@@ -161,14 +169,18 @@ mod tests {
             vlog_cache_misses: 26,
             vlog_gc_relocations: 27,
             cleanup_failures: 28,
+            compress_input_bytes: 29,
+            compress_output_bytes: 30,
+            compress_skipped_blocks: 31,
+            decompress_micros: 32,
         };
         let fields = store_stat_fields(&stats);
-        assert_eq!(fields.len(), 28);
+        assert_eq!(fields.len(), 32);
         // Every distinct value appears exactly once — no field forgotten or
         // double-mapped.
         let mut values: Vec<u64> = fields.iter().map(|f| f.value).collect();
         values.sort_unstable();
-        assert_eq!(values, (1..=28).collect::<Vec<u64>>());
+        assert_eq!(values, (1..=32).collect::<Vec<u64>>());
     }
 
     #[test]

@@ -102,6 +102,18 @@ pub struct StoreStats {
     /// Background cleanup operations (obsolete-file deletes, dropped-family
     /// directory removal) that failed and were deferred to a later GC pass.
     pub cleanup_failures: u64,
+    /// Uncompressed bytes that ended up stored compressed (sstable
+    /// data/index blocks plus separated vlog values; blocks kept raw for
+    /// insufficient savings are excluded).
+    pub compress_input_bytes: u64,
+    /// Compressed bytes stored for those inputs; `output / input` is the
+    /// achieved compression ratio.
+    pub compress_output_bytes: u64,
+    /// Blocks/values attempted but stored raw because compressing them
+    /// saved less than the ~12.5% threshold.
+    pub compress_skipped_blocks: u64,
+    /// Total microseconds read paths spent decompressing blocks and values.
+    pub decompress_micros: u64,
 }
 
 impl StoreStats {

@@ -64,16 +64,35 @@ impl ValuePointer {
     }
 }
 
+/// High bit of the `val_len` header word: set when the stored value bytes
+/// are compressed with the `pebblesdb-compress` codec. Records written
+/// before compression existed always have it clear (their lengths never
+/// reach 2 GiB), so old vlog files parse unchanged.
+pub const VLOG_VALUE_COMPRESSED: u32 = 1 << 31;
+
 /// Encodes one vlog record: `[crc32c u32][key_len u32][val_len u32][key][value]`.
 ///
 /// The checksum covers the two length words and both payloads, so a torn or
 /// misdirected read fails verification rather than returning garbage bytes.
 pub fn encode_vlog_record(key: &[u8], value: &[u8]) -> Vec<u8> {
-    let mut body = Vec::with_capacity(8 + key.len() + value.len());
+    encode_vlog_record_with(key, value, false)
+}
+
+/// [`encode_vlog_record`] with an explicit compressed-value flag;
+/// `stored_value` is the bytes as stored (already compressed when
+/// `compressed` is set). The flag lives in the `val_len` word's high bit,
+/// under the checksum.
+pub fn encode_vlog_record_with(key: &[u8], stored_value: &[u8], compressed: bool) -> Vec<u8> {
+    debug_assert!(stored_value.len() < VLOG_VALUE_COMPRESSED as usize);
+    let mut body = Vec::with_capacity(8 + key.len() + stored_value.len());
     put_fixed32(&mut body, key.len() as u32);
-    put_fixed32(&mut body, value.len() as u32);
+    let mut val_len = stored_value.len() as u32;
+    if compressed {
+        val_len |= VLOG_VALUE_COMPRESSED;
+    }
+    put_fixed32(&mut body, val_len);
     body.extend_from_slice(key);
-    body.extend_from_slice(value);
+    body.extend_from_slice(stored_value);
     let mut out = Vec::with_capacity(4 + body.len());
     put_fixed32(&mut out, crc32c::mask(crc32c::crc32c(&body)));
     out.extend_from_slice(&body);
@@ -85,16 +104,28 @@ pub fn vlog_record_len(key_len: usize, value_len: usize) -> usize {
     VLOG_RECORD_HEADER + key_len + value_len
 }
 
+/// One decoded vlog record, borrowing its payloads from the file image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VlogRecord<'a> {
+    /// The user key the record repeats for GC liveness checks.
+    pub key: &'a [u8],
+    /// The stored value bytes — compressed when [`VlogRecord::compressed`]
+    /// is set; the reader must decompress before handing them out.
+    pub value: &'a [u8],
+    /// Whether `value` is compressed with the workspace codec.
+    pub compressed: bool,
+}
+
 /// Decodes and checksum-verifies one record that starts at `data[0]`.
-///
-/// Returns `(key, value)` slices borrowed from `data`.
-pub fn parse_vlog_record(data: &[u8]) -> Result<(&[u8], &[u8])> {
+pub fn parse_vlog_record(data: &[u8]) -> Result<VlogRecord<'_>> {
     if data.len() < VLOG_RECORD_HEADER {
         return Err(Error::corruption("vlog record shorter than its header"));
     }
     let stored_crc = decode_fixed32(&data[0..4]);
     let key_len = decode_fixed32(&data[4..8]) as usize;
-    let val_len = decode_fixed32(&data[8..12]) as usize;
+    let val_word = decode_fixed32(&data[8..12]);
+    let compressed = val_word & VLOG_VALUE_COMPRESSED != 0;
+    let val_len = (val_word & !VLOG_VALUE_COMPRESSED) as usize;
     let total = vlog_record_len(key_len, val_len);
     if data.len() < total {
         return Err(Error::corruption(format!(
@@ -108,11 +139,15 @@ pub fn parse_vlog_record(data: &[u8]) -> Result<(&[u8], &[u8])> {
     }
     let key = &data[VLOG_RECORD_HEADER..VLOG_RECORD_HEADER + key_len];
     let value = &data[VLOG_RECORD_HEADER + key_len..total];
-    Ok((key, value))
+    Ok(VlogRecord {
+        key,
+        value,
+        compressed,
+    })
 }
 
 /// Iterates the records of a whole vlog file image, yielding
-/// `(offset, key, value, record_len)` per record.
+/// `(offset, record, record_len)` per record.
 ///
 /// A torn tail (the bytes a crash left behind after the last complete
 /// record) ends the iteration silently — exactly like WAL replay — while a
@@ -128,7 +163,7 @@ pub struct VlogRecordIter<'a> {
 }
 
 impl<'a> Iterator for VlogRecordIter<'a> {
-    type Item = Result<(u64, &'a [u8], &'a [u8], u32)>;
+    type Item = Result<(u64, VlogRecord<'a>, u32)>;
 
     fn next(&mut self) -> Option<Self::Item> {
         let rest = &self.data[self.offset.min(self.data.len())..];
@@ -136,7 +171,7 @@ impl<'a> Iterator for VlogRecordIter<'a> {
             return None;
         }
         let key_len = decode_fixed32(&rest[4..8]) as usize;
-        let val_len = decode_fixed32(&rest[8..12]) as usize;
+        let val_len = (decode_fixed32(&rest[8..12]) & !VLOG_VALUE_COMPRESSED) as usize;
         let total = vlog_record_len(key_len, val_len);
         if rest.len() < total {
             // Torn tail: the record's header landed but its payload did not.
@@ -145,7 +180,7 @@ impl<'a> Iterator for VlogRecordIter<'a> {
         let offset = self.offset as u64;
         self.offset += total;
         match parse_vlog_record(rest) {
-            Ok((key, value)) => Some(Ok((offset, key, value, total as u32))),
+            Ok(record) => Some(Ok((offset, record, total as u32))),
             Err(err) => Some(Err(err)),
         }
     }
@@ -190,9 +225,25 @@ mod tests {
     fn record_roundtrips() {
         let record = encode_vlog_record(b"key", b"some large value");
         assert_eq!(record.len(), vlog_record_len(3, 16));
-        let (key, value) = parse_vlog_record(&record).unwrap();
-        assert_eq!(key, b"key");
-        assert_eq!(value, b"some large value");
+        let parsed = parse_vlog_record(&record).unwrap();
+        assert_eq!(parsed.key, b"key");
+        assert_eq!(parsed.value, b"some large value");
+        assert!(!parsed.compressed);
+    }
+
+    #[test]
+    fn compressed_flag_roundtrips_under_the_checksum() {
+        let record = encode_vlog_record_with(b"key", b"compressed-bytes", true);
+        let parsed = parse_vlog_record(&record).unwrap();
+        assert_eq!(parsed.key, b"key");
+        assert_eq!(parsed.value, b"compressed-bytes");
+        assert!(parsed.compressed);
+
+        // Clearing the flag bit after encoding breaks the CRC: the flag is
+        // an integrity-protected part of the record, not advisory.
+        let mut tampered = record.clone();
+        tampered[11] &= 0x7f; // high byte of the little-endian val_len word
+        assert!(parse_vlog_record(&tampered).is_err());
     }
 
     #[test]
@@ -218,9 +269,9 @@ mod tests {
             .unwrap();
         assert_eq!(records.len(), 2);
         assert_eq!(records[0].0, 0);
-        assert_eq!(records[0].1, b"a");
+        assert_eq!(records[0].1.key, b"a");
         assert_eq!(records[1].0, second_offset);
-        assert_eq!(records[1].2, b"second");
+        assert_eq!(records[1].1.value, b"second");
     }
 
     #[test]

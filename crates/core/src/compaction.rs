@@ -478,7 +478,10 @@ pub fn run_compaction_io(
                 next_output += 1;
                 let path = table_file_name(db_path, number);
                 let file = env.new_writable_file(&path)?;
-                builder = Some((number, TableBuilder::new(options, file)));
+                builder = Some((
+                    number,
+                    TableBuilder::new_for_level(options, file, job.output_level),
+                ));
             }
             let (_, b) = builder.as_mut().expect("builder exists");
             b.add(&key, merged.value())?;

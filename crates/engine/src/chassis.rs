@@ -360,7 +360,8 @@ impl<P: ShapePolicy> EngineDb<P> {
             // Vlog files are registered by directory listing, not in the
             // MANIFEST; their numbers must be re-marked used so a new file
             // never collides with a recovered one.
-            let (vlog, vlog_numbers) = CfVlog::recover(&env, &dir, &counters)?;
+            let (vlog, vlog_numbers) =
+                CfVlog::recover(&env, &dir, &counters, &options.compression_stats)?;
             for number in vlog_numbers {
                 versions.mark_file_number_used(number);
             }
@@ -635,7 +636,9 @@ fn build_table_from_memtable(
     let file = io
         .env
         .new_writable_file(&table_file_name(&io.db_path, file_number))?;
-    let mut builder = TableBuilder::new(&io.options, file);
+    // Flushes always land in level 0, so the per-level compression tier for
+    // level 0 applies (typically raw: young tables are short-lived).
+    let mut builder = TableBuilder::new_for_level(&io.options, file, 0);
     let mut smallest: Option<Vec<u8>> = None;
     let mut largest: Vec<u8> = Vec::new();
     while iter.valid() {
@@ -917,6 +920,8 @@ impl<P: ShapePolicy> EngineCore<P> {
                         open_number,
                         sealed: Vec::new(),
                         dirty: false,
+                        compression: self.io.options.compression,
+                        compression_stats: Arc::clone(&self.io.options.compression_stats),
                     },
                 );
             }
@@ -1724,8 +1729,9 @@ impl<P: ShapePolicy> EngineCore<P> {
         };
         let mut live: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
         let mut retire_ok = true;
-        for record in iter_vlog_records(&data) {
-            let (offset, key, value, _len) = record?;
+        for entry in iter_vlog_records(&data) {
+            let (offset, record, _len) = entry?;
+            let key = record.key;
             if !self.pointer_is_current(cf_id, &at, key, file_number, offset)? {
                 continue;
             }
@@ -1743,7 +1749,15 @@ impl<P: ShapePolicy> EngineCore<P> {
                 retire_ok = false;
                 continue;
             }
-            live.push((key.to_vec(), value.to_vec()));
+            // Relocation re-enters the commit path, which re-frames (and
+            // re-compresses, if configured) the value — so hand it the
+            // original bytes, not the stored compressed form.
+            let value = if record.compressed {
+                pebblesdb_compress::decompress(record.value, u32::MAX as usize)?
+            } else {
+                record.value.to_vec()
+            };
+            live.push((key.to_vec(), value));
         }
 
         // Relocate through the commit path as single-record pre-sequenced
@@ -1946,7 +1960,12 @@ impl<P: ShapePolicy> EngineCore<P> {
         versions.set_last_sequence(state.last_sequence);
         versions.commit_level0(None, Some(state.log_file_number))?;
         let mem_log_number = state.log_file_number;
-        let vlog = CfVlog::new(&self.io.env, &dir, &self.counters);
+        let vlog = CfVlog::new(
+            &self.io.env,
+            &dir,
+            &self.counters,
+            &self.io.options.compression_stats,
+        );
         state.cfs.insert(
             id,
             CfState {
@@ -2063,6 +2082,7 @@ impl<P: ShapePolicy> EngineCore<P> {
             table_cache_hits += th;
             table_cache_misses += tm;
         }
+        let compression = &self.io.options.compression_stats;
         StoreStats {
             user_bytes_written: EngineCounters::load(&self.counters.user_bytes_written),
             bytes_written: io.bytes_written,
@@ -2094,6 +2114,10 @@ impl<P: ShapePolicy> EngineCore<P> {
             vlog_cache_misses: EngineCounters::load(&self.counters.vlog_cache_misses),
             vlog_gc_relocations: EngineCounters::load(&self.counters.vlog_gc_relocations),
             cleanup_failures: EngineCounters::load(&self.counters.cleanup_failures),
+            compress_input_bytes: compression.input_bytes.load(Ordering::Relaxed),
+            compress_output_bytes: compression.output_bytes.load(Ordering::Relaxed),
+            compress_skipped_blocks: compression.skipped_blocks.load(Ordering::Relaxed),
+            decompress_micros: compression.decompress_micros.load(Ordering::Relaxed),
         }
     }
 

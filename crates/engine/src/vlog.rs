@@ -30,13 +30,19 @@ use parking_lot::Mutex;
 use pebblesdb_common::counters::EngineCounters;
 use pebblesdb_common::filename::{parse_file_name, vlog_file_name, FileType};
 use pebblesdb_common::key::SequenceNumber;
-use pebblesdb_common::vlog::{encode_vlog_record, parse_vlog_record, ValuePointer, ValueResolver};
-use pebblesdb_common::{Error, Result};
+use pebblesdb_common::vlog::{
+    encode_vlog_record_with, parse_vlog_record, ValuePointer, ValueResolver,
+};
+use pebblesdb_common::{CompressionStats, CompressionType, Error, Result};
 use pebblesdb_env::{Env, RandomAccessFile, WritableFile};
 
 /// Open readers a family's cache keeps before evicting; pointer resolution
 /// is one ranged read, so a handful of hot files covers real workloads.
 const READER_CACHE_CAP: usize = 8;
+
+/// Allocation bound handed to the codec when inflating a compressed vlog
+/// value: record lengths are `u32`, so no legitimate value exceeds this.
+const MAX_DECOMPRESSED_VALUE: usize = u32::MAX as usize;
 
 /// One family's value-log registry, owned by its
 /// [`CfState`](crate::chassis::CfState) under the engine state mutex.
@@ -64,6 +70,7 @@ impl CfVlog {
         env: &Arc<dyn Env>,
         dir: &Path,
         counters: &Arc<EngineCounters>,
+        compression_stats: &Arc<CompressionStats>,
     ) -> Result<(CfVlog, Vec<u64>)> {
         let mut sealed = BTreeMap::new();
         let mut numbers = Vec::new();
@@ -84,6 +91,7 @@ impl CfVlog {
                     env: Arc::clone(env),
                     dir: dir.to_path_buf(),
                     counters: Arc::clone(counters),
+                    compression_stats: Arc::clone(compression_stats),
                     readers: Mutex::new(HashMap::new()),
                 }),
             },
@@ -92,7 +100,12 @@ impl CfVlog {
     }
 
     /// An empty registry for a freshly created family.
-    pub fn new(env: &Arc<dyn Env>, dir: &Path, counters: &Arc<EngineCounters>) -> CfVlog {
+    pub fn new(
+        env: &Arc<dyn Env>,
+        dir: &Path,
+        counters: &Arc<EngineCounters>,
+        compression_stats: &Arc<CompressionStats>,
+    ) -> CfVlog {
         CfVlog {
             active: None,
             sealed: BTreeMap::new(),
@@ -101,6 +114,7 @@ impl CfVlog {
                 env: Arc::clone(env),
                 dir: dir.to_path_buf(),
                 counters: Arc::clone(counters),
+                compression_stats: Arc::clone(compression_stats),
                 readers: Mutex::new(HashMap::new()),
             }),
         }
@@ -139,6 +153,10 @@ pub struct TakenVlog {
     pub sealed: Vec<(u64, u64)>,
     /// Whether this group appended any record (gates the flush/sync calls).
     pub dirty: bool,
+    /// Codec applied to values before they are framed into records.
+    pub compression: CompressionType,
+    /// Where compressed/skipped byte counts are recorded.
+    pub compression_stats: Arc<CompressionStats>,
 }
 
 impl TakenVlog {
@@ -172,7 +190,25 @@ impl TakenVlog {
             .active
             .as_mut()
             .expect("taken appender always has a file by now");
-        let record = encode_vlog_record(key, value);
+        // Separated values are exactly the large, often-compressible blobs
+        // block compression never sees (they bypass the sstable), so they
+        // get the same codec-with-fallback treatment here. The flag rides
+        // in the record header under the CRC; raw records are bit-identical
+        // to the pre-compression format.
+        let record = match self.compression {
+            CompressionType::None => encode_vlog_record_with(key, value, false),
+            CompressionType::Lz => match pebblesdb_compress::compress_if_worthwhile(value) {
+                Some(compressed) => {
+                    self.compression_stats
+                        .record_compressed(value.len() as u64, compressed.len() as u64);
+                    encode_vlog_record_with(key, &compressed, true)
+                }
+                None => {
+                    self.compression_stats.record_skipped();
+                    encode_vlog_record_with(key, value, false)
+                }
+            },
+        };
         let pointer = ValuePointer {
             file_number: active.number,
             offset: active.offset,
@@ -208,6 +244,7 @@ pub struct VlogReaderCache {
     env: Arc<dyn Env>,
     dir: PathBuf,
     counters: Arc<EngineCounters>,
+    compression_stats: Arc<CompressionStats>,
     readers: Mutex<HashMap<u64, Arc<dyn RandomAccessFile>>>,
 }
 
@@ -260,8 +297,16 @@ impl ValueResolver for VlogReaderCache {
                 pointer.file_number, pointer.offset
             )));
         }
-        let (_key, value) = parse_vlog_record(&data)?;
-        Ok(value.to_vec())
+        let record = parse_vlog_record(&data)?;
+        if record.compressed {
+            let start = std::time::Instant::now();
+            let value = pebblesdb_compress::decompress(record.value, MAX_DECOMPRESSED_VALUE)?;
+            self.compression_stats
+                .add_decompress_micros(start.elapsed().as_micros() as u64);
+            Ok(value)
+        } else {
+            Ok(record.value.to_vec())
+        }
     }
 }
 

@@ -329,7 +329,12 @@ impl LsmPolicy {
                     output_index += 1;
                     let path = pebblesdb_common::filename::table_file_name(&io.db_path, number);
                     let file = io.env.new_writable_file(&path)?;
-                    builder = Some((number, TableBuilder::new(&self.options, file)));
+                    // Outputs of a level-N compaction land in level N+1, so
+                    // the deeper level's compression tier applies.
+                    builder = Some((
+                        number,
+                        TableBuilder::new_for_level(&self.options, file, job.level + 1),
+                    ));
                 }
                 let (_, b) = builder.as_mut().expect("builder exists");
                 b.add(&key, merged.value())?;

@@ -1,14 +1,30 @@
-//! A thread-safe LRU cache with byte-size accounting.
+//! A thread-safe, sharded LRU cache with byte-size accounting.
 //!
 //! Used as the block cache (keyed by `(table id, block offset)`) and as the
 //! table cache (keyed by file number). Capacity is expressed in abstract
 //! "charge" units — bytes for blocks, entries for tables.
+//!
+//! Large caches are split into a power-of-two number of independently locked
+//! shards selected by key hash, so concurrent readers hitting different
+//! blocks do not serialise on a single mutex. Each shard owns an equal slice
+//! of the total capacity and runs its own LRU list; hit/miss/usage totals
+//! are exact sums over the shards. Small caches (where per-shard capacity
+//! would be too small to behave like an LRU at all) stay single-sharded and
+//! keep strict global LRU ordering.
 
 use std::collections::HashMap;
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+
+/// Upper bound on the number of shards (must be a power of two).
+const MAX_SHARDS: usize = 16;
+
+/// Minimum per-shard capacity required before the cache splits into more
+/// than one shard. Below this, sharding would make eviction behaviour
+/// erratic (single entries larger than a shard), so we keep one shard.
+const MIN_SHARD_CAPACITY: usize = 4096;
 
 struct Entry<K, V> {
     key: K,
@@ -32,91 +48,205 @@ struct LruInner<K, V> {
     misses: u64,
 }
 
-/// A sharded-free, mutex-protected LRU cache.
-pub struct LruCache<K, V> {
-    inner: Mutex<LruInner<K, V>>,
-}
-
-impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
-    /// Creates a cache holding at most `capacity` units of charge.
-    pub fn new(capacity: usize) -> Self {
-        LruCache {
-            inner: Mutex::new(LruInner {
-                map: HashMap::new(),
-                slab: Vec::new(),
-                free: Vec::new(),
-                head: NIL,
-                tail: NIL,
-                usage: 0,
-                capacity: capacity.max(1),
-                hits: 0,
-                misses: 0,
-            }),
+impl<K: Eq + Hash + Clone, V> LruInner<K, V> {
+    fn new(capacity: usize) -> Self {
+        LruInner {
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            usage: 0,
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
         }
     }
 
-    /// Inserts `key -> value` with the given charge, evicting old entries if
-    /// the capacity is exceeded. Returns the inserted value.
-    pub fn insert(&self, key: K, value: V, charge: usize) -> Arc<V> {
-        let value = Arc::new(value);
-        let mut inner = self.inner.lock();
-        if let Some(&slot) = inner.map.get(&key) {
-            Self::detach(&mut inner, slot);
-            Self::remove_slot(&mut inner, slot);
+    fn insert(&mut self, key: K, value: Arc<V>, charge: usize) {
+        if let Some(&slot) = self.map.get(&key) {
+            self.detach(slot);
+            self.remove_slot(slot);
         }
         let entry = Entry {
             key: key.clone(),
-            value: Arc::clone(&value),
+            value,
             charge,
             prev: NIL,
             next: NIL,
         };
-        let slot = match inner.free.pop() {
+        let slot = match self.free.pop() {
             Some(slot) => {
-                inner.slab[slot] = Some(entry);
+                self.slab[slot] = Some(entry);
                 slot
             }
             None => {
-                inner.slab.push(Some(entry));
-                inner.slab.len() - 1
+                self.slab.push(Some(entry));
+                self.slab.len() - 1
             }
         };
-        inner.map.insert(key, slot);
-        inner.usage += charge;
-        Self::attach_front(&mut inner, slot);
-        Self::evict_if_needed(&mut inner);
-        value
+        self.map.insert(key, slot);
+        self.usage += charge;
+        self.attach_front(slot);
+        self.evict_if_needed();
     }
 
-    /// Returns the cached value for `key`, marking it most recently used.
-    pub fn get(&self, key: &K) -> Option<Arc<V>> {
-        let mut inner = self.inner.lock();
-        match inner.map.get(key).copied() {
+    fn get(&mut self, key: &K) -> Option<Arc<V>> {
+        match self.map.get(key).copied() {
             Some(slot) => {
-                inner.hits += 1;
-                Self::detach(&mut inner, slot);
-                Self::attach_front(&mut inner, slot);
-                inner.slab[slot].as_ref().map(|e| Arc::clone(&e.value))
+                self.hits += 1;
+                self.detach(slot);
+                self.attach_front(slot);
+                self.slab[slot].as_ref().map(|e| Arc::clone(&e.value))
             }
             None => {
-                inner.misses += 1;
+                self.misses += 1;
                 None
             }
         }
     }
 
-    /// Removes `key` from the cache if present.
-    pub fn erase(&self, key: &K) {
-        let mut inner = self.inner.lock();
-        if let Some(&slot) = inner.map.get(key) {
-            Self::detach(&mut inner, slot);
-            Self::remove_slot(&mut inner, slot);
+    fn erase(&mut self, key: &K) {
+        if let Some(&slot) = self.map.get(key) {
+            self.detach(slot);
+            self.remove_slot(slot);
         }
     }
 
-    /// Number of entries currently cached.
+    fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.usage = 0;
+    }
+
+    fn attach_front(&mut self, slot: usize) {
+        let old_head = self.head;
+        if let Some(entry) = self.slab[slot].as_mut() {
+            entry.prev = NIL;
+            entry.next = old_head;
+        }
+        if old_head != NIL {
+            if let Some(entry) = self.slab[old_head].as_mut() {
+                entry.prev = slot;
+            }
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn detach(&mut self, slot: usize) {
+        let (prev, next) = match self.slab[slot].as_ref() {
+            Some(entry) => (entry.prev, entry.next),
+            None => return,
+        };
+        if prev != NIL {
+            if let Some(entry) = self.slab[prev].as_mut() {
+                entry.next = next;
+            }
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            if let Some(entry) = self.slab[next].as_mut() {
+                entry.prev = prev;
+            }
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn remove_slot(&mut self, slot: usize) {
+        if let Some(entry) = self.slab[slot].take() {
+            self.usage -= entry.charge;
+            self.map.remove(&entry.key);
+            self.free.push(slot);
+        }
+    }
+
+    fn evict_if_needed(&mut self) {
+        while self.usage > self.capacity && self.tail != NIL {
+            let victim = self.tail;
+            self.detach(victim);
+            self.remove_slot(victim);
+        }
+    }
+}
+
+/// A sharded, mutex-per-shard LRU cache.
+pub struct LruCache<K, V> {
+    shards: Vec<Mutex<LruInner<K, V>>>,
+    /// `shards.len() - 1`; valid as a bitmask because the count is a power
+    /// of two.
+    mask: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` units of charge, split
+    /// evenly across a power-of-two number of shards chosen from the
+    /// capacity (large byte-sized caches get [`MAX_SHARDS`]; small caches
+    /// stay single-sharded so strict LRU order holds).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let mut shards = MAX_SHARDS;
+        while shards > 1 && capacity / shards < MIN_SHARD_CAPACITY {
+            shards /= 2;
+        }
+        let per_shard = capacity.div_ceil(shards);
+        LruCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(LruInner::new(per_shard)))
+                .collect(),
+            mask: shards - 1,
+        }
+    }
+
+    /// Number of independently locked shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<LruInner<K, V>> {
+        if self.mask == 0 {
+            return &self.shards[0];
+        }
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        // Fold the high bits in: the low bits of some keys (block offsets,
+        // file numbers) are poorly distributed.
+        let h = hasher.finish();
+        &self.shards[((h ^ (h >> 32)) as usize) & self.mask]
+    }
+
+    /// Inserts `key -> value` with the given charge, evicting old entries
+    /// from the key's shard if its capacity is exceeded. Returns the
+    /// inserted value.
+    pub fn insert(&self, key: K, value: V, charge: usize) -> Arc<V> {
+        let value = Arc::new(value);
+        self.shard(&key)
+            .lock()
+            .insert(key, Arc::clone(&value), charge);
+        value
+    }
+
+    /// Returns the cached value for `key`, marking it most recently used
+    /// within its shard.
+    pub fn get(&self, key: &K) -> Option<Arc<V>> {
+        self.shard(key).lock().get(key)
+    }
+
+    /// Removes `key` from the cache if present.
+    pub fn erase(&self, key: &K) {
+        self.shard(key).lock().erase(key);
+    }
+
+    /// Number of entries currently cached, summed over all shards.
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
     }
 
     /// Returns `true` if the cache holds no entries.
@@ -124,79 +254,27 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.len() == 0
     }
 
-    /// Total charge of the cached entries.
+    /// Total charge of the cached entries, summed over all shards.
     pub fn usage(&self) -> usize {
-        self.inner.lock().usage
+        self.shards.iter().map(|s| s.lock().usage).sum()
     }
 
-    /// Hit and miss counters since creation.
+    /// Exact hit and miss counters since creation, summed over all shards.
     pub fn hit_miss(&self) -> (u64, u64) {
-        let inner = self.inner.lock();
-        (inner.hits, inner.misses)
+        let mut hits = 0;
+        let mut misses = 0;
+        for shard in &self.shards {
+            let inner = shard.lock();
+            hits += inner.hits;
+            misses += inner.misses;
+        }
+        (hits, misses)
     }
 
-    /// Removes every entry.
+    /// Removes every entry from every shard (counters are kept).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock();
-        inner.map.clear();
-        inner.slab.clear();
-        inner.free.clear();
-        inner.head = NIL;
-        inner.tail = NIL;
-        inner.usage = 0;
-    }
-
-    fn attach_front(inner: &mut LruInner<K, V>, slot: usize) {
-        let old_head = inner.head;
-        if let Some(entry) = inner.slab[slot].as_mut() {
-            entry.prev = NIL;
-            entry.next = old_head;
-        }
-        if old_head != NIL {
-            if let Some(entry) = inner.slab[old_head].as_mut() {
-                entry.prev = slot;
-            }
-        }
-        inner.head = slot;
-        if inner.tail == NIL {
-            inner.tail = slot;
-        }
-    }
-
-    fn detach(inner: &mut LruInner<K, V>, slot: usize) {
-        let (prev, next) = match inner.slab[slot].as_ref() {
-            Some(entry) => (entry.prev, entry.next),
-            None => return,
-        };
-        if prev != NIL {
-            if let Some(entry) = inner.slab[prev].as_mut() {
-                entry.next = next;
-            }
-        } else {
-            inner.head = next;
-        }
-        if next != NIL {
-            if let Some(entry) = inner.slab[next].as_mut() {
-                entry.prev = prev;
-            }
-        } else {
-            inner.tail = prev;
-        }
-    }
-
-    fn remove_slot(inner: &mut LruInner<K, V>, slot: usize) {
-        if let Some(entry) = inner.slab[slot].take() {
-            inner.usage -= entry.charge;
-            inner.map.remove(&entry.key);
-            inner.free.push(slot);
-        }
-    }
-
-    fn evict_if_needed(inner: &mut LruInner<K, V>) {
-        while inner.usage > inner.capacity && inner.tail != NIL {
-            let victim = inner.tail;
-            Self::detach(inner, victim);
-            Self::remove_slot(inner, victim);
+        for shard in &self.shards {
+            shard.lock().clear();
         }
     }
 }
@@ -278,5 +356,65 @@ mod tests {
         assert!(cache.get(&1).is_none());
         // The Arc we hold keeps the value alive even though it left the cache.
         assert_eq!(held.as_str(), "held");
+    }
+
+    #[test]
+    fn small_capacities_stay_single_sharded_large_ones_split() {
+        let small: LruCache<u32, u32> = LruCache::new(100);
+        assert_eq!(small.shard_count(), 1);
+        let large: LruCache<u32, u32> = LruCache::new(8 << 20);
+        assert_eq!(large.shard_count(), MAX_SHARDS);
+        assert!(large.shard_count().is_power_of_two());
+    }
+
+    #[test]
+    fn sharded_cache_aggregates_exact_counters_and_bounds_usage() {
+        let capacity = MAX_SHARDS * MIN_SHARD_CAPACITY * 4;
+        let cache: LruCache<u64, Vec<u8>> = LruCache::new(capacity);
+        assert_eq!(cache.shard_count(), MAX_SHARDS);
+
+        for i in 0..1000u64 {
+            cache.insert(i, vec![0u8; 512], 512);
+        }
+        let mut hits = 0u64;
+        for i in 0..1000u64 {
+            if cache.get(&i).is_some() {
+                hits += 1;
+            }
+        }
+        let (h, m) = cache.hit_miss();
+        assert_eq!(h, hits);
+        assert_eq!(m, 1000 - hits);
+        assert_eq!(cache.usage(), cache.len() * 512);
+        // Per-shard eviction keeps total usage within a rounding slop of
+        // one entry per shard above the configured capacity.
+        assert!(cache.usage() <= capacity + MAX_SHARDS * 512);
+
+        cache.erase(&0);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.usage(), 0);
+    }
+
+    #[test]
+    fn concurrent_access_across_shards_is_safe() {
+        let cache: std::sync::Arc<LruCache<u64, u64>> =
+            std::sync::Arc::new(LruCache::new(MAX_SHARDS * MIN_SHARD_CAPACITY));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let cache = std::sync::Arc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2000u64 {
+                    let key = t * 10_000 + i;
+                    cache.insert(key, key, 1);
+                    assert_eq!(cache.get(&key).as_deref(), Some(&key));
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let (hits, misses) = cache.hit_miss();
+        assert_eq!(hits + misses, 8000);
     }
 }

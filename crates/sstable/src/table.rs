@@ -1,11 +1,12 @@
 //! Reads entries back out of an sstable file.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use pebblesdb_bloom::BloomFilterPolicy;
 use pebblesdb_common::coding::decode_fixed32;
 use pebblesdb_common::iterator::DbIterator;
-use pebblesdb_common::{crc32c, Error, ReadOptions, Result, StoreOptions};
+use pebblesdb_common::{crc32c, CompressionStats, Error, ReadOptions, Result, StoreOptions};
 use pebblesdb_env::RandomAccessFile;
 
 use crate::block::{Block, BlockIterator};
@@ -14,7 +15,17 @@ use crate::footer::{BlockHandle, Footer, FOOTER_SIZE};
 use crate::BLOCK_TRAILER_SIZE;
 
 /// A shared block cache keyed by `(table id, block offset)`.
+///
+/// Cached blocks are always the **uncompressed** bytes: decompression
+/// happens once, on the device-read path, so cache hits never pay decode
+/// cost.
 pub type BlockCache = LruCache<(u64, u64), Block>;
+
+/// Hard ceiling a compressed block's claimed uncompressed size may reach.
+/// Real blocks top out around `block_size` (plus one oversized entry); this
+/// only exists so a corrupt length header is rejected as corruption instead
+/// of trusted.
+const MAX_DECOMPRESSED_BLOCK: usize = u32::MAX as usize;
 
 /// An open, immutable sstable.
 pub struct Table {
@@ -27,6 +38,7 @@ pub struct Table {
     cache_id: u64,
     verify_checksums_default: bool,
     size: u64,
+    compression_stats: Arc<CompressionStats>,
 }
 
 impl Table {
@@ -47,7 +59,9 @@ impl Table {
         let footer_data = file.read(size - FOOTER_SIZE as u64, FOOTER_SIZE)?;
         let footer = Footer::decode(&footer_data)?;
 
-        let index_contents = Self::read_block_contents(file.as_ref(), &footer.index_handle, true)?;
+        let stats = &options.compression_stats;
+        let index_contents =
+            Self::read_block_contents(file.as_ref(), &footer.index_handle, true, stats)?;
         let index_block = Arc::new(Block::new(index_contents)?);
 
         let filter = if footer.filter_handle.size > 0 && options.bloom_bits_per_key > 0 {
@@ -55,6 +69,7 @@ impl Table {
                 file.as_ref(),
                 &footer.filter_handle,
                 true,
+                stats,
             )?)
         } else {
             None
@@ -69,6 +84,7 @@ impl Table {
             cache_id,
             verify_checksums_default: options.paranoid_checks,
             size,
+            compression_stats: Arc::clone(stats),
         })
     }
 
@@ -130,10 +146,15 @@ impl Table {
         }
     }
 
+    /// Reads a block off the device and returns its **uncompressed**
+    /// contents, dispatching on the per-block trailer tag. The CRC covers
+    /// the stored (possibly compressed) bytes plus the tag, so it is checked
+    /// before any decode; a tag this build does not know is corruption.
     fn read_block_contents(
         file: &dyn RandomAccessFile,
         handle: &BlockHandle,
         verify: bool,
+        stats: &CompressionStats,
     ) -> Result<Vec<u8>> {
         let raw = file.read(handle.offset, handle.size as usize + BLOCK_TRAILER_SIZE)?;
         if raw.len() < handle.size as usize + BLOCK_TRAILER_SIZE {
@@ -149,10 +170,16 @@ impl Table {
                 return Err(Error::corruption("block checksum mismatch"));
             }
         }
-        if compression != 0 {
-            return Err(Error::corruption("unsupported compression type"));
+        match compression {
+            0 => Ok(contents.to_vec()),
+            1 => {
+                let start = Instant::now();
+                let decoded = pebblesdb_compress::decompress(contents, MAX_DECOMPRESSED_BLOCK)?;
+                stats.add_decompress_micros(start.elapsed().as_micros() as u64);
+                Ok(decoded)
+            }
+            _ => Err(Error::corruption("unsupported compression type")),
         }
-        Ok(contents.to_vec())
     }
 
     fn read_data_block(
@@ -167,7 +194,10 @@ impl Table {
             }
         }
         let verify = read_options.verify_checksums || self.verify_checksums_default;
-        let contents = Self::read_block_contents(self.file.as_ref(), handle, verify)?;
+        let contents =
+            Self::read_block_contents(self.file.as_ref(), handle, verify, &self.compression_stats)?;
+        // `contents` is already decompressed, so the cache below only ever
+        // holds uncompressed blocks — a cache hit never decodes.
         let block = Block::new(contents)?;
         if let Some(cache) = &self.block_cache {
             if read_options.fill_cache {

@@ -1,9 +1,11 @@
 //! Builds an sstable file from a sorted stream of entries.
 
+use std::sync::Arc;
+
 use pebblesdb_bloom::BloomFilterPolicy;
 use pebblesdb_common::coding::put_fixed32;
 use pebblesdb_common::key::extract_user_key;
-use pebblesdb_common::{crc32c, Error, Result, StoreOptions};
+use pebblesdb_common::{crc32c, CompressionStats, CompressionType, Error, Result, StoreOptions};
 use pebblesdb_env::WritableFile;
 
 use crate::block::BlockBuilder;
@@ -32,12 +34,36 @@ pub struct TableBuilder {
     first_key: Option<Vec<u8>>,
     last_key: Vec<u8>,
     closed: bool,
+    /// Codec for data and index blocks (the filter block is raw bloom bits —
+    /// incompressible by construction — and always stored with tag 0).
+    compression: CompressionType,
+    compression_stats: Arc<CompressionStats>,
 }
 
 impl TableBuilder {
     /// Creates a builder writing to `file` using the block parameters from
-    /// `options`.
+    /// `options`, compressing with [`StoreOptions::compression`] (per-level
+    /// tiers require [`TableBuilder::new_for_level`]).
     pub fn new(options: &StoreOptions, file: Box<dyn WritableFile>) -> Self {
+        Self::with_compression(options, file, options.compression)
+    }
+
+    /// Creates a builder for an sstable destined for `level`, resolving the
+    /// codec through [`StoreOptions::compression_for_level`] — this is what
+    /// the flush and compaction output paths use.
+    pub fn new_for_level(
+        options: &StoreOptions,
+        file: Box<dyn WritableFile>,
+        level: usize,
+    ) -> Self {
+        Self::with_compression(options, file, options.compression_for_level(level))
+    }
+
+    fn with_compression(
+        options: &StoreOptions,
+        file: Box<dyn WritableFile>,
+        compression: CompressionType,
+    ) -> Self {
         TableBuilder {
             file,
             offset: 0,
@@ -51,6 +77,8 @@ impl TableBuilder {
             first_key: None,
             last_key: Vec::new(),
             closed: false,
+            compression,
+            compression_stats: Arc::clone(&options.compression_stats),
         }
     }
 
@@ -124,10 +152,9 @@ impl TableBuilder {
             BlockHandle::default()
         };
 
-        // Index block.
+        // Index block (compressed like data blocks when the codec pays).
         let index_contents = self.index_block.finish();
-        let index_handle = BlockHandle::new(self.offset, index_contents.len() as u64);
-        self.write_raw_block(&index_contents)?;
+        let index_handle = self.write_block(&index_contents)?;
 
         let footer = Footer {
             filter_handle,
@@ -162,25 +189,51 @@ impl TableBuilder {
         }
         let last_key = self.data_block.last_key().to_vec();
         let contents = self.data_block.finish();
-        let handle = BlockHandle::new(self.offset, contents.len() as u64);
-        self.write_raw_block(&contents)?;
+        let handle = self.write_block(&contents)?;
         self.data_block.reset();
         self.pending_index_entry = Some((last_key, handle));
         Ok(())
     }
 
+    /// Writes a data/index block through the configured codec, falling back
+    /// to raw storage when compression saves less than ~12.5% — the stored
+    /// trailer tag always matches what was actually written, so readers
+    /// dispatch per block and a mixed-tag file is perfectly normal.
+    fn write_block(&mut self, contents: &[u8]) -> Result<BlockHandle> {
+        match self.compression {
+            CompressionType::None => self.write_block_with_tag(contents, 0),
+            CompressionType::Lz => match pebblesdb_compress::compress_if_worthwhile(contents) {
+                Some(compressed) => {
+                    self.compression_stats
+                        .record_compressed(contents.len() as u64, compressed.len() as u64);
+                    self.write_block_with_tag(&compressed, CompressionType::Lz.tag())
+                }
+                None => {
+                    self.compression_stats.record_skipped();
+                    self.write_block_with_tag(contents, 0)
+                }
+            },
+        }
+    }
+
     /// Writes block contents followed by the 5-byte trailer
     /// (compression tag + masked CRC of contents and tag).
     fn write_raw_block(&mut self, contents: &[u8]) -> Result<()> {
+        self.write_block_with_tag(contents, 0)?;
+        Ok(())
+    }
+
+    fn write_block_with_tag(&mut self, contents: &[u8], tag: u8) -> Result<BlockHandle> {
+        let handle = BlockHandle::new(self.offset, contents.len() as u64);
         self.file.append(contents)?;
         let mut trailer = Vec::with_capacity(5);
-        trailer.push(0u8); // No compression.
+        trailer.push(tag);
         let mut crc = crc32c::crc32c(contents);
-        crc = crc32c::extend(crc, &[0u8]);
+        crc = crc32c::extend(crc, &[tag]);
         put_fixed32(&mut trailer, crc32c::mask(crc));
         self.file.append(&trailer)?;
         self.offset += (contents.len() + trailer.len()) as u64;
-        Ok(())
+        Ok(handle)
     }
 }
 
