@@ -11,7 +11,15 @@
 //! net_bench --spawn --clients 8 --ops 20000            # in-process server
 //! net_bench --addr 127.0.0.1:6380 --workload mixed     # external server
 //! net_bench --spawn --rate-limit 500 --burst 50        # observe BUSY backpressure
+//! net_bench --spawn --follower                         # leader + replica lag/read phase
 //! ```
+//!
+//! `--follower` appends a replication phase: a [`FollowerDb`] is attached
+//! to the server over `SYNC` while the write clients keep loading the
+//! leader, a local reader measures replica read latency at the applied
+//! frontier, and a sampler records replication lag (leader committed
+//! sequence minus follower applied sequence). The phase ends by timing how
+//! long the replica takes to drain the remaining backlog once writes stop.
 //!
 //! `BUSY` replies from the server's rate limiter are counted (and retried
 //! up to a bound) rather than treated as failures: they are backpressure,
@@ -46,6 +54,7 @@ const USAGE: &str = "net_bench [options]
   --compressibility R    generated values shrink to ~R of their size under an ideal codec (default 1.0)
   --write-latency-us US  with --spawn: inject latency per sstable write
   --sync                 with --spawn: fsync acknowledged writes
+  --follower             attach a read replica; measure lag + replica read latency
   --help                 print this help";
 
 /// Per-phase aggregate over all clients.
@@ -150,11 +159,144 @@ fn main() {
         ]);
     }
     report.add_note("latencies are client-observed round trips; BUSY replies are retried (bounded) and counted, not failed.");
+    if args.has_flag("follower") {
+        run_follower_phase(&mut report, addr, clients, ops, value_size, compressibility);
+    }
     report.print();
 
     if let Some(server) = server {
         server.shutdown();
     }
+}
+
+/// The `--follower` phase: attach a replica over `SYNC`, keep the write
+/// clients loading the leader, and measure what a read replica actually
+/// delivers — local read latency at its applied frontier and replication
+/// lag in sequence numbers — then time the final catch-up drain.
+fn run_follower_phase(
+    report: &mut Report,
+    addr: std::net::SocketAddr,
+    clients: usize,
+    ops: u64,
+    value_size: usize,
+    compressibility: f64,
+) {
+    use pebblesdb_common::KvStore;
+
+    let follower = pebblesdb_replica::FollowerDb::open_with(
+        pebblesdb::FlsmPolicy::new,
+        Arc::new(MemEnv::new()) as Arc<dyn Env>,
+        Path::new("/net-bench-follower"),
+        pebblesdb_common::StoreOptions::default(),
+        pebblesdb_replica::FollowerConfig {
+            leader_addr: addr.to_string(),
+            ..Default::default()
+        },
+    )
+    .expect("attach follower");
+    let follower = Arc::new(follower);
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    // Replica-side reader: local gets against the follower's applied
+    // frontier, sampling the key space the writers are filling.
+    let reader = {
+        let follower = Arc::clone(&follower);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(0xf011_04e4);
+            let mut latencies = Histogram::new();
+            let mut hits = 0u64;
+            let mut reads = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let key = bench_key(rng.gen_range(0..ops.max(1)));
+                let started = Instant::now();
+                if follower.get(&key).expect("follower read").is_some() {
+                    hits += 1;
+                }
+                latencies.record(started.elapsed().as_micros() as u64);
+                reads += 1;
+            }
+            (latencies, reads, hits)
+        })
+    };
+
+    // Lag sampler, every 5 ms. `lag_batches` is the backlog the leader
+    // advertises on every shipped frame — commits not yet handed to this
+    // replica — which is the honest lag signal; `leader_sequence()` minus
+    // `applied_sequence()` only sees frames already in flight.
+    let sampler = {
+        let follower = Arc::clone(&follower);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut lag = Histogram::new();
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                lag.record(follower.lag_batches());
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            lag
+        })
+    };
+
+    // The same concurrent RESP write load the fill phase uses.
+    let writes = run_phase("fill", addr, clients, ops, value_size, compressibility);
+
+    // Writes are done: time how long the replica needs to drain the rest.
+    // While behind, the last received frame's sequence trails the leader's
+    // true frontier, so "caught up" means the advertised backlog hit zero
+    // AND an idle ping confirmed the frontier matches what we applied.
+    let drain_started = Instant::now();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while follower.lag_batches() > 0
+        || follower.leader_sequence() == 0
+        || follower.applied_sequence() < follower.leader_sequence()
+    {
+        assert!(
+            Instant::now() < deadline,
+            "follower never caught up: applied={} leader={} connected={} last_error={:?}",
+            follower.applied_sequence(),
+            follower.leader_sequence(),
+            follower.is_connected(),
+            follower.last_error(),
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let drain = drain_started.elapsed();
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let (read_latencies, reads, hits) = reader.join().expect("follower reader panicked");
+    let lag = sampler.join().expect("lag sampler panicked");
+
+    report.add_row(vec![
+        "leader-fill".to_string(),
+        writes.operations.to_string(),
+        format_kops(writes.operations as f64 / writes.seconds / 1000.0),
+        writes.latencies_us.percentile(50.0).to_string(),
+        writes.latencies_us.percentile(99.0).to_string(),
+        writes.latencies_us.percentile(99.9).to_string(),
+        writes.latencies_us.max().to_string(),
+        writes.busy.to_string(),
+    ]);
+    report.add_row(vec![
+        "follower-read".to_string(),
+        reads.to_string(),
+        format_kops(reads as f64 / writes.seconds.max(drain.as_secs_f64()) / 1000.0),
+        read_latencies.percentile(50.0).to_string(),
+        read_latencies.percentile(99.0).to_string(),
+        read_latencies.percentile(99.9).to_string(),
+        read_latencies.max().to_string(),
+        "0".to_string(),
+    ]);
+    report.add_note(&format!(
+        "replication lag (batches behind leader): p50 {} / p99 {} / max {}; \
+         drained in {} ms after writes stopped; applied seq {}, {} batches \
+         applied, follower read hit rate {:.1}%",
+        lag.percentile(50.0),
+        lag.percentile(99.0),
+        lag.max(),
+        drain.as_millis(),
+        follower.applied_sequence(),
+        follower.batches_applied(),
+        100.0 * hits as f64 / reads.max(1) as f64,
+    ));
 }
 
 fn run_phase(

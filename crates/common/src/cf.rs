@@ -31,8 +31,9 @@ use parking_lot::Mutex;
 use crate::batch::{CfId, WriteBatch};
 use crate::error::{Error, Result};
 use crate::iterator::DbIterator;
-use crate::key::ValueType;
+use crate::key::{SequenceNumber, ValueType};
 use crate::options::{ReadOptions, WriteOptions};
+use crate::replication::ChangeStream;
 use crate::snapshot::Snapshot;
 use crate::store::{KvStore, StoreStats};
 
@@ -207,6 +208,26 @@ pub trait Db: KvStore {
 
     /// Per-family statistics, in id order.
     fn cf_stats(&self) -> Vec<CfStats>;
+
+    /// Opens a change stream delivering every committed batch whose last
+    /// sequence is at or past `from_seq`, in commit order.
+    ///
+    /// Fails with [`Error::SequenceTruncated`](crate::error::Error) when the
+    /// requested history has already been reclaimed, and with
+    /// `InvalidArgument` on stores that do not support change streams (the
+    /// chassis engines do; composite stores may not).
+    fn stream(&self, from_seq: SequenceNumber) -> Result<Box<dyn ChangeStream>> {
+        let _ = from_seq;
+        Err(Error::invalid_argument(
+            "this store does not support change streams",
+        ))
+    }
+
+    /// The sequence number of the last committed write, `0` when the store
+    /// has never committed anything (or does not track a global sequence).
+    fn committed_sequence(&self) -> SequenceNumber {
+        0
+    }
 
     /// Per-shard statistics, in shard order. Empty for unsharded stores;
     /// a sharded store returns one [`StoreStats`] per shard so surfaces can

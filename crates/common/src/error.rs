@@ -26,6 +26,18 @@ pub enum Error {
     ShuttingDown,
     /// The underlying environment reported an IO error.
     Io(Arc<io::Error>),
+    /// A change stream asked for history the store has already reclaimed.
+    ///
+    /// `requested` is the sequence the cursor wanted; every sequence at or
+    /// below `floor` is gone (its WAL segments or value-log files were
+    /// garbage-collected). The only recovery is to re-seed the consumer from
+    /// a full copy of the store and stream from `floor + 1`.
+    SequenceTruncated {
+        /// The sequence number the stream tried to read from.
+        requested: u64,
+        /// The highest reclaimed sequence; `floor + 1` is still streamable.
+        floor: u64,
+    },
     /// Any other internal error.
     Internal(String),
 }
@@ -55,6 +67,16 @@ impl Error {
     pub fn is_corruption(&self) -> bool {
         matches!(self, Error::Corruption(_))
     }
+
+    /// Creates a sequence-truncated error.
+    pub fn sequence_truncated(requested: u64, floor: u64) -> Self {
+        Error::SequenceTruncated { requested, floor }
+    }
+
+    /// Returns `true` if this error is [`Error::SequenceTruncated`].
+    pub fn is_sequence_truncated(&self) -> bool {
+        matches!(self, Error::SequenceTruncated { .. })
+    }
 }
 
 impl fmt::Display for Error {
@@ -65,6 +87,10 @@ impl fmt::Display for Error {
             Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             Error::ShuttingDown => write!(f, "shutting down"),
             Error::Io(err) => write!(f, "io error: {err}"),
+            Error::SequenceTruncated { requested, floor } => write!(
+                f,
+                "sequence truncated: requested {requested}, history reclaimed through {floor}"
+            ),
             Error::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -101,6 +127,10 @@ mod tests {
             "invalid argument: no such db"
         );
         assert_eq!(Error::internal("oops").to_string(), "internal error: oops");
+        assert_eq!(
+            Error::sequence_truncated(7, 41).to_string(),
+            "sequence truncated: requested 7, history reclaimed through 41"
+        );
     }
 
     #[test]
@@ -116,5 +146,7 @@ mod tests {
         assert!(!Error::NotFound.is_corruption());
         assert!(Error::corruption("x").is_corruption());
         assert!(!Error::corruption("x").is_not_found());
+        assert!(Error::sequence_truncated(1, 2).is_sequence_truncated());
+        assert!(!Error::NotFound.is_sequence_truncated());
     }
 }

@@ -34,6 +34,7 @@ pub mod hash;
 pub mod iterator;
 pub mod key;
 pub mod options;
+pub mod replication;
 pub mod resp;
 pub mod snapshot;
 pub mod stats_text;
@@ -50,6 +51,7 @@ pub use error::{Error, Result};
 pub use iterator::DbIterator;
 pub use key::{InternalKey, ParsedInternalKey, SequenceNumber, ValueType, MAX_SEQUENCE_NUMBER};
 pub use options::{CompressionType, ReadOptions, StoreOptions, StorePreset, WriteOptions};
+pub use replication::{ChangeEvent, ChangeStream, ReplicationFrame};
 pub use resp::{RespCodec, RespLimits, RespValue};
 pub use snapshot::{Snapshot, SnapshotList};
 pub use stats_text::{cf_stat_fields, render_info, store_stat_fields, StatField, StatUnit};

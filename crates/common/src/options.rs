@@ -151,6 +151,26 @@ pub struct StoreOptions {
     /// collection.
     pub vlog_file_size: usize,
 
+    /// Byte budget of the in-memory change-data-capture tail: the most
+    /// recent committed batches kept in memory so change streams
+    /// (`Db::stream`) can follow the commit order without touching the WAL.
+    /// Streams that fall further behind transparently replay closed WAL
+    /// segments instead. Batches in the live WAL segment are always
+    /// retained regardless of this budget, so the tail can briefly exceed
+    /// it by up to one segment's worth.
+    pub cdc_tail_bytes: usize,
+    /// Closed WAL segments kept for change streams beyond what the column
+    /// families still need for recovery.
+    ///
+    /// `0` (the default) keeps no extra segments — but a **live** stream
+    /// pins every segment its cursor still needs, without bound, so an
+    /// attached follower never loses history. `N > 0` always keeps the
+    /// newest `N` closed segments (so a follower can resume across a
+    /// restart of this store) **and** caps stream pinning at those `N`
+    /// segments: a stream lagging past the cap has its history reclaimed
+    /// and gets a `SequenceTruncated` error instead of stalling GC forever.
+    pub cdc_wal_retain_segments: usize,
+
     /// Codec for sstable data/index blocks and separated vlog values.
     ///
     /// Applies uniformly to every level unless
@@ -227,6 +247,9 @@ impl Default for StoreOptions {
 
             value_separation_threshold: 0,
             vlog_file_size: 64 << 20,
+
+            cdc_tail_bytes: 2 << 20,
+            cdc_wal_retain_segments: 0,
 
             compression: CompressionType::None,
             compression_per_level: Vec::new(),

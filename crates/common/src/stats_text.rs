@@ -98,6 +98,10 @@ pub fn store_stat_fields(stats: &StoreStats) -> Vec<StatField> {
             Count,
         ),
         StatField::new("decompress_micros", stats.decompress_micros, Micros),
+        StatField::new("replica_applied_seq", stats.replica_applied_seq, Count),
+        StatField::new("replica_lag_batches", stats.replica_lag_batches, Count),
+        StatField::new("cdc_streams_active", stats.cdc_streams_active, Count),
+        StatField::new("wal_bytes_shipped", stats.wal_bytes_shipped, Bytes),
     ]
 }
 
@@ -173,14 +177,18 @@ mod tests {
             compress_output_bytes: 30,
             compress_skipped_blocks: 31,
             decompress_micros: 32,
+            replica_applied_seq: 33,
+            replica_lag_batches: 34,
+            cdc_streams_active: 35,
+            wal_bytes_shipped: 36,
         };
         let fields = store_stat_fields(&stats);
-        assert_eq!(fields.len(), 32);
+        assert_eq!(fields.len(), 36);
         // Every distinct value appears exactly once — no field forgotten or
         // double-mapped.
         let mut values: Vec<u64> = fields.iter().map(|f| f.value).collect();
         values.sort_unstable();
-        assert_eq!(values, (1..=32).collect::<Vec<u64>>());
+        assert_eq!(values, (1..=36).collect::<Vec<u64>>());
     }
 
     #[test]

@@ -114,6 +114,17 @@ pub struct StoreStats {
     pub compress_skipped_blocks: u64,
     /// Total microseconds read paths spent decompressing blocks and values.
     pub decompress_micros: u64,
+    /// Replica stores: the sequence number of the last batch applied from
+    /// the leader's change stream (0 on a primary).
+    pub replica_applied_seq: u64,
+    /// Replica stores: committed leader batches the replica had not yet
+    /// applied, as last reported by the leader alongside a shipped batch.
+    pub replica_lag_batches: u64,
+    /// Change streams (`Db::stream` cursors) currently open on this store.
+    pub cdc_streams_active: u64,
+    /// Bytes of committed batches handed to change streams (the WAL-shipping
+    /// volume, counted once per stream that consumed each batch).
+    pub wal_bytes_shipped: u64,
 }
 
 impl StoreStats {

@@ -47,7 +47,10 @@ pub struct FlsmPolicyState {
 }
 
 impl FlsmPolicy {
-    fn new(options: &StoreOptions) -> FlsmPolicy {
+    /// Builds the FLSM shape from `options`. Public so chassis-generic
+    /// plumbing (sharding, the replication follower) can open an
+    /// FLSM-shaped [`EngineDb`] directly.
+    pub fn new(options: &StoreOptions) -> FlsmPolicy {
         let label = if options.max_sstables_per_guard == 1 {
             StorePreset::PebblesDb1.name()
         } else {
@@ -389,6 +392,13 @@ impl PebblesDb {
     pub fn vlog_gc(&self) -> Result<pebblesdb_engine::VlogGcReport> {
         self.db.vlog_gc()
     }
+
+    /// The underlying chassis store. Replication plumbing (the follower
+    /// store, change-stream shipping) is generic over the tree shape and
+    /// works against the chassis directly.
+    pub fn engine(&self) -> &EngineDb<FlsmPolicy> {
+        &self.db
+    }
 }
 
 /// Column families on PebblesDB: implemented once in the chassis; the FLSM
@@ -408,6 +418,15 @@ impl Db for PebblesDb {
     }
     fn cf_stats(&self) -> Vec<CfStats> {
         self.db.cf_stats()
+    }
+    fn stream(
+        &self,
+        from_seq: pebblesdb_common::SequenceNumber,
+    ) -> Result<Box<dyn pebblesdb_common::ChangeStream>> {
+        Db::stream(&self.db, from_seq)
+    }
+    fn committed_sequence(&self) -> pebblesdb_common::SequenceNumber {
+        Db::committed_sequence(&self.db)
     }
 }
 

@@ -42,7 +42,7 @@ pub mod guards;
 pub mod iter;
 pub mod version;
 
-pub use db::PebblesDb;
+pub use db::{FlsmPolicy, PebblesDb};
 pub use guards::{GuardMeta, GuardPicker, UncommittedGuards};
 pub use pebblesdb_common::{StoreOptions, StorePreset};
 pub use version::{CompactionReason, FlsmVersion, FlsmVersionEdit, FlsmVersionSet};

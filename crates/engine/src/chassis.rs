@@ -57,14 +57,16 @@ use pebblesdb_common::snapshot::{Snapshot, SnapshotList};
 use pebblesdb_common::user_iter::UserIterator;
 use pebblesdb_common::vlog::{iter_vlog_records, LookupValue, ValuePointer, ValueResolver};
 use pebblesdb_common::{
-    CfId, Error, KvStore, ReadOptions, Result, StoreOptions, StoreStats, WriteBatch, WriteOptions,
+    CfId, ChangeEvent, ChangeStream, Error, KvStore, ReadOptions, Result, StoreOptions, StoreStats,
+    WriteBatch, WriteOptions,
 };
 use pebblesdb_skiplist::memtable::MemTableGet;
 use pebblesdb_skiplist::MemTable;
 use pebblesdb_sstable::{TableBuilder, TableCache};
-use pebblesdb_wal::{LogReader, LogWriter};
+use pebblesdb_wal::{LogReader, LogWriter, SegmentReplay};
 
 use crate::catalog::{self, Catalog, CatalogData};
+use crate::cdc::{ChangeLog, TailRead};
 use crate::meta::FileMetaData;
 use crate::policy::{
     EngineIo, JobClaim, PolicyCtx, ShapePolicy, VersionMeta, VersionOf, VersionSetOps,
@@ -138,6 +140,9 @@ pub struct EngineCore<P: ShapePolicy> {
     /// Serialises value-log GC passes: two concurrent passes over the same
     /// file would relocate the same records into the same sequence slot.
     vlog_gc_lock: Mutex<()>,
+    /// Change-data capture: the in-memory commit tail, WAL segment births
+    /// and the registered stream cursors (see [`crate::cdc`]).
+    change_log: Arc<ChangeLog>,
 }
 
 /// One column family's share of the engine state.
@@ -403,7 +408,7 @@ impl<P: ShapePolicy> EngineDb<P> {
             }
         }
 
-        recover_wals(&io, &mut state)?;
+        let mut wal_births = recover_wals(&io, &mut state)?;
 
         // Start a fresh WAL for new writes, making its directory entry
         // durable before any synced write is acknowledged against it.
@@ -412,6 +417,7 @@ impl<P: ShapePolicy> EngineDb<P> {
         env.sync_dir(path)?;
         state.log = Some(LogWriter::new(log_file));
         state.log_file_number = log_number;
+        wal_births.insert(log_number, state.last_sequence);
         let last_sequence = state.last_sequence;
         for cf in state.cfs.values_mut() {
             cf.versions.set_last_sequence(last_sequence);
@@ -436,6 +442,13 @@ impl<P: ShapePolicy> EngineDb<P> {
         }
 
         let label = policy.engine_name().to_ascii_lowercase();
+        let change_log = Arc::new(ChangeLog::new(
+            options.cdc_tail_bytes,
+            options.cdc_wal_retain_segments,
+            wal_births,
+            log_number,
+            state.last_sequence,
+        ));
         let inner = Arc::new(EngineCore {
             io,
             policy,
@@ -449,6 +462,7 @@ impl<P: ShapePolicy> EngineDb<P> {
             snapshots: SnapshotList::new(),
             cursor_pins: SnapshotList::new(),
             vlog_gc_lock: Mutex::new(()),
+            change_log,
         });
 
         {
@@ -531,22 +545,50 @@ impl<P: ShapePolicy> EngineDb<P> {
     fn handle(&self, id: CfId, name: &str) -> ColumnFamilyHandle {
         ColumnFamilyHandle::new(Arc::clone(&self.shared) as Arc<dyn CfOps>, id, name)
     }
+
+    /// Creates (or idempotently confirms) a column family under an explicit
+    /// id. Replication mirrors the leader's catalog onto the follower, and
+    /// WAL records route by id, so the ids must match exactly; `create_cf`'s
+    /// own allocation cannot guarantee that.
+    pub fn create_cf_with_id(&self, id: CfId, name: &str) -> Result<ColumnFamilyHandle> {
+        let (id, name) = self.shared.core.create_cf_locked(name, Some(id))?;
+        Ok(self.handle(id, &name))
+    }
+
+    /// Opens a cursor over the store's committed batches starting at
+    /// `from_seq` (clamped to 1 — sequence 0 predates every write). Fails
+    /// with `SequenceTruncated` when that history is already reclaimed.
+    pub fn change_stream(&self, from_seq: SequenceNumber) -> Result<EngineChangeStream<P>> {
+        EngineChangeStream::open(Arc::clone(&self.shared), from_seq)
+    }
 }
 
-/// Replays write-ahead logs newer than the oldest per-family log number,
-/// routing each record into its column family's memtable.
-fn recover_wals<P: ShapePolicy>(io: &EngineIo, state: &mut EngineState<P>) -> Result<()> {
-    let min_log = state.min_log_number();
+/// Replays every write-ahead log on disk, routing each record into its
+/// column family's memtable (records a family's sstables already cover are
+/// skipped per family). Returns the segment **births** for change-data
+/// capture: for each log, the best lower bound on "last sequence committed
+/// before this log was opened" that replay can reconstruct — exact when the
+/// log's first batch was engine-sequenced (the overwhelmingly common case),
+/// conservative (never too small, so WAL reclamation never under-keeps)
+/// otherwise, because it also takes the running maximum across earlier logs.
+fn recover_wals<P: ShapePolicy>(
+    io: &EngineIo,
+    state: &mut EngineState<P>,
+) -> Result<BTreeMap<u64, SequenceNumber>> {
     let mut log_numbers: Vec<u64> = io
         .env
         .children(&io.db_path)?
         .iter()
         .filter_map(|name| parse_file_name(name))
-        .filter(|(ty, number)| *ty == FileType::WriteAheadLog && *number >= min_log)
+        .filter(|(ty, _)| *ty == FileType::WriteAheadLog)
         .map(|(_, number)| number)
         .collect();
     log_numbers.sort_unstable();
 
+    let mut births: BTreeMap<u64, SequenceNumber> = BTreeMap::new();
+    // Highest batch-end sequence seen in earlier logs: every later log was
+    // opened after those batches committed, so its birth is at least this.
+    let mut running_max: SequenceNumber = 0;
     for number in log_numbers {
         state
             .default_cf_mut()
@@ -556,6 +598,7 @@ fn recover_wals<P: ShapePolicy>(io: &EngineIo, state: &mut EngineState<P>) -> Re
             .env
             .new_sequential_file(&log_file_name(&io.db_path, number))?;
         let mut reader = LogReader::new(file);
+        let mut first_batch_in_log = true;
         // A clean end or a torn tail both end replay of this log.
         while let Ok(Some(record)) = reader.read_record() {
             let batch = match WriteBatch::from_contents(record) {
@@ -563,6 +606,10 @@ fn recover_wals<P: ShapePolicy>(io: &EngineIo, state: &mut EngineState<P>) -> Re
                 Err(_) => break,
             };
             let base_seq = batch.sequence();
+            if first_batch_in_log {
+                first_batch_in_log = false;
+                births.insert(number, running_max.max(base_seq.saturating_sub(1)));
+            }
             let mut applied = 0u64;
             let mut touched: Vec<CfId> = Vec::new();
             for item in batch.iter() {
@@ -589,6 +636,7 @@ fn recover_wals<P: ShapePolicy>(io: &EngineIo, state: &mut EngineState<P>) -> Re
             if last > state.last_sequence {
                 state.last_sequence = last;
             }
+            running_max = running_max.max(last);
             for cf_id in touched {
                 let cf = state.cfs.get_mut(&cf_id).expect("touched family exists");
                 if cf.mem.approximate_memory_usage() > io.options.write_buffer_size {
@@ -596,6 +644,10 @@ fn recover_wals<P: ShapePolicy>(io: &EngineIo, state: &mut EngineState<P>) -> Re
                 }
             }
         }
+        // A log with no readable batches (rotated then never written, or a
+        // tail torn at its very first record) still needs a birth so the
+        // change log can account for it.
+        births.entry(number).or_insert(running_max);
     }
     let nonempty: Vec<CfId> = state
         .cfs
@@ -606,7 +658,7 @@ fn recover_wals<P: ShapePolicy>(io: &EngineIo, state: &mut EngineState<P>) -> Re
     for cf_id in nonempty {
         flush_recovery_memtable(state, cf_id)?;
     }
-    Ok(())
+    Ok(births)
 }
 
 fn flush_recovery_memtable<P: ShapePolicy>(state: &mut EngineState<P>, cf_id: CfId) -> Result<()> {
@@ -809,11 +861,7 @@ impl<P: ShapePolicy> EngineCore<P> {
                 .collect()
         } else {
             let mut ids: Vec<CfId> = Vec::new();
-            let records = group
-                .batch
-                .iter()
-                .chain(group.pre_batches.iter().flat_map(|b| b.iter()));
-            for record in records {
+            for record in group.batch.iter() {
                 match record {
                     Ok(record) => {
                         if !ids.contains(&record.cf) {
@@ -823,6 +871,34 @@ impl<P: ShapePolicy> EngineCore<P> {
                     Err(err) => {
                         result = Err(err);
                         break;
+                    }
+                }
+            }
+            if result.is_ok() {
+                // An engine-sequenced write addressed at a dropped family
+                // fails its whole group — atomic batches cannot partially
+                // apply, and group members share one result by construction.
+                if let Some(missing) = ids.iter().find(|id| !state.cfs.contains_key(id)).copied() {
+                    result = Err(missing_cf_error(missing));
+                }
+            }
+            if result.is_ok() {
+                // Pre-sequenced batches replicate committed history: a
+                // record whose family does not exist *here* (a follower that
+                // has not mirrored it, or a drop racing a relocation)
+                // consumes its sequence slot and is skipped, exactly as
+                // recovery replays records of dropped families.
+                for record in group.pre_batches.iter().flat_map(|b| b.iter()) {
+                    match record {
+                        Ok(record) => {
+                            if state.cfs.contains_key(&record.cf) && !ids.contains(&record.cf) {
+                                ids.push(record.cf);
+                            }
+                        }
+                        Err(err) => {
+                            result = Err(err);
+                            break;
+                        }
                     }
                 }
             }
@@ -849,18 +925,6 @@ impl<P: ShapePolicy> EngineCore<P> {
             }
         }
 
-        if result.is_ok() {
-            // A write addressed at a dropped family fails its whole group —
-            // atomic batches cannot partially apply, and group members share
-            // one result by construction.
-            if let Some(missing) = touched
-                .iter()
-                .find(|id| !state.cfs.contains_key(id))
-                .copied()
-            {
-                result = Err(missing_cf_error(missing));
-            }
-        }
         if result.is_ok() {
             for cf_id in &touched {
                 result = self.make_room_for_write(&mut state, *cf_id, group.force_rotate);
@@ -898,7 +962,10 @@ impl<P: ShapePolicy> EngineCore<P> {
             for cf_id in &vlog_cfs {
                 let st = &mut *state;
                 let Some(cf) = st.cfs.get_mut(cf_id) else {
-                    continue; // unreachable: `touched` was validated above
+                    // A pre-sequenced record for a family this store does
+                    // not have: its value stays inline (and is skipped at
+                    // the memtable apply below).
+                    continue;
                 };
                 let max_size = self.io.options.vlog_file_size.max(1) as u64;
                 let active = cf.vlog.active.take();
@@ -934,9 +1001,15 @@ impl<P: ShapePolicy> EngineCore<P> {
             let sync = group.sync;
             let policy = &self.policy;
             let need_dir_sync = state.wal_dir_unsynced;
+            let wal_log_number = state.log_file_number;
             let io = &self.io;
             let counters = &self.counters;
             let vlogs = &mut taken_vlogs;
+            // Exactly the bytes appended to the WAL (value separation
+            // applied), captured for the change-data-capture tail; published
+            // below only once the group commits.
+            let mut published: Vec<crate::cdc::TailBatch> = Vec::new();
+            let published_ref = &mut published;
             let io_result = MutexGuard::unlocked(&mut state, || -> Result<Vec<CfObservation>> {
                 if need_dir_sync {
                     // A rotation created this WAL; its directory entry
@@ -975,12 +1048,23 @@ impl<P: ShapePolicy> EngineCore<P> {
                 if let Some(log) = log.as_mut() {
                     if !wal_batch.is_empty() {
                         log.add_record(wal_batch.contents())?;
+                        published_ref.push(crate::cdc::TailBatch {
+                            log_number: wal_log_number,
+                            last_seq: wal_batch.sequence()
+                                + u64::from(wal_batch.count()).saturating_sub(1),
+                            contents: Arc::new(wal_batch.contents().to_vec()),
+                        });
                     }
                     // Each pre-sequenced batch is its own WAL record (its
                     // header carries its own base sequence); the whole
                     // group still shares one fsync.
                     for pre in &wal_pres {
                         log.add_record(pre.contents())?;
+                        published_ref.push(crate::cdc::TailBatch {
+                            log_number: wal_log_number,
+                            last_seq: pre.sequence() + u64::from(pre.count()).saturating_sub(1),
+                            contents: Arc::new(pre.contents().to_vec()),
+                        });
                     }
                     if sync {
                         log.sync()?;
@@ -1039,6 +1123,11 @@ impl<P: ShapePolicy> EngineCore<P> {
                         }
                     }
                     st.last_sequence = end_seq;
+                    // Commits are serialized (one leader at a time), so
+                    // appending here under the state mutex keeps the tail in
+                    // commit order. Lock order state -> change_log is the
+                    // sanctioned one.
+                    self.change_log.publish(published);
                 }
                 Err(err) => {
                     // A failed WAL append/sync may have lost acknowledged
@@ -1128,6 +1217,11 @@ impl<P: ShapePolicy> EngineCore<P> {
             };
             state.log = Some(LogWriter::new(log_file));
             state.log_file_number = new_log_number;
+            // The change log needs the rotation point: every sequence
+            // committed from here on lives in the new segment, and the old
+            // one is now closed (replayable, evictable, reclaimable).
+            self.change_log
+                .note_rotation(new_log_number, state.last_sequence);
             if let Err(err) = close_result {
                 // A failed close may have lost a sync on acknowledged
                 // records in the old log; surface it instead of dropping it.
@@ -1593,9 +1687,12 @@ impl<P: ShapePolicy> EngineCore<P> {
 
     /// Deletes files no live version, pinned version or in-flight job needs,
     /// in every family's directory. A WAL segment survives until every
-    /// family's flushed state covers it.
+    /// family's flushed state covers it **and** no change-stream cursor (or
+    /// the follower-restart retention window) still needs it — the change
+    /// log turns segments a cursor can no longer reach into an explicit
+    /// `SequenceTruncated`, never a silently unreadable gap.
     pub fn remove_obsolete_files(&self, state: &mut MutexGuard<'_, EngineState<P>>) {
-        let min_log = state.min_log_number();
+        let min_log = self.change_log.wal_reclaim_floor(state.min_log_number());
         let current_log = state.log_file_number;
         let mut any_pinned = false;
         let mut live_wals = 0usize;
@@ -1912,7 +2009,13 @@ impl<P: ShapePolicy> EngineCore<P> {
     /// Creates a new, empty column family under the state lock. The catalog
     /// edit is the commit point; the directory and version set follow it
     /// (reopen re-initialises them if a crash intervenes).
-    fn create_cf_locked(&self, name: &str) -> Result<(CfId, String)> {
+    ///
+    /// With `want_id`, the family is created under that exact id — the
+    /// follower side of replication mirrors the leader's catalog, and WAL
+    /// records route by id, so the ids must match bit for bit. Asking for an
+    /// existing `(id, name)` pair is an idempotent no-op (catalog re-syncs
+    /// happen on every reconnect); an id or name clash is an error.
+    fn create_cf_locked(&self, name: &str, want_id: Option<CfId>) -> Result<(CfId, String)> {
         if name.is_empty() || name.contains('/') {
             return Err(Error::invalid_argument(format!(
                 "invalid column family name {name:?}"
@@ -1922,13 +2025,38 @@ impl<P: ShapePolicy> EngineCore<P> {
         if let Some(err) = &state.bg_error {
             return Err(err.clone());
         }
+        if let Some(want) = want_id {
+            if let Some(existing) = state.cfs.get(&want) {
+                if existing.name == name {
+                    return Ok((want, name.to_string()));
+                }
+                return Err(Error::invalid_argument(format!(
+                    "column family id {want} is {:?}, not {name:?}",
+                    existing.name
+                )));
+            }
+        }
         if state.cfs.values().any(|cf| cf.name == name) {
             return Err(Error::invalid_argument(format!(
                 "column family {name:?} already exists"
             )));
         }
-        let id = state.next_cf_id;
-        state.next_cf_id += 1;
+        let id = match want_id {
+            Some(want) => {
+                if want == 0 {
+                    return Err(Error::invalid_argument(
+                        "column family id 0 is the default family",
+                    ));
+                }
+                state.next_cf_id = state.next_cf_id.max(want + 1);
+                want
+            }
+            None => {
+                let id = state.next_cf_id;
+                state.next_cf_id += 1;
+                id
+            }
+        };
 
         // First family ever created: materialise the catalog.
         if state.catalog.is_none() {
@@ -2118,6 +2246,12 @@ impl<P: ShapePolicy> EngineCore<P> {
             compress_output_bytes: compression.output_bytes.load(Ordering::Relaxed),
             compress_skipped_blocks: compression.skipped_blocks.load(Ordering::Relaxed),
             decompress_micros: compression.decompress_micros.load(Ordering::Relaxed),
+            // A primary has no replication lag; the follower store overrides
+            // these two with its applied frontier.
+            replica_applied_seq: 0,
+            replica_lag_batches: 0,
+            cdc_streams_active: self.change_log.streams_active(),
+            wal_bytes_shipped: self.change_log.shipped_bytes(),
         }
     }
 
@@ -2208,7 +2342,7 @@ impl<P: ShapePolicy> CfOps for EngineShared<P> {
 
 impl<P: ShapePolicy> Db for EngineDb<P> {
     fn create_cf(&self, name: &str) -> Result<ColumnFamilyHandle> {
-        let (id, name) = self.shared.core.create_cf_locked(name)?;
+        let (id, name) = self.shared.core.create_cf_locked(name, None)?;
         Ok(self.handle(id, &name))
     }
 
@@ -2235,6 +2369,14 @@ impl<P: ShapePolicy> Db for EngineDb<P> {
 
     fn cf_stats(&self) -> Vec<CfStats> {
         self.shared.core.cf_stats()
+    }
+
+    fn stream(&self, from_seq: SequenceNumber) -> Result<Box<dyn ChangeStream>> {
+        Ok(Box::new(self.change_stream(from_seq)?))
+    }
+
+    fn committed_sequence(&self) -> SequenceNumber {
+        self.last_sequence()
     }
 }
 
@@ -2281,5 +2423,221 @@ impl<P: ShapePolicy> KvStore for EngineDb<P> {
 
     fn live_file_sizes(&self) -> Vec<u64> {
         self.shared.core.live_file_sizes_scoped(None)
+    }
+}
+
+// --------------------------------------------------------- change streams
+
+/// A cursor over one store's committed batches, in commit order.
+///
+/// Near the frontier the stream follows the in-memory commit tail, blocking
+/// on the commit signal up to the caller's timeout; a cursor that predates
+/// the tail transparently replays closed WAL segments, then switches back.
+/// Value-separated records are resolved back inline on delivery, so a
+/// consumer sees exactly the user data — it never needs this store's value
+/// log. While alive the stream pins what its cursor can still reach:
+///
+/// * the WAL segments at or past the cursor (until the retention cap says
+///   otherwise), through its registered change-log cursor, and
+/// * the value-log files the cursor's sequence can reference, through a
+///   sliding `cursor_pins` sequence pin.
+///
+/// Both pins advance as events are delivered and drop with the stream.
+pub struct EngineChangeStream<P: ShapePolicy> {
+    shared: Arc<EngineShared<P>>,
+    cursor_id: u64,
+    /// The next undelivered sequence: every committed batch whose last
+    /// sequence is at or past this is still owed to the consumer.
+    next_seq: SequenceNumber,
+    /// Absolute position in the commit tail (see [`ChangeLog::read_tail`]).
+    tail_pos: u64,
+    /// An in-flight closed-segment replay: `(segment number, replay)`.
+    replay: Option<(u64, SegmentReplay)>,
+    /// The highest closed segment fully replayed; guards against re-reading
+    /// a segment whose relevant batches were all below the cursor.
+    replayed_through: u64,
+    /// Value-log pin at the cursor's sequence (swapped forward on delivery,
+    /// new pin acquired before the old one drops).
+    pin: Snapshot,
+}
+
+impl<P: ShapePolicy> EngineChangeStream<P> {
+    fn open(
+        shared: Arc<EngineShared<P>>,
+        from_seq: SequenceNumber,
+    ) -> Result<EngineChangeStream<P>> {
+        let from_seq = from_seq.max(1);
+        let cursor_id = shared.core.change_log.register(from_seq)?;
+        let pin = shared.core.cursor_pins.acquire(from_seq);
+        Ok(EngineChangeStream {
+            shared,
+            cursor_id,
+            next_seq: from_seq,
+            tail_pos: 0,
+            replay: None,
+            replayed_through: 0,
+            pin,
+        })
+    }
+
+    /// Finishes a delivery: resolves separated values, advances the cursor
+    /// and both pins, and wraps the batch as an event.
+    fn deliver(&mut self, batch: WriteBatch) -> Result<Option<ChangeEvent>> {
+        let batch = self.resolve_pointers(batch)?;
+        let core = &self.shared.core;
+        core.change_log
+            .add_shipped_bytes(batch.contents().len() as u64);
+        let event = ChangeEvent::from_batch(batch);
+        self.next_seq = self.next_seq.max(event.last_seq + 1);
+        core.change_log.update_cursor(self.cursor_id, self.next_seq);
+        // Acquire the new vlog pin before the old one drops, so the reclaim
+        // floor never momentarily passes the cursor.
+        self.pin = core.cursor_pins.acquire(self.next_seq);
+        Ok(Some(event))
+    }
+
+    /// Rewrites a batch's value-pointer records back to inline values. The
+    /// WAL (and the tail) hold post-separation bytes; consumers get the user
+    /// data. A pointer whose value log is gone — the family was dropped, or
+    /// GC retired the file before this cursor existed — is unrecoverable
+    /// history and truncates the stream.
+    fn resolve_pointers(&self, batch: WriteBatch) -> Result<WriteBatch> {
+        let mut has_pointer = false;
+        for record in batch.iter() {
+            if record?.value_type == ValueType::ValuePointer {
+                has_pointer = true;
+                break;
+            }
+        }
+        if !has_pointer {
+            return Ok(batch);
+        }
+        // Each touched family's reader cache, grabbed under a brief state
+        // lock. Never taken while holding the change-log lock.
+        let mut resolvers: BTreeMap<CfId, Arc<VlogReaderCache>> = BTreeMap::new();
+        {
+            let state = self.shared.core.state.lock();
+            for record in batch.iter() {
+                let record = record?;
+                if record.value_type != ValueType::ValuePointer {
+                    continue;
+                }
+                if let Some(cf) = state.cfs.get(&record.cf) {
+                    resolvers
+                        .entry(record.cf)
+                        .or_insert_with(|| Arc::clone(&cf.vlog.readers));
+                }
+            }
+        }
+        let mut resolved = WriteBatch::new();
+        for record in batch.iter() {
+            let record = record?;
+            match record.value_type {
+                ValueType::Value => resolved.put_cf(record.cf, record.key, record.value),
+                ValueType::Deletion => resolved.delete_cf(record.cf, record.key),
+                ValueType::ValuePointer => {
+                    let Some(resolver) = resolvers.get(&record.cf) else {
+                        return Err(Error::sequence_truncated(record.sequence, record.sequence));
+                    };
+                    let pointer = ValuePointer::decode(record.value)?;
+                    let value = resolver
+                        .resolve(&pointer)
+                        .map_err(|_| Error::sequence_truncated(record.sequence, record.sequence))?;
+                    resolved.put_cf(record.cf, record.key, &value);
+                }
+            }
+        }
+        resolved.set_sequence(batch.sequence());
+        Ok(resolved)
+    }
+}
+
+impl<P: ShapePolicy> ChangeStream for EngineChangeStream<P> {
+    fn next_event(&mut self, timeout: Duration) -> Result<Option<ChangeEvent>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.shared.core.shutting_down.load(Ordering::SeqCst) {
+                return Err(Error::ShuttingDown);
+            }
+            // Drain an in-flight segment replay first.
+            if self.replay.is_some() {
+                let (number, next) = {
+                    let (number, replay) = self.replay.as_mut().expect("checked above");
+                    (*number, replay.next_batch()?)
+                };
+                match next {
+                    Some(batch) => {
+                        let last = batch.sequence() + u64::from(batch.count()).saturating_sub(1);
+                        if last < self.next_seq {
+                            // Delivered through an earlier segment (a batch
+                            // range can straddle a rotation replayed twice)
+                            // or a pre-sequenced relocation of old data.
+                            continue;
+                        }
+                        return self.deliver(batch);
+                    }
+                    None => {
+                        self.replayed_through = self.replayed_through.max(number);
+                        self.replay = None;
+                        continue;
+                    }
+                }
+            }
+            let wait = deadline.saturating_duration_since(Instant::now());
+            let wait = if wait.is_zero() { None } else { Some(wait) };
+            let step = {
+                let core = &self.shared.core;
+                core.change_log
+                    .read_tail(self.next_seq, &mut self.tail_pos, wait)
+            };
+            match step {
+                TailRead::Batch(entry) => {
+                    let batch = WriteBatch::from_contents(entry.contents.as_ref().clone())?;
+                    return self.deliver(batch);
+                }
+                TailRead::Replay(segments) => {
+                    let Some(&number) = segments.iter().find(|n| **n > self.replayed_through)
+                    else {
+                        // Every closed segment is replayed and the tail still
+                        // starts later: the gap is the live segment's data,
+                        // which never leaves the tail — so it simply has not
+                        // committed yet. Report an idle tick.
+                        return Ok(None);
+                    };
+                    let core = &self.shared.core;
+                    let path = log_file_name(&core.io.db_path, number);
+                    let file = match core.io.env.new_sequential_file(&path) {
+                        Ok(file) => file,
+                        // Reclaimed between the listing and the open (the
+                        // retention cap outran this cursor).
+                        Err(_) => {
+                            return Err(Error::sequence_truncated(
+                                self.next_seq,
+                                core.change_log.truncated_floor(),
+                            ))
+                        }
+                    };
+                    self.replay = Some((number, SegmentReplay::new(file, self.next_seq)));
+                }
+                TailRead::Idle => return Ok(None),
+                TailRead::Truncated { floor } => {
+                    return Err(Error::sequence_truncated(self.next_seq, floor))
+                }
+            }
+        }
+    }
+
+    fn cursor(&self) -> SequenceNumber {
+        self.next_seq
+    }
+
+    fn backlog(&self) -> u64 {
+        self.shared.core.change_log.backlog_after(self.tail_pos)
+    }
+}
+
+impl<P: ShapePolicy> Drop for EngineChangeStream<P> {
+    fn drop(&mut self) {
+        self.shared.core.change_log.deregister(self.cursor_id);
     }
 }

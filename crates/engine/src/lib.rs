@@ -24,12 +24,16 @@
 //! engine.
 
 pub mod catalog;
+pub mod cdc;
 pub mod chassis;
 pub mod meta;
 pub mod policy;
 pub mod vlog;
 
-pub use chassis::{CfState, ClaimedJob, EngineCore, EngineDb, EngineShared, EngineState};
+pub use cdc::{ChangeLog, TailBatch, TailRead};
+pub use chassis::{
+    CfState, ClaimedJob, EngineChangeStream, EngineCore, EngineDb, EngineShared, EngineState,
+};
 pub use meta::{FileMetaData, FileMetaDataEdit};
 pub use policy::{
     EngineIo, JobClaim, PolicyCtx, ShapePolicy, VersionMeta, VersionOf, VersionSetOps,

@@ -278,6 +278,16 @@ impl ShapePolicy for LsmPolicy {
 }
 
 impl LsmPolicy {
+    /// Builds the leveled shape from `options` (labelled with the
+    /// HyperLevelDB preset). Public so chassis-generic plumbing (sharding,
+    /// the replication follower) can open an LSM-shaped `EngineDb` directly.
+    pub fn new(options: &StoreOptions) -> LsmPolicy {
+        LsmPolicy {
+            options: options.clone(),
+            preset: StorePreset::HyperLevelDb,
+        }
+    }
+
     /// The IO part of a compaction: merge the inputs and write output tables.
     fn compaction_io(&self, io: &EngineIo, job: &LsmCompactionJob) -> Result<Vec<FileMetaData>> {
         let read_options = ReadOptions::default();
@@ -455,6 +465,13 @@ impl LsmDb {
     pub fn vlog_gc(&self) -> Result<pebblesdb_engine::VlogGcReport> {
         self.db.vlog_gc()
     }
+
+    /// The underlying chassis store. Replication plumbing (the follower
+    /// store, change-stream shipping) is generic over the tree shape and
+    /// works against the chassis directly.
+    pub fn engine(&self) -> &EngineDb<LsmPolicy> {
+        &self.db
+    }
 }
 
 /// Column families on the baseline LSM: the exact same chassis feature, one
@@ -474,6 +491,12 @@ impl Db for LsmDb {
     }
     fn cf_stats(&self) -> Vec<CfStats> {
         self.db.cf_stats()
+    }
+    fn stream(&self, from_seq: SequenceNumber) -> Result<Box<dyn pebblesdb_common::ChangeStream>> {
+        Db::stream(&self.db, from_seq)
+    }
+    fn committed_sequence(&self) -> SequenceNumber {
+        Db::committed_sequence(&self.db)
     }
 }
 

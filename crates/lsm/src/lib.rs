@@ -27,7 +27,7 @@ pub mod db;
 pub mod iter;
 pub mod version;
 
-pub use db::LsmDb;
+pub use db::{LsmDb, LsmPolicy};
 pub use iter::LevelConcatIterator;
 pub use pebblesdb_common::{StoreOptions, StorePreset};
 pub use version::{FileMetaData, Version, VersionEdit, VersionSet};

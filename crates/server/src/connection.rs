@@ -125,6 +125,17 @@ fn answer_ready_frames(
                     write_reply(stream, &replies, shared);
                     return Flow::Close;
                 }
+                // An acknowledged `SYNC` inverts the connection: flush the
+                // `+OK` (and anything pipelined before it), then the socket
+                // becomes a one-way replication stream until it closes.
+                // Commands pipelined *after* SYNC are never executed.
+                if let Some(from_seq) = session.take_pending_sync() {
+                    if !write_reply(stream, &replies, shared) {
+                        return Flow::Close;
+                    }
+                    crate::replicate::serve_sync(stream, session.db(), from_seq, shared);
+                    return Flow::Close;
+                }
                 in_flight += 1;
                 if in_flight >= shared.max_pipeline {
                     if !write_reply(stream, &replies, shared) {
@@ -204,7 +215,7 @@ fn drain_and_close(
 }
 
 /// Writes a buffered reply batch; `false` means the connection is gone.
-fn write_reply(stream: &mut TcpStream, bytes: &[u8], shared: &ConnShared) -> bool {
+pub(crate) fn write_reply(stream: &mut TcpStream, bytes: &[u8], shared: &ConnShared) -> bool {
     if bytes.is_empty() {
         return true;
     }

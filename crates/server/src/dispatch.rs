@@ -20,6 +20,7 @@
 //! | `MULTI` .. `EXEC` / `DISCARD` | `+QUEUED`.. | atomic batch; `SELECT` inside retargets, so batches span families |
 //! | `INFO` | bulk | shared stats field lists |
 //! | `FLUSH` | `+OK` | flush memtables (bench phase boundary) |
+//! | `SYNC seq` | `+OK`, then frames | hands the connection to the replication streamer |
 //! | `QUIT` | `+OK` | close after the reply |
 //!
 //! `SCAN` pages are *cursor-backed*: every page opens its own iterator,
@@ -31,7 +32,9 @@ use std::sync::Arc;
 
 use pebblesdb_common::resp::RespValue;
 use pebblesdb_common::stats_text::{cf_stat_fields, render_info, store_stat_fields};
-use pebblesdb_common::{ColumnFamilyHandle, Db, Error, KvStore, WriteBatch, WriteOptions};
+use pebblesdb_common::{
+    ColumnFamilyHandle, Db, Error, KvStore, SequenceNumber, WriteBatch, WriteOptions,
+};
 
 use crate::auth::AuthProvider;
 use crate::metrics::ServerCounters;
@@ -78,6 +81,9 @@ pub struct Session {
     authenticated: bool,
     txn: Option<Txn>,
     close_requested: bool,
+    /// Set by `SYNC`: the connection layer flushes the `+OK` and hands the
+    /// socket to the replication streamer starting at this sequence.
+    pending_sync: Option<SequenceNumber>,
     /// Scratch for SCAN resume keys, reused across pages so a client
     /// paging through a large range does not reallocate the cursor buffer
     /// on every page.
@@ -106,6 +112,7 @@ impl Session {
             authenticated,
             txn: None,
             close_requested: false,
+            pending_sync: None,
             scan_cursor: Vec::new(),
         }
     }
@@ -114,6 +121,18 @@ impl Session {
     /// flushes pending replies and disconnects.
     pub fn close_requested(&self) -> bool {
         self.close_requested
+    }
+
+    /// Takes the cursor of a just-acknowledged `SYNC`, if any. The
+    /// connection layer polls this after every command; `Some` means "flush
+    /// replies, then switch this socket into a one-way replication stream".
+    pub fn take_pending_sync(&mut self) -> Option<SequenceNumber> {
+        self.pending_sync.take()
+    }
+
+    /// The store this session dispatches to (for the replication streamer).
+    pub fn db(&self) -> &Arc<dyn Db> {
+        &self.db
     }
 
     /// Executes one parsed command and returns its reply.
@@ -204,6 +223,7 @@ impl Session {
                 RespValue::ok()
             }
             "INFO" => self.cmd_info(),
+            "SYNC" => self.cmd_sync(&args),
             "FLUSH" => match self.db.flush() {
                 Ok(()) => RespValue::ok(),
                 Err(err) => store_error(&err),
@@ -417,6 +437,32 @@ impl Session {
         match self.db.write_opts(&self.write_options(), txn.batch) {
             Ok(()) => RespValue::Array(vec![RespValue::ok(); txn.queued]),
             Err(err) => store_error(&err),
+        }
+    }
+
+    /// `SYNC from_seq` — request a replication stream from `from_seq`.
+    ///
+    /// The dispatcher only validates and records the request; the connection
+    /// layer flushes the `+OK` and inverts the conversation (server pushes
+    /// frames, the session never executes another command). Validating the
+    /// cursor against retained history happens when the stream opens, so a
+    /// truncated cursor is reported in-band as a `TRUNCATED` frame.
+    fn cmd_sync(&mut self, args: &[Vec<u8>]) -> RespValue {
+        if args.len() != 2 {
+            return wrong_arity("SYNC");
+        }
+        if self.txn.is_some() {
+            return RespValue::error("ERR SYNC inside MULTI is not allowed");
+        }
+        let from_seq = std::str::from_utf8(&args[1])
+            .ok()
+            .and_then(|s| s.parse::<SequenceNumber>().ok());
+        match from_seq {
+            Some(seq) => {
+                self.pending_sync = Some(seq);
+                RespValue::ok()
+            }
+            None => RespValue::error("ERR SYNC requires a non-negative integer sequence"),
         }
     }
 

@@ -8,7 +8,8 @@
 //! - [`connection`] (private) — accept loop, thread-per-connection reads
 //!   with idle timeouts, bounded pipelining, graceful-drain shutdown;
 //! - [`dispatch`] — the command surface (`GET`/`SET`/`DEL`/`SCAN` pages,
-//!   `MULTI`/`EXEC` cross-family batches, `SELECT`, `INFO`);
+//!   `MULTI`/`EXEC` cross-family batches, `SELECT`, `INFO`, and the `SYNC`
+//!   verb that hands a connection to the replication streamer);
 //! - [`rate_limit`] + [`auth`] — per-client token buckets (`BUSY`
 //!   backpressure, never disconnects) and a deny-by-default credential hook;
 //! - [`metrics`] — server counters plus the shared store/family stat fields,
@@ -34,6 +35,7 @@ mod connection;
 pub mod dispatch;
 pub mod metrics;
 pub mod rate_limit;
+mod replicate;
 
 use std::collections::HashMap;
 use std::io;

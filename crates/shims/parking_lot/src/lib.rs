@@ -143,6 +143,27 @@ impl Condvar {
         guard.guard = ManuallyDrop::new(std_guard);
     }
 
+    /// Atomically releases the guard's lock and waits for a notification,
+    /// giving up after `timeout`. Spurious wakeups are possible either way;
+    /// callers should re-check their condition (and their deadline) in a
+    /// loop, as with [`Condvar::wait`].
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        // Safety: the guard is replaced with the one returned by the wait.
+        let std_guard = unsafe { ManuallyDrop::take(&mut guard.guard) };
+        let (std_guard, result) = self
+            .inner
+            .wait_timeout(std_guard, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.guard = ManuallyDrop::new(std_guard);
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
+    }
+
     /// Wakes one waiting thread.
     pub fn notify_one(&self) {
         self.inner.notify_one();
@@ -151,6 +172,19 @@ impl Condvar {
     /// Wakes every waiting thread.
     pub fn notify_all(&self) {
         self.inner.notify_all();
+    }
+}
+
+/// Whether a [`Condvar::wait_for`] returned because its timeout elapsed.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True when the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
     }
 }
 

@@ -13,9 +13,11 @@
 //! [`WriteBatch`]: pebblesdb_common::WriteBatch
 
 pub mod reader;
+pub mod replay;
 pub mod writer;
 
 pub use reader::LogReader;
+pub use replay::SegmentReplay;
 pub use writer::LogWriter;
 
 /// Size of a log block in bytes.
